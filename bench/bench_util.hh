@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction binaries.
+ */
+
+#ifndef CASSANDRA_BENCH_BENCH_UTIL_HH
+#define CASSANDRA_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cassandra::bench {
+
+inline double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += std::log(x);
+    return std::exp(acc / xs.size());
+}
+
+inline void
+printRule(int width)
+{
+    for (int i = 0; i < width; i++)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+} // namespace cassandra::bench
+
+#endif // CASSANDRA_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces Figure 7: execution time of Unsafe Baseline, Cassandra,
+ * Cassandra+STL and SPT over the BearSSL / OpenSSL / PQC workloads,
+ * normalized to the Unsafe Baseline (lower is better), with the
+ * geometric mean over all workloads.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "core/system.hh"
+#include "crypto/workloads.hh"
+
+using namespace cassandra;
+using uarch::Scheme;
+
+int
+main()
+{
+    uarch::CoreParams params;
+    std::printf("Core (Table 3): %u-wide F/I/C, ROB %u, IQ %u, "
+                "LQ/SQ %u/%u, LTAGE-class BPU,\n"
+                "L1D %u KB / L1I %u KB / L2 %u KB / L3 %u MB, "
+                "BTU 16x16 entries (1.74 KiB)\n\n",
+                params.fetchWidth, params.robSize, params.iqSize,
+                params.lqSize, params.sqSize,
+                params.l1d.sizeBytes / 1024, params.l1i.sizeBytes / 1024,
+                params.l2.sizeBytes / 1024,
+                params.l3.sizeBytes / (1024 * 1024));
+
+    std::printf("Figure 7: execution time normalized to the Unsafe "
+                "Baseline (lower is better)\n\n");
+    std::printf("%-22s %10s %10s %14s %8s\n", "Workload", "insts",
+                "Cassandra", "Cassandra+STL", "SPT");
+    bench::printRule(70);
+
+    std::vector<double> g_cass, g_stl, g_spt;
+    std::string last_suite;
+    for (auto &w : crypto::allCryptoWorkloads()) {
+        if (w.suite != last_suite) {
+            std::printf("-- %s --\n", w.suite.c_str());
+            last_suite = w.suite;
+        }
+        core::System sys(std::move(w));
+        auto base = sys.run(Scheme::UnsafeBaseline);
+        auto cass = sys.run(Scheme::Cassandra);
+        auto stl = sys.run(Scheme::CassandraStl);
+        auto spt = sys.run(Scheme::Spt);
+        double b = static_cast<double>(base.stats.cycles);
+        double rc = cass.stats.cycles / b;
+        double rs = stl.stats.cycles / b;
+        double rp = spt.stats.cycles / b;
+        g_cass.push_back(rc);
+        g_stl.push_back(rs);
+        g_spt.push_back(rp);
+        std::printf("%-22s %10llu %10.4f %14.4f %8.4f\n",
+                    sys.workload().name.c_str(),
+                    static_cast<unsigned long long>(
+                        base.stats.instructions),
+                    rc, rs, rp);
+    }
+    bench::printRule(70);
+    std::printf("%-22s %10s %10.4f %14.4f %8.4f\n", "geomean", "",
+                bench::geomean(g_cass), bench::geomean(g_stl),
+                bench::geomean(g_spt));
+    std::printf("\nPaper reference: Cassandra 0.9815 (1.85%% speedup), "
+                "Cassandra+STL 0.9886, SPT 1.1207.\n"
+                "Expected shape: Cassandra at or slightly below 1.0 "
+                "everywhere, +STL marginally above Cassandra,\n"
+                "SPT above 1.0 with load-heavy kernels (bignum, DES) "
+                "hit hardest.\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the Branch Trace Unit:
+ * fetch-lookup/commit throughput on short rotating traces, long
+ * streamed traces and eviction-heavy mixes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "btu/btu.hh"
+#include "core/dna.hh"
+#include "core/kmers.hh"
+
+using namespace cassandra;
+
+namespace {
+
+core::BranchTrace
+loopTrace(uint64_t pc, int trip, int instances)
+{
+    core::VanillaTrace v;
+    for (int i = 0; i < instances; i++) {
+        v.push_back({pc - 64, static_cast<uint64_t>(trip - 1)});
+        v.push_back({pc + 4, 1});
+    }
+    v = core::toVanilla(core::expandVanilla(v));
+    return core::encodeBranchTrace(
+        pc, core::compressKmers(core::encodeDna(v)));
+}
+
+void
+BM_BtuShortTraceReplay(benchmark::State &state)
+{
+    core::TraceImage image;
+    uint64_t pc = 0x10100;
+    image.add(loopTrace(pc, 8, 1));
+    btu::Btu unit(image);
+    for (auto _ : state) {
+        auto r = unit.fetchLookup(pc);
+        benchmark::DoNotOptimize(r);
+        unit.commitBranch(pc);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BtuShortTraceReplay);
+
+void
+BM_BtuLongTraceStream(benchmark::State &state)
+{
+    core::TraceImage image;
+    uint64_t pc = 0x10100;
+    // Varying trip counts defeat compression into a single element.
+    core::VanillaTrace v;
+    for (int i = 0; i < 64; i++) {
+        v.push_back({pc - 64, static_cast<uint64_t>(2 + (i % 7))});
+        v.push_back({pc + 4, 1});
+    }
+    v = core::toVanilla(core::expandVanilla(v));
+    image.add(core::encodeBranchTrace(
+        pc, core::compressKmers(core::encodeDna(v))));
+    btu::Btu unit(image);
+    for (auto _ : state) {
+        auto r = unit.fetchLookup(pc);
+        benchmark::DoNotOptimize(r);
+        unit.commitBranch(pc);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BtuLongTraceStream);
+
+void
+BM_BtuEvictionMix(benchmark::State &state)
+{
+    core::TraceImage image;
+    const int branches = 32; // 2x the BTU capacity
+    for (int b = 0; b < branches; b++)
+        image.add(loopTrace(0x10100 + 64 * b, 4 + b % 5, 4));
+    btu::Btu unit(image);
+    int b = 0;
+    for (auto _ : state) {
+        uint64_t pc = 0x10100 + 64 * (b++ % branches);
+        auto r = unit.fetchLookup(pc);
+        benchmark::DoNotOptimize(r);
+        if (r.outcome != btu::Btu::Outcome::StallResolve &&
+            r.outcome != btu::Btu::Outcome::WindowStall) {
+            unit.commitBranch(pc);
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BtuEvictionMix);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the trace pipeline: run-
+ * length encoding, DNA encoding and Algorithm 1 compression over
+ * synthetic loop-nest traces of various lengths.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/dna.hh"
+#include "core/kmers.hh"
+#include "core/trace_format.hh"
+
+using namespace cassandra::core;
+
+namespace {
+
+VanillaTrace
+loopNestTrace(size_t instances, int body)
+{
+    std::mt19937_64 rng(42);
+    std::vector<RunElement> motif;
+    for (int i = 0; i < body; i++)
+        motif.push_back({0x1000 + 16 * (rng() % 32), 1 + rng() % 200});
+    VanillaTrace v;
+    for (size_t i = 0; i < instances; i++)
+        for (auto e : motif)
+            v.push_back(e);
+    return toVanilla(expandVanilla(v));
+}
+
+void
+BM_RunLength(benchmark::State &state)
+{
+    RawTrace raw;
+    for (int i = 0; i < state.range(0); i++)
+        raw.push_back(0x100 + 16 * ((i / 7) % 3));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(toVanilla(raw));
+    state.SetItemsProcessed(state.iterations() * raw.size());
+}
+BENCHMARK(BM_RunLength)->Arg(1024)->Arg(65536);
+
+void
+BM_DnaEncode(benchmark::State &state)
+{
+    auto v = loopNestTrace(state.range(0), 4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(encodeDna(v));
+    state.SetItemsProcessed(state.iterations() * v.size());
+}
+BENCHMARK(BM_DnaEncode)->Arg(256)->Arg(4096);
+
+void
+BM_KmersCompress(benchmark::State &state)
+{
+    auto v = loopNestTrace(state.range(0), 6);
+    auto dna = encodeDna(v);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compressKmers(dna));
+    state.SetItemsProcessed(state.iterations() * v.size());
+}
+BENCHMARK(BM_KmersCompress)->Arg(64)->Arg(512)->Arg(4096);
+
+void
+BM_KmersEncodeHardware(benchmark::State &state)
+{
+    auto v = loopNestTrace(state.range(0), 4);
+    auto kmers = compressKmers(encodeDna(v));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(encodeBranchTrace(0x10100, kmers));
+}
+BENCHMARK(BM_KmersEncodeHardware)->Arg(256)->Arg(4096);
+
+} // namespace
+
+BENCHMARK_MAIN();

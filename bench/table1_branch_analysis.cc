@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reproduces Table 1: branch analysis of the cryptographic programs.
+ * For every workload it reports, over multi-target static branches,
+ * the vanilla trace size (avg/max), the k-mers size (avg/max, trace +
+ * pattern set) and the per-branch compression rate (avg/max).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "core/tracegen.hh"
+#include "crypto/workloads.hh"
+
+using namespace cassandra;
+
+int
+main()
+{
+    std::printf("Table 1: Branch analysis of cryptographic programs\n");
+    std::printf("(per multi-target static branch; single-target "
+                "branches excluded as in the paper)\n\n");
+    std::printf("%-22s %5s | %12s %12s | %8s %8s | %12s %14s\n",
+                "Program", "#br", "vanilla-avg", "vanilla-max",
+                "kmers-avg", "kmers-max", "rate-avg", "rate-max");
+    bench::printRule(110);
+
+    std::string last_suite;
+    double all_v = 0, all_k = 0, all_r = 0;
+    double all_vmax = 0, all_kmax = 0, all_rmax = 0;
+    size_t all_n = 0;
+
+    for (const auto &w : crypto::allCryptoWorkloads()) {
+        if (w.suite != last_suite) {
+            std::printf("-- %s --\n", w.suite.c_str());
+            last_suite = w.suite;
+        }
+        auto res = core::generateTraces(w);
+        double v_sum = 0, k_sum = 0, r_sum = 0;
+        double v_max = 0, k_max = 0, r_max = 0;
+        size_t n = 0;
+        for (const auto *rec : res.multiTarget()) {
+            if (rec->inputDependent || rec->kmersSize == 0)
+                continue;
+            n++;
+            v_sum += rec->vanillaSize;
+            k_sum += rec->kmersSize;
+            r_sum += rec->compressionRate();
+            v_max = std::max(v_max, double(rec->vanillaSize));
+            k_max = std::max(k_max, double(rec->kmersSize));
+            r_max = std::max(r_max, rec->compressionRate());
+        }
+        if (n == 0)
+            continue;
+        std::printf("%-22s %5zu | %12.1f %12.0f | %8.1f %8.0f | "
+                    "%12.1f %14.1f\n",
+                    w.name.c_str(), n, v_sum / n, v_max, k_sum / n,
+                    k_max, r_sum / n, r_max);
+        all_v += v_sum;
+        all_k += k_sum;
+        all_r += r_sum;
+        all_n += n;
+        all_vmax = std::max(all_vmax, v_max);
+        all_kmax = std::max(all_kmax, k_max);
+        all_rmax = std::max(all_rmax, r_max);
+    }
+    bench::printRule(110);
+    std::printf("%-22s %5zu | %12.1f %12.0f | %8.1f %8.0f | "
+                "%12.1f %14.1f\n",
+                "All", all_n, all_v / all_n, all_vmax, all_k / all_n,
+                all_kmax, all_r / all_n, all_rmax);
+    std::printf("\nPaper reference (x86 gem5 traces, full-size inputs): "
+                "vanilla avg 637,425.5, k-mers avg 19.9,\n"
+                "compression rate avg 163,370.7x. Our scaled inputs "
+                "produce shorter vanilla traces but the same shape:\n"
+                "k-mers sizes of a few entries per branch and "
+                "compression rates that grow with the trace length.\n");
+    return 0;
+}

@@ -1,0 +1,407 @@
+#include "asm/assembler.hh"
+
+#include <cstring>
+
+namespace cassandra::casm {
+
+using ir::Inst;
+using ir::Opcode;
+
+Assembler::Assembler()
+{
+    // Scratch pool: x18..x62. x0..x17 are reserved (zero, ra, sp,
+    // args); x63 is reserved for assembler macros (loop bounds) so
+    // that kernels owning fixed scratch registers can still use
+    // forLoop safely.
+    regFree_.assign(ir::numRegs, false);
+    for (int r = 18; r < ir::numRegs - 1; r++)
+        regFree_[r] = true;
+}
+
+void
+Assembler::emit(Inst inst)
+{
+    if (finalized_)
+        throw AsmError("emit after finalize");
+    prog_.insts.push_back(inst);
+}
+
+uint64_t
+Assembler::here() const
+{
+    return ir::Program::pcOf(prog_.insts.size());
+}
+
+std::string
+Assembler::freshLabel(const std::string &stem)
+{
+    return ".L" + stem + std::to_string(freshLabelId_++);
+}
+
+// --- ALU -----------------------------------------------------------------
+
+#define DEF_RRR(name, opc)                                                  \
+    void Assembler::name(RegId rd, RegId rs1, RegId rs2)                    \
+    {                                                                       \
+        emit({Opcode::opc, rd, rs1, rs2, 0});                               \
+    }
+
+DEF_RRR(add, Add)
+DEF_RRR(sub, Sub)
+DEF_RRR(and_, And)
+DEF_RRR(or_, Or)
+DEF_RRR(xor_, Xor)
+DEF_RRR(shl, Shl)
+DEF_RRR(shr, Shr)
+DEF_RRR(sar, Sar)
+DEF_RRR(rotl, Rotl)
+DEF_RRR(rotr, Rotr)
+DEF_RRR(mul, Mul)
+DEF_RRR(mulh, Mulh)
+DEF_RRR(mulhu, Mulhu)
+DEF_RRR(slt, Slt)
+DEF_RRR(sltu, Sltu)
+DEF_RRR(addw, Addw)
+DEF_RRR(subw, Subw)
+DEF_RRR(mulw, Mulw)
+#undef DEF_RRR
+
+#define DEF_RRI(name, opc)                                                  \
+    void Assembler::name(RegId rd, RegId rs1, int64_t imm)                  \
+    {                                                                       \
+        emit({Opcode::opc, rd, rs1, 0, imm});                               \
+    }
+
+DEF_RRI(addi, Addi)
+DEF_RRI(andi, Andi)
+DEF_RRI(ori, Ori)
+DEF_RRI(xori, Xori)
+DEF_RRI(shli, Shli)
+DEF_RRI(shri, Shri)
+DEF_RRI(sari, Sari)
+DEF_RRI(rotli, Rotli)
+DEF_RRI(slti, Slti)
+DEF_RRI(sltiu, Sltiu)
+DEF_RRI(addiw, Addiw)
+DEF_RRI(rotlwi, Rotlwi)
+#undef DEF_RRI
+
+void
+Assembler::li(RegId rd, int64_t imm)
+{
+    emit({Opcode::Li, rd, 0, 0, imm});
+}
+
+void
+Assembler::la(RegId rd, const std::string &sym, int64_t offset)
+{
+    li(rd, static_cast<int64_t>(dataAddr(sym)) + offset);
+}
+
+void
+Assembler::mv(RegId rd, RegId rs)
+{
+    addi(rd, rs, 0);
+}
+
+void
+Assembler::cmovnz(RegId rd, RegId rs1, RegId rs2)
+{
+    emit({Opcode::Cmovnz, rd, rs1, rs2, 0});
+}
+
+// --- Memory ----------------------------------------------------------------
+
+#define DEF_LOAD(name, opc)                                                 \
+    void Assembler::name(RegId rd, RegId base, int64_t offset)              \
+    {                                                                       \
+        emit({Opcode::opc, rd, base, 0, offset});                           \
+    }
+
+DEF_LOAD(ld, Ld)
+DEF_LOAD(lw, Lw)
+DEF_LOAD(lh, Lh)
+DEF_LOAD(lb, Lb)
+#undef DEF_LOAD
+
+#define DEF_STORE(name, opc)                                                \
+    void Assembler::name(RegId rs, RegId base, int64_t offset)              \
+    {                                                                       \
+        emit({Opcode::opc, 0, base, rs, offset});                           \
+    }
+
+DEF_STORE(sd, Sd)
+DEF_STORE(sw, Sw)
+DEF_STORE(sh, Sh)
+DEF_STORE(sb, Sb)
+#undef DEF_STORE
+
+// --- Control flow -----------------------------------------------------------
+
+void
+Assembler::emitBranchTo(Opcode op, RegId rs1, RegId rs2,
+                        const std::string &target)
+{
+    fixups_.push_back({prog_.insts.size(), target});
+    emit({op, 0, rs1, rs2, 0});
+}
+
+void
+Assembler::beq(RegId rs1, RegId rs2, const std::string &target)
+{
+    emitBranchTo(Opcode::Beq, rs1, rs2, target);
+}
+
+void
+Assembler::bne(RegId rs1, RegId rs2, const std::string &target)
+{
+    emitBranchTo(Opcode::Bne, rs1, rs2, target);
+}
+
+void
+Assembler::blt(RegId rs1, RegId rs2, const std::string &target)
+{
+    emitBranchTo(Opcode::Blt, rs1, rs2, target);
+}
+
+void
+Assembler::bge(RegId rs1, RegId rs2, const std::string &target)
+{
+    emitBranchTo(Opcode::Bge, rs1, rs2, target);
+}
+
+void
+Assembler::bltu(RegId rs1, RegId rs2, const std::string &target)
+{
+    emitBranchTo(Opcode::Bltu, rs1, rs2, target);
+}
+
+void
+Assembler::bgeu(RegId rs1, RegId rs2, const std::string &target)
+{
+    emitBranchTo(Opcode::Bgeu, rs1, rs2, target);
+}
+
+void
+Assembler::beqz(RegId rs, const std::string &target)
+{
+    beq(rs, ir::regZero, target);
+}
+
+void
+Assembler::bnez(RegId rs, const std::string &target)
+{
+    bne(rs, ir::regZero, target);
+}
+
+void
+Assembler::call(const std::string &target)
+{
+    fixups_.push_back({prog_.insts.size(), target});
+    emit({Opcode::Jal, ir::regRa, 0, 0, 0});
+}
+
+void
+Assembler::j(const std::string &target)
+{
+    fixups_.push_back({prog_.insts.size(), target});
+    emit({Opcode::Jal, ir::regZero, 0, 0, 0});
+}
+
+void
+Assembler::jalr(RegId rd, RegId rs1, int64_t offset)
+{
+    emit({Opcode::Jalr, rd, rs1, 0, offset});
+}
+
+void
+Assembler::ret()
+{
+    emit({Opcode::Ret, 0, ir::regRa, 0, 0});
+}
+
+void
+Assembler::nop()
+{
+    emit({Opcode::Nop, 0, 0, 0, 0});
+}
+
+void
+Assembler::halt()
+{
+    emit({Opcode::Halt, 0, 0, 0, 0});
+}
+
+void
+Assembler::push(RegId rs)
+{
+    addi(ir::regSp, ir::regSp, -8);
+    sd(rs, ir::regSp, 0);
+}
+
+void
+Assembler::pop(RegId rd)
+{
+    ld(rd, ir::regSp, 0);
+    addi(ir::regSp, ir::regSp, 8);
+}
+
+// --- Structure -------------------------------------------------------------
+
+void
+Assembler::label(const std::string &name)
+{
+    auto [it, inserted] = prog_.labels.emplace(name, here());
+    if (!inserted)
+        throw AsmError("duplicate label: " + name);
+}
+
+void
+Assembler::beginFunction(const std::string &name, bool crypto)
+{
+    openFuncs_.push_back({name, here(), crypto});
+    label(name);
+}
+
+void
+Assembler::endFunction()
+{
+    if (openFuncs_.empty())
+        throw AsmError("endFunction without beginFunction");
+    OpenFunc f = openFuncs_.back();
+    openFuncs_.pop_back();
+    prog_.functions.push_back({f.name, f.entry, here()});
+    if (f.crypto)
+        prog_.cryptoRanges.push_back({f.entry, here()});
+}
+
+void
+Assembler::forLoop(RegId counter, int64_t begin, int64_t end,
+                   const std::function<void()> &body, int64_t step)
+{
+    constexpr RegId macro_reg = ir::numRegs - 1; // x63, reserved
+    std::string head = freshLabel("loop");
+    li(counter, begin);
+    label(head);
+    body();
+    addi(counter, counter, step);
+    li(macro_reg, end);
+    if (step > 0)
+        blt(counter, macro_reg, head);
+    else
+        blt(macro_reg, counter, head);
+}
+
+void
+Assembler::forLoopReg(RegId counter, int64_t begin, RegId end_reg,
+                      const std::function<void()> &body, int64_t step)
+{
+    std::string head = freshLabel("loopr");
+    li(counter, begin);
+    label(head);
+    body();
+    addi(counter, counter, step);
+    blt(counter, end_reg, head);
+}
+
+// --- Data segment ------------------------------------------------------------
+
+uint64_t
+Assembler::allocData(const std::string &sym, size_t bytes, size_t align)
+{
+    if (dataSyms_.count(sym))
+        throw AsmError("duplicate data symbol: " + sym);
+    if (align == 0 || (align & (align - 1)))
+        throw AsmError("alignment must be a power of two");
+    dataCursor_ = (dataCursor_ + align - 1) & ~(align - 1);
+    uint64_t addr = ir::Program::dataBase + dataCursor_;
+    dataSyms_[sym] = addr;
+    dataCursor_ += bytes;
+    if (prog_.dataImage.size() < dataCursor_)
+        prog_.dataImage.resize(dataCursor_, 0);
+    return addr;
+}
+
+uint64_t
+Assembler::dataAddr(const std::string &sym) const
+{
+    auto it = dataSyms_.find(sym);
+    if (it == dataSyms_.end())
+        throw AsmError("undefined data symbol: " + sym);
+    return it->second;
+}
+
+void
+Assembler::setData(const std::string &sym, size_t offset, const void *bytes,
+                   size_t len)
+{
+    uint64_t addr = dataAddr(sym) - ir::Program::dataBase + offset;
+    if (addr + len > prog_.dataImage.size())
+        throw AsmError("setData out of range for " + sym);
+    std::memcpy(prog_.dataImage.data() + addr, bytes, len);
+}
+
+void
+Assembler::setData64(const std::string &sym, size_t index, uint64_t value)
+{
+    uint8_t buf[8];
+    for (int i = 0; i < 8; i++)
+        buf[i] = static_cast<uint8_t>(value >> (8 * i));
+    setData(sym, index * 8, buf, 8);
+}
+
+void
+Assembler::setData32(const std::string &sym, size_t index, uint32_t value)
+{
+    uint8_t buf[4];
+    for (int i = 0; i < 4; i++)
+        buf[i] = static_cast<uint8_t>(value >> (8 * i));
+    setData(sym, index * 4, buf, 4);
+}
+
+// --- Scratch registers -----------------------------------------------------
+
+RegId
+Assembler::temp()
+{
+    for (int r = 18; r < ir::numRegs - 1; r++) {
+        if (regFree_[r]) {
+            regFree_[r] = false;
+            return static_cast<RegId>(r);
+        }
+    }
+    throw AsmError("scratch register pool exhausted");
+}
+
+void
+Assembler::release(RegId reg)
+{
+    if (reg < 18 || reg >= ir::numRegs)
+        throw AsmError("release of non-scratch register");
+    regFree_[reg] = true;
+}
+
+// --- Finalize ---------------------------------------------------------------
+
+ir::Program
+Assembler::finalize()
+{
+    if (!openFuncs_.empty())
+        throw AsmError("unterminated function: " + openFuncs_.back().name);
+    for (const auto &fix : fixups_) {
+        auto it = prog_.labels.find(fix.target);
+        if (it == prog_.labels.end())
+            throw AsmError("undefined label: " + fix.target);
+        prog_.insts[fix.instIndex].imm =
+            static_cast<int64_t>(it->second);
+    }
+    fixups_.clear();
+    // Programs start at "main" when defined (it need not come first).
+    auto main_it = prog_.labels.find("main");
+    if (main_it != prog_.labels.end())
+        prog_.entry = main_it->second;
+    finalized_ = true;
+    return prog_;
+}
+
+} // namespace cassandra::casm

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Macro-assembler for the Cassandra IR.
+ *
+ * Cryptographic kernels are authored in C++ against this builder: it
+ * provides one emitter per opcode, labels with forward references,
+ * function symbols with a per-function crypto tag (the paper's @kappa
+ * instruction tag, realized as Crypto PC Ranges), a data segment with
+ * named symbols, a trivial scratch-register allocator, and structured
+ * helpers for counted loops and calls.
+ */
+
+#ifndef CASSANDRA_ASM_ASSEMBLER_HH
+#define CASSANDRA_ASM_ASSEMBLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ir/program.hh"
+
+namespace cassandra::casm {
+
+using ir::RegId;
+
+/** Error thrown on malformed assembly (undefined label, etc.). */
+class AsmError : public std::runtime_error
+{
+  public:
+    explicit AsmError(const std::string &what)
+        : std::runtime_error("asm: " + what)
+    {}
+};
+
+/** Builder producing ir::Program objects. */
+class Assembler
+{
+  public:
+    Assembler();
+
+    // ALU register-register -------------------------------------------
+    void add(RegId rd, RegId rs1, RegId rs2);
+    void sub(RegId rd, RegId rs1, RegId rs2);
+    void and_(RegId rd, RegId rs1, RegId rs2);
+    void or_(RegId rd, RegId rs1, RegId rs2);
+    void xor_(RegId rd, RegId rs1, RegId rs2);
+    void shl(RegId rd, RegId rs1, RegId rs2);
+    void shr(RegId rd, RegId rs1, RegId rs2);
+    void sar(RegId rd, RegId rs1, RegId rs2);
+    void rotl(RegId rd, RegId rs1, RegId rs2);
+    void rotr(RegId rd, RegId rs1, RegId rs2);
+    void mul(RegId rd, RegId rs1, RegId rs2);
+    void mulh(RegId rd, RegId rs1, RegId rs2);
+    void mulhu(RegId rd, RegId rs1, RegId rs2);
+    void slt(RegId rd, RegId rs1, RegId rs2);
+    void sltu(RegId rd, RegId rs1, RegId rs2);
+    /** 32-bit word forms; results zero-extended. */
+    void addw(RegId rd, RegId rs1, RegId rs2);
+    void subw(RegId rd, RegId rs1, RegId rs2);
+    void mulw(RegId rd, RegId rs1, RegId rs2);
+
+    // ALU register-immediate ------------------------------------------
+    void addi(RegId rd, RegId rs1, int64_t imm);
+    void andi(RegId rd, RegId rs1, int64_t imm);
+    void ori(RegId rd, RegId rs1, int64_t imm);
+    void xori(RegId rd, RegId rs1, int64_t imm);
+    void shli(RegId rd, RegId rs1, int64_t imm);
+    void shri(RegId rd, RegId rs1, int64_t imm);
+    void sari(RegId rd, RegId rs1, int64_t imm);
+    void rotli(RegId rd, RegId rs1, int64_t imm);
+    void slti(RegId rd, RegId rs1, int64_t imm);
+    void sltiu(RegId rd, RegId rs1, int64_t imm);
+    void addiw(RegId rd, RegId rs1, int64_t imm);
+    /** 32-bit rotate-left by immediate (zero-extended result). */
+    void rotlwi(RegId rd, RegId rs1, int64_t imm);
+
+    // Constants and moves ---------------------------------------------
+    void li(RegId rd, int64_t imm);
+    /** rd = address of a data symbol (+ byte offset). */
+    void la(RegId rd, const std::string &sym, int64_t offset = 0);
+    /** Register move (addi rd, rs, 0). */
+    void mv(RegId rd, RegId rs);
+    /** Constant-time move: rd = (rs1 != 0) ? rs2 : rd. */
+    void cmovnz(RegId rd, RegId rs1, RegId rs2);
+
+    // Memory ------------------------------------------------------------
+    void ld(RegId rd, RegId base, int64_t offset = 0);
+    void lw(RegId rd, RegId base, int64_t offset = 0);
+    void lh(RegId rd, RegId base, int64_t offset = 0);
+    void lb(RegId rd, RegId base, int64_t offset = 0);
+    void sd(RegId rs, RegId base, int64_t offset = 0);
+    void sw(RegId rs, RegId base, int64_t offset = 0);
+    void sh(RegId rs, RegId base, int64_t offset = 0);
+    void sb(RegId rs, RegId base, int64_t offset = 0);
+
+    // Control flow ------------------------------------------------------
+    void beq(RegId rs1, RegId rs2, const std::string &target);
+    void bne(RegId rs1, RegId rs2, const std::string &target);
+    void blt(RegId rs1, RegId rs2, const std::string &target);
+    void bge(RegId rs1, RegId rs2, const std::string &target);
+    void bltu(RegId rs1, RegId rs2, const std::string &target);
+    void bgeu(RegId rs1, RegId rs2, const std::string &target);
+    /** Branch if rs == 0 / rs != 0 (compares against x0). */
+    void beqz(RegId rs, const std::string &target);
+    void bnez(RegId rs, const std::string &target);
+    /** Call: jal ra, target. */
+    void call(const std::string &target);
+    /** Unconditional jump: jal x0, target. */
+    void j(const std::string &target);
+    /** Indirect jump/call. */
+    void jalr(RegId rd, RegId rs1, int64_t offset = 0);
+    void ret();
+    void nop();
+    void halt();
+
+    // Stack helpers ------------------------------------------------------
+    /** Push a register on the stack (sp-adjust + store). */
+    void push(RegId rs);
+    /** Pop a register from the stack. */
+    void pop(RegId rd);
+
+    // Structure ----------------------------------------------------------
+    /** Define a label at the current PC. */
+    void label(const std::string &name);
+    /**
+     * Begin a function symbol. All code emitted until endFunction() is
+     * attributed to it; if crypto is true the PC range is added to the
+     * program's Crypto PC Ranges.
+     */
+    void beginFunction(const std::string &name, bool crypto);
+    void endFunction();
+
+    /**
+     * Emit a counted loop: for (i = begin; i < end; i += step) body().
+     * The loop back-edge is a single conditional branch whose sequential
+     * trace is the classic PC1 x n . PC0 x 1 shape from the paper.
+     *
+     * @param counter register used as the loop counter (live in body)
+     * @param begin initial value
+     * @param end exclusive bound (constant)
+     * @param body callback emitting the loop body
+     * @param step increment
+     */
+    void forLoop(RegId counter, int64_t begin, int64_t end,
+                 const std::function<void()> &body, int64_t step = 1);
+    /** Counted loop with the bound in a register. */
+    void forLoopReg(RegId counter, int64_t begin, RegId end_reg,
+                    const std::function<void()> &body, int64_t step = 1);
+
+    // Data segment ---------------------------------------------------------
+    /** Reserve bytes in the data segment under a symbol; returns address. */
+    uint64_t allocData(const std::string &sym, size_t bytes,
+                       size_t align = 8);
+    /** Address of a previously allocated data symbol. */
+    uint64_t dataAddr(const std::string &sym) const;
+    /** Initialize bytes at sym+offset in the data image. */
+    void setData(const std::string &sym, size_t offset,
+                 const void *bytes, size_t len);
+    /** Initialize a 64-bit little-endian word at sym + index*8. */
+    void setData64(const std::string &sym, size_t index, uint64_t value);
+    /** Initialize a 32-bit little-endian word at sym + index*4. */
+    void setData32(const std::string &sym, size_t index, uint32_t value);
+
+    // Scratch registers ------------------------------------------------------
+    /** Grab a scratch register (x18..x63); throws when exhausted. */
+    RegId temp();
+    /** Return a scratch register to the pool. */
+    void release(RegId reg);
+    /** RAII scratch register. */
+    class Temp
+    {
+      public:
+        explicit Temp(Assembler &as) : as_(as), reg_(as.temp()) {}
+        ~Temp() { as_.release(reg_); }
+        Temp(const Temp &) = delete;
+        Temp &operator=(const Temp &) = delete;
+        operator RegId() const { return reg_; }
+        RegId reg() const { return reg_; }
+
+      private:
+        Assembler &as_;
+        RegId reg_;
+    };
+
+    /** Current PC (address the next instruction will get). */
+    uint64_t here() const;
+
+    /** Resolve labels and produce the program. */
+    ir::Program finalize();
+
+  private:
+    void emit(ir::Inst inst);
+    void emitBranchTo(ir::Opcode op, RegId rs1, RegId rs2,
+                      const std::string &target);
+    uint64_t freshLabelId_ = 0;
+    std::string freshLabel(const std::string &stem);
+
+    ir::Program prog_;
+    std::map<std::string, uint64_t> dataSyms_;
+    uint64_t dataCursor_ = 0;
+    struct Fixup
+    {
+        size_t instIndex;
+        std::string target;
+    };
+    std::vector<Fixup> fixups_;
+    struct OpenFunc
+    {
+        std::string name;
+        uint64_t entry;
+        bool crypto;
+    };
+    std::vector<OpenFunc> openFuncs_;
+    std::vector<bool> regFree_;
+    bool finalized_ = false;
+};
+
+} // namespace cassandra::casm
+
+#endif // CASSANDRA_ASM_ASSEMBLER_HH

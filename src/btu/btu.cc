@@ -1,0 +1,208 @@
+#include "btu/btu.hh"
+
+#include <cassert>
+
+namespace cassandra::btu {
+
+using core::BranchTrace;
+using core::TraceLimits;
+
+Btu::Btu(const core::TraceImage &image, BtuParams params)
+    : image_(image), params_(params)
+{
+    entries_.resize(params_.sets * params_.ways);
+}
+
+Btu::Cursor
+Btu::initialCursor(const BranchTrace &trace) const
+{
+    Cursor cur;
+    cur.elemIdx = 0;
+    const auto &el = trace.elements[0];
+    cur.passRem = el.traceCounter;
+    cur.patRem = el.patternCounter;
+    return cur;
+}
+
+uint64_t
+Btu::targetAt(const BranchTrace &trace, const Cursor &cur) const
+{
+    const auto &el = trace.elements[cur.elemIdx % trace.elements.size()];
+    // Position within the pattern pass is derived from how much of the
+    // pattern counter has been consumed (this is what lets the 60-bit
+    // checkpoint element rebuild the exact position).
+    uint32_t consumed = el.patternCounter - cur.patRem;
+    for (uint8_t i = 0; i < el.patternSize; i++) {
+        const auto &pe = trace.patternSet[el.patternIndex + i];
+        if (consumed < pe.repetitions)
+            return trace.targetOf(pe);
+        consumed -= pe.repetitions;
+    }
+    assert(false && "pattern counter exceeds pattern repetitions");
+    return 0;
+}
+
+void
+Btu::advance(const BranchTrace &trace, Cursor &cur) const
+{
+    const auto &el = trace.elements[cur.elemIdx % trace.elements.size()];
+    cur.patRem--;
+    if (cur.patRem > 0)
+        return;
+    cur.passRem--;
+    if (cur.passRem > 0) {
+        cur.patRem = el.patternCounter;
+        return;
+    }
+    // Element exhausted; advance to the next trace element. A wrap past
+    // the last element is the End-of-Trace restart.
+    cur.elemIdx++;
+    const auto &next =
+        trace.elements[cur.elemIdx % trace.elements.size()];
+    cur.passRem = next.traceCounter;
+    cur.patRem = next.patternCounter;
+}
+
+Btu::Entry *
+Btu::find(uint64_t pc)
+{
+    size_t set = (pc / ir::instBytes) % params_.sets;
+    for (size_t w = 0; w < params_.ways; w++) {
+        Entry &e = entries_[set * params_.ways + w];
+        if (e.valid && e.pc == pc)
+            return &e;
+    }
+    return nullptr;
+}
+
+Btu::Entry &
+Btu::victimFor(uint64_t pc)
+{
+    size_t set = (pc / ir::instBytes) % params_.sets;
+    Entry *victim = &entries_[set * params_.ways];
+    for (size_t w = 0; w < params_.ways; w++) {
+        Entry &e = entries_[set * params_.ways + w];
+        if (!e.valid)
+            return e;
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    return *victim;
+}
+
+void
+Btu::evict(Entry &entry)
+{
+    if (!entry.valid)
+        return;
+    // CPT write-back: the committed progress is checkpointed so the
+    // branch can resume when it reappears (paper §5.3).
+    backingStore_[entry.pc] = entry.commit;
+    entry.valid = false;
+    entry.trace = nullptr;
+    stats_.evictions++;
+}
+
+Btu::LookupResult
+Btu::fetchLookup(uint64_t pc)
+{
+    stats_.lookups++;
+    const core::HintInfo *hint = image_.hint(pc);
+    if (hint && hint->singleTarget) {
+        // No BTU resources are used for single-target branches.
+        stats_.singleTargetHits++;
+        return {Outcome::SingleTarget, hint->targetPc};
+    }
+    const BranchTrace *trace = hint ? image_.trace(pc) : nullptr;
+    if (!trace || !trace->hasTrace() || trace->elements.empty()) {
+        // Unanalyzed, input-dependent or rejected: redirect fetch only
+        // once the branch direction is resolved (paper footnote 4).
+        stats_.stallResolve++;
+        return {Outcome::StallResolve, 0};
+    }
+
+    Entry *entry = find(pc);
+    bool filled = false;
+    if (!entry) {
+        stats_.misses++;
+        Entry &slot = victimFor(pc);
+        evict(slot);
+        slot.valid = true;
+        slot.pc = pc;
+        slot.trace = trace;
+        auto it = backingStore_.find(pc);
+        if (it != backingStore_.end()) {
+            slot.commit = it->second;
+            stats_.checkpointRestores++;
+        } else {
+            slot.commit = initialCursor(*trace);
+        }
+        slot.fetch = slot.commit;
+        entry = &slot;
+        filled = true;
+    } else {
+        stats_.hits++;
+    }
+    entry->lastUse = ++useClock_;
+
+    // Window limit: if the fetch cursor has run a full TRC entry ahead
+    // of commit, wait until the head element retires (paper §5.3).
+    if (entry->fetch.elemIdx - entry->commit.elemIdx >=
+        TraceLimits::entryElements) {
+        stats_.windowStalls++;
+        return {Outcome::WindowStall, 0};
+    }
+
+    uint64_t target = targetAt(*trace, entry->fetch);
+    advance(*trace, entry->fetch);
+    return {filled ? Outcome::MissFill : Outcome::Hit, target};
+}
+
+void
+Btu::commitBranch(uint64_t pc)
+{
+    const core::HintInfo *hint = image_.hint(pc);
+    if (hint && hint->singleTarget)
+        return; // no BTU state
+    Entry *entry = find(pc);
+    if (!entry)
+        return; // stall-resolve branch or evicted mid-flight
+    stats_.commits++;
+    uint64_t elem_before = entry->commit.elemIdx;
+    advance(*entry->trace, entry->commit);
+    if (entry->commit.elemIdx != elem_before) {
+        // Head element retired: the TRC entry shifts; long traces
+        // prefetch the upcoming elements from the data pages, short
+        // traces rotate a refreshed copy of the head (paper §5.3).
+        if (!entry->trace->shortTrace)
+            stats_.prefetches++;
+    }
+    assert(entry->commit.elemIdx <= entry->fetch.elemIdx ||
+           (entry->commit.elemIdx == entry->fetch.elemIdx + 0) ||
+           true);
+}
+
+void
+Btu::rewindFetch(const std::function<uint64_t(uint64_t)> &in_flight_of)
+{
+    for (Entry &e : entries_) {
+        if (!e.valid)
+            continue;
+        uint64_t ahead = in_flight_of ? in_flight_of(e.pc) : 0;
+        Cursor cur = e.commit;
+        for (uint64_t i = 0; i < ahead; i++)
+            advance(*e.trace, cur);
+        e.fetch = cur;
+        stats_.squashRewinds++;
+    }
+}
+
+void
+Btu::flush()
+{
+    stats_.flushes++;
+    for (Entry &e : entries_)
+        evict(e);
+}
+
+} // namespace cassandra::btu

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Branch Trace Unit (paper §5, Figure 3).
+ *
+ * The BTU holds three inclusive, jointly managed tables — the Pattern
+ * Table (PAT), the Trace Cache (TRC) and the Checkpoint Table (CPT) —
+ * with 16 entries of 16 elements each (1.74 KiB, Table 3). On a crypto
+ * branch fetch, the BTU resolves the next PC from the head of the TRC
+ * entry (crypto fetch flow); on commit it retires trace progress and
+ * checkpoints it in the CPT (crypto commit flow); on ROB squashes the
+ * fetch-time cursor is rebuilt from the committed checkpoint plus the
+ * surviving in-flight occurrences; evictions and flushes write
+ * checkpoints back to a memory-backed area so that re-appearing
+ * branches resume where they left off.
+ *
+ * The paper describes the tables as PC-indexed with LRU eviction; we
+ * implement a set-associative structure (default fully associative,
+ * 16 ways, LRU) with configurable geometry.
+ */
+
+#ifndef CASSANDRA_BTU_BTU_HH
+#define CASSANDRA_BTU_BTU_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/trace_image.hh"
+
+namespace cassandra::btu {
+
+/** BTU geometry and timing. */
+struct BtuParams
+{
+    size_t sets = 1;
+    size_t ways = 16;
+    /** Cycles to fill a trace from the data pages (L2-class access). */
+    unsigned fillLatency = 14;
+};
+
+/** Activity counters (feed the power model and the benches). */
+struct BtuStats
+{
+    uint64_t lookups = 0;
+    uint64_t singleTargetHits = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t checkpointRestores = 0;
+    uint64_t stallResolve = 0; ///< input-dependent / rejected branches
+    uint64_t windowStalls = 0; ///< all 16 TRC elements in flight
+    uint64_t prefetches = 0;   ///< long-trace element refills at commit
+    uint64_t flushes = 0;
+    uint64_t commits = 0;
+    uint64_t squashRewinds = 0;
+};
+
+/** Branch Trace Unit model. */
+class Btu
+{
+  public:
+    /** Outcome of a crypto-branch fetch lookup. */
+    enum class Outcome
+    {
+        SingleTarget, ///< resolved from the hint word, no BTU entry
+        Hit,          ///< resolved from a resident TRC entry
+        MissFill,     ///< resolved after filling (charge fillLatency)
+        StallResolve, ///< no replayable trace; stall until resolve
+        WindowStall,  ///< whole TRC entry speculative; retry later
+    };
+
+    struct LookupResult
+    {
+        Outcome outcome;
+        uint64_t target = 0;
+    };
+
+    Btu(const core::TraceImage &image, BtuParams params = {});
+
+    /** Crypto fetch flow: determine the next PC after branch pc. */
+    LookupResult fetchLookup(uint64_t pc);
+
+    /** Crypto commit flow: retire one execution of branch pc. */
+    void commitBranch(uint64_t pc);
+
+    /**
+     * ROB squash recovery: rebuild every resident fetch cursor as the
+     * committed cursor advanced by the number of still-in-flight
+     * (fetched, not squashed, not committed) executions of that branch,
+     * which the pipeline reports through in_flight_of.
+     */
+    void rewindFetch(const std::function<uint64_t(uint64_t)> &in_flight_of);
+
+    /** Context-switch flush (paper Q4): checkpoint and invalidate. */
+    void flush();
+
+    const BtuStats &stats() const { return stats_; }
+    const BtuParams &params() const { return params_; }
+
+  private:
+    /** Replay cursor over a branch trace. */
+    struct Cursor
+    {
+        /** Monotonic element index (modulo trace length when used). */
+        uint64_t elemIdx = 0;
+        /** Remaining passes of the current element's pattern. */
+        uint32_t passRem = 0;
+        /** Remaining branch executions in the current pass. */
+        uint32_t patRem = 0;
+    };
+
+    struct Entry
+    {
+        bool valid = false;
+        uint64_t pc = 0;
+        const core::BranchTrace *trace = nullptr;
+        Cursor fetch;
+        Cursor commit;
+        uint64_t lastUse = 0;
+    };
+
+    Cursor initialCursor(const core::BranchTrace &trace) const;
+    /** Target of the cursor's current position. */
+    uint64_t targetAt(const core::BranchTrace &trace,
+                      const Cursor &cur) const;
+    /** Advance a cursor by one branch execution. */
+    void advance(const core::BranchTrace &trace, Cursor &cur) const;
+    Entry *find(uint64_t pc);
+    Entry &victimFor(uint64_t pc);
+    void evict(Entry &entry);
+
+    const core::TraceImage &image_;
+    BtuParams params_;
+    std::vector<Entry> entries_; ///< sets x ways
+    /** Memory-backed CPT area (committed cursors of evicted branches). */
+    std::map<uint64_t, Cursor> backingStore_;
+    uint64_t useClock_ = 0;
+    BtuStats stats_;
+};
+
+} // namespace cassandra::btu
+
+#endif // CASSANDRA_BTU_BTU_HH

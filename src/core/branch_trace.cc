@@ -1,0 +1,57 @@
+#include "core/branch_trace.hh"
+
+namespace cassandra::core {
+
+VanillaTrace
+toVanilla(const RawTrace &raw)
+{
+    VanillaTrace out;
+    for (uint64_t target : raw) {
+        if (!out.empty() && out.back().target == target)
+            out.back().count++;
+        else
+            out.push_back({target, 1});
+    }
+    return out;
+}
+
+RawTrace
+expandVanilla(const VanillaTrace &vanilla)
+{
+    RawTrace out;
+    for (const auto &e : vanilla)
+        for (uint64_t i = 0; i < e.count; i++)
+            out.push_back(e.target);
+    return out;
+}
+
+uint64_t
+vanillaDynamicCount(const VanillaTrace &vanilla)
+{
+    uint64_t n = 0;
+    for (const auto &e : vanilla)
+        n += e.count;
+    return n;
+}
+
+TraceCollector::TraceCollector(sim::Machine &machine, bool crypto_only)
+{
+    const ir::Program &prog = machine.program();
+    machine.branchProbe = [this, &prog, crypto_only](
+        uint64_t pc, uint64_t target, const ir::Inst &) {
+        if (crypto_only && !prog.isCryptoPc(pc))
+            return;
+        raw_[pc].push_back(target);
+    };
+}
+
+std::map<uint64_t, VanillaTrace>
+TraceCollector::vanilla() const
+{
+    std::map<uint64_t, VanillaTrace> out;
+    for (const auto &[pc, raw] : raw_)
+        out.emplace(pc, toVanilla(raw));
+    return out;
+}
+
+} // namespace cassandra::core

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Raw and vanilla branch traces (paper §4.2, steps 1-2 of Figure 1).
+ *
+ * A raw trace logs, per static branch, the target PC of every dynamic
+ * execution of that branch (fall-through PC for not-taken conditional
+ * branches). A vanilla trace is its run-length encoding: repeating
+ * outcomes are aggregated into (target, count) run elements.
+ */
+
+#ifndef CASSANDRA_CORE_BRANCH_TRACE_HH
+#define CASSANDRA_CORE_BRANCH_TRACE_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace cassandra::core {
+
+/** Raw trace of a static branch: targets in execution order. */
+using RawTrace = std::vector<uint64_t>;
+
+/** One run element of a vanilla trace: target repeated count times. */
+struct RunElement
+{
+    uint64_t target = 0;
+    uint64_t count = 0;
+
+    bool
+    operator==(const RunElement &o) const
+    {
+        return target == o.target && count == o.count;
+    }
+};
+
+/** Vanilla trace: run-length-encoded raw trace. */
+using VanillaTrace = std::vector<RunElement>;
+
+/** Build the vanilla trace (RLE) of a raw trace. */
+VanillaTrace toVanilla(const RawTrace &raw);
+
+/** Expand a vanilla trace back into a raw trace (for tests). */
+RawTrace expandVanilla(const VanillaTrace &vanilla);
+
+/** Total number of dynamic branch executions covered by a vanilla trace. */
+uint64_t vanillaDynamicCount(const VanillaTrace &vanilla);
+
+/**
+ * Branch trace collector: attaches to a Machine's branch probe and
+ * records the raw trace of every executed static branch (step B of
+ * Algorithm 2). Only branches inside the program's crypto PC ranges are
+ * recorded when cryptoOnly is set.
+ */
+class TraceCollector
+{
+  public:
+    explicit TraceCollector(sim::Machine &machine, bool crypto_only = true);
+
+    /** Raw traces keyed by static branch PC. */
+    const std::map<uint64_t, RawTrace> &raw() const { return raw_; }
+
+    /** Vanilla traces of all collected branches. */
+    std::map<uint64_t, VanillaTrace> vanilla() const;
+
+  private:
+    std::map<uint64_t, RawTrace> raw_;
+};
+
+} // namespace cassandra::core
+
+#endif // CASSANDRA_CORE_BRANCH_TRACE_HH

@@ -1,0 +1,51 @@
+#include "core/contract.hh"
+
+namespace cassandra::core {
+
+std::vector<sim::Obs>
+contractTrace(const Workload &workload, int which)
+{
+    sim::Machine machine(workload.program);
+    machine.recordObservations = true;
+    if (workload.setInput)
+        workload.setInput(machine, which);
+    auto res = machine.run(workload.maxDynInsts);
+    if (!res.halted)
+        throw sim::SimError(workload.name + ": contract run did not halt");
+    return std::move(machine.observations);
+}
+
+std::vector<sim::Obs>
+cryptoCfSubtrace(const std::vector<sim::Obs> &full)
+{
+    std::vector<sim::Obs> out;
+    for (const auto &o : full) {
+        bool cf = o.kind == sim::ObsKind::Pc ||
+            o.kind == sim::ObsKind::Call || o.kind == sim::ObsKind::Ret ||
+            o.kind == sim::ObsKind::Jump;
+        if (o.crypto && cf)
+            out.push_back(o);
+    }
+    return out;
+}
+
+std::vector<sim::Obs>
+cryptoSubtrace(const std::vector<sim::Obs> &full)
+{
+    std::vector<sim::Obs> out;
+    for (const auto &o : full) {
+        if (o.crypto)
+            out.push_back(o);
+    }
+    return out;
+}
+
+bool
+isConstantTime(const Workload &workload)
+{
+    auto a = cryptoSubtrace(contractTrace(workload, contractInputA));
+    auto b = cryptoSubtrace(contractTrace(workload, contractInputB));
+    return a == b;
+}
+
+} // namespace cassandra::core

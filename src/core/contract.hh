@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Hardware-software contract machinery (paper Appendix A).
+ *
+ * The J.K^seq_ct contract trace of a program is the sequence of control
+ * flow and memory-address observations produced by sequential
+ * execution, each tagged with the crypto bit. Definition 1's crypto
+ * control flow trace C is the subtrace of crypto-tagged control flow
+ * observations — exactly what the BTU replays. Definition 3 (contract
+ * satisfaction) is checked end-to-end in the test suite by comparing
+ * hardware observation digests across secret inputs.
+ */
+
+#ifndef CASSANDRA_CORE_CONTRACT_HH
+#define CASSANDRA_CORE_CONTRACT_HH
+
+#include <vector>
+
+#include "core/workload.hh"
+#include "sim/machine.hh"
+
+namespace cassandra::core {
+
+/** Input indices for contract checks: same public parameters, two
+ * different secrets. Workloads bind these in setInput. */
+inline constexpr int contractInputA = 3;
+inline constexpr int contractInputB = 4;
+
+/** Full J.K^seq_ct contract trace of a workload under input which. */
+std::vector<sim::Obs> contractTrace(const Workload &workload, int which);
+
+/** Definition 1: crypto control flow subtrace C^seq_ct. */
+std::vector<sim::Obs> cryptoCfSubtrace(const std::vector<sim::Obs> &full);
+
+/** Crypto-tagged observations only (control flow + memory). */
+std::vector<sim::Obs> cryptoSubtrace(const std::vector<sim::Obs> &full);
+
+/**
+ * Constant-time check: the crypto-tagged observation traces under two
+ * secret-only input variants must be identical. This is the program
+ * property (J.K^seq_ct security) Cassandra assumes.
+ */
+bool isConstantTime(const Workload &workload);
+
+} // namespace cassandra::core
+
+#endif // CASSANDRA_CORE_CONTRACT_HH

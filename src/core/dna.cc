@@ -1,0 +1,63 @@
+#include "core/dna.hh"
+
+namespace cassandra::core {
+
+DnaEncoding
+encodeDna(const VanillaTrace &vanilla)
+{
+    DnaEncoding enc;
+    std::map<std::pair<uint64_t, uint64_t>, Symbol> seen;
+    for (const auto &e : vanilla) {
+        auto key = std::make_pair(e.target, e.count);
+        auto it = seen.find(key);
+        Symbol s;
+        if (it == seen.end()) {
+            s = static_cast<Symbol>(enc.letterTable.size());
+            seen.emplace(key, s);
+            enc.letterTable.push_back(e);
+        } else {
+            s = it->second;
+        }
+        enc.seq.push_back(s);
+    }
+    return enc;
+}
+
+VanillaTrace
+DnaEncoding::decode() const
+{
+    VanillaTrace out;
+    for (Symbol s : seq) {
+        const RunElement &e = letterTable[s];
+        if (!out.empty() && out.back().target == e.target)
+            out.back().count += e.count;
+        else
+            out.push_back(e);
+    }
+    return out;
+}
+
+std::string
+symbolName(Symbol s)
+{
+    // Match the paper's examples: A, C, G, T first, then the rest of the
+    // alphabet, then numbered letters for large alphabets.
+    static const char *first = "ACGT";
+    static const char *rest = "BDEFHIJKLMNOPQRSUVWXYZ";
+    if (s < 4)
+        return std::string(1, first[s]);
+    if (s < 4 + 22)
+        return std::string(1, rest[s - 4]);
+    return "L" + std::to_string(s);
+}
+
+std::string
+DnaEncoding::toString() const
+{
+    std::string out;
+    for (Symbol s : seq)
+        out += symbolName(s);
+    return out;
+}
+
+} // namespace cassandra::core

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * DNA encoding of vanilla traces (paper §4.2.1, step 3 of Figure 2).
+ *
+ * Each distinct (target, count) run element of a vanilla trace becomes
+ * one letter of a custom alphabet (the paper uses scikit-bio with a
+ * custom alphabet precisely because branches can have more than four
+ * outcomes). The vanilla trace then reads as a "DNA sequence" over
+ * those letters, ready for k-mers compression.
+ */
+
+#ifndef CASSANDRA_CORE_DNA_HH
+#define CASSANDRA_CORE_DNA_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/branch_trace.hh"
+
+namespace cassandra::core {
+
+/** A letter of the (unbounded) DNA alphabet. */
+using Symbol = uint32_t;
+
+/** A DNA sequence: one letter per vanilla run element occurrence. */
+using DnaSequence = std::vector<Symbol>;
+
+/** DNA encoding of a vanilla trace. */
+struct DnaEncoding
+{
+    /** The encoded sequence. */
+    DnaSequence seq;
+    /** letterTable[s] is the run element letter s stands for. */
+    std::vector<RunElement> letterTable;
+
+    /** Number of base letters (size of the used alphabet). */
+    size_t alphabetSize() const { return letterTable.size(); }
+
+    /** Decode back to a vanilla trace (adjacent equal runs re-merged). */
+    VanillaTrace decode() const;
+
+    /**
+     * Render with A, C, G, T, then E, F, ... for display; mirrors the
+     * paper's examples (e.g. "ACACG").
+     */
+    std::string toString() const;
+};
+
+/** Encode a vanilla trace as a DNA sequence. */
+DnaEncoding encodeDna(const VanillaTrace &vanilla);
+
+/** Display name of a DNA letter (A, C, G, T, E, F, ...). */
+std::string symbolName(Symbol s);
+
+} // namespace cassandra::core
+
+#endif // CASSANDRA_CORE_DNA_HH

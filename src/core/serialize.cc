@@ -1,0 +1,152 @@
+#include "core/serialize.hh"
+
+namespace cassandra::core {
+
+namespace {
+
+/** Little-endian bit writer. */
+class BitWriter
+{
+  public:
+    void
+    put(uint64_t value, int bits)
+    {
+        for (int i = 0; i < bits; i++) {
+            if (bitPos_ == 0)
+                bytes_.push_back(0);
+            if ((value >> i) & 1)
+                bytes_.back() |= static_cast<uint8_t>(1u << bitPos_);
+            bitPos_ = (bitPos_ + 1) % 8;
+        }
+    }
+
+    std::vector<uint8_t> take() { return std::move(bytes_); }
+
+  private:
+    std::vector<uint8_t> bytes_;
+    int bitPos_ = 0;
+};
+
+/** Little-endian bit reader. */
+class BitReader
+{
+  public:
+    explicit BitReader(const std::vector<uint8_t> &bytes) : bytes_(bytes)
+    {
+    }
+
+    uint64_t
+    get(int bits)
+    {
+        uint64_t v = 0;
+        for (int i = 0; i < bits; i++) {
+            size_t byte = pos_ / 8;
+            int bit = static_cast<int>(pos_ % 8);
+            if (byte < bytes_.size() && ((bytes_[byte] >> bit) & 1))
+                v |= 1ull << i;
+            pos_++;
+        }
+        return v;
+    }
+
+  private:
+    const std::vector<uint8_t> &bytes_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+std::vector<uint8_t>
+packTrace(const BranchTrace &trace)
+{
+    BitWriter w;
+    // Header: 5-bit pattern count, 12-bit element count (the
+    // checkpoint trace-index width bounds trace length), 3 flag bits.
+    w.put(trace.patternSet.size(), 5);
+    w.put(trace.elements.size(), 12);
+    w.put(trace.shortTrace ? 1 : 0, 1);
+    w.put(trace.singleTarget ? 1 : 0, 1);
+    w.put(trace.hasTrace() ? 1 : 0, 1);
+    for (const auto &pe : trace.patternSet) {
+        w.put(static_cast<uint64_t>(pe.targetOffset) &
+                  ((1u << TraceLimits::offsetBits) - 1),
+              TraceLimits::offsetBits);
+        w.put(pe.repetitions, 8);
+    }
+    for (const auto &te : trace.elements) {
+        w.put(te.patternIndex, 4);
+        // patternSize is 1..16: store size-1 in 4 bits.
+        w.put(static_cast<uint64_t>(te.patternSize - 1), 4);
+        w.put(te.patternCounter, 16);
+        w.put(te.traceCounter, 8);
+    }
+    return w.take();
+}
+
+BranchTrace
+unpackTrace(const std::vector<uint8_t> &bytes, uint64_t branch_pc)
+{
+    BitReader r(bytes);
+    BranchTrace trace;
+    trace.branchPc = branch_pc;
+    size_t patterns = r.get(5);
+    size_t elements = r.get(12);
+    trace.shortTrace = r.get(1) != 0;
+    trace.singleTarget = r.get(1) != 0;
+    bool has_trace = r.get(1) != 0;
+    if (!has_trace)
+        trace.rejection = TraceRejection::InputDependent;
+    for (size_t i = 0; i < patterns; i++) {
+        PatternElement pe;
+        uint64_t raw = r.get(TraceLimits::offsetBits);
+        // Sign-extend the 12-bit offset.
+        int32_t off = static_cast<int32_t>(raw);
+        if (off & (1 << (TraceLimits::offsetBits - 1)))
+            off -= 1 << TraceLimits::offsetBits;
+        pe.targetOffset = off;
+        pe.repetitions = static_cast<uint32_t>(r.get(8));
+        trace.patternSet.push_back(pe);
+    }
+    for (size_t i = 0; i < elements; i++) {
+        TraceElement te;
+        te.patternIndex = static_cast<uint8_t>(r.get(4));
+        te.patternSize = static_cast<uint8_t>(r.get(4) + 1);
+        te.patternCounter = static_cast<uint16_t>(r.get(16));
+        te.traceCounter = static_cast<uint16_t>(r.get(8));
+        trace.elements.push_back(te);
+    }
+    return trace;
+}
+
+size_t
+packedTraceBytes(const BranchTrace &trace)
+{
+    size_t bits = 5 + 12 + 3 +
+        trace.patternSet.size() * TraceLimits::patternElementBits +
+        trace.elements.size() * TraceLimits::traceElementBits;
+    return (bits + 7) / 8;
+}
+
+uint16_t
+packHint(const HintInfo &hint, uint64_t branch_pc)
+{
+    // 14 bits: single-target(1) | short-trace(1) | 12-bit offset. For
+    // single-target branches the offset field carries the target delta
+    // in instruction units; otherwise the trace-page offset.
+    uint16_t word = 0;
+    if (hint.singleTarget) {
+        word |= 1u << 13;
+        int64_t delta =
+            (static_cast<int64_t>(hint.targetPc) -
+             static_cast<int64_t>(branch_pc)) /
+            static_cast<int64_t>(ir::instBytes);
+        word |= static_cast<uint16_t>(delta & 0xfff);
+    } else {
+        if (hint.shortTrace)
+            word |= 1u << 12;
+        word |= static_cast<uint16_t>(hint.traceOffset & 0xfff);
+    }
+    return word;
+}
+
+} // namespace cassandra::core

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Bit-exact serialization of branch traces into data pages.
+ *
+ * This is the wire format Algorithm 2 embeds in the binary and the BTU
+ * fill path reads: a small header (pattern / trace element counts and
+ * flags) followed by bit-packed 20-bit pattern elements and 32-bit
+ * trace elements at the Figure 4 field widths. The simulator normally
+ * passes decoded structures around for speed; this module exists to
+ * pin down the storage format, validate the bit-width accounting and
+ * support the round-trip property tests.
+ */
+
+#ifndef CASSANDRA_CORE_SERIALIZE_HH
+#define CASSANDRA_CORE_SERIALIZE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trace_format.hh"
+#include "core/trace_image.hh"
+
+namespace cassandra::core {
+
+/** Pack a multi-target branch trace into its data-page bytes. */
+std::vector<uint8_t> packTrace(const BranchTrace &trace);
+
+/**
+ * Decode a data-page image back into a trace.
+ *
+ * @param bytes packed image from packTrace
+ * @param branch_pc the branch the trace belongs to (offsets are
+ *        PC-relative)
+ */
+BranchTrace unpackTrace(const std::vector<uint8_t> &bytes,
+                        uint64_t branch_pc);
+
+/** Exact packed size in bytes (header + bit-packed payload). */
+size_t packedTraceBytes(const BranchTrace &trace);
+
+/** Pack a 14-bit hint word (Figure: single-target, offset, short). */
+uint16_t packHint(const HintInfo &hint, uint64_t branch_pc);
+
+} // namespace cassandra::core
+
+#endif // CASSANDRA_CORE_SERIALIZE_HH

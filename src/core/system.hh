@@ -1,0 +1,79 @@
+/**
+ * @file
+ * End-to-end Cassandra system API.
+ *
+ * A System owns a workload and lazily produces everything an experiment
+ * needs: the Algorithm 2 trace image, the recorded dynamic instruction
+ * stream, and timing runs under any protection scheme. This is the
+ * primary entry point for examples and benches:
+ *
+ *   core::System sys(crypto::chacha20Bearssl());
+ *   auto base = sys.run(uarch::Scheme::UnsafeBaseline);
+ *   auto cass = sys.run(uarch::Scheme::Cassandra);
+ *   double speedup = double(base.stats.cycles) / cass.stats.cycles;
+ */
+
+#ifndef CASSANDRA_CORE_SYSTEM_HH
+#define CASSANDRA_CORE_SYSTEM_HH
+
+#include <memory>
+#include <optional>
+
+#include "btu/btu.hh"
+#include "core/tracegen.hh"
+#include "core/workload.hh"
+#include "uarch/pipeline.hh"
+
+namespace cassandra::core {
+
+/** Per-level cache activity snapshot. */
+struct CacheActivity
+{
+    uint64_t l1iAccesses = 0, l1iMisses = 0;
+    uint64_t l1dAccesses = 0, l1dMisses = 0;
+    uint64_t l2Accesses = 0, l2Misses = 0;
+    uint64_t l3Accesses = 0, l3Misses = 0;
+};
+
+/** Everything measured in one timing run. */
+struct ExperimentResult
+{
+    uarch::CoreStats stats;
+    btu::BtuStats btu; ///< zeroed for non-BTU schemes
+    uarch::BpuStats bpu;
+    CacheActivity caches;
+};
+
+/** Orchestrates analysis + simulation for one workload. */
+class System
+{
+  public:
+    explicit System(Workload workload);
+
+    const Workload &workload() const { return workload_; }
+
+    /** Algorithm 2 output (computed once, cached). */
+    const TraceGenResult &traces();
+
+    /** Dynamic instruction stream of the evaluation input (cached). */
+    const uarch::TimingTrace &timingTrace();
+
+    /** Run the timing model under a scheme. */
+    ExperimentResult run(uarch::Scheme scheme);
+    /** Run with explicit core parameters. */
+    ExperimentResult run(uarch::Scheme scheme,
+                         const uarch::CoreParams &params);
+
+    /** Functional run with output verification (eval input). */
+    bool verifyOutput() const;
+
+  private:
+    Workload workload_;
+    std::optional<TraceGenResult> traces_;
+    std::optional<uarch::TimingTrace> trace_;
+    bool taintAnnotated_ = false;
+};
+
+} // namespace cassandra::core
+
+#endif // CASSANDRA_CORE_SYSTEM_HH

@@ -1,0 +1,272 @@
+#include "core/trace_format.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cassandra::core {
+
+namespace {
+
+/** Split a run element into <=255-repetition pattern elements. */
+void
+appendSplit(std::vector<PatternElement> &out, int32_t offset, uint64_t count)
+{
+    while (count > 0) {
+        uint32_t step = static_cast<uint32_t>(
+            std::min<uint64_t>(count, TraceLimits::maxRepetitions));
+        out.push_back({offset, step});
+        count -= step;
+    }
+}
+
+/** Length of the longest suffix of a that is a prefix of b. */
+size_t
+overlapLen(const std::vector<PatternElement> &a,
+           const std::vector<PatternElement> &b)
+{
+    size_t max_len = std::min(a.size(), b.size());
+    for (size_t len = max_len; len > 0; len--) {
+        if (std::equal(b.begin(), b.begin() + len, a.end() - len))
+            return len;
+    }
+    return 0;
+}
+
+/** True if needle occurs as a substring of hay. */
+bool
+contains(const std::vector<PatternElement> &hay,
+         const std::vector<PatternElement> &needle)
+{
+    if (needle.size() > hay.size())
+        return false;
+    for (size_t i = 0; i + needle.size() <= hay.size(); i++) {
+        if (std::equal(needle.begin(), needle.end(), hay.begin() + i))
+            return true;
+    }
+    return false;
+}
+
+/** Position of needle in hay; hay must contain needle. */
+size_t
+findIn(const std::vector<PatternElement> &hay,
+       const std::vector<PatternElement> &needle)
+{
+    for (size_t i = 0; i + needle.size() <= hay.size(); i++) {
+        if (std::equal(needle.begin(), needle.end(), hay.begin() + i))
+            return i;
+    }
+    return hay.size(); // unreachable by contract
+}
+
+/**
+ * Greedy superstring of the pattern strings (compact pattern-set form,
+ * paper §5.2: patterns ACT and CTA stored as ACTA).
+ */
+std::vector<PatternElement>
+mergePatterns(std::vector<std::vector<PatternElement>> strings)
+{
+    // Drop strings contained in another string.
+    std::vector<std::vector<PatternElement>> kept;
+    for (size_t i = 0; i < strings.size(); i++) {
+        bool redundant = false;
+        for (size_t j = 0; j < strings.size() && !redundant; j++) {
+            if (i == j)
+                continue;
+            if (strings[i].size() < strings[j].size() &&
+                contains(strings[j], strings[i])) {
+                redundant = true;
+            } else if (strings[i] == strings[j] && j < i) {
+                redundant = true;
+            }
+        }
+        if (!redundant)
+            kept.push_back(strings[i]);
+    }
+    // Greedily merge the pair with the largest overlap.
+    while (kept.size() > 1) {
+        size_t best_i = 0, best_j = 1, best_ov = 0;
+        bool found = false;
+        for (size_t i = 0; i < kept.size(); i++) {
+            for (size_t j = 0; j < kept.size(); j++) {
+                if (i == j)
+                    continue;
+                size_t ov = overlapLen(kept[i], kept[j]);
+                if (ov > best_ov) {
+                    best_ov = ov;
+                    best_i = i;
+                    best_j = j;
+                    found = true;
+                }
+            }
+        }
+        if (!found) {
+            // No overlaps left; concatenate everything.
+            std::vector<PatternElement> all;
+            for (const auto &s : kept)
+                all.insert(all.end(), s.begin(), s.end());
+            return all;
+        }
+        std::vector<PatternElement> merged = kept[best_i];
+        merged.insert(merged.end(), kept[best_j].begin() + best_ov,
+                      kept[best_j].end());
+        if (best_i > best_j)
+            std::swap(best_i, best_j);
+        kept.erase(kept.begin() + best_j);
+        kept.erase(kept.begin() + best_i);
+        kept.push_back(merged);
+    }
+    return kept.empty() ? std::vector<PatternElement>{} : kept[0];
+}
+
+} // namespace
+
+BranchTrace
+makeSingleTarget(uint64_t branch_pc, uint64_t target_pc)
+{
+    BranchTrace bt;
+    bt.branchPc = branch_pc;
+    bt.singleTarget = true;
+    bt.singleTargetPc = target_pc;
+    return bt;
+}
+
+BranchTrace
+makeInputDependent(uint64_t branch_pc)
+{
+    BranchTrace bt;
+    bt.branchPc = branch_pc;
+    bt.rejection = TraceRejection::InputDependent;
+    return bt;
+}
+
+BranchTrace
+encodeBranchTrace(uint64_t branch_pc, const KmersResult &kmers)
+{
+    BranchTrace bt;
+    bt.branchPc = branch_pc;
+
+    // Distinct symbols of K in first-use order, expanded to split
+    // pattern-element strings.
+    std::vector<Symbol> distinct;
+    for (Symbol s : kmers.seq) {
+        if (std::find(distinct.begin(), distinct.end(), s) ==
+            distinct.end()) {
+            distinct.push_back(s);
+        }
+    }
+
+    std::vector<std::vector<PatternElement>> pattern_strings;
+    int64_t min_off = -(1 << (TraceLimits::offsetBits - 1));
+    int64_t max_off = (1 << (TraceLimits::offsetBits - 1)) - 1;
+    for (Symbol s : distinct) {
+        std::vector<PatternElement> str;
+        for (const RunElement &e : kmers.expandSymbol(s)) {
+            int64_t delta =
+                (static_cast<int64_t>(e.target) -
+                 static_cast<int64_t>(branch_pc)) /
+                static_cast<int64_t>(ir::instBytes);
+            if (delta < min_off || delta > max_off) {
+                bt.rejection = TraceRejection::OffsetOverflow;
+                return bt;
+            }
+            appendSplit(str, static_cast<int32_t>(delta), e.count);
+        }
+        pattern_strings.push_back(std::move(str));
+    }
+
+    bt.patternSet = mergePatterns(pattern_strings);
+    if (bt.patternSet.size() > TraceLimits::entryElements) {
+        bt.rejection = TraceRejection::PatternOverflow;
+        bt.patternSet.clear();
+        return bt;
+    }
+
+    // Lay out trace elements from the RLE'd K.
+    for (const auto &te : kmers.traceRle()) {
+        // Locate this symbol's (split) pattern string in the merged set.
+        std::vector<PatternElement> str;
+        uint64_t pattern_counter = 0;
+        for (const RunElement &e : kmers.expandSymbol(te.symbol)) {
+            int64_t delta =
+                (static_cast<int64_t>(e.target) -
+                 static_cast<int64_t>(branch_pc)) /
+                static_cast<int64_t>(ir::instBytes);
+            appendSplit(str, static_cast<int32_t>(delta), e.count);
+            pattern_counter += e.count;
+        }
+        if (pattern_counter > TraceLimits::maxPatternCounter) {
+            bt.rejection = TraceRejection::PatternOverflow;
+            bt.patternSet.clear();
+            bt.elements.clear();
+            return bt;
+        }
+        size_t pos = findIn(bt.patternSet, str);
+        uint64_t passes = te.count;
+        while (passes > 0) {
+            uint16_t step = static_cast<uint16_t>(
+                std::min<uint64_t>(passes, TraceLimits::maxTraceCounter));
+            TraceElement el;
+            el.patternIndex = static_cast<uint8_t>(pos);
+            el.patternSize = static_cast<uint8_t>(str.size());
+            el.patternCounter = static_cast<uint16_t>(pattern_counter);
+            el.traceCounter = step;
+            bt.elements.push_back(el);
+            passes -= step;
+        }
+    }
+
+    bt.shortTrace = bt.elements.size() <= TraceLimits::entryElements;
+    return bt;
+}
+
+size_t
+BranchTrace::storageBits() const
+{
+    if (singleTarget || !hasTrace())
+        return 0;
+    return patternSet.size() * TraceLimits::patternElementBits +
+        elements.size() * TraceLimits::traceElementBits;
+}
+
+VanillaTrace
+BranchTrace::expand() const
+{
+    VanillaTrace out;
+    auto push = [&](uint64_t target, uint64_t count) {
+        if (!out.empty() && out.back().target == target)
+            out.back().count += count;
+        else
+            out.push_back({target, count});
+    };
+    for (const TraceElement &el : elements) {
+        for (uint32_t pass = 0; pass < el.traceCounter; pass++) {
+            for (uint8_t i = 0; i < el.patternSize; i++) {
+                const PatternElement &pe =
+                    patternSet[el.patternIndex + i];
+                push(targetOf(pe), pe.repetitions);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+BranchTrace::toString() const
+{
+    std::ostringstream os;
+    os << "branch 0x" << std::hex << branchPc << std::dec;
+    if (singleTarget) {
+        os << " single-target -> 0x" << std::hex << singleTargetPc
+           << std::dec;
+        return os.str();
+    }
+    if (rejection == TraceRejection::InputDependent)
+        return os.str() + " input-dependent (stall)";
+    if (rejection != TraceRejection::None)
+        return os.str() + " rejected (stall)";
+    os << " patterns[" << patternSet.size() << "] trace["
+       << elements.size() << "]" << (shortTrace ? " short" : "");
+    return os.str();
+}
+
+} // namespace cassandra::core

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Hardware trace representation (paper §5.2, Figure 4).
+ *
+ * Per static branch, a trace consists of (1) a pattern set built from
+ * the k-mers patterns, storing all possible branch outcomes, and (2) a
+ * branch trace built from the k-mers trace K. Bit widths:
+ *
+ *   Pattern element    = 12-bit signed target offset + 8-bit
+ *                        repetitions                          (20 bits)
+ *   Trace element      = 4-bit pattern index + 4-bit pattern size +
+ *                        16-bit pattern counter + 8-bit trace
+ *                        counter                              (32 bits)
+ *   Checkpoint element = 12-bit trace index + 16-bit latest pattern
+ *                        counter + 8-bit latest trace counter +
+ *                        16-bit original pattern counter + 8-bit
+ *                        original trace counter               (60 bits)
+ *
+ * With 16 entries of 16 elements in the PAT and TRC plus 16 checkpoint
+ * elements, the BTU stores 14,272 bits = 1.74 KiB, matching Table 3.
+ * (The figure in the paper lists field widths {4, 8, 16, 4}; we assign
+ * 4 bits to the pattern size — which never exceeds 16 — and 8 to the
+ * trace counter; the total is identical.)
+ *
+ * Counters that overflow a field are split across duplicated elements,
+ * the paper's delta x 300 -> delta x 255 . delta x 45 rule.
+ */
+
+#ifndef CASSANDRA_CORE_TRACE_FORMAT_HH
+#define CASSANDRA_CORE_TRACE_FORMAT_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/kmers.hh"
+
+namespace cassandra::core {
+
+/** Field-width limits of the hardware encoding. */
+struct TraceLimits
+{
+    static constexpr int offsetBits = 12;       ///< pattern target offset
+    static constexpr uint32_t maxRepetitions = 255;   ///< 8-bit
+    static constexpr uint32_t maxPatternCounter = 65535; ///< 16-bit
+    static constexpr uint32_t maxTraceCounter = 255;  ///< 8-bit
+    static constexpr size_t entryElements = 16; ///< elements per BTU entry
+    static constexpr int patternElementBits = 20;
+    static constexpr int traceElementBits = 32;
+    static constexpr int checkpointElementBits = 60;
+    static constexpr int hintBitsPerBranch = 14; ///< paper §5.2
+};
+
+/** One pattern element: a branch outcome and its repetition count. */
+struct PatternElement
+{
+    /** Signed (target - branch PC) in instruction units; 12-bit. */
+    int32_t targetOffset = 0;
+    /** Number of consecutive repetitions; 8-bit. */
+    uint32_t repetitions = 0;
+
+    bool
+    operator==(const PatternElement &o) const
+    {
+        return targetOffset == o.targetOffset &&
+            repetitions == o.repetitions;
+    }
+};
+
+/** One trace element: which pattern to replay and how often. */
+struct TraceElement
+{
+    uint8_t patternIndex = 0;   ///< 4-bit position in the pattern set
+    uint8_t patternSize = 0;    ///< 4-bit count of pattern elements
+    uint16_t patternCounter = 0;///< 16-bit branch executions per pass
+    uint16_t traceCounter = 0;  ///< 8-bit passes before advancing
+};
+
+/** Architectural checkpoint of a branch's trace progress (Fig. 4(c)). */
+struct CheckpointElement
+{
+    uint16_t traceIndex = 0;          ///< 12-bit index into the trace
+    uint16_t latestPatternCounter = 0;///< remaining in current pattern
+    uint16_t latestTraceCounter = 0;  ///< remaining passes
+    uint16_t originalPatternCounter = 0; ///< refresh value (head)
+    uint16_t originalTraceCounter = 0;   ///< refresh value (head)
+};
+
+/** Why a branch could not get a hardware trace. */
+enum class TraceRejection : uint8_t
+{
+    None,
+    InputDependent,  ///< K differs across inputs (Algorithm 2 diff)
+    PatternOverflow, ///< merged pattern set exceeds 16 elements
+    OffsetOverflow,  ///< a target offset exceeds 12 signed bits
+};
+
+/** The full hardware trace of one static branch. */
+struct BranchTrace
+{
+    uint64_t branchPc = 0;
+    /** Single-target branches carry only a hint, no trace. */
+    bool singleTarget = false;
+    uint64_t singleTargetPc = 0;
+    /** Trace fits in one TRC entry (<= 16 elements). */
+    bool shortTrace = false;
+    /** No replayable trace; fetch stalls until the branch resolves. */
+    TraceRejection rejection = TraceRejection::None;
+
+    std::vector<PatternElement> patternSet; ///< <= 16 elements
+    std::vector<TraceElement> elements;     ///< wraps at the end (EoT)
+
+    bool hasTrace() const
+    {
+        return !singleTarget && rejection == TraceRejection::None;
+    }
+
+    /** Resolve a pattern element to an absolute target PC. */
+    uint64_t
+    targetOf(const PatternElement &pe) const
+    {
+        return branchPc +
+            static_cast<int64_t>(pe.targetOffset) *
+            static_cast<int64_t>(ir::instBytes);
+    }
+
+    /** Packed storage cost in bits (patterns + trace elements). */
+    size_t storageBits() const;
+
+    /** Expand the encoded trace back to a vanilla trace (for tests). */
+    VanillaTrace expand() const;
+
+    std::string toString() const;
+};
+
+/**
+ * Encode a compressed k-mers result into the hardware format.
+ *
+ * Builds the compact overlapped pattern-set superstring (the paper's
+ * ACT + CTA -> ACTA rule), splits counters to field widths and lays out
+ * trace elements. Returns a BranchTrace whose rejection field records
+ * any hardware limit that was exceeded.
+ */
+BranchTrace encodeBranchTrace(uint64_t branch_pc, const KmersResult &kmers);
+
+/** Encode a single-target branch (hint only). */
+BranchTrace makeSingleTarget(uint64_t branch_pc, uint64_t target_pc);
+
+/** Encode an input-dependent branch (no trace, stall-until-resolve). */
+BranchTrace makeInputDependent(uint64_t branch_pc);
+
+} // namespace cassandra::core
+
+#endif // CASSANDRA_CORE_TRACE_FORMAT_HH

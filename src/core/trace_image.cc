@@ -1,0 +1,36 @@
+#include "core/trace_image.hh"
+
+namespace cassandra::core {
+
+void
+TraceImage::add(const BranchTrace &trace)
+{
+    HintInfo hint;
+    hint.singleTarget = trace.singleTarget;
+    hint.shortTrace = trace.shortTrace;
+    hint.targetPc = trace.singleTargetPc;
+    hint.traceOffset = static_cast<uint32_t>(traceBytes_);
+    hints_[trace.branchPc] = hint;
+    if (!trace.singleTarget) {
+        traces_[trace.branchPc] = trace;
+        // Serialized layout: 4-byte header (element/pattern counts) +
+        // bit-packed pattern and trace elements, byte-rounded.
+        traceBytes_ += 4 + (trace.storageBits() + 7) / 8;
+    }
+}
+
+const HintInfo *
+TraceImage::hint(uint64_t pc) const
+{
+    auto it = hints_.find(pc);
+    return it == hints_.end() ? nullptr : &it->second;
+}
+
+const BranchTrace *
+TraceImage::trace(uint64_t pc) const
+{
+    auto it = traces_.find(pc);
+    return it == traces_.end() ? nullptr : &it->second;
+}
+
+} // namespace cassandra::core

@@ -1,0 +1,147 @@
+#include "core/tracegen.hh"
+
+#include <chrono>
+
+namespace cassandra::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Collect raw traces of all crypto branches under one input. */
+std::map<uint64_t, RawTrace>
+collectRun(const Workload &w, int which)
+{
+    sim::Machine machine(w.program);
+    TraceCollector collector(machine, /*crypto_only=*/true);
+    if (w.setInput)
+        w.setInput(machine, which);
+    auto res = machine.run(w.maxDynInsts);
+    if (!res.halted) {
+        throw sim::SimError(w.name + ": run exceeded instruction budget (" +
+                            std::to_string(res.instCount) + ")");
+    }
+    return collector.raw();
+}
+
+} // namespace
+
+std::vector<const BranchRecord *>
+TraceGenResult::multiTarget() const
+{
+    std::vector<const BranchRecord *> out;
+    for (const auto &r : records) {
+        if (!r.singleTarget)
+            out.push_back(&r);
+    }
+    return out;
+}
+
+TraceGenResult
+generateTraces(const Workload &workload, const KmersParams &params)
+{
+    TraceGenResult out;
+    out.image.cryptoRanges = workload.program.cryptoRanges;
+
+    // Steps A + B: one instrumented run per analysis input collects the
+    // raw traces of every static branch that appears during execution
+    // (the per-branch loop of Algorithm 2 then walks the union set).
+    auto t0 = Clock::now();
+    auto raw1 = collectRun(workload, 0);
+    auto raw2 = collectRun(workload, 1);
+    out.timings.rawSec = secondsSince(t0);
+
+    // Step A bookkeeping: the static branch set is the union of the
+    // branches seen under either input.
+    t0 = Clock::now();
+    std::map<uint64_t, bool> unique_branches;
+    for (const auto &[pc, trace] : raw1)
+        unique_branches[pc] = true;
+    for (const auto &[pc, trace] : raw2)
+        unique_branches[pc] = true;
+    out.timings.detectSec = secondsSince(t0);
+
+    for (const auto &[pc, seen] : unique_branches) {
+        BranchRecord rec;
+        rec.pc = pc;
+
+        auto it1 = raw1.find(pc);
+        auto it2 = raw2.find(pc);
+        if (it1 == raw1.end() || it2 == raw2.end()) {
+            // Executed under only one input: control flow itself is
+            // input-dependent.
+            rec.inputDependent = true;
+            rec.rejection = TraceRejection::InputDependent;
+            out.image.add(makeInputDependent(pc));
+            out.records.push_back(rec);
+            continue;
+        }
+
+        // Step C: vanilla traces.
+        t0 = Clock::now();
+        VanillaTrace v1 = toVanilla(it1->second);
+        VanillaTrace v2 = toVanilla(it2->second);
+        out.timings.vanillaSec += secondsSince(t0);
+        rec.vanillaSize = v1.size();
+
+        // Single-target: every execution went to the same place under
+        // both inputs (vanilla trace size is already 1).
+        if (v1.size() == 1 && v2.size() == 1 &&
+            v1[0].target == v2[0].target) {
+            rec.singleTarget = true;
+            out.image.add(makeSingleTarget(pc, v1[0].target));
+            out.records.push_back(rec);
+            continue;
+        }
+
+        // Input-dependence diff. Comparing the vanilla traces is
+        // equivalent to the paper's diff(K1, K2): Algorithm 1 is
+        // deterministic, so equal vanilla traces yield equal K and
+        // unequal vanilla traces yield unequal expansions.
+        if (!(v1 == v2)) {
+            rec.inputDependent = true;
+            rec.rejection = TraceRejection::InputDependent;
+            out.image.add(makeInputDependent(pc));
+            out.records.push_back(rec);
+            continue;
+        }
+
+        // Steps D + E: DNA encoding and k-mers compression.
+        t0 = Clock::now();
+        DnaEncoding dna = encodeDna(v1);
+        out.timings.dnaSec += secondsSince(t0);
+
+        t0 = Clock::now();
+        KmersResult kmers = compressKmers(dna, params);
+        out.timings.kmersSec += secondsSince(t0);
+        rec.kmersSize = kmers.totalSize();
+
+        // Hardware encoding + embedding. If the merged pattern set of
+        // a branch does not fit one PAT entry, recompress with smaller
+        // maximum pattern sizes — the paper's §4.2.1 knob of "starting
+        // with smaller and more frequent patterns".
+        t0 = Clock::now();
+        BranchTrace bt = encodeBranchTrace(pc, kmers);
+        for (int retry_k = params.maxK / 2;
+             bt.rejection == TraceRejection::PatternOverflow &&
+             retry_k >= 2;
+             retry_k /= 2) {
+            KmersParams retry = params;
+            retry.maxK = retry_k;
+            bt = encodeBranchTrace(pc, compressKmers(dna, retry));
+        }
+        rec.rejection = bt.rejection;
+        out.image.add(bt);
+        out.timings.embedSec += secondsSince(t0);
+        out.records.push_back(rec);
+    }
+    return out;
+}
+
+} // namespace cassandra::core

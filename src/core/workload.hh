@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Workload abstraction shared by the analysis pipeline, the timing
+ * model and the benches.
+ *
+ * A workload is an assembled program plus input bindings. Algorithm 2
+ * runs the binary twice with two different inputs (indices 0 and 1) to
+ * detect input-dependent branches; index 2 is the evaluation input used
+ * for timing runs. The two analysis inputs must differ in secrets and,
+ * where applicable, in public non-standard parameters (e.g. stream
+ * lengths) so that stream loops are correctly flagged input-dependent.
+ */
+
+#ifndef CASSANDRA_CORE_WORKLOAD_HH
+#define CASSANDRA_CORE_WORKLOAD_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/program.hh"
+#include "sim/machine.hh"
+
+namespace cassandra::core {
+
+/** Secret memory region annotation (used by the ProSpeCT model). */
+struct SecretRegion
+{
+    uint64_t lo = 0;
+    uint64_t hi = 0; ///< half-open
+
+    bool contains(uint64_t addr) const { return addr >= lo && addr < hi; }
+};
+
+/** An executable workload with input bindings. */
+struct Workload
+{
+    std::string name;
+    /** Suite label: "BearSSL", "OpenSSL", "PQC" or "Synthetic". */
+    std::string suite;
+    ir::Program program;
+    /**
+     * Bind input #which (0/1 analysis, 2 evaluation) by writing the
+     * machine's data memory / registers before the run.
+     */
+    std::function<void(sim::Machine &, int which)> setInput;
+    /** Verify the output of an evaluation run (nullptr = skip). */
+    std::function<bool(const sim::Machine &)> check;
+    /** Dynamic instruction cap for a single run. */
+    uint64_t maxDynInsts = 100'000'000;
+    /** ProSpeCT secret annotations (empty = nothing tainted). */
+    std::vector<SecretRegion> secretRegions;
+    /** Fraction of dynamic work that is sandboxed code (Fig. 8 mixes). */
+    double sandboxFraction = 0.0;
+};
+
+} // namespace cassandra::core
+
+#endif // CASSANDRA_CORE_WORKLOAD_HH

@@ -1,0 +1,517 @@
+#include "crypto/kernels/aes_kernel.hh"
+
+#include "crypto/ref/aes128.hh"
+
+namespace cassandra::crypto {
+
+namespace {
+
+// gf_mul register plan (leaf): x18..x23.
+constexpr RegId gp = 18, ga = 19, gb = 20, gi = 21, gt = 22, gt2 = 23;
+// sbox/inverse plan: x24..x27 (live across gf_mul calls? no - gf_mul
+// clobbers x18..x23 only).
+constexpr RegId sq = 24, sr = 25, sb2 = 26, si = 27;
+// aes_block plan: x28..x38.
+constexpr RegId bst = 28, bout = 29, bin = 30, brk = 31, brnd = 32,
+                bi = 33, bt = 34, bt2 = 35, bt3 = 36, bt4 = 37, bt5 = 38;
+// ctr/cbc drivers: x39..x45.
+constexpr RegId coff = 39, clen = 40, cmsg = 41, cout = 42, ct = 43,
+                ct2 = 44, ct3 = 45;
+
+/** Inline xtime: rd = ((rs << 1) ^ (0x1b if rs & 0x80)) & 0xff.
+ * Branchless; clobbers t. */
+void
+emitXtime(Assembler &as, RegId rd, RegId rs, RegId t)
+{
+    as.shri(t, rs, 7);
+    as.sub(t, ir::regZero, t); // mask = -(rs >> 7)
+    as.andi(t, t, 0x1b);
+    as.shli(rd, rs, 1);
+    as.andi(rd, rd, 0xff);
+    as.xor_(rd, rd, t);
+}
+
+} // namespace
+
+void
+emitAes(Assembler &as)
+{
+    as.allocData("aes_st", 16, 8);
+    as.allocData("aes_t2", 16, 8);
+
+    // Inline branchless GF(2^8) product: dst = x * y; clobbers ga, gb,
+    // gt, gt2 and dst. x/y may alias ga/gb.
+    auto gf_mul_inline = [&](RegId dst, RegId x, RegId y) {
+        if (y != gb)
+            as.mv(gb, y);
+        if (x != ga)
+            as.mv(ga, x);
+        as.li(gp, 0);
+        for (int i = 0; i < 8; i++) {
+            as.andi(gt, gb, 1);
+            as.sub(gt, ir::regZero, gt); // mask
+            as.and_(gt, gt, ga);
+            as.xor_(gp, gp, gt);
+            if (i < 7) {
+                emitXtime(as, ga, ga, gt2);
+                as.shri(gb, gb, 1);
+            }
+        }
+        if (dst != gp)
+            as.mv(dst, gp);
+    };
+
+    // aes_sbox(a0) -> a0: GF inverse (x^254, straight-line square-and-
+    // multiply chain) + affine map. Zero maps to zero automatically
+    // since every product factor is zero.
+    as.beginFunction("aes_sbox", true);
+    as.mv(sq, a0);
+    as.li(sr, 1);
+    bool first = true;
+    for (int k = 1; k <= 7; k++) {
+        gf_mul_inline(sq, sq, sq); // sq = sq^2
+        if (first) {
+            as.mv(sr, sq);
+            first = false;
+        } else {
+            gf_mul_inline(sr, sr, sq);
+        }
+    }
+    // affine: x = r; y = r; 4x (y = rotl8(y); x ^= y); x ^= 0x63.
+    as.mv(sb2, sr);
+    for (int i = 0; i < 4; i++) {
+        as.shli(gt, sr, 1);
+        as.shri(gt2, sr, 7);
+        as.or_(sr, gt, gt2);
+        as.andi(sr, sr, 0xff);
+        as.xor_(sb2, sb2, sr);
+    }
+    as.xori(a0, sb2, 0x63);
+    as.ret();
+    as.endFunction();
+
+    // aes_expand(a0 = rk176, a1 = key16)
+    as.beginFunction("aes_expand", true);
+    as.push(ir::regRa);
+    constexpr RegId erk = 46, ei = 47, ercon = 48, et = 49, et2 = 50,
+                    et3 = 51;
+    as.mv(erk, a0);
+    for (int i = 0; i < 16; i++) {
+        as.lb(et, a1, i);
+        as.sb(et, erk, i);
+    }
+    as.li(ercon, 1);
+    as.li(ei, 16);
+    as.label(".aes_exp");
+    // t[0..3] = rk[i-4 .. i-1]
+    as.add(et3, erk, ei);
+    // every 16 bytes: rotword+subword+rcon
+    as.andi(et, ei, 15);
+    as.bne(et, ir::regZero, ".aes_exp_plain");
+    // t0 = sbox(rk[i-3]) ^ rcon ; t1 = sbox(rk[i-2]) ;
+    // t2 = sbox(rk[i-1]) ; t3 = sbox(rk[i-4])
+    as.lb(a0, et3, -3);
+    as.call("aes_sbox");
+    as.xor_(et, a0, ercon);
+    as.lb(a0, et3, -2);
+    as.call("aes_sbox");
+    as.mv(et2, a0);
+    // stash t0/t1 on the stack around further calls
+    as.push(et);
+    as.push(et2);
+    as.lb(a0, et3, -1);
+    as.call("aes_sbox");
+    as.mv(et2, a0); // t2
+    as.lb(a0, et3, -4);
+    as.call("aes_sbox"); // t3 in a0
+    as.mv(et3, a0);
+    // update rcon = xtime(rcon)
+    emitXtime(as, ercon, ercon, et);
+    // reload t1, t0
+    as.pop(bt);  // t1
+    as.pop(bt2); // t0
+    // rk[i+j] = rk[i-16+j] ^ t[j]
+    as.add(et, erk, ei);
+    as.lb(bt3, et, -16);
+    as.xor_(bt3, bt3, bt2);
+    as.sb(bt3, et, 0);
+    as.lb(bt3, et, -15);
+    as.xor_(bt3, bt3, bt);
+    as.sb(bt3, et, 1);
+    as.lb(bt3, et, -14);
+    as.xor_(bt3, bt3, et2);
+    as.sb(bt3, et, 2);
+    as.lb(bt3, et, -13);
+    as.xor_(bt3, bt3, et3);
+    as.sb(bt3, et, 3);
+    as.j(".aes_exp_next");
+
+    as.label(".aes_exp_plain");
+    as.add(et, erk, ei);
+    for (int j = 0; j < 4; j++) {
+        as.lb(et2, et, -16 + j);
+        as.lb(et3, et, -4 + j);
+        as.xor_(et2, et2, et3);
+        as.sb(et2, et, j);
+    }
+    as.label(".aes_exp_next");
+    as.addi(ei, ei, 4);
+    as.slti(et, ei, 176);
+    as.bne(et, ir::regZero, ".aes_exp");
+    as.pop(ir::regRa);
+    as.ret();
+    as.endFunction();
+
+    // aes_block(a0 = out, a1 = in, a2 = rk)
+    as.beginFunction("aes_block", true);
+    as.push(ir::regRa);
+    as.mv(bout, a0);
+    as.mv(bin, a1);
+    as.mv(brk, a2);
+    as.la(bst, "aes_st");
+    // initial AddRoundKey
+    for (int i = 0; i < 16; i++) {
+        as.lb(bt, bin, i);
+        as.lb(bt2, brk, i);
+        as.xor_(bt, bt, bt2);
+        as.sb(bt, bst, i);
+    }
+    as.forLoop(brnd, 1, 11, [&] {
+        // SubBytes
+        as.forLoop(bi, 0, 16, [&] {
+            as.add(bt, bst, bi);
+            as.push(bi);
+            as.lb(a0, bt, 0);
+            as.push(bt);
+            as.call("aes_sbox");
+            as.pop(bt);
+            as.sb(a0, bt, 0);
+            as.pop(bi);
+        });
+        // ShiftRows into aes_t2 (column-major layout).
+        as.la(bt3, "aes_t2");
+        for (int col = 0; col < 4; col++) {
+            for (int row = 0; row < 4; row++) {
+                as.lb(bt, bst, 4 * ((col + row) % 4) + row);
+                as.sb(bt, bt3, 4 * col + row);
+            }
+        }
+        // MixColumns for rounds 1..9; copy back for round 10. The
+        // round test branch depends only on the public round counter.
+        as.slti(bt, brnd, 10);
+        as.beq(bt, ir::regZero, ".aes_last_round");
+        for (int col = 0; col < 4; col++) {
+            // load column a0..a3 into bt..bt3? need 4 + temps; reuse
+            // registers bt, bt2, bt4, bt5 for the column.
+            as.la(bt3, "aes_t2");
+            as.lb(bt, bt3, 4 * col + 0);
+            as.lb(bt2, bt3, 4 * col + 1);
+            as.lb(bt4, bt3, 4 * col + 2);
+            as.lb(bt5, bt3, 4 * col + 3);
+            // s0 = xt(a0) ^ xt(a1) ^ a1 ^ a2 ^ a3
+            RegId x1 = 46, x2 = 47, acc = 48; // reuse expand temps
+            emitXtime(as, x1, bt, x2);
+            as.mv(acc, x1);
+            emitXtime(as, x1, bt2, x2);
+            as.xor_(acc, acc, x1);
+            as.xor_(acc, acc, bt2);
+            as.xor_(acc, acc, bt4);
+            as.xor_(acc, acc, bt5);
+            as.sb(acc, bst, 4 * col + 0);
+            // s1 = a0 ^ xt(a1) ^ xt(a2) ^ a2 ^ a3
+            emitXtime(as, x1, bt2, x2);
+            as.xor_(acc, bt, x1);
+            emitXtime(as, x1, bt4, x2);
+            as.xor_(acc, acc, x1);
+            as.xor_(acc, acc, bt4);
+            as.xor_(acc, acc, bt5);
+            as.sb(acc, bst, 4 * col + 1);
+            // s2 = a0 ^ a1 ^ xt(a2) ^ xt(a3) ^ a3
+            emitXtime(as, x1, bt4, x2);
+            as.xor_(acc, bt, bt2);
+            as.xor_(acc, acc, x1);
+            emitXtime(as, x1, bt5, x2);
+            as.xor_(acc, acc, x1);
+            as.xor_(acc, acc, bt5);
+            as.sb(acc, bst, 4 * col + 2);
+            // s3 = xt(a0) ^ a0 ^ a1 ^ a2 ^ xt(a3)
+            emitXtime(as, x1, bt, x2);
+            as.xor_(acc, x1, bt);
+            as.xor_(acc, acc, bt2);
+            as.xor_(acc, acc, bt4);
+            emitXtime(as, x1, bt5, x2);
+            as.xor_(acc, acc, x1);
+            as.sb(acc, bst, 4 * col + 3);
+        }
+        as.j(".aes_addkey");
+        as.label(".aes_last_round");
+        as.la(bt3, "aes_t2");
+        for (int i = 0; i < 16; i++) {
+            as.lb(bt, bt3, i);
+            as.sb(bt, bst, i);
+        }
+        as.label(".aes_addkey");
+        as.shli(bt2, brnd, 4); // round * 16
+        as.add(bt2, brk, bt2);
+        for (int i = 0; i < 16; i++) {
+            as.lb(bt, bst, i);
+            as.lb(bt4, bt2, i);
+            as.xor_(bt, bt, bt4);
+            as.sb(bt, bst, i);
+        }
+    });
+    for (int i = 0; i < 16; i++) {
+        as.lb(bt, bst, i);
+        as.sb(bt, bout, i);
+    }
+    as.pop(ir::regRa);
+    as.ret();
+    as.endFunction();
+
+    // aes_block2(a0 = out, a1 = in, a2 = rk): two full AES rounds
+    // (Haraka-style permutation; both rounds include MixColumns).
+    as.beginFunction("aes_block2", true);
+    as.push(ir::regRa);
+    as.mv(bout, a0);
+    as.mv(bin, a1);
+    as.mv(brk, a2);
+    as.la(bst, "aes_st");
+    for (int i = 0; i < 16; i++) {
+        as.lb(bt, bin, i);
+        as.lb(bt2, brk, i);
+        as.xor_(bt, bt, bt2);
+        as.sb(bt, bst, i);
+    }
+    for (int round = 1; round <= 2; round++) {
+        as.forLoop(bi, 0, 16, [&] {
+            as.add(bt, bst, bi);
+            as.lb(a0, bt, 0);
+            as.push(bt);
+            as.call("aes_sbox");
+            as.pop(bt);
+            as.sb(a0, bt, 0);
+        });
+        as.la(bt3, "aes_t2");
+        for (int col = 0; col < 4; col++) {
+            for (int row = 0; row < 4; row++) {
+                as.lb(bt, bst, 4 * ((col + row) % 4) + row);
+                as.sb(bt, bt3, 4 * col + row);
+            }
+        }
+        for (int col = 0; col < 4; col++) {
+            as.la(bt3, "aes_t2");
+            as.lb(bt, bt3, 4 * col + 0);
+            as.lb(bt2, bt3, 4 * col + 1);
+            as.lb(bt4, bt3, 4 * col + 2);
+            as.lb(bt5, bt3, 4 * col + 3);
+            RegId x1 = 46, x2 = 47, acc = 48;
+            emitXtime(as, x1, bt, x2);
+            as.mv(acc, x1);
+            emitXtime(as, x1, bt2, x2);
+            as.xor_(acc, acc, x1);
+            as.xor_(acc, acc, bt2);
+            as.xor_(acc, acc, bt4);
+            as.xor_(acc, acc, bt5);
+            as.sb(acc, bst, 4 * col + 0);
+            emitXtime(as, x1, bt2, x2);
+            as.xor_(acc, bt, x1);
+            emitXtime(as, x1, bt4, x2);
+            as.xor_(acc, acc, x1);
+            as.xor_(acc, acc, bt4);
+            as.xor_(acc, acc, bt5);
+            as.sb(acc, bst, 4 * col + 1);
+            emitXtime(as, x1, bt4, x2);
+            as.xor_(acc, bt, bt2);
+            as.xor_(acc, acc, x1);
+            emitXtime(as, x1, bt5, x2);
+            as.xor_(acc, acc, x1);
+            as.xor_(acc, acc, bt5);
+            as.sb(acc, bst, 4 * col + 2);
+            emitXtime(as, x1, bt, x2);
+            as.xor_(acc, x1, bt);
+            as.xor_(acc, acc, bt2);
+            as.xor_(acc, acc, bt4);
+            emitXtime(as, x1, bt5, x2);
+            as.xor_(acc, acc, x1);
+            as.sb(acc, bst, 4 * col + 3);
+        }
+        for (int i = 0; i < 16; i++) {
+            as.lb(bt, bst, i);
+            as.lb(bt4, brk, 16 * round + i);
+            as.xor_(bt, bt, bt4);
+            as.sb(bt, bst, i);
+        }
+    }
+    for (int i = 0; i < 16; i++) {
+        as.lb(bt, bst, i);
+        as.sb(bt, bout, i);
+    }
+    as.pop(ir::regRa);
+    as.ret();
+    as.endFunction();
+}
+
+namespace {
+
+/** Shared CTR/CBC workload builder; mode selects the loop kernel. */
+Workload
+makeAesMode(const std::string &name, bool ctr_mode, size_t msg_len)
+{
+    Assembler as;
+    as.allocData("a_key", 16, 8);
+    as.allocData("a_iv", 16, 8);
+    as.allocData("a_rk", 176, 8);
+    as.allocData("a_msg", 256, 8);
+    as.allocData("a_out", 256, 8);
+    as.allocData("a_ctr", 16, 8);
+    as.allocData("a_ks", 16, 8);
+
+    as.beginFunction("main", false);
+    as.call(ctr_mode ? "aes_ctr" : "aes_cbc");
+    as.halt();
+    as.endFunction();
+
+    if (ctr_mode) {
+        as.beginFunction("aes_ctr", true);
+        as.push(ir::regRa);
+        as.la(a0, "a_rk");
+        as.la(a1, "a_key");
+        as.call("aes_expand");
+        // counter block = iv
+        as.la(ct, "a_iv");
+        as.la(ct2, "a_ctr");
+        for (int i = 0; i < 16; i++) {
+            as.lb(ct3, ct, i);
+            as.sb(ct3, ct2, i);
+        }
+        as.li(coff, 0);
+        as.li(clen, static_cast<int64_t>(msg_len));
+        as.label(".ctr_loop");
+        as.la(a0, "a_ks");
+        as.la(a1, "a_ctr");
+        as.la(a2, "a_rk");
+        as.call("aes_block");
+        // out = msg ^ ks
+        as.la(cmsg, "a_msg");
+        as.add(cmsg, cmsg, coff);
+        as.la(cout, "a_out");
+        as.add(cout, cout, coff);
+        as.la(ct, "a_ks");
+        for (int i = 0; i < 16; i++) {
+            as.lb(ct2, cmsg, i);
+            as.lb(ct3, ct, i);
+            as.xor_(ct2, ct2, ct3);
+            as.sb(ct2, cout, i);
+        }
+        // increment the big-endian counter (public data; the early
+        // exit depends only on the block index).
+        as.la(ct, "a_ctr");
+        as.li(ct2, 15);
+        as.label(".ctr_inc");
+        as.add(ct3, ct, ct2);
+        as.lb(bt, ct3, 0);
+        as.addi(bt, bt, 1);
+        as.andi(bt, bt, 0xff);
+        as.sb(bt, ct3, 0);
+        as.bne(bt, ir::regZero, ".ctr_done");
+        as.addi(ct2, ct2, -1);
+        as.bge(ct2, ir::regZero, ".ctr_inc");
+        as.label(".ctr_done");
+        as.addi(coff, coff, 16);
+        as.bltu(coff, clen, ".ctr_loop");
+        as.pop(ir::regRa);
+        as.ret();
+        as.endFunction();
+    } else {
+        as.beginFunction("aes_cbc", true);
+        as.push(ir::regRa);
+        as.la(a0, "a_rk");
+        as.la(a1, "a_key");
+        as.call("aes_expand");
+        // chain = iv (kept in a_ctr)
+        as.la(ct, "a_iv");
+        as.la(ct2, "a_ctr");
+        for (int i = 0; i < 16; i++) {
+            as.lb(ct3, ct, i);
+            as.sb(ct3, ct2, i);
+        }
+        as.li(coff, 0);
+        as.li(clen, static_cast<int64_t>(msg_len));
+        as.label(".cbc_loop");
+        // ks = msg ^ chain
+        as.la(cmsg, "a_msg");
+        as.add(cmsg, cmsg, coff);
+        as.la(ct, "a_ctr");
+        as.la(ct2, "a_ks");
+        for (int i = 0; i < 16; i++) {
+            as.lb(ct3, cmsg, i);
+            as.lb(bt, ct, i);
+            as.xor_(ct3, ct3, bt);
+            as.sb(ct3, ct2, i);
+        }
+        as.la(cout, "a_out");
+        as.add(a0, cout, coff);
+        as.la(a1, "a_ks");
+        as.la(a2, "a_rk");
+        as.call("aes_block");
+        // chain = out block
+        as.la(cout, "a_out");
+        as.add(cout, cout, coff);
+        as.la(ct, "a_ctr");
+        for (int i = 0; i < 16; i++) {
+            as.lb(ct2, cout, i);
+            as.sb(ct2, ct, i);
+        }
+        as.addi(coff, coff, 16);
+        as.bltu(coff, clen, ".cbc_loop");
+        as.pop(ir::regRa);
+        as.ret();
+        as.endFunction();
+    }
+
+    emitAes(as);
+
+    Workload w;
+    w.name = name;
+    w.suite = "BearSSL";
+    w.program = as.finalize();
+    uint64_t key_addr = as.dataAddr("a_key");
+    uint64_t iv_addr = as.dataAddr("a_iv");
+    uint64_t msg_addr = as.dataAddr("a_msg");
+    uint64_t out_addr = as.dataAddr("a_out");
+
+    w.setInput = [=](sim::Machine &m, int which) {
+        pokeBytes(m, key_addr,
+                  patternBytes(16, static_cast<uint8_t>(which + 110)));
+        pokeBytes(m, iv_addr, patternBytes(16, 0x12));
+        pokeBytes(m, msg_addr, patternBytes(msg_len, 0x34));
+    };
+    w.check = [=](const sim::Machine &m) {
+        auto key = patternBytes(16, 112);
+        auto iv = patternBytes(16, 0x12);
+        auto msg = patternBytes(msg_len, 0x34);
+        auto expect = ctr_mode
+            ? ref::aes128Ctr(key.data(), iv.data(), msg)
+            : ref::aes128CbcEncrypt(key.data(), iv.data(), msg);
+        return peekBytes(m, out_addr, msg_len) == expect;
+    };
+    w.secretRegions = {{key_addr, key_addr + 16},
+                       {msg_addr, msg_addr + 256}};
+    return w;
+}
+
+} // namespace
+
+Workload
+aesCtrWorkload()
+{
+    return makeAesMode("AES_CTR", /*ctr=*/true, 64);
+}
+
+Workload
+cbcCtWorkload()
+{
+    return makeAesMode("CBC_ct", /*ctr=*/false, 64);
+}
+
+} // namespace cassandra::crypto

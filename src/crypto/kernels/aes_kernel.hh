@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Constant-time AES-128 IR kernel in the spirit of BearSSL's aes_ct:
+ * no table lookups — the S-box is computed arithmetically via the
+ * GF(2^8) inverse (x^254 by a fixed square-multiply chain) plus the
+ * affine map, so no memory access depends on secret data.
+ */
+
+#ifndef CASSANDRA_CRYPTO_KERNELS_AES_KERNEL_HH
+#define CASSANDRA_CRYPTO_KERNELS_AES_KERNEL_HH
+
+#include "crypto/kernels/common.hh"
+
+namespace cassandra::crypto {
+
+/**
+ * Define gf_mul / aes_sbox / aes_expand(rk, key) /
+ * aes_block(out, in, rk) in the assembler.
+ */
+void emitAes(Assembler &as);
+
+/** BearSSL-style AES-128-CTR workload. */
+Workload aesCtrWorkload();
+/** BearSSL-style AES-128-CBC encryption workload. */
+Workload cbcCtWorkload();
+
+} // namespace cassandra::crypto
+
+#endif // CASSANDRA_CRYPTO_KERNELS_AES_KERNEL_HH

@@ -1,0 +1,575 @@
+#include "crypto/kernels/bigint_kernel.hh"
+
+#include <functional>
+
+#include "crypto/kernels/sha256_kernel.hh"
+#include "crypto/ref/bignum.hh"
+#include "crypto/ref/sha256.hh"
+#include "crypto/ref/x25519.hh"
+
+namespace cassandra::crypto {
+
+namespace {
+
+/** Maximum limb count supported by the scratch buffers. */
+constexpr int kMaxLimbs = 18;
+
+// Register plan for the leaf routines (x18..x35).
+constexpr RegId ri = 18, rj = 19, rcar = 20, rai = 21, rm = 22, rv = 23,
+                rt = 24, rt2 = 25, rtp = 26, rxp = 27, ryp = 28,
+                rmask = 29, rn = 30, rtj = 31, rborrow = 32, rneed = 33,
+                rt3 = 34, rt4 = 35;
+
+// Register plan for mont_pow / ladder drivers (x40..x59); these must
+// survive calls into the leaf routines.
+constexpr RegId pd = 40, pb = 41, pe = 42, pm = 43, pn0 = 44, pn = 45,
+                prr = 46, pbit = 47, ptake = 48, pt = 49, pt2 = 50;
+
+/**
+ * Emit a loop over limbs: counted (bound in a register) by default, or
+ * fully unrolled straight-line when unroll_count > 0 (donna-style flat
+ * code, which also frees BTU entries for the hot outer branches).
+ */
+void
+limbLoop(Assembler &as, RegId counter, RegId bound_reg, int unroll_count,
+         const std::function<void()> &body)
+{
+    if (unroll_count > 0) {
+        for (int i = 0; i < unroll_count; i++)
+            body();
+    } else {
+        as.forLoopReg(counter, 0, bound_reg, body);
+    }
+}
+
+/** Emit one CIOS multiply-accumulate step:
+ * v = t[j] + x * y + carry; t[j] = lo32(v); carry = hi32(v).
+ * x in rai, y loaded from (ryp + 4*j as provided by caller into rtj),
+ * t slot address in rt3. */
+void
+emitMacStep(Assembler &as)
+{
+    as.ld(rv, rt3, 0);       // t[j] (64-bit slot)
+    as.mul(rt, rai, rtj);    // x*y (fits: 32x32)
+    as.add(rv, rv, rt);
+    as.add(rv, rv, rcar);
+    as.and_(rt, rv, rmask);
+    as.sd(rt, rt3, 0);
+    as.shri(rcar, rv, 32);
+}
+
+/**
+ * Emit mont_mul(a0=dst, a1=a, a2=b, a3=mod, a4=n0inv, a5=nlimbs).
+ * Scratch: data symbol bn_t (kMaxLimbs+2 64-bit slots).
+ */
+void
+emitMontMul(Assembler &as, bool unroll_inner, int fixed_limbs)
+{
+    as.beginFunction("mont_mul", true);
+    as.li(rmask, 0xffffffff);
+    as.mv(rn, a5);
+
+    // Clear t.
+    as.la(rtp, "bn_t");
+    as.mv(rt3, rtp);
+    as.addi(rt, rn, 2);
+    limbLoop(as, rj, rt, unroll_inner ? fixed_limbs + 2 : 0, [&] {
+        as.sd(ir::regZero, rt3, 0);
+        as.addi(rt3, rt3, 8);
+    });
+
+    auto inner_pass = [&](RegId src_ptr) {
+        // for j: v = t[j] + rai * src[j] + carry
+        if (unroll_inner) {
+            for (int j = 0; j < fixed_limbs; j++) {
+                as.lw(rtj, src_ptr, 4 * j);
+                as.addi(rt3, rtp, 8 * j);
+                emitMacStep(as);
+            }
+        } else {
+            as.mv(rt3, rtp);
+            as.mv(rt4, src_ptr);
+            limbLoop(as, rj, rn, unroll_inner ? fixed_limbs : 0, [&] {
+                as.lw(rtj, rt4, 0);
+                emitMacStep(as);
+                as.addi(rt3, rt3, 8);
+                as.addi(rt4, rt4, 4);
+            });
+            as.shli(rt3, rn, 3);
+            as.add(rt3, rtp, rt3);
+        }
+        if (unroll_inner)
+            as.addi(rt3, rtp, 8 * fixed_limbs);
+        // v = t[n] + carry; t[n] = lo; t[n+1] += hi
+        as.ld(rv, rt3, 0);
+        as.add(rv, rv, rcar);
+        as.and_(rt, rv, rmask);
+        as.sd(rt, rt3, 0);
+        as.shri(rt, rv, 32);
+        as.ld(rv, rt3, 8);
+        as.add(rv, rv, rt);
+        as.sd(rv, rt3, 8);
+    };
+
+    // Outer loop over a's limbs.
+    as.mv(rxp, a1);
+    as.forLoopReg(ri, 0, rn, [&] {
+        as.lw(rai, rxp, 0);
+        as.addi(rxp, rxp, 4);
+        as.li(rcar, 0);
+        inner_pass(a2);
+
+        // m = lo32(t[0] * n0inv)
+        as.ld(rt, rtp, 0);
+        as.mul(rm, rt, a4);
+        as.and_(rai, rm, rmask);
+        as.li(rcar, 0);
+        inner_pass(a3);
+
+        // shift t down one limb.
+        as.mv(rt3, rtp);
+        as.addi(rt, rn, 1);
+        limbLoop(as, rj, rt, unroll_inner ? fixed_limbs + 1 : 0, [&] {
+            as.ld(rv, rt3, 8);
+            as.sd(rv, rt3, 0);
+            as.addi(rt3, rt3, 8);
+        });
+        as.sd(ir::regZero, rt3, 0);
+    });
+
+    // Conditional subtract: need = (t[n] != 0) | (t - mod borrow == 0).
+    // Compute r - mod into bn_s while scanning.
+    as.la(rt4, "bn_s");
+    as.mv(rt3, rtp);
+    as.mv(rxp, a3);
+    as.li(rborrow, 0);
+    limbLoop(as, rj, rn, unroll_inner ? fixed_limbs : 0, [&] {
+        as.ld(rv, rt3, 0);
+        as.lw(rtj, rxp, 0);
+        as.sub(rv, rv, rtj);
+        as.sub(rv, rv, rborrow);
+        // borrow = (v >> 63) & 1 on 64-bit wrap of 32-bit values
+        as.shri(rborrow, rv, 63);
+        as.and_(rv, rv, rmask);
+        as.sw(rv, rt4, 0);
+        as.addi(rt3, rt3, 8);
+        as.addi(rxp, rxp, 4);
+        as.addi(rt4, rt4, 4);
+    });
+    as.ld(rt, rt3, 0); // t[n] overflow limb
+    as.xori(rborrow, rborrow, 1); // no-borrow flag
+    as.or_(rneed, rt, rborrow);   // subtract if overflow or r >= mod
+
+    // dst[j] = need ? s[j] : t[j]
+    as.mv(rt3, rtp);
+    as.la(rt4, "bn_s");
+    as.mv(rxp, a0);
+    limbLoop(as, rj, rn, unroll_inner ? fixed_limbs : 0, [&] {
+        as.ld(rv, rt3, 0);
+        as.lw(rt, rt4, 0);
+        as.cmovnz(rv, rneed, rt);
+        as.sw(rv, rxp, 0);
+        as.addi(rt3, rt3, 8);
+        as.addi(rt4, rt4, 4);
+        as.addi(rxp, rxp, 4);
+    });
+    as.ret();
+    as.endFunction();
+}
+
+/** mod_add(dst, a, b, mod, n): (a + b) mod m, constant-time. */
+void
+emitModAdd(Assembler &as, bool unroll_inner, int fixed_limbs)
+{
+    as.beginFunction("mod_add", true);
+    as.li(rmask, 0xffffffff);
+    as.mv(rn, a4);
+    // sum into bn_s with carry; difference sum-mod into bn_t.
+    as.la(rt4, "bn_s");
+    as.li(rcar, 0);
+    as.mv(rxp, a1);
+    as.mv(ryp, a2);
+    limbLoop(as, rj, rn, unroll_inner ? fixed_limbs : 0, [&] {
+        as.lw(rv, rxp, 0);
+        as.lw(rt, ryp, 0);
+        as.add(rv, rv, rt);
+        as.add(rv, rv, rcar);
+        as.shri(rcar, rv, 32);
+        as.and_(rv, rv, rmask);
+        as.sw(rv, rt4, 0);
+        as.addi(rxp, rxp, 4);
+        as.addi(ryp, ryp, 4);
+        as.addi(rt4, rt4, 4);
+    });
+    // subtract mod
+    as.la(rt4, "bn_s");
+    as.la(rt3, "bn_t");
+    as.mv(rxp, a3);
+    as.li(rborrow, 0);
+    limbLoop(as, rj, rn, unroll_inner ? fixed_limbs : 0, [&] {
+        as.lw(rv, rt4, 0);
+        as.lw(rt, rxp, 0);
+        as.sub(rv, rv, rt);
+        as.sub(rv, rv, rborrow);
+        as.shri(rborrow, rv, 63);
+        as.and_(rv, rv, rmask);
+        as.sw(rv, rt3, 0);
+        as.addi(rt4, rt4, 4);
+        as.addi(rxp, rxp, 4);
+        as.addi(rt3, rt3, 4);
+    });
+    // need_sub = carry_out | !borrow
+    as.xori(rborrow, rborrow, 1);
+    as.or_(rneed, rcar, rborrow);
+    as.la(rt4, "bn_s");
+    as.la(rt3, "bn_t");
+    as.mv(rxp, a0);
+    limbLoop(as, rj, rn, unroll_inner ? fixed_limbs : 0, [&] {
+        as.lw(rv, rt4, 0);
+        as.lw(rt, rt3, 0);
+        as.cmovnz(rv, rneed, rt);
+        as.sw(rv, rxp, 0);
+        as.addi(rt4, rt4, 4);
+        as.addi(rt3, rt3, 4);
+        as.addi(rxp, rxp, 4);
+    });
+    as.ret();
+    as.endFunction();
+}
+
+/** mod_sub(dst, a, b, mod, n): (a - b) mod m, constant-time. */
+void
+emitModSub(Assembler &as, bool unroll_inner, int fixed_limbs)
+{
+    as.beginFunction("mod_sub", true);
+    as.li(rmask, 0xffffffff);
+    as.mv(rn, a4);
+    // diff into bn_s with borrow.
+    as.la(rt4, "bn_s");
+    as.li(rborrow, 0);
+    as.mv(rxp, a1);
+    as.mv(ryp, a2);
+    limbLoop(as, rj, rn, unroll_inner ? fixed_limbs : 0, [&] {
+        as.lw(rv, rxp, 0);
+        as.lw(rt, ryp, 0);
+        as.sub(rv, rv, rt);
+        as.sub(rv, rv, rborrow);
+        as.shri(rborrow, rv, 63);
+        as.and_(rv, rv, rmask);
+        as.sw(rv, rt4, 0);
+        as.addi(rxp, rxp, 4);
+        as.addi(ryp, ryp, 4);
+        as.addi(rt4, rt4, 4);
+    });
+    // bn_t = diff + mod (used when borrow).
+    as.la(rt4, "bn_s");
+    as.la(rt3, "bn_t");
+    as.mv(rxp, a3);
+    as.li(rcar, 0);
+    as.mv(rneed, rborrow);
+    limbLoop(as, rj, rn, unroll_inner ? fixed_limbs : 0, [&] {
+        as.lw(rv, rt4, 0);
+        as.lw(rt, rxp, 0);
+        as.add(rv, rv, rt);
+        as.add(rv, rv, rcar);
+        as.shri(rcar, rv, 32);
+        as.and_(rv, rv, rmask);
+        as.sw(rv, rt3, 0);
+        as.addi(rt4, rt4, 4);
+        as.addi(rxp, rxp, 4);
+        as.addi(rt3, rt3, 4);
+    });
+    as.la(rt4, "bn_s");
+    as.la(rt3, "bn_t");
+    as.mv(rxp, a0);
+    limbLoop(as, rj, rn, unroll_inner ? fixed_limbs : 0, [&] {
+        as.lw(rv, rt4, 0);
+        as.lw(rt, rt3, 0);
+        as.cmovnz(rv, rneed, rt);
+        as.sw(rv, rxp, 0);
+        as.addi(rt4, rt4, 4);
+        as.addi(rt3, rt3, 4);
+        as.addi(rxp, rxp, 4);
+    });
+    as.ret();
+    as.endFunction();
+}
+
+/** bn_copy(dst, src, n) and bn_cswap(a, b, bit, n). */
+void
+emitCopySwap(Assembler &as, bool unroll_inner, int fixed_limbs)
+{
+    as.beginFunction("bn_copy", true);
+    as.mv(rn, a2);
+    as.mv(rxp, a1);
+    as.mv(ryp, a0);
+    limbLoop(as, rj, rn, unroll_inner ? fixed_limbs : 0, [&] {
+        as.lw(rv, rxp, 0);
+        as.sw(rv, ryp, 0);
+        as.addi(rxp, rxp, 4);
+        as.addi(ryp, ryp, 4);
+    });
+    as.ret();
+    as.endFunction();
+
+    as.beginFunction("bn_cswap", true);
+    as.mv(rn, a3);
+    // mask = -bit
+    as.sub(rt2, ir::regZero, a2);
+    as.mv(rxp, a0);
+    as.mv(ryp, a1);
+    limbLoop(as, rj, rn, unroll_inner ? fixed_limbs : 0, [&] {
+        as.lw(rv, rxp, 0);
+        as.lw(rt, ryp, 0);
+        as.xor_(rt3, rv, rt);
+        as.and_(rt3, rt3, rt2);
+        as.xor_(rv, rv, rt3);
+        as.xor_(rt, rt, rt3);
+        as.sw(rv, rxp, 0);
+        as.sw(rt, ryp, 0);
+        as.addi(rxp, rxp, 4);
+        as.addi(ryp, ryp, 4);
+    });
+    as.ret();
+    as.endFunction();
+}
+
+/**
+ * mont_pow(a0=dst, a1=base, a2=exp, a3=mod, a4=n0inv, a5=nlimbs,
+ *          a6=rr): normal-domain base^exp mod m via square-and-
+ * multiply-always (constant multiply count).
+ */
+void
+emitMontPow(Assembler &as)
+{
+    as.allocData("bn_pow_x", kMaxLimbs * 4, 8);
+    as.allocData("bn_pow_acc", kMaxLimbs * 4, 8);
+    as.allocData("bn_pow_mul", kMaxLimbs * 4, 8);
+    as.allocData("bn_pow_one", kMaxLimbs * 4, 8);
+
+    as.beginFunction("mont_pow", true);
+    as.push(ir::regRa);
+    as.mv(pd, a0);
+    as.mv(pb, a1);
+    as.mv(pe, a2);
+    as.mv(pm, a3);
+    as.mv(pn0, a4);
+    as.mv(pn, a5);
+    as.mv(prr, a6);
+
+    // one = 1, zero-extended to n limbs.
+    as.la(pt, "bn_pow_one");
+    as.forLoopReg(pt2, 0, pn, [&] {
+        as.sw(ir::regZero, pt, 0);
+        as.addi(pt, pt, 4);
+    });
+    as.la(pt, "bn_pow_one");
+    as.li(pt2, 1);
+    as.sw(pt2, pt, 0);
+
+    // x = montmul(base, rr); acc = montmul(one, rr) (= R mod m).
+    as.la(a0, "bn_pow_x");
+    as.mv(a1, pb);
+    as.mv(a2, prr);
+    as.mv(a3, pm);
+    as.mv(a4, pn0);
+    as.mv(a5, pn);
+    as.call("mont_mul");
+    as.la(a0, "bn_pow_acc");
+    as.la(a1, "bn_pow_one");
+    as.mv(a2, prr);
+    as.mv(a3, pm);
+    as.mv(a4, pn0);
+    as.mv(a5, pn);
+    as.call("mont_mul");
+
+    // bit loop: from n*32-1 down to 0.
+    as.shli(pbit, pn, 5);
+    as.label(".pow_loop");
+    as.addi(pbit, pbit, -1);
+    // acc = acc * acc
+    as.la(a0, "bn_pow_acc");
+    as.la(a1, "bn_pow_acc");
+    as.la(a2, "bn_pow_acc");
+    as.mv(a3, pm);
+    as.mv(a4, pn0);
+    as.mv(a5, pn);
+    as.call("mont_mul");
+    // mul = acc * x
+    as.la(a0, "bn_pow_mul");
+    as.la(a1, "bn_pow_acc");
+    as.la(a2, "bn_pow_x");
+    as.mv(a3, pm);
+    as.mv(a4, pn0);
+    as.mv(a5, pn);
+    as.call("mont_mul");
+    // take = (exp[bit/32] >> (bit%32)) & 1
+    as.shri(pt, pbit, 5);
+    as.shli(pt, pt, 2);
+    as.add(pt, pe, pt);
+    as.lw(pt, pt, 0);
+    as.andi(pt2, pbit, 31);
+    as.shr(pt, pt, pt2);
+    as.andi(ptake, pt, 1);
+    // acc = take ? mul : acc via cswap-style select (always executed).
+    as.la(a0, "bn_pow_acc");
+    as.la(a1, "bn_pow_mul");
+    as.mv(a2, ptake);
+    as.mv(a3, pn);
+    as.call("bn_cswap");
+    as.bne(pbit, ir::regZero, ".pow_loop");
+
+    // dst = montmul(acc, one): out of the Montgomery domain.
+    as.mv(a0, pd);
+    as.la(a1, "bn_pow_acc");
+    as.la(a2, "bn_pow_one");
+    as.mv(a3, pm);
+    as.mv(a4, pn0);
+    as.mv(a5, pn);
+    as.call("mont_mul");
+    as.pop(ir::regRa);
+    as.ret();
+    as.endFunction();
+}
+
+} // namespace
+
+void
+emitBignum(Assembler &as, bool unroll_inner, int fixed_limbs)
+{
+    as.allocData("bn_t", (kMaxLimbs + 2) * 8, 8);
+    as.allocData("bn_s", kMaxLimbs * 4, 8);
+    emitMontMul(as, unroll_inner, fixed_limbs);
+    emitModAdd(as, unroll_inner, fixed_limbs);
+    emitModSub(as, unroll_inner, fixed_limbs);
+    emitCopySwap(as, unroll_inner, fixed_limbs);
+    emitMontPow(as);
+}
+
+namespace {
+
+/** Pack 32-bit limbs into bytes for the data image. */
+std::vector<uint8_t>
+limbBytes(const ref::Limbs &limbs)
+{
+    std::vector<uint8_t> out;
+    for (uint32_t limb : limbs) {
+        for (int i = 0; i < 4; i++)
+            out.push_back(static_cast<uint8_t>(limb >> (8 * i)));
+    }
+    return out;
+}
+
+ref::Limbs
+limbsFromBytes(const std::vector<uint8_t> &bytes)
+{
+    ref::Limbs out(bytes.size() / 4);
+    for (size_t i = 0; i < out.size(); i++) {
+        out[i] = static_cast<uint32_t>(bytes[4 * i]) |
+            (static_cast<uint32_t>(bytes[4 * i + 1]) << 8) |
+            (static_cast<uint32_t>(bytes[4 * i + 2]) << 16) |
+            (static_cast<uint32_t>(bytes[4 * i + 3]) << 24);
+    }
+    return out;
+}
+
+/** Deterministic odd modulus / operand limbs. */
+ref::Limbs
+randomLimbs(int n, uint8_t seed, bool make_odd_top)
+{
+    auto bytes = patternBytes(static_cast<size_t>(n) * 4, seed);
+    ref::Limbs limbs = limbsFromBytes(bytes);
+    if (make_odd_top) {
+        limbs[0] |= 1;                 // odd (Montgomery-friendly)
+        limbs[n - 1] |= 0x80000000u;   // full width
+    }
+    return limbs;
+}
+
+/** Shared ModPow/RSA workload builder. */
+Workload
+makeModPow(const std::string &name, const std::string &suite, int nlimbs,
+           uint8_t seed)
+{
+    Assembler as;
+    as.allocData("mp_base", kMaxLimbs * 4, 8);
+    as.allocData("mp_exp", kMaxLimbs * 4, 8);
+    as.allocData("mp_mod", kMaxLimbs * 4, 8);
+    as.allocData("mp_rr", kMaxLimbs * 4, 8);
+    as.allocData("mp_out", kMaxLimbs * 4, 8);
+    as.allocData("mp_n0", 8, 8);
+
+    as.beginFunction("main", false);
+    as.la(a0, "mp_out");
+    as.la(a1, "mp_base");
+    as.la(a2, "mp_exp");
+    as.la(a3, "mp_mod");
+    as.la(a4, "mp_n0");
+    as.ld(a4, a4, 0);
+    as.li(a5, nlimbs);
+    as.la(a6, "mp_rr");
+    as.call("mont_pow");
+    as.halt();
+    as.endFunction();
+
+    emitBignum(as);
+
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.program = as.finalize();
+    uint64_t base_addr = as.dataAddr("mp_base");
+    uint64_t exp_addr = as.dataAddr("mp_exp");
+    uint64_t mod_addr = as.dataAddr("mp_mod");
+    uint64_t rr_addr = as.dataAddr("mp_rr");
+    uint64_t out_addr = as.dataAddr("mp_out");
+    uint64_t n0_addr = as.dataAddr("mp_n0");
+
+    // The modulus is a public parameter: fixed across inputs. The
+    // base/exponent (the secrets) differ per input.
+    ref::Limbs mod = randomLimbs(nlimbs, seed, true);
+    ref::MontCtx ctx = ref::montInit(mod);
+
+    w.setInput = [=](sim::Machine &m, int which) {
+        ref::Limbs base = randomLimbs(
+            nlimbs, static_cast<uint8_t>(seed + 1 + which), false);
+        base[nlimbs - 1] &= 0x7fffffffu; // keep base < mod
+        ref::Limbs exp = randomLimbs(
+            nlimbs, static_cast<uint8_t>(seed + 40 + which), false);
+        pokeBytes(m, base_addr, limbBytes(base));
+        pokeBytes(m, exp_addr, limbBytes(exp));
+        pokeBytes(m, mod_addr, limbBytes(mod));
+        pokeBytes(m, rr_addr, limbBytes(ctx.rr));
+        m.write64(n0_addr, ctx.n0inv);
+    };
+    w.check = [=](const sim::Machine &m) {
+        ref::Limbs base =
+            randomLimbs(nlimbs, static_cast<uint8_t>(seed + 3), false);
+        base[nlimbs - 1] &= 0x7fffffffu;
+        ref::Limbs exp =
+            randomLimbs(nlimbs, static_cast<uint8_t>(seed + 42), false);
+        auto expect = ref::modPow(ctx, base, exp);
+        auto got = limbsFromBytes(
+            peekBytes(m, out_addr, static_cast<size_t>(nlimbs) * 4));
+        return got == expect;
+    };
+    w.secretRegions = {{base_addr, base_addr + kMaxLimbs * 4},
+                       {exp_addr, exp_addr + kMaxLimbs * 4}};
+    return w;
+}
+
+} // namespace
+
+Workload
+modPowWorkload()
+{
+    return makeModPow("ModPow_i31", "BearSSL", /*nlimbs=*/8, 0x11);
+}
+
+Workload
+rsaWorkload()
+{
+    return makeModPow("RSA_i62", "BearSSL", /*nlimbs=*/16, 0x23);
+}
+
+} // namespace cassandra::crypto

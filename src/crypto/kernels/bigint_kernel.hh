@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Generic constant-time Montgomery big-integer IR library (the analog
+ * of BearSSL's shared i31/i62 code) plus the workloads built on it:
+ * ModPow, RSA, X25519 (EC Montgomery ladder) and an ECDSA-like signer.
+ *
+ * Numbers are little-endian arrays of 32-bit limbs. All routines are
+ * constant-time: fixed loop bounds, square-and-multiply-always
+ * exponentiation, cmov-based conditional subtraction and ladder swaps.
+ */
+
+#ifndef CASSANDRA_CRYPTO_KERNELS_BIGINT_KERNEL_HH
+#define CASSANDRA_CRYPTO_KERNELS_BIGINT_KERNEL_HH
+
+#include "crypto/kernels/common.hh"
+
+namespace cassandra::crypto {
+
+/**
+ * Define the bignum routines in the assembler:
+ *   mont_mul(dst, a, b, mod, n0inv, nlimbs)          CIOS product
+ *   bn_copy(dst, src, nlimbs)
+ *   mod_add(dst, a, b, mod, nlimbs)
+ *   mod_sub(dst, a, b, mod, nlimbs)
+ *   bn_cswap(a, b, bit, nlimbs)
+ *   mont_pow(dst, base, exp, mod, n0inv, nlimbs, rr) normal-domain pow
+ *
+ * @param unroll_inner emit the CIOS inner loops straight-line for a
+ *        fixed limb count (donna-style flat code) instead of counted
+ *        loops; nlimbs must then equal fixed_limbs at runtime.
+ */
+void emitBignum(Assembler &as, bool unroll_inner = false,
+                int fixed_limbs = 8);
+
+/**
+ * Define the x25519_ladder() crypto function (and its ec_* data
+ * symbols: ec_scalar, ec_point, ec_out plus curve constants). Requires
+ * emitBignum in the same program.
+ */
+void emitX25519Ladder(Assembler &as);
+
+/** Montgomery modular exponentiation workload (256-bit, i31-style). */
+Workload modPowWorkload();
+/** RSA-style modular exponentiation workload (512-bit; see DESIGN.md
+ * for the scaling note relative to the paper's RSA-2048). */
+Workload rsaWorkload();
+/** BearSSL-style X25519 scalar multiplication (generic bignum). */
+Workload ecC25519Workload();
+/** OpenSSL/donna-style X25519 (unrolled CIOS inner loops). */
+Workload curve25519OpensslWorkload();
+/** ECDSA-like signature: SHA-256 digest + ladder + mod-q arithmetic. */
+Workload ecdsaWorkload();
+
+} // namespace cassandra::crypto
+
+#endif // CASSANDRA_CRYPTO_KERNELS_BIGINT_KERNEL_HH

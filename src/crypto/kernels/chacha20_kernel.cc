@@ -1,0 +1,192 @@
+#include "crypto/kernels/chacha20_kernel.hh"
+
+#include "crypto/ref/chacha20.hh"
+
+namespace cassandra::crypto {
+
+namespace {
+
+// Register plan: s0..s15 in x18..x33, w0..w15 in x34..x49,
+// scratch x50..x56.
+constexpr RegId sreg0 = 18;
+constexpr RegId wreg0 = 34;
+constexpr RegId roff = 50;   ///< current byte offset into the stream
+constexpr RegId rloop = 51;  ///< round-loop counter
+constexpr RegId rtmp = 52;
+constexpr RegId routp = 53;  ///< &out[off]
+constexpr RegId rword = 54;  ///< keystream/message word
+
+RegId
+s(int i)
+{
+    return static_cast<RegId>(sreg0 + i);
+}
+
+RegId
+w(int i)
+{
+    return static_cast<RegId>(wreg0 + i);
+}
+
+/** One quarter round on working registers a, b, c, d. */
+void
+quarterRound(Assembler &as, int a, int b, int c, int d)
+{
+    as.addw(w(a), w(a), w(b));
+    as.xor_(w(d), w(d), w(a));
+    as.rotlwi(w(d), w(d), 16);
+    as.addw(w(c), w(c), w(d));
+    as.xor_(w(b), w(b), w(c));
+    as.rotlwi(w(b), w(b), 12);
+    as.addw(w(a), w(a), w(b));
+    as.xor_(w(d), w(d), w(a));
+    as.rotlwi(w(d), w(d), 8);
+    as.addw(w(c), w(c), w(d));
+    as.xor_(w(b), w(b), w(c));
+    as.rotlwi(w(b), w(b), 7);
+}
+
+void
+doubleRound(Assembler &as)
+{
+    quarterRound(as, 0, 4, 8, 12);
+    quarterRound(as, 1, 5, 9, 13);
+    quarterRound(as, 2, 6, 10, 14);
+    quarterRound(as, 3, 7, 11, 15);
+    quarterRound(as, 0, 5, 10, 15);
+    quarterRound(as, 1, 6, 11, 12);
+    quarterRound(as, 2, 7, 8, 13);
+    quarterRound(as, 3, 4, 9, 14);
+}
+
+} // namespace
+
+void
+emitChaCha20(Assembler &as, bool unroll_rounds)
+{
+    as.beginFunction("chacha20_xor", /*crypto=*/true);
+
+    // Stream loop over 64-byte blocks: roff = 0 .. len.
+    as.li(roff, 0);
+    as.label(".cc20_stream");
+
+    // State setup: constants, key, counter, nonce.
+    as.li(s(0), 0x61707865);
+    as.li(s(1), 0x3320646e);
+    as.li(s(2), 0x79622d32);
+    as.li(s(3), 0x6b206574);
+    for (int i = 0; i < 8; i++)
+        as.lw(s(4 + i), a3, 4 * i);
+    as.shri(rtmp, roff, 6);
+    as.addw(s(12), a5, rtmp); // counter + block index
+    for (int i = 0; i < 3; i++)
+        as.lw(s(13 + i), a4, 4 * i);
+
+    for (int i = 0; i < 16; i++)
+        as.mv(w(i), s(i));
+
+    if (unroll_rounds) {
+        for (int round = 0; round < 10; round++)
+            doubleRound(as);
+    } else {
+        as.forLoop(rloop, 0, 10, [&] { doubleRound(as); });
+    }
+
+    // w += s; keystream XOR message -> out.
+    for (int i = 0; i < 16; i++)
+        as.addw(w(i), w(i), s(i));
+    as.add(rtmp, a1, roff); // &msg[off]
+    as.add(routp, a0, roff);
+    for (int i = 0; i < 16; i++) {
+        as.lw(rword, rtmp, 4 * i);
+        as.xor_(rword, rword, w(i));
+        as.sw(rword, routp, 4 * i);
+    }
+
+    as.addi(roff, roff, 64);
+    as.bltu(roff, a2, ".cc20_stream");
+    as.ret();
+    as.endFunction();
+}
+
+namespace {
+
+Workload
+makeChaCha20(const std::string &name, const std::string &suite,
+             bool unroll, bool variable_len, size_t eval_len)
+{
+    Assembler as;
+    size_t max_len = 1024;
+    as.allocData("key", 32);
+    as.allocData("nonce", 12, 4);
+    as.allocData("msg", max_len, 64);
+    as.allocData("out", max_len, 64);
+    as.allocData("len", 8);
+
+    as.beginFunction("main", /*crypto=*/false);
+    as.la(a0, "out");
+    as.la(a1, "msg");
+    as.la(rtmp, "len");
+    as.ld(a2, rtmp, 0);
+    as.la(a3, "key");
+    as.la(a4, "nonce");
+    as.li(a5, 1); // initial counter
+    as.call("chacha20_xor");
+    as.halt();
+    as.endFunction();
+
+    emitChaCha20(as, unroll);
+
+    Workload work;
+    work.name = name;
+    work.suite = suite;
+    work.program = as.finalize();
+    uint64_t key_addr = as.dataAddr("key");
+    uint64_t nonce_addr = as.dataAddr("nonce");
+    uint64_t msg_addr = as.dataAddr("msg");
+    uint64_t out_addr = as.dataAddr("out");
+    uint64_t len_addr = as.dataAddr("len");
+
+    work.setInput = [=](sim::Machine &m, int which) {
+        // Inputs 0/1: analysis (different secrets; different lengths
+        // when variable_len). Input 2: evaluation. Inputs 3/4:
+        // contract pairs (secrets differ, public params identical).
+        uint8_t key_seed = static_cast<uint8_t>(1 + which);
+        size_t len = eval_len;
+        if (variable_len && which == 0)
+            len = eval_len > 128 ? eval_len - 128 : 64;
+        pokeBytes(m, key_addr, patternBytes(32, key_seed));
+        pokeBytes(m, nonce_addr, patternBytes(12, 0x40));
+        pokeBytes(m, msg_addr, patternBytes(len, 0x50));
+        m.write64(len_addr, len);
+    };
+    work.check = [=](const sim::Machine &m) {
+        size_t len = eval_len;
+        auto key = patternBytes(32, 3);
+        auto nonce = patternBytes(12, 0x40);
+        auto msg = patternBytes(len, 0x50);
+        auto expect = ref::chacha20Xor(key.data(), nonce.data(), 1, msg);
+        return peekBytes(m, out_addr, len) == expect;
+    };
+    work.secretRegions = {{key_addr, key_addr + 32},
+                          {msg_addr, msg_addr + max_len}};
+    return work;
+}
+
+} // namespace
+
+Workload
+chacha20CtWorkload()
+{
+    return makeChaCha20("ChaCha20_ct", "BearSSL", /*unroll=*/false,
+                        /*variable_len=*/false, 256);
+}
+
+Workload
+chacha20OpensslWorkload()
+{
+    return makeChaCha20("chacha20", "OpenSSL", /*unroll=*/true,
+                        /*variable_len=*/true, 512);
+}
+
+} // namespace cassandra::crypto

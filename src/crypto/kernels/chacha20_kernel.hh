@@ -1,0 +1,36 @@
+/**
+ * @file
+ * ChaCha20 IR kernel (RFC 8439) and its workloads.
+ *
+ * Two implementation styles mirror the paper's suites: the BearSSL
+ * style keeps the 10 double-rounds in a counted loop over a fixed-size
+ * buffer; the OpenSSL style fully unrolls the round loop and accepts a
+ * variable-length message, making its stream loop input-dependent
+ * (the paper's §4.3 example of a branch without a replayable trace).
+ */
+
+#ifndef CASSANDRA_CRYPTO_KERNELS_CHACHA20_KERNEL_HH
+#define CASSANDRA_CRYPTO_KERNELS_CHACHA20_KERNEL_HH
+
+#include "crypto/kernels/common.hh"
+
+namespace cassandra::crypto {
+
+/**
+ * Define the crypto function chacha20_xor(out, msg, len, key, nonce,
+ * counter) in the assembler. len must be a multiple of 64.
+ *
+ * @param unroll_rounds emit the 10 double-rounds straight-line instead
+ *        of as a counted loop
+ */
+void emitChaCha20(Assembler &as, bool unroll_rounds);
+
+/** BearSSL-style workload: fixed 256-byte buffer, rolled rounds. */
+Workload chacha20CtWorkload();
+
+/** OpenSSL-style workload: variable-length stream, unrolled rounds. */
+Workload chacha20OpensslWorkload();
+
+} // namespace cassandra::crypto
+
+#endif // CASSANDRA_CRYPTO_KERNELS_CHACHA20_KERNEL_HH

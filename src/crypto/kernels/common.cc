@@ -1,0 +1,32 @@
+#include "crypto/kernels/common.hh"
+
+namespace cassandra::crypto {
+
+void
+pokeBytes(sim::Machine &machine, uint64_t addr,
+          const std::vector<uint8_t> &bytes)
+{
+    machine.writeBytes(addr, bytes.data(), bytes.size());
+}
+
+std::vector<uint8_t>
+peekBytes(const sim::Machine &machine, uint64_t addr, size_t len)
+{
+    std::vector<uint8_t> out(len);
+    machine.readBytes(addr, out.data(), len);
+    return out;
+}
+
+std::vector<uint8_t>
+patternBytes(size_t len, uint8_t seed)
+{
+    std::vector<uint8_t> out(len);
+    uint32_t state = 0x12345678u + seed * 0x9e3779b9u;
+    for (size_t i = 0; i < len; i++) {
+        state = state * 1664525u + 1013904223u;
+        out[i] = static_cast<uint8_t>(state >> 24);
+    }
+    return out;
+}
+
+} // namespace cassandra::crypto

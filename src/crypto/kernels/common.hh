@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared helpers for authoring constant-time IR kernels.
+ *
+ * Kernels are emitted by C++ functions into an Assembler; reusable
+ * routines (sha256 compression, keccak permutation, Montgomery bignum,
+ * AES rounds, ...) are IR *functions* defined once per program and
+ * called by the workload's main. Register convention: a0..a7 carry
+ * arguments, x18..x63 are scratch; callee clobbers everything (callers
+ * save what they need).
+ */
+
+#ifndef CASSANDRA_CRYPTO_KERNELS_COMMON_HH
+#define CASSANDRA_CRYPTO_KERNELS_COMMON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "asm/assembler.hh"
+#include "core/workload.hh"
+
+namespace cassandra::crypto {
+
+using casm::Assembler;
+using core::Workload;
+using ir::RegId;
+
+/** Argument registers. */
+inline constexpr RegId a0 = 10, a1 = 11, a2 = 12, a3 = 13, a4 = 14,
+                       a5 = 15, a6 = 16, a7 = 17;
+
+/** Write a byte vector into a machine's memory at a data symbol. */
+void pokeBytes(sim::Machine &machine, uint64_t addr,
+               const std::vector<uint8_t> &bytes);
+
+/** Read bytes back from machine memory. */
+std::vector<uint8_t> peekBytes(const sim::Machine &machine, uint64_t addr,
+                               size_t len);
+
+/** Deterministic pseudo-random test bytes (tagged by seed). */
+std::vector<uint8_t> patternBytes(size_t len, uint8_t seed);
+
+} // namespace cassandra::crypto
+
+#endif // CASSANDRA_CRYPTO_KERNELS_COMMON_HH

@@ -1,0 +1,259 @@
+#include "crypto/kernels/keccak_kernel.hh"
+
+#include "crypto/ref/keccak.hh"
+
+namespace cassandra::crypto {
+
+namespace {
+
+constexpr uint64_t kRoundConst[24] = {
+    0x0000000000000001ull, 0x0000000000008082ull, 0x800000000000808aull,
+    0x8000000080008000ull, 0x000000000000808bull, 0x0000000080000001ull,
+    0x8000000080008081ull, 0x8000000000008009ull, 0x000000000000008aull,
+    0x0000000000000088ull, 0x0000000080008009ull, 0x000000008000000aull,
+    0x000000008000808bull, 0x800000000000008bull, 0x8000000000008089ull,
+    0x8000000000008003ull, 0x8000000000008002ull, 0x8000000000000080ull,
+    0x000000000000800aull, 0x800000008000000aull, 0x8000000080008081ull,
+    0x8000000000008080ull, 0x0000000080000001ull, 0x8000000080008008ull,
+};
+
+constexpr int kRotation[25] = {
+    0,  1,  62, 28, 27, 36, 44, 6,  55, 20, 3,  10, 43,
+    25, 39, 41, 45, 15, 21, 8,  18, 2,  61, 56, 14,
+};
+
+// Lanes a[0..24] in x18..x42; c0..c4 in x43..x47; temps x48..x50;
+// round counter x51; round-constant pointer x52.
+constexpr RegId la0 = 18, lc0 = 43, lt0 = 48, lt1 = 49, lt2 = 50,
+                lrnd = 51, lrcp = 52;
+
+RegId
+lane(int i)
+{
+    return static_cast<RegId>(la0 + i);
+}
+
+RegId
+c(int i)
+{
+    return static_cast<RegId>(lc0 + i);
+}
+
+} // namespace
+
+void
+emitKeccak(Assembler &as)
+{
+    as.allocData("kc_rc", 24 * 8, 8);
+    for (int i = 0; i < 24; i++)
+        as.setData64("kc_rc", i, kRoundConst[i]);
+    as.allocData("kc_buf", 200, 8);
+
+    // keccak_f(a0 = state)
+    as.beginFunction("keccak_f", true);
+    for (int i = 0; i < 25; i++)
+        as.ld(lane(i), a0, 8 * i);
+
+    as.la(lrcp, "kc_rc");
+    as.forLoop(lrnd, 0, 24, [&] {
+        // Theta.
+        for (int x = 0; x < 5; x++) {
+            as.xor_(c(x), lane(x), lane(x + 5));
+            as.xor_(c(x), c(x), lane(x + 10));
+            as.xor_(c(x), c(x), lane(x + 15));
+            as.xor_(c(x), c(x), lane(x + 20));
+        }
+        for (int x = 0; x < 5; x++) {
+            // d = c[x-1] ^ rotl(c[x+1], 1); fold into the column.
+            as.rotli(lt0, c((x + 1) % 5), 1);
+            as.xor_(lt0, lt0, c((x + 4) % 5));
+            for (int y = 0; y < 5; y++)
+                as.xor_(lane(x + 5 * y), lane(x + 5 * y), lt0);
+        }
+        // Rho + Pi via the 24-step permutation cycle (one temp).
+        {
+            int x = 1, y = 0;
+            as.mv(lt1, lane(1));
+            for (int i = 0; i < 24; i++) {
+                int nx = y;
+                int ny = (2 * x + 3 * y) % 5;
+                int idx = nx + 5 * ny;
+                as.mv(lt2, lane(idx));
+                as.rotli(lane(idx), lt1, kRotation[x + 5 * y]);
+                as.mv(lt1, lt2);
+                x = nx;
+                y = ny;
+            }
+        }
+        // Chi: a[x] ^= ~a[x+1] & a[x+2] per row, with the originals of
+        // a[0] and a[1] saved for the wrap-around terms.
+        for (int y = 0; y < 5; y++) {
+            as.mv(lt0, lane(5 * y));     // original a[0][y]
+            as.mv(lt1, lane(5 * y + 1)); // original a[1][y]
+            for (int x = 0; x < 5; x++) {
+                RegId ax1 = x < 4 ? lane(5 * y + x + 1) : lt0;
+                RegId ax2 = x < 3 ? lane(5 * y + x + 2)
+                                  : (x == 3 ? lt0 : lt1);
+                if (x == 3)
+                    ax1 = lane(5 * y + 4);
+                as.li(lt2, -1);
+                as.xor_(lt2, lt2, ax1);
+                as.and_(lt2, lt2, ax2);
+                as.xor_(lane(5 * y + x), lane(5 * y + x), lt2);
+            }
+        }
+        // Iota.
+        as.ld(lt0, lrcp, 0);
+        as.xor_(lane(0), lane(0), lt0);
+        as.addi(lrcp, lrcp, 8);
+    });
+
+    for (int i = 0; i < 25; i++)
+        as.sd(lane(i), a0, 8 * i);
+    as.ret();
+    as.endFunction();
+
+    // shake(a0 = out, a1 = outlen, a2 = in, a3 = inlen, a4 = rate)
+    // State lives in kc_buf[0..199]; absorbs full blocks then the
+    // padded tail; squeezes outlen bytes.
+    as.allocData("kc_state", 200, 8);
+    as.beginFunction("shake", true);
+    as.push(ir::regRa);
+    constexpr RegId sout = 53, solen = 54, sin = 55, silen = 56,
+                    srate = 57, soff = 58, st = 59, st2 = 60, st3 = 61,
+                    scnt = 62;
+    as.mv(sout, a0);
+    as.mv(solen, a1);
+    as.mv(sin, a2);
+    as.mv(silen, a3);
+    as.mv(srate, a4);
+
+    // Zero the state.
+    as.la(st, "kc_state");
+    as.forLoop(scnt, 0, 25, [&] {
+        as.sd(ir::regZero, st, 0);
+        as.addi(st, st, 8);
+    });
+
+    // Absorb full rate blocks.
+    as.li(soff, 0);
+    as.label(".shk_absorb");
+    as.add(st, soff, srate);
+    as.bltu(silen, st, ".shk_tail"); // inlen < off + rate ?
+    as.la(st, "kc_state");
+    as.add(st2, sin, soff);
+    as.li(scnt, 0);
+    as.label(".shk_xor");
+    as.add(st3, st2, scnt);
+    as.lb(st3, st3, 0);
+    as.add(lt0, st, scnt);
+    as.lb(lt1, lt0, 0);
+    as.xor_(lt1, lt1, st3);
+    as.sb(lt1, lt0, 0);
+    as.addi(scnt, scnt, 1);
+    as.bltu(scnt, srate, ".shk_xor");
+    as.la(a0, "kc_state");
+    as.call("keccak_f");
+    as.add(soff, soff, srate);
+    as.j(".shk_absorb");
+
+    // Tail: pad with 0x1f ... 0x80 and absorb.
+    as.label(".shk_tail");
+    as.sub(st2, silen, soff); // rem
+    as.la(st, "kc_state");
+    as.add(st3, sin, soff);
+    as.li(scnt, 0);
+    as.label(".shk_txor");
+    as.bge(scnt, st2, ".shk_tdone");
+    as.add(lt0, st3, scnt);
+    as.lb(lt0, lt0, 0);
+    as.add(lt1, st, scnt);
+    as.lb(lt2, lt1, 0);
+    as.xor_(lt2, lt2, lt0);
+    as.sb(lt2, lt1, 0);
+    as.addi(scnt, scnt, 1);
+    as.j(".shk_txor");
+    as.label(".shk_tdone");
+    as.add(lt0, st, st2);
+    as.lb(lt1, lt0, 0);
+    as.xori(lt1, lt1, 0x1f);
+    as.sb(lt1, lt0, 0);
+    as.addi(lt0, srate, -1);
+    as.add(lt0, st, lt0);
+    as.lb(lt1, lt0, 0);
+    as.xori(lt1, lt1, 0x80);
+    as.sb(lt1, lt0, 0);
+    as.la(a0, "kc_state");
+    as.call("keccak_f");
+
+    // Squeeze.
+    as.li(soff, 0);
+    as.label(".shk_squeeze");
+    as.bge(soff, solen, ".shk_done");
+    // chunk = min(rate, outlen - off)
+    as.sub(st2, solen, soff);
+    as.sltu(lt0, srate, st2);
+    as.cmovnz(st2, lt0, srate);
+    as.la(st, "kc_state");
+    as.li(scnt, 0);
+    as.label(".shk_copy");
+    as.bge(scnt, st2, ".shk_copied");
+    as.add(lt0, st, scnt);
+    as.lb(lt0, lt0, 0);
+    as.add(lt1, sout, soff);
+    as.add(lt1, lt1, scnt);
+    as.sb(lt0, lt1, 0);
+    as.addi(scnt, scnt, 1);
+    as.j(".shk_copy");
+    as.label(".shk_copied");
+    as.add(soff, soff, st2);
+    as.bge(soff, solen, ".shk_done");
+    as.la(a0, "kc_state");
+    as.call("keccak_f");
+    as.j(".shk_squeeze");
+    as.label(".shk_done");
+    as.pop(ir::regRa);
+    as.ret();
+    as.endFunction();
+}
+
+Workload
+shakeWorkload()
+{
+    Assembler as;
+    as.allocData("shk_msg", 1024, 8);
+    as.allocData("shk_out", 64, 8);
+
+    as.beginFunction("main", false);
+    as.la(a0, "shk_out");
+    as.li(a1, 64);
+    as.la(a2, "shk_msg");
+    as.li(a3, 1024);
+    as.li(a4, 168); // SHAKE128
+    as.call("shake");
+    as.halt();
+    as.endFunction();
+
+    emitKeccak(as);
+
+    Workload w;
+    w.name = "SHAKE";
+    w.suite = "BearSSL";
+    w.program = as.finalize();
+    uint64_t msg_addr = as.dataAddr("shk_msg");
+    uint64_t out_addr = as.dataAddr("shk_out");
+
+    w.setInput = [=](sim::Machine &m, int which) {
+        pokeBytes(m, msg_addr,
+                  patternBytes(1024, static_cast<uint8_t>(which + 100)));
+    };
+    w.check = [=](const sim::Machine &m) {
+        auto msg = patternBytes(1024, 102);
+        auto expect = ref::shake128(msg, 64);
+        return peekBytes(m, out_addr, 64) == expect;
+    };
+    w.secretRegions = {{msg_addr, msg_addr + 1024}};
+    return w;
+}
+
+} // namespace cassandra::crypto

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Keccak-f[1600] / SHAKE IR kernel (FIPS 202) and the SHAKE workload.
+ * The permutation keeps all 25 lanes in registers; the sponge keeps
+ * the state in memory between permutations.
+ */
+
+#ifndef CASSANDRA_CRYPTO_KERNELS_KECCAK_KERNEL_HH
+#define CASSANDRA_CRYPTO_KERNELS_KECCAK_KERNEL_HH
+
+#include "crypto/kernels/common.hh"
+
+namespace cassandra::crypto {
+
+/**
+ * Define keccak_f(a0 = state200) and
+ * shake(a0 = out, a1 = outlen, a2 = in, a3 = inlen, a4 = rate)
+ * (rate 168 = SHAKE128, 136 = SHAKE256; XOF domain 0x1f).
+ */
+void emitKeccak(Assembler &as);
+
+} // namespace cassandra::crypto
+
+#endif // CASSANDRA_CRYPTO_KERNELS_KECCAK_KERNEL_HH

@@ -1,0 +1,714 @@
+/**
+ * @file
+ * Kyber-style KEM IR kernel (n = 256, q = 3329, eta = 2): NTT/INTT,
+ * basemul, CBD noise sampling and SHAKE128 matrix expansion with
+ * rejection sampling — the paper's example of branches whose traces
+ * are random across runs (footnote 3). The workload runs the full
+ * keygen + encrypt + decrypt flow and checks the ciphertext and the
+ * decrypted message against the C++ reference.
+ */
+
+#include "crypto/kernels/common.hh"
+#include "crypto/kernels/keccak_kernel.hh"
+#include "crypto/ref/kyber.hh"
+
+namespace cassandra::crypto {
+
+namespace {
+
+constexpr int kQ = ref::kyberQ;
+constexpr int kN = ref::kyberN;
+constexpr int64_t kBarrettMu = 41285357; // floor(2^37 / q)
+
+// NTT/poly registers: x18..x35.
+constexpr RegId nk = 18, nlen = 19, nstart = 20, nj = 21, nz = 22,
+                nt = 23, nt2 = 24, nt3 = 25, np = 26, nzp = 27, njl = 28,
+                nlayer = 29, nend = 30, nt4 = 31;
+// Driver registers: x40..x56 (survive shake/keccak which use x18..x52).
+// NOTE: keccak's shake uses up to x62, so drivers around shake calls
+// must stash state in memory instead.
+constexpr RegId gi = 40, gj = 41, gt = 42, gt2 = 43, gt3 = 44, gpos = 45,
+                ggot = 46, gblocks = 47;
+
+/** reg = reg mod q via Barrett + two conditional subtracts.
+ * Requires 0 <= reg < 2^37; clobbers t1, t2. */
+void
+emitModQ(Assembler &as, RegId reg, RegId t1, RegId t2)
+{
+    as.li(t1, kBarrettMu);
+    as.mul(t1, reg, t1);
+    as.shri(t1, t1, 37);
+    as.li(t2, kQ);
+    as.mul(t1, t1, t2);
+    as.sub(reg, reg, t1);
+    for (int i = 0; i < 2; i++) {
+        as.sltiu(t1, reg, kQ);
+        as.xori(t1, t1, 1);
+        as.addi(t2, reg, -kQ);
+        as.cmovnz(reg, t1, t2);
+    }
+}
+
+/** Emit ntt / intt / basemul / poly_add over "kb_zetas". */
+void
+emitNtt(Assembler &as)
+{
+    // Zeta table (public constants).
+    as.allocData("kb_zetas", 128 * 2, 8);
+    {
+        const auto &z = ref::kyberZetas();
+        for (int i = 0; i < 128; i++) {
+            uint8_t b[2] = {static_cast<uint8_t>(z[i] & 0xff),
+                            static_cast<uint8_t>(z[i] >> 8)};
+            as.setData("kb_zetas", 2 * i, b, 2);
+        }
+    }
+
+    // ntt(a0 = poly)
+    as.beginFunction("kyber_ntt", true);
+    as.li(nk, 1);
+    as.forLoop(nlayer, 0, 7, [&] {
+        as.li(nlen, 128);
+        as.shr(nlen, nlen, nlayer);
+        as.li(nstart, 0);
+        as.label(".ntt_start");
+        as.la(nzp, "kb_zetas");
+        as.shli(nt, nk, 1);
+        as.add(nzp, nzp, nt);
+        as.lh(nz, nzp, 0);
+        as.addi(nk, nk, 1);
+        as.mv(nj, nstart);
+        as.add(nend, nstart, nlen);
+        as.label(".ntt_j");
+        // t = zeta * p[j+len] mod q
+        as.shli(nt, nj, 1);
+        as.add(np, a0, nt);
+        as.shli(nt, nlen, 1);
+        as.add(nt3, np, nt); // &p[j+len]
+        as.lh(nt, nt3, 0);
+        as.mul(nt, nt, nz);
+        emitModQ(as, nt, nt2, nt4);
+        // p[j+len] = p[j] - t + q; p[j] = p[j] + t
+        as.lh(nt2, np, 0);
+        as.add(nt4, nt2, nt);
+        emitModQ(as, nt4, njl, nz); // careful: nz reloaded below
+        as.sh(nt4, np, 0);
+        as.addi(nt4, nt2, kQ);
+        as.sub(nt4, nt4, nt);
+        emitModQ(as, nt4, njl, nt2);
+        as.sh(nt4, nt3, 0);
+        // reload zeta (clobbered as a temp above)
+        as.lh(nz, nzp, 0);
+        as.addi(nj, nj, 1);
+        as.blt(nj, nend, ".ntt_j");
+        // start += 2*len
+        as.shli(nt, nlen, 1);
+        as.add(nstart, nstart, nt);
+        as.li(nt, kN);
+        as.blt(nstart, nt, ".ntt_start");
+    });
+    as.ret();
+    as.endFunction();
+
+    // intt(a0 = poly)
+    as.beginFunction("kyber_intt", true);
+    as.li(nk, 127);
+    as.forLoop(nlayer, 0, 7, [&] {
+        // len = 2 << layer
+        as.li(nlen, 2);
+        as.shl(nlen, nlen, nlayer);
+        as.li(nstart, 0);
+        as.label(".intt_start");
+        as.la(nzp, "kb_zetas");
+        as.shli(nt, nk, 1);
+        as.add(nzp, nzp, nt);
+        as.lh(nz, nzp, 0);
+        as.addi(nk, nk, -1);
+        as.mv(nj, nstart);
+        as.add(nend, nstart, nlen);
+        as.label(".intt_j");
+        as.shli(nt, nj, 1);
+        as.add(np, a0, nt);
+        as.shli(nt, nlen, 1);
+        as.add(nt3, np, nt);
+        as.lh(nt, np, 0);   // t = p[j]
+        as.lh(nt2, nt3, 0); // p[j+len]
+        // p[j] = t + p[j+len] mod q
+        as.add(nt4, nt, nt2);
+        emitModQ(as, nt4, njl, nz);
+        as.sh(nt4, np, 0);
+        as.lh(nz, nzp, 0);
+        // p[j+len] = zeta * (p[j+len] - t + q) mod q
+        as.addi(nt4, nt2, kQ);
+        as.sub(nt4, nt4, nt);
+        emitModQ(as, nt4, njl, nt2);
+        as.mul(nt4, nt4, nz);
+        emitModQ(as, nt4, njl, nt2);
+        as.sh(nt4, nt3, 0);
+        as.addi(nj, nj, 1);
+        as.blt(nj, nend, ".intt_j");
+        as.shli(nt, nlen, 1);
+        as.add(nstart, nstart, nt);
+        as.li(nt, kN);
+        as.blt(nstart, nt, ".intt_start");
+    });
+    // Scale by 128^-1 mod q = 3303.
+    as.mv(np, a0);
+    as.forLoop(nj, 0, kN, [&] {
+        as.lh(nt, np, 0);
+        as.li(nt2, 3303);
+        as.mul(nt, nt, nt2);
+        emitModQ(as, nt, nt2, nt3);
+        as.sh(nt, np, 0);
+        as.addi(np, np, 2);
+    });
+    as.ret();
+    as.endFunction();
+
+    // basemul(a0 = dst, a1 = x, a2 = y)
+    as.beginFunction("kyber_basemul", true);
+    as.la(nzp, "kb_zetas", 64 * 2);
+    as.forLoop(nj, 0, kN / 4, [&] {
+        as.lh(nz, nzp, 0);
+        as.addi(nzp, nzp, 2);
+        auto mulmod = [&](RegId dst, RegId x, RegId y) {
+            as.mul(dst, x, y);
+            emitModQ(as, dst, nt3, nt4);
+        };
+        // offsets
+        as.shli(nt, nj, 3); // 4 coefficients * 2 bytes
+        as.add(np, a1, nt);
+        as.add(nstart, a2, nt);
+        as.add(nend, a0, nt);
+        // r0 = a1*b1*zeta + a0*b0
+        as.lh(nt, np, 2);
+        as.lh(nt2, nstart, 2);
+        mulmod(nk, nt, nt2);
+        mulmod(nk, nk, nz);
+        as.lh(nt, np, 0);
+        as.lh(nt2, nstart, 0);
+        mulmod(nlen, nt, nt2);
+        as.add(nk, nk, nlen);
+        emitModQ(as, nk, nt3, nt4);
+        as.sh(nk, nend, 0);
+        // r1 = a0*b1 + a1*b0
+        as.lh(nt, np, 0);
+        as.lh(nt2, nstart, 2);
+        mulmod(nk, nt, nt2);
+        as.lh(nt, np, 2);
+        as.lh(nt2, nstart, 0);
+        mulmod(nlen, nt, nt2);
+        as.add(nk, nk, nlen);
+        emitModQ(as, nk, nt3, nt4);
+        as.sh(nk, nend, 2);
+        // r2 = a3*b3*(q - zeta) + a2*b2
+        as.lh(nt, np, 6);
+        as.lh(nt2, nstart, 6);
+        mulmod(nk, nt, nt2);
+        as.li(nt, kQ);
+        as.sub(nt, nt, nz);
+        mulmod(nk, nk, nt);
+        as.lh(nt, np, 4);
+        as.lh(nt2, nstart, 4);
+        mulmod(nlen, nt, nt2);
+        as.add(nk, nk, nlen);
+        emitModQ(as, nk, nt3, nt4);
+        as.sh(nk, nend, 4);
+        // r3 = a2*b3 + a3*b2
+        as.lh(nt, np, 4);
+        as.lh(nt2, nstart, 6);
+        mulmod(nk, nt, nt2);
+        as.lh(nt, np, 6);
+        as.lh(nt2, nstart, 4);
+        mulmod(nlen, nt, nt2);
+        as.add(nk, nk, nlen);
+        emitModQ(as, nk, nt3, nt4);
+        as.sh(nk, nend, 6);
+    });
+    as.ret();
+    as.endFunction();
+
+    // poly_add(a0 = dst, a1 = x, a2 = y): dst = x + y mod q.
+    as.beginFunction("kyber_poly_add", true);
+    as.forLoop(nj, 0, kN, [&] {
+        as.shli(nt, nj, 1);
+        as.add(np, a1, nt);
+        as.lh(nt2, np, 0);
+        as.add(np, a2, nt);
+        as.lh(nt3, np, 0);
+        as.add(nt2, nt2, nt3);
+        as.sltiu(nt3, nt2, kQ);
+        as.xori(nt3, nt3, 1);
+        as.addi(nt4, nt2, -kQ);
+        as.cmovnz(nt2, nt3, nt4);
+        as.add(np, a0, nt);
+        as.sh(nt2, np, 0);
+    });
+    as.ret();
+    as.endFunction();
+
+    // cbd(a0 = poly, a1 = buf128): eta = 2 centered binomial.
+    as.beginFunction("kyber_cbd", true);
+    as.forLoop(nj, 0, kN / 8, [&] {
+        as.shli(nt, nj, 2);
+        as.add(np, a1, nt);
+        as.lw(nt, np, 0);
+        // d = (t & 0x55555555) + ((t >> 1) & 0x55555555)
+        as.li(nt2, 0x55555555);
+        as.and_(nt3, nt, nt2);
+        as.shri(nt, nt, 1);
+        as.and_(nt, nt, nt2);
+        as.add(nt3, nt3, nt);
+        // 8 coefficients
+        for (int c = 0; c < 8; c++) {
+            as.shri(nt, nt3, 4 * c);
+            as.andi(nt2, nt, 0x3);  // a
+            as.shri(nt, nt, 2);
+            as.andi(nt, nt, 0x3);   // b
+            as.sub(nt2, nt2, nt);
+            as.addi(nt2, nt2, kQ);  // a - b + q
+            as.sltiu(nt, nt2, kQ);
+            as.xori(nt, nt, 1);
+            as.addi(nt4, nt2, -kQ);
+            as.cmovnz(nt2, nt, nt4);
+            as.shli(nt, nj, 4); // 8 coefficients * 2 bytes
+            as.add(np, a0, nt);
+            as.sh(nt2, np, 2 * c);
+        }
+    });
+    as.ret();
+    as.endFunction();
+}
+
+} // namespace
+
+Workload
+kyberWorkload(int k)
+{
+    Assembler as;
+    const size_t poly_bytes = kN * 2;
+    as.allocData("kb_seed_a", 8, 8);
+    as.allocData("kb_seed_n", 8, 8);
+    as.allocData("kb_coins", 8, 8);
+    as.allocData("kb_msg", 32, 8);
+    as.allocData("kb_msg_out", 32, 8);
+    as.allocData("kb_prf_in", 16, 8);
+    as.allocData("kb_cbd_buf", 128, 8);
+    as.allocData("kb_uni_buf", 168 * 6, 8);
+    as.allocData("kb_a", poly_bytes * k * k, 8);
+    as.allocData("kb_s", poly_bytes * k, 8);
+    as.allocData("kb_t", poly_bytes * k, 8);
+    as.allocData("kb_e", poly_bytes * k, 8);
+    as.allocData("kb_r", poly_bytes * k, 8);
+    as.allocData("kb_e1", poly_bytes * k, 8);
+    as.allocData("kb_e2", poly_bytes, 8);
+    as.allocData("kb_u", poly_bytes * k, 8);
+    as.allocData("kb_v", poly_bytes, 8);
+    as.allocData("kb_acc", poly_bytes, 8);
+    as.allocData("kb_prod", poly_bytes, 8);
+
+    const int seed_len = 3; // matches the reference tests
+
+    // ---- helpers emitted as functions ----
+
+    // kyber_uniform(a0 = poly, a1 = i, a2 = j): rejection-sample from
+    // SHAKE128(seed_a || i || j). Matches the reference: regenerate a
+    // longer stream (same prefix, XOF) when it runs dry.
+    as.beginFunction("kyber_uniform", true);
+    as.push(ir::regRa);
+    as.push(a0);
+    // prf_in = seed_a || i || j
+    as.la(gt, "kb_seed_a");
+    as.la(gt2, "kb_prf_in");
+    for (int b = 0; b < seed_len; b++) {
+        as.lb(gt3, gt, b);
+        as.sb(gt3, gt2, b);
+    }
+    as.sb(a1, gt2, seed_len);
+    as.sb(a2, gt2, seed_len + 1);
+    as.li(gblocks, 3);
+    as.label(".uni_retry");
+    // stream = shake128(prf_in, blocks * 168)
+    as.la(a0, "kb_uni_buf");
+    as.li(gt, 168);
+    as.mul(a1, gblocks, gt);
+    as.la(a2, "kb_prf_in");
+    as.li(a3, seed_len + 2);
+    as.li(a4, 168);
+    as.push(gblocks);
+    as.call("shake");
+    as.pop(gblocks);
+    // parse
+    as.li(gpos, 0);
+    as.li(ggot, 0);
+    as.li(gt3, 168);
+    as.mul(gt3, gblocks, gt3); // stream length
+    as.ld(gt2, ir::regSp, 0);  // poly pointer (peeked from stack)
+    as.la(gt, "kb_uni_buf");
+    as.label(".uni_scan");
+    // stop when got == 256 or pos + 3 > len
+    as.li(gj, kN);
+    as.bge(ggot, gj, ".uni_done");
+    as.addi(gj, gpos, 3);
+    as.blt(gt3, gj, ".uni_dry");
+    as.add(gj, gt, gpos);
+    as.lb(gi, gj, 0);
+    as.lb(nt, gj, 1);
+    as.lb(nt2, gj, 2);
+    as.addi(gpos, gpos, 3);
+    // d1 = b0 | ((b1 & 0xf) << 8); d2 = (b1 >> 4) | (b2 << 4)
+    as.andi(nt3, nt, 0xf);
+    as.shli(nt3, nt3, 8);
+    as.or_(gi, gi, nt3);
+    as.shri(nt, nt, 4);
+    as.shli(nt2, nt2, 4);
+    as.or_(nt, nt, nt2);
+    // if d1 < q and got < 256: p[got++] = d1  (rejection branch!)
+    as.sltiu(nt2, gi, kQ);
+    as.beq(nt2, ir::regZero, ".uni_skip1");
+    as.shli(nt2, ggot, 1);
+    as.add(nt2, gt2, nt2);
+    as.sh(gi, nt2, 0);
+    as.addi(ggot, ggot, 1);
+    as.label(".uni_skip1");
+    as.li(gj, kN);
+    as.bge(ggot, gj, ".uni_done");
+    as.sltiu(nt2, nt, kQ);
+    as.beq(nt2, ir::regZero, ".uni_skip2");
+    as.shli(nt2, ggot, 1);
+    as.add(nt2, gt2, nt2);
+    as.sh(nt, nt2, 0);
+    as.addi(ggot, ggot, 1);
+    as.label(".uni_skip2");
+    as.j(".uni_scan");
+    as.label(".uni_dry");
+    as.addi(gblocks, gblocks, 1);
+    as.j(".uni_retry");
+    as.label(".uni_done");
+    as.pop(a0);
+    as.pop(ir::regRa);
+    as.ret();
+    as.endFunction();
+
+    // kyber_cbd_sample(a0 = poly, a1 = nonce, a2 = seed_sym_addr):
+    // poly = CBD(shake256(seed || nonce, 128)).
+    as.beginFunction("kyber_cbd_sample", true);
+    as.push(ir::regRa);
+    as.push(a0);
+    as.la(gt2, "kb_prf_in");
+    as.mv(gt, a2);
+    for (int b = 0; b < seed_len; b++) {
+        as.lb(gt3, gt, b);
+        as.sb(gt3, gt2, b);
+    }
+    as.sb(a1, gt2, seed_len);
+    as.la(a0, "kb_cbd_buf");
+    as.li(a1, 128);
+    as.la(a2, "kb_prf_in");
+    as.li(a3, seed_len + 1);
+    as.li(a4, 136); // SHAKE256
+    as.call("shake");
+    as.pop(a0);
+    as.la(a1, "kb_cbd_buf");
+    as.call("kyber_cbd");
+    as.pop(ir::regRa);
+    as.ret();
+    as.endFunction();
+
+    // matvec(a0 = dst_vec, a1 = mat, a2 = vec, a3 = transpose):
+    // dst[i] = sum_j mat[i][j] (or mat[j][i]) o vec[j] in NTT domain.
+    as.beginFunction("kyber_matvec", true);
+    as.push(ir::regRa);
+    constexpr RegId mi = 53, mj = 54, mdst = 55, mmat = 56, mvec = 57,
+                    mtr = 58, mt = 59, mt2 = 60;
+    as.mv(mdst, a0);
+    as.mv(mmat, a1);
+    as.mv(mvec, a2);
+    as.mv(mtr, a3);
+    as.forLoop(mi, 0, k, [&] {
+        // zero acc
+        as.la(mt, "kb_acc");
+        as.forLoop(mj, 0, kN / 4, [&] {
+            as.sd(ir::regZero, mt, 0);
+            as.addi(mt, mt, 8);
+        });
+        as.forLoop(mj, 0, k, [&] {
+            // index = transpose ? j*k+i : i*k+j
+            as.li(mt, k);
+            as.mul(mt, mi, mt);
+            as.add(mt, mt, mj);
+            as.li(mt2, k);
+            as.mul(mt2, mj, mt2);
+            as.add(mt2, mt2, mi);
+            as.cmovnz(mt, mtr, mt2);
+            as.li(mt2, static_cast<int64_t>(poly_bytes));
+            as.mul(mt, mt, mt2);
+            as.add(a1, mmat, mt);
+            as.li(mt2, static_cast<int64_t>(poly_bytes));
+            as.mul(mt, mj, mt2);
+            as.add(a2, mvec, mt);
+            as.la(a0, "kb_prod");
+            as.call("kyber_basemul");
+            as.la(a0, "kb_acc");
+            as.la(a1, "kb_acc");
+            as.la(a2, "kb_prod");
+            as.call("kyber_poly_add");
+        });
+        as.li(mt, static_cast<int64_t>(poly_bytes));
+        as.mul(mt, mi, mt);
+        as.add(a0, mdst, mt);
+        as.la(a1, "kb_acc");
+        as.li(a2, kN);
+        // copy acc into dst[i]
+        as.forLoop(mj, 0, kN, [&] {
+            as.lh(mt2, a1, 0);
+            as.sh(mt2, a0, 0);
+            as.addi(a0, a0, 2);
+            as.addi(a1, a1, 2);
+        });
+    });
+    as.pop(ir::regRa);
+    as.ret();
+    as.endFunction();
+
+    // ---- main flow: keygen + encrypt + decrypt ----
+    as.beginFunction("main", false);
+    as.call("kyber_kem");
+    as.halt();
+    as.endFunction();
+
+    as.beginFunction("kyber_kem", true);
+    as.push(ir::regRa);
+    constexpr RegId ki = 53, kt = 54, kt2 = 55, kt3 = 56;
+
+    // keygen: A matrix.
+    for (int i = 0; i < k; i++) {
+        for (int j = 0; j < k; j++) {
+            as.la(a0, "kb_a",
+                  static_cast<int64_t>(poly_bytes) * (i * k + j));
+            as.li(a1, i);
+            as.li(a2, j);
+            as.call("kyber_uniform");
+        }
+    }
+    // s, e: CBD + NTT.
+    for (int i = 0; i < k; i++) {
+        as.la(a0, "kb_s", static_cast<int64_t>(poly_bytes) * i);
+        as.li(a1, i);
+        as.la(a2, "kb_seed_n");
+        as.call("kyber_cbd_sample");
+        as.la(a0, "kb_e", static_cast<int64_t>(poly_bytes) * i);
+        as.li(a1, k + i);
+        as.la(a2, "kb_seed_n");
+        as.call("kyber_cbd_sample");
+        as.la(a0, "kb_s", static_cast<int64_t>(poly_bytes) * i);
+        as.call("kyber_ntt");
+        as.la(a0, "kb_e", static_cast<int64_t>(poly_bytes) * i);
+        as.call("kyber_ntt");
+    }
+    // t = A s + e (NTT domain).
+    as.la(a0, "kb_t");
+    as.la(a1, "kb_a");
+    as.la(a2, "kb_s");
+    as.li(a3, 0);
+    as.call("kyber_matvec");
+    for (int i = 0; i < k; i++) {
+        as.la(a0, "kb_t", static_cast<int64_t>(poly_bytes) * i);
+        as.la(a1, "kb_t", static_cast<int64_t>(poly_bytes) * i);
+        as.la(a2, "kb_e", static_cast<int64_t>(poly_bytes) * i);
+        as.call("kyber_poly_add");
+    }
+
+    // encrypt: r, e1 (CBD), e2; r to NTT.
+    for (int i = 0; i < k; i++) {
+        as.la(a0, "kb_r", static_cast<int64_t>(poly_bytes) * i);
+        as.li(a1, i);
+        as.la(a2, "kb_coins");
+        as.call("kyber_cbd_sample");
+        as.la(a0, "kb_e1", static_cast<int64_t>(poly_bytes) * i);
+        as.li(a1, k + i);
+        as.la(a2, "kb_coins");
+        as.call("kyber_cbd_sample");
+        as.la(a0, "kb_r", static_cast<int64_t>(poly_bytes) * i);
+        as.call("kyber_ntt");
+    }
+    as.la(a0, "kb_e2");
+    as.li(a1, 2 * k);
+    as.la(a2, "kb_coins");
+    as.call("kyber_cbd_sample");
+    // u = INTT(A^T r) + e1
+    as.la(a0, "kb_u");
+    as.la(a1, "kb_a");
+    as.la(a2, "kb_r");
+    as.li(a3, 1);
+    as.call("kyber_matvec");
+    for (int i = 0; i < k; i++) {
+        as.la(a0, "kb_u", static_cast<int64_t>(poly_bytes) * i);
+        as.call("kyber_intt");
+        as.la(a0, "kb_u", static_cast<int64_t>(poly_bytes) * i);
+        as.la(a1, "kb_u", static_cast<int64_t>(poly_bytes) * i);
+        as.la(a2, "kb_e1", static_cast<int64_t>(poly_bytes) * i);
+        as.call("kyber_poly_add");
+    }
+    // v = INTT(t . r) + e2 + encode(msg)
+    as.la(kt, "kb_v");
+    as.forLoop(ki, 0, kN / 4, [&] {
+        as.sd(ir::regZero, kt, 0);
+        as.addi(kt, kt, 8);
+    });
+    for (int j = 0; j < k; j++) {
+        as.la(a0, "kb_prod");
+        as.la(a1, "kb_t", static_cast<int64_t>(poly_bytes) * j);
+        as.la(a2, "kb_r", static_cast<int64_t>(poly_bytes) * j);
+        as.call("kyber_basemul");
+        as.la(a0, "kb_v");
+        as.la(a1, "kb_v");
+        as.la(a2, "kb_prod");
+        as.call("kyber_poly_add");
+    }
+    as.la(a0, "kb_v");
+    as.call("kyber_intt");
+    as.la(a0, "kb_v");
+    as.la(a1, "kb_v");
+    as.la(a2, "kb_e2");
+    as.call("kyber_poly_add");
+    // += bit * (q+1)/2
+    as.la(kt, "kb_v");
+    as.la(kt2, "kb_msg");
+    as.forLoop(ki, 0, kN, [&] {
+        as.shri(kt3, ki, 3);
+        as.add(kt3, kt2, kt3);
+        as.lb(kt3, kt3, 0);
+        as.andi(nt, ki, 7);
+        as.shr(kt3, kt3, nt);
+        as.andi(kt3, kt3, 1);
+        as.li(nt, (kQ + 1) / 2);
+        as.mul(kt3, kt3, nt);
+        as.lh(nt, kt, 0);
+        as.add(nt, nt, kt3);
+        // mod q
+        as.sltiu(nt2, nt, kQ);
+        as.xori(nt2, nt2, 1);
+        as.addi(nt3, nt, -kQ);
+        as.cmovnz(nt, nt2, nt3);
+        as.sh(nt, kt, 0);
+        as.addi(kt, kt, 2);
+    });
+
+    // decrypt: acc = INTT(s . NTT(u)); msg_out from v - acc.
+    as.la(kt, "kb_acc");
+    as.forLoop(ki, 0, kN / 4, [&] {
+        as.sd(ir::regZero, kt, 0);
+        as.addi(kt, kt, 8);
+    });
+    for (int j = 0; j < k; j++) {
+        as.la(a0, "kb_u", static_cast<int64_t>(poly_bytes) * j);
+        as.call("kyber_ntt");
+        as.la(a0, "kb_prod");
+        as.la(a1, "kb_s", static_cast<int64_t>(poly_bytes) * j);
+        as.la(a2, "kb_u", static_cast<int64_t>(poly_bytes) * j);
+        as.call("kyber_basemul");
+        as.la(a0, "kb_acc");
+        as.la(a1, "kb_acc");
+        as.la(a2, "kb_prod");
+        as.call("kyber_poly_add");
+    }
+    as.la(a0, "kb_acc");
+    as.call("kyber_intt");
+    // msg_out bits: d = v - acc mod q; bit = q/4 < d < 3q/4.
+    as.la(kt, "kb_msg_out");
+    as.forLoop(ki, 0, 4, [&] {
+        as.sd(ir::regZero, kt, 0);
+        as.addi(kt, kt, 8);
+    });
+    as.la(kt, "kb_v");
+    as.la(kt2, "kb_acc");
+    as.la(kt3, "kb_msg_out");
+    as.forLoop(ki, 0, kN, [&] {
+        as.lh(nt, kt, 0);
+        as.lh(nt2, kt2, 0);
+        as.addi(nt, nt, kQ);
+        as.sub(nt, nt, nt2);
+        as.sltiu(nt2, nt, kQ);
+        as.xori(nt2, nt2, 1);
+        as.addi(nt3, nt, -kQ);
+        as.cmovnz(nt, nt2, nt3);
+        // dist to 0/q: dist = d > q/2 ? q - d : d; bit = dist > q/4
+        as.li(nt2, kQ);
+        as.sub(nt2, nt2, nt);
+        as.slti(nt3, nt, kQ / 2 + 1);
+        as.xori(nt3, nt3, 1);
+        as.cmovnz(nt, nt3, nt2);
+        as.slti(nt2, nt, kQ / 4 + 1);
+        as.xori(nt2, nt2, 1); // bit
+        // msg_out[i/8] |= bit << (i%8)
+        as.andi(nt3, ki, 7);
+        as.shl(nt2, nt2, nt3);
+        as.shri(nt3, ki, 3);
+        as.add(nt3, kt3, nt3);
+        as.lb(nt4, nt3, 0);
+        as.or_(nt4, nt4, nt2);
+        as.sb(nt4, nt3, 0);
+        as.addi(kt, kt, 2);
+        as.addi(kt2, kt2, 2);
+    });
+    as.pop(ir::regRa);
+    as.ret();
+    as.endFunction();
+
+    emitNtt(as);
+    emitKeccak(as);
+
+    Workload w;
+    w.name = k == 2 ? "kyber512" : "kyber768";
+    w.suite = "PQC";
+    w.program = as.finalize();
+    uint64_t seed_a_addr = as.dataAddr("kb_seed_a");
+    uint64_t seed_n_addr = as.dataAddr("kb_seed_n");
+    uint64_t coins_addr = as.dataAddr("kb_coins");
+    uint64_t msg_addr = as.dataAddr("kb_msg");
+    uint64_t msg_out_addr = as.dataAddr("kb_msg_out");
+    uint64_t v_addr = as.dataAddr("kb_v");
+
+    w.setInput = [=](sim::Machine &m, int which) {
+        // The A seed is public randomness; it differs across the two
+        // *analysis* inputs (0/1) so the rejection-sampling branches
+        // are detected as input-dependent (paper footnote 3). For the
+        // contract pair (3/4) only genuine secrets vary — the CBD
+        // noise seed and the message — which exercise no branches.
+        uint8_t base = static_cast<uint8_t>(which == 2 ? 0 : which + 1);
+        uint8_t pub = which == 0 || which == 1
+            ? static_cast<uint8_t>(which + 1) : 0;
+        pokeBytes(m, seed_a_addr,
+                  {static_cast<uint8_t>(1 + pub), 2, 3});
+        pokeBytes(m, seed_n_addr, {4, static_cast<uint8_t>(5 + base), 6});
+        pokeBytes(m, coins_addr, {7, 8, static_cast<uint8_t>(9 + base)});
+        pokeBytes(m, msg_addr,
+                  patternBytes(32, static_cast<uint8_t>(11 * (base + 1))));
+    };
+    w.check = [=](const sim::Machine &m) {
+        std::vector<uint8_t> seed_a = {1, 2, 3};
+        std::vector<uint8_t> seed_n = {4, 5, 6};
+        std::vector<uint8_t> coins = {7, 8, 9};
+        auto kp = ref::kyberKeyGen(k, seed_a, seed_n);
+        std::array<uint8_t, 32> msg;
+        auto mv = patternBytes(32, 11);
+        std::copy(mv.begin(), mv.end(), msg.begin());
+        auto ct = ref::kyberEncrypt(kp, k, msg, coins);
+        // Compare the v polynomial and the decrypted message.
+        auto vb = peekBytes(m, v_addr, kN * 2);
+        for (int i = 0; i < kN; i++) {
+            int16_t got = static_cast<int16_t>(
+                vb[2 * i] | (vb[2 * i + 1] << 8));
+            if (got != ct.v[i])
+                return false;
+        }
+        auto out = peekBytes(m, msg_out_addr, 32);
+        return std::equal(mv.begin(), mv.end(), out.begin());
+    };
+    w.secretRegions = {{seed_n_addr, seed_n_addr + 8},
+                       {msg_addr, msg_addr + 32}};
+    return w;
+}
+
+} // namespace cassandra::crypto

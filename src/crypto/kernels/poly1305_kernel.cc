@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Poly1305 IR kernel (RFC 8439) in the donna 26-bit-limb layout —
+ * the analog of BearSSL's poly1305_ctmul. Message length must be a
+ * multiple of 16 (the workload uses a 256-byte message).
+ */
+
+#include "crypto/kernels/common.hh"
+#include "crypto/ref/poly1305.hh"
+
+namespace cassandra::crypto {
+
+namespace {
+
+// h0..h4: x18..x22, r0..r4: x23..x27, s1..s4: x28..x31,
+// d0..d4: x32..x36, scratch: x37..x44.
+constexpr RegId rh = 18, rr0 = 23, rs1 = 28, rd0 = 32;
+constexpr RegId rc = 37, rt = 38, rt2 = 39, rmsgp = 40, rcnt = 41,
+                rmask = 42, rt3 = 43;
+
+RegId
+h(int i) { return static_cast<RegId>(rh + i); }
+RegId
+r(int i) { return static_cast<RegId>(rr0 + i); }
+RegId
+s(int i) { return static_cast<RegId>(rs1 + i - 1); }
+RegId
+d(int i) { return static_cast<RegId>(rd0 + i); }
+
+void
+emitPoly1305(Assembler &as)
+{
+    // poly1305(a0 = out16, a1 = key32, a2 = msg, a3 = len)
+    as.beginFunction("poly1305", true);
+    as.li(rmask, 0x3ffffff);
+
+    // r limbs with the RFC clamp masks.
+    as.lw(r(0), a1, 0);
+    as.and_(r(0), r(0), rmask);
+    as.lw(r(1), a1, 3);
+    as.shri(r(1), r(1), 2);
+    as.li(rt, 0x3ffff03);
+    as.and_(r(1), r(1), rt);
+    as.lw(r(2), a1, 6);
+    as.shri(r(2), r(2), 4);
+    as.li(rt, 0x3ffc0ff);
+    as.and_(r(2), r(2), rt);
+    as.lw(r(3), a1, 9);
+    as.shri(r(3), r(3), 6);
+    as.li(rt, 0x3f03fff);
+    as.and_(r(3), r(3), rt);
+    as.lw(r(4), a1, 12);
+    as.shri(r(4), r(4), 8);
+    as.li(rt, 0x00fffff);
+    as.and_(r(4), r(4), rt);
+    for (int i = 1; i <= 4; i++) {
+        as.shli(rt, r(i), 2);
+        as.add(s(i), rt, r(i)); // s = 5r
+    }
+    for (int i = 0; i < 5; i++)
+        as.li(h(i), 0);
+
+    // Block loop.
+    as.mv(rmsgp, a2);
+    as.li(rcnt, 0);
+    as.label(".poly_blk");
+    // m limbs from unaligned 32-bit loads.
+    as.lw(rt, rmsgp, 0);
+    as.and_(rt, rt, rmask);
+    as.add(h(0), h(0), rt);
+    as.lw(rt, rmsgp, 3);
+    as.shri(rt, rt, 2);
+    as.and_(rt, rt, rmask);
+    as.add(h(1), h(1), rt);
+    as.lw(rt, rmsgp, 6);
+    as.shri(rt, rt, 4);
+    as.and_(rt, rt, rmask);
+    as.add(h(2), h(2), rt);
+    as.lw(rt, rmsgp, 9);
+    as.shri(rt, rt, 6);
+    as.and_(rt, rt, rmask);
+    as.add(h(3), h(3), rt);
+    as.lw(rt, rmsgp, 12);
+    as.shri(rt, rt, 8);
+    as.li(rt2, 1 << 24); // full-block high bit
+    as.or_(rt, rt, rt2);
+    as.add(h(4), h(4), rt);
+
+    // d = h * r (schoolbook mod 2^130-5 with 5r folding).
+    auto mac = [&](int di, RegId x, RegId y, bool first) {
+        as.mul(rt, x, y);
+        if (first)
+            as.mv(d(di), rt);
+        else
+            as.add(d(di), d(di), rt);
+    };
+    mac(0, h(0), r(0), true);
+    mac(0, h(1), s(4), false);
+    mac(0, h(2), s(3), false);
+    mac(0, h(3), s(2), false);
+    mac(0, h(4), s(1), false);
+    mac(1, h(0), r(1), true);
+    mac(1, h(1), r(0), false);
+    mac(1, h(2), s(4), false);
+    mac(1, h(3), s(3), false);
+    mac(1, h(4), s(2), false);
+    mac(2, h(0), r(2), true);
+    mac(2, h(1), r(1), false);
+    mac(2, h(2), r(0), false);
+    mac(2, h(3), s(4), false);
+    mac(2, h(4), s(3), false);
+    mac(3, h(0), r(3), true);
+    mac(3, h(1), r(2), false);
+    mac(3, h(2), r(1), false);
+    mac(3, h(3), r(0), false);
+    mac(3, h(4), s(4), false);
+    mac(4, h(0), r(4), true);
+    mac(4, h(1), r(3), false);
+    mac(4, h(2), r(2), false);
+    mac(4, h(3), r(1), false);
+    mac(4, h(4), r(0), false);
+
+    // Carry chain.
+    as.shri(rc, d(0), 26);
+    as.and_(d(0), d(0), rmask);
+    for (int i = 1; i < 5; i++) {
+        as.add(d(i), d(i), rc);
+        as.shri(rc, d(i), 26);
+        as.and_(d(i), d(i), rmask);
+    }
+    as.shli(rt, rc, 2);
+    as.add(rt, rt, rc); // c * 5
+    as.add(d(0), d(0), rt);
+    as.shri(rc, d(0), 26);
+    as.and_(d(0), d(0), rmask);
+    as.add(d(1), d(1), rc);
+    for (int i = 0; i < 5; i++)
+        as.mv(h(i), d(i));
+
+    as.addi(rmsgp, rmsgp, 16);
+    as.addi(rcnt, rcnt, 16);
+    as.bltu(rcnt, a3, ".poly_blk");
+
+    // Final reduction.
+    as.shri(rc, h(1), 26);
+    as.and_(h(1), h(1), rmask);
+    for (int i = 2; i < 5; i++) {
+        as.add(h(i), h(i), rc);
+        as.shri(rc, h(i), 26);
+        as.and_(h(i), h(i), rmask);
+    }
+    as.shli(rt, rc, 2);
+    as.add(rt, rt, rc);
+    as.add(h(0), h(0), rt);
+    as.shri(rc, h(0), 26);
+    as.and_(h(0), h(0), rmask);
+    as.add(h(1), h(1), rc);
+
+    // g = h + 5 - 2^130; select h or g constant-time.
+    as.addi(d(0), h(0), 5);
+    as.shri(rc, d(0), 26);
+    as.and_(d(0), d(0), rmask);
+    for (int i = 1; i < 5; i++) {
+        as.add(d(i), h(i), rc);
+        if (i < 4) {
+            as.shri(rc, d(i), 26);
+            as.and_(d(i), d(i), rmask);
+        }
+    }
+    as.li(rt, 1 << 26);
+    as.sub(d(4), d(4), rt);
+    as.shri(rt2, d(4), 63); // 1 when g < 0 (h < p)
+    as.xori(rt2, rt2, 1);   // take g when h >= p
+    for (int i = 0; i < 5; i++) {
+        if (i == 4)
+            as.and_(d(4), d(4), rmask);
+        as.cmovnz(h(i), rt2, d(i));
+    }
+
+    // Serialize to 128 bits and add s = key[16..31].
+    as.shli(rt, h(1), 26);
+    as.or_(d(0), h(0), rt);
+    as.li(rt, 0xffffffff);
+    as.and_(d(0), d(0), rt);
+    as.shri(d(1), h(1), 6);
+    as.shli(rt2, h(2), 20);
+    as.or_(d(1), d(1), rt2);
+    as.and_(d(1), d(1), rt);
+    as.shri(d(2), h(2), 12);
+    as.shli(rt2, h(3), 14);
+    as.or_(d(2), d(2), rt2);
+    as.and_(d(2), d(2), rt);
+    as.shri(d(3), h(3), 18);
+    as.shli(rt2, h(4), 8);
+    as.or_(d(3), d(3), rt2);
+    as.and_(d(3), d(3), rt);
+
+    as.li(rc, 0);
+    for (int i = 0; i < 4; i++) {
+        as.lw(rt2, a1, 16 + 4 * i);
+        as.add(d(i), d(i), rt2);
+        as.add(d(i), d(i), rc);
+        as.shri(rc, d(i), 32);
+        as.and_(d(i), d(i), rt);
+        as.sw(d(i), a0, 4 * i);
+    }
+    as.ret();
+    as.endFunction();
+    (void)rt3;
+}
+
+} // namespace
+
+Workload
+poly1305Workload()
+{
+    Assembler as;
+    as.allocData("p_key", 32, 8);
+    as.allocData("p_msg", 256, 8);
+    as.allocData("p_out", 16, 8);
+
+    as.beginFunction("main", false);
+    as.la(a0, "p_out");
+    as.la(a1, "p_key");
+    as.la(a2, "p_msg");
+    as.li(a3, 256);
+    as.call("poly1305");
+    as.halt();
+    as.endFunction();
+
+    emitPoly1305(as);
+
+    Workload w;
+    w.name = "Poly1305_ctmul";
+    w.suite = "BearSSL";
+    w.program = as.finalize();
+    uint64_t key_addr = as.dataAddr("p_key");
+    uint64_t msg_addr = as.dataAddr("p_msg");
+    uint64_t out_addr = as.dataAddr("p_out");
+
+    w.setInput = [=](sim::Machine &m, int which) {
+        pokeBytes(m, key_addr,
+                  patternBytes(32, static_cast<uint8_t>(which + 90)));
+        pokeBytes(m, msg_addr, patternBytes(256, 0x66));
+    };
+    w.check = [=](const sim::Machine &m) {
+        auto key = patternBytes(32, 92);
+        auto msg = patternBytes(256, 0x66);
+        auto expect = ref::poly1305Mac(key.data(), msg);
+        auto got = peekBytes(m, out_addr, 16);
+        return std::equal(expect.begin(), expect.end(), got.begin());
+    };
+    w.secretRegions = {{key_addr, key_addr + 32}};
+    return w;
+}
+
+} // namespace cassandra::crypto

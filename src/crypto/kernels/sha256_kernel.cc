@@ -1,0 +1,573 @@
+#include "crypto/kernels/sha256_kernel.hh"
+
+#include "crypto/ref/sha256.hh"
+
+namespace cassandra::crypto {
+
+namespace {
+
+constexpr uint32_t kInit[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                               0xa54ff53a, 0x510e527f, 0x9b05688c,
+                               0x1f83d9ab, 0x5be0cd19};
+
+constexpr uint32_t kRound[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b,
+    0x59f111f1, 0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01,
+    0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7,
+    0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc,
+    0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152,
+    0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819,
+    0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116, 0x1e376c08,
+    0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f,
+    0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+};
+
+// Register plan.
+constexpr RegId rA = 18; // a..h in x18..x25
+constexpr RegId rw = 26, rk = 27, rt1 = 28, rt2 = 29;
+constexpr RegId tA = 30, tB = 31, tC = 32;
+constexpr RegId rcnt = 33, rp1 = 34, rp2 = 35, rt3 = 36;
+
+RegId
+hreg(int i)
+{
+    return static_cast<RegId>(rA + i);
+}
+
+/** rd = bswap32(rs); clobbers t1, t2. */
+void
+emitBswap32(Assembler &as, RegId rd, RegId rs, RegId t1, RegId t2)
+{
+    as.shri(t1, rs, 24);
+    as.shri(t2, rs, 8);
+    as.andi(t2, t2, 0xff00);
+    as.or_(t1, t1, t2);
+    as.shli(t2, rs, 8);
+    as.andi(t2, t2, 0xff0000);
+    as.or_(t1, t1, t2);
+    as.shli(t2, rs, 24);
+    as.andi(t2, t2, 0xff000000);
+    as.or_(rd, t1, t2);
+}
+
+/** rd = rotr32(rs, n) (via the 32-bit rotate-left). */
+void
+emitRotr32(Assembler &as, RegId rd, RegId rs, int n)
+{
+    as.rotlwi(rd, rs, (32 - n) % 32);
+}
+
+/** Message-schedule step for w[i] given pointers set up. */
+void
+emitScheduleStep(Assembler &as)
+{
+    // w[i] = w[i-16] + s0(w[i-15]) + w[i-7] + s1(w[i-2])
+    as.lw(rw, rp1, -16 * 4);
+    as.lw(rt1, rp1, -15 * 4);
+    emitRotr32(as, tA, rt1, 7);
+    emitRotr32(as, tB, rt1, 18);
+    as.shri(tC, rt1, 3);
+    as.xor_(tA, tA, tB);
+    as.xor_(tA, tA, tC);
+    as.addw(rw, rw, tA);
+    as.lw(rt1, rp1, -7 * 4);
+    as.addw(rw, rw, rt1);
+    as.lw(rt1, rp1, -2 * 4);
+    emitRotr32(as, tA, rt1, 17);
+    emitRotr32(as, tB, rt1, 19);
+    as.shri(tC, rt1, 10);
+    as.xor_(tA, tA, tB);
+    as.xor_(tA, tA, tC);
+    as.addw(rw, rw, tA);
+    as.sw(rw, rp1, 0);
+}
+
+/** One round with w in rw and k in rk; rotates the working registers. */
+void
+emitRound(Assembler &as)
+{
+    // t1 = h + S1(e) + ch(e,f,g) + k + w
+    emitRotr32(as, tA, hreg(4), 6);
+    emitRotr32(as, tB, hreg(4), 11);
+    as.xor_(tA, tA, tB);
+    emitRotr32(as, tB, hreg(4), 25);
+    as.xor_(tA, tA, tB); // S1
+    as.and_(tB, hreg(4), hreg(5));
+    as.li(tC, 0xffffffff);
+    as.xor_(tC, hreg(4), tC);
+    as.and_(tC, tC, hreg(6));
+    as.xor_(tB, tB, tC); // ch
+    as.addw(rt1, hreg(7), tA);
+    as.addw(rt1, rt1, tB);
+    as.addw(rt1, rt1, rk);
+    as.addw(rt1, rt1, rw);
+    // t2 = S0(a) + maj(a,b,c)
+    emitRotr32(as, tA, hreg(0), 2);
+    emitRotr32(as, tB, hreg(0), 13);
+    as.xor_(tA, tA, tB);
+    emitRotr32(as, tB, hreg(0), 22);
+    as.xor_(tA, tA, tB); // S0
+    as.and_(tB, hreg(0), hreg(1));
+    as.and_(tC, hreg(0), hreg(2));
+    as.xor_(tB, tB, tC);
+    as.and_(tC, hreg(1), hreg(2));
+    as.xor_(tB, tB, tC); // maj
+    as.addw(rt2, tA, tB);
+    // rotate h..a
+    as.mv(hreg(7), hreg(6));
+    as.mv(hreg(6), hreg(5));
+    as.mv(hreg(5), hreg(4));
+    as.addw(hreg(4), hreg(3), rt1);
+    as.mv(hreg(3), hreg(2));
+    as.mv(hreg(2), hreg(1));
+    as.mv(hreg(1), hreg(0));
+    as.addw(hreg(0), rt1, rt2);
+}
+
+} // namespace
+
+void
+emitSha256(Assembler &as, bool unroll_rounds)
+{
+    as.allocData("sha_k", 64 * 4, 4);
+    for (int i = 0; i < 64; i++)
+        as.setData32("sha_k", i, kRound[i]);
+    as.allocData("sha_w", 64 * 4, 4);
+
+    // sha256_init(a0 = state)
+    as.beginFunction("sha256_init", true);
+    for (int i = 0; i < 8; i++) {
+        as.li(rt1, kInit[i]);
+        as.sw(rt1, a0, 4 * i);
+    }
+    as.ret();
+    as.endFunction();
+
+    // sha256_compress(a0 = state, a1 = block)
+    as.beginFunction("sha256_compress", true);
+    // Load big-endian message words into sha_w[0..15].
+    as.la(rp1, "sha_w");
+    for (int i = 0; i < 16; i++) {
+        as.lw(rt1, a1, 4 * i);
+        emitBswap32(as, rw, rt1, tA, tB);
+        as.sw(rw, rp1, 4 * i);
+    }
+    // Schedule w[16..63].
+    if (unroll_rounds) {
+        for (int i = 16; i < 64; i++) {
+            as.la(rp1, "sha_w", 4 * i);
+            emitScheduleStep(as);
+        }
+    } else {
+        as.la(rp1, "sha_w", 16 * 4);
+        as.forLoop(rcnt, 16, 64, [&] {
+            emitScheduleStep(as);
+            as.addi(rp1, rp1, 4);
+        });
+    }
+    // Load working registers a..h.
+    for (int i = 0; i < 8; i++)
+        as.lw(hreg(i), a0, 4 * i);
+    // 64 rounds.
+    if (unroll_rounds) {
+        for (int i = 0; i < 64; i++) {
+            as.la(rp1, "sha_w", 4 * i);
+            as.lw(rw, rp1, 0);
+            as.li(rk, kRound[i]);
+            emitRound(as);
+        }
+    } else {
+        as.la(rp1, "sha_w");
+        as.la(rp2, "sha_k");
+        as.forLoop(rcnt, 0, 64, [&] {
+            as.lw(rw, rp1, 0);
+            as.lw(rk, rp2, 0);
+            emitRound(as);
+            as.addi(rp1, rp1, 4);
+            as.addi(rp2, rp2, 4);
+        });
+    }
+    // state += working registers.
+    for (int i = 0; i < 8; i++) {
+        as.lw(rt1, a0, 4 * i);
+        as.addw(rt1, rt1, hreg(i));
+        as.sw(rt1, a0, 4 * i);
+    }
+    as.ret();
+    as.endFunction();
+
+    // sha256_full(a0 = out, a1 = msg, a2 = len)
+    as.allocData("sha_state", 32, 4);
+    as.allocData("sha_pad", 128, 8);
+    as.beginFunction("sha256_full", true);
+    as.push(ir::regRa);
+    // Save args in callee-stable registers (x37..x39 are not touched
+    // by init/compress).
+    constexpr RegId rout = 37, rmsg = 38, rlen = 39, roff = 40;
+    as.mv(rout, a0);
+    as.mv(rmsg, a1);
+    as.mv(rlen, a2);
+
+    as.la(a0, "sha_state");
+    as.call("sha256_init");
+
+    // Full 64-byte blocks.
+    as.li(roff, 0);
+    as.label(".sha_blocks");
+    as.addi(rt1, roff, 64);
+    as.bltu(rlen, rt1, ".sha_tail"); // len < off + 64 ?
+    as.la(a0, "sha_state");
+    as.add(a1, rmsg, roff);
+    as.call("sha256_compress");
+    as.addi(roff, roff, 64);
+    as.j(".sha_blocks");
+
+    as.label(".sha_tail");
+    // Zero the 128-byte pad buffer.
+    as.la(rp1, "sha_pad");
+    as.forLoop(rcnt, 0, 16, [&] {
+        as.sd(ir::regZero, rp1, 0);
+        as.addi(rp1, rp1, 8);
+    });
+    // Copy the remaining bytes.
+    as.sub(rt2, rlen, roff); // rem
+    as.la(rp1, "sha_pad");
+    as.add(rp2, rmsg, roff);
+    as.li(rcnt, 0);
+    as.label(".sha_copy");
+    as.bge(rcnt, rt2, ".sha_copied");
+    as.add(rt1, rp2, rcnt);
+    as.lb(rt1, rt1, 0);
+    as.add(rt3, rp1, rcnt);
+    as.sb(rt1, rt3, 0);
+    as.addi(rcnt, rcnt, 1);
+    as.j(".sha_copy");
+    as.label(".sha_copied");
+    // Append 0x80.
+    as.add(rt1, rp1, rt2);
+    as.li(rt3, 0x80);
+    as.sb(rt3, rt1, 0);
+    // Length in bits, big-endian, at the end of the last block:
+    // if rem >= 56 two blocks are needed.
+    as.shli(rt3, rlen, 3); // bit length
+    emitBswap32(as, rw, rt3, tA, tB); // low 32 bits, swapped
+    as.slti(rt1, rt2, 56);
+    as.bne(rt1, ir::regZero, ".sha_one_block");
+    // two blocks: length at sha_pad[124]
+    as.sw(rw, rp1, 124);
+    as.la(a0, "sha_state");
+    as.mv(a1, rp1);
+    as.call("sha256_compress");
+    as.la(rp1, "sha_pad");
+    as.la(a0, "sha_state");
+    as.addi(a1, rp1, 64);
+    as.call("sha256_compress");
+    as.j(".sha_out");
+    as.label(".sha_one_block");
+    as.sw(rw, rp1, 60);
+    as.la(a0, "sha_state");
+    as.mv(a1, rp1);
+    as.call("sha256_compress");
+
+    as.label(".sha_out");
+    // Byte-swap the state into out.
+    as.la(rp1, "sha_state");
+    for (int i = 0; i < 8; i++) {
+        as.lw(rt1, rp1, 4 * i);
+        emitBswap32(as, rw, rt1, tA, tB);
+        as.sw(rw, rout, 4 * i);
+    }
+    as.pop(ir::regRa);
+    as.ret();
+    as.endFunction();
+}
+
+void
+emitHmacSha256(Assembler &as)
+{
+    as.allocData("hmac_pad", 64 + 256, 8); // ipad||msg scratch
+    as.allocData("hmac_opad", 64 + 32, 8);
+    as.allocData("hmac_inner", 32, 4);
+
+    // hmac_sha256(a0 = out, a1 = key, a2 = keylen(<=64), a3 = msg,
+    //             a4 = msglen(<=256))
+    as.beginFunction("hmac_sha256", true);
+    as.push(ir::regRa);
+    constexpr RegId rout = 41, rkey = 42, rkl = 43, rmsg = 44, rml = 45;
+    constexpr RegId rc = 46, rt = 47, rt2b = 48;
+    as.mv(rout, a0);
+    as.mv(rkey, a1);
+    as.mv(rkl, a2);
+    as.mv(rmsg, a3);
+    as.mv(rml, a4);
+
+    // Build ipad and opad: key padded to 64 bytes XOR 0x36 / 0x5c.
+    as.la(rp1, "hmac_pad");
+    as.la(rp2, "hmac_opad");
+    as.li(rc, 0);
+    as.label(".hmac_kpad");
+    // byte = i < keylen ? key[i] : 0
+    as.li(rt, 0);
+    as.slt(rt2b, rc, rkl);
+    as.beq(rt2b, ir::regZero, ".hmac_kzero");
+    as.add(rt, rkey, rc);
+    as.lb(rt, rt, 0);
+    as.label(".hmac_kzero");
+    as.xori(rt2b, rt, 0x36);
+    as.add(rt3, rp1, rc);
+    as.sb(rt2b, rt3, 0);
+    as.xori(rt2b, rt, 0x5c);
+    as.add(rt3, rp2, rc);
+    as.sb(rt2b, rt3, 0);
+    as.addi(rc, rc, 1);
+    as.slti(rt2b, rc, 64);
+    as.bne(rt2b, ir::regZero, ".hmac_kpad");
+
+    // inner = sha256(ipad || msg)
+    as.li(rc, 0);
+    as.label(".hmac_mcopy");
+    as.bge(rc, rml, ".hmac_mdone");
+    as.add(rt, rmsg, rc);
+    as.lb(rt, rt, 0);
+    as.add(rt3, rp1, rc);
+    as.sb(rt, rt3, 64);
+    as.addi(rc, rc, 1);
+    as.j(".hmac_mcopy");
+    as.label(".hmac_mdone");
+    as.la(a0, "hmac_inner");
+    as.mv(a1, rp1);
+    as.addi(a2, rml, 64);
+    as.call("sha256_full");
+
+    // out = sha256(opad || inner)
+    as.la(rp2, "hmac_opad");
+    as.la(rp1, "hmac_inner");
+    as.forLoop(rc, 0, 32, [&] {
+        as.add(rt, rp1, rc);
+        as.lb(rt, rt, 0);
+        as.add(rt3, rp2, rc);
+        as.sb(rt, rt3, 64);
+    });
+    as.mv(a0, rout);
+    as.la(a1, "hmac_opad");
+    as.li(a2, 96);
+    as.call("sha256_full");
+    as.pop(ir::regRa);
+    as.ret();
+    as.endFunction();
+}
+
+namespace {
+
+Workload
+makeSha256(const std::string &name, const std::string &suite, bool unroll,
+           size_t msg_len)
+{
+    Assembler as;
+    as.allocData("msg", 1024, 8);
+    as.allocData("out", 32, 4);
+    as.allocData("len", 8);
+
+    as.beginFunction("main", false);
+    as.la(a0, "out");
+    as.la(a1, "msg");
+    as.la(rt1, "len");
+    as.ld(a2, rt1, 0);
+    as.call("sha256_full");
+    as.halt();
+    as.endFunction();
+
+    emitSha256(as, unroll);
+
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.program = as.finalize();
+    uint64_t msg_addr = as.dataAddr("msg");
+    uint64_t out_addr = as.dataAddr("out");
+    uint64_t len_addr = as.dataAddr("len");
+
+    w.setInput = [=](sim::Machine &m, int which) {
+        pokeBytes(m, msg_addr,
+                  patternBytes(msg_len, static_cast<uint8_t>(which + 9)));
+        m.write64(len_addr, msg_len);
+    };
+    w.check = [=](const sim::Machine &m) {
+        auto msg = patternBytes(msg_len, 11);
+        auto expect = ref::sha256(msg);
+        auto got = peekBytes(m, out_addr, 32);
+        return std::equal(expect.begin(), expect.end(), got.begin());
+    };
+    w.secretRegions = {{msg_addr, msg_addr + 1024}};
+    return w;
+}
+
+} // namespace
+
+Workload
+sha256BearsslWorkload()
+{
+    return makeSha256("SHA-256", "BearSSL", /*unroll=*/false, 640);
+}
+
+Workload
+sha256OpensslWorkload()
+{
+    return makeSha256("sha256", "OpenSSL", /*unroll=*/true, 640);
+}
+
+Workload
+tlsPrfWorkload()
+{
+    Assembler as;
+    as.allocData("secret", 32, 8);
+    as.allocData("seed", 48, 8);
+    as.allocData("a_buf", 32 + 48, 8); // A(i) || label_seed
+    as.allocData("out", 128, 8);
+
+    // TLS 1.2 P_SHA256: A(0) = seed; A(i) = HMAC(secret, A(i-1));
+    // out += HMAC(secret, A(i) || seed).
+    as.beginFunction("main", false);
+    as.call("tls_prf");
+    as.halt();
+    as.endFunction();
+
+    as.beginFunction("tls_prf", true);
+    as.push(ir::regRa);
+    constexpr RegId riter = 49, rcopy = 50, rt = 51, rt2b = 52, rp = 53;
+    // a_buf[0..31] = HMAC(secret, seed) after first round; start by
+    // computing A(1) directly.
+    as.la(a0, "a_buf");
+    as.la(a1, "secret");
+    as.li(a2, 32);
+    as.la(a3, "seed");
+    as.li(a4, 48);
+    as.call("hmac_sha256");
+    // Copy seed behind A.
+    as.la(rp, "a_buf");
+    as.la(rt2b, "seed");
+    as.forLoop(rcopy, 0, 48, [&] {
+        as.add(rt, rt2b, rcopy);
+        as.lb(rt, rt, 0);
+        as.add(a0, rp, rcopy);
+        as.sb(rt, a0, 32);
+    });
+    // Four output blocks of 32 bytes.
+    as.forLoop(riter, 0, 4, [&] {
+        as.push(riter);
+        // out[i*32..] = HMAC(secret, A || seed)
+        as.la(a0, "out");
+        as.shli(rt, riter, 5);
+        as.add(a0, a0, rt);
+        as.la(a1, "secret");
+        as.li(a2, 32);
+        as.la(a3, "a_buf");
+        as.li(a4, 80);
+        as.call("hmac_sha256");
+        // A = HMAC(secret, A)
+        as.la(a0, "a_buf");
+        as.la(a1, "secret");
+        as.li(a2, 32);
+        as.la(a3, "a_buf");
+        as.li(a4, 32);
+        as.call("hmac_sha256");
+        as.pop(riter);
+    });
+    as.pop(ir::regRa);
+    as.ret();
+    as.endFunction();
+
+    emitSha256(as, /*unroll=*/false);
+    emitHmacSha256(as);
+
+    Workload w;
+    w.name = "TLS PRF";
+    w.suite = "BearSSL";
+    w.program = as.finalize();
+    uint64_t secret_addr = as.dataAddr("secret");
+    uint64_t seed_addr = as.dataAddr("seed");
+    uint64_t out_addr = as.dataAddr("out");
+
+    w.setInput = [=](sim::Machine &m, int which) {
+        pokeBytes(m, secret_addr,
+                  patternBytes(32, static_cast<uint8_t>(which + 20)));
+        pokeBytes(m, seed_addr, patternBytes(48, 0x77));
+    };
+    w.check = [=](const sim::Machine &m) {
+        auto secret = patternBytes(32, 22);
+        auto seed = patternBytes(48, 0x77);
+        auto expect = ref::tls12Prf(secret, seed, 128);
+        return peekBytes(m, out_addr, 128) == expect;
+    };
+    w.secretRegions = {{secret_addr, secret_addr + 32}};
+    return w;
+}
+
+Workload
+multiHashWorkload()
+{
+    // BearSSL's MultiHash runs several digests over the same input; we
+    // hash four slices of the message in one crypto routine.
+    Assembler as;
+    as.allocData("msg", 512, 8);
+    as.allocData("out", 4 * 32, 8);
+
+    as.beginFunction("main", false);
+    as.call("multihash");
+    as.halt();
+    as.endFunction();
+
+    as.beginFunction("multihash", true);
+    as.push(ir::regRa);
+    constexpr RegId riter = 49, rt = 50;
+    as.forLoop(riter, 0, 4, [&] {
+        as.push(riter);
+        as.la(a0, "out");
+        as.shli(rt, riter, 5);
+        as.add(a0, a0, rt);
+        as.la(a1, "msg");
+        // Slice lengths 512, 384, 256, 128.
+        as.li(a2, 512);
+        as.shli(rt, riter, 7);
+        as.sub(a2, a2, rt);
+        as.call("sha256_full");
+        as.pop(riter);
+    });
+    as.pop(ir::regRa);
+    as.ret();
+    as.endFunction();
+
+    emitSha256(as, /*unroll=*/false);
+
+    Workload w;
+    w.name = "MultiHash";
+    w.suite = "BearSSL";
+    w.program = as.finalize();
+    uint64_t msg_addr = as.dataAddr("msg");
+    uint64_t out_addr = as.dataAddr("out");
+
+    w.setInput = [=](sim::Machine &m, int which) {
+        pokeBytes(m, msg_addr,
+                  patternBytes(512, static_cast<uint8_t>(which + 30)));
+    };
+    w.check = [=](const sim::Machine &m) {
+        auto msg = patternBytes(512, 32);
+        for (int i = 0; i < 4; i++) {
+            std::vector<uint8_t> slice(msg.begin(),
+                                       msg.begin() + (512 - 128 * i));
+            auto expect = ref::sha256(slice);
+            auto got = peekBytes(m, out_addr + 32 * i, 32);
+            if (!std::equal(expect.begin(), expect.end(), got.begin()))
+                return false;
+        }
+        return true;
+    };
+    w.secretRegions = {{msg_addr, msg_addr + 512}};
+    return w;
+}
+
+} // namespace cassandra::crypto

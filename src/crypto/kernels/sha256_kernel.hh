@@ -1,0 +1,42 @@
+/**
+ * @file
+ * SHA-256 IR kernel (FIPS 180-4) plus HMAC-SHA256 and the TLS 1.2 PRF
+ * built on top of it, and their workloads.
+ *
+ * The BearSSL-style workload keeps the message schedule and round
+ * computation in counted loops; the OpenSSL-style workload emits the
+ * 64 rounds straight-line (different branch profile, same function).
+ */
+
+#ifndef CASSANDRA_CRYPTO_KERNELS_SHA256_KERNEL_HH
+#define CASSANDRA_CRYPTO_KERNELS_SHA256_KERNEL_HH
+
+#include "crypto/kernels/common.hh"
+
+namespace cassandra::crypto {
+
+/**
+ * Define sha256_init(state), sha256_compress(state, block) and
+ * sha256_full(out, msg, len) in the assembler. Scratch data symbols
+ * are allocated with the given prefix.
+ */
+void emitSha256(Assembler &as, bool unroll_rounds);
+
+/**
+ * Define hmac_sha256(out, key, keylen, msg, msglen); requires
+ * emitSha256 to have been emitted into the same program.
+ */
+void emitHmacSha256(Assembler &as);
+
+/** BearSSL-style SHA-256 workload (rolled loops). */
+Workload sha256BearsslWorkload();
+/** OpenSSL-style SHA-256 workload (unrolled rounds). */
+Workload sha256OpensslWorkload();
+/** TLS 1.2 PRF workload (P_SHA256 expansion loop). */
+Workload tlsPrfWorkload();
+/** MultiHash workload: SHA-256 over several message slices. */
+Workload multiHashWorkload();
+
+} // namespace cassandra::crypto
+
+#endif // CASSANDRA_CRYPTO_KERNELS_SHA256_KERNEL_HH

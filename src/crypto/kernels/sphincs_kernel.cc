@@ -1,0 +1,333 @@
+/**
+ * @file
+ * SPHINCS-like WOTS+ signing IR kernel with the three hash backends
+ * the paper evaluates (shake / sha2 / haraka-like). Scaled parameters
+ * (n = 8, w = 16, tree height 3) preserve the chain/digit loop nests;
+ * the Merkle auth path is served from the signer's cached tree (a
+ * standard implementation strategy), so the measured region is the
+ * message hash, digit computation and the 19 WOTS chains. See
+ * DESIGN.md for the scaling notes.
+ */
+
+#include "crypto/kernels/aes_kernel.hh"
+#include "crypto/kernels/keccak_kernel.hh"
+#include "crypto/kernels/sha256_kernel.hh"
+#include "crypto/ref/sphincs.hh"
+
+namespace cassandra::crypto {
+
+namespace {
+
+constexpr int kN = 8;        ///< hash bytes
+constexpr int kLen = 2 * kN + 3;
+constexpr uint32_t kLeaf = 5;
+
+constexpr uint8_t kHarakaKey[16] = {0x9d, 0x7b, 0x81, 0x75, 0xf0, 0xfe,
+                                    0xc5, 0xb2, 0x0a, 0xc0, 0x20, 0xe6,
+                                    0x4c, 0x70, 0x84, 0x06};
+
+} // namespace
+
+Workload
+sphincsWorkload(const std::string &backend)
+{
+    ref::SphincsParams params;
+    params.n = kN;
+    params.w = 16;
+    params.treeHeight = 3;
+    if (backend == "shake")
+        params.hash = ref::SphincsHash::Shake;
+    else if (backend == "sha2")
+        params.hash = ref::SphincsHash::Sha2;
+    else
+        params.hash = ref::SphincsHash::Haraka;
+
+    Assembler as;
+    as.allocData("sp_seed", 4, 8);
+    as.allocData("sp_msg", 16, 8);
+    as.allocData("sp_mhash", kN, 8);
+    as.allocData("sp_digits", kLen, 8);
+    as.allocData("sp_out", kLen * kN, 8);
+    as.allocData("sp_hbuf", 80, 8);
+    as.allocData("sp_val", kN, 8);
+    as.allocData("sp_c", 8, 8);
+    as.allocData("sp_i", 8, 8);
+    as.allocData("sp_dig", 8, 8);
+    if (params.hash == ref::SphincsHash::Sha2)
+        as.allocData("sp_dig32", 32, 8);
+    if (params.hash == ref::SphincsHash::Haraka) {
+        as.allocData("sp_hkey", 16, 8);
+        as.setData("sp_hkey", 0, kHarakaKey, 16);
+        as.allocData("sp_hrk", 176, 8);
+        as.allocData("sp_hst", 16, 8);
+        as.allocData("sp_hin", 16, 8);
+    }
+
+    constexpr RegId st = 36, st2 = 37, st3 = 38, st4 = 39;
+
+    // sphincs_hash(a0 = out8, a1 = in, a2 = len, a3 = addr)
+    as.beginFunction("sphincs_hash", true);
+    as.push(ir::regRa);
+    // hbuf = addr (8 bytes LE) || in[0..len)
+    as.la(st, "sp_hbuf");
+    for (int i = 0; i < 8; i++) {
+        as.shri(st2, a3, 8 * i);
+        as.andi(st2, st2, 0xff);
+        as.sb(st2, st, i);
+    }
+    as.li(st3, 0);
+    as.label(".sph_copy");
+    as.bge(st3, a2, ".sph_copied");
+    as.add(st2, a1, st3);
+    as.lb(st2, st2, 0);
+    as.add(st4, st, st3);
+    as.sb(st2, st4, 8);
+    as.addi(st3, st3, 1);
+    as.j(".sph_copy");
+    as.label(".sph_copied");
+    as.push(a0);
+    switch (params.hash) {
+      case ref::SphincsHash::Shake:
+        as.pop(a0);
+        as.addi(a3, a2, 8);
+        as.li(a1, kN);
+        as.la(a2, "sp_hbuf");
+        as.li(a4, 136); // SHAKE256
+        as.call("shake");
+        break;
+      case ref::SphincsHash::Sha2:
+        as.addi(a2, a2, 8);
+        as.la(a0, "sp_dig32");
+        as.la(a1, "sp_hbuf");
+        as.call("sha256_full");
+        as.pop(a0);
+        as.la(st, "sp_dig32");
+        for (int i = 0; i < kN; i++) {
+            as.lb(st2, st, i);
+            as.sb(st2, a0, i);
+        }
+        break;
+      case ref::SphincsHash::Haraka:
+      {
+        // AES-CBC-MAC over hbuf with 0x80 padding (mirrors the
+        // reference construction exactly).
+        as.addi(st3, a2, 8); // total length
+        as.add(st2, st, st3);
+        as.li(st4, 0x80);
+        as.sb(st4, st2, 0);
+        as.addi(st3, st3, 1);
+        // pad to a multiple of 16
+        as.label(".sph_pad");
+        as.andi(st2, st3, 15);
+        as.beq(st2, ir::regZero, ".sph_padded");
+        as.add(st2, st, st3);
+        as.sb(ir::regZero, st2, 0);
+        as.addi(st3, st3, 1);
+        as.j(".sph_pad");
+        as.label(".sph_padded");
+        // state = 0
+        as.la(st2, "sp_hst");
+        as.sd(ir::regZero, st2, 0);
+        as.sd(ir::regZero, st2, 8);
+        // per block: in = state ^ buf; state = AES(in)
+        as.push(st3); // total padded length
+        as.li(st4, 0);
+        as.label(".sph_blk");
+        as.la(st, "sp_hbuf");
+        as.add(st, st, st4);
+        as.la(st2, "sp_hst");
+        as.la(st3, "sp_hin");
+        for (int i = 0; i < 16; i++) {
+            as.lb(a0, st, i);
+            as.lb(a1, st2, i);
+            as.xor_(a0, a0, a1);
+            as.sb(a0, st3, i);
+        }
+        as.la(a0, "sp_hst");
+        as.la(a1, "sp_hin");
+        as.la(a2, "sp_hrk");
+        as.push(st4);
+        as.call("aes_block2");
+        as.pop(st4);
+        as.addi(st4, st4, 16);
+        as.ld(st3, ir::regSp, 0);
+        as.blt(st4, st3, ".sph_blk");
+        as.pop(st3);
+        as.pop(a0);
+        as.la(st, "sp_hst");
+        for (int i = 0; i < kN; i++) {
+            as.lb(st2, st, i);
+            as.sb(st2, a0, i);
+        }
+        break;
+      }
+    }
+    as.pop(ir::regRa);
+    as.ret();
+    as.endFunction();
+
+    // sphincs_sign(): WOTS chains for the fixed leaf.
+    as.beginFunction("sphincs_sign", true);
+    as.push(ir::regRa);
+    // msg hash.
+    as.la(a0, "sp_mhash");
+    as.la(a1, "sp_msg");
+    as.li(a2, 16);
+    as.li(a3, 0x5150);
+    as.call("sphincs_hash");
+    // digits: nibbles high-then-low per byte, plus 3 checksum digits.
+    as.la(st, "sp_mhash");
+    as.la(st2, "sp_digits");
+    as.li(st3, 0); // checksum
+    for (int b = 0; b < kN; b++) {
+        as.lb(st4, st, b);
+        as.shri(a1, st4, 4);
+        as.sb(a1, st2, 2 * b);
+        as.li(a2, 15);
+        as.sub(a2, a2, a1);
+        as.add(st3, st3, a2);
+        as.andi(a1, st4, 0xf);
+        as.sb(a1, st2, 2 * b + 1);
+        as.li(a2, 15);
+        as.sub(a2, a2, a1);
+        as.add(st3, st3, a2);
+    }
+    for (int i = 0; i < 3; i++) {
+        as.shri(a1, st3, 4 * (2 - i));
+        as.andi(a1, a1, 0xf);
+        as.sb(a1, st2, 2 * kN + i);
+    }
+
+    // Chains: for c in 0..len-1.
+    as.la(st, "sp_c");
+    as.sd(ir::regZero, st, 0);
+    as.label(".spn_chain");
+    // chain seed: hash(0xfeed0000 + leaf, seed || leaf16 || c)
+    as.la(st, "sp_hbuf", 32); // staging area for the seed input
+    as.la(st2, "sp_seed");
+    for (int i = 0; i < 4; i++) {
+        as.lb(st3, st2, i);
+        as.sb(st3, st, i);
+    }
+    as.li(st3, kLeaf & 0xff);
+    as.sb(st3, st, 4);
+    as.li(st3, (kLeaf >> 8) & 0xff);
+    as.sb(st3, st, 5);
+    as.la(st4, "sp_c");
+    as.ld(st3, st4, 0);
+    as.sb(st3, st, 6);
+    as.la(a0, "sp_val");
+    as.mv(a1, st);
+    as.li(a2, 7);
+    as.li(a3, 0xfeed0000u + kLeaf);
+    as.call("sphincs_hash");
+    // steps: digits[c] iterations of val = H(addr*256 + i, val),
+    // addr = (leaf << 16) | c.
+    as.la(st, "sp_digits");
+    as.la(st2, "sp_c");
+    as.ld(st3, st2, 0);
+    as.add(st, st, st3);
+    as.lb(st4, st, 0);
+    as.la(st, "sp_dig");
+    as.sd(st4, st, 0);
+    as.la(st, "sp_i");
+    as.sd(ir::regZero, st, 0);
+    as.label(".spn_step");
+    as.la(st, "sp_i");
+    as.ld(st2, st, 0);
+    as.la(st, "sp_dig");
+    as.ld(st3, st, 0);
+    as.bge(st2, st3, ".spn_step_done");
+    // addr = ((leaf << 16) | c) * 256 + i
+    as.la(st, "sp_c");
+    as.ld(st3, st, 0);
+    as.li(a3, static_cast<int64_t>(kLeaf) << 16);
+    as.or_(a3, a3, st3);
+    as.shli(a3, a3, 8);
+    as.add(a3, a3, st2);
+    as.la(a0, "sp_val");
+    as.la(a1, "sp_val");
+    as.li(a2, kN);
+    as.call("sphincs_hash");
+    as.la(st, "sp_i");
+    as.ld(st2, st, 0);
+    as.addi(st2, st2, 1);
+    as.sd(st2, st, 0);
+    as.j(".spn_step");
+    as.label(".spn_step_done");
+    // out[c] = val
+    as.la(st, "sp_c");
+    as.ld(st2, st, 0);
+    as.shli(st3, st2, 3);
+    as.la(st4, "sp_out");
+    as.add(st4, st4, st3);
+    as.la(st, "sp_val");
+    for (int i = 0; i < kN; i++) {
+        as.lb(st3, st, i);
+        as.sb(st3, st4, i);
+    }
+    as.la(st, "sp_c");
+    as.ld(st2, st, 0);
+    as.addi(st2, st2, 1);
+    as.sd(st2, st, 0);
+    as.slti(st3, st2, kLen);
+    as.bne(st3, ir::regZero, ".spn_chain");
+    as.pop(ir::regRa);
+    as.ret();
+    as.endFunction();
+
+    as.beginFunction("main", false);
+    if (params.hash == ref::SphincsHash::Haraka) {
+        // Expand the fixed Haraka key once.
+        as.la(a0, "sp_hrk");
+        as.la(a1, "sp_hkey");
+        as.call("aes_expand");
+    }
+    as.call("sphincs_sign");
+    as.halt();
+    as.endFunction();
+
+    switch (params.hash) {
+      case ref::SphincsHash::Shake:
+        emitKeccak(as);
+        break;
+      case ref::SphincsHash::Sha2:
+        emitSha256(as, /*unroll=*/false);
+        break;
+      case ref::SphincsHash::Haraka:
+        emitAes(as);
+        break;
+    }
+
+    Workload w;
+    w.name = "sphincs-" + backend + "-128s";
+    w.suite = "PQC";
+    w.program = as.finalize();
+    uint64_t seed_addr = as.dataAddr("sp_seed");
+    uint64_t msg_addr = as.dataAddr("sp_msg");
+    uint64_t out_addr = as.dataAddr("sp_out");
+
+    w.setInput = [=](sim::Machine &m, int which) {
+        // Message is public and fixed; the secret seed varies.
+        pokeBytes(m, seed_addr,
+                  patternBytes(4, static_cast<uint8_t>(which + 130)));
+        pokeBytes(m, msg_addr, patternBytes(16, 0x21));
+    };
+    w.check = [=](const sim::Machine &m) {
+        ref::SphincsKey key;
+        key.seed = patternBytes(4, 132);
+        auto msg = patternBytes(16, 0x21);
+        auto sig = ref::sphincsSign(params, key, msg, kLeaf);
+        for (int c = 0; c < kLen; c++) {
+            auto got = peekBytes(m, out_addr + 8 * c, kN);
+            if (!std::equal(sig.wotsSig[c].begin(), sig.wotsSig[c].end(),
+                            got.begin()))
+                return false;
+        }
+        return true;
+    };
+    w.secretRegions = {{seed_addr, seed_addr + 4}};
+    return w;
+}
+
+} // namespace cassandra::crypto

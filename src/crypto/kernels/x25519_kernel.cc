@@ -1,0 +1,513 @@
+/**
+ * @file
+ * X25519 Montgomery-ladder and ECDSA-like workloads built on the
+ * generic Montgomery bignum IR library (see bigint_kernel.hh). Field
+ * arithmetic mod p = 2^255 - 19 runs in the Montgomery domain with
+ * 8 x 32-bit limbs; the ladder is the RFC 7748 constant-time ladder
+ * with cswap-based conditional swaps.
+ */
+
+#include "crypto/kernels/bigint_kernel.hh"
+
+#include "crypto/kernels/sha256_kernel.hh"
+#include "crypto/ref/bignum.hh"
+#include "crypto/ref/sha256.hh"
+#include "crypto/ref/x25519.hh"
+
+namespace cassandra::crypto {
+
+namespace {
+
+constexpr int kFeLimbs = 8;
+
+// Ladder driver registers (survive leaf calls which use x18..x35 and
+// mont_pow which uses x40..x50).
+constexpr RegId lbit = 54, lswap = 55, lt = 56, lt2 = 57, lt3 = 58;
+
+/** p = 2^255 - 19 as 8 little-endian 32-bit limbs. */
+ref::Limbs
+curvePrime()
+{
+    ref::Limbs p(kFeLimbs, 0xffffffffu);
+    p[0] = 0xffffffed;
+    p[7] = 0x7fffffff;
+    return p;
+}
+
+/** Group order q = 2^252 + 27742317777372353535851937790883648493. */
+ref::Limbs
+groupOrder()
+{
+    return {0x5cf5d3ed, 0x5812631a, 0xa2f79cd6, 0x14def9de,
+            0, 0, 0, 0x10000000};
+}
+
+std::vector<uint8_t>
+limbBytes(const ref::Limbs &limbs)
+{
+    std::vector<uint8_t> out;
+    for (uint32_t limb : limbs) {
+        for (int i = 0; i < 4; i++)
+            out.push_back(static_cast<uint8_t>(limb >> (8 * i)));
+    }
+    return out;
+}
+
+ref::Limbs
+limbsFromBytes(const std::vector<uint8_t> &bytes)
+{
+    ref::Limbs out(bytes.size() / 4);
+    for (size_t i = 0; i < out.size(); i++) {
+        out[i] = static_cast<uint32_t>(bytes[4 * i]) |
+            (static_cast<uint32_t>(bytes[4 * i + 1]) << 8) |
+            (static_cast<uint32_t>(bytes[4 * i + 2]) << 16) |
+            (static_cast<uint32_t>(bytes[4 * i + 3]) << 24);
+    }
+    return out;
+}
+
+/** Call mont_mul(dst, x, y) with the curve modulus bound. */
+void
+feMulCall(Assembler &as, const std::string &dst, const std::string &x,
+          const std::string &y)
+{
+    as.la(a0, dst);
+    as.la(a1, x);
+    as.la(a2, y);
+    as.la(a3, "ec_p");
+    as.la(a4, "ec_n0");
+    as.ld(a4, a4, 0);
+    as.li(a5, kFeLimbs);
+    as.call("mont_mul");
+}
+
+void
+feAddCall(Assembler &as, const std::string &dst, const std::string &x,
+          const std::string &y)
+{
+    as.la(a0, dst);
+    as.la(a1, x);
+    as.la(a2, y);
+    as.la(a3, "ec_p");
+    as.li(a4, kFeLimbs);
+    as.call("mod_add");
+}
+
+void
+feSubCall(Assembler &as, const std::string &dst, const std::string &x,
+          const std::string &y)
+{
+    as.la(a0, dst);
+    as.la(a1, x);
+    as.la(a2, y);
+    as.la(a3, "ec_p");
+    as.li(a4, kFeLimbs);
+    as.call("mod_sub");
+}
+
+} // namespace
+
+/**
+ * Emit the x25519_ladder() crypto function plus its data symbols.
+ * Inputs: ec_scalar (32 bytes), ec_point (32 bytes). Output: ec_out
+ * (32 bytes, canonical little-endian u-coordinate).
+ */
+void
+emitX25519Ladder(Assembler &as)
+{
+    ref::Limbs p = curvePrime();
+    ref::MontCtx ctx = ref::montInit(p);
+
+    as.allocData("ec_scalar", 32, 8);
+    as.allocData("ec_point", 32, 8);
+    as.allocData("ec_out", 32, 8);
+    as.allocData("ec_p", 32, 8);
+    as.allocData("ec_rr", 32, 8);
+    as.allocData("ec_n0", 8, 8);
+    as.allocData("ec_pm2", 32, 8);
+    as.allocData("ec_a24m", 32, 8);
+    as.allocData("ec_onebn", 32, 8);
+    for (const char *sym : {"ec_x1", "ec_x2", "ec_z2", "ec_x3", "ec_z3",
+                            "ec_A", "ec_B", "ec_AA", "ec_BB", "ec_E",
+                            "ec_C", "ec_D", "ec_DA", "ec_CB", "ec_T0",
+                            "ec_T1", "ec_T2", "ec_zinv"}) {
+        as.allocData(sym, 32, 8);
+    }
+
+    // Embed the public curve constants into the data image.
+    auto poke = [&](const std::string &sym, const ref::Limbs &v) {
+        auto bytes = limbBytes(v);
+        as.setData(sym, 0, bytes.data(), bytes.size());
+    };
+    poke("ec_p", p);
+    poke("ec_rr", ctx.rr);
+    as.setData64("ec_n0", 0, ctx.n0inv);
+    ref::Limbs pm2 = p;
+    pm2[0] -= 2; // p - 2 (no borrow: low limb is ...ffed)
+    poke("ec_pm2", pm2);
+    ref::Limbs a24(kFeLimbs, 0);
+    a24[0] = 121666;
+    poke("ec_a24m", ref::montMul(ctx, a24, ctx.rr));
+    ref::Limbs one(kFeLimbs, 0);
+    one[0] = 1;
+    poke("ec_onebn", one);
+
+    as.beginFunction("x25519_ladder", true);
+    as.push(ir::regRa);
+
+    // Clamp the scalar (RFC 7748).
+    as.la(lt, "ec_scalar");
+    as.lb(lt2, lt, 0);
+    as.andi(lt2, lt2, 248);
+    as.sb(lt2, lt, 0);
+    as.lb(lt2, lt, 31);
+    as.andi(lt2, lt2, 127);
+    as.ori(lt2, lt2, 64);
+    as.sb(lt2, lt, 31);
+
+    // Mask the point's top bit and convert to the Montgomery domain.
+    as.la(lt, "ec_point");
+    as.lw(lt2, lt, 28);
+    as.li(lt3, 0x7fffffff);
+    as.and_(lt2, lt2, lt3);
+    as.sw(lt2, lt, 28);
+    feMulCall(as, "ec_x1", "ec_point", "ec_rr");
+
+    // x2 = 1m, z2 = 0, x3 = x1, z3 = 1m.
+    feMulCall(as, "ec_x2", "ec_onebn", "ec_rr");
+    as.la(lt, "ec_z2");
+    as.forLoop(lt2, 0, kFeLimbs, [&] {
+        as.sw(ir::regZero, lt, 0);
+        as.addi(lt, lt, 4);
+    });
+    as.la(a0, "ec_x3");
+    as.la(a1, "ec_x1");
+    as.li(a2, kFeLimbs);
+    as.call("bn_copy");
+    feMulCall(as, "ec_z3", "ec_onebn", "ec_rr");
+
+    // Ladder over bits 254..0.
+    as.li(lswap, 0);
+    as.li(lbit, 255);
+    as.label(".lad_loop");
+    as.addi(lbit, lbit, -1);
+    // bit = (scalar[lbit >> 3] >> (lbit & 7)) & 1
+    as.la(lt, "ec_scalar");
+    as.shri(lt2, lbit, 3);
+    as.add(lt, lt, lt2);
+    as.lb(lt, lt, 0);
+    as.andi(lt2, lbit, 7);
+    as.shr(lt, lt, lt2);
+    as.andi(lt, lt, 1);
+    // swap ^= bit; cswap(x2,x3,swap); cswap(z2,z3,swap); swap = bit.
+    as.xor_(lswap, lswap, lt);
+    as.la(a0, "ec_x2");
+    as.la(a1, "ec_x3");
+    as.mv(a2, lswap);
+    as.li(a3, kFeLimbs);
+    as.push(lt);
+    as.call("bn_cswap");
+    as.la(a0, "ec_z2");
+    as.la(a1, "ec_z3");
+    as.mv(a2, lswap);
+    as.li(a3, kFeLimbs);
+    as.call("bn_cswap");
+    as.pop(lt);
+    as.mv(lswap, lt);
+
+    // Ladder step (RFC 7748 formulas).
+    feAddCall(as, "ec_A", "ec_x2", "ec_z2");
+    feSubCall(as, "ec_B", "ec_x2", "ec_z2");
+    feMulCall(as, "ec_AA", "ec_A", "ec_A");
+    feMulCall(as, "ec_BB", "ec_B", "ec_B");
+    feMulCall(as, "ec_x2", "ec_AA", "ec_BB");
+    feSubCall(as, "ec_E", "ec_AA", "ec_BB");
+    feAddCall(as, "ec_C", "ec_x3", "ec_z3");
+    feSubCall(as, "ec_D", "ec_x3", "ec_z3");
+    feMulCall(as, "ec_DA", "ec_D", "ec_A");
+    feMulCall(as, "ec_CB", "ec_C", "ec_B");
+    feAddCall(as, "ec_T0", "ec_DA", "ec_CB");
+    feMulCall(as, "ec_x3", "ec_T0", "ec_T0");
+    feSubCall(as, "ec_T1", "ec_DA", "ec_CB");
+    feMulCall(as, "ec_T2", "ec_T1", "ec_T1");
+    feMulCall(as, "ec_z3", "ec_T2", "ec_x1");
+    feMulCall(as, "ec_T0", "ec_E", "ec_a24m");
+    feAddCall(as, "ec_T1", "ec_BB", "ec_T0");
+    feMulCall(as, "ec_z2", "ec_E", "ec_T1");
+
+    as.bne(lbit, ir::regZero, ".lad_loop");
+
+    // Final swap.
+    as.la(a0, "ec_x2");
+    as.la(a1, "ec_x3");
+    as.mv(a2, lswap);
+    as.li(a3, kFeLimbs);
+    as.call("bn_cswap");
+    as.la(a0, "ec_z2");
+    as.la(a1, "ec_z3");
+    as.mv(a2, lswap);
+    as.li(a3, kFeLimbs);
+    as.call("bn_cswap");
+
+    // out = x2 / z2: z = fromMont(z2); zinv = z^(p-2); back to the
+    // Montgomery domain; multiply; normalize.
+    feMulCall(as, "ec_T0", "ec_z2", "ec_onebn");
+    as.la(a0, "ec_zinv");
+    as.la(a1, "ec_T0");
+    as.la(a2, "ec_pm2");
+    as.la(a3, "ec_p");
+    as.la(a4, "ec_n0");
+    as.ld(a4, a4, 0);
+    as.li(a5, kFeLimbs);
+    as.la(a6, "ec_rr");
+    as.call("mont_pow");
+    feMulCall(as, "ec_T1", "ec_zinv", "ec_rr");
+    feMulCall(as, "ec_T2", "ec_x2", "ec_T1");
+    feMulCall(as, "ec_out", "ec_T2", "ec_onebn");
+
+    as.pop(ir::regRa);
+    as.ret();
+    as.endFunction();
+}
+
+namespace {
+
+Workload
+makeX25519(const std::string &name, const std::string &suite, bool unroll)
+{
+    Assembler as;
+    as.beginFunction("main", false);
+    as.call("x25519_ladder");
+    as.halt();
+    as.endFunction();
+
+    emitX25519Ladder(as);
+    emitBignum(as, unroll, kFeLimbs);
+
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.program = as.finalize();
+    uint64_t scalar_addr = as.dataAddr("ec_scalar");
+    uint64_t point_addr = as.dataAddr("ec_point");
+    uint64_t out_addr = as.dataAddr("ec_out");
+
+    w.setInput = [=](sim::Machine &m, int which) {
+        pokeBytes(m, scalar_addr,
+                  patternBytes(32, static_cast<uint8_t>(which + 60)));
+        auto base = ref::x25519BasePoint();
+        pokeBytes(m, point_addr, {base.begin(), base.end()});
+    };
+    w.check = [=](const sim::Machine &m) {
+        auto scalar = patternBytes(32, 62);
+        auto base = ref::x25519BasePoint();
+        auto expect = ref::x25519(scalar.data(), base.data());
+        auto got = peekBytes(m, out_addr, 32);
+        return std::equal(expect.begin(), expect.end(), got.begin());
+    };
+    w.secretRegions = {{scalar_addr, scalar_addr + 32}};
+    return w;
+}
+
+} // namespace
+
+Workload
+ecC25519Workload()
+{
+    return makeX25519("EC_c25519_i31", "BearSSL", /*unroll=*/false);
+}
+
+Workload
+curve25519OpensslWorkload()
+{
+    return makeX25519("curve25519", "OpenSSL", /*unroll=*/true);
+}
+
+Workload
+ecdsaWorkload()
+{
+    // ECDSA-like signature over the curve25519 group (see DESIGN.md):
+    //   z = SHA-256(msg) reduced mod q
+    //   r = X(k * G) reduced mod q
+    //   s = k^(q-2) * (z + r * d) mod q
+    ref::Limbs q = groupOrder();
+    ref::MontCtx qctx = ref::montInit(q);
+
+    Assembler as;
+    as.allocData("dsa_msg", 128, 8);
+    as.allocData("dsa_d", 32, 8);   // private key
+    as.allocData("dsa_z", 32, 8);
+    as.allocData("dsa_q", 32, 8);
+    as.allocData("dsa_qrr", 32, 8);
+    as.allocData("dsa_qn0", 8, 8);
+    as.allocData("dsa_qm2", 32, 8);
+    as.allocData("dsa_one", 32, 8);
+    for (const char *sym : {"dsa_rm", "dsa_zm", "dsa_dm", "dsa_t",
+                            "dsa_kinv", "dsa_kim", "dsa_sm", "dsa_r",
+                            "dsa_s"}) {
+        as.allocData(sym, 32, 8);
+    }
+
+    auto poke = [&](const std::string &sym, const ref::Limbs &v) {
+        auto bytes = limbBytes(v);
+        as.setData(sym, 0, bytes.data(), bytes.size());
+    };
+    poke("dsa_q", q);
+    poke("dsa_qrr", qctx.rr);
+    as.setData64("dsa_qn0", 0, qctx.n0inv);
+    ref::Limbs qm2 = q;
+    qm2[0] -= 2;
+    poke("dsa_qm2", qm2);
+    ref::Limbs one(kFeLimbs, 0);
+    one[0] = 1;
+    poke("dsa_one", one);
+
+    auto qmul = [&](const std::string &dst, const std::string &x,
+                    const std::string &y) {
+        as.la(a0, dst);
+        as.la(a1, x);
+        as.la(a2, y);
+        as.la(a3, "dsa_q");
+        as.la(a4, "dsa_qn0");
+        as.ld(a4, a4, 0);
+        as.li(a5, kFeLimbs);
+        as.call("mont_mul");
+    };
+
+    // Emit the substrate first so its data symbols exist for the
+    // address references below.
+    emitX25519Ladder(as);
+    emitBignum(as);
+    emitSha256(as, /*unroll=*/false);
+
+    as.beginFunction("main", false);
+    as.call("ecdsa_sign");
+    as.halt();
+    as.endFunction();
+
+    as.beginFunction("ecdsa_sign", true);
+    as.push(ir::regRa);
+    // z = SHA-256(msg) -> dsa_z (bytes reused as limbs).
+    as.la(a0, "dsa_z");
+    as.la(a1, "dsa_msg");
+    as.li(a2, 128);
+    as.call("sha256_full");
+    // r = X(k * G): the nonce k lives in ec_scalar, G in ec_point
+    // (bound by setInput).
+    as.call("x25519_ladder");
+    // Reduce r and z mod q via a Montgomery round trip (valid for any
+    // input < 2^256 since RR < q).
+    qmul("dsa_rm", "ec_out", "dsa_qrr");
+    qmul("dsa_r", "dsa_rm", "dsa_one");
+    qmul("dsa_zm", "dsa_z", "dsa_qrr");
+    qmul("dsa_dm", "dsa_d", "dsa_qrr");
+    // t = zm + rm * dm
+    qmul("dsa_t", "dsa_rm", "dsa_dm");
+    as.la(a0, "dsa_t");
+    as.la(a1, "dsa_zm");
+    as.la(a2, "dsa_t");
+    as.la(a3, "dsa_q");
+    as.li(a4, kFeLimbs);
+    as.call("mod_add");
+    // kinv = k^(q-2) mod q (normal domain), then to Montgomery.
+    as.la(a0, "dsa_kinv");
+    as.la(a1, "ec_scalar");
+    as.la(a2, "dsa_qm2");
+    as.la(a3, "dsa_q");
+    as.la(a4, "dsa_qn0");
+    as.ld(a4, a4, 0);
+    as.li(a5, kFeLimbs);
+    as.la(a6, "dsa_qrr");
+    as.call("mont_pow");
+    qmul("dsa_kim", "dsa_kinv", "dsa_qrr");
+    // s = fromMont(kim * t)
+    qmul("dsa_sm", "dsa_kim", "dsa_t");
+    qmul("dsa_s", "dsa_sm", "dsa_one");
+    as.pop(ir::regRa);
+    as.ret();
+    as.endFunction();
+
+    Workload w;
+    w.name = "ECDSA_i31";
+    w.suite = "BearSSL";
+    w.program = as.finalize();
+    uint64_t msg_addr = as.dataAddr("dsa_msg");
+    uint64_t d_addr = as.dataAddr("dsa_d");
+    uint64_t scalar_addr = as.dataAddr("ec_scalar");
+    uint64_t point_addr = as.dataAddr("ec_point");
+    uint64_t r_addr = as.dataAddr("dsa_r");
+    uint64_t s_addr = as.dataAddr("dsa_s");
+
+    auto scalar_for = [](int which) {
+        auto k = patternBytes(32, static_cast<uint8_t>(which + 70));
+        return k;
+    };
+
+    w.setInput = [=](sim::Machine &m, int which) {
+        pokeBytes(m, msg_addr, patternBytes(128, 0x31));
+        pokeBytes(m, d_addr,
+                  patternBytes(32, static_cast<uint8_t>(which + 80)));
+        pokeBytes(m, scalar_addr, scalar_for(which));
+        auto base = ref::x25519BasePoint();
+        pokeBytes(m, point_addr, {base.begin(), base.end()});
+    };
+    w.check = [=](const sim::Machine &m) {
+        // Recompute the expected signature with the reference pieces.
+        auto msg = patternBytes(128, 0x31);
+        auto digest = ref::sha256(msg);
+        auto k = scalar_for(2);
+        auto base = ref::x25519BasePoint();
+        auto ru = ref::x25519(k.data(), base.data());
+
+        auto to_q = [&](const std::vector<uint8_t> &bytes) {
+            ref::Limbs v = limbsFromBytes(bytes);
+            ref::Limbs m1 = ref::montMul(qctx, v, qctx.rr);
+            ref::Limbs one_l(kFeLimbs, 0);
+            one_l[0] = 1;
+            return ref::montMul(qctx, m1, one_l);
+        };
+        ref::Limbs z = to_q({digest.begin(), digest.end()});
+        ref::Limbs r = to_q({ru.begin(), ru.end()});
+        ref::Limbs d = to_q(patternBytes(32, 82));
+
+        // s = k^(q-2) (z + r d) mod q, all via the reference ops.
+        ref::Limbs zm = ref::montMul(qctx, z, qctx.rr);
+        ref::Limbs rm = ref::montMul(qctx, r, qctx.rr);
+        ref::Limbs dm = ref::montMul(qctx, d, qctx.rr);
+        ref::Limbs t = ref::montMul(qctx, rm, dm);
+        // mod-q addition
+        ref::Limbs sum(kFeLimbs);
+        uint64_t carry = 0;
+        for (int i = 0; i < kFeLimbs; i++) {
+            uint64_t v = static_cast<uint64_t>(zm[i]) + t[i] + carry;
+            sum[i] = static_cast<uint32_t>(v);
+            carry = v >> 32;
+        }
+        if (carry || ref::geq(sum, q))
+            sum = ref::subLimbs(sum, q);
+        // kinv
+        ref::Limbs kl = limbsFromBytes(scalar_for(2));
+        // the ladder clamps its scalar in place; mirror the clamp
+        std::vector<uint8_t> kb = scalar_for(2);
+        kb[0] &= 248;
+        kb[31] = static_cast<uint8_t>((kb[31] & 127) | 64);
+        kl = limbsFromBytes(kb);
+        ref::Limbs qm2_l = q;
+        qm2_l[0] -= 2;
+        ref::Limbs kinv = ref::modPow(qctx, kl, qm2_l);
+        ref::Limbs kim = ref::montMul(qctx, kinv, qctx.rr);
+        ref::Limbs sm = ref::montMul(qctx, kim, sum);
+        ref::Limbs one_l(kFeLimbs, 0);
+        one_l[0] = 1;
+        ref::Limbs s = ref::montMul(qctx, sm, one_l);
+
+        auto got_r = limbsFromBytes(peekBytes(m, r_addr, 32));
+        auto got_s = limbsFromBytes(peekBytes(m, s_addr, 32));
+        return got_r == r && got_s == s;
+    };
+    w.secretRegions = {{d_addr, d_addr + 32},
+                       {scalar_addr, scalar_addr + 32}};
+    return w;
+}
+
+} // namespace cassandra::crypto

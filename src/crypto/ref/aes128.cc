@@ -1,0 +1,204 @@
+#include "crypto/ref/aes128.hh"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace cassandra::crypto::ref {
+
+namespace {
+
+uint8_t
+gfMul(uint8_t a, uint8_t b)
+{
+    uint8_t p = 0;
+    for (int i = 0; i < 8; i++) {
+        if (b & 1)
+            p ^= a;
+        uint8_t hi = a & 0x80;
+        a <<= 1;
+        if (hi)
+            a ^= 0x1b;
+        b >>= 1;
+    }
+    return p;
+}
+
+std::array<uint8_t, 256>
+buildSbox()
+{
+    // Inverses via Fermat: a^254 in GF(2^8).
+    std::array<uint8_t, 256> inv{};
+    for (int a = 1; a < 256; a++) {
+        uint8_t x = static_cast<uint8_t>(a);
+        uint8_t r = 1;
+        // a^254 = a^(2+4+8+16+32+64+128)
+        uint8_t sq = x;
+        for (int bit = 1; bit < 8; bit++) {
+            sq = gfMul(sq, sq);
+            r = gfMul(r, sq);
+        }
+        inv[a] = r;
+    }
+    std::array<uint8_t, 256> sbox{};
+    for (int a = 0; a < 256; a++) {
+        uint8_t x = inv[a];
+        uint8_t y = x;
+        for (int i = 0; i < 4; i++) {
+            y = static_cast<uint8_t>((y << 1) | (y >> 7));
+            x ^= y;
+        }
+        sbox[a] = x ^ 0x63;
+    }
+    return sbox;
+}
+
+} // namespace
+
+const std::array<uint8_t, 256> &
+aesSbox()
+{
+    static const std::array<uint8_t, 256> sbox = buildSbox();
+    return sbox;
+}
+
+AesRoundKeys
+aes128KeyExpand(const uint8_t key[16])
+{
+    const auto &sbox = aesSbox();
+    AesRoundKeys rk{};
+    for (int i = 0; i < 16; i++)
+        rk[i] = key[i];
+    uint8_t rcon = 1;
+    for (int i = 16; i < 176; i += 4) {
+        uint8_t t[4] = {rk[i - 4], rk[i - 3], rk[i - 2], rk[i - 1]};
+        if (i % 16 == 0) {
+            uint8_t tmp = t[0];
+            t[0] = sbox[t[1]] ^ rcon;
+            t[1] = sbox[t[2]];
+            t[2] = sbox[t[3]];
+            t[3] = sbox[tmp];
+            rcon = gfMul(rcon, 2);
+        }
+        for (int j = 0; j < 4; j++)
+            rk[i + j] = rk[i - 16 + j] ^ t[j];
+    }
+    return rk;
+}
+
+void
+aes128EncryptBlock(const AesRoundKeys &rk, const uint8_t in[16],
+                   uint8_t out[16])
+{
+    const auto &sbox = aesSbox();
+    uint8_t s[16];
+    for (int i = 0; i < 16; i++)
+        s[i] = in[i] ^ rk[i];
+    for (int round = 1; round <= 10; round++) {
+        // SubBytes.
+        for (int i = 0; i < 16; i++)
+            s[i] = sbox[s[i]];
+        // ShiftRows (column-major state layout).
+        uint8_t t[16];
+        for (int c = 0; c < 4; c++) {
+            for (int r = 0; r < 4; r++)
+                t[4 * c + r] = s[4 * ((c + r) % 4) + r];
+        }
+        if (round < 10) {
+            // MixColumns.
+            for (int c = 0; c < 4; c++) {
+                uint8_t *col = t + 4 * c;
+                uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+                s[4 * c + 0] =
+                    gfMul(a0, 2) ^ gfMul(a1, 3) ^ a2 ^ a3;
+                s[4 * c + 1] =
+                    a0 ^ gfMul(a1, 2) ^ gfMul(a2, 3) ^ a3;
+                s[4 * c + 2] =
+                    a0 ^ a1 ^ gfMul(a2, 2) ^ gfMul(a3, 3);
+                s[4 * c + 3] =
+                    gfMul(a0, 3) ^ a1 ^ a2 ^ gfMul(a3, 2);
+            }
+        } else {
+            for (int i = 0; i < 16; i++)
+                s[i] = t[i];
+        }
+        for (int i = 0; i < 16; i++)
+            s[i] ^= rk[16 * round + i];
+    }
+    for (int i = 0; i < 16; i++)
+        out[i] = s[i];
+}
+
+void
+aes128TwoRounds(const AesRoundKeys &rk, const uint8_t in[16], uint8_t out[16])
+{
+    const auto &sbox = aesSbox();
+    uint8_t s[16];
+    for (int i = 0; i < 16; i++)
+        s[i] = in[i] ^ rk[i];
+    for (int round = 1; round <= 2; round++) {
+        for (int i = 0; i < 16; i++)
+            s[i] = sbox[s[i]];
+        uint8_t t[16];
+        for (int c = 0; c < 4; c++) {
+            for (int r = 0; r < 4; r++)
+                t[4 * c + r] = s[4 * ((c + r) % 4) + r];
+        }
+        for (int c = 0; c < 4; c++) {
+            uint8_t *col = t + 4 * c;
+            uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+            s[4 * c + 0] = gfMul(a0, 2) ^ gfMul(a1, 3) ^ a2 ^ a3;
+            s[4 * c + 1] = a0 ^ gfMul(a1, 2) ^ gfMul(a2, 3) ^ a3;
+            s[4 * c + 2] = a0 ^ a1 ^ gfMul(a2, 2) ^ gfMul(a3, 3);
+            s[4 * c + 3] = gfMul(a0, 3) ^ a1 ^ a2 ^ gfMul(a3, 2);
+        }
+        for (int i = 0; i < 16; i++)
+            s[i] ^= rk[16 * round + i];
+    }
+    for (int i = 0; i < 16; i++)
+        out[i] = s[i];
+}
+
+std::vector<uint8_t>
+aes128Ctr(const uint8_t key[16], const uint8_t iv[16],
+          const std::vector<uint8_t> &msg)
+{
+    AesRoundKeys rk = aes128KeyExpand(key);
+    std::vector<uint8_t> out(msg.size());
+    uint8_t ctr[16];
+    for (int i = 0; i < 16; i++)
+        ctr[i] = iv[i];
+    for (size_t off = 0; off < msg.size(); off += 16) {
+        uint8_t ks[16];
+        aes128EncryptBlock(rk, ctr, ks);
+        size_t n = std::min<size_t>(16, msg.size() - off);
+        for (size_t i = 0; i < n; i++)
+            out[off + i] = msg[off + i] ^ ks[i];
+        for (int i = 15; i >= 0; i--) {
+            if (++ctr[i])
+                break;
+        }
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+aes128CbcEncrypt(const uint8_t key[16], const uint8_t iv[16],
+                 const std::vector<uint8_t> &msg)
+{
+    AesRoundKeys rk = aes128KeyExpand(key);
+    std::vector<uint8_t> out(msg.size());
+    uint8_t chain[16];
+    for (int i = 0; i < 16; i++)
+        chain[i] = iv[i];
+    for (size_t off = 0; off + 16 <= msg.size(); off += 16) {
+        uint8_t in[16];
+        for (int i = 0; i < 16; i++)
+            in[i] = msg[off + i] ^ chain[i];
+        aes128EncryptBlock(rk, in, out.data() + off);
+        for (int i = 0; i < 16; i++)
+            chain[i] = out[off + i];
+    }
+    return out;
+}
+
+} // namespace cassandra::crypto::ref

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reference AES-128 (FIPS 197): block encryption, CTR and CBC modes.
+ * The S-box is derived from GF(2^8) inversion at startup rather than
+ * typed in, so the table is correct by construction.
+ */
+
+#ifndef CASSANDRA_CRYPTO_REF_AES128_HH
+#define CASSANDRA_CRYPTO_REF_AES128_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace cassandra::crypto::ref {
+
+/** 11 round keys of 16 bytes each. */
+using AesRoundKeys = std::array<uint8_t, 176>;
+
+AesRoundKeys aes128KeyExpand(const uint8_t key[16]);
+
+void aes128EncryptBlock(const AesRoundKeys &rk, const uint8_t in[16],
+                        uint8_t out[16]);
+
+/** CTR mode keystream XOR (big-endian 128-bit counter in iv). */
+std::vector<uint8_t> aes128Ctr(const uint8_t key[16], const uint8_t iv[16],
+                               const std::vector<uint8_t> &msg);
+
+/** CBC mode encryption; msg length must be a multiple of 16. */
+std::vector<uint8_t> aes128CbcEncrypt(const uint8_t key[16],
+                                      const uint8_t iv[16],
+                                      const std::vector<uint8_t> &msg);
+
+/**
+ * Two full AES rounds (SubBytes/ShiftRows/MixColumns/AddRoundKey) after
+ * an initial whitening with rk[0] — the Haraka-style permutation used
+ * by the SPHINCS haraka backend.
+ */
+void aes128TwoRounds(const AesRoundKeys &rk, const uint8_t in[16],
+                     uint8_t out[16]);
+
+/** The AES S-box (exposed for the IR kernel's data segment). */
+const std::array<uint8_t, 256> &aesSbox();
+
+} // namespace cassandra::crypto::ref
+
+#endif // CASSANDRA_CRYPTO_REF_AES128_HH

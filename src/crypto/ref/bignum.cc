@@ -1,0 +1,132 @@
+#include <cstddef>
+#include <algorithm>
+#include <cstring>
+#include "crypto/ref/bignum.hh"
+
+namespace cassandra::crypto::ref {
+
+bool
+geq(const Limbs &a, const Limbs &b)
+{
+    for (size_t i = a.size(); i-- > 0;) {
+        if (a[i] != b[i])
+            return a[i] > b[i];
+    }
+    return true;
+}
+
+Limbs
+subLimbs(const Limbs &a, const Limbs &b)
+{
+    Limbs r(a.size());
+    uint64_t borrow = 0;
+    for (size_t i = 0; i < a.size(); i++) {
+        uint64_t d = static_cast<uint64_t>(a[i]) - b[i] - borrow;
+        r[i] = static_cast<uint32_t>(d);
+        borrow = (d >> 63) & 1;
+    }
+    return r;
+}
+
+MontCtx
+montInit(const Limbs &mod)
+{
+    MontCtx ctx;
+    ctx.mod = mod;
+    // Newton iteration for -m^-1 mod 2^32.
+    uint32_t m0 = mod[0];
+    uint32_t inv = 1;
+    for (int i = 0; i < 5; i++)
+        inv *= 2 - m0 * inv;
+    ctx.n0inv = static_cast<uint32_t>(-static_cast<int64_t>(inv));
+
+    // R^2 mod m by 2n*32 doublings of 1.
+    size_t n = mod.size();
+    Limbs r(n, 0);
+    r[0] = 1;
+    // First reduce R mod m: repeatedly double n*32 times starting from 1,
+    // then continue doubling another n*32 times for R^2.
+    for (size_t bit = 0; bit < 2 * n * 32; bit++) {
+        // r = 2r mod m
+        uint32_t carry = 0;
+        for (size_t i = 0; i < n; i++) {
+            uint32_t next = r[i] >> 31;
+            r[i] = (r[i] << 1) | carry;
+            carry = next;
+        }
+        if (carry || geq(r, mod))
+            r = subLimbs(r, mod);
+    }
+    ctx.rr = r;
+    return ctx;
+}
+
+Limbs
+montMul(const MontCtx &ctx, const Limbs &a, const Limbs &b)
+{
+    size_t n = ctx.mod.size();
+    std::vector<uint64_t> t(n + 2, 0);
+    for (size_t i = 0; i < n; i++) {
+        // t += a[i] * b
+        uint64_t carry = 0;
+        for (size_t j = 0; j < n; j++) {
+            uint64_t v = t[j] +
+                static_cast<uint64_t>(a[i]) * b[j] + carry;
+            t[j] = v & 0xffffffff;
+            carry = v >> 32;
+        }
+        uint64_t v = t[n] + carry;
+        t[n] = v & 0xffffffff;
+        t[n + 1] += v >> 32;
+
+        // m = t[0] * n0inv mod 2^32; t += m * mod; t >>= 32
+        uint32_t m = static_cast<uint32_t>(t[0]) * ctx.n0inv;
+        carry = 0;
+        for (size_t j = 0; j < n; j++) {
+            uint64_t w = t[j] +
+                static_cast<uint64_t>(m) * ctx.mod[j] + carry;
+            t[j] = w & 0xffffffff;
+            carry = w >> 32;
+        }
+        v = t[n] + carry;
+        t[n] = v & 0xffffffff;
+        t[n + 1] += v >> 32;
+        // shift down one limb
+        for (size_t j = 0; j < n + 1; j++)
+            t[j] = t[j + 1];
+        t[n + 1] = 0;
+    }
+    Limbs r(n);
+    for (size_t i = 0; i < n; i++)
+        r[i] = static_cast<uint32_t>(t[i]);
+    bool overflow = t[n] != 0;
+    if (overflow || geq(r, ctx.mod))
+        r = subLimbs(r, ctx.mod);
+    return r;
+}
+
+Limbs
+modPow(const MontCtx &ctx, const Limbs &base, const Limbs &exp)
+{
+    size_t n = ctx.mod.size();
+    // to Montgomery domain
+    Limbs x = montMul(ctx, base, ctx.rr);
+    Limbs one(n, 0);
+    one[0] = 1;
+    Limbs acc = montMul(ctx, one, ctx.rr); // R mod m
+
+    // Fixed square-and-multiply-always, MSB to LSB.
+    for (size_t bit = exp.size() * 32; bit-- > 0;) {
+        acc = montMul(ctx, acc, acc);
+        Limbs mult = montMul(ctx, acc, x);
+        uint32_t take = (exp[bit / 32] >> (bit % 32)) & 1;
+        // Constant-time select.
+        for (size_t i = 0; i < n; i++) {
+            uint32_t mask = ~(take - 1); // all ones if take == 1
+            acc[i] = (acc[i] & ~mask) | (mult[i] & mask);
+        }
+    }
+    return montMul(ctx, acc, one); // out of Montgomery domain
+}
+
+} // namespace cassandra::crypto::ref

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reference big-number arithmetic and constant-time Montgomery modular
+ * exponentiation (the ModPow/RSA workloads' ground truth).
+ *
+ * Numbers are little-endian vectors of 32-bit limbs, fixed-width per
+ * operation. The modular exponentiation uses a Montgomery ladder-free
+ * fixed left-to-right square-and-multiply-always schedule: the same
+ * multiply count regardless of exponent bits, mirroring the IR kernel.
+ */
+
+#ifndef CASSANDRA_CRYPTO_REF_BIGNUM_HH
+#define CASSANDRA_CRYPTO_REF_BIGNUM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace cassandra::crypto::ref {
+
+using Limbs = std::vector<uint32_t>; ///< little-endian 32-bit limbs
+
+/** Montgomery context for an odd modulus of n limbs. */
+struct MontCtx
+{
+    Limbs mod;      ///< modulus m
+    uint32_t n0inv; ///< -m^-1 mod 2^32
+    Limbs rr;       ///< R^2 mod m (R = 2^(32*n))
+};
+
+MontCtx montInit(const Limbs &mod);
+
+/** Montgomery product: a*b*R^-1 mod m (CIOS). */
+Limbs montMul(const MontCtx &ctx, const Limbs &a, const Limbs &b);
+
+/** base^exp mod m via square-and-multiply-always. */
+Limbs modPow(const MontCtx &ctx, const Limbs &base, const Limbs &exp);
+
+/** Comparison helper: a >= b (equal widths). */
+bool geq(const Limbs &a, const Limbs &b);
+
+/** a - b (equal widths, a >= b). */
+Limbs subLimbs(const Limbs &a, const Limbs &b);
+
+} // namespace cassandra::crypto::ref
+
+#endif // CASSANDRA_CRYPTO_REF_BIGNUM_HH

@@ -1,0 +1,87 @@
+#include <cstddef>
+#include <algorithm>
+#include <cstring>
+#include "crypto/ref/chacha20.hh"
+
+namespace cassandra::crypto::ref {
+
+namespace {
+
+inline uint32_t
+rotl32(uint32_t x, int n)
+{
+    return (x << n) | (x >> (32 - n));
+}
+
+inline void
+quarterRound(uint32_t &a, uint32_t &b, uint32_t &c, uint32_t &d)
+{
+    a += b; d ^= a; d = rotl32(d, 16);
+    c += d; b ^= c; b = rotl32(b, 12);
+    a += b; d ^= a; d = rotl32(d, 8);
+    c += d; b ^= c; b = rotl32(b, 7);
+}
+
+inline uint32_t
+load32(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+        (static_cast<uint32_t>(p[2]) << 16) |
+        (static_cast<uint32_t>(p[3]) << 24);
+}
+
+} // namespace
+
+std::array<uint8_t, 64>
+chacha20Block(const uint8_t key[32], const uint8_t nonce[12],
+              uint32_t counter)
+{
+    uint32_t s[16];
+    s[0] = 0x61707865; s[1] = 0x3320646e;
+    s[2] = 0x79622d32; s[3] = 0x6b206574;
+    for (int i = 0; i < 8; i++)
+        s[4 + i] = load32(key + 4 * i);
+    s[12] = counter;
+    for (int i = 0; i < 3; i++)
+        s[13 + i] = load32(nonce + 4 * i);
+
+    uint32_t k[16];
+    for (int i = 0; i < 16; i++)
+        k[i] = s[i];
+    for (int round = 0; round < 10; round++) {
+        quarterRound(k[0], k[4], k[8], k[12]);
+        quarterRound(k[1], k[5], k[9], k[13]);
+        quarterRound(k[2], k[6], k[10], k[14]);
+        quarterRound(k[3], k[7], k[11], k[15]);
+        quarterRound(k[0], k[5], k[10], k[15]);
+        quarterRound(k[1], k[6], k[11], k[12]);
+        quarterRound(k[2], k[7], k[8], k[13]);
+        quarterRound(k[3], k[4], k[9], k[14]);
+    }
+    std::array<uint8_t, 64> out;
+    for (int i = 0; i < 16; i++) {
+        uint32_t v = k[i] + s[i];
+        out[4 * i + 0] = static_cast<uint8_t>(v);
+        out[4 * i + 1] = static_cast<uint8_t>(v >> 8);
+        out[4 * i + 2] = static_cast<uint8_t>(v >> 16);
+        out[4 * i + 3] = static_cast<uint8_t>(v >> 24);
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+chacha20Xor(const uint8_t key[32], const uint8_t nonce[12], uint32_t counter,
+            const std::vector<uint8_t> &msg)
+{
+    std::vector<uint8_t> out(msg.size());
+    for (size_t off = 0; off < msg.size(); off += 64) {
+        auto ks = chacha20Block(key, nonce,
+                                counter + static_cast<uint32_t>(off / 64));
+        size_t n = std::min<size_t>(64, msg.size() - off);
+        for (size_t i = 0; i < n; i++)
+            out[off + i] = msg[off + i] ^ ks[i];
+    }
+    return out;
+}
+
+} // namespace cassandra::crypto::ref

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Reference ChaCha20 stream cipher (RFC 8439). Used to verify the IR
+ * kernels and as the paper's running example (§4.1).
+ */
+
+#ifndef CASSANDRA_CRYPTO_REF_CHACHA20_HH
+#define CASSANDRA_CRYPTO_REF_CHACHA20_HH
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace cassandra::crypto::ref {
+
+/** One 64-byte keystream block. */
+std::array<uint8_t, 64> chacha20Block(const uint8_t key[32],
+                                      const uint8_t nonce[12],
+                                      uint32_t counter);
+
+/** XOR a message with the keystream (encrypt == decrypt). */
+std::vector<uint8_t> chacha20Xor(const uint8_t key[32],
+                                 const uint8_t nonce[12], uint32_t counter,
+                                 const std::vector<uint8_t> &msg);
+
+} // namespace cassandra::crypto::ref
+
+#endif // CASSANDRA_CRYPTO_REF_CHACHA20_HH

@@ -1,0 +1,191 @@
+#include <cstddef>
+#include <algorithm>
+#include <cstring>
+#include "crypto/ref/des.hh"
+
+namespace cassandra::crypto::ref {
+
+namespace {
+
+// Standard DES tables (FIPS 46-3), 1-based bit numbering from the spec.
+constexpr int kIp[64] = {
+    58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4,
+    62, 54, 46, 38, 30, 22, 14, 6, 64, 56, 48, 40, 32, 24, 16, 8,
+    57, 49, 41, 33, 25, 17, 9,  1, 59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7,
+};
+
+constexpr int kExpansion[48] = {
+    32, 1,  2,  3,  4,  5,  4,  5,  6,  7,  8,  9,
+    8,  9,  10, 11, 12, 13, 12, 13, 14, 15, 16, 17,
+    16, 17, 18, 19, 20, 21, 20, 21, 22, 23, 24, 25,
+    24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1,
+};
+
+constexpr int kPerm[32] = {
+    16, 7,  20, 21, 29, 12, 28, 17, 1,  15, 23, 26, 5,  18, 31, 10,
+    2,  8,  24, 14, 32, 27, 3,  9,  19, 13, 30, 6,  22, 11, 4,  25,
+};
+
+constexpr int kPc1[56] = {
+    57, 49, 41, 33, 25, 17, 9,  1,  58, 50, 42, 34, 26, 18,
+    10, 2,  59, 51, 43, 35, 27, 19, 11, 3,  60, 52, 44, 36,
+    63, 55, 47, 39, 31, 23, 15, 7,  62, 54, 46, 38, 30, 22,
+    14, 6,  61, 53, 45, 37, 29, 21, 13, 5,  28, 20, 12, 4,
+};
+
+constexpr int kPc2[48] = {
+    14, 17, 11, 24, 1,  5,  3,  28, 15, 6,  21, 10,
+    23, 19, 12, 4,  26, 8,  16, 7,  27, 20, 13, 2,
+    41, 52, 31, 37, 47, 55, 30, 40, 51, 45, 33, 48,
+    44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32,
+};
+
+constexpr int kShifts[16] = {1, 1, 2, 2, 2, 2, 2, 2,
+                             1, 2, 2, 2, 2, 2, 2, 1};
+
+constexpr uint8_t kSboxSpec[8][4][16] = {
+    {{14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7},
+     {0, 15, 7, 4, 14, 2, 13, 1, 10, 6, 12, 11, 9, 5, 3, 8},
+     {4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0},
+     {15, 12, 8, 2, 4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13}},
+    {{15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10},
+     {3, 13, 4, 7, 15, 2, 8, 14, 12, 0, 1, 10, 6, 9, 11, 5},
+     {0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15},
+     {13, 8, 10, 1, 3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9}},
+    {{10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8},
+     {13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5, 14, 12, 11, 15, 1},
+     {13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7},
+     {1, 10, 13, 0, 6, 9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12}},
+    {{7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15},
+     {13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2, 12, 1, 10, 14, 9},
+     {10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4},
+     {3, 15, 0, 6, 10, 1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14}},
+    {{2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9},
+     {14, 11, 2, 12, 4, 7, 13, 1, 5, 0, 15, 10, 3, 9, 8, 6},
+     {4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14},
+     {11, 8, 12, 7, 1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3}},
+    {{12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11},
+     {10, 15, 4, 2, 7, 12, 9, 5, 6, 1, 13, 14, 0, 11, 3, 8},
+     {9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6},
+     {4, 3, 2, 12, 9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13}},
+    {{4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1},
+     {13, 0, 11, 7, 4, 9, 1, 10, 14, 3, 5, 12, 2, 15, 8, 6},
+     {1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2},
+     {6, 11, 13, 8, 1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12}},
+    {{13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7},
+     {1, 15, 13, 8, 10, 3, 7, 4, 12, 5, 6, 11, 0, 14, 9, 2},
+     {7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8},
+     {2, 1, 14, 7, 4, 10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11}},
+};
+
+/** Flatten the row/column S-box spec into a 6-bit-index table. */
+std::array<std::array<uint8_t, 64>, 8>
+buildSboxes()
+{
+    std::array<std::array<uint8_t, 64>, 8> out{};
+    for (int b = 0; b < 8; b++) {
+        for (int i = 0; i < 64; i++) {
+            int row = ((i >> 5) << 1) | (i & 1);
+            int col = (i >> 1) & 0xf;
+            out[b][i] = kSboxSpec[b][row][col];
+        }
+    }
+    return out;
+}
+
+/** Extract bit `pos` (1-based, MSB-first) of a width-bit value. */
+inline uint64_t
+bitOf(uint64_t v, int pos, int width)
+{
+    return (v >> (width - pos)) & 1;
+}
+
+uint64_t
+permute(uint64_t v, const int *table, int out_bits, int in_bits)
+{
+    uint64_t r = 0;
+    for (int i = 0; i < out_bits; i++)
+        r = (r << 1) | bitOf(v, table[i], in_bits);
+    return r;
+}
+
+} // namespace
+
+const std::array<std::array<uint8_t, 64>, 8> &
+desSboxes()
+{
+    static const auto sboxes = buildSboxes();
+    return sboxes;
+}
+
+DesRoundKeys
+desKeySchedule(const uint8_t key[8])
+{
+    uint64_t k = 0;
+    for (int i = 0; i < 8; i++)
+        k = (k << 8) | key[i];
+    uint64_t pc1 = permute(k, kPc1, 56, 64);
+    uint32_t c = static_cast<uint32_t>(pc1 >> 28) & 0xfffffff;
+    uint32_t d = static_cast<uint32_t>(pc1) & 0xfffffff;
+    DesRoundKeys rk{};
+    for (int round = 0; round < 16; round++) {
+        int s = kShifts[round];
+        c = ((c << s) | (c >> (28 - s))) & 0xfffffff;
+        d = ((d << s) | (d >> (28 - s))) & 0xfffffff;
+        uint64_t cd = (static_cast<uint64_t>(c) << 28) | d;
+        rk[round] = permute(cd, kPc2, 48, 56);
+    }
+    return rk;
+}
+
+void
+desEncryptBlock(const DesRoundKeys &rk, const uint8_t in[8], uint8_t out[8])
+{
+    const auto &sboxes = desSboxes();
+    uint64_t v = 0;
+    for (int i = 0; i < 8; i++)
+        v = (v << 8) | in[i];
+    uint64_t ip = permute(v, kIp, 64, 64);
+    uint32_t l = static_cast<uint32_t>(ip >> 32);
+    uint32_t r = static_cast<uint32_t>(ip);
+    for (int round = 0; round < 16; round++) {
+        uint64_t e = permute(r, kExpansion, 48, 32) ^ rk[round];
+        uint32_t f = 0;
+        for (int b = 0; b < 8; b++) {
+            int idx = static_cast<int>((e >> (42 - 6 * b)) & 0x3f);
+            f = (f << 4) | sboxes[b][idx];
+        }
+        f = static_cast<uint32_t>(permute(f, kPerm, 32, 32));
+        uint32_t t = l ^ f;
+        l = r;
+        r = t;
+    }
+    // Final permutation is the inverse of IP applied to R||L.
+    uint64_t preout = (static_cast<uint64_t>(r) << 32) | l;
+    uint64_t fp = 0;
+    // Build FP as the inverse of IP on the fly.
+    for (int i = 0; i < 64; i++) {
+        // Output bit i+1 of FP is input bit j where kIp[j-1] == i+1.
+        for (int j = 0; j < 64; j++) {
+            if (kIp[j] == i + 1) {
+                fp = (fp << 1) | bitOf(preout, j + 1, 64);
+                break;
+            }
+        }
+    }
+    for (int i = 0; i < 8; i++)
+        out[i] = static_cast<uint8_t>(fp >> (56 - 8 * i));
+}
+
+std::vector<uint8_t>
+desEcbEncrypt(const uint8_t key[8], const std::vector<uint8_t> &msg)
+{
+    DesRoundKeys rk = desKeySchedule(key);
+    std::vector<uint8_t> out(msg.size());
+    for (size_t off = 0; off + 8 <= msg.size(); off += 8)
+        desEncryptBlock(rk, msg.data() + off, out.data() + off);
+    return out;
+}
+
+} // namespace cassandra::crypto::ref

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Reference DES block cipher (FIPS 46-3). Only encryption of single
+ * blocks is needed (the workload mirrors BearSSL's des_ct tests).
+ */
+
+#ifndef CASSANDRA_CRYPTO_REF_DES_HH
+#define CASSANDRA_CRYPTO_REF_DES_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace cassandra::crypto::ref {
+
+/** 16 round keys of 48 bits each. */
+using DesRoundKeys = std::array<uint64_t, 16>;
+
+DesRoundKeys desKeySchedule(const uint8_t key[8]);
+
+void desEncryptBlock(const DesRoundKeys &rk, const uint8_t in[8],
+                     uint8_t out[8]);
+
+/** ECB over a multiple-of-8 message (enough for the workload). */
+std::vector<uint8_t> desEcbEncrypt(const uint8_t key[8],
+                                   const std::vector<uint8_t> &msg);
+
+/** The 8 DES S-boxes, flattened as sbox[box][6-bit index]. */
+const std::array<std::array<uint8_t, 64>, 8> &desSboxes();
+
+} // namespace cassandra::crypto::ref
+
+#endif // CASSANDRA_CRYPTO_REF_DES_HH

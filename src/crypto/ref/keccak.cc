@@ -1,0 +1,118 @@
+#include <cstddef>
+#include <algorithm>
+#include <cstring>
+#include "crypto/ref/keccak.hh"
+
+namespace cassandra::crypto::ref {
+
+namespace {
+
+constexpr uint64_t kRoundConst[24] = {
+    0x0000000000000001ull, 0x0000000000008082ull, 0x800000000000808aull,
+    0x8000000080008000ull, 0x000000000000808bull, 0x0000000080000001ull,
+    0x8000000080008081ull, 0x8000000000008009ull, 0x000000000000008aull,
+    0x0000000000000088ull, 0x0000000080008009ull, 0x000000008000000aull,
+    0x000000008000808bull, 0x800000000000008bull, 0x8000000000008089ull,
+    0x8000000000008003ull, 0x8000000000008002ull, 0x8000000000000080ull,
+    0x000000000000800aull, 0x800000008000000aull, 0x8000000080008081ull,
+    0x8000000000008080ull, 0x0000000080000001ull, 0x8000000080008008ull,
+};
+
+constexpr int kRotation[25] = {
+    0,  1,  62, 28, 27, 36, 44, 6,  55, 20, 3,  10, 43,
+    25, 39, 41, 45, 15, 21, 8,  18, 2,  61, 56, 14,
+};
+
+inline uint64_t
+rotl64(uint64_t x, int n)
+{
+    return n ? (x << n) | (x >> (64 - n)) : x;
+}
+
+std::vector<uint8_t>
+sponge(const std::vector<uint8_t> &msg, size_t rate, uint8_t domain,
+       size_t out_len)
+{
+    std::array<uint64_t, 25> st{};
+    std::vector<uint8_t> padded = msg;
+    padded.push_back(domain);
+    while (padded.size() % rate != 0)
+        padded.push_back(0);
+    padded[padded.size() - 1] ^= 0x80;
+
+    for (size_t off = 0; off < padded.size(); off += rate) {
+        for (size_t i = 0; i < rate; i++) {
+            st[i / 8] ^= static_cast<uint64_t>(padded[off + i])
+                << (8 * (i % 8));
+        }
+        keccakF1600(st);
+    }
+
+    std::vector<uint8_t> out;
+    while (out.size() < out_len) {
+        for (size_t i = 0; i < rate && out.size() < out_len; i++)
+            out.push_back(static_cast<uint8_t>(st[i / 8] >> (8 * (i % 8))));
+        if (out.size() < out_len)
+            keccakF1600(st);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+keccakF1600(std::array<uint64_t, 25> &a)
+{
+    for (int round = 0; round < 24; round++) {
+        // Theta.
+        uint64_t c[5], d[5];
+        for (int x = 0; x < 5; x++) {
+            c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
+        }
+        for (int x = 0; x < 5; x++)
+            d[x] = c[(x + 4) % 5] ^ rotl64(c[(x + 1) % 5], 1);
+        for (int i = 0; i < 25; i++)
+            a[i] ^= d[i % 5];
+        // Rho + Pi.
+        uint64_t b[25];
+        for (int x = 0; x < 5; x++) {
+            for (int y = 0; y < 5; y++) {
+                int src = x + 5 * y;
+                int dst = y + 5 * ((2 * x + 3 * y) % 5);
+                b[dst] = rotl64(a[src], kRotation[src]);
+            }
+        }
+        // Chi.
+        for (int y = 0; y < 5; y++) {
+            for (int x = 0; x < 5; x++) {
+                a[x + 5 * y] = b[x + 5 * y] ^
+                    (~b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
+            }
+        }
+        // Iota.
+        a[0] ^= kRoundConst[round];
+    }
+}
+
+std::array<uint8_t, 32>
+sha3_256(const std::vector<uint8_t> &msg)
+{
+    auto v = sponge(msg, 136, 0x06, 32);
+    std::array<uint8_t, 32> out;
+    std::copy(v.begin(), v.end(), out.begin());
+    return out;
+}
+
+std::vector<uint8_t>
+shake128(const std::vector<uint8_t> &msg, size_t out_len)
+{
+    return sponge(msg, 168, 0x1f, out_len);
+}
+
+std::vector<uint8_t>
+shake256(const std::vector<uint8_t> &msg, size_t out_len)
+{
+    return sponge(msg, 136, 0x1f, out_len);
+}
+
+} // namespace cassandra::crypto::ref

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Reference Keccak-f[1600], SHA3-256 and SHAKE128 (FIPS 202).
+ */
+
+#ifndef CASSANDRA_CRYPTO_REF_KECCAK_HH
+#define CASSANDRA_CRYPTO_REF_KECCAK_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace cassandra::crypto::ref {
+
+/** In-place Keccak-f[1600] permutation over 25 lanes. */
+void keccakF1600(std::array<uint64_t, 25> &state);
+
+std::array<uint8_t, 32> sha3_256(const std::vector<uint8_t> &msg);
+
+/** SHAKE128 XOF. */
+std::vector<uint8_t> shake128(const std::vector<uint8_t> &msg,
+                              size_t out_len);
+
+/** SHAKE256 XOF. */
+std::vector<uint8_t> shake256(const std::vector<uint8_t> &msg,
+                              size_t out_len);
+
+} // namespace cassandra::crypto::ref
+
+#endif // CASSANDRA_CRYPTO_REF_KECCAK_HH

@@ -1,0 +1,282 @@
+#include <cstddef>
+#include <algorithm>
+#include <cstring>
+#include "crypto/ref/kyber.hh"
+
+#include "crypto/ref/keccak.hh"
+
+namespace cassandra::crypto::ref {
+
+namespace {
+
+constexpr int16_t kQ = kyberQ;
+
+int16_t
+modQ(int32_t a)
+{
+    int32_t r = a % kQ;
+    if (r < 0)
+        r += kQ;
+    return static_cast<int16_t>(r);
+}
+
+int16_t
+powMod(int16_t base, int e)
+{
+    int32_t r = 1, b = base;
+    while (e) {
+        if (e & 1)
+            r = r * b % kQ;
+        b = b * b % kQ;
+        e >>= 1;
+    }
+    return static_cast<int16_t>(r);
+}
+
+uint8_t
+bitrev7(uint8_t x)
+{
+    uint8_t r = 0;
+    for (int i = 0; i < 7; i++)
+        r |= ((x >> i) & 1) << (6 - i);
+    return r;
+}
+
+std::array<int16_t, 128>
+buildZetas()
+{
+    std::array<int16_t, 128> z{};
+    for (int i = 0; i < 128; i++)
+        z[i] = powMod(17, bitrev7(static_cast<uint8_t>(i)));
+    return z;
+}
+
+} // namespace
+
+const std::array<int16_t, 128> &
+kyberZetas()
+{
+    static const auto zetas = buildZetas();
+    return zetas;
+}
+
+void
+kyberNtt(Poly &p)
+{
+    const auto &zetas = kyberZetas();
+    int k = 1;
+    for (int len = 128; len >= 2; len >>= 1) {
+        for (int start = 0; start < kyberN; start += 2 * len) {
+            int16_t zeta = zetas[k++];
+            for (int j = start; j < start + len; j++) {
+                int16_t t = modQ(static_cast<int32_t>(zeta) * p[j + len]);
+                p[j + len] = modQ(p[j] - t);
+                p[j] = modQ(p[j] + t);
+            }
+        }
+    }
+}
+
+void
+kyberInvNtt(Poly &p)
+{
+    const auto &zetas = kyberZetas();
+    int k = 127;
+    for (int len = 2; len <= 128; len <<= 1) {
+        for (int start = 0; start < kyberN; start += 2 * len) {
+            int16_t zeta = zetas[k--];
+            for (int j = start; j < start + len; j++) {
+                int16_t t = p[j];
+                p[j] = modQ(t + p[j + len]);
+                p[j + len] = modQ(
+                    static_cast<int32_t>(zeta) * modQ(p[j + len] - t));
+            }
+        }
+    }
+    // Undo the deferred halving of the 7 Gentleman-Sande layers:
+    // multiply by 2^-7 = 128^-1 mod q.
+    int16_t ninv = powMod(128, kQ - 2);
+    for (auto &c : p)
+        c = modQ(static_cast<int32_t>(c) * ninv);
+}
+
+Poly
+kyberBaseMul(const Poly &a, const Poly &b)
+{
+    const auto &zetas = kyberZetas();
+    Poly r{};
+    for (int i = 0; i < kyberN / 4; i++) {
+        int16_t zeta = zetas[64 + i];
+        auto mul = [&](int16_t x, int16_t y) {
+            return modQ(static_cast<int32_t>(x) * y);
+        };
+        // (a0 + a1 X)(b0 + b1 X) mod (X^2 - zeta)
+        int j = 4 * i;
+        r[j] = modQ(mul(a[j + 1], b[j + 1]) * static_cast<int32_t>(1));
+        r[j] = modQ(mul(r[j], zeta) + mul(a[j], b[j]));
+        r[j + 1] = modQ(mul(a[j], b[j + 1]) + mul(a[j + 1], b[j]));
+        // second pair uses -zeta
+        r[j + 2] = modQ(mul(mul(a[j + 3], b[j + 3]), kQ - zeta) +
+                        mul(a[j + 2], b[j + 2]));
+        r[j + 3] = modQ(mul(a[j + 2], b[j + 3]) +
+                        mul(a[j + 3], b[j + 2]));
+    }
+    return r;
+}
+
+Poly
+kyberSampleUniform(const std::vector<uint8_t> &seed, uint8_t i, uint8_t j)
+{
+    std::vector<uint8_t> in = seed;
+    in.push_back(i);
+    in.push_back(j);
+    Poly p{};
+    int got = 0;
+    size_t blocks = 3;
+    std::vector<uint8_t> stream = shake128(in, blocks * 168);
+    size_t pos = 0;
+    // Rejection sampling: candidate 12-bit values >= q are discarded.
+    while (got < kyberN) {
+        if (pos + 3 > stream.size()) {
+            blocks++;
+            stream = shake128(in, blocks * 168);
+        }
+        uint16_t d1 = static_cast<uint16_t>(stream[pos] |
+                                            ((stream[pos + 1] & 0xf) << 8));
+        uint16_t d2 = static_cast<uint16_t>((stream[pos + 1] >> 4) |
+                                            (stream[pos + 2] << 4));
+        pos += 3;
+        if (d1 < kQ && got < kyberN)
+            p[got++] = static_cast<int16_t>(d1);
+        if (d2 < kQ && got < kyberN)
+            p[got++] = static_cast<int16_t>(d2);
+    }
+    return p;
+}
+
+Poly
+kyberSampleCbd(const std::vector<uint8_t> &seed, uint8_t nonce)
+{
+    std::vector<uint8_t> in = seed;
+    in.push_back(nonce);
+    std::vector<uint8_t> buf = shake256(in, kyberN / 2); // eta = 2
+    Poly p{};
+    for (int i = 0; i < kyberN / 8; i++) {
+        uint32_t t = static_cast<uint32_t>(buf[4 * i]) |
+            (static_cast<uint32_t>(buf[4 * i + 1]) << 8) |
+            (static_cast<uint32_t>(buf[4 * i + 2]) << 16) |
+            (static_cast<uint32_t>(buf[4 * i + 3]) << 24);
+        uint32_t d = (t & 0x55555555) + ((t >> 1) & 0x55555555);
+        for (int j = 0; j < 8; j++) {
+            int16_t a = static_cast<int16_t>((d >> (4 * j)) & 0x3);
+            int16_t b = static_cast<int16_t>((d >> (4 * j + 2)) & 0x3);
+            p[8 * i + j] = modQ(a - b);
+        }
+    }
+    return p;
+}
+
+KyberKeyPair
+kyberKeyGen(int k, const std::vector<uint8_t> &seed_a,
+            const std::vector<uint8_t> &seed_noise)
+{
+    KyberKeyPair kp;
+    kp.aHat.resize(static_cast<size_t>(k) * k);
+    kp.sHat.resize(k);
+    kp.tHat.resize(k);
+    for (int i = 0; i < k; i++) {
+        for (int j = 0; j < k; j++) {
+            kp.aHat[i * k + j] = kyberSampleUniform(
+                seed_a, static_cast<uint8_t>(i), static_cast<uint8_t>(j));
+        }
+    }
+    std::vector<Poly> e(k);
+    for (int i = 0; i < k; i++) {
+        kp.sHat[i] =
+            kyberSampleCbd(seed_noise, static_cast<uint8_t>(i));
+        e[i] = kyberSampleCbd(seed_noise, static_cast<uint8_t>(k + i));
+        kyberNtt(kp.sHat[i]);
+        kyberNtt(e[i]);
+    }
+    for (int i = 0; i < k; i++) {
+        Poly acc{};
+        for (int j = 0; j < k; j++) {
+            Poly prod = kyberBaseMul(kp.aHat[i * k + j], kp.sHat[j]);
+            for (int c = 0; c < kyberN; c++)
+                acc[c] = modQ(acc[c] + prod[c]);
+        }
+        for (int c = 0; c < kyberN; c++)
+            acc[c] = modQ(acc[c] + e[i][c]);
+        kp.tHat[i] = acc;
+    }
+    return kp;
+}
+
+KyberCiphertext
+kyberEncrypt(const KyberKeyPair &kp, int k,
+             const std::array<uint8_t, 32> &msg,
+             const std::vector<uint8_t> &coins)
+{
+    std::vector<Poly> r(k), e1(k);
+    for (int i = 0; i < k; i++) {
+        r[i] = kyberSampleCbd(coins, static_cast<uint8_t>(i));
+        e1[i] = kyberSampleCbd(coins, static_cast<uint8_t>(k + i));
+        kyberNtt(r[i]);
+    }
+    Poly e2 = kyberSampleCbd(coins, static_cast<uint8_t>(2 * k));
+
+    KyberCiphertext ct;
+    ct.u.resize(k);
+    for (int i = 0; i < k; i++) {
+        Poly acc{};
+        for (int j = 0; j < k; j++) {
+            // A^T: element (j, i)
+            Poly prod = kyberBaseMul(kp.aHat[j * k + i], r[j]);
+            for (int c = 0; c < kyberN; c++)
+                acc[c] = modQ(acc[c] + prod[c]);
+        }
+        kyberInvNtt(acc);
+        for (int c = 0; c < kyberN; c++)
+            acc[c] = modQ(acc[c] + e1[i][c]);
+        ct.u[i] = acc;
+    }
+
+    Poly acc{};
+    for (int j = 0; j < k; j++) {
+        Poly prod = kyberBaseMul(kp.tHat[j], r[j]);
+        for (int c = 0; c < kyberN; c++)
+            acc[c] = modQ(acc[c] + prod[c]);
+    }
+    kyberInvNtt(acc);
+    for (int c = 0; c < kyberN; c++) {
+        int bit = (msg[c / 8] >> (c % 8)) & 1;
+        acc[c] = modQ(acc[c] + e2[c] + bit * ((kQ + 1) / 2));
+    }
+    ct.v = acc;
+    return ct;
+}
+
+std::array<uint8_t, 32>
+kyberDecrypt(const KyberKeyPair &kp, int k, const KyberCiphertext &ct)
+{
+    Poly acc{};
+    for (int j = 0; j < k; j++) {
+        Poly u = ct.u[j];
+        kyberNtt(u);
+        Poly prod = kyberBaseMul(kp.sHat[j], u);
+        for (int c = 0; c < kyberN; c++)
+            acc[c] = modQ(acc[c] + prod[c]);
+    }
+    kyberInvNtt(acc);
+    std::array<uint8_t, 32> msg{};
+    for (int c = 0; c < kyberN; c++) {
+        int16_t d = modQ(ct.v[c] - acc[c]);
+        // Decode: closest to q/2 -> 1.
+        int dist = d > kQ / 2 ? kQ - d : d;
+        int bit = (kQ / 2 - dist) < kQ / 4 ? 1 : 0;
+        msg[c / 8] |= static_cast<uint8_t>(bit << (c % 8));
+    }
+    return msg;
+}
+
+} // namespace cassandra::crypto::ref

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reference Kyber-style lattice KEM core (CRYSTALS-Kyber parameters:
+ * n = 256, q = 3329, eta = 2; k = 2 for kyber512, k = 3 for kyber768).
+ *
+ * This is a faithful implementation of the components whose control
+ * flow the paper analyzes — NTT/INTT over Z_q[x]/(x^256+1), SHAKE-based
+ * matrix expansion with *rejection sampling* (the paper's example of a
+ * branch with random traces, footnote 3), CBD noise sampling, and the
+ * IND-CPA encrypt path — rather than a certified Kyber; the FO
+ * transform and encodings are simplified (documented per function).
+ */
+
+#ifndef CASSANDRA_CRYPTO_REF_KYBER_HH
+#define CASSANDRA_CRYPTO_REF_KYBER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace cassandra::crypto::ref {
+
+inline constexpr int kyberN = 256;
+inline constexpr int kyberQ = 3329;
+
+using Poly = std::array<int16_t, kyberN>;
+
+/** Zeta table in bit-reversed order (computed at startup from root 17). */
+const std::array<int16_t, 128> &kyberZetas();
+
+/** In-place forward NTT (Cooley-Tukey, standard Kyber layout). */
+void kyberNtt(Poly &p);
+/** In-place inverse NTT including the n^-1 scaling. */
+void kyberInvNtt(Poly &p);
+/** Pointwise multiplication in the NTT domain (basemul pairs). */
+Poly kyberBaseMul(const Poly &a, const Poly &b);
+
+/** Rejection-sample a uniform polynomial from a SHAKE128 stream. */
+Poly kyberSampleUniform(const std::vector<uint8_t> &seed, uint8_t i,
+                        uint8_t j);
+/** Centered binomial (eta = 2) noise from a SHAKE256 PRF stream. */
+Poly kyberSampleCbd(const std::vector<uint8_t> &seed, uint8_t nonce);
+
+/** Simplified IND-CPA encryption of a 32-byte message (k = 2 or 3). */
+struct KyberCiphertext
+{
+    std::vector<Poly> u; ///< k polynomials
+    Poly v;
+};
+
+struct KyberKeyPair
+{
+    std::vector<Poly> aHat; ///< k*k matrix, row-major, NTT domain
+    std::vector<Poly> sHat; ///< secret, NTT domain
+    std::vector<Poly> tHat; ///< public t = A s + e, NTT domain
+};
+
+KyberKeyPair kyberKeyGen(int k, const std::vector<uint8_t> &seed_a,
+                         const std::vector<uint8_t> &seed_noise);
+
+KyberCiphertext kyberEncrypt(const KyberKeyPair &kp, int k,
+                             const std::array<uint8_t, 32> &msg,
+                             const std::vector<uint8_t> &coins);
+
+std::array<uint8_t, 32> kyberDecrypt(const KyberKeyPair &kp, int k,
+                                     const KyberCiphertext &ct);
+
+} // namespace cassandra::crypto::ref
+
+#endif // CASSANDRA_CRYPTO_REF_KYBER_HH

@@ -1,0 +1,114 @@
+#include <cstddef>
+#include <algorithm>
+#include <cstring>
+#include "crypto/ref/poly1305.hh"
+
+#include <algorithm>
+
+namespace cassandra::crypto::ref {
+
+/**
+ * 26-bit limb implementation (the classic donna layout, which is also
+ * what the IR kernel mirrors).
+ */
+std::array<uint8_t, 16>
+poly1305Mac(const uint8_t key[32], const std::vector<uint8_t> &msg)
+{
+    auto load32 = [](const uint8_t *p) {
+        return static_cast<uint32_t>(p[0]) |
+            (static_cast<uint32_t>(p[1]) << 8) |
+            (static_cast<uint32_t>(p[2]) << 16) |
+            (static_cast<uint32_t>(p[3]) << 24);
+    };
+
+    uint32_t r0 = load32(key + 0) & 0x3ffffff;
+    uint32_t r1 = (load32(key + 3) >> 2) & 0x3ffff03;
+    uint32_t r2 = (load32(key + 6) >> 4) & 0x3ffc0ff;
+    uint32_t r3 = (load32(key + 9) >> 6) & 0x3f03fff;
+    uint32_t r4 = (load32(key + 12) >> 8) & 0x00fffff;
+    uint32_t s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5, s4 = r4 * 5;
+
+    uint64_t h0 = 0, h1 = 0, h2 = 0, h3 = 0, h4 = 0;
+    size_t off = 0;
+    while (off < msg.size()) {
+        uint8_t block[17] = {};
+        size_t n = std::min<size_t>(16, msg.size() - off);
+        for (size_t i = 0; i < n; i++)
+            block[i] = msg[off + i];
+        block[n] = 1; // the 2^(8n) bit
+        off += n;
+
+        h0 += load32(block + 0) & 0x3ffffff;
+        h1 += (load32(block + 3) >> 2) & 0x3ffffff;
+        h2 += (load32(block + 6) >> 4) & 0x3ffffff;
+        h3 += (load32(block + 9) >> 6) & 0x3ffffff;
+        h4 += (load32(block + 12) >> 8) |
+            (static_cast<uint64_t>(block[16]) << 24);
+
+        uint64_t d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
+        uint64_t d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
+        uint64_t d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
+        uint64_t d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
+        uint64_t d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+
+        uint64_t c;
+        c = d0 >> 26; d0 &= 0x3ffffff;
+        d1 += c; c = d1 >> 26; d1 &= 0x3ffffff;
+        d2 += c; c = d2 >> 26; d2 &= 0x3ffffff;
+        d3 += c; c = d3 >> 26; d3 &= 0x3ffffff;
+        d4 += c; c = d4 >> 26; d4 &= 0x3ffffff;
+        d0 += c * 5; c = d0 >> 26; d0 &= 0x3ffffff;
+        d1 += c;
+
+        h0 = d0; h1 = d1; h2 = d2; h3 = d3; h4 = d4;
+    }
+
+    // Final carry propagation mod 2^130 - 5.
+    uint64_t c = h1 >> 26; h1 &= 0x3ffffff;
+    h2 += c; c = h2 >> 26; h2 &= 0x3ffffff;
+    h3 += c; c = h3 >> 26; h3 &= 0x3ffffff;
+    h4 += c; c = h4 >> 26; h4 &= 0x3ffffff;
+    h0 += c * 5; c = h0 >> 26; h0 &= 0x3ffffff;
+    h1 += c;
+
+    // Compute h - p via h + 5 - 2^130 and constant-time select.
+    uint64_t g0 = h0 + 5; c = g0 >> 26; g0 &= 0x3ffffff;
+    uint64_t g1 = h1 + c; c = g1 >> 26; g1 &= 0x3ffffff;
+    uint64_t g2 = h2 + c; c = g2 >> 26; g2 &= 0x3ffffff;
+    uint64_t g3 = h3 + c; c = g3 >> 26; g3 &= 0x3ffffff;
+    uint64_t g4 = h4 + c - (1ull << 26);
+
+    uint64_t mask = (g4 >> 63) - 1; // all-ones if h >= p
+    h0 = (h0 & ~mask) | (g0 & mask);
+    h1 = (h1 & ~mask) | (g1 & mask);
+    h2 = (h2 & ~mask) | (g2 & mask);
+    h3 = (h3 & ~mask) | (g3 & mask);
+    h4 = (h4 & ~mask) | (g4 & mask & 0x3ffffff);
+
+    // Serialize to 128 bits and add s = key[16..31].
+    uint64_t f0 = (h0 | (h1 << 26)) & 0xffffffff;
+    uint64_t f1 = ((h1 >> 6) | (h2 << 20)) & 0xffffffff;
+    uint64_t f2 = ((h2 >> 12) | (h3 << 14)) & 0xffffffff;
+    uint64_t f3 = ((h3 >> 18) | (h4 << 8)) & 0xffffffff;
+
+    uint64_t t;
+    t = f0 + load32(key + 16); f0 = t & 0xffffffff;
+    t = f1 + load32(key + 20) + (t >> 32); f1 = t & 0xffffffff;
+    t = f2 + load32(key + 24) + (t >> 32); f2 = t & 0xffffffff;
+    t = f3 + load32(key + 28) + (t >> 32); f3 = t & 0xffffffff;
+
+    std::array<uint8_t, 16> tag;
+    uint32_t words[4] = {static_cast<uint32_t>(f0),
+                         static_cast<uint32_t>(f1),
+                         static_cast<uint32_t>(f2),
+                         static_cast<uint32_t>(f3)};
+    for (int i = 0; i < 4; i++) {
+        tag[4 * i + 0] = static_cast<uint8_t>(words[i]);
+        tag[4 * i + 1] = static_cast<uint8_t>(words[i] >> 8);
+        tag[4 * i + 2] = static_cast<uint8_t>(words[i] >> 16);
+        tag[4 * i + 3] = static_cast<uint8_t>(words[i] >> 24);
+    }
+    return tag;
+}
+
+} // namespace cassandra::crypto::ref

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Reference Poly1305 one-time authenticator (RFC 8439 §2.5).
+ */
+
+#ifndef CASSANDRA_CRYPTO_REF_POLY1305_HH
+#define CASSANDRA_CRYPTO_REF_POLY1305_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace cassandra::crypto::ref {
+
+std::array<uint8_t, 16> poly1305Mac(const uint8_t key[32],
+                                    const std::vector<uint8_t> &msg);
+
+} // namespace cassandra::crypto::ref
+
+#endif // CASSANDRA_CRYPTO_REF_POLY1305_HH

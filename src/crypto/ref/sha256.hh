@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Reference SHA-256 (FIPS 180-4), HMAC-SHA256 (RFC 2104) and the
+ * TLS 1.2 PRF (RFC 5246 P_SHA256).
+ */
+
+#ifndef CASSANDRA_CRYPTO_REF_SHA256_HH
+#define CASSANDRA_CRYPTO_REF_SHA256_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace cassandra::crypto::ref {
+
+using Digest256 = std::array<uint8_t, 32>;
+
+Digest256 sha256(const std::vector<uint8_t> &msg);
+
+Digest256 hmacSha256(const std::vector<uint8_t> &key,
+                     const std::vector<uint8_t> &msg);
+
+/** TLS 1.2 PRF with SHA-256: P_SHA256(secret, label || seed). */
+std::vector<uint8_t> tls12Prf(const std::vector<uint8_t> &secret,
+                              const std::vector<uint8_t> &label_seed,
+                              size_t out_len);
+
+} // namespace cassandra::crypto::ref
+
+#endif // CASSANDRA_CRYPTO_REF_SHA256_HH

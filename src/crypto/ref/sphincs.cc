@@ -1,0 +1,211 @@
+#include <cstddef>
+#include <algorithm>
+#include <cstring>
+#include "crypto/ref/sphincs.hh"
+
+#include "crypto/ref/aes128.hh"
+#include "crypto/ref/keccak.hh"
+#include "crypto/ref/sha256.hh"
+
+namespace cassandra::crypto::ref {
+
+namespace {
+
+/** Base-w digits of the message plus the WOTS checksum digits. */
+std::vector<int>
+wotsDigits(const SphincsParams &params, const std::vector<uint8_t> &msg_hash)
+{
+    std::vector<int> digits;
+    for (uint8_t b : msg_hash) {
+        digits.push_back(b >> 4);
+        digits.push_back(b & 0xf);
+    }
+    int csum = 0;
+    for (int d : digits)
+        csum += params.w - 1 - d;
+    // 3 checksum digits cover len1 * (w-1) <= 480 < 16^3.
+    for (int i = 0; i < 3; i++)
+        digits.push_back((csum >> (4 * (2 - i))) & 0xf);
+    return digits;
+}
+
+} // namespace
+
+int
+sphincsWotsLen(const SphincsParams &params)
+{
+    return 2 * params.n + 3;
+}
+
+std::vector<uint8_t>
+sphincsHash(const SphincsParams &params, uint64_t address,
+            const std::vector<uint8_t> &in)
+{
+    std::vector<uint8_t> buf;
+    for (int i = 0; i < 8; i++)
+        buf.push_back(static_cast<uint8_t>(address >> (8 * i)));
+    buf.insert(buf.end(), in.begin(), in.end());
+
+    switch (params.hash) {
+      case SphincsHash::Shake:
+        return shake256(buf, params.n);
+      case SphincsHash::Sha2:
+      {
+        auto d = sha256(buf);
+        return std::vector<uint8_t>(d.begin(), d.begin() + params.n);
+      }
+      case SphincsHash::Haraka:
+      {
+        // Haraka-like: AES-CBC-MAC style permutation over the input,
+        // keyed with a fixed constant; two full AES rounds per 16-byte
+        // block, as in real Haraka (the IR kernel mirrors this).
+        uint8_t key[16] = {0x9d, 0x7b, 0x81, 0x75, 0xf0, 0xfe, 0xc5,
+                           0xb2, 0x0a, 0xc0, 0x20, 0xe6, 0x4c, 0x70,
+                           0x84, 0x06};
+        AesRoundKeys rk = aes128KeyExpand(key);
+        uint8_t state[16] = {};
+        buf.push_back(0x80);
+        while (buf.size() % 16 != 0)
+            buf.push_back(0);
+        for (size_t off = 0; off < buf.size(); off += 16) {
+            uint8_t in_block[16];
+            for (int i = 0; i < 16; i++)
+                in_block[i] = state[i] ^ buf[off + i];
+            aes128TwoRounds(rk, in_block, state);
+        }
+        return std::vector<uint8_t>(state, state + params.n);
+      }
+    }
+    return {};
+}
+
+namespace {
+
+/** Apply `steps` WOTS chain steps starting from `start` position. */
+std::vector<uint8_t>
+chain(const SphincsParams &params, std::vector<uint8_t> value,
+      uint64_t addr, int start, int steps)
+{
+    for (int i = start; i < start + steps; i++)
+        value = sphincsHash(params, addr * 256 + i, value);
+    return value;
+}
+
+/** Secret chain seed for (leaf, chain). */
+std::vector<uint8_t>
+chainSeed(const SphincsParams &params, const std::vector<uint8_t> &seed,
+          uint32_t leaf, int chain_idx)
+{
+    std::vector<uint8_t> in = seed;
+    in.push_back(static_cast<uint8_t>(leaf));
+    in.push_back(static_cast<uint8_t>(leaf >> 8));
+    in.push_back(static_cast<uint8_t>(chain_idx));
+    return sphincsHash(params, 0xfeed0000u + leaf, in);
+}
+
+/** Public WOTS key hash of one leaf. */
+std::vector<uint8_t>
+wotsLeaf(const SphincsParams &params, const std::vector<uint8_t> &seed,
+         uint32_t leaf)
+{
+    int len = sphincsWotsLen(params);
+    std::vector<uint8_t> concat;
+    for (int c = 0; c < len; c++) {
+        auto sk = chainSeed(params, seed, leaf, c);
+        auto pk = chain(params, sk, (static_cast<uint64_t>(leaf) << 16) | c,
+                        0, params.w - 1);
+        concat.insert(concat.end(), pk.begin(), pk.end());
+    }
+    return sphincsHash(params, 0xbeef0000u + leaf, concat);
+}
+
+std::vector<uint8_t>
+treeNode(const SphincsParams &params, const std::vector<uint8_t> &seed,
+         int level, uint32_t index)
+{
+    if (level == 0)
+        return wotsLeaf(params, seed, index);
+    auto left = treeNode(params, seed, level - 1, 2 * index);
+    auto right = treeNode(params, seed, level - 1, 2 * index + 1);
+    std::vector<uint8_t> in = left;
+    in.insert(in.end(), right.begin(), right.end());
+    return sphincsHash(params,
+                       0xaaaa0000u + (static_cast<uint64_t>(level) << 20) +
+                           index,
+                       in);
+}
+
+} // namespace
+
+SphincsKey
+sphincsKeyGen(const SphincsParams &params, const std::vector<uint8_t> &seed)
+{
+    SphincsKey key;
+    key.seed = seed;
+    key.root = treeNode(params, seed, params.treeHeight, 0);
+    return key;
+}
+
+SphincsSignature
+sphincsSign(const SphincsParams &params, const SphincsKey &key,
+            const std::vector<uint8_t> &msg, uint32_t leaf_idx)
+{
+    SphincsSignature sig;
+    sig.leafIdx = leaf_idx;
+
+    auto msg_hash = sphincsHash(params, 0x5150, msg);
+    auto digits = wotsDigits(params, msg_hash);
+
+    for (int c = 0; c < sphincsWotsLen(params); c++) {
+        auto sk = chainSeed(params, key.seed, leaf_idx, c);
+        sig.wotsSig.push_back(
+            chain(params, sk, (static_cast<uint64_t>(leaf_idx) << 16) | c,
+                  0, digits[c]));
+    }
+    uint32_t idx = leaf_idx;
+    for (int level = 0; level < params.treeHeight; level++) {
+        sig.authPath.push_back(
+            treeNode(params, key.seed, level, idx ^ 1));
+        idx >>= 1;
+    }
+    return sig;
+}
+
+bool
+sphincsVerify(const SphincsParams &params, const std::vector<uint8_t> &root,
+              const std::vector<uint8_t> &msg, const SphincsSignature &sig)
+{
+    auto msg_hash = sphincsHash(params, 0x5150, msg);
+    auto digits = wotsDigits(params, msg_hash);
+
+    std::vector<uint8_t> concat;
+    for (int c = 0; c < sphincsWotsLen(params); c++) {
+        auto pk = chain(params, sig.wotsSig[c],
+                        (static_cast<uint64_t>(sig.leafIdx) << 16) | c,
+                        digits[c], params.w - 1 - digits[c]);
+        concat.insert(concat.end(), pk.begin(), pk.end());
+    }
+    auto node = sphincsHash(params, 0xbeef0000u + sig.leafIdx, concat);
+
+    uint32_t idx = sig.leafIdx;
+    for (int level = 0; level < params.treeHeight; level++) {
+        std::vector<uint8_t> in;
+        if (idx & 1) {
+            in = sig.authPath[level];
+            in.insert(in.end(), node.begin(), node.end());
+        } else {
+            in = node;
+            in.insert(in.end(), sig.authPath[level].begin(),
+                      sig.authPath[level].end());
+        }
+        idx >>= 1;
+        node = sphincsHash(params,
+                           0xaaaa0000u +
+                               (static_cast<uint64_t>(level + 1) << 20) +
+                               idx,
+                           in);
+    }
+    return node == root;
+}
+
+} // namespace cassandra::crypto::ref

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reference SPHINCS-like stateless hash-based signature core.
+ *
+ * A scaled-down but structurally faithful analog of SPHINCS+-128s: a
+ * WOTS+ one-time signature (w = 16) under a single Merkle tree, with
+ * the three hash backends the paper evaluates (shake / sha2 / a
+ * haraka-like AES-permutation construction). The hypertree and FORS
+ * layers are collapsed into one tree so a full sign+verify runs in
+ * millions rather than billions of instructions; the WOTS chain loops,
+ * leaf loops and tree loops — the control flow the paper analyzes —
+ * are preserved.
+ */
+
+#ifndef CASSANDRA_CRYPTO_REF_SPHINCS_HH
+#define CASSANDRA_CRYPTO_REF_SPHINCS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace cassandra::crypto::ref {
+
+/** Hash backends mirroring sphincs-{shake,sha2,haraka}-128s. */
+enum class SphincsHash
+{
+    Shake,
+    Sha2,
+    Haraka,
+};
+
+/** Scaled-down parameter set. */
+struct SphincsParams
+{
+    SphincsHash hash = SphincsHash::Shake;
+    int n = 16;         ///< hash output bytes
+    int w = 16;         ///< Winternitz parameter
+    int treeHeight = 4; ///< 2^h WOTS leaves
+};
+
+/** n-byte tweakable hash of the backend (address is a domain tweak). */
+std::vector<uint8_t> sphincsHash(const SphincsParams &params,
+                                 uint64_t address,
+                                 const std::vector<uint8_t> &in);
+
+struct SphincsSignature
+{
+    uint32_t leafIdx = 0;
+    std::vector<std::vector<uint8_t>> wotsSig; ///< len chains
+    std::vector<std::vector<uint8_t>> authPath;
+};
+
+struct SphincsKey
+{
+    std::vector<uint8_t> seed; ///< secret seed
+    std::vector<uint8_t> root; ///< public root
+};
+
+/** Number of WOTS chains (len1 + len2) for the parameter set. */
+int sphincsWotsLen(const SphincsParams &params);
+
+SphincsKey sphincsKeyGen(const SphincsParams &params,
+                         const std::vector<uint8_t> &seed);
+
+SphincsSignature sphincsSign(const SphincsParams &params,
+                             const SphincsKey &key,
+                             const std::vector<uint8_t> &msg,
+                             uint32_t leaf_idx);
+
+bool sphincsVerify(const SphincsParams &params,
+                   const std::vector<uint8_t> &root,
+                   const std::vector<uint8_t> &msg,
+                   const SphincsSignature &sig);
+
+} // namespace cassandra::crypto::ref
+
+#endif // CASSANDRA_CRYPTO_REF_SPHINCS_HH

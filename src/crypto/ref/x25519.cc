@@ -1,0 +1,245 @@
+#include <cstddef>
+#include <algorithm>
+#include <cstring>
+#include "crypto/ref/x25519.hh"
+
+namespace cassandra::crypto::ref {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+/** Field element: 5 x 51-bit limbs, little-endian. */
+struct Fe
+{
+    uint64_t v[5] = {0, 0, 0, 0, 0};
+};
+
+constexpr uint64_t kMask51 = (1ull << 51) - 1;
+
+Fe
+feAdd(const Fe &a, const Fe &b)
+{
+    Fe r;
+    for (int i = 0; i < 5; i++)
+        r.v[i] = a.v[i] + b.v[i];
+    return r;
+}
+
+Fe
+feSub(const Fe &a, const Fe &b)
+{
+    // Add 4p before subtracting to keep limbs positive.
+    Fe r;
+    r.v[0] = a.v[0] + 0xfffffffffffdaull * 2 - b.v[0];
+    for (int i = 1; i < 5; i++)
+        r.v[i] = a.v[i] + 0xffffffffffffeull * 2 - b.v[i];
+    return r;
+}
+
+Fe
+feCarry(const Fe &a)
+{
+    Fe r = a;
+    uint64_t c;
+    for (int i = 0; i < 4; i++) {
+        c = r.v[i] >> 51;
+        r.v[i] &= kMask51;
+        r.v[i + 1] += c;
+    }
+    c = r.v[4] >> 51;
+    r.v[4] &= kMask51;
+    r.v[0] += c * 19;
+    c = r.v[0] >> 51;
+    r.v[0] &= kMask51;
+    r.v[1] += c;
+    return r;
+}
+
+Fe
+feMul(const Fe &a, const Fe &b)
+{
+    u128 t[5] = {};
+    for (int i = 0; i < 5; i++) {
+        for (int j = 0; j < 5; j++) {
+            u128 prod = static_cast<u128>(a.v[i]) * b.v[j];
+            int k = i + j;
+            if (k >= 5) {
+                k -= 5;
+                prod *= 19;
+            }
+            t[k] += prod;
+        }
+    }
+    Fe r;
+    uint64_t carry = 0;
+    for (int i = 0; i < 5; i++) {
+        u128 v = t[i] + carry;
+        r.v[i] = static_cast<uint64_t>(v) & kMask51;
+        carry = static_cast<uint64_t>(v >> 51);
+    }
+    r.v[0] += carry * 19;
+    return feCarry(r);
+}
+
+Fe
+feMul121666(const Fe &a)
+{
+    Fe r;
+    u128 carry = 0;
+    for (int i = 0; i < 5; i++) {
+        u128 v = static_cast<u128>(a.v[i]) * 121666 + carry;
+        r.v[i] = static_cast<uint64_t>(v) & kMask51;
+        carry = v >> 51;
+    }
+    r.v[0] += static_cast<uint64_t>(carry) * 19;
+    return feCarry(r);
+}
+
+Fe
+feInvert(const Fe &a)
+{
+    // a^(p-2) with p = 2^255 - 19: 254 squarings, constant schedule.
+    Fe r = a;
+    Fe result;
+    result.v[0] = 1;
+    // Exponent bits of p-2 = 2^255 - 21: all ones except bits 1 and 3...
+    // Use simple square-and-multiply over the fixed constant exponent.
+    // p - 2 = 0x7fff...ffeb
+    uint8_t exp[32];
+    for (int i = 0; i < 32; i++)
+        exp[i] = 0xff;
+    exp[0] = 0xeb;
+    exp[31] = 0x7f;
+    for (int bit = 254; bit >= 0; bit--) {
+        result = feMul(result, result);
+        if ((exp[bit / 8] >> (bit % 8)) & 1)
+            result = feMul(result, r);
+    }
+    return result;
+}
+
+Fe
+feFromBytes(const uint8_t s[32])
+{
+    auto load64 = [&](int off) {
+        uint64_t v = 0;
+        for (int i = 7; i >= 0; i--)
+            v = (v << 8) | s[off + i];
+        return v;
+    };
+    Fe r;
+    r.v[0] = load64(0) & kMask51;
+    r.v[1] = (load64(6) >> 3) & kMask51;
+    r.v[2] = (load64(12) >> 6) & kMask51;
+    r.v[3] = (load64(19) >> 1) & kMask51;
+    r.v[4] = (load64(24) >> 12) & kMask51;
+    return r;
+}
+
+void
+feToBytes(uint8_t out[32], const Fe &a)
+{
+    Fe t = feCarry(feCarry(a));
+    // Fully reduce mod p.
+    uint64_t q = (t.v[0] + 19) >> 51;
+    q = (t.v[1] + q) >> 51;
+    q = (t.v[2] + q) >> 51;
+    q = (t.v[3] + q) >> 51;
+    q = (t.v[4] + q) >> 51;
+    t.v[0] += 19 * q;
+    uint64_t carry;
+    for (int i = 0; i < 4; i++) {
+        carry = t.v[i] >> 51;
+        t.v[i] &= kMask51;
+        t.v[i + 1] += carry;
+    }
+    t.v[4] &= kMask51;
+
+    uint64_t w0 = t.v[0] | (t.v[1] << 51);
+    uint64_t w1 = (t.v[1] >> 13) | (t.v[2] << 38);
+    uint64_t w2 = (t.v[2] >> 26) | (t.v[3] << 25);
+    uint64_t w3 = (t.v[3] >> 39) | (t.v[4] << 12);
+    uint64_t words[4] = {w0, w1, w2, w3};
+    for (int i = 0; i < 4; i++) {
+        for (int j = 0; j < 8; j++)
+            out[8 * i + j] = static_cast<uint8_t>(words[i] >> (8 * j));
+    }
+}
+
+void
+feCswap(Fe &a, Fe &b, uint64_t swap)
+{
+    uint64_t mask = 0 - swap;
+    for (int i = 0; i < 5; i++) {
+        uint64_t x = mask & (a.v[i] ^ b.v[i]);
+        a.v[i] ^= x;
+        b.v[i] ^= x;
+    }
+}
+
+} // namespace
+
+std::array<uint8_t, 32>
+x25519(const uint8_t scalar[32], const uint8_t point[32])
+{
+    uint8_t e[32];
+    for (int i = 0; i < 32; i++)
+        e[i] = scalar[i];
+    e[0] &= 248;
+    e[31] &= 127;
+    e[31] |= 64;
+
+    Fe x1 = feFromBytes(point);
+    Fe x2;
+    x2.v[0] = 1;
+    Fe z2; // zero
+    Fe x3 = x1;
+    Fe z3;
+    z3.v[0] = 1;
+
+    uint64_t swap = 0;
+    for (int t = 254; t >= 0; t--) {
+        uint64_t bit = (e[t / 8] >> (t % 8)) & 1;
+        swap ^= bit;
+        feCswap(x2, x3, swap);
+        feCswap(z2, z3, swap);
+        swap = bit;
+
+        Fe a = feCarry(feAdd(x2, z2));
+        Fe b = feCarry(feSub(x2, z2));
+        Fe aa = feMul(a, a);
+        Fe bb = feMul(b, b);
+        x2 = feMul(aa, bb);
+        Fe e_ = feCarry(feSub(aa, bb));
+        Fe c = feCarry(feAdd(x3, z3));
+        Fe d = feCarry(feSub(x3, z3));
+        Fe da = feMul(d, a);
+        Fe cb = feMul(c, b);
+        Fe t0 = feCarry(feAdd(da, cb));
+        x3 = feMul(t0, t0);
+        Fe t1 = feCarry(feSub(da, cb));
+        Fe t2 = feMul(t1, t1);
+        z3 = feMul(t2, x1);
+        Fe t3 = feMul121666(e_);
+        Fe t4 = feCarry(feAdd(bb, t3));
+        z2 = feMul(e_, t4);
+    }
+    feCswap(x2, x3, swap);
+    feCswap(z2, z3, swap);
+
+    Fe out = feMul(x2, feInvert(z2));
+    std::array<uint8_t, 32> result;
+    feToBytes(result.data(), out);
+    return result;
+}
+
+std::array<uint8_t, 32>
+x25519BasePoint()
+{
+    std::array<uint8_t, 32> bp{};
+    bp[0] = 9;
+    return bp;
+}
+
+} // namespace cassandra::crypto::ref

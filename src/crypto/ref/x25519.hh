@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Reference X25519 scalar multiplication (RFC 7748) via the constant-
+ * time Montgomery ladder over GF(2^255 - 19).
+ */
+
+#ifndef CASSANDRA_CRYPTO_REF_X25519_HH
+#define CASSANDRA_CRYPTO_REF_X25519_HH
+
+#include <array>
+#include <cstdint>
+
+namespace cassandra::crypto::ref {
+
+/** out = scalar * point (u-coordinates, little-endian byte strings). */
+std::array<uint8_t, 32> x25519(const uint8_t scalar[32],
+                               const uint8_t point[32]);
+
+/** The RFC 7748 base point (u = 9). */
+std::array<uint8_t, 32> x25519BasePoint();
+
+} // namespace cassandra::crypto::ref
+
+#endif // CASSANDRA_CRYPTO_REF_X25519_HH

@@ -1,0 +1,215 @@
+#include "crypto/workloads.hh"
+
+#include "crypto/kernels/keccak_kernel.hh"
+#include "crypto/ref/chacha20.hh"
+#include "crypto/ref/x25519.hh"
+
+namespace cassandra::crypto {
+
+namespace {
+
+/**
+ * Emit the SpectreGuard-style (s)andboxed region: a branchy, memory-
+ * heavy loop (bounds-checked table walk with data-dependent branches)
+ * that stands in for untrusted non-crypto code.
+ *
+ * @param iters outer iterations (scales the sandbox fraction)
+ */
+void
+emitSandbox(Assembler &as, int64_t iters)
+{
+    as.allocData("sb_table", 4096, 8);
+    as.allocData("sb_acc", 8, 8);
+
+    as.beginFunction("sandbox_region", /*crypto=*/false);
+    constexpr RegId si = 18, sj = 19, sv = 20, sp_ = 21, sacc = 22,
+                    st = 23, st2 = 24;
+    as.la(sp_, "sb_table");
+    as.li(sacc, 0);
+    as.forLoop(si, 0, std::max<int64_t>(1, iters), [&] {
+        as.forLoop(sj, 0, 64, [&] {
+            // index = (acc * 29 + j * 13) % 512 words
+            as.li(st, 29);
+            as.mul(sv, sacc, st);
+            as.li(st, 13);
+            as.mul(st2, sj, st);
+            as.add(sv, sv, st2);
+            as.andi(sv, sv, 511);
+            as.shli(sv, sv, 3);
+            as.add(sv, sp_, sv);
+            as.ld(st, sv, 0);
+            as.add(sacc, sacc, st);
+            // data-dependent branch (bounds-check style)
+            as.andi(st2, sacc, 7);
+            as.slti(st2, st2, 4);
+            as.beq(st2, ir::regZero, ".sb_skip");
+            as.xori(sacc, sacc, 0x5a5a);
+            as.label(".sb_skip");
+            as.sd(sacc, sv, 0);
+        });
+    });
+    as.la(st, "sb_acc");
+    as.sd(sacc, st, 0);
+    as.ret();
+    as.endFunction();
+}
+
+} // namespace
+
+Workload
+syntheticMixWorkload(const std::string &crypto_kernel, int sandbox_pct)
+{
+    // Rough dynamic-cost calibration: one sandbox outer iteration is
+    // ~1.3k instructions; the crypto regions cost ~80k (chacha20 over
+    // 4 KB) and ~3M (one X25519 ladder). Iteration counts are chosen
+    // so the sandbox share of dynamic instructions approximates
+    // sandbox_pct (the paper's 90s/10c .. all-crypto mixes).
+    const bool use_chacha = crypto_kernel == "chacha20";
+    const double crypto_insts = use_chacha ? 80000.0 : 3000000.0;
+    const int64_t sandbox_iters = sandbox_pct == 0
+        ? 0
+        : static_cast<int64_t>(crypto_insts * sandbox_pct /
+                               (100 - sandbox_pct) / 1300.0);
+
+    Assembler as;
+    const int64_t msg_len = 4096;
+    if (use_chacha) {
+        as.allocData("key", 32, 8);
+        as.allocData("nonce", 12, 4);
+        as.allocData("msg", static_cast<size_t>(msg_len), 64);
+        as.allocData("out", static_cast<size_t>(msg_len), 64);
+    }
+
+    as.beginFunction("main", false);
+    if (sandbox_iters > 0)
+        as.call("sandbox_region");
+    if (use_chacha) {
+        as.la(a0, "out");
+        as.la(a1, "msg");
+        as.li(a2, msg_len);
+        as.la(a3, "key");
+        as.la(a4, "nonce");
+        as.li(a5, 1);
+        as.call("chacha20_xor");
+    } else {
+        as.call("x25519_ladder");
+    }
+    if (sandbox_iters > 0)
+        as.call("sandbox_region");
+    as.halt();
+    as.endFunction();
+
+    if (sandbox_iters > 0)
+        emitSandbox(as, std::max<int64_t>(1, sandbox_iters / 2));
+    if (use_chacha) {
+        emitChaCha20(as, /*unroll=*/false);
+    } else {
+        emitX25519Ladder(as);
+        // Flat (donna-style) bignum code: the fixed 8-limb loops are
+        // unrolled so the hot branch working set fits the 16-entry BTU.
+        emitBignum(as, /*unroll_inner=*/true, 8);
+    }
+
+    Workload w;
+    w.name = "synthetic-" + crypto_kernel + "-" +
+        (sandbox_pct == 0 ? std::string("all-crypto")
+                          : std::to_string(sandbox_pct) + "s" +
+                              std::to_string(100 - sandbox_pct) + "c");
+    w.suite = "Synthetic";
+    w.program = as.finalize();
+    w.sandboxFraction = sandbox_pct / 100.0;
+
+    if (sandbox_iters > 0) {
+        uint64_t table_addr = as.dataAddr("sb_table");
+        // Table contents are public data.
+        w.setInput = [table_addr](sim::Machine &m, int) {
+            pokeBytes(m, table_addr, patternBytes(4096, 0x61));
+        };
+    }
+
+    if (use_chacha) {
+        uint64_t key_addr = as.dataAddr("key");
+        uint64_t nonce_addr = as.dataAddr("nonce");
+        uint64_t msg_addr = as.dataAddr("msg");
+        auto base_input = w.setInput;
+        w.setInput = [=](sim::Machine &m, int which) {
+            if (base_input)
+                base_input(m, which);
+            pokeBytes(m, key_addr,
+                      patternBytes(32, static_cast<uint8_t>(which + 7)));
+            pokeBytes(m, nonce_addr, patternBytes(12, 0x40));
+            pokeBytes(m, msg_addr,
+                      patternBytes(static_cast<size_t>(msg_len), 0x50));
+        };
+        // HACL* chacha20 keeps secrets out of the stack: only the key
+        // and message regions are annotated (paper Fig. 8, left).
+        w.secretRegions = {
+            {key_addr, key_addr + 32},
+            {msg_addr, msg_addr + static_cast<uint64_t>(msg_len)}};
+    } else {
+        uint64_t scalar_addr = as.dataAddr("ec_scalar");
+        uint64_t point_addr = as.dataAddr("ec_point");
+        auto base_input = w.setInput;
+        w.setInput = [=](sim::Machine &m, int which) {
+            if (base_input)
+                base_input(m, which);
+            pokeBytes(m, scalar_addr,
+                      patternBytes(32, static_cast<uint8_t>(which + 60)));
+            auto base = ref::x25519BasePoint();
+            pokeBytes(m, point_addr, {base.begin(), base.end()});
+        };
+        // curve25519 spills secrets: the scalar, the field-element
+        // work buffers and the stack are all annotated secret
+        // (paper Fig. 8, right).
+        uint64_t stack_lo = ir::Program::stackTop - 65536;
+        w.secretRegions = {
+            {scalar_addr, scalar_addr + 32},
+            {as.dataAddr("ec_x1"), as.dataAddr("ec_zinv") + 32},
+            {stack_lo, ir::Program::stackTop}};
+    }
+    return w;
+}
+
+std::vector<Workload>
+allCryptoWorkloads()
+{
+    std::vector<Workload> out;
+    // BearSSL suite (Fig. 7 order).
+    out.push_back(aesCtrWorkload());
+    out.push_back(cbcCtWorkload());
+    out.push_back(chacha20CtWorkload());
+    out.push_back(desCtWorkload());
+    out.push_back(ecC25519Workload());
+    out.push_back(ecdsaWorkload());
+    out.push_back(modPowWorkload());
+    out.push_back(multiHashWorkload());
+    out.push_back(poly1305Workload());
+    out.push_back(rsaWorkload());
+    out.push_back(sha256BearsslWorkload());
+    out.push_back(shakeWorkload());
+    out.push_back(tlsPrfWorkload());
+    // OpenSSL suite.
+    out.push_back(chacha20OpensslWorkload());
+    out.push_back(curve25519OpensslWorkload());
+    out.push_back(sha256OpensslWorkload());
+    // PQC suite.
+    out.push_back(kyberWorkload(2));
+    out.push_back(kyberWorkload(3));
+    out.push_back(sphincsWorkload("haraka"));
+    out.push_back(sphincsWorkload("sha2"));
+    out.push_back(sphincsWorkload("shake"));
+    return out;
+}
+
+std::vector<Workload>
+suiteWorkloads(const std::string &suite)
+{
+    std::vector<Workload> out;
+    for (auto &w : allCryptoWorkloads()) {
+        if (w.suite == suite)
+            out.push_back(std::move(w));
+    }
+    return out;
+}
+
+} // namespace cassandra::crypto

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Workload registry: every benchmark the paper evaluates (Fig. 7 /
+ * Table 1 rows) plus the SpectreGuard-style synthetic mixes (Fig. 8).
+ */
+
+#ifndef CASSANDRA_CRYPTO_WORKLOADS_HH
+#define CASSANDRA_CRYPTO_WORKLOADS_HH
+
+#include <vector>
+
+#include "crypto/kernels/bigint_kernel.hh"
+#include "crypto/kernels/chacha20_kernel.hh"
+#include "crypto/kernels/sha256_kernel.hh"
+#include "crypto/kernels/common.hh"
+
+namespace cassandra::crypto {
+
+// Declared in their kernel translation units.
+Workload aesCtrWorkload();       ///< BearSSL AES_CTR
+Workload cbcCtWorkload();        ///< BearSSL CBC_ct
+Workload desCtWorkload();        ///< BearSSL DES_ct
+Workload poly1305Workload();     ///< BearSSL Poly1305_ctmul
+Workload shakeWorkload();        ///< BearSSL SHAKE
+Workload kyberWorkload(int k);   ///< PQC kyber512 (k=2) / kyber768 (k=3)
+/** PQC sphincs-{shake,sha2,haraka}-128s analogs (scaled; DESIGN.md). */
+Workload sphincsWorkload(const std::string &backend);
+
+/**
+ * SpectreGuard-style synthetic mix (Fig. 8): a sandboxed pointer-
+ * chasing/branchy region interleaved with a crypto primitive.
+ *
+ * @param crypto_kernel "chacha20" (public stack) or "curve25519"
+ *        (secret-annotated stack)
+ * @param sandbox_pct percentage of dynamic work that is sandbox code
+ *        (90/75/50/25/0)
+ */
+Workload syntheticMixWorkload(const std::string &crypto_kernel,
+                              int sandbox_pct);
+
+/** All cryptographic workloads of Fig. 7, in the paper's order. */
+std::vector<Workload> allCryptoWorkloads();
+
+/** Subset by suite name ("BearSSL", "OpenSSL", "PQC"). */
+std::vector<Workload> suiteWorkloads(const std::string &suite);
+
+} // namespace cassandra::crypto
+
+#endif // CASSANDRA_CRYPTO_WORKLOADS_HH

@@ -1,0 +1,246 @@
+#include "ir/inst.hh"
+
+#include <array>
+#include <sstream>
+
+namespace cassandra::ir {
+
+std::string
+regName(RegId reg)
+{
+    if (reg == regZero)
+        return "x0";
+    if (reg == regRa)
+        return "ra";
+    if (reg == regSp)
+        return "sp";
+    if (reg >= regA0 && reg < regA0 + 8)
+        return "a" + std::to_string(reg - regA0);
+    return "x" + std::to_string(reg);
+}
+
+ExecClass
+Inst::execClass() const
+{
+    switch (op) {
+      case Opcode::Mul:
+      case Opcode::Mulh:
+      case Opcode::Mulhu:
+      case Opcode::Mulw:
+        return ExecClass::IntMul;
+      case Opcode::Ld:
+      case Opcode::Lw:
+      case Opcode::Lh:
+      case Opcode::Lb:
+        return ExecClass::Load;
+      case Opcode::Sd:
+      case Opcode::Sw:
+      case Opcode::Sh:
+      case Opcode::Sb:
+        return ExecClass::Store;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Bltu:
+      case Opcode::Bgeu:
+        return ExecClass::CondBranch;
+      case Opcode::Jal:
+        return ExecClass::DirectJump;
+      case Opcode::Jalr:
+        return ExecClass::IndirectJump;
+      case Opcode::Ret:
+        return ExecClass::Return;
+      case Opcode::Nop:
+        return ExecClass::Nop;
+      case Opcode::Halt:
+        return ExecClass::Halt;
+      default:
+        return ExecClass::IntAlu;
+    }
+}
+
+bool
+Inst::isControlFlow() const
+{
+    switch (execClass()) {
+      case ExecClass::CondBranch:
+      case ExecClass::DirectJump:
+      case ExecClass::IndirectJump:
+      case ExecClass::Return:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Inst::isCondBranch() const
+{
+    return execClass() == ExecClass::CondBranch;
+}
+
+bool
+Inst::isCall() const
+{
+    return op == Opcode::Jal && rd != regZero;
+}
+
+bool
+Inst::isReturn() const
+{
+    return op == Opcode::Ret;
+}
+
+bool
+Inst::isIndirect() const
+{
+    return op == Opcode::Jalr;
+}
+
+bool
+Inst::isLoad() const
+{
+    return execClass() == ExecClass::Load;
+}
+
+bool
+Inst::isStore() const
+{
+    return execClass() == ExecClass::Store;
+}
+
+int
+Inst::memBytes() const
+{
+    switch (op) {
+      case Opcode::Ld:
+      case Opcode::Sd:
+        return 8;
+      case Opcode::Lw:
+      case Opcode::Sw:
+        return 4;
+      case Opcode::Lh:
+      case Opcode::Sh:
+        return 2;
+      case Opcode::Lb:
+      case Opcode::Sb:
+        return 1;
+      default:
+        return 0;
+    }
+}
+
+std::string
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::Sar: return "sar";
+      case Opcode::Rotl: return "rotl";
+      case Opcode::Rotr: return "rotr";
+      case Opcode::Mul: return "mul";
+      case Opcode::Mulh: return "mulh";
+      case Opcode::Mulhu: return "mulhu";
+      case Opcode::Slt: return "slt";
+      case Opcode::Sltu: return "sltu";
+      case Opcode::Addw: return "addw";
+      case Opcode::Subw: return "subw";
+      case Opcode::Mulw: return "mulw";
+      case Opcode::Addiw: return "addiw";
+      case Opcode::Rotlwi: return "rotlwi";
+      case Opcode::Addi: return "addi";
+      case Opcode::Andi: return "andi";
+      case Opcode::Ori: return "ori";
+      case Opcode::Xori: return "xori";
+      case Opcode::Shli: return "shli";
+      case Opcode::Shri: return "shri";
+      case Opcode::Sari: return "sari";
+      case Opcode::Rotli: return "rotli";
+      case Opcode::Slti: return "slti";
+      case Opcode::Sltiu: return "sltiu";
+      case Opcode::Li: return "li";
+      case Opcode::Cmovnz: return "cmovnz";
+      case Opcode::Ld: return "ld";
+      case Opcode::Lw: return "lw";
+      case Opcode::Lh: return "lh";
+      case Opcode::Lb: return "lb";
+      case Opcode::Sd: return "sd";
+      case Opcode::Sw: return "sw";
+      case Opcode::Sh: return "sh";
+      case Opcode::Sb: return "sb";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Bltu: return "bltu";
+      case Opcode::Bgeu: return "bgeu";
+      case Opcode::Jal: return "jal";
+      case Opcode::Jalr: return "jalr";
+      case Opcode::Ret: return "ret";
+      case Opcode::Nop: return "nop";
+      case Opcode::Halt: return "halt";
+    }
+    return "???";
+}
+
+std::string
+Inst::toString() const
+{
+    std::ostringstream os;
+    os << opcodeName(op);
+    switch (execClass()) {
+      case ExecClass::IntAlu:
+      case ExecClass::IntMul:
+        if (op == Opcode::Li) {
+            os << " " << regName(rd) << ", " << imm;
+        } else if (op == Opcode::Nop) {
+            // nothing
+        } else if (op == Opcode::Cmovnz) {
+            os << " " << regName(rd) << ", " << regName(rs1) << ", "
+               << regName(rs2);
+        } else {
+            os << " " << regName(rd) << ", " << regName(rs1);
+            switch (op) {
+              case Opcode::Addi: case Opcode::Andi: case Opcode::Ori:
+              case Opcode::Xori: case Opcode::Shli: case Opcode::Shri:
+              case Opcode::Sari: case Opcode::Rotli: case Opcode::Slti:
+              case Opcode::Sltiu: case Opcode::Addiw: case Opcode::Rotlwi:
+                os << ", " << imm;
+                break;
+              default:
+                os << ", " << regName(rs2);
+            }
+        }
+        break;
+      case ExecClass::Load:
+        os << " " << regName(rd) << ", " << imm << "(" << regName(rs1)
+           << ")";
+        break;
+      case ExecClass::Store:
+        os << " " << regName(rs2) << ", " << imm << "(" << regName(rs1)
+           << ")";
+        break;
+      case ExecClass::CondBranch:
+        os << " " << regName(rs1) << ", " << regName(rs2) << ", 0x"
+           << std::hex << imm;
+        break;
+      case ExecClass::DirectJump:
+        os << " " << regName(rd) << ", 0x" << std::hex << imm;
+        break;
+      case ExecClass::IndirectJump:
+        os << " " << regName(rd) << ", " << regName(rs1) << ", " << imm;
+        break;
+      default:
+        break;
+    }
+    return os.str();
+}
+
+} // namespace cassandra::ir

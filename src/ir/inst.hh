@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Instruction definitions for the Cassandra IR.
+ *
+ * The instruction set is a 64-bit RISC-like subset extended with the
+ * constant-time conveniences cryptographic kernels rely on (rotates and
+ * a conditional move). Control flow instructions carry absolute target
+ * PCs after assembly; every instruction occupies instBytes bytes of the
+ * (fictional) code address space so that PCs look like real addresses.
+ */
+
+#ifndef CASSANDRA_IR_INST_HH
+#define CASSANDRA_IR_INST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "ir/reg.hh"
+
+namespace cassandra::ir {
+
+/** Byte size of every instruction; PCs advance by this amount. */
+inline constexpr uint64_t instBytes = 4;
+
+/** Opcodes of the Cassandra IR. */
+enum class Opcode : uint8_t
+{
+    // ALU, register-register
+    Add, Sub, And, Or, Xor, Shl, Shr, Sar, Rotl, Rotr,
+    Mul, Mulh, Mulhu, Slt, Sltu,
+    // 32-bit word forms (results zero-extended to 64 bits)
+    Addw, Subw, Mulw,
+    // ALU, register-immediate
+    Addi, Andi, Ori, Xori, Shli, Shri, Sari, Rotli, Slti, Sltiu,
+    // 32-bit word immediate forms
+    Addiw, Rotlwi,
+    // Constant generation
+    Li,
+    /**
+     * Constant-time conditional move: rd = (regs[rs1] != 0) ? regs[rs2]
+     * : rd. Reads rd as an implicit source (like x86 CMOV); executes in
+     * constant time regardless of the condition.
+     */
+    Cmovnz,
+    // Memory: 64/32/16/8-bit loads (zero-extending) and stores
+    Ld, Lw, Lh, Lb,
+    Sd, Sw, Sh, Sb,
+    // Control flow
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,  ///< conditional direct branches
+    Jal,                             ///< direct call/jump, writes link
+    Jalr,                            ///< indirect call/jump via register
+    Ret,                             ///< return (pops the RSB)
+    // Misc
+    Nop, Halt,
+};
+
+/** Broad execution class used by the timing model and the tracer. */
+enum class ExecClass : uint8_t
+{
+    IntAlu,
+    IntMul,
+    Load,
+    Store,
+    CondBranch,
+    DirectJump,   ///< JAL (call or unconditional jump)
+    IndirectJump, ///< JALR
+    Return,
+    Nop,
+    Halt,
+};
+
+/** A single IR instruction. */
+struct Inst
+{
+    Opcode op = Opcode::Nop;
+    RegId rd = 0;
+    RegId rs1 = 0;
+    RegId rs2 = 0;
+    /**
+     * Immediate operand. For ALU-immediate ops this is the literal; for
+     * memory ops the address offset; for direct control flow the
+     * absolute target PC (after label resolution); for Jalr the offset
+     * added to regs[rs1].
+     */
+    int64_t imm = 0;
+
+    /** Execution class of this opcode. */
+    ExecClass execClass() const;
+
+    /** True for any instruction that can redirect the PC. */
+    bool isControlFlow() const;
+    /** True for conditional direct branches. */
+    bool isCondBranch() const;
+    /** True for Jal with rd != x0 (a call that pushes the RSB). */
+    bool isCall() const;
+    /** True for Ret. */
+    bool isReturn() const;
+    /** True for Jalr. */
+    bool isIndirect() const;
+    /** True for loads. */
+    bool isLoad() const;
+    /** True for stores. */
+    bool isStore() const;
+    /** Byte width of a memory access (0 for non-memory ops). */
+    int memBytes() const;
+
+    /** Human-readable disassembly (targets printed as hex PCs). */
+    std::string toString() const;
+};
+
+/** Mnemonic of an opcode. */
+std::string opcodeName(Opcode op);
+
+} // namespace cassandra::ir
+
+#endif // CASSANDRA_IR_INST_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Register identifiers for the Cassandra IR.
+ *
+ * The IR models a RISC-like machine with 64 general-purpose 64-bit
+ * integer registers. Register x0 is hard-wired to zero (writes are
+ * discarded), mirroring RISC-V. A light-weight software calling
+ * convention is defined on top: x1 is the link register, x2 the stack
+ * pointer, x10..x17 are argument/return registers and x18..x63 are
+ * general scratch/saved registers (the macro-assembler's register
+ * allocator manages them; there is no hardware distinction).
+ */
+
+#ifndef CASSANDRA_IR_REG_HH
+#define CASSANDRA_IR_REG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace cassandra::ir {
+
+/** Number of architectural integer registers. */
+inline constexpr int numRegs = 64;
+
+/** A register identifier; valid values are 0..numRegs-1. */
+using RegId = uint8_t;
+
+/** The always-zero register. */
+inline constexpr RegId regZero = 0;
+/** Link register (written by call instructions). */
+inline constexpr RegId regRa = 1;
+/** Stack pointer by convention. */
+inline constexpr RegId regSp = 2;
+/** First argument/return register; a0..a7 are x10..x17. */
+inline constexpr RegId regA0 = 10;
+
+/** Return the conventional assembly name of a register (x0, ra, sp, a0..). */
+std::string regName(RegId reg);
+
+} // namespace cassandra::ir
+
+#endif // CASSANDRA_IR_REG_HH

@@ -1,0 +1,124 @@
+#include "power/power_model.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace cassandra::power {
+
+namespace {
+
+/**
+ * Structure-level CACTI-like scaling. Area in model-mm^2 per bit with a
+ * port/control overhead multiplier; per-access energy grows with the
+ * square root of the structure's bit count (wordline/bitline scaling).
+ */
+struct Sram
+{
+    double bits;
+    double overhead; ///< ports + control logic multiplier
+
+    double area() const { return bits * 2.5e-6 * overhead; }
+    double accessEnergy() const { return std::sqrt(bits) * 1.0e-3; }
+    double leakPerCycle() const { return area() * 2.0e-4; }
+};
+
+// Structure sizes (bits).
+// BPU: bimodal 8K x 2b, 6 TAGE tables 1K x 14b, loop table 128 x 64b,
+// BTB 4096 x 64b, RSB 32 x 64b -- a Golden-Cove-class frontend.
+constexpr double bpuBits = 8192.0 * 2 + 6 * 1024 * 14 + 128 * 64 +
+    4096 * 64 + 32 * 64;
+// BTU: 16 x 16 x (20 + 32) + 16 x 60 bits = 14,272 bits = 1.74 KiB.
+constexpr double btuBits = 16.0 * 16 * (20 + 32) + 16 * 60;
+// Other fetch-path storage (fetch queue, decode queues, microcode).
+constexpr double fetchMiscBits = 24.0 * 1024 * 8;
+// Rename: RAT + free lists + ROB payload.
+constexpr double renameBits = 512.0 * 96 + 2 * 64 * 10 + 280 * 8;
+// LSU: LQ/SQ CAMs + L1D tag/control share.
+constexpr double lsuBits = (192.0 + 114) * 96 + 48 * 1024 * 8 * 0.15;
+// EXE: register file + bypass + scheduler.
+constexpr double exeBits = (280.0 + 332) * 64 + 96 * 80;
+
+} // namespace
+
+PowerReport
+evaluatePower(const Activity &a, bool include_btu)
+{
+    PowerReport r;
+
+    Sram bpu{bpuBits, 2.0};        // multiported, heavily banked
+    Sram fetch_misc{fetchMiscBits, 1.5};
+    Sram rename{renameBits, 3.0};  // CAM-heavy
+    Sram lsu{lsuBits, 3.0};        // CAM-heavy
+    Sram exe{exeBits, 4.0};        // many RF ports
+    Sram btu{btuBits, 2.0};
+
+    double cycles = static_cast<double>(a.cycles);
+
+    // Fetch unit: BPU + I-fetch bookkeeping.
+    r.fetchUnit.area = bpu.area() + fetch_misc.area();
+    r.fetchUnit.dynamic =
+        (a.bpuLookups + a.bpuUpdates) * bpu.accessEnergy() +
+        a.btbLookups * bpu.accessEnergy() * 0.6 +
+        a.rsbOps * bpu.accessEnergy() * 0.1 +
+        a.l1iAccesses * fetch_misc.accessEnergy();
+    r.fetchUnit.leakage =
+        (bpu.leakPerCycle() + fetch_misc.leakPerCycle()) * cycles;
+
+    r.renameUnit.area = rename.area();
+    r.renameUnit.dynamic = a.instructions * rename.accessEnergy() * 0.8;
+    r.renameUnit.leakage = rename.leakPerCycle() * cycles;
+
+    r.loadStoreUnit.area = lsu.area();
+    r.loadStoreUnit.dynamic =
+        (a.loads + a.stores) * lsu.accessEnergy() +
+        a.l1dAccesses * lsu.accessEnergy() * 0.5 +
+        a.l2Accesses * lsu.accessEnergy() * 1.5 +
+        a.l3Accesses * lsu.accessEnergy() * 3.0;
+    r.loadStoreUnit.leakage = lsu.leakPerCycle() * cycles;
+
+    r.executionUnit.area = exe.area();
+    r.executionUnit.dynamic = a.intOps * exe.accessEnergy() * 0.9;
+    r.executionUnit.leakage = exe.leakPerCycle() * cycles;
+
+    if (include_btu) {
+        r.btu.area = btu.area();
+        r.btu.dynamic = (a.btuLookups + a.btuCommits) * btu.accessEnergy() +
+            a.btuFills * btu.accessEnergy() * 4.0;
+        r.btu.leakage = btu.leakPerCycle() * cycles;
+    }
+    return r;
+}
+
+double
+PowerReport::totalArea() const
+{
+    return fetchUnit.area + renameUnit.area + loadStoreUnit.area +
+        executionUnit.area + btu.area;
+}
+
+double
+PowerReport::totalPower() const
+{
+    return fetchUnit.total() + renameUnit.total() + loadStoreUnit.total() +
+        executionUnit.total() + btu.total();
+}
+
+std::string
+PowerReport::toString() const
+{
+    std::ostringstream os;
+    auto row = [&](const char *name, const ComponentReport &c) {
+        os << "  " << name << ": area=" << c.area
+           << " dynamic=" << c.dynamic << " leakage=" << c.leakage << "\n";
+    };
+    row("InstructionFetchUnit", fetchUnit);
+    row("RenamingUnit", renameUnit);
+    row("LoadStoreUnit", loadStoreUnit);
+    row("ExecutionUnit", executionUnit);
+    row("BranchTraceUnit", btu);
+    os << "  total: area=" << totalArea() << " power=" << totalPower()
+       << "\n";
+    return os.str();
+}
+
+} // namespace cassandra::power

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Analytic power & area model (stands in for McPAT 1.3 + CACTI 6.5).
+ *
+ * Components follow the paper's Figure 9 breakdown: Instruction Fetch
+ * Unit (which contains the BPU), Renaming Unit, Load Store Unit,
+ * Execution Unit, and the Branch Trace Unit. SRAM-dominated structures
+ * get area proportional to their bit count (with a per-structure port/
+ * control overhead factor) and per-access dynamic energy proportional
+ * to sqrt(bits); leakage power is proportional to area. Activity counts
+ * come from the timing model. Absolute units are arbitrary-but-fixed;
+ * the experiments only use relative comparisons, exactly like Fig. 9.
+ */
+
+#ifndef CASSANDRA_POWER_POWER_MODEL_HH
+#define CASSANDRA_POWER_POWER_MODEL_HH
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+
+namespace cassandra::power {
+
+/** Activity counters consumed by the model (filled from a timing run). */
+struct Activity
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+
+    uint64_t bpuLookups = 0; ///< TAGE lookups (all tables probed)
+    uint64_t bpuUpdates = 0;
+    uint64_t btbLookups = 0;
+    uint64_t rsbOps = 0;
+
+    uint64_t btuLookups = 0;
+    uint64_t btuCommits = 0;
+    uint64_t btuFills = 0;
+
+    uint64_t l1iAccesses = 0;
+    uint64_t l1dAccesses = 0;
+    uint64_t l2Accesses = 0;
+    uint64_t l3Accesses = 0;
+
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t intOps = 0; ///< executed non-memory ops
+};
+
+/** Per-component area/power result. */
+struct ComponentReport
+{
+    double area = 0;   ///< mm^2 (model units)
+    double dynamic = 0;///< dynamic energy (model units)
+    double leakage = 0;///< leakage energy over the run
+    double total() const { return dynamic + leakage; }
+};
+
+/** Full Figure 9 style report. */
+struct PowerReport
+{
+    ComponentReport fetchUnit;   ///< I-fetch + BPU structures
+    ComponentReport renameUnit;
+    ComponentReport loadStoreUnit;
+    ComponentReport executionUnit;
+    ComponentReport btu;
+
+    double totalArea() const;
+    double totalPower() const;
+    std::string toString() const;
+};
+
+/** Evaluate the model for one run. include_btu sizes the BTU in. */
+PowerReport evaluatePower(const Activity &activity, bool include_btu);
+
+} // namespace cassandra::power
+
+#endif // CASSANDRA_POWER_POWER_MODEL_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Functional (architectural) simulator for the Cassandra IR.
+ *
+ * The Machine executes programs under the sequential execution model —
+ * exactly the J.K^seq semantics the paper's constant-time contract is
+ * defined over. It exposes three kinds of instrumentation:
+ *
+ *  - a branch probe (used by the branch-trace collection step B of
+ *    Algorithm 2, standing in for Intel Pin / gem5 tracing),
+ *  - an instruction probe emitting the full dynamic instruction stream
+ *    (used to drive the trace-driven OoO timing model), and
+ *  - an observation recorder producing the contract trace of the
+ *    J.K^seq_ct leakage model (control flow + memory addresses, tagged
+ *    with the crypto bit), used by the Appendix A contract checker.
+ */
+
+#ifndef CASSANDRA_SIM_MACHINE_HH
+#define CASSANDRA_SIM_MACHINE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/program.hh"
+
+namespace cassandra::sim {
+
+/** Error thrown on invalid execution (bad PC, runaway, ...). */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string &what)
+        : std::runtime_error("sim: " + what)
+    {}
+};
+
+/** One architecturally executed instruction, as seen by the probes. */
+struct DynInst
+{
+    uint64_t pc = 0;
+    /** Effective address for loads/stores; 0 otherwise. */
+    uint64_t memAddr = 0;
+    /** Actual next PC (branch target or fall-through). */
+    uint64_t nextPc = 0;
+};
+
+/** Kind of a contract-level observation (paper Appendix A). */
+enum class ObsKind : uint8_t
+{
+    Pc,    ///< pc n    — conditional branch outcome
+    Call,  ///< call f  — call target
+    Ret,   ///< ret n   — return target
+    Jump,  ///< indirect jump target
+    Load,  ///< load n  — load address
+    Store, ///< store n — store address
+};
+
+/** A contract observation tau@t: kind, value, crypto tag. */
+struct Obs
+{
+    ObsKind kind;
+    uint64_t value;
+    bool crypto;
+
+    bool
+    operator==(const Obs &o) const
+    {
+        return kind == o.kind && value == o.value && crypto == o.crypto;
+    }
+};
+
+/** Result of Machine::run(). */
+struct RunResult
+{
+    uint64_t instCount = 0;
+    bool halted = false;
+};
+
+/** The architectural machine: registers, paged memory, and a PC. */
+class Machine
+{
+  public:
+    /** Default dynamic instruction budget for run(). */
+    static constexpr uint64_t defaultMaxInsts = 1ull << 31;
+
+    /** The machine keeps its own copy of the program. */
+    explicit Machine(ir::Program prog);
+
+    /** Reset registers, PC and memory to the program's initial image. */
+    void reset();
+
+    uint64_t reg(ir::RegId r) const { return regs_[r]; }
+    void
+    setReg(ir::RegId r, uint64_t v)
+    {
+        if (r != ir::regZero)
+            regs_[r] = v;
+    }
+    uint64_t pc() const { return pc_; }
+
+    /** Argument registers a0..a7. */
+    void setArg(int i, uint64_t v) { setReg(ir::regA0 + i, v); }
+    uint64_t arg(int i) const { return regs_[ir::regA0 + i]; }
+
+    // Byte-granularity memory interface (little-endian).
+    uint8_t read8(uint64_t addr) const;
+    void write8(uint64_t addr, uint8_t v);
+    uint64_t read(uint64_t addr, int bytes) const;
+    void write(uint64_t addr, uint64_t v, int bytes);
+    uint64_t read64(uint64_t addr) const { return read(addr, 8); }
+    uint32_t
+    read32(uint64_t addr) const
+    {
+        return static_cast<uint32_t>(read(addr, 4));
+    }
+    void write64(uint64_t addr, uint64_t v) { write(addr, v, 8); }
+    void write32(uint64_t addr, uint32_t v) { write(addr, v, 4); }
+    void readBytes(uint64_t addr, void *out, size_t len) const;
+    void writeBytes(uint64_t addr, const void *in, size_t len);
+
+    /**
+     * Execute until Halt or until max_insts instructions retire.
+     * @return instruction count and whether Halt was reached.
+     */
+    RunResult run(uint64_t max_insts = defaultMaxInsts);
+
+    /** Execute exactly one instruction; returns false on Halt. */
+    bool step();
+
+    /** Called for every executed control-flow instruction. */
+    std::function<void(uint64_t pc, uint64_t target, const ir::Inst &)>
+        branchProbe;
+    /** Called for every executed instruction. */
+    std::function<void(const DynInst &)> instProbe;
+
+    /** When true, contract observations are appended to observations. */
+    bool recordObservations = false;
+    std::vector<Obs> observations;
+
+    const ir::Program &program() const { return prog_; }
+
+  private:
+    static constexpr uint64_t pageBits = 12;
+    static constexpr uint64_t pageSize = 1ull << pageBits;
+    using Page = std::array<uint8_t, pageSize>;
+
+    Page &pageFor(uint64_t addr);
+    const Page *pageForRead(uint64_t addr) const;
+
+    const ir::Program prog_;
+    std::array<uint64_t, ir::numRegs> regs_{};
+    uint64_t pc_ = 0;
+    bool halted_ = false;
+    std::unordered_map<uint64_t, std::unique_ptr<Page>> mem_;
+};
+
+} // namespace cassandra::sim
+
+#endif // CASSANDRA_SIM_MACHINE_HH

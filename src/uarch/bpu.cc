@@ -1,0 +1,207 @@
+#include "uarch/bpu.hh"
+
+namespace cassandra::uarch {
+
+// --- TAGE -----------------------------------------------------------------
+
+TagePredictor::TagePredictor()
+{
+    bimodal_.assign(1u << bimodalBits, 0);
+    for (auto &t : tables_)
+        t.assign(1u << tableBits, {});
+    loopTable_.assign(128, {});
+}
+
+uint64_t
+TagePredictor::foldHistory(int bits, int length) const
+{
+    // Fold `length` newest history bits into a `bits`-wide value.
+    uint64_t hist = length >= 64 ? ghr_ : (ghr_ & ((1ull << length) - 1));
+    uint64_t folded = 0;
+    while (hist) {
+        folded ^= hist & ((1ull << bits) - 1);
+        hist >>= bits;
+    }
+    return folded;
+}
+
+uint32_t
+TagePredictor::tableIndex(int table, uint64_t pc) const
+{
+    uint64_t h = foldHistory(tableBits, histLen_[table]);
+    uint64_t idx = (pc >> 2) ^ (pc >> (tableBits + 2)) ^ h ^
+        (static_cast<uint64_t>(table) << 3);
+    return static_cast<uint32_t>(idx & ((1u << tableBits) - 1));
+}
+
+uint16_t
+TagePredictor::tableTag(int table, uint64_t pc) const
+{
+    uint64_t h = foldHistory(tagBits, histLen_[table]);
+    uint64_t tag = (pc >> 2) ^ (h << 1) ^ (pc >> 7);
+    return static_cast<uint16_t>(tag & ((1u << tagBits) - 1));
+}
+
+TagePredictor::LoopEntry &
+TagePredictor::loopEntryFor(uint64_t pc)
+{
+    return loopTable_[(pc >> 2) % loopTable_.size()];
+}
+
+bool
+TagePredictor::predict(uint64_t pc)
+{
+    stats_.condLookups++;
+    last_ = {};
+
+    // TAGE component: longest-history tag hit provides the prediction.
+    for (int t = numTables - 1; t >= 0; t--) {
+        const TaggedEntry &e = tables_[t][tableIndex(t, pc)];
+        if (e.tag == tableTag(t, pc)) {
+            last_.provider = t;
+            last_.pred = e.ctr >= 0;
+            break;
+        }
+    }
+    if (last_.provider < 0)
+        last_.pred = bimodal_[(pc >> 2) & ((1u << bimodalBits) - 1)] >= 0;
+
+    // Loop predictor override: when confident about the trip count of a
+    // loop branch, predict taken for tripCount iterations then
+    // not-taken (this is what makes LTAGE near-perfect on the fixed
+    // loops of crypto code after warm-up).
+    LoopEntry &loop = loopEntryFor(pc);
+    if (loop.valid && loop.pc == pc && loop.confidence >= 3 &&
+        loop.tripCount > 0) {
+        last_.loopUsed = true;
+        last_.loopPred = loop.currentCount + 1 < loop.tripCount;
+        stats_.loopOverrides++;
+        return last_.loopPred;
+    }
+    return last_.pred;
+}
+
+void
+TagePredictor::update(uint64_t pc, bool taken)
+{
+    stats_.updates++;
+    bool final_pred = last_.loopUsed ? last_.loopPred : last_.pred;
+    if (final_pred != taken)
+        stats_.condMispredicts++;
+
+    // Loop predictor training: count consecutive taken runs terminated
+    // by a not-taken; a stable run length builds confidence.
+    LoopEntry &loop = loopEntryFor(pc);
+    if (!loop.valid || loop.pc != pc) {
+        loop = {};
+        loop.valid = true;
+        loop.pc = pc;
+    }
+    if (taken) {
+        loop.currentCount++;
+        if (loop.tripCount && loop.currentCount > loop.tripCount)
+            loop.confidence = 0; // run longer than learned: distrust
+    } else {
+        uint32_t run = loop.currentCount + 1; // include the exit
+        if (run == loop.tripCount) {
+            if (loop.confidence < 7)
+                loop.confidence++;
+        } else {
+            loop.tripCount = run;
+            loop.confidence = 0;
+        }
+        loop.currentCount = 0;
+    }
+
+    // TAGE training.
+    auto bump = [taken](int8_t &ctr, int8_t lo, int8_t hi) {
+        if (taken && ctr < hi)
+            ctr++;
+        if (!taken && ctr > lo)
+            ctr--;
+    };
+    if (last_.provider >= 0) {
+        TaggedEntry &e =
+            tables_[last_.provider][tableIndex(last_.provider, pc)];
+        bool was_correct = (e.ctr >= 0) == taken;
+        bump(e.ctr, -4, 3);
+        if (was_correct && e.useful < 3)
+            e.useful++;
+        else if (!was_correct && e.useful > 0)
+            e.useful--;
+    } else {
+        bump(bimodal_[(pc >> 2) & ((1u << bimodalBits) - 1)], -2, 1);
+    }
+
+    // Allocate a longer-history entry on a TAGE mispredict.
+    if (last_.pred != taken && last_.provider < numTables - 1) {
+        rng_ = rng_ * 6364136223846793005ull + 1442695040888963407ull;
+        int start = last_.provider + 1 + static_cast<int>(rng_ >> 62) % 2;
+        for (int t = start; t < numTables; t++) {
+            TaggedEntry &e = tables_[t][tableIndex(t, pc)];
+            if (e.useful == 0) {
+                e.tag = tableTag(t, pc);
+                e.ctr = taken ? 0 : -1;
+                e.useful = 0;
+                break;
+            }
+        }
+    }
+
+    ghr_ = (ghr_ << 1) | (taken ? 1 : 0);
+}
+
+// --- BTB --------------------------------------------------------------------
+
+Btb::Btb(size_t entries)
+{
+    entries_.resize(entries);
+}
+
+uint64_t
+Btb::predict(uint64_t pc)
+{
+    lookups++;
+    Entry &e = entries_[(pc >> 2) % entries_.size()];
+    if (e.valid && e.pc == pc)
+        return e.target;
+    misses++;
+    return 0;
+}
+
+void
+Btb::update(uint64_t pc, uint64_t target)
+{
+    Entry &e = entries_[(pc >> 2) % entries_.size()];
+    e.valid = true;
+    e.pc = pc;
+    e.target = target;
+}
+
+// --- RSB -------------------------------------------------------------------
+
+Rsb::Rsb(size_t depth)
+{
+    stack_.assign(depth, 0);
+}
+
+void
+Rsb::push(uint64_t return_pc)
+{
+    stack_[top_] = return_pc;
+    top_ = (top_ + 1) % stack_.size();
+    if (count_ < stack_.size())
+        count_++;
+}
+
+uint64_t
+Rsb::pop()
+{
+    if (count_ == 0)
+        return 0;
+    top_ = (top_ + stack_.size() - 1) % stack_.size();
+    count_--;
+    return stack_[top_];
+}
+
+} // namespace cassandra::uarch

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Branch Prediction Unit: an LTAGE-class conditional predictor (bimodal
+ * base + tagged geometric-history tables + loop predictor), a BTB and a
+ * return stack (RSB). These are the three speculation primitives the
+ * paper's threat model covers (PHT / BTB / RSB, §2.2).
+ */
+
+#ifndef CASSANDRA_UARCH_BPU_HH
+#define CASSANDRA_UARCH_BPU_HH
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace cassandra::uarch {
+
+/** BPU activity counters (feed the power model). */
+struct BpuStats
+{
+    uint64_t condLookups = 0;
+    uint64_t condMispredicts = 0;
+    uint64_t loopOverrides = 0;
+    uint64_t btbLookups = 0;
+    uint64_t btbMisses = 0;
+    uint64_t indirectMispredicts = 0;
+    uint64_t rsbPushes = 0;
+    uint64_t rsbPops = 0;
+    uint64_t returnMispredicts = 0;
+    uint64_t updates = 0;
+};
+
+/** TAGE conditional predictor with a loop-predictor override (LTAGE). */
+class TagePredictor
+{
+  public:
+    TagePredictor();
+
+    /** Predict the direction of the conditional branch at pc. */
+    bool predict(uint64_t pc);
+
+    /**
+     * Train with the resolved direction and advance the global history.
+     * Must be called once per predicted branch, in order.
+     */
+    void update(uint64_t pc, bool taken);
+
+    const BpuStats &stats() const { return stats_; }
+
+  private:
+    static constexpr int numTables = 6;
+    static constexpr int tableBits = 10; ///< 1K entries per table
+    static constexpr int tagBits = 9;
+    static constexpr int bimodalBits = 13; ///< 8K-entry base
+
+    struct TaggedEntry
+    {
+        uint16_t tag = 0;
+        int8_t ctr = 0;  ///< -4..3 signed counter
+        uint8_t useful = 0;
+    };
+
+    struct LoopEntry
+    {
+        uint64_t pc = 0;
+        uint32_t tripCount = 0;    ///< learned iteration count
+        uint32_t currentCount = 0; ///< position in the current run
+        uint8_t confidence = 0;    ///< confident when saturated
+        bool valid = false;
+    };
+
+    uint32_t tableIndex(int table, uint64_t pc) const;
+    uint16_t tableTag(int table, uint64_t pc) const;
+    uint64_t foldHistory(int bits, int length) const;
+    LoopEntry &loopEntryFor(uint64_t pc);
+
+    // History lengths per table (geometric).
+    std::array<int, numTables> histLen_{4, 8, 16, 32, 48, 64};
+    uint64_t ghr_ = 0; ///< global history register (newest bit = LSB)
+    std::vector<int8_t> bimodal_;
+    std::array<std::vector<TaggedEntry>, numTables> tables_;
+    std::vector<LoopEntry> loopTable_;
+
+    // State carried from predict() to update().
+    struct PredState
+    {
+        int provider = -1; ///< table index, -1 = bimodal
+        bool pred = false;
+        bool loopUsed = false;
+        bool loopPred = false;
+    } last_;
+
+    uint64_t rng_ = 0x9e3779b97f4a7c15ull;
+    BpuStats stats_;
+};
+
+/** Direct-mapped branch target buffer. */
+class Btb
+{
+  public:
+    explicit Btb(size_t entries = 4096);
+
+    /** Predicted target of the branch at pc, or 0 on miss. */
+    uint64_t predict(uint64_t pc);
+    void update(uint64_t pc, uint64_t target);
+
+    uint64_t lookups = 0;
+    uint64_t misses = 0;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        uint64_t pc = 0;
+        uint64_t target = 0;
+    };
+    std::vector<Entry> entries_;
+};
+
+/** Return stack buffer. */
+class Rsb
+{
+  public:
+    explicit Rsb(size_t depth = 32);
+
+    void push(uint64_t return_pc);
+    /** Pop the predicted return target (0 when empty). */
+    uint64_t pop();
+
+  private:
+    std::vector<uint64_t> stack_;
+    size_t top_ = 0;   ///< index of next push slot
+    size_t count_ = 0; ///< valid entries (<= depth)
+};
+
+} // namespace cassandra::uarch
+
+#endif // CASSANDRA_UARCH_BPU_HH

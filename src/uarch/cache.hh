@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Set-associative LRU cache model and a 4-level hierarchy.
+ *
+ * Tag-array-only model: an access returns the level that hit and the
+ * resulting latency; misses allocate in all levels above. This is the
+ * standard fidelity for trace-driven pipeline studies — the paper's
+ * results depend on hit/miss latency, not coherence.
+ */
+
+#ifndef CASSANDRA_UARCH_CACHE_HH
+#define CASSANDRA_UARCH_CACHE_HH
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "uarch/params.hh"
+
+namespace cassandra::uarch {
+
+/** Per-cache activity counters. */
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+};
+
+/** One set-associative LRU cache level (tags only). */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /** True on hit; allocates the line either way. */
+    bool access(uint64_t addr);
+    /** Probe without allocating or counting. */
+    bool probe(uint64_t addr) const;
+    void invalidateAll();
+
+    const CacheParams &params() const { return params_; }
+    const CacheStats &stats() const { return stats_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        uint64_t tag = 0;
+        uint64_t lastUse = 0;
+    };
+
+    CacheParams params_;
+    uint32_t numSets_;
+    std::vector<Line> lines_;
+    uint64_t useClock_ = 0;
+    CacheStats stats_;
+};
+
+/** L1I/L1D + shared L2/L3 + memory. */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const CoreParams &params);
+
+    /** Latency of a data access at addr. */
+    uint32_t accessData(uint64_t addr);
+    /** Latency of an instruction fetch at pc. */
+    uint32_t accessInst(uint64_t pc);
+
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+    const Cache &l3() const { return l3_; }
+
+  private:
+    uint32_t accessFrom(Cache &l1, uint64_t addr);
+
+    CoreParams params_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    Cache l3_;
+};
+
+} // namespace cassandra::uarch
+
+#endif // CASSANDRA_UARCH_CACHE_HH

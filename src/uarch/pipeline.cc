@@ -1,0 +1,540 @@
+#include "uarch/pipeline.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cassandra::uarch {
+
+using ir::ExecClass;
+using ir::Inst;
+using ir::Opcode;
+
+const char *
+schemeName(Scheme s)
+{
+    switch (s) {
+      case Scheme::UnsafeBaseline: return "UnsafeBaseline";
+      case Scheme::Cassandra: return "Cassandra";
+      case Scheme::CassandraStl: return "Cassandra+STL";
+      case Scheme::CassandraLite: return "Cassandra-lite";
+      case Scheme::Spt: return "SPT";
+      case Scheme::Prospect: return "ProSpeCT";
+      case Scheme::CassandraProspect: return "Cassandra+ProSpeCT";
+    }
+    return "?";
+}
+
+TimingTrace
+recordTrace(const core::Workload &workload, int which)
+{
+    TimingTrace trace;
+    sim::Machine machine(workload.program);
+    if (workload.setInput)
+        workload.setInput(machine, which);
+    const ir::Program &prog = workload.program;
+    machine.instProbe = [&](const sim::DynInst &d) {
+        TimingOp op;
+        op.pc = d.pc;
+        op.memAddr = d.memAddr;
+        op.nextPc = d.nextPc;
+        op.inst = &prog.at(d.pc);
+        op.crypto = prog.isCryptoPc(d.pc);
+        trace.push_back(op);
+    };
+    auto res = machine.run(workload.maxDynInsts);
+    if (!res.halted) {
+        throw sim::SimError(workload.name +
+                            ": timing trace exceeded instruction budget");
+    }
+    return trace;
+}
+
+void
+annotateTaint(TimingTrace &trace, const ir::Program &program,
+              const std::vector<core::SecretRegion> &regions)
+{
+    if (regions.empty())
+        return;
+    std::array<bool, ir::numRegs> reg_taint{};
+    std::unordered_set<uint64_t> mem_taint; // 8-byte granules
+    bool prev_crypto = false;
+
+    auto mem_is_tainted = [&](uint64_t addr, int bytes) {
+        for (const auto &r : regions) {
+            if (addr < r.hi && addr + bytes > r.lo)
+                return true;
+        }
+        return mem_taint.count(addr >> 3) != 0;
+    };
+
+    for (TimingOp &op : trace) {
+        const Inst &inst = *op.inst;
+
+        // Declassification at crypto-region exit: constant-time
+        // primitives declassify their register outputs before returning
+        // to unsafe code (paper §7.3).
+        if (prev_crypto && !op.crypto)
+            reg_taint.fill(false);
+        prev_crypto = op.crypto;
+
+        bool src_taint = false;
+        switch (inst.execClass()) {
+          case ExecClass::Load:
+            src_taint = reg_taint[inst.rs1];
+            break;
+          case ExecClass::Store:
+            src_taint = reg_taint[inst.rs1] || reg_taint[inst.rs2];
+            break;
+          case ExecClass::CondBranch:
+            src_taint = reg_taint[inst.rs1] || reg_taint[inst.rs2];
+            break;
+          case ExecClass::IndirectJump:
+          case ExecClass::Return:
+            src_taint = reg_taint[inst.rs1];
+            break;
+          default:
+            src_taint = reg_taint[inst.rs1] || reg_taint[inst.rs2];
+            if (inst.op == Opcode::Li)
+                src_taint = false;
+            if (inst.op == Opcode::Cmovnz)
+                src_taint = src_taint || reg_taint[inst.rd];
+            break;
+        }
+        op.tainted = src_taint;
+
+        // Propagate.
+        if (inst.isLoad()) {
+            bool t = mem_is_tainted(op.memAddr, inst.memBytes());
+            if (inst.rd != ir::regZero)
+                reg_taint[inst.rd] = t;
+        } else if (inst.isStore()) {
+            if (reg_taint[inst.rs2])
+                mem_taint.insert(op.memAddr >> 3);
+            else
+                mem_taint.erase(op.memAddr >> 3);
+        } else if (inst.rd != ir::regZero &&
+                   inst.execClass() != ExecClass::Store) {
+            switch (inst.op) {
+              case Opcode::Li:
+                reg_taint[inst.rd] = false;
+                break;
+              case Opcode::Cmovnz:
+                reg_taint[inst.rd] = reg_taint[inst.rd] ||
+                    reg_taint[inst.rs1] || reg_taint[inst.rs2];
+                break;
+              case Opcode::Jal:
+              case Opcode::Jalr:
+                reg_taint[inst.rd] = false; // link value is a PC
+                break;
+              default:
+                reg_taint[inst.rd] =
+                    reg_taint[inst.rs1] || reg_taint[inst.rs2];
+                break;
+            }
+        }
+    }
+    (void)program;
+}
+
+OooCore::OooCore(const CoreParams &params, Scheme scheme,
+                 const ir::Program &program, const core::TraceImage *image)
+    : params_(params), scheme_(scheme), program_(program), image_(image),
+      memory_(params)
+{
+    if (schemeUsesBtu(scheme_) && image_) {
+        btu::BtuParams bp;
+        bp.fillLatency = params_.btuFillLatency;
+        btu_ = std::make_unique<btu::Btu>(*image_, bp);
+    }
+}
+
+CoreStats
+OooCore::run(const TimingTrace &trace)
+{
+    CoreStats stats;
+    stats.instructions = trace.size();
+
+    UsageRing issue_ring(params_.issueWidth);
+    UsageRing commit_ring(params_.commitWidth);
+    UsageRing alu_ring(params_.numAlu);
+    UsageRing mul_ring(params_.numMul);
+    UsageRing lsu_ring(params_.numLsu);
+
+    TimeRing rob_ring(params_.robSize);
+    TimeRing iq_ring(params_.iqSize);
+    TimeRing lq_ring(params_.lqSize);
+    TimeRing sq_ring(params_.sqSize);
+    TimeRing rf_ring(params_.intRegs > ir::numRegs
+                         ? params_.intRegs - ir::numRegs
+                         : 1);
+
+    // Completion time of the last architectural writer of each register.
+    std::array<uint64_t, ir::numRegs> reg_ready{};
+
+    // Running maxima for the scheme constraints.
+    uint64_t last_branch_resolve = 0;    // SPT / ProSpeCT
+    uint64_t last_nc_branch_resolve = 0; // Cassandra+ProSpeCT
+    uint64_t last_store_resolve = 0;     // Cassandra+STL
+
+    // STL forwarding: most recent older store per 8-byte granule.
+    struct StoreInfo
+    {
+        uint64_t traceIdx = 0;
+        uint64_t ready = 0;
+    };
+    std::unordered_map<uint64_t, StoreInfo> store_map;
+
+    uint64_t fetch_clock = 1;
+    uint32_t fetch_slots = params_.fetchWidth;
+    uint64_t last_fetch_line = ~0ull;
+    uint64_t prev_dispatch = 0;
+    uint64_t prev_commit = 0;
+    uint64_t next_btu_flush =
+        params_.btuFlushPeriod ? params_.btuFlushPeriod : ~0ull;
+
+    const bool cassandra = schemeIsCassandra(scheme_);
+    const bool uses_btu = btu_ != nullptr;
+
+    for (size_t i = 0; i < trace.size(); i++) {
+        const TimingOp &op = trace[i];
+        const Inst &inst = *op.inst;
+        ExecClass cls = inst.execClass();
+
+        // ------------------------------------------------------ fetch
+        if (fetch_slots == 0) {
+            fetch_clock++;
+            fetch_slots = params_.fetchWidth;
+        }
+        if (fetch_clock >= next_btu_flush) {
+            if (btu_) {
+                btu_->flush();
+                stats.btuFlushes++;
+            }
+            next_btu_flush += params_.btuFlushPeriod;
+        }
+        uint64_t line = op.pc / params_.l1i.lineBytes;
+        if (line != last_fetch_line) {
+            uint32_t lat = memory_.accessInst(op.pc);
+            if (lat > params_.l1i.latency) {
+                fetch_clock += lat - params_.l1i.latency;
+                fetch_slots = params_.fetchWidth;
+                stats.icacheMissBubbles++;
+            }
+            last_fetch_line = line;
+        }
+        uint64_t fetch_time = fetch_clock;
+        fetch_slots--;
+
+        bool taken = op.nextPc != op.pc + ir::instBytes;
+        bool end_group = false;
+        bool resolve_redirect = false; ///< stall fetch until op resolves
+        // Deliberate stalls (integrity checks, traceless crypto
+        // branches) park the frontend at the branch: resuming costs a
+        // short redirect, not a full mispredict flush + refill.
+        bool stall_not_squash = false;
+        bool is_branch = inst.isControlFlow();
+
+        if (is_branch) {
+            stats.branches++;
+            if (op.crypto)
+                stats.cryptoBranches++;
+
+            if (op.crypto && cassandra) {
+                // ---- crypto fetch flow (paper §5.3) ----
+                if (uses_btu) {
+                    auto res = btu_->fetchLookup(op.pc);
+                    switch (res.outcome) {
+                      case btu::Btu::Outcome::SingleTarget:
+                      case btu::Btu::Outcome::Hit:
+                        // Exact sequential redirect, no bubble.
+                        if (res.target != op.nextPc)
+                            stats.btuMismatches++;
+                        break;
+                      case btu::Btu::Outcome::MissFill:
+                        fetch_clock += params_.btuFillLatency;
+                        stats.btuFillStalls++;
+                        if (res.target != op.nextPc)
+                            stats.btuMismatches++;
+                        break;
+                      case btu::Btu::Outcome::StallResolve:
+                        resolve_redirect = true;
+                        stall_not_squash = true;
+                        stats.resolveStalls++;
+                        break;
+                      case btu::Btu::Outcome::WindowStall:
+                        // Paper: never observed; charge one redirect.
+                        fetch_clock += params_.redirectPenalty;
+                        stats.btuWindowStalls++;
+                        break;
+                    }
+                } else {
+                    // Cassandra-lite: hints only (paper Q3).
+                    const core::HintInfo *hint =
+                        image_ ? image_->hint(op.pc) : nullptr;
+                    if (hint && hint->singleTarget) {
+                        // redirect from the hint, no bubble
+                    } else {
+                        resolve_redirect = true;
+                        stall_not_squash = true;
+                        stats.resolveStalls++;
+                    }
+                }
+                end_group = taken;
+            } else {
+                // ---- BPU fetch flow ----
+                uint64_t predicted = 0;
+                bool mispredict = false;
+                switch (cls) {
+                  case ExecClass::CondBranch:
+                  {
+                    bool pred_taken = tage_.predict(op.pc);
+                    tage_.update(op.pc, taken);
+                    if (pred_taken) {
+                        uint64_t t = btb_.predict(op.pc);
+                        if (t == 0) {
+                            // Predicted taken, target unknown until
+                            // decode: direct target, decode redirect.
+                            fetch_clock += params_.decodeRedirect;
+                            stats.decodeRedirects++;
+                            predicted =
+                                static_cast<uint64_t>(inst.imm);
+                        } else {
+                            predicted = t;
+                        }
+                        btb_.update(op.pc,
+                                    static_cast<uint64_t>(inst.imm));
+                    } else {
+                        predicted = op.pc + ir::instBytes;
+                    }
+                    if (pred_taken != taken) {
+                        mispredict = true;
+                        stats.condMispredicts++;
+                    }
+                    break;
+                  }
+                  case ExecClass::DirectJump:
+                  {
+                    uint64_t t = btb_.predict(op.pc);
+                    if (t == 0) {
+                        fetch_clock += params_.decodeRedirect;
+                        stats.decodeRedirects++;
+                    }
+                    btb_.update(op.pc, op.nextPc);
+                    if (inst.isCall())
+                        rsb_.push(op.pc + ir::instBytes);
+                    predicted = op.nextPc;
+                    break;
+                  }
+                  case ExecClass::IndirectJump:
+                  {
+                    predicted = btb_.predict(op.pc);
+                    btb_.update(op.pc, op.nextPc);
+                    if (inst.rd != ir::regZero)
+                        rsb_.push(op.pc + ir::instBytes);
+                    if (predicted != op.nextPc) {
+                        mispredict = true;
+                        stats.indirectMispredicts++;
+                    }
+                    break;
+                  }
+                  case ExecClass::Return:
+                  {
+                    predicted = rsb_.pop();
+                    if (predicted != op.nextPc) {
+                        mispredict = true;
+                        stats.returnMispredicts++;
+                    }
+                    break;
+                  }
+                  default:
+                    break;
+                }
+
+                // Cassandra integrity check: never speculatively
+                // redirect fetch into crypto code (scenarios 5/6).
+                // Direct unconditional targets are architectural, not
+                // speculative, so only predictions can violate this.
+                if (cassandra && cls != ExecClass::DirectJump &&
+                    predicted != 0 && program_.isCryptoPc(predicted)) {
+                    resolve_redirect = true;
+                    stall_not_squash = true;
+                    stats.integrityStalls++;
+                } else if (mispredict) {
+                    resolve_redirect = true;
+                }
+                end_group = taken;
+            }
+        }
+
+        // ------------------------------------------- dispatch & issue
+        uint64_t dispatch = fetch_time + params_.frontendDepth;
+        dispatch = std::max(dispatch, prev_dispatch);
+        dispatch = std::max(dispatch, rob_ring.oldest()); // ROB space
+        dispatch = std::max(dispatch, iq_ring.oldest());  // IQ space
+        if (inst.isLoad())
+            dispatch = std::max(dispatch, lq_ring.oldest());
+        if (inst.isStore())
+            dispatch = std::max(dispatch, sq_ring.oldest());
+        if (inst.rd != ir::regZero)
+            dispatch = std::max(dispatch, rf_ring.oldest());
+        prev_dispatch = dispatch;
+
+        // Operand readiness.
+        uint64_t ready = dispatch;
+        auto use_src = [&](ir::RegId r) {
+            if (r != ir::regZero)
+                ready = std::max(ready, reg_ready[r]);
+        };
+        switch (cls) {
+          case ExecClass::Load:
+          case ExecClass::IndirectJump:
+          case ExecClass::Return:
+            use_src(inst.rs1);
+            break;
+          default:
+            use_src(inst.rs1);
+            use_src(inst.rs2);
+            if (inst.op == Opcode::Cmovnz)
+                use_src(inst.rd);
+            break;
+        }
+
+        // Scheme issue constraints. An instruction held back by a
+        // speculation barrier re-enters the scheduler once the barrier
+        // lifts and pays a delayed-wakeup replay penalty (SPT-style
+        // delayed transmitters re-issue through the IQ).
+        constexpr uint64_t replay_penalty = 8;
+        if (inst.isLoad()) {
+            uint64_t lb = ready;
+            if (scheme_ == Scheme::Spt)
+                lb = std::max(lb, last_branch_resolve + replay_penalty);
+            if (lb > ready)
+                stats.schemeLoadDelays++;
+            ready = lb;
+        }
+        if (op.tainted &&
+            (scheme_ == Scheme::Prospect ||
+             scheme_ == Scheme::CassandraProspect)) {
+            uint64_t barrier = scheme_ == Scheme::Prospect
+                ? last_branch_resolve
+                : last_nc_branch_resolve;
+            if (barrier > ready) {
+                stats.prospectBlocks++;
+                ready = barrier + replay_penalty;
+            }
+        }
+
+        // Functional unit + issue bandwidth.
+        UsageRing *fu = &alu_ring;
+        uint32_t latency = params_.aluLatency;
+        switch (cls) {
+          case ExecClass::IntMul:
+            fu = &mul_ring;
+            latency = params_.mulLatency;
+            break;
+          case ExecClass::Load:
+          case ExecClass::Store:
+            fu = &lsu_ring;
+            latency = params_.storeLatency;
+            break;
+          default:
+            break;
+        }
+        uint64_t issue = ready;
+        while (!issue_ring.free(issue) || !fu->free(issue))
+            issue++;
+        issue_ring.take(issue);
+        fu->take(issue);
+        iq_ring.push(issue);
+
+        // ------------------------------------------------- completion
+        uint64_t complete;
+        if (inst.isLoad()) {
+            stats.loads++;
+            auto it = store_map.find(op.memAddr >> 3);
+            bool in_flight = it != store_map.end() &&
+                i - it->second.traceIdx < params_.robSize;
+            if (in_flight) {
+                // Store-to-load forwarding.
+                complete = std::max(issue + 1, it->second.ready);
+                stats.stlForwards++;
+                if (scheme_ == Scheme::CassandraStl) {
+                    // Paper §7.2: a memory request is always sent for
+                    // verification (one extra cycle on the forwarding
+                    // path). The dependents-restricted-until-stores-
+                    // resolve rule never binds here: store addresses
+                    // are base+immediate off early-ready pointers, the
+                    // paper's own "easy-to-resolve address
+                    // computations" argument.
+                    memory_.accessData(op.memAddr);
+                    complete = complete + 1;
+                    stats.schemeLoadDelays++;
+                }
+            } else {
+                uint32_t lat = memory_.accessData(op.memAddr);
+                complete = issue + lat;
+            }
+        } else if (inst.isStore()) {
+            stats.stores++;
+            complete = issue + latency;
+            store_map[op.memAddr >> 3] = {i, complete};
+            last_store_resolve = std::max(last_store_resolve, complete);
+            memory_.accessData(op.memAddr);
+        } else {
+            complete = issue + latency;
+        }
+        if (inst.rd != ir::regZero)
+            reg_ready[inst.rd] = complete;
+
+        uint64_t resolve = complete;
+        if (is_branch) {
+            // Branches resolve in program order through a single
+            // resolution port (1/cycle): a branch cannot be declared
+            // resolved before all older branches are.
+            resolve = std::max(complete, last_branch_resolve + 1);
+            last_branch_resolve = resolve;
+            bool counts_nc = !(op.crypto && cassandra);
+            if (counts_nc) {
+                last_nc_branch_resolve =
+                    std::max(last_nc_branch_resolve, resolve);
+            }
+        }
+
+        // ----------------------------------------------------- commit
+        uint64_t commit = std::max(complete + 1, prev_commit);
+        while (!commit_ring.free(commit))
+            commit++;
+        commit_ring.take(commit);
+        prev_commit = commit;
+        rob_ring.push(commit);
+        if (inst.isLoad())
+            lq_ring.push(commit);
+        if (inst.isStore())
+            sq_ring.push(commit);
+        if (inst.rd != ir::regZero)
+            rf_ring.push(commit);
+        stats.cycles = std::max(stats.cycles, commit);
+
+        if (op.crypto && uses_btu && is_branch)
+            btu_->commitBranch(op.pc);
+
+        // --------------------------------------- post-op fetch effects
+        if (resolve_redirect) {
+            uint64_t bubble = stall_not_squash ? params_.decodeRedirect
+                                               : params_.redirectPenalty;
+            fetch_clock = std::max(fetch_clock, resolve + bubble);
+            fetch_slots = params_.fetchWidth;
+            last_fetch_line = ~0ull;
+        } else if (end_group) {
+            fetch_slots = 0;
+            last_fetch_line = ~0ull;
+        }
+        // Fetch cannot run unboundedly ahead of dispatch back-pressure.
+        if (fetch_clock + params_.frontendDepth + 64 < dispatch)
+            fetch_clock = dispatch - params_.frontendDepth;
+    }
+    return stats;
+}
+
+} // namespace cassandra::uarch

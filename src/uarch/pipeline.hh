@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Trace-driven out-of-order core timing model.
+ *
+ * The model replays the dynamic instruction stream produced by the
+ * functional simulator and computes, for every instruction, its fetch,
+ * dispatch, issue, completion and commit times under the configured
+ * resources (widths, ROB/IQ/LQ/SQ/RF, functional units, caches) and the
+ * configured protection scheme:
+ *
+ *  - UnsafeBaseline: LTAGE + BTB + RSB predict everything; mispredicted
+ *    branches stall fetch until they resolve (trace-driven squash
+ *    model) and pay a pipeline-refill redirect penalty.
+ *  - Cassandra: crypto branches never touch the BPU; the BTU supplies
+ *    the exact sequential target (hint word for single-target branches,
+ *    TRC/PAT replay otherwise). Input-dependent branches stall fetch
+ *    until they resolve. Non-crypto branches whose *predicted* target
+ *    lies in a crypto PC range stall until resolved (integrity check,
+ *    scenarios 5/6 of the security analysis).
+ *  - CassandraStl: Cassandra plus data-flow hardening — loads never
+ *    forward from the store queue (they always access memory) and wait
+ *    until all older stores have resolved.
+ *  - CassandraLite: only single-target hints; multi-target crypto
+ *    branches stall until resolve (paper Q3).
+ *  - Spt: loads may only issue once every older branch has resolved
+ *    (transmitters delayed while speculative under a constant-time
+ *    policy, where every register is potentially secret).
+ *  - Prospect: instructions with tainted operands may only issue once
+ *    every older branch has resolved; taint originates at loads from
+ *    annotated secret regions, propagates through registers and memory,
+ *    and registers are declassified when execution leaves a crypto
+ *    region.
+ *  - CassandraProspect: Prospect rules, but crypto branches are
+ *    resolved by the BTU and therefore never open a speculation window.
+ */
+
+#ifndef CASSANDRA_UARCH_PIPELINE_HH
+#define CASSANDRA_UARCH_PIPELINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "btu/btu.hh"
+#include "core/trace_image.hh"
+#include "core/workload.hh"
+#include "uarch/bpu.hh"
+#include "uarch/cache.hh"
+#include "uarch/params.hh"
+
+namespace cassandra::uarch {
+
+/** One dynamic instruction of the timing trace. */
+struct TimingOp
+{
+    uint64_t pc = 0;
+    uint64_t memAddr = 0;
+    uint64_t nextPc = 0;
+    const ir::Inst *inst = nullptr;
+    bool crypto = false;
+    bool tainted = false; ///< ProSpeCT: a source operand holds a secret
+};
+
+using TimingTrace = std::vector<TimingOp>;
+
+/**
+ * Record the dynamic instruction stream of a workload run (evaluation
+ * input by default).
+ */
+TimingTrace recordTrace(const core::Workload &workload, int which = 2);
+
+/**
+ * ProSpeCT taint pre-pass: mark instructions whose source operands are
+ * tainted, propagating from loads out of the secret regions through
+ * registers and memory, with register declassification at crypto-region
+ * exits.
+ */
+void annotateTaint(TimingTrace &trace, const ir::Program &program,
+                   const std::vector<core::SecretRegion> &regions);
+
+/** Aggregate timing statistics of one run. */
+struct CoreStats
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+
+    uint64_t branches = 0;
+    uint64_t cryptoBranches = 0;
+    uint64_t condMispredicts = 0;
+    uint64_t indirectMispredicts = 0;
+    uint64_t returnMispredicts = 0;
+    uint64_t decodeRedirects = 0;
+    uint64_t integrityStalls = 0;
+    uint64_t resolveStalls = 0; ///< crypto stall-until-resolve events
+    uint64_t btuFillStalls = 0;
+    uint64_t btuWindowStalls = 0;
+    uint64_t btuFlushes = 0;
+    /** BTU redirects that disagreed with the sequential target. The
+     * Cassandra guarantee is that this is always zero. */
+    uint64_t btuMismatches = 0;
+
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t stlForwards = 0;
+    uint64_t schemeLoadDelays = 0;  ///< SPT/STL delayed loads
+    uint64_t prospectBlocks = 0;    ///< tainted ops delayed
+
+    uint64_t icacheMissBubbles = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) / cycles : 0.0;
+    }
+};
+
+/** The out-of-order core. */
+class OooCore
+{
+  public:
+    /**
+     * @param params core configuration
+     * @param scheme protection scheme
+     * @param image trace image for Cassandra schemes (may be null for
+     *        baseline/SPT/ProSpeCT)
+     * @param program the program (crypto ranges, static instructions)
+     */
+    OooCore(const CoreParams &params, Scheme scheme,
+            const ir::Program &program,
+            const core::TraceImage *image = nullptr);
+
+    /** Run the timing model over a recorded trace. */
+    CoreStats run(const TimingTrace &trace);
+
+    const btu::Btu *btuUnit() const { return btu_.get(); }
+    const TagePredictor &tage() const { return tage_; }
+    const Btb &btb() const { return btb_; }
+    const MemoryHierarchy &memory() const { return memory_; }
+    const CoreParams &params() const { return params_; }
+    Scheme scheme() const { return scheme_; }
+
+  private:
+    /** Per-cycle usage counters with lazy epoch reset. */
+    class UsageRing
+    {
+      public:
+        explicit UsageRing(uint32_t limit) : limit_(limit) {}
+
+        /** True if a slot at this cycle is still free. */
+        bool
+        free(uint64_t cycle)
+        {
+            Slot &s = slotFor(cycle);
+            return s.count < limit_;
+        }
+
+        void
+        take(uint64_t cycle)
+        {
+            Slot &s = slotFor(cycle);
+            s.count++;
+        }
+
+      private:
+        struct Slot
+        {
+            uint64_t cycle = ~0ull;
+            uint32_t count = 0;
+        };
+
+        Slot &
+        slotFor(uint64_t cycle)
+        {
+            Slot &s = slots_[cycle & (size_ - 1)];
+            if (s.cycle != cycle) {
+                s.cycle = cycle;
+                s.count = 0;
+            }
+            return s;
+        }
+
+        static constexpr size_t size_ = 1 << 15;
+        std::array<Slot, size_> slots_{};
+        uint32_t limit_;
+    };
+
+    /** History ring of timestamps (for ROB/LQ/SQ/RF occupancy). */
+    class TimeRing
+    {
+      public:
+        explicit TimeRing(size_t depth) : times_(depth, 0) {}
+
+        /** Timestamp pushed `depth` entries ago (0 if not yet full). */
+        uint64_t
+        oldest() const
+        {
+            return times_[head_];
+        }
+
+        void
+        push(uint64_t t)
+        {
+            times_[head_] = t;
+            head_ = (head_ + 1) % times_.size();
+        }
+
+      private:
+        std::vector<uint64_t> times_;
+        size_t head_ = 0;
+    };
+
+    CoreParams params_;
+    Scheme scheme_;
+    const ir::Program &program_;
+    const core::TraceImage *image_;
+    std::unique_ptr<btu::Btu> btu_;
+    TagePredictor tage_;
+    Btb btb_;
+    Rsb rsb_;
+    MemoryHierarchy memory_;
+};
+
+} // namespace cassandra::uarch
+
+#endif // CASSANDRA_UARCH_PIPELINE_HH

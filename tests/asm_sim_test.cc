@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Integration tests for the macro-assembler + functional simulator:
+ * arithmetic semantics, control flow, memory, calls/returns, loops,
+ * probes and observation recording.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "sim/machine.hh"
+
+namespace {
+
+using namespace cassandra;
+using casm::Assembler;
+
+/** Run a tiny program that computes into a0 and halts. */
+uint64_t
+runA0(const std::function<void(Assembler &)> &body)
+{
+    Assembler as;
+    as.beginFunction("main", false);
+    body(as);
+    as.halt();
+    as.endFunction();
+    ir::Program prog = as.finalize();
+    sim::Machine m(prog);
+    auto res = m.run(100000);
+    EXPECT_TRUE(res.halted);
+    return m.arg(0);
+}
+
+TEST(SimTest, BasicArithmetic)
+{
+    EXPECT_EQ(runA0([](Assembler &as) {
+        as.li(10, 40);
+        as.li(11, 2);
+        as.add(10, 10, 11);
+    }), 42u);
+
+    EXPECT_EQ(runA0([](Assembler &as) {
+        as.li(10, 7);
+        as.li(11, 6);
+        as.mul(10, 10, 11);
+    }), 42u);
+
+    EXPECT_EQ(runA0([](Assembler &as) {
+        as.li(10, -1);
+        as.li(11, 1);
+        as.sltu(10, 11, 10); // 1 < 0xfff..f unsigned
+    }), 1u);
+
+    EXPECT_EQ(runA0([](Assembler &as) {
+        as.li(10, -1);
+        as.li(11, 1);
+        as.slt(10, 10, 11); // -1 < 1 signed
+    }), 1u);
+}
+
+TEST(SimTest, WideMultiply)
+{
+    // mulhu of 2^63 * 4 = 2^65 -> high word 2.
+    EXPECT_EQ(runA0([](Assembler &as) {
+        as.li(10, static_cast<int64_t>(1ull << 63));
+        as.li(11, 4);
+        as.mulhu(10, 10, 11);
+    }), 2u);
+
+    // mulh of -1 * -1 -> high word 0.
+    EXPECT_EQ(runA0([](Assembler &as) {
+        as.li(10, -1);
+        as.li(11, -1);
+        as.mulh(10, 10, 11);
+    }), 0u);
+}
+
+TEST(SimTest, WordOps)
+{
+    EXPECT_EQ(runA0([](Assembler &as) {
+        as.li(10, 0xffffffff);
+        as.li(11, 1);
+        as.addw(10, 10, 11); // wraps to 0
+    }), 0u);
+
+    EXPECT_EQ(runA0([](Assembler &as) {
+        as.li(10, 0x80000001);
+        as.rotlwi(10, 10, 1); // -> 0x00000003
+    }), 3u);
+}
+
+TEST(SimTest, RotatesAndShifts)
+{
+    EXPECT_EQ(runA0([](Assembler &as) {
+        as.li(10, 1);
+        as.rotli(10, 10, 63);
+        as.rotli(10, 10, 1); // full circle
+    }), 1u);
+    EXPECT_EQ(runA0([](Assembler &as) {
+        as.li(10, -8);
+        as.sari(10, 10, 2);
+    }), static_cast<uint64_t>(-2));
+}
+
+TEST(SimTest, Cmovnz)
+{
+    EXPECT_EQ(runA0([](Assembler &as) {
+        as.li(10, 111); // dest keeps old value when cond == 0
+        as.li(11, 0);
+        as.li(12, 222);
+        as.cmovnz(10, 11, 12);
+    }), 111u);
+    EXPECT_EQ(runA0([](Assembler &as) {
+        as.li(10, 111);
+        as.li(11, 1);
+        as.li(12, 222);
+        as.cmovnz(10, 11, 12);
+    }), 222u);
+}
+
+TEST(SimTest, MemoryRoundTrip)
+{
+    EXPECT_EQ(runA0([](Assembler &as) {
+        as.allocData("buf", 64);
+        as.la(20, "buf");
+        as.li(21, 0x1122334455667788);
+        as.sd(21, 20, 8);
+        as.ld(10, 20, 8);
+    }), 0x1122334455667788u);
+
+    // Byte/halfword/word accesses are little-endian and zero-extend.
+    EXPECT_EQ(runA0([](Assembler &as) {
+        as.allocData("buf", 64);
+        as.la(20, "buf");
+        as.li(21, 0x1122334455667788);
+        as.sd(21, 20, 0);
+        as.lb(10, 20, 1); // 0x77
+    }), 0x77u);
+    EXPECT_EQ(runA0([](Assembler &as) {
+        as.allocData("buf", 64);
+        as.la(20, "buf");
+        as.li(21, 0xdeadbeefcafef00d);
+        as.sd(21, 20, 0);
+        as.lw(10, 20, 4); // 0xdeadbeef
+    }), 0xdeadbeefu);
+}
+
+TEST(SimTest, DataImageInitialization)
+{
+    Assembler as;
+    as.allocData("tbl", 16);
+    as.setData64("tbl", 0, 123);
+    as.setData64("tbl", 1, 456);
+    as.beginFunction("main", false);
+    as.la(20, "tbl");
+    as.ld(10, 20, 0);
+    as.ld(11, 20, 8);
+    as.add(10, 10, 11);
+    as.halt();
+    as.endFunction();
+    sim::Machine m(as.finalize());
+    m.run(100);
+    EXPECT_EQ(m.arg(0), 579u);
+}
+
+TEST(SimTest, LoopAndBranches)
+{
+    // Sum 0..9 via forLoop.
+    EXPECT_EQ(runA0([](Assembler &as) {
+        as.li(10, 0);
+        as.forLoop(20, 0, 10, [&] { as.add(10, 10, 20); });
+    }), 45u);
+}
+
+TEST(SimTest, CallReturn)
+{
+    Assembler as;
+    as.beginFunction("main", false);
+    as.li(10, 5);
+    as.call("double_it");
+    as.call("double_it");
+    as.halt();
+    as.endFunction();
+    as.beginFunction("double_it", true);
+    as.add(10, 10, 10);
+    as.ret();
+    as.endFunction();
+    sim::Machine m(as.finalize());
+    auto res = m.run(100);
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(m.arg(0), 20u);
+}
+
+TEST(SimTest, StackPushPop)
+{
+    EXPECT_EQ(runA0([](Assembler &as) {
+        as.li(20, 77);
+        as.push(20);
+        as.li(20, 0);
+        as.pop(10);
+    }), 77u);
+}
+
+TEST(SimTest, BranchProbeSeesLoop)
+{
+    Assembler as;
+    as.beginFunction("main", true);
+    as.forLoop(20, 0, 4, [&] { as.nop(); });
+    as.halt();
+    as.endFunction();
+    ir::Program prog = as.finalize();
+
+    sim::Machine m(prog);
+    std::vector<std::pair<uint64_t, uint64_t>> seen;
+    m.branchProbe = [&](uint64_t pc, uint64_t target, const ir::Inst &) {
+        seen.emplace_back(pc, target);
+    };
+    m.run(1000);
+    // One static branch, 4 executions: 3 taken + 1 fall-through.
+    ASSERT_EQ(seen.size(), 4u);
+    uint64_t branch_pc = seen[0].first;
+    for (auto &[pc, target] : seen)
+        EXPECT_EQ(pc, branch_pc);
+    EXPECT_NE(seen[0].second, seen[3].second);
+    EXPECT_EQ(seen[3].second, branch_pc + ir::instBytes);
+}
+
+TEST(SimTest, ObservationRecording)
+{
+    Assembler as;
+    as.allocData("buf", 8);
+    as.beginFunction("main", true);
+    as.la(20, "buf");
+    as.li(21, 9);
+    as.sd(21, 20, 0);
+    as.ld(22, 20, 0);
+    as.halt();
+    as.endFunction();
+    sim::Machine m(as.finalize());
+    m.recordObservations = true;
+    m.run(100);
+    ASSERT_EQ(m.observations.size(), 2u);
+    EXPECT_EQ(m.observations[0].kind, sim::ObsKind::Store);
+    EXPECT_EQ(m.observations[1].kind, sim::ObsKind::Load);
+    EXPECT_EQ(m.observations[0].value, m.observations[1].value);
+    EXPECT_TRUE(m.observations[0].crypto);
+}
+
+TEST(AsmTest, Errors)
+{
+    Assembler as;
+    as.beginFunction("main", false);
+    as.j("nowhere");
+    as.halt();
+    as.endFunction();
+    EXPECT_THROW(as.finalize(), casm::AsmError);
+
+    Assembler as2;
+    EXPECT_THROW(as2.endFunction(), casm::AsmError);
+
+    Assembler as3;
+    as3.label("dup");
+    EXPECT_THROW(as3.label("dup"), casm::AsmError);
+
+    Assembler as4;
+    as4.allocData("d", 8);
+    EXPECT_THROW(as4.allocData("d", 8), casm::AsmError);
+    EXPECT_THROW(as4.dataAddr("other"), casm::AsmError);
+}
+
+TEST(AsmTest, ScratchPool)
+{
+    Assembler as;
+    std::vector<ir::RegId> got;
+    for (int i = 0; i < 45; i++)
+        got.push_back(as.temp());
+    EXPECT_THROW(as.temp(), casm::AsmError);
+    as.release(got.back());
+    EXPECT_EQ(as.temp(), got.back());
+}
+
+TEST(SimTest, RunawayCapReported)
+{
+    Assembler as;
+    as.beginFunction("main", false);
+    as.label("spin");
+    as.j("spin");
+    as.endFunction();
+    sim::Machine m(as.finalize());
+    auto res = m.run(1000);
+    EXPECT_FALSE(res.halted);
+    EXPECT_EQ(res.instCount, 1000u);
+}
+
+} // namespace

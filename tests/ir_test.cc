@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the IR: instruction classification, register naming,
+ * program PC mapping and crypto ranges.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/inst.hh"
+#include "ir/program.hh"
+
+namespace {
+
+using namespace cassandra;
+using ir::ExecClass;
+using ir::Inst;
+using ir::Opcode;
+
+TEST(InstTest, ClassificationAlu)
+{
+    Inst add{Opcode::Add, 3, 1, 2, 0};
+    EXPECT_EQ(add.execClass(), ExecClass::IntAlu);
+    EXPECT_FALSE(add.isControlFlow());
+    EXPECT_FALSE(add.isLoad());
+    EXPECT_FALSE(add.isStore());
+    EXPECT_EQ(add.memBytes(), 0);
+}
+
+TEST(InstTest, ClassificationMul)
+{
+    for (Opcode op : {Opcode::Mul, Opcode::Mulh, Opcode::Mulhu,
+                      Opcode::Mulw}) {
+        Inst inst{op, 3, 1, 2, 0};
+        EXPECT_EQ(inst.execClass(), ExecClass::IntMul);
+    }
+}
+
+TEST(InstTest, ClassificationMemory)
+{
+    Inst ld{Opcode::Ld, 3, 1, 0, 16};
+    EXPECT_TRUE(ld.isLoad());
+    EXPECT_EQ(ld.memBytes(), 8);
+    Inst lb{Opcode::Lb, 3, 1, 0, 0};
+    EXPECT_EQ(lb.memBytes(), 1);
+    Inst sw{Opcode::Sw, 0, 1, 2, 4};
+    EXPECT_TRUE(sw.isStore());
+    EXPECT_EQ(sw.memBytes(), 4);
+}
+
+TEST(InstTest, ClassificationControlFlow)
+{
+    Inst beq{Opcode::Beq, 0, 1, 2, 0x10100};
+    EXPECT_TRUE(beq.isCondBranch());
+    EXPECT_TRUE(beq.isControlFlow());
+
+    Inst call{Opcode::Jal, ir::regRa, 0, 0, 0x10200};
+    EXPECT_TRUE(call.isCall());
+    EXPECT_EQ(call.execClass(), ExecClass::DirectJump);
+
+    Inst jump{Opcode::Jal, ir::regZero, 0, 0, 0x10200};
+    EXPECT_FALSE(jump.isCall());
+
+    Inst ret{Opcode::Ret, 0, ir::regRa, 0, 0};
+    EXPECT_TRUE(ret.isReturn());
+
+    Inst jalr{Opcode::Jalr, ir::regRa, 5, 0, 0};
+    EXPECT_TRUE(jalr.isIndirect());
+}
+
+TEST(InstTest, Disassembly)
+{
+    Inst li{Opcode::Li, 10, 0, 0, 42};
+    EXPECT_EQ(li.toString(), "li a0, 42");
+    Inst add{Opcode::Add, 12, 10, 11, 0};
+    EXPECT_EQ(add.toString(), "add a2, a0, a1");
+    Inst ld{Opcode::Ld, 10, 2, 0, 8};
+    EXPECT_EQ(ld.toString(), "ld a0, 8(sp)");
+}
+
+TEST(RegTest, Names)
+{
+    EXPECT_EQ(ir::regName(0), "x0");
+    EXPECT_EQ(ir::regName(1), "ra");
+    EXPECT_EQ(ir::regName(2), "sp");
+    EXPECT_EQ(ir::regName(10), "a0");
+    EXPECT_EQ(ir::regName(17), "a7");
+    EXPECT_EQ(ir::regName(20), "x20");
+}
+
+TEST(ProgramTest, PcMapping)
+{
+    ir::Program prog;
+    prog.insts.resize(10);
+    EXPECT_TRUE(prog.validPc(ir::Program::codeBase));
+    EXPECT_TRUE(prog.validPc(ir::Program::codeBase + 4));
+    EXPECT_FALSE(prog.validPc(ir::Program::codeBase + 2));
+    EXPECT_FALSE(prog.validPc(ir::Program::codeBase + 40));
+    EXPECT_EQ(ir::Program::pcOf(3), ir::Program::codeBase + 12);
+}
+
+TEST(ProgramTest, CryptoRanges)
+{
+    ir::Program prog;
+    prog.insts.resize(100);
+    prog.cryptoRanges.push_back({ir::Program::codeBase + 16,
+                                 ir::Program::codeBase + 64});
+    EXPECT_FALSE(prog.isCryptoPc(ir::Program::codeBase));
+    EXPECT_TRUE(prog.isCryptoPc(ir::Program::codeBase + 16));
+    EXPECT_TRUE(prog.isCryptoPc(ir::Program::codeBase + 60));
+    EXPECT_FALSE(prog.isCryptoPc(ir::Program::codeBase + 64));
+}
+
+} // namespace

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Integration tests for the OoO timing model and the end-to-end
+ * System API: scheme ordering properties (SPT slower than baseline,
+ * Cassandra never mispredicts crypto branches, BTU redirects always
+ * match the sequential target), timing-side-channel freedom under
+ * Cassandra, interrupt flushes (Q4) and the Cassandra-lite ablation
+ * (Q3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/contract.hh"
+#include "core/system.hh"
+#include "crypto/workloads.hh"
+
+namespace {
+
+using namespace cassandra;
+using uarch::Scheme;
+
+class TimingTest : public ::testing::Test
+{
+  protected:
+    static core::System &
+    chacha()
+    {
+        static core::System sys(crypto::chacha20CtWorkload());
+        return sys;
+    }
+
+    static core::System &
+    sha()
+    {
+        static core::System sys(crypto::sha256BearsslWorkload());
+        return sys;
+    }
+};
+
+TEST_F(TimingTest, BaselineSanity)
+{
+    auto res = chacha().run(Scheme::UnsafeBaseline);
+    EXPECT_GT(res.stats.cycles, 0u);
+    EXPECT_GT(res.stats.instructions, 1000u);
+    double ipc = res.stats.ipc();
+    EXPECT_GT(ipc, 0.2);
+    EXPECT_LT(ipc, 8.0);
+    EXPECT_GT(res.stats.branches, 0u);
+}
+
+TEST_F(TimingTest, CassandraNeverMispredictsCrypto)
+{
+    auto res = chacha().run(Scheme::Cassandra);
+    EXPECT_EQ(res.stats.btuMismatches, 0u);
+    EXPECT_GT(res.btu.lookups, 0u);
+    // Crypto branches never touch the BPU under Cassandra, so every
+    // BPU lookup comes from non-crypto code (the tiny main wrapper).
+    auto base = chacha().run(Scheme::UnsafeBaseline);
+    EXPECT_LT(res.bpu.condLookups, base.bpu.condLookups);
+}
+
+TEST_F(TimingTest, CassandraCompetitiveWithBaseline)
+{
+    for (auto *sys : {&chacha(), &sha()}) {
+        auto base = sys->run(Scheme::UnsafeBaseline);
+        auto cass = sys->run(Scheme::Cassandra);
+        double ratio = static_cast<double>(cass.stats.cycles) /
+            static_cast<double>(base.stats.cycles);
+        EXPECT_GT(ratio, 0.5);
+        EXPECT_LT(ratio, 1.3);
+    }
+}
+
+TEST_F(TimingTest, SptSlowerThanBaseline)
+{
+    auto base = chacha().run(Scheme::UnsafeBaseline);
+    auto spt = chacha().run(Scheme::Spt);
+    EXPECT_GT(spt.stats.cycles, base.stats.cycles);
+    EXPECT_GT(spt.stats.schemeLoadDelays, 0u);
+}
+
+TEST_F(TimingTest, StlHardeningCostsLittle)
+{
+    auto cass = chacha().run(Scheme::Cassandra);
+    auto stl = chacha().run(Scheme::CassandraStl);
+    EXPECT_GE(stl.stats.cycles, cass.stats.cycles);
+    // "naively addressing data flow speculation ... incurs negligible
+    // performance overhead (less than 1%)" is the paper's claim for
+    // crypto code; allow some slack for our small workloads.
+    EXPECT_LT(static_cast<double>(stl.stats.cycles) / cass.stats.cycles,
+              1.15);
+}
+
+TEST_F(TimingTest, LiteSlowerThanFull)
+{
+    auto cass = sha().run(Scheme::Cassandra);
+    auto lite = sha().run(Scheme::CassandraLite);
+    EXPECT_GE(lite.stats.cycles, cass.stats.cycles);
+    EXPECT_GT(lite.stats.resolveStalls, 0u);
+}
+
+TEST_F(TimingTest, NoTimingSideChannelUnderCassandra)
+{
+    // Two runs that differ only in secrets must take exactly the same
+    // number of cycles under Cassandra (sequential-execution
+    // enforcement implies identical pipeline behavior).
+    core::Workload w = crypto::chacha20CtWorkload();
+    core::System sys(w);
+    auto trace_a = uarch::recordTrace(w, core::contractInputA);
+    auto trace_b = uarch::recordTrace(w, core::contractInputB);
+    ASSERT_EQ(trace_a.size(), trace_b.size());
+
+    const auto &image = sys.traces().image;
+    uarch::CoreParams params;
+    uarch::OooCore core_a(params, Scheme::Cassandra, w.program, &image);
+    uarch::OooCore core_b(params, Scheme::Cassandra, w.program, &image);
+    auto stats_a = core_a.run(trace_a);
+    auto stats_b = core_b.run(trace_b);
+    EXPECT_EQ(stats_a.cycles, stats_b.cycles);
+    EXPECT_EQ(stats_a.btuMismatches, 0u);
+    EXPECT_EQ(stats_b.btuMismatches, 0u);
+}
+
+TEST_F(TimingTest, InterruptFlushesCostLittle)
+{
+    // Q4: flushing the BTU at the timer frequency barely moves the
+    // needle (paper: 1.85% -> 1.80% improvement).
+    core::Workload w = crypto::sha256BearsslWorkload();
+    core::System sys(w);
+    auto plain = sys.run(Scheme::Cassandra);
+
+    uarch::CoreParams flush_params;
+    flush_params.btuFlushPeriod = 100000; // far more aggressive than Q4
+    auto flushed = sys.run(Scheme::Cassandra, flush_params);
+    double ratio = static_cast<double>(flushed.stats.cycles) /
+        static_cast<double>(plain.stats.cycles);
+    EXPECT_LT(ratio, 1.10);
+}
+
+TEST_F(TimingTest, ProspectBlocksTaintedSpeculation)
+{
+    auto w = crypto::syntheticMixWorkload("curve25519", 50);
+    core::System sys(w);
+    auto base = sys.run(Scheme::UnsafeBaseline);
+    auto pros = sys.run(Scheme::Prospect);
+    EXPECT_GT(pros.stats.prospectBlocks, 0u);
+    // Tainted ops are delayed; in chain-limited code much of that is
+    // absorbed, so ProSpeCT can only be at or above the baseline.
+    EXPECT_GE(pros.stats.cycles, base.stats.cycles);
+
+    // Cassandra+ProSpeCT removes the crypto speculation windows; it
+    // must stay within a whisker of plain ProSpeCT even though the
+    // many-call-site mont_mul return has no replayable trace and
+    // stalls (see EXPERIMENTS.md).
+    auto combo = sys.run(Scheme::CassandraProspect);
+    EXPECT_LT(static_cast<double>(combo.stats.cycles) /
+                  pros.stats.cycles,
+              1.02);
+    EXPECT_EQ(combo.stats.btuMismatches, 0u);
+}
+
+TEST_F(TimingTest, CacheHierarchySane)
+{
+    auto res = chacha().run(Scheme::UnsafeBaseline);
+    EXPECT_GT(res.caches.l1dAccesses, 0u);
+    EXPECT_LE(res.caches.l1dMisses, res.caches.l1dAccesses);
+    EXPECT_LE(res.caches.l2Accesses,
+              res.caches.l1dMisses + res.caches.l1iMisses);
+}
+
+TEST(TaintTest, PropagationBasics)
+{
+    auto w = crypto::syntheticMixWorkload("chacha20", 0);
+    auto trace = uarch::recordTrace(w, 2);
+    uarch::annotateTaint(trace, w.program, w.secretRegions);
+    size_t tainted = 0;
+    for (const auto &op : trace)
+        tainted += op.tainted ? 1 : 0;
+    EXPECT_GT(tainted, 0u);
+    EXPECT_LT(tainted, trace.size());
+}
+
+} // namespace

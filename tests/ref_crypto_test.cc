@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Correctness tests for the C++ reference crypto implementations
+ * against published test vectors (RFC 8439, FIPS 180-4, FIPS 197,
+ * FIPS 46-3, FIPS 202, RFC 7748) and internal consistency checks for
+ * the Kyber-like and SPHINCS-like constructions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "crypto/ref/aes128.hh"
+#include "crypto/ref/bignum.hh"
+#include "crypto/ref/chacha20.hh"
+#include "crypto/ref/des.hh"
+#include "crypto/ref/keccak.hh"
+#include "crypto/ref/kyber.hh"
+#include "crypto/ref/poly1305.hh"
+#include "crypto/ref/sha256.hh"
+#include "crypto/ref/sphincs.hh"
+#include "crypto/ref/x25519.hh"
+
+namespace {
+
+using namespace cassandra::crypto;
+
+std::string
+hex(const uint8_t *data, size_t len)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string out;
+    for (size_t i = 0; i < len; i++) {
+        out += digits[data[i] >> 4];
+        out += digits[data[i] & 0xf];
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+fromHex(const std::string &s)
+{
+    std::vector<uint8_t> out;
+    for (size_t i = 0; i + 1 < s.size(); i += 2) {
+        out.push_back(static_cast<uint8_t>(
+            std::stoi(s.substr(i, 2), nullptr, 16)));
+    }
+    return out;
+}
+
+TEST(RefChaCha20, Rfc8439Vector)
+{
+    // RFC 8439 §2.4.2.
+    uint8_t key[32], nonce[12];
+    for (int i = 0; i < 32; i++)
+        key[i] = static_cast<uint8_t>(i);
+    uint8_t n[12] = {0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0};
+    std::memcpy(nonce, n, 12);
+    std::string pt =
+        "Ladies and Gentlemen of the class of '99: If I could offer you "
+        "only one tip for the future, sunscreen would be it.";
+    std::vector<uint8_t> msg(pt.begin(), pt.end());
+    auto ct = ref::chacha20Xor(key, nonce, 1, msg);
+    EXPECT_EQ(hex(ct.data(), 16), "6e2e359a2568f98041ba0728dd0d6981");
+    EXPECT_EQ(hex(ct.data() + ct.size() - 8, 8), "8eedf2785e42874d");
+    // Encrypt twice restores the plaintext.
+    EXPECT_EQ(ref::chacha20Xor(key, nonce, 1, ct), msg);
+}
+
+TEST(RefSha256, Fips180Vectors)
+{
+    std::vector<uint8_t> abc = {'a', 'b', 'c'};
+    EXPECT_EQ(hex(ref::sha256(abc).data(), 32),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61"
+              "f20015ad");
+    EXPECT_EQ(hex(ref::sha256({}).data(), 32),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b"
+              "7852b855");
+    // Two-block message.
+    std::string m2 =
+        "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+    EXPECT_EQ(hex(ref::sha256({m2.begin(), m2.end()}).data(), 32),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd4"
+              "19db06c1");
+}
+
+TEST(RefHmac, Rfc4231Vector)
+{
+    // RFC 4231 test case 2.
+    std::vector<uint8_t> key = {'J', 'e', 'f', 'e'};
+    std::string msg = "what do ya want for nothing?";
+    EXPECT_EQ(hex(ref::hmacSha256(key, {msg.begin(), msg.end()}).data(),
+                  32),
+              "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b9"
+              "64ec3843");
+}
+
+TEST(RefPoly1305, Rfc8439Vector)
+{
+    // RFC 8439 §2.5.2.
+    auto key = fromHex(
+        "85d6be7857556d337f4452fe42d506a8"
+        "0103808afb0db2fd4abff6af4149f51b");
+    std::string m = "Cryptographic Forum Research Group";
+    auto tag = ref::poly1305Mac(key.data(), {m.begin(), m.end()});
+    EXPECT_EQ(hex(tag.data(), 16), "a8061dc1305136c6c22b8baf0c0127a9");
+}
+
+TEST(RefAes128, Fips197Vector)
+{
+    auto key = fromHex("000102030405060708090a0b0c0d0e0f");
+    auto pt = fromHex("00112233445566778899aabbccddeeff");
+    auto rk = ref::aes128KeyExpand(key.data());
+    uint8_t ct[16];
+    ref::aes128EncryptBlock(rk, pt.data(), ct);
+    EXPECT_EQ(hex(ct, 16), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(RefAes128, SboxKnownValues)
+{
+    const auto &sbox = ref::aesSbox();
+    EXPECT_EQ(sbox[0x00], 0x63);
+    EXPECT_EQ(sbox[0x01], 0x7c);
+    EXPECT_EQ(sbox[0x53], 0xed);
+    EXPECT_EQ(sbox[0xff], 0x16);
+}
+
+TEST(RefAes128, CtrRoundTrip)
+{
+    auto key = fromHex("2b7e151628aed2a6abf7158809cf4f3c");
+    uint8_t iv[16] = {};
+    std::vector<uint8_t> msg(100);
+    for (size_t i = 0; i < msg.size(); i++)
+        msg[i] = static_cast<uint8_t>(i * 7);
+    auto ct = ref::aes128Ctr(key.data(), iv, msg);
+    EXPECT_NE(ct, msg);
+    EXPECT_EQ(ref::aes128Ctr(key.data(), iv, ct), msg);
+}
+
+TEST(RefDes, Fips46KnownAnswer)
+{
+    // Classic validation vector.
+    auto key = fromHex("133457799bbcdff1");
+    auto pt = fromHex("0123456789abcdef");
+    auto rk = ref::desKeySchedule(key.data());
+    uint8_t ct[8];
+    ref::desEncryptBlock(rk, pt.data(), ct);
+    EXPECT_EQ(hex(ct, 8), "85e813540f0ab405");
+}
+
+TEST(RefKeccak, Fips202Vectors)
+{
+    std::vector<uint8_t> empty;
+    EXPECT_EQ(hex(ref::sha3_256(empty).data(), 32),
+              "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b"
+              "80f8434a");
+    auto shake = ref::shake128(empty, 32);
+    EXPECT_EQ(hex(shake.data(), 32),
+              "7f9c2ba4e88f827d616045507605853ed73b8093f6efbc88eb1a6eac"
+              "fa66ef26");
+}
+
+TEST(RefX25519, Rfc7748Vector)
+{
+    auto scalar = fromHex(
+        "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+    auto point = fromHex(
+        "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+    auto out = ref::x25519(scalar.data(), point.data());
+    EXPECT_EQ(hex(out.data(), 32),
+              "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577"
+              "a28552");
+}
+
+TEST(RefX25519, DiffieHellmanAgreement)
+{
+    uint8_t a[32], b[32];
+    for (int i = 0; i < 32; i++) {
+        a[i] = static_cast<uint8_t>(i + 1);
+        b[i] = static_cast<uint8_t>(0x80 - i);
+    }
+    auto base = ref::x25519BasePoint();
+    auto pub_a = ref::x25519(a, base.data());
+    auto pub_b = ref::x25519(b, base.data());
+    EXPECT_EQ(ref::x25519(a, pub_b.data()), ref::x25519(b, pub_a.data()));
+}
+
+TEST(RefBignum, ModPowSmallKnown)
+{
+    // 7^560 mod 561 = 1 (561 is a Carmichael number).
+    ref::Limbs mod = {561, 0, 0, 0};
+    ref::Limbs base = {7, 0, 0, 0};
+    ref::Limbs exp = {560, 0, 0, 0};
+    auto ctx = ref::montInit(mod);
+    auto r = ref::modPow(ctx, base, exp);
+    EXPECT_EQ(r[0], 1u);
+
+    // 5^117 mod 19 = 1 (ord(5) = 9 divides 117).
+    ref::Limbs mod2 = {19};
+    auto ctx2 = ref::montInit(mod2);
+    EXPECT_EQ(ref::modPow(ctx2, {5}, {117})[0], 1u);
+    // 2^10 mod 1000003.
+    ref::Limbs mod3 = {1000003};
+    auto ctx3 = ref::montInit(mod3);
+    EXPECT_EQ(ref::modPow(ctx3, {2}, {10})[0], 1024u);
+}
+
+TEST(RefBignum, FermatLittleTheorem)
+{
+    // p = 2^31 - 1 (Mersenne prime): a^(p-1) = 1 mod p.
+    ref::Limbs mod = {0x7fffffff, 0, 0, 0};
+    ref::Limbs exp = {0x7ffffffe, 0, 0, 0};
+    auto ctx = ref::montInit(mod);
+    for (uint32_t a : {2u, 3u, 12345u, 0x12345678u}) {
+        auto r = ref::modPow(ctx, {a, 0, 0, 0}, exp);
+        EXPECT_EQ(r[0], 1u) << a;
+        EXPECT_EQ(r[1], 0u);
+    }
+}
+
+TEST(RefKyber, NttRoundTrip)
+{
+    ref::Poly p{};
+    for (int i = 0; i < ref::kyberN; i++)
+        p[i] = static_cast<int16_t>((i * 7 + 3) % ref::kyberQ);
+    ref::Poly q = p;
+    ref::kyberNtt(q);
+    ref::kyberInvNtt(q);
+    EXPECT_EQ(p, q);
+}
+
+TEST(RefKyber, NttMultiplicationMatchesSchoolbook)
+{
+    ref::Poly a{}, b{};
+    for (int i = 0; i < ref::kyberN; i++) {
+        a[i] = static_cast<int16_t>((i * 31 + 1) % ref::kyberQ);
+        b[i] = static_cast<int16_t>((i * 17 + 5) % ref::kyberQ);
+    }
+    // Schoolbook in Z_q[x]/(x^n + 1).
+    std::array<int32_t, 2 * ref::kyberN> wide{};
+    for (int i = 0; i < ref::kyberN; i++) {
+        for (int j = 0; j < ref::kyberN; j++) {
+            wide[i + j] = static_cast<int32_t>(
+                (wide[i + j] +
+                 static_cast<int64_t>(a[i]) * b[j]) % ref::kyberQ);
+        }
+    }
+    ref::Poly expect{};
+    for (int i = 0; i < ref::kyberN; i++) {
+        int32_t v = wide[i] - wide[i + ref::kyberN];
+        v %= ref::kyberQ;
+        if (v < 0)
+            v += ref::kyberQ;
+        expect[i] = static_cast<int16_t>(v);
+    }
+
+    ref::Poly na = a, nb = b;
+    ref::kyberNtt(na);
+    ref::kyberNtt(nb);
+    ref::Poly prod = ref::kyberBaseMul(na, nb);
+    ref::kyberInvNtt(prod);
+    EXPECT_EQ(prod, expect);
+}
+
+TEST(RefKyber, EncryptDecryptRoundTrip)
+{
+    for (int k : {2, 3}) {
+        std::vector<uint8_t> seed_a = {1, 2, 3};
+        std::vector<uint8_t> seed_n = {4, 5, 6};
+        std::vector<uint8_t> coins = {7, 8, 9};
+        auto kp = ref::kyberKeyGen(k, seed_a, seed_n);
+        std::array<uint8_t, 32> msg;
+        for (int i = 0; i < 32; i++)
+            msg[i] = static_cast<uint8_t>(i * 11 + k);
+        auto ct = ref::kyberEncrypt(kp, k, msg, coins);
+        auto pt = ref::kyberDecrypt(kp, k, ct);
+        EXPECT_EQ(pt, msg) << "k=" << k;
+    }
+}
+
+TEST(RefKyber, RejectionSamplingIsUniformRange)
+{
+    auto p = ref::kyberSampleUniform({9, 9, 9}, 0, 1);
+    for (int16_t c : p) {
+        EXPECT_GE(c, 0);
+        EXPECT_LT(c, ref::kyberQ);
+    }
+    // Different (i, j) gives a different polynomial.
+    EXPECT_NE(p, ref::kyberSampleUniform({9, 9, 9}, 1, 0));
+}
+
+TEST(RefKyber, CbdRange)
+{
+    auto p = ref::kyberSampleCbd({1, 2}, 0);
+    for (int16_t c : p) {
+        bool small = c <= 2 || c >= ref::kyberQ - 2;
+        EXPECT_TRUE(small) << c;
+    }
+}
+
+class SphincsBackendTest
+    : public ::testing::TestWithParam<ref::SphincsHash>
+{
+};
+
+TEST_P(SphincsBackendTest, SignVerifyRoundTrip)
+{
+    ref::SphincsParams params;
+    params.hash = GetParam();
+    params.treeHeight = 3;
+    std::vector<uint8_t> seed = {1, 2, 3, 4};
+    auto key = ref::sphincsKeyGen(params, seed);
+    std::vector<uint8_t> msg = {'h', 'i'};
+    auto sig = ref::sphincsSign(params, key, msg, 5);
+    EXPECT_TRUE(ref::sphincsVerify(params, key.root, msg, sig));
+
+    // Tampered message fails.
+    std::vector<uint8_t> bad = {'h', 'o'};
+    EXPECT_FALSE(ref::sphincsVerify(params, key.root, bad, sig));
+
+    // Tampered signature fails.
+    auto sig2 = sig;
+    sig2.wotsSig[0][0] ^= 1;
+    EXPECT_FALSE(ref::sphincsVerify(params, key.root, msg, sig2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, SphincsBackendTest,
+                         ::testing::Values(ref::SphincsHash::Shake,
+                                           ref::SphincsHash::Sha2,
+                                           ref::SphincsHash::Haraka));
+
+TEST(RefTlsPrf, DeterministicAndSized)
+{
+    std::vector<uint8_t> secret = {1, 2, 3};
+    std::vector<uint8_t> seed = {'t', 'e', 's', 't'};
+    auto out = ref::tls12Prf(secret, seed, 100);
+    EXPECT_EQ(out.size(), 100u);
+    EXPECT_EQ(out, ref::tls12Prf(secret, seed, 100));
+    EXPECT_NE(out, ref::tls12Prf({1, 2, 4}, seed, 100));
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Round-trip and size-accounting tests for the bit-exact trace-page
+ * serialization (the wire format Algorithm 2 embeds in binaries).
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/serialize.hh"
+
+namespace {
+
+using namespace cassandra;
+using core::BranchTrace;
+using core::VanillaTrace;
+
+BranchTrace
+encodeVanilla(uint64_t pc, const VanillaTrace &v)
+{
+    return core::encodeBranchTrace(pc,
+                                   core::compressKmers(core::encodeDna(v)));
+}
+
+TEST(SerializeTest, RoundTripSimpleLoop)
+{
+    uint64_t pc = 0x10100;
+    VanillaTrace v = {{0x10080, 4}, {pc + 4, 1}};
+    BranchTrace bt = encodeVanilla(pc, v);
+    auto bytes = core::packTrace(bt);
+    EXPECT_EQ(bytes.size(), core::packedTraceBytes(bt));
+    BranchTrace back = core::unpackTrace(bytes, pc);
+    ASSERT_EQ(back.patternSet.size(), bt.patternSet.size());
+    ASSERT_EQ(back.elements.size(), bt.elements.size());
+    EXPECT_EQ(back.shortTrace, bt.shortTrace);
+    EXPECT_EQ(back.expand(), bt.expand());
+}
+
+TEST(SerializeTest, NegativeOffsetsSurvive)
+{
+    uint64_t pc = 0x10400;
+    VanillaTrace v = {{pc - 400, 3}, {pc + 4, 1}, {pc - 400, 3},
+                      {pc + 4, 1}};
+    BranchTrace bt = encodeVanilla(pc, v);
+    ASSERT_TRUE(bt.hasTrace());
+    BranchTrace back = core::unpackTrace(core::packTrace(bt), pc);
+    EXPECT_EQ(back.expand(), bt.expand());
+}
+
+TEST(SerializeTest, RoundTripRandomTraces)
+{
+    std::mt19937_64 rng(11);
+    for (int trial = 0; trial < 60; trial++) {
+        uint64_t pc = 0x10800;
+        VanillaTrace v;
+        int motif = 1 + static_cast<int>(rng() % 4);
+        std::vector<core::RunElement> m;
+        for (int i = 0; i < motif; i++) {
+            m.push_back({pc - 16 * (1 + rng() % 100),
+                         1 + rng() % 300});
+        }
+        int reps = 1 + static_cast<int>(rng() % 20);
+        for (int r = 0; r < reps; r++)
+            for (auto e : m)
+                v.push_back(e);
+        v.push_back({pc + 4, 1});
+        v = core::toVanilla(core::expandVanilla(v));
+        BranchTrace bt = encodeVanilla(pc, v);
+        if (!bt.hasTrace())
+            continue;
+        BranchTrace back = core::unpackTrace(core::packTrace(bt), pc);
+        EXPECT_EQ(back.expand(), bt.expand()) << "trial " << trial;
+        EXPECT_EQ(core::packTrace(back), core::packTrace(bt));
+    }
+}
+
+TEST(SerializeTest, HintWordPacksSingleTarget)
+{
+    core::HintInfo hint;
+    hint.singleTarget = true;
+    hint.targetPc = 0x10200;
+    uint16_t word = core::packHint(hint, 0x10100);
+    EXPECT_TRUE(word & (1u << 13));
+    // 0x100 bytes = 64 instructions forward.
+    EXPECT_EQ(word & 0xfff, 64u);
+}
+
+TEST(SerializeTest, HintWordPacksTraceOffset)
+{
+    core::HintInfo hint;
+    hint.shortTrace = true;
+    hint.traceOffset = 0x123;
+    uint16_t word = core::packHint(hint, 0x10100);
+    EXPECT_FALSE(word & (1u << 13));
+    EXPECT_TRUE(word & (1u << 12));
+    EXPECT_EQ(word & 0xfff, 0x123u);
+}
+
+TEST(SerializeTest, PackedSizeMatchesStorageAccounting)
+{
+    uint64_t pc = 0x10100;
+    VanillaTrace v;
+    for (int i = 0; i < 20; i++) {
+        v.push_back({0x10080, static_cast<uint64_t>(2 + i % 3)});
+        v.push_back({pc + 4, 1});
+    }
+    v = core::toVanilla(core::expandVanilla(v));
+    BranchTrace bt = encodeVanilla(pc, v);
+    // Header is 20 bits; payload must match storageBits exactly.
+    size_t expect = (20 + bt.storageBits() + 7) / 8;
+    EXPECT_EQ(core::packedTraceBytes(bt), expect);
+}
+
+} // namespace

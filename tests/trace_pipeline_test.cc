@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for Algorithm 2 (automatic trace generation) on a Toy-AES-2
+ * style program mirroring the paper's Figure 2 workflow, plus
+ * input-dependence detection for stream-loop-like branches.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "core/contract.hh"
+#include "core/tracegen.hh"
+
+namespace {
+
+using namespace cassandra;
+using casm::Assembler;
+using core::Workload;
+
+/**
+ * Toy-AES-2 (paper Figure 2): main loops twice over encrypt(), which
+ * runs three rounds calling Sbox() each, plus a final Sbox().
+ */
+Workload
+toyAes2()
+{
+    Assembler as;
+    as.allocData("q", 8);
+    as.allocData("c", 16);
+    as.allocData("skey", 8);
+
+    as.beginFunction("main", false);
+    as.forLoop(20, 0, 2, [&] {
+        as.call("encrypt");
+    });
+    as.halt();
+    as.endFunction();
+
+    as.beginFunction("encrypt", true);
+    as.push(ir::regRa);
+    as.forLoop(21, 0, 3, [&] {
+        as.call("sbox");
+        as.nop(); // shiftRows, mixCols, addKey
+    });
+    as.call("sbox");
+    as.pop(ir::regRa);
+    as.ret();
+    as.endFunction();
+
+    as.beginFunction("sbox", true);
+    as.la(22, "q");
+    as.ld(23, 22, 0);
+    as.xori(23, 23, 0x5a);
+    as.sd(23, 22, 0);
+    as.ret();
+    as.endFunction();
+
+    Workload w;
+    w.name = "toy-aes-2";
+    w.suite = "Example";
+    w.program = as.finalize();
+    w.setInput = [](sim::Machine &m, int which) {
+        // Secret plaintext differs per input; control flow must not.
+        m.write64(ir::Program::dataBase, 0x11 * (which + 1));
+    };
+    w.maxDynInsts = 100000;
+    return w;
+}
+
+/** A stream-cipher-like program whose loop count depends on the input. */
+Workload
+streamy()
+{
+    Assembler as;
+    as.allocData("len", 8);
+    as.beginFunction("main", false);
+    as.call("stream");
+    as.halt();
+    as.endFunction();
+    as.beginFunction("stream", true);
+    as.la(20, "len");
+    as.ld(21, 20, 0);
+    as.forLoopReg(22, 0, 21, [&] {
+        // Inner fixed loop: valid k-mers trace despite the outer
+        // input-dependent stream loop (paper §4.3).
+        as.forLoop(23, 0, 4, [&] { as.nop(); });
+    });
+    as.ret();
+    as.endFunction();
+
+    Workload w;
+    w.name = "streamy";
+    w.suite = "Example";
+    w.program = as.finalize();
+    w.setInput = [](sim::Machine &m, int which) {
+        uint64_t lens[] = {5, 9, 7, 6, 6};
+        m.write64(ir::Program::dataBase, lens[which]);
+    };
+    w.maxDynInsts = 100000;
+    return w;
+}
+
+TEST(TraceGenTest, ToyAes2AllBranchesHaveTraces)
+{
+    auto res = core::generateTraces(toyAes2());
+    EXPECT_GE(res.records.size(), 4u);
+    for (const auto &rec : res.records) {
+        EXPECT_FALSE(rec.inputDependent)
+            << "pc 0x" << std::hex << rec.pc;
+        EXPECT_NE(rec.rejection, core::TraceRejection::PatternOverflow);
+    }
+}
+
+TEST(TraceGenTest, ToyAes2SingleTargetCalls)
+{
+    // The two call sites (call encrypt / call sbox twice) and the sbox
+    // return... sbox returns to two different callsites, so its return
+    // is multi-target; the direct calls are single-target.
+    auto res = core::generateTraces(toyAes2());
+    size_t single = 0, multi = 0;
+    for (const auto &rec : res.records) {
+        if (rec.singleTarget)
+            single++;
+        else
+            multi++;
+    }
+    EXPECT_GE(single, 2u);
+    EXPECT_GE(multi, 2u); // loop branches + sbox return
+}
+
+TEST(TraceGenTest, ToyAes2LoopTraceShape)
+{
+    // The encrypt round loop: per call, taken x2 then fall-through;
+    // executed twice. Its vanilla trace has 4 runs, its k-mers trace
+    // compresses to a couple of elements.
+    auto res = core::generateTraces(toyAes2());
+    bool found_loop = false;
+    for (const auto &rec : res.records) {
+        if (rec.singleTarget || rec.vanillaSize < 4)
+            continue;
+        found_loop = true;
+        EXPECT_LE(rec.kmersSize, rec.vanillaSize);
+    }
+    EXPECT_TRUE(found_loop);
+}
+
+TEST(TraceGenTest, ToyAes2ImageComplete)
+{
+    auto res = core::generateTraces(toyAes2());
+    for (const auto &rec : res.records)
+        EXPECT_TRUE(res.image.known(rec.pc));
+    EXPECT_EQ(res.image.numBranches(), res.records.size());
+    EXPECT_FALSE(res.image.cryptoRanges.empty());
+}
+
+TEST(TraceGenTest, StreamLoopFlaggedInputDependent)
+{
+    auto res = core::generateTraces(streamy());
+    size_t dependent = 0, replayable = 0;
+    for (const auto &rec : res.records) {
+        if (rec.inputDependent)
+            dependent++;
+        else if (!rec.singleTarget)
+            replayable++;
+    }
+    // The stream loop itself is input-dependent...
+    EXPECT_GE(dependent, 1u);
+    // ...but the inner fixed loop still gets a trace. Note the inner
+    // loop's *trace* differs across inputs too (5 vs 9 repetitions of
+    // the pattern), which Algorithm 2 flags; what stays replayable is
+    // the single-target call/return pair.
+    EXPECT_GE(res.records.size(), 3u);
+}
+
+TEST(TraceGenTest, ToyAes2IsConstantTime)
+{
+    Workload w = toyAes2();
+    EXPECT_TRUE(core::isConstantTime(w));
+}
+
+TEST(TraceGenTest, TimingsPopulated)
+{
+    auto res = core::generateTraces(toyAes2());
+    EXPECT_GE(res.timings.rawSec, 0.0);
+    EXPECT_GE(res.timings.kmersSec, 0.0);
+}
+
+} // namespace
