@@ -1,6 +1,19 @@
 /**
  * @file
- * Shared helpers for the table/figure reproduction binaries.
+ * Shared helpers for the table/figure reproduction binaries: math
+ * utilities, the common experiment CLI (--format/--out/--threads/
+ * --workloads/--suite/--list) and reporter plumbing.
+ *
+ * A migrated bench builds an ExperimentMatrix, runs it through the
+ * ExperimentRunner, and either emits the machine-readable report the
+ * user asked for (--format=json|csv) or falls through to its own
+ * paper-style table:
+ *
+ *   auto opts = bench::parseCli(argc, argv);
+ *   auto exp = bench::runMatrix(matrix, opts);
+ *   if (bench::emitReport(exp, opts))
+ *       return 0;
+ *   ... printf the figure table from exp.cells ...
  */
 
 #ifndef CASSANDRA_BENCH_BENCH_UTIL_HH
@@ -8,8 +21,15 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
+
+#include "core/experiment.hh"
+#include "crypto/workload_registry.hh"
 
 namespace cassandra::bench {
 
@@ -30,6 +50,179 @@ printRule(int width)
     for (int i = 0; i < width; i++)
         std::putchar('-');
     std::putchar('\n');
+}
+
+/** Options shared by every experiment bench. */
+struct CliOptions
+{
+    std::string format = "table"; ///< table | json | csv
+    std::string out;              ///< output path; empty = stdout
+    unsigned threads = 0;         ///< 0 = hardware concurrency
+    std::vector<std::string> workloads; ///< filter; empty = bench set
+    std::string suite;                  ///< filter; empty = all suites
+};
+
+inline void
+printCliHelp(const char *prog)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --format=F     output format: table (default), json, csv\n"
+        "  --out=PATH     write the report to PATH instead of stdout\n"
+        "  --threads=N    worker threads (default: hardware "
+        "concurrency)\n"
+        "  --workloads=A,B  run only the named workloads\n"
+        "  --suite=S      run only one suite (BearSSL, OpenSSL, PQC, "
+        "Synthetic)\n"
+        "  --list         list selectable workload names and exit\n"
+        "  --help         this text\n",
+        prog);
+}
+
+/**
+ * Parse the shared flags; exits on --help/--list/parse errors so
+ * benches only see well-formed options.
+ */
+inline CliOptions
+parseCli(int argc, char **argv)
+{
+    CliOptions opts;
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            size_t n = std::strlen(flag);
+            if (arg.compare(0, n, flag) != 0 || arg.size() <= n ||
+                arg[n] != '=')
+                return nullptr;
+            return arg.c_str() + n + 1;
+        };
+        if (arg == "--help" || arg == "-h") {
+            printCliHelp(argv[0]);
+            std::exit(0);
+        } else if (arg == "--list") {
+            const auto &reg = crypto::WorkloadRegistry::global();
+            for (const std::string &name : reg.names())
+                std::printf("%s (%s)\n", name.c_str(),
+                            reg.suiteOf(name).c_str());
+            std::exit(0);
+        } else if (const char *v = value("--format")) {
+            opts.format = v;
+        } else if (const char *v = value("--out")) {
+            opts.out = v;
+        } else if (const char *v = value("--threads")) {
+            char *end = nullptr;
+            unsigned long n = std::strtoul(v, &end, 10);
+            if (*v == '\0' || *end != '\0' || v[0] == '-' || n > 1024) {
+                std::fprintf(stderr, "invalid --threads=%s\n", v);
+                std::exit(2);
+            }
+            opts.threads = static_cast<unsigned>(n);
+        } else if (const char *v = value("--suite")) {
+            opts.suite = v;
+        } else if (const char *v = value("--workloads")) {
+            std::string list = v;
+            size_t pos = 0;
+            while (pos <= list.size()) {
+                size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                if (comma > pos)
+                    opts.workloads.push_back(
+                        list.substr(pos, comma - pos));
+                pos = comma + 1;
+            }
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            printCliHelp(argv[0]);
+            std::exit(2);
+        }
+    }
+    if (opts.format != "table" && opts.format != "json" &&
+        opts.format != "csv") {
+        std::fprintf(stderr, "unknown --format=%s\n",
+                     opts.format.c_str());
+        std::exit(2);
+    }
+    return opts;
+}
+
+/** Registry names of the Fig. 7 crypto set (no synthetic mixes). */
+inline std::vector<std::string>
+cryptoWorkloadNames()
+{
+    const auto &reg = crypto::WorkloadRegistry::global();
+    std::vector<std::string> out;
+    for (const char *suite : {"BearSSL", "OpenSSL", "PQC"})
+        for (const std::string &name : reg.names(suite))
+            out.push_back(name);
+    return out;
+}
+
+/**
+ * Apply the --workloads/--suite filters to a bench's default workload
+ * list. Unknown names in --workloads abort with a message.
+ */
+inline std::vector<std::string>
+selectWorkloads(const std::vector<std::string> &defaults,
+                const CliOptions &opts)
+{
+    const auto &reg = crypto::WorkloadRegistry::global();
+    std::vector<std::string> out;
+    if (!opts.workloads.empty()) {
+        for (const std::string &name : opts.workloads) {
+            if (!reg.contains(name)) {
+                std::fprintf(stderr, "unknown workload: %s\n",
+                             name.c_str());
+                std::exit(2);
+            }
+            out.push_back(name);
+        }
+        return out;
+    }
+    for (const std::string &name : defaults) {
+        if (opts.suite.empty() || reg.suiteOf(name) == opts.suite)
+            out.push_back(name);
+    }
+    if (out.empty()) {
+        std::fprintf(stderr, "no workloads selected\n");
+        std::exit(2);
+    }
+    return out;
+}
+
+/** Run a matrix with the registry resolver and the CLI's thread count. */
+inline core::Experiment
+runMatrix(const core::ExperimentMatrix &matrix, const CliOptions &opts)
+{
+    core::ExperimentRunner runner(
+        crypto::WorkloadRegistry::global().resolver(),
+        core::RunnerOptions{opts.threads});
+    return runner.run(matrix);
+}
+
+/**
+ * Emit the machine-readable report when one was requested. Returns
+ * true when the bench is done (json/csv written); false means the
+ * caller should print its paper-style table.
+ */
+inline bool
+emitReport(const core::Experiment &exp, const CliOptions &opts)
+{
+    if (opts.format == "table" && opts.out.empty())
+        return false;
+    auto reporter = core::makeReporter(opts.format);
+    if (opts.out.empty()) {
+        reporter->write(exp, std::cout);
+        return true;
+    }
+    std::ofstream file(opts.out);
+    if (!file) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     opts.out.c_str());
+        std::exit(1);
+    }
+    reporter->write(exp, file);
+    return true;
 }
 
 } // namespace cassandra::bench

@@ -4,20 +4,36 @@
  * Cassandra+STL and SPT over the BearSSL / OpenSSL / PQC workloads,
  * normalized to the Unsafe Baseline (lower is better), with the
  * geometric mean over all workloads.
+ *
+ * Built on the experiment API: the workload x scheme matrix runs
+ * through the parallel ExperimentRunner, and --format=json/csv dumps
+ * every counter of every cell through the structured reporters.
  */
 
 #include <cstdio>
 
 #include "bench/bench_util.hh"
-#include "core/system.hh"
-#include "crypto/workloads.hh"
+#include "core/experiment.hh"
+#include "crypto/workload_registry.hh"
 
 using namespace cassandra;
 using uarch::Scheme;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseCli(argc, argv);
+
+    core::ExperimentMatrix matrix;
+    matrix.workloads =
+        bench::selectWorkloads(bench::cryptoWorkloadNames(), opts);
+    matrix.schemes = {Scheme::UnsafeBaseline, Scheme::Cassandra,
+                      Scheme::CassandraStl, Scheme::Spt};
+
+    auto exp = bench::runMatrix(matrix, opts);
+    if (bench::emitReport(exp, opts))
+        return 0;
+
     uarch::CoreParams params;
     std::printf("Core (Table 3): %u-wide F/I/C, ROB %u, IQ %u, "
                 "LQ/SQ %u/%u, LTAGE-class BPU,\n"
@@ -37,27 +53,25 @@ main()
 
     std::vector<double> g_cass, g_stl, g_spt;
     std::string last_suite;
-    for (auto &w : crypto::allCryptoWorkloads()) {
-        if (w.suite != last_suite) {
-            std::printf("-- %s --\n", w.suite.c_str());
-            last_suite = w.suite;
+    for (const std::string &name : matrix.workloads) {
+        const auto *base = exp.find(name, Scheme::UnsafeBaseline);
+        const auto *cass = exp.find(name, Scheme::Cassandra);
+        const auto *stl = exp.find(name, Scheme::CassandraStl);
+        const auto *spt = exp.find(name, Scheme::Spt);
+        if (base->suite != last_suite) {
+            std::printf("-- %s --\n", base->suite.c_str());
+            last_suite = base->suite;
         }
-        core::System sys(std::move(w));
-        auto base = sys.run(Scheme::UnsafeBaseline);
-        auto cass = sys.run(Scheme::Cassandra);
-        auto stl = sys.run(Scheme::CassandraStl);
-        auto spt = sys.run(Scheme::Spt);
-        double b = static_cast<double>(base.stats.cycles);
-        double rc = cass.stats.cycles / b;
-        double rs = stl.stats.cycles / b;
-        double rp = spt.stats.cycles / b;
+        double b = static_cast<double>(base->result.stats.cycles);
+        double rc = cass->result.stats.cycles / b;
+        double rs = stl->result.stats.cycles / b;
+        double rp = spt->result.stats.cycles / b;
         g_cass.push_back(rc);
         g_stl.push_back(rs);
         g_spt.push_back(rp);
-        std::printf("%-22s %10llu %10.4f %14.4f %8.4f\n",
-                    sys.workload().name.c_str(),
+        std::printf("%-22s %10llu %10.4f %14.4f %8.4f\n", name.c_str(),
                     static_cast<unsigned long long>(
-                        base.stats.instructions),
+                        base->result.stats.instructions),
                     rc, rs, rp);
     }
     bench::printRule(70);

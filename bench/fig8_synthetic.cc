@@ -5,41 +5,68 @@
  * normalized to the Unsafe Baseline of each benchmark. The chacha20
  * mixes keep the stack public (HACL*-style); the curve25519 mixes
  * annotate the stack and field-element buffers as secret.
+ *
+ * Mixes are selected through the registry's parameterized names
+ * ("synthetic/<kernel>/<sandbox-pct>"), so e.g.
+ * --workloads=synthetic/chacha20/60 sweeps points outside the paper's
+ * grid.
  */
 
 #include <cstdio>
 
 #include "bench/bench_util.hh"
-#include "core/system.hh"
-#include "crypto/workloads.hh"
+#include "core/experiment.hh"
+#include "crypto/workload_registry.hh"
 
 using namespace cassandra;
 using uarch::Scheme;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseCli(argc, argv);
+
+    core::ExperimentMatrix matrix;
+    matrix.workloads = bench::selectWorkloads(
+        crypto::WorkloadRegistry::global().names("Synthetic"), opts);
+    matrix.schemes = {Scheme::UnsafeBaseline, Scheme::Prospect,
+                      Scheme::CassandraProspect};
+
+    auto exp = bench::runMatrix(matrix, opts);
+    if (bench::emitReport(exp, opts))
+        return 0;
+
     std::printf("Figure 8: overhead vs the Unsafe Baseline of each mix "
                 "(negative = speedup)\n\n");
     std::printf("%-34s %12s %22s\n", "Mix", "ProSpeCT",
                 "Cassandra+ProSpeCT");
     bench::printRule(72);
-    for (const char *kernel : {"chacha20", "curve25519"}) {
-        std::printf("-- %s (%s stack) --\n", kernel,
-                    std::string(kernel) == "chacha20" ? "public"
-                                                      : "secret");
-        for (int pct : {90, 75, 50, 25, 0}) {
-            auto w = crypto::syntheticMixWorkload(kernel, pct);
-            core::System sys(std::move(w));
-            auto base = sys.run(Scheme::UnsafeBaseline);
-            auto pros = sys.run(Scheme::Prospect);
-            auto combo = sys.run(Scheme::CassandraProspect);
-            double b = static_cast<double>(base.stats.cycles);
-            std::printf("%-34s %11.2f%% %21.2f%%\n",
-                        sys.workload().name.c_str(),
-                        (pros.stats.cycles / b - 1.0) * 100.0,
-                        (combo.stats.cycles / b - 1.0) * 100.0);
+    std::string last_group;
+    for (const std::string &name : matrix.workloads) {
+        // "synthetic/<kernel>/<pct>"; other registry names (allowed
+        // via --workloads) group under their own plain header.
+        size_t a = name.find('/');
+        size_t b = name.rfind('/');
+        std::string group;
+        if (a != std::string::npos && b > a) {
+            std::string kernel = name.substr(a + 1, b - a - 1);
+            group = kernel + (kernel == "chacha20" ? " (public stack)"
+                                                   : " (secret stack)");
+        } else {
+            group = name;
         }
+        if (group != last_group) {
+            std::printf("-- %s --\n", group.c_str());
+            last_group = group;
+        }
+        const auto *base = exp.find(name, Scheme::UnsafeBaseline);
+        const auto *pros = exp.find(name, Scheme::Prospect);
+        const auto *combo = exp.find(name, Scheme::CassandraProspect);
+        double b_cycles = static_cast<double>(base->result.stats.cycles);
+        std::printf("%-34s %11.2f%% %21.2f%%\n", name.c_str(),
+                    (pros->result.stats.cycles / b_cycles - 1.0) * 100.0,
+                    (combo->result.stats.cycles / b_cycles - 1.0) *
+                        100.0);
     }
     std::printf("\nPaper reference: chacha20 0.0..0.8%% (ProSpeCT) vs "
                 "-0.2..-2.8%% (Cassandra+ProSpeCT);\n"

@@ -10,34 +10,45 @@
 #include <map>
 
 #include "bench/bench_util.hh"
-#include "core/system.hh"
-#include "crypto/workloads.hh"
+#include "core/experiment.hh"
+#include "crypto/workload_registry.hh"
 
 using namespace cassandra;
 using uarch::Scheme;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseCli(argc, argv);
+
+    core::ExperimentMatrix matrix;
+    matrix.workloads =
+        bench::selectWorkloads(bench::cryptoWorkloadNames(), opts);
+    matrix.schemes = {Scheme::UnsafeBaseline, Scheme::Cassandra,
+                      Scheme::CassandraLite};
+
+    auto exp = bench::runMatrix(matrix, opts);
+    if (bench::emitReport(exp, opts))
+        return 0;
+
     std::printf("Q3: Cassandra-lite slowdown over full Cassandra\n\n");
     std::printf("%-22s %10s %10s %10s\n", "Workload", "lite/cass",
                 "lite/base", "cass/base");
     bench::printRule(58);
 
     std::map<std::string, std::vector<double>> suite_ratios;
-    for (auto &w : crypto::allCryptoWorkloads()) {
-        std::string suite = w.suite;
-        core::System sys(std::move(w));
-        auto base = sys.run(Scheme::UnsafeBaseline);
-        auto cass = sys.run(Scheme::Cassandra);
-        auto lite = sys.run(Scheme::CassandraLite);
-        double lc = static_cast<double>(lite.stats.cycles) /
-            cass.stats.cycles;
-        std::printf("%-22s %10.4f %10.4f %10.4f\n",
-                    sys.workload().name.c_str(), lc,
-                    double(lite.stats.cycles) / base.stats.cycles,
-                    double(cass.stats.cycles) / base.stats.cycles);
-        suite_ratios[suite].push_back(lc);
+    for (const std::string &name : matrix.workloads) {
+        const auto *base = exp.find(name, Scheme::UnsafeBaseline);
+        const auto *cass = exp.find(name, Scheme::Cassandra);
+        const auto *lite = exp.find(name, Scheme::CassandraLite);
+        double lc = static_cast<double>(lite->result.stats.cycles) /
+            cass->result.stats.cycles;
+        std::printf("%-22s %10.4f %10.4f %10.4f\n", name.c_str(), lc,
+                    double(lite->result.stats.cycles) /
+                        base->result.stats.cycles,
+                    double(cass->result.stats.cycles) /
+                        base->result.stats.cycles);
+        suite_ratios[base->suite].push_back(lc);
     }
     bench::printRule(58);
     for (const auto &[suite, ratios] : suite_ratios) {

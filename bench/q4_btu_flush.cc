@@ -4,22 +4,50 @@
  * context switches. The paper flushes at 250 Hz (12M cycles at 3 GHz)
  * and sees the average improvement drop from 1.85% to 1.80%; our runs
  * are shorter, so we additionally sweep much more aggressive periods.
+ * The flush period is swept as SimConfig variants of one matrix.
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench/bench_util.hh"
-#include "core/system.hh"
-#include "crypto/workloads.hh"
+#include "core/experiment.hh"
+#include "crypto/workload_registry.hh"
 
 using namespace cassandra;
 using uarch::Scheme;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseCli(argc, argv);
+
     const uint64_t periods[] = {0, 12'000'000, 1'000'000, 100'000,
                                 10'000};
+    core::SimConfig base_cfg;
+    core::ExperimentMatrix matrix;
+    matrix.workloads =
+        bench::selectWorkloads(bench::cryptoWorkloadNames(), opts);
+    matrix.schemes = {Scheme::Cassandra};
+    for (uint64_t p : periods) {
+        std::string name = p == 0 ? "never" : std::to_string(p);
+        matrix.configs.push_back(
+            base_cfg.withFlushPeriod(p).named("flush=" + name));
+    }
+    // The baseline has no BTU to flush: run it once per workload.
+    core::ExperimentMatrix base_matrix;
+    base_matrix.workloads = matrix.workloads;
+    base_matrix.schemes = {Scheme::UnsafeBaseline};
+    base_matrix.configs = {base_cfg.named("flush=never")};
+
+    auto exp = bench::runMatrix(base_matrix, opts);
+    auto sweep = bench::runMatrix(matrix, opts);
+    exp.cells.insert(exp.cells.end(),
+                     std::make_move_iterator(sweep.cells.begin()),
+                     std::make_move_iterator(sweep.cells.end()));
+    if (bench::emitReport(exp, opts))
+        return 0;
+
     std::printf("Q4: Cassandra speedup vs baseline under periodic BTU "
                 "flushes\n\n");
     std::printf("%-14s", "flush period");
@@ -33,16 +61,17 @@ main()
     bench::printRule(14 + 12 * 5);
 
     std::vector<std::vector<double>> ratios(5);
-    for (auto &w : crypto::allCryptoWorkloads()) {
-        core::System sys(std::move(w));
-        auto base = sys.run(Scheme::UnsafeBaseline);
-        std::printf("%-14s", sys.workload().name.substr(0, 13).c_str());
+    for (const std::string &name : matrix.workloads) {
+        const auto *base =
+            exp.find(name, Scheme::UnsafeBaseline, "flush=never");
+        std::printf("%-14s", name.substr(0, 13).c_str());
         for (size_t i = 0; i < 5; i++) {
-            uarch::CoreParams params;
-            params.btuFlushPeriod = periods[i];
-            auto cass = sys.run(Scheme::Cassandra, params);
-            double r = static_cast<double>(cass.stats.cycles) /
-                base.stats.cycles;
+            std::string cfg = periods[i] == 0
+                ? "flush=never"
+                : "flush=" + std::to_string(periods[i]);
+            const auto *cass = exp.find(name, Scheme::Cassandra, cfg);
+            double r = static_cast<double>(cass->result.stats.cycles) /
+                base->result.stats.cycles;
             ratios[i].push_back(r);
             std::printf("%12.4f", r);
         }

@@ -10,14 +10,16 @@
 #include <cstdio>
 
 #include "core/system.hh"
-#include "crypto/workloads.hh"
+#include "crypto/workload_registry.hh"
 
 using namespace cassandra;
 
 int
 main()
 {
-    core::System sys(crypto::chacha20CtWorkload());
+    // Workloads are registry entries, selectable by name.
+    core::System sys(
+        crypto::WorkloadRegistry::global().make("ChaCha20_ct"));
 
     if (!sys.verifyOutput()) {
         std::printf("ciphertext mismatch against the RFC reference!\n");

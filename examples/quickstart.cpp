@@ -93,10 +93,12 @@ main()
                     kmers.patternsToString().c_str());
     }
 
-    // End to end: Algorithm 2 + timing runs.
+    // End to end: Algorithm 2 + timing runs, through SimConfig (the
+    // same object benches sweep: scheme, core width, BTU geometry...).
     core::System sys(w);
-    auto base = sys.run(uarch::Scheme::UnsafeBaseline);
-    auto cass = sys.run(uarch::Scheme::Cassandra);
+    core::SimConfig config;
+    auto base = sys.run(config);
+    auto cass = sys.run(config.withScheme(uarch::Scheme::Cassandra));
     std::printf("\nUnsafe Baseline : %llu cycles\n",
                 static_cast<unsigned long long>(base.stats.cycles));
     std::printf("Cassandra       : %llu cycles "

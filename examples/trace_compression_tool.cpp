@@ -2,6 +2,8 @@
  * @file
  * Trace-compression CLI: runs the Algorithm 2 analysis on a named
  * workload and prints a Table-1-style row plus the per-branch detail.
+ * Names resolve through the workload registry, so parameterized
+ * entries (kyber768, synthetic/chacha20/75, ...) work too.
  *
  *   ./examples/trace_compression_tool [workload-name]
  *   ./examples/trace_compression_tool --list
@@ -11,44 +13,43 @@
 #include <cstring>
 
 #include "core/tracegen.hh"
-#include "crypto/workloads.hh"
+#include "crypto/workload_registry.hh"
 
 using namespace cassandra;
 
 int
 main(int argc, char **argv)
 {
-    auto all = crypto::allCryptoWorkloads();
+    const auto &reg = crypto::WorkloadRegistry::global();
     if (argc > 1 && std::strcmp(argv[1], "--list") == 0) {
-        for (const auto &w : all)
-            std::printf("%s (%s)\n", w.name.c_str(), w.suite.c_str());
+        for (const auto &name : reg.names())
+            std::printf("%s (%s)\n", name.c_str(),
+                        reg.suiteOf(name).c_str());
         return 0;
     }
     const char *name = argc > 1 ? argv[1] : "ChaCha20_ct";
-    for (const auto &w : all) {
-        if (w.name != name)
-            continue;
-        auto res = core::generateTraces(w);
-        std::printf("%s (%s): %zu static crypto branches\n",
-                    w.name.c_str(), w.suite.c_str(),
-                    res.records.size());
-        std::printf("trace pages: %zu bytes; hints: %zu bits\n\n",
-                    res.image.traceBytes(), res.image.hintBits());
-        std::printf("%-12s %10s %8s %10s  %s\n", "branch", "vanilla",
-                    "kmers", "rate", "kind");
-        for (const auto &rec : res.records) {
-            const char *kind = rec.singleTarget ? "single-target"
-                : rec.inputDependent           ? "input-dependent"
-                : rec.rejection != core::TraceRejection::None
-                ? "stall (encode limit)"
-                : "replayable";
-            std::printf("0x%-10llx %10zu %8zu %10.1f  %s\n",
-                        static_cast<unsigned long long>(rec.pc),
-                        rec.vanillaSize, rec.kmersSize,
-                        rec.compressionRate(), kind);
-        }
-        return 0;
+    if (!reg.contains(name)) {
+        std::printf("unknown workload '%s'; try --list\n", name);
+        return 1;
     }
-    std::printf("unknown workload '%s'; try --list\n", name);
-    return 1;
+    core::Workload w = reg.make(name);
+    auto res = core::generateTraces(w);
+    std::printf("%s (%s): %zu static crypto branches\n", w.name.c_str(),
+                w.suite.c_str(), res.records.size());
+    std::printf("trace pages: %zu bytes; hints: %zu bits\n\n",
+                res.image.traceBytes(), res.image.hintBits());
+    std::printf("%-12s %10s %8s %10s  %s\n", "branch", "vanilla",
+                "kmers", "rate", "kind");
+    for (const auto &rec : res.records) {
+        const char *kind = rec.singleTarget ? "single-target"
+            : rec.inputDependent           ? "input-dependent"
+            : rec.rejection != core::TraceRejection::None
+            ? "stall (encode limit)"
+            : "replayable";
+        std::printf("0x%-10llx %10zu %8zu %10.1f  %s\n",
+                    static_cast<unsigned long long>(rec.pc),
+                    rec.vanillaSize, rec.kmersSize,
+                    rec.compressionRate(), kind);
+    }
+    return 0;
 }

@@ -1,0 +1,404 @@
+#include "core/experiment.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+
+namespace cassandra::core {
+
+const CellResult *
+Experiment::find(const std::string &workload, uarch::Scheme scheme,
+                 const std::string &config) const
+{
+    for (const CellResult &c : cells) {
+        if (c.workload == workload && c.scheme == scheme &&
+            (config.empty() || c.config == config))
+            return &c;
+    }
+    return nullptr;
+}
+
+ExperimentRunner::ExperimentRunner(WorkloadResolver resolver,
+                                   RunnerOptions options)
+    : resolver_(std::move(resolver)), options_(options)
+{
+    if (!resolver_)
+        throw std::invalid_argument(
+            "ExperimentRunner needs a workload resolver");
+}
+
+Experiment
+ExperimentRunner::run(const ExperimentMatrix &matrix) const
+{
+    // Flatten the cross product up front so workers index into a
+    // fixed slot array: result order never depends on scheduling.
+    const std::vector<SimConfig> default_configs{SimConfig{}};
+    const std::vector<SimConfig> &configs =
+        matrix.configs.empty() ? default_configs : matrix.configs;
+
+    struct Cell
+    {
+        const std::string *workload;
+        uarch::Scheme scheme;
+        const SimConfig *config;
+    };
+    std::vector<Cell> cells;
+    cells.reserve(matrix.cellCount());
+    for (const std::string &w : matrix.workloads)
+        for (uarch::Scheme s : matrix.schemes)
+            for (const SimConfig &c : configs)
+                cells.push_back(Cell{&w, s, &c});
+
+    Experiment exp;
+    exp.cells.resize(cells.size());
+
+    unsigned threads = options_.threads;
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min<unsigned>(
+        threads, std::max<size_t>(cells.size(), 1));
+
+    std::atomic<size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+
+    auto worker = [&] {
+        for (;;) {
+            size_t i = next.fetch_add(1);
+            if (i >= cells.size())
+                return;
+            {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (first_error)
+                    return; // fail fast, keep remaining cells empty
+            }
+            try {
+                const Cell &cell = cells[i];
+                Workload w = resolver_(*cell.workload);
+                CellResult &out = exp.cells[i];
+                // Keyed by the matrix name (not Workload::name) so
+                // Experiment::find works with whatever the caller
+                // spelled, parameterized entries included.
+                out.workload = *cell.workload;
+                out.suite = w.suite;
+                out.scheme = cell.scheme;
+                out.config = cell.config->name;
+                SimConfig cfg = *cell.config;
+                cfg.scheme = cell.scheme;
+                System sys(std::move(w));
+                out.result = sys.run(cfg);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                return;
+            }
+        }
+    };
+
+    if (threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; t++)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return exp;
+}
+
+// ---------------------------------------------------------------------
+// Reporters
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** JSON string escaping (control chars, quotes, backslash). */
+std::string
+jsonEscaped(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char ch : s) {
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+/** One key/value emitter keeping track of comma placement. */
+class JsonObject
+{
+  public:
+    JsonObject(std::ostream &os, int indent) : os_(os), indent_(indent) {}
+
+    void
+    field(const char *key, uint64_t v)
+    {
+        prefix(key);
+        os_ << v;
+    }
+
+    void
+    field(const char *key, double v)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.6f", v);
+        prefix(key);
+        os_ << buf;
+    }
+
+    void
+    field(const char *key, const std::string &v)
+    {
+        prefix(key);
+        os_ << '"' << jsonEscaped(v) << '"';
+    }
+
+    std::ostream &
+    object(const char *key)
+    {
+        prefix(key);
+        return os_;
+    }
+
+  private:
+    void
+    prefix(const char *key)
+    {
+        if (!first_)
+            os_ << ",";
+        first_ = false;
+        os_ << "\n";
+        for (int i = 0; i < indent_; i++)
+            os_ << ' ';
+        os_ << '"' << key << "\": ";
+    }
+
+    std::ostream &os_;
+    int indent_;
+    bool first_ = true;
+};
+
+void
+writeCacheLevel(JsonObject &parent, const char *key, uint64_t accesses,
+                uint64_t misses)
+{
+    std::ostream &os = parent.object(key);
+    os << "{\"accesses\": " << accesses << ", \"misses\": " << misses
+       << "}";
+}
+
+} // namespace
+
+void
+TableReporter::write(const Experiment &exp, std::ostream &os) const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%-28s %-10s %-18s %-14s %12s %12s %6s %10s %10s\n",
+                  "workload", "suite", "scheme", "config", "cycles",
+                  "insts", "ipc", "btu_hits", "mispred");
+    os << buf;
+    os << std::string(127, '-') << "\n";
+    for (const CellResult &c : exp.cells) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "%-28s %-10s %-18s %-14s %12llu %12llu %6.2f %10llu %10llu\n",
+            c.workload.c_str(), c.suite.c_str(),
+            uarch::schemeName(c.scheme), c.config.c_str(),
+            static_cast<unsigned long long>(c.result.stats.cycles),
+            static_cast<unsigned long long>(c.result.stats.instructions),
+            c.result.stats.ipc(),
+            static_cast<unsigned long long>(c.result.btu.hits +
+                                            c.result.btu.singleTargetHits),
+            static_cast<unsigned long long>(
+                c.result.stats.condMispredicts));
+        os << buf;
+    }
+}
+
+void
+JsonReporter::write(const Experiment &exp, std::ostream &os) const
+{
+    os << "{\n  \"results\": [";
+    bool first_cell = true;
+    for (const CellResult &c : exp.cells) {
+        if (!first_cell)
+            os << ",";
+        first_cell = false;
+        os << "\n    {";
+        JsonObject o(os, 6);
+        o.field("workload", c.workload);
+        o.field("suite", c.suite);
+        o.field("scheme", std::string(uarch::schemeName(c.scheme)));
+        o.field("config", c.config);
+        const uarch::CoreStats &s = c.result.stats;
+        o.field("cycles", s.cycles);
+        o.field("instructions", s.instructions);
+        o.field("ipc", s.ipc());
+        {
+            std::ostream &core_os = o.object("core");
+            core_os << "{";
+            JsonObject co(os, 8);
+            co.field("branches", s.branches);
+            co.field("crypto_branches", s.cryptoBranches);
+            co.field("cond_mispredicts", s.condMispredicts);
+            co.field("indirect_mispredicts", s.indirectMispredicts);
+            co.field("return_mispredicts", s.returnMispredicts);
+            co.field("decode_redirects", s.decodeRedirects);
+            co.field("integrity_stalls", s.integrityStalls);
+            co.field("resolve_stalls", s.resolveStalls);
+            co.field("btu_fill_stalls", s.btuFillStalls);
+            co.field("btu_window_stalls", s.btuWindowStalls);
+            co.field("btu_flushes", s.btuFlushes);
+            co.field("btu_mismatches", s.btuMismatches);
+            co.field("loads", s.loads);
+            co.field("stores", s.stores);
+            co.field("stl_forwards", s.stlForwards);
+            co.field("scheme_load_delays", s.schemeLoadDelays);
+            co.field("prospect_blocks", s.prospectBlocks);
+            co.field("icache_miss_bubbles", s.icacheMissBubbles);
+            core_os << "\n      }";
+        }
+        {
+            const btu::BtuStats &b = c.result.btu;
+            std::ostream &btu_os = o.object("btu");
+            btu_os << "{";
+            JsonObject bo(os, 8);
+            bo.field("lookups", b.lookups);
+            bo.field("single_target_hits", b.singleTargetHits);
+            bo.field("hits", b.hits);
+            bo.field("misses", b.misses);
+            bo.field("evictions", b.evictions);
+            bo.field("checkpoint_restores", b.checkpointRestores);
+            bo.field("stall_resolve", b.stallResolve);
+            bo.field("window_stalls", b.windowStalls);
+            bo.field("prefetches", b.prefetches);
+            bo.field("flushes", b.flushes);
+            bo.field("commits", b.commits);
+            bo.field("squash_rewinds", b.squashRewinds);
+            btu_os << "\n      }";
+        }
+        {
+            const uarch::BpuStats &b = c.result.bpu;
+            std::ostream &bpu_os = o.object("bpu");
+            bpu_os << "{";
+            JsonObject bo(os, 8);
+            bo.field("cond_lookups", b.condLookups);
+            bo.field("cond_mispredicts", b.condMispredicts);
+            bo.field("loop_overrides", b.loopOverrides);
+            bo.field("btb_lookups", b.btbLookups);
+            bo.field("btb_misses", b.btbMisses);
+            bo.field("indirect_mispredicts", b.indirectMispredicts);
+            bo.field("rsb_pushes", b.rsbPushes);
+            bo.field("rsb_pops", b.rsbPops);
+            bo.field("return_mispredicts", b.returnMispredicts);
+            bo.field("updates", b.updates);
+            bpu_os << "\n      }";
+        }
+        {
+            const CacheActivity &ca = c.result.caches;
+            std::ostream &cache_os = o.object("caches");
+            cache_os << "{";
+            JsonObject co(os, 8);
+            writeCacheLevel(co, "l1i", ca.l1iAccesses, ca.l1iMisses);
+            writeCacheLevel(co, "l1d", ca.l1dAccesses, ca.l1dMisses);
+            writeCacheLevel(co, "l2", ca.l2Accesses, ca.l2Misses);
+            writeCacheLevel(co, "l3", ca.l3Accesses, ca.l3Misses);
+            cache_os << "\n      }";
+        }
+        os << "\n    }";
+    }
+    os << "\n  ]\n}\n";
+}
+
+void
+CsvReporter::write(const Experiment &exp, std::ostream &os) const
+{
+    os << "workload,suite,scheme,config,cycles,instructions,ipc,"
+          "branches,crypto_branches,cond_mispredicts,resolve_stalls,"
+          "btu_lookups,btu_hits,btu_misses,btu_evictions,"
+          "l1i_accesses,l1i_misses,l1d_accesses,l1d_misses,"
+          "l2_accesses,l2_misses,l3_accesses,l3_misses\n";
+    for (const CellResult &c : exp.cells) {
+        // Commas inside names (none today) would corrupt rows; quote
+        // defensively when present.
+        auto cell = [](const std::string &s) {
+            if (s.find(',') == std::string::npos &&
+                s.find('"') == std::string::npos)
+                return s;
+            std::string quoted = "\"";
+            for (char ch : s) {
+                if (ch == '"')
+                    quoted += '"';
+                quoted += ch;
+            }
+            quoted += '"';
+            return quoted;
+        };
+        const uarch::CoreStats &s = c.result.stats;
+        const btu::BtuStats &b = c.result.btu;
+        const CacheActivity &ca = c.result.caches;
+        char ipc_buf[32];
+        std::snprintf(ipc_buf, sizeof(ipc_buf), "%.6f", s.ipc());
+        os << cell(c.workload) << ',' << cell(c.suite) << ','
+           << uarch::schemeName(c.scheme) << ',' << cell(c.config) << ','
+           << s.cycles << ',' << s.instructions << ',' << ipc_buf << ','
+           << s.branches << ',' << s.cryptoBranches << ','
+           << s.condMispredicts << ',' << s.resolveStalls << ','
+           << b.lookups << ',' << b.hits + b.singleTargetHits << ','
+           << b.misses << ',' << b.evictions << ',' << ca.l1iAccesses
+           << ',' << ca.l1iMisses << ',' << ca.l1dAccesses << ','
+           << ca.l1dMisses << ',' << ca.l2Accesses << ',' << ca.l2Misses
+           << ',' << ca.l3Accesses << ',' << ca.l3Misses << "\n";
+    }
+}
+
+std::unique_ptr<Reporter>
+makeReporter(const std::string &format)
+{
+    if (format == "table")
+        return std::make_unique<TableReporter>();
+    if (format == "json")
+        return std::make_unique<JsonReporter>();
+    if (format == "csv")
+        return std::make_unique<CsvReporter>();
+    throw std::invalid_argument("unknown report format \"" + format +
+                                "\" (expected table, json or csv)");
+}
+
+} // namespace cassandra::core

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Declarative experiment matrices, the parallel runner and the result
+ * reporters.
+ *
+ * An ExperimentMatrix names workloads (resolved through a name ->
+ * Workload factory, normally crypto::WorkloadRegistry::global()
+ * .resolver()), protection schemes, and SimConfig variants; the
+ * runner executes the full workload x scheme x config cross product
+ * over a thread pool. Each cell builds its own System, so results are
+ * deterministic regardless of thread count, and the result vector is
+ * always in matrix order (workload-major, then scheme, then config).
+ *
+ *   core::ExperimentMatrix m;
+ *   m.workloads = {"ChaCha20_ct", "kyber768"};
+ *   m.schemes = {Scheme::UnsafeBaseline, Scheme::Cassandra};
+ *   core::ExperimentRunner runner(
+ *       crypto::WorkloadRegistry::global().resolver());
+ *   core::Experiment exp = runner.run(m);
+ *   core::makeReporter("json")->write(exp, std::cout);
+ */
+
+#ifndef CASSANDRA_CORE_EXPERIMENT_HH
+#define CASSANDRA_CORE_EXPERIMENT_HH
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sim_config.hh"
+#include "core/system.hh"
+
+namespace cassandra::core {
+
+/** Name -> Workload factory used to resolve matrix entries. */
+using WorkloadResolver = std::function<Workload(const std::string &)>;
+
+/** The workload x scheme x config cross product to execute. */
+struct ExperimentMatrix
+{
+    /** Workload names, resolved through the runner's resolver. */
+    std::vector<std::string> workloads;
+    /** Schemes; overrides the scheme field of each config. */
+    std::vector<uarch::Scheme> schemes;
+    /**
+     * SimConfig variants (scheme field ignored — the matrix schemes
+     * take its place per cell). Empty means one default config.
+     */
+    std::vector<SimConfig> configs;
+
+    size_t
+    cellCount() const
+    {
+        return workloads.size() * schemes.size() *
+            (configs.empty() ? 1 : configs.size());
+    }
+};
+
+/** One executed cell of the matrix. */
+struct CellResult
+{
+    std::string workload; ///< the matrix (registry) name of the cell
+    std::string suite;
+    uarch::Scheme scheme = uarch::Scheme::UnsafeBaseline;
+    std::string config; ///< SimConfig::name of the variant
+    ExperimentResult result;
+};
+
+/** All cells of one matrix run, in matrix order. */
+struct Experiment
+{
+    std::vector<CellResult> cells;
+
+    /**
+     * First cell matching workload + scheme (+ config when non-empty);
+     * null when absent.
+     */
+    const CellResult *find(const std::string &workload,
+                           uarch::Scheme scheme,
+                           const std::string &config = "") const;
+};
+
+/** Runner knobs. */
+struct RunnerOptions
+{
+    /** Worker threads; 0 means hardware concurrency. */
+    unsigned threads = 0;
+};
+
+/** Executes experiment matrices across a thread pool. */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(WorkloadResolver resolver,
+                              RunnerOptions options = {});
+
+    /**
+     * Run every cell of the matrix. Cells execute concurrently, each
+     * on its own System; the returned cells are in matrix order and
+     * bit-identical for any thread count. Worker exceptions (e.g.
+     * unknown workload names) are rethrown here.
+     */
+    Experiment run(const ExperimentMatrix &matrix) const;
+
+  private:
+    WorkloadResolver resolver_;
+    RunnerOptions options_;
+};
+
+/** Serializes an Experiment to a stream. */
+class Reporter
+{
+  public:
+    virtual ~Reporter() = default;
+    virtual void write(const Experiment &exp, std::ostream &os) const = 0;
+};
+
+/** Fixed-width text table (cycles, IPC, BTU/BPU headline counters). */
+class TableReporter : public Reporter
+{
+  public:
+    void write(const Experiment &exp, std::ostream &os) const override;
+};
+
+/** Full structured dump: every CoreStats/BtuStats/BpuStats/cache
+ * counter of every cell, as {"results": [...]}. */
+class JsonReporter : public Reporter
+{
+  public:
+    void write(const Experiment &exp, std::ostream &os) const override;
+};
+
+/** Flat spreadsheet-friendly rows (headline counters per cell). */
+class CsvReporter : public Reporter
+{
+  public:
+    void write(const Experiment &exp, std::ostream &os) const override;
+};
+
+/**
+ * Reporter by format name: "table", "json" or "csv".
+ * @throws std::invalid_argument on anything else.
+ */
+std::unique_ptr<Reporter> makeReporter(const std::string &format);
+
+} // namespace cassandra::core
+
+#endif // CASSANDRA_CORE_EXPERIMENT_HH

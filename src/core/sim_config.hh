@@ -1,0 +1,90 @@
+/**
+ * @file
+ * One simulation configuration, bundled.
+ *
+ * A SimConfig carries everything that defines a timing run — the
+ * protection scheme, the core parameters (Table 3) and the BTU
+ * geometry/timing — and flows intact from System::run through OooCore
+ * into the Btu constructor. Benches sweep any knob (BTU sets/ways/fill
+ * latency, core width, ROB size, cache geometry, flush period) by
+ * deriving configs from a base:
+ *
+ *   core::SimConfig cfg;
+ *   cfg.scheme = uarch::Scheme::Cassandra;
+ *   cfg.btu.ways = 4;
+ *   auto res = sys.run(cfg);
+ *
+ * The fluent with*() helpers return modified copies so a sweep can be
+ * written as a list of derived configs.
+ */
+
+#ifndef CASSANDRA_CORE_SIM_CONFIG_HH
+#define CASSANDRA_CORE_SIM_CONFIG_HH
+
+#include <string>
+#include <utility>
+
+#include "btu/btu.hh"
+#include "uarch/params.hh"
+
+namespace cassandra::core {
+
+/** Scheme + core + BTU parameters of one timing run. */
+struct SimConfig
+{
+    /** Label used by the experiment reporters ("default" base). */
+    std::string name = "default";
+    uarch::Scheme scheme = uarch::Scheme::UnsafeBaseline;
+    uarch::CoreParams core;
+    btu::BtuParams btu;
+
+    /** Copy with a new report label. */
+    SimConfig
+    named(std::string n) const
+    {
+        SimConfig c = *this;
+        c.name = std::move(n);
+        return c;
+    }
+
+    /** Copy under another protection scheme. */
+    SimConfig
+    withScheme(uarch::Scheme s) const
+    {
+        SimConfig c = *this;
+        c.scheme = s;
+        return c;
+    }
+
+    /** Copy with a different BTU geometry. */
+    SimConfig
+    withBtuGeometry(size_t sets, size_t ways) const
+    {
+        SimConfig c = *this;
+        c.btu.sets = sets;
+        c.btu.ways = ways;
+        return c;
+    }
+
+    /** Copy with a different BTU trace-fill latency. */
+    SimConfig
+    withBtuFillLatency(unsigned latency) const
+    {
+        SimConfig c = *this;
+        c.btu.fillLatency = latency;
+        return c;
+    }
+
+    /** Copy with a periodic BTU flush (paper Q4; 0 disables). */
+    SimConfig
+    withFlushPeriod(uint64_t period) const
+    {
+        SimConfig c = *this;
+        c.core.btuFlushPeriod = period;
+        return c;
+    }
+};
+
+} // namespace cassandra::core
+
+#endif // CASSANDRA_CORE_SIM_CONFIG_HH

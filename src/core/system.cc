@@ -23,12 +23,24 @@ System::timingTrace()
 ExperimentResult
 System::run(uarch::Scheme scheme)
 {
-    return run(scheme, uarch::CoreParams{});
+    SimConfig config;
+    config.scheme = scheme;
+    return run(config);
 }
 
 ExperimentResult
 System::run(uarch::Scheme scheme, const uarch::CoreParams &params)
 {
+    SimConfig config;
+    config.scheme = scheme;
+    config.core = params;
+    return run(config);
+}
+
+ExperimentResult
+System::run(const SimConfig &config)
+{
+    const uarch::Scheme scheme = config.scheme;
     const uarch::TimingTrace &base = timingTrace();
 
     // ProSpeCT schemes need the taint pre-pass; run it on a copy so
@@ -40,7 +52,7 @@ System::run(uarch::Scheme scheme, const uarch::CoreParams &params)
     if (uarch::schemeIsCassandra(scheme))
         image = &traces().image;
 
-    uarch::OooCore core(params, scheme, workload_.program, image);
+    uarch::OooCore core(config, workload_.program, image);
     ExperimentResult result;
     if (needs_taint && !workload_.secretRegions.empty()) {
         uarch::TimingTrace tainted = base;

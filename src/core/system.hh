@@ -20,6 +20,7 @@
 #include <optional>
 
 #include "btu/btu.hh"
+#include "core/sim_config.hh"
 #include "core/tracegen.hh"
 #include "core/workload.hh"
 #include "uarch/pipeline.hh"
@@ -58,9 +59,16 @@ class System
     /** Dynamic instruction stream of the evaluation input (cached). */
     const uarch::TimingTrace &timingTrace();
 
-    /** Run the timing model under a scheme. */
+    /**
+     * Run the timing model under a full configuration. The config's
+     * scheme, core parameters and BTU geometry all take effect; this
+     * is the primary entry point of the experiment API.
+     */
+    ExperimentResult run(const SimConfig &config);
+
+    /** Run under a scheme with default core/BTU parameters. */
     ExperimentResult run(uarch::Scheme scheme);
-    /** Run with explicit core parameters. */
+    /** Run with explicit core parameters (default BTU geometry). */
     ExperimentResult run(uarch::Scheme scheme,
                          const uarch::CoreParams &params);
 

@@ -1,0 +1,210 @@
+#include "crypto/workload_registry.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "crypto/workloads.hh"
+
+namespace cassandra::crypto {
+
+namespace {
+
+std::string
+lowered(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return out;
+}
+
+WorkloadRegistry
+buildGlobal()
+{
+    WorkloadRegistry reg;
+    // BearSSL suite (Fig. 7 / Table 1 order).
+    reg.add("AES_CTR", "BearSSL", aesCtrWorkload);
+    reg.add("CBC_ct", "BearSSL", cbcCtWorkload);
+    reg.add("ChaCha20_ct", "BearSSL", chacha20CtWorkload);
+    reg.add("DES_ct", "BearSSL", desCtWorkload);
+    reg.add("EC_c25519_i31", "BearSSL", ecC25519Workload);
+    reg.add("ECDSA_i31", "BearSSL", ecdsaWorkload);
+    reg.add("ModPow_i31", "BearSSL", modPowWorkload);
+    reg.add("MultiHash", "BearSSL", multiHashWorkload);
+    reg.add("Poly1305_ctmul", "BearSSL", poly1305Workload);
+    reg.add("RSA_i62", "BearSSL", rsaWorkload);
+    reg.add("SHA-256", "BearSSL", sha256BearsslWorkload);
+    reg.add("SHAKE", "BearSSL", shakeWorkload);
+    reg.add("TLS PRF", "BearSSL", tlsPrfWorkload);
+    // OpenSSL suite.
+    reg.add("chacha20", "OpenSSL", chacha20OpensslWorkload);
+    reg.add("curve25519", "OpenSSL", curve25519OpensslWorkload);
+    reg.add("sha256", "OpenSSL", sha256OpensslWorkload);
+    // PQC suite (parameterized kernels bound per entry).
+    reg.add("kyber512", "PQC", [] { return kyberWorkload(2); });
+    reg.add("kyber768", "PQC", [] { return kyberWorkload(3); });
+    reg.add("sphincs-haraka-128s", "PQC",
+            [] { return sphincsWorkload("haraka"); });
+    reg.add("sphincs-sha2-128s", "PQC",
+            [] { return sphincsWorkload("sha2"); });
+    reg.add("sphincs-shake-128s", "PQC",
+            [] { return sphincsWorkload("shake"); });
+    // SpectreGuard-style synthetic mixes (Fig. 8 grid).
+    for (const char *kernel : {"chacha20", "curve25519"}) {
+        for (int pct : {90, 75, 50, 25, 0}) {
+            std::string name = std::string("synthetic/") + kernel + "/" +
+                std::to_string(pct);
+            reg.add(name, "Synthetic", [kernel, pct] {
+                return syntheticMixWorkload(kernel, pct);
+            });
+        }
+    }
+    return reg;
+}
+
+} // namespace
+
+const WorkloadRegistry &
+WorkloadRegistry::global()
+{
+    static const WorkloadRegistry reg = buildGlobal();
+    return reg;
+}
+
+void
+WorkloadRegistry::add(std::string name, std::string suite, Factory factory)
+{
+    std::string key = lowered(name);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        entries_[it->second] =
+            Entry{std::move(name), std::move(suite), std::move(factory)};
+        return;
+    }
+    index_.emplace(std::move(key), entries_.size());
+    entries_.push_back(
+        Entry{std::move(name), std::move(suite), std::move(factory)});
+}
+
+const WorkloadRegistry::Entry *
+WorkloadRegistry::find(const std::string &name) const
+{
+    auto it = index_.find(lowered(name));
+    return it == index_.end() ? nullptr : &entries_[it->second];
+}
+
+bool
+WorkloadRegistry::parseSynthetic(const std::string &name,
+                                 std::string &kernel, int &pct)
+{
+    const std::string prefix = "synthetic/";
+    if (name.compare(0, prefix.size(), prefix) != 0)
+        return false;
+    size_t slash = name.find('/', prefix.size());
+    if (slash == std::string::npos || slash + 1 >= name.size())
+        return false;
+    kernel = name.substr(prefix.size(), slash - prefix.size());
+    const std::string pct_str = name.substr(slash + 1);
+    // Valid percentages are 0..99: at most two digits.
+    if (pct_str.empty() || pct_str.size() > 2 ||
+        !std::all_of(pct_str.begin(), pct_str.end(),
+                     [](unsigned char c) { return std::isdigit(c); }))
+        return false;
+    pct = std::stoi(pct_str);
+    return kernel == "chacha20" || kernel == "curve25519";
+}
+
+bool
+WorkloadRegistry::contains(const std::string &name) const
+{
+    std::string kernel;
+    int pct = 0;
+    return find(name) != nullptr ||
+        parseSynthetic(lowered(name), kernel, pct);
+}
+
+core::Workload
+WorkloadRegistry::make(const std::string &name) const
+{
+    if (const Entry *e = find(name))
+        return e->factory();
+
+    // Parameterized fallback: any synthetic/<kernel>/<pct> mix.
+    std::string kernel;
+    int pct = 0;
+    if (parseSynthetic(lowered(name), kernel, pct))
+        return syntheticMixWorkload(kernel, pct);
+
+    std::ostringstream msg;
+    msg << "unknown workload \"" << name << "\"; known workloads:";
+    for (const Entry &e : entries_)
+        msg << " " << e.name;
+    throw std::invalid_argument(msg.str());
+}
+
+const std::string &
+WorkloadRegistry::suiteOf(const std::string &name) const
+{
+    if (const Entry *e = find(name))
+        return e->suite;
+    static const std::string synthetic = "Synthetic";
+    std::string kernel;
+    int pct = 0;
+    if (parseSynthetic(lowered(name), kernel, pct))
+        return synthetic;
+    throw std::invalid_argument("unknown workload \"" + name + "\"");
+}
+
+std::vector<std::string>
+WorkloadRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const Entry &e : entries_)
+        out.push_back(e.name);
+    return out;
+}
+
+std::vector<std::string>
+WorkloadRegistry::names(const std::string &suite) const
+{
+    std::vector<std::string> out;
+    for (const Entry &e : entries_) {
+        if (e.suite == suite)
+            out.push_back(e.name);
+    }
+    return out;
+}
+
+std::vector<std::string>
+WorkloadRegistry::suites() const
+{
+    std::vector<std::string> out;
+    for (const Entry &e : entries_) {
+        if (std::find(out.begin(), out.end(), e.suite) == out.end())
+            out.push_back(e.suite);
+    }
+    return out;
+}
+
+std::vector<core::Workload>
+WorkloadRegistry::makeSuite(const std::string &suite) const
+{
+    std::vector<core::Workload> out;
+    for (const Entry &e : entries_) {
+        if (e.suite == suite)
+            out.push_back(e.factory());
+    }
+    return out;
+}
+
+std::function<core::Workload(const std::string &)>
+WorkloadRegistry::resolver() const
+{
+    return [this](const std::string &name) { return make(name); };
+}
+
+} // namespace cassandra::crypto

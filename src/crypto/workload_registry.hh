@@ -1,0 +1,95 @@
+/**
+ * @file
+ * String-keyed workload registry.
+ *
+ * Every benchmark the paper evaluates is registered under a stable
+ * name (the Workload::name it produces) with its suite tag, so
+ * scenarios are selectable by name from CLIs, configs and the
+ * ExperimentRunner:
+ *
+ *   auto w = crypto::WorkloadRegistry::global().make("kyber768");
+ *
+ * Lookup is case-insensitive ("chacha20_ct" finds "ChaCha20_ct").
+ * Parameterized entries are spelled as paths: the Fig. 8 mixes are
+ * pre-registered as "synthetic/<kernel>/<sandbox-pct>" (for example
+ * "synthetic/chacha20/75"), and any other percentage in [0, 99] is
+ * synthesized on demand from the same pattern. Unknown names raise
+ * std::invalid_argument listing the available entries.
+ */
+
+#ifndef CASSANDRA_CRYPTO_WORKLOAD_REGISTRY_HH
+#define CASSANDRA_CRYPTO_WORKLOAD_REGISTRY_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/workload.hh"
+
+namespace cassandra::crypto {
+
+/** Name -> factory table with suite tags. */
+class WorkloadRegistry
+{
+  public:
+    using Factory = std::function<core::Workload()>;
+
+    /** One registered scenario. */
+    struct Entry
+    {
+        /** Canonical name. Equals Workload::name for the crypto
+         * suites; synthetic entries use the path spelling
+         * ("synthetic/chacha20/75") while the built Workload carries
+         * its own descriptive name. */
+        std::string name;
+        std::string suite; ///< "BearSSL", "OpenSSL", "PQC", "Synthetic"
+        Factory factory;
+    };
+
+    /** The registry preloaded with every paper workload. */
+    static const WorkloadRegistry &global();
+
+    /** Register a scenario; later registrations shadow earlier ones. */
+    void add(std::string name, std::string suite, Factory factory);
+
+    /** True if make(name) would succeed. */
+    bool contains(const std::string &name) const;
+
+    /**
+     * Build the workload registered (or parameterized) as `name`.
+     * @throws std::invalid_argument for unknown names.
+     */
+    core::Workload make(const std::string &name) const;
+
+    /** Suite tag of a registered name (throws on unknown names). */
+    const std::string &suiteOf(const std::string &name) const;
+
+    /** Canonical names, in registration (paper) order. */
+    std::vector<std::string> names() const;
+
+    /** Canonical names of one suite, in registration order. */
+    std::vector<std::string> names(const std::string &suite) const;
+
+    /** Distinct suite tags, in first-appearance order. */
+    std::vector<std::string> suites() const;
+
+    /** Build every workload of one suite. */
+    std::vector<core::Workload> makeSuite(const std::string &suite) const;
+
+    /** Name-based factory adapter for core::ExperimentRunner. */
+    std::function<core::Workload(const std::string &)> resolver() const;
+
+  private:
+    const Entry *find(const std::string &name) const;
+    /** Parse "synthetic/<kernel>/<pct>"; null if not of that shape. */
+    static bool parseSynthetic(const std::string &name,
+                               std::string &kernel, int &pct);
+
+    std::vector<Entry> entries_;
+    std::map<std::string, size_t> index_; ///< lowercased name -> entry
+};
+
+} // namespace cassandra::crypto
+
+#endif // CASSANDRA_CRYPTO_WORKLOAD_REGISTRY_HH

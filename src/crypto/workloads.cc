@@ -3,6 +3,7 @@
 #include "crypto/kernels/keccak_kernel.hh"
 #include "crypto/ref/chacha20.hh"
 #include "crypto/ref/x25519.hh"
+#include "crypto/workload_registry.hh"
 
 namespace cassandra::crypto {
 
@@ -173,43 +174,21 @@ syntheticMixWorkload(const std::string &crypto_kernel, int sandbox_pct)
 std::vector<Workload>
 allCryptoWorkloads()
 {
+    // The registry holds the Fig. 7 order; the synthetic mixes
+    // (Fig. 8) are registered but not part of the crypto set.
+    const auto &reg = WorkloadRegistry::global();
     std::vector<Workload> out;
-    // BearSSL suite (Fig. 7 order).
-    out.push_back(aesCtrWorkload());
-    out.push_back(cbcCtWorkload());
-    out.push_back(chacha20CtWorkload());
-    out.push_back(desCtWorkload());
-    out.push_back(ecC25519Workload());
-    out.push_back(ecdsaWorkload());
-    out.push_back(modPowWorkload());
-    out.push_back(multiHashWorkload());
-    out.push_back(poly1305Workload());
-    out.push_back(rsaWorkload());
-    out.push_back(sha256BearsslWorkload());
-    out.push_back(shakeWorkload());
-    out.push_back(tlsPrfWorkload());
-    // OpenSSL suite.
-    out.push_back(chacha20OpensslWorkload());
-    out.push_back(curve25519OpensslWorkload());
-    out.push_back(sha256OpensslWorkload());
-    // PQC suite.
-    out.push_back(kyberWorkload(2));
-    out.push_back(kyberWorkload(3));
-    out.push_back(sphincsWorkload("haraka"));
-    out.push_back(sphincsWorkload("sha2"));
-    out.push_back(sphincsWorkload("shake"));
+    for (const char *suite : {"BearSSL", "OpenSSL", "PQC"}) {
+        for (auto &w : reg.makeSuite(suite))
+            out.push_back(std::move(w));
+    }
     return out;
 }
 
 std::vector<Workload>
 suiteWorkloads(const std::string &suite)
 {
-    std::vector<Workload> out;
-    for (auto &w : allCryptoWorkloads()) {
-        if (w.suite == suite)
-            out.push_back(std::move(w));
-    }
-    return out;
+    return WorkloadRegistry::global().makeSuite(suite);
 }
 
 } // namespace cassandra::crypto

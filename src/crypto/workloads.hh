@@ -38,7 +38,11 @@ Workload sphincsWorkload(const std::string &backend);
 Workload syntheticMixWorkload(const std::string &crypto_kernel,
                               int sandbox_pct);
 
-/** All cryptographic workloads of Fig. 7, in the paper's order. */
+/**
+ * All cryptographic workloads of Fig. 7, in the paper's order.
+ * Thin wrapper over WorkloadRegistry::global() (workload_registry.hh),
+ * which also offers by-name lookup and suite filters.
+ */
 std::vector<Workload> allCryptoWorkloads();
 
 /** Subset by suite name ("BearSSL", "OpenSSL", "PQC"). */

@@ -86,12 +86,10 @@ struct CoreParams
     CacheParams l3{30 * 1024 * 1024, 64, 16, 40};
     uint32_t memLatency = 200;
 
-    // BTU.
-    uint32_t btuFillLatency = 14; ///< trace fill from data pages
-
     /**
      * Interrupt-driven BTU flush period in cycles; 0 disables. Q4 uses
-     * 250 Hz at a 3 GHz clock = 12M cycles.
+     * 250 Hz at a 3 GHz clock = 12M cycles. (BTU geometry and fill
+     * latency live in btu::BtuParams, threaded via core::SimConfig.)
      */
     uint64_t btuFlushPeriod = 0;
 };

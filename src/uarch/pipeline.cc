@@ -137,16 +137,26 @@ annotateTaint(TimingTrace &trace, const ir::Program &program,
     (void)program;
 }
 
+OooCore::OooCore(const core::SimConfig &config, const ir::Program &program,
+                 const core::TraceImage *image)
+    : params_(config.core), btuParams_(config.btu), scheme_(config.scheme),
+      program_(program), image_(image), memory_(params_)
+{
+    if (schemeUsesBtu(scheme_) && image_)
+        btu_ = std::make_unique<btu::Btu>(*image_, btuParams_);
+}
+
 OooCore::OooCore(const CoreParams &params, Scheme scheme,
                  const ir::Program &program, const core::TraceImage *image)
-    : params_(params), scheme_(scheme), program_(program), image_(image),
-      memory_(params)
+    : OooCore(
+          [&] {
+              core::SimConfig cfg;
+              cfg.scheme = scheme;
+              cfg.core = params;
+              return cfg;
+          }(),
+          program, image)
 {
-    if (schemeUsesBtu(scheme_) && image_) {
-        btu::BtuParams bp;
-        bp.fillLatency = params_.btuFillLatency;
-        btu_ = std::make_unique<btu::Btu>(*image_, bp);
-    }
 }
 
 CoreStats
@@ -252,7 +262,7 @@ OooCore::run(const TimingTrace &trace)
                             stats.btuMismatches++;
                         break;
                       case btu::Btu::Outcome::MissFill:
-                        fetch_clock += params_.btuFillLatency;
+                        fetch_clock += btuParams_.fillLatency;
                         stats.btuFillStalls++;
                         if (res.target != op.nextPc)
                             stats.btuMismatches++;

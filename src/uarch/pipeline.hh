@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "btu/btu.hh"
+#include "core/sim_config.hh"
 #include "core/trace_image.hh"
 #include "core/workload.hh"
 #include "uarch/bpu.hh"
@@ -119,12 +120,16 @@ class OooCore
 {
   public:
     /**
-     * @param params core configuration
-     * @param scheme protection scheme
+     * @param config full simulation configuration (scheme + core +
+     *        BTU geometry); flows into the Btu constructor
      * @param image trace image for Cassandra schemes (may be null for
      *        baseline/SPT/ProSpeCT)
      * @param program the program (crypto ranges, static instructions)
      */
+    OooCore(const core::SimConfig &config, const ir::Program &program,
+            const core::TraceImage *image = nullptr);
+
+    /** Legacy form: default BTU geometry. */
     OooCore(const CoreParams &params, Scheme scheme,
             const ir::Program &program,
             const core::TraceImage *image = nullptr);
@@ -137,6 +142,7 @@ class OooCore
     const Btb &btb() const { return btb_; }
     const MemoryHierarchy &memory() const { return memory_; }
     const CoreParams &params() const { return params_; }
+    const btu::BtuParams &btuParams() const { return btuParams_; }
     Scheme scheme() const { return scheme_; }
 
   private:
@@ -210,6 +216,7 @@ class OooCore
     };
 
     CoreParams params_;
+    btu::BtuParams btuParams_;
     Scheme scheme_;
     const ir::Program &program_;
     const core::TraceImage *image_;

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the unified experiment API: SimConfig plumbing through
+ * System -> OooCore -> Btu (BTU geometry really reaches the unit),
+ * ExperimentRunner determinism across thread counts, parity with the
+ * legacy System::run path, and the structured reporters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/experiment.hh"
+#include "core/sim_config.hh"
+#include "core/system.hh"
+#include "crypto/workload_registry.hh"
+
+namespace {
+
+using namespace cassandra;
+using core::ExperimentMatrix;
+using core::ExperimentRunner;
+using core::RunnerOptions;
+using core::SimConfig;
+using uarch::Scheme;
+
+core::Workload
+workload(const char *name)
+{
+    return crypto::WorkloadRegistry::global().make(name);
+}
+
+TEST(SimConfigTest, FluentDerivationsOnlyTouchTheirKnob)
+{
+    SimConfig base;
+    SimConfig derived = base.withBtuGeometry(2, 4)
+                            .withBtuFillLatency(40)
+                            .withScheme(Scheme::Cassandra)
+                            .named("sweep");
+    EXPECT_EQ(derived.btu.sets, 2u);
+    EXPECT_EQ(derived.btu.ways, 4u);
+    EXPECT_EQ(derived.btu.fillLatency, 40u);
+    EXPECT_EQ(derived.scheme, Scheme::Cassandra);
+    EXPECT_EQ(derived.name, "sweep");
+    EXPECT_EQ(derived.core.robSize, base.core.robSize);
+    // The base is untouched.
+    EXPECT_EQ(base.btu.ways, 16u);
+    EXPECT_EQ(base.scheme, Scheme::UnsafeBaseline);
+    EXPECT_EQ(base.name, "default");
+}
+
+TEST(SimConfigTest, BtuGeometryReachesTheUnit)
+{
+    // A branch-rich workload whose crypto working set exceeds one BTU
+    // entry: shrinking to a single entry must force evictions and
+    // change the cycle count.
+    core::System sys(workload("SHA-256"));
+    SimConfig cass;
+    cass.scheme = Scheme::Cassandra;
+
+    auto full = sys.run(cass);
+    auto tiny = sys.run(cass.withBtuGeometry(1, 1));
+
+    EXPECT_EQ(full.btu.evictions, 0u);
+    EXPECT_GT(tiny.btu.evictions, 0u);
+    EXPECT_NE(full.stats.cycles, tiny.stats.cycles);
+    EXPECT_LT(full.stats.cycles, tiny.stats.cycles);
+    // Replay stays exact regardless of geometry.
+    EXPECT_EQ(full.stats.btuMismatches, 0u);
+    EXPECT_EQ(tiny.stats.btuMismatches, 0u);
+}
+
+TEST(SimConfigTest, FillLatencyReachesTheMissPath)
+{
+    core::System sys(workload("SHA-256"));
+    SimConfig tiny;
+    tiny.scheme = Scheme::Cassandra;
+    tiny = tiny.withBtuGeometry(1, 1); // evictions -> refills
+
+    auto fast = sys.run(tiny.withBtuFillLatency(1));
+    auto slow = sys.run(tiny.withBtuFillLatency(400));
+    EXPECT_LT(fast.stats.cycles, slow.stats.cycles);
+}
+
+TEST(SimConfigTest, CoreParamsStillApply)
+{
+    core::System sys(workload("ChaCha20_ct"));
+    SimConfig wide;
+    wide.scheme = Scheme::Cassandra;
+    SimConfig narrow = wide;
+    narrow.core.fetchWidth = 1;
+    narrow.core.issueWidth = 1;
+    narrow.core.commitWidth = 1;
+    EXPECT_GT(sys.run(narrow).stats.cycles, sys.run(wide).stats.cycles);
+}
+
+TEST(SimConfigTest, LegacyOverloadsMatchSimConfig)
+{
+    core::System sys(workload("ChaCha20_ct"));
+    for (Scheme s : {Scheme::UnsafeBaseline, Scheme::Cassandra,
+                     Scheme::CassandraLite, Scheme::Spt}) {
+        SimConfig cfg;
+        cfg.scheme = s;
+        EXPECT_EQ(sys.run(s).stats.cycles, sys.run(cfg).stats.cycles)
+            << uarch::schemeName(s);
+    }
+    uarch::CoreParams params;
+    params.robSize = 64;
+    SimConfig cfg;
+    cfg.scheme = Scheme::Cassandra;
+    cfg.core = params;
+    EXPECT_EQ(sys.run(Scheme::Cassandra, params).stats.cycles,
+              sys.run(cfg).stats.cycles);
+}
+
+ExperimentMatrix
+smallMatrix()
+{
+    ExperimentMatrix m;
+    m.workloads = {"ChaCha20_ct", "SHAKE", "synthetic/chacha20/0"};
+    m.schemes = {Scheme::UnsafeBaseline, Scheme::Cassandra};
+    return m;
+}
+
+TEST(ExperimentRunnerTest, DeterministicAcrossThreadCounts)
+{
+    auto resolver = crypto::WorkloadRegistry::global().resolver();
+    auto one = ExperimentRunner(resolver, RunnerOptions{1})
+                   .run(smallMatrix());
+    auto four = ExperimentRunner(resolver, RunnerOptions{4})
+                    .run(smallMatrix());
+
+    ASSERT_EQ(one.cells.size(), 6u);
+    ASSERT_EQ(four.cells.size(), one.cells.size());
+    for (size_t i = 0; i < one.cells.size(); i++) {
+        EXPECT_EQ(one.cells[i].workload, four.cells[i].workload);
+        EXPECT_EQ(one.cells[i].scheme, four.cells[i].scheme);
+        EXPECT_EQ(one.cells[i].result.stats.cycles,
+                  four.cells[i].result.stats.cycles)
+            << one.cells[i].workload;
+        EXPECT_EQ(one.cells[i].result.btu.lookups,
+                  four.cells[i].result.btu.lookups);
+    }
+}
+
+TEST(ExperimentRunnerTest, ParityWithLegacySystemRun)
+{
+    auto exp = ExperimentRunner(
+                   crypto::WorkloadRegistry::global().resolver(),
+                   RunnerOptions{3})
+                   .run(smallMatrix());
+    for (const auto &cell : exp.cells) {
+        core::System sys(workload(cell.workload.c_str()));
+        auto legacy = sys.run(cell.scheme);
+        EXPECT_EQ(cell.result.stats.cycles, legacy.stats.cycles)
+            << cell.workload << " / "
+            << uarch::schemeName(cell.scheme);
+        EXPECT_EQ(cell.result.stats.instructions,
+                  legacy.stats.instructions);
+    }
+}
+
+TEST(ExperimentRunnerTest, MatrixOrderAndFind)
+{
+    ExperimentMatrix m;
+    m.workloads = {"ChaCha20_ct"};
+    m.schemes = {Scheme::Cassandra};
+    SimConfig base;
+    m.configs = {base, base.withBtuGeometry(1, 1).named("ways=1")};
+    auto exp = ExperimentRunner(
+                   crypto::WorkloadRegistry::global().resolver())
+                   .run(m);
+    ASSERT_EQ(exp.cells.size(), 2u);
+    EXPECT_EQ(exp.cells[0].config, "default");
+    EXPECT_EQ(exp.cells[1].config, "ways=1");
+    EXPECT_EQ(exp.find("ChaCha20_ct", Scheme::Cassandra, "ways=1"),
+              &exp.cells[1]);
+    EXPECT_EQ(exp.find("ChaCha20_ct", Scheme::Cassandra),
+              &exp.cells[0]);
+    EXPECT_EQ(exp.find("ChaCha20_ct", Scheme::Spt), nullptr);
+    EXPECT_EQ(exp.find("DES_ct", Scheme::Cassandra), nullptr);
+}
+
+TEST(ExperimentRunnerTest, UnknownWorkloadRethrows)
+{
+    ExperimentMatrix m;
+    m.workloads = {"rot13"};
+    m.schemes = {Scheme::UnsafeBaseline};
+    ExperimentRunner runner(
+        crypto::WorkloadRegistry::global().resolver(), RunnerOptions{2});
+    EXPECT_THROW(runner.run(m), std::invalid_argument);
+}
+
+TEST(ReporterTest, JsonAndCsvCaptureEveryCell)
+{
+    ExperimentMatrix m;
+    m.workloads = {"ChaCha20_ct"};
+    m.schemes = {Scheme::UnsafeBaseline, Scheme::Cassandra};
+    auto exp = ExperimentRunner(
+                   crypto::WorkloadRegistry::global().resolver())
+                   .run(m);
+
+    std::ostringstream json;
+    core::makeReporter("json")->write(exp, json);
+    const std::string j = json.str();
+    EXPECT_NE(j.find("\"results\""), std::string::npos);
+    EXPECT_NE(j.find("\"workload\": \"ChaCha20_ct\""),
+              std::string::npos);
+    EXPECT_NE(j.find("\"scheme\": \"Cassandra\""), std::string::npos);
+    EXPECT_NE(j.find("\"btu\""), std::string::npos);
+    EXPECT_NE(j.find("\"caches\""), std::string::npos);
+    EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+              std::count(j.begin(), j.end(), '}'));
+    EXPECT_EQ(std::count(j.begin(), j.end(), '['),
+              std::count(j.begin(), j.end(), ']'));
+
+    std::ostringstream csv;
+    core::makeReporter("csv")->write(exp, csv);
+    const std::string c = csv.str();
+    // Header + one row per cell.
+    EXPECT_EQ(std::count(c.begin(), c.end(), '\n'), 3);
+    EXPECT_NE(c.find("workload,suite,scheme,config,cycles"),
+              std::string::npos);
+
+    std::ostringstream table;
+    core::makeReporter("table")->write(exp, table);
+    EXPECT_NE(table.str().find("ChaCha20_ct"), std::string::npos);
+
+    EXPECT_THROW(core::makeReporter("yaml"), std::invalid_argument);
+}
+
+} // namespace

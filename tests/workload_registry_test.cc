@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for the string-keyed workload registry: known-name
+ * lookup (exact and case-insensitive), suite filters, parameterized
+ * entries and unknown-name errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crypto/workload_registry.hh"
+#include "crypto/workloads.hh"
+
+namespace {
+
+using namespace cassandra;
+using crypto::WorkloadRegistry;
+
+TEST(WorkloadRegistryTest, KnownNamesResolve)
+{
+    const auto &reg = WorkloadRegistry::global();
+    for (const char *name :
+         {"ChaCha20_ct", "DES_ct", "kyber768", "sphincs-shake-128s",
+          "curve25519", "TLS PRF"}) {
+        EXPECT_TRUE(reg.contains(name)) << name;
+    }
+    core::Workload w = reg.make("ChaCha20_ct");
+    EXPECT_EQ(w.name, "ChaCha20_ct");
+    EXPECT_EQ(w.suite, "BearSSL");
+    EXPECT_GT(w.program.size(), 0u);
+}
+
+TEST(WorkloadRegistryTest, LookupIsCaseInsensitive)
+{
+    const auto &reg = WorkloadRegistry::global();
+    EXPECT_TRUE(reg.contains("chacha20_ct"));
+    EXPECT_TRUE(reg.contains("KYBER768"));
+    EXPECT_EQ(reg.make("des_CT").name, "DES_ct");
+    // "chacha20" (OpenSSL) and "ChaCha20_ct" (BearSSL) stay distinct.
+    EXPECT_EQ(reg.make("chacha20").suite, "OpenSSL");
+}
+
+TEST(WorkloadRegistryTest, SuiteFilters)
+{
+    const auto &reg = WorkloadRegistry::global();
+    const auto suites = reg.suites();
+    ASSERT_EQ(suites.size(), 4u);
+    EXPECT_EQ(suites[0], "BearSSL");
+    EXPECT_EQ(suites[1], "OpenSSL");
+    EXPECT_EQ(suites[2], "PQC");
+    EXPECT_EQ(suites[3], "Synthetic");
+
+    EXPECT_EQ(reg.names("BearSSL").size(), 13u);
+    EXPECT_EQ(reg.names("OpenSSL").size(), 3u);
+    EXPECT_EQ(reg.names("PQC").size(), 5u);
+    EXPECT_EQ(reg.names("Synthetic").size(), 10u);
+    for (const auto &name : reg.names("PQC"))
+        EXPECT_EQ(reg.suiteOf(name), "PQC") << name;
+    EXPECT_TRUE(reg.names("NoSuchSuite").empty());
+}
+
+TEST(WorkloadRegistryTest, UnknownNamesThrow)
+{
+    const auto &reg = WorkloadRegistry::global();
+    EXPECT_FALSE(reg.contains("rot13"));
+    EXPECT_THROW(reg.make("rot13"), std::invalid_argument);
+    EXPECT_THROW(reg.suiteOf("rot13"), std::invalid_argument);
+    try {
+        reg.make("rot13");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        // The message lists the available entries.
+        EXPECT_NE(std::string(e.what()).find("ChaCha20_ct"),
+                  std::string::npos);
+    }
+}
+
+TEST(WorkloadRegistryTest, ParameterizedSyntheticEntries)
+{
+    const auto &reg = WorkloadRegistry::global();
+    // Pre-registered Fig. 8 grid point.
+    ASSERT_TRUE(reg.contains("synthetic/chacha20/75"));
+    core::Workload w = reg.make("synthetic/chacha20/75");
+    EXPECT_EQ(w.suite, "Synthetic");
+    EXPECT_EQ(w.name, "synthetic-chacha20-75s25c");
+    EXPECT_EQ(reg.suiteOf("synthetic/chacha20/75"), "Synthetic");
+
+    // Arbitrary percentages synthesize on demand.
+    EXPECT_TRUE(reg.contains("synthetic/chacha20/33"));
+    EXPECT_EQ(reg.make("synthetic/chacha20/33").name,
+              "synthetic-chacha20-33s67c");
+
+    // Out-of-range or unknown-kernel mixes are rejected.
+    EXPECT_FALSE(reg.contains("synthetic/chacha20/150"));
+    // Overlong digit strings must not overflow the parser.
+    EXPECT_FALSE(reg.contains("synthetic/chacha20/99999999999999999999"));
+    EXPECT_FALSE(reg.contains("synthetic/rot13/50"));
+    EXPECT_FALSE(reg.contains("synthetic/chacha20/"));
+    EXPECT_THROW(reg.make("synthetic/rot13/50"), std::invalid_argument);
+}
+
+TEST(WorkloadRegistryTest, LegacyHelpersSitOnRegistry)
+{
+    auto all = crypto::allCryptoWorkloads();
+    ASSERT_EQ(all.size(), 21u);
+    EXPECT_EQ(all.front().name, "AES_CTR");
+    EXPECT_EQ(all.back().name, "sphincs-shake-128s");
+    // No synthetic mixes in the Fig. 7 set.
+    EXPECT_TRUE(std::none_of(all.begin(), all.end(), [](const auto &w) {
+        return w.suite == "Synthetic";
+    }));
+    EXPECT_EQ(crypto::suiteWorkloads("OpenSSL").size(), 3u);
+}
+
+TEST(WorkloadRegistryTest, ResolverAdapterMatchesMake)
+{
+    const auto &reg = WorkloadRegistry::global();
+    auto resolve = reg.resolver();
+    EXPECT_EQ(resolve("SHAKE").name, reg.make("SHAKE").name);
+    EXPECT_THROW(resolve("nope"), std::invalid_argument);
+}
+
+} // namespace
