@@ -2,33 +2,47 @@
  * @file
  * Shared helpers for the table/figure reproduction binaries: math
  * utilities, the common experiment CLI (--format/--out/--threads/
- * --workloads/--suite/--list) and reporter plumbing.
+ * --workloads/--suite/--config/--list) and reporter plumbing.
  *
- * A migrated bench builds an ExperimentMatrix, runs it through the
+ * A migrated bench builds an ExperimentMatrix — or takes one straight
+ * from a JSON config file via --config — runs it through the shared
  * ExperimentRunner, and either emits the machine-readable report the
  * user asked for (--format=json|csv) or falls through to its own
  * paper-style table:
  *
  *   auto opts = bench::parseCli(argc, argv);
+ *   core::ExperimentMatrix matrix;
+ *   if (!bench::matrixFromConfig(opts, matrix)) {
+ *       ... build the bench's default matrix ...
+ *   }
  *   auto exp = bench::runMatrix(matrix, opts);
  *   if (bench::emitReport(exp, opts))
  *       return 0;
  *   ... printf the figure table from exp.cells ...
+ *
+ * Thread-pool sizing is decided in exactly one place — the runner
+ * (RunnerOptions::resolveThreads) — benches only forward the CLI (or
+ * config) thread count verbatim.
  */
 
 #ifndef CASSANDRA_BENCH_BENCH_UTIL_HH
 #define CASSANDRA_BENCH_BENCH_UTIL_HH
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hh"
+#include "core/experiment_config.hh"
+#include "core/serialize.hh"
 #include "crypto/workload_registry.hh"
 
 namespace cassandra::bench {
@@ -57,9 +71,19 @@ struct CliOptions
 {
     std::string format = "table"; ///< table | json | csv
     std::string out;              ///< output path; empty = stdout
-    unsigned threads = 0;         ///< 0 = hardware concurrency
+    unsigned threads = 0;         ///< 0 = runner decides
     std::vector<std::string> workloads; ///< filter; empty = bench set
     std::string suite;                  ///< filter; empty = all suites
+    std::string configPath;             ///< --config JSON sweep file
+
+    /// CLI flags beat config-file settings; track what was spelled.
+    bool formatExplicit = false;
+    bool outExplicit = false;
+    bool threadsExplicit = false;
+
+    /// Artifact snapshot directory (from the config file).
+    std::string artifactDir;
+    bool artifactSave = false;
 };
 
 inline void
@@ -74,6 +98,9 @@ printCliHelp(const char *prog)
         "  --workloads=A,B  run only the named workloads\n"
         "  --suite=S      run only one suite (BearSSL, OpenSSL, PQC, "
         "Synthetic)\n"
+        "  --config=FILE  load the full sweep (workloads, schemes,\n"
+        "                 parameter overrides, report settings) from a\n"
+        "                 JSON experiment config; CLI flags override\n"
         "  --list         list selectable workload names and exit\n"
         "  --help         this text\n",
         prog);
@@ -107,8 +134,10 @@ parseCli(int argc, char **argv)
             std::exit(0);
         } else if (const char *v = value("--format")) {
             opts.format = v;
+            opts.formatExplicit = true;
         } else if (const char *v = value("--out")) {
             opts.out = v;
+            opts.outExplicit = true;
         } else if (const char *v = value("--threads")) {
             char *end = nullptr;
             unsigned long n = std::strtoul(v, &end, 10);
@@ -117,8 +146,13 @@ parseCli(int argc, char **argv)
                 std::exit(2);
             }
             opts.threads = static_cast<unsigned>(n);
+            opts.threadsExplicit = true;
         } else if (const char *v = value("--suite")) {
             opts.suite = v;
+        } else if (const char *v = value("--config")) {
+            opts.configPath = v;
+        } else if (arg == "--config" && i + 1 < argc) {
+            opts.configPath = argv[++i];
         } else if (const char *v = value("--workloads")) {
             std::string list = v;
             size_t pos = 0;
@@ -190,14 +224,165 @@ selectWorkloads(const std::vector<std::string> &defaults,
     return out;
 }
 
-/** Run a matrix with the registry resolver and the CLI's thread count. */
+/**
+ * Load --config (when given), expand its suites through the registry,
+ * fold its report/thread settings into opts (explicit CLI flags win)
+ * and fill the matrix. Returns false — leaving matrix untouched —
+ * when no config file drives this run. Exits with a message on
+ * malformed configs, like the other CLI errors.
+ */
+inline bool
+matrixFromConfig(CliOptions &opts, core::ExperimentMatrix &matrix)
+{
+    if (opts.configPath.empty())
+        return false;
+    core::ExperimentSpec spec;
+    try {
+        spec = core::loadExperimentSpec(opts.configPath);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s: %s\n", opts.configPath.c_str(),
+                     e.what());
+        std::exit(2);
+    }
+    const auto &reg = crypto::WorkloadRegistry::global();
+    std::vector<std::string> names = spec.matrix.workloads;
+    for (const std::string &suite : spec.suites) {
+        std::vector<std::string> expanded = reg.names(suite);
+        if (expanded.empty()) {
+            std::fprintf(stderr, "%s: suite \"%s\" names no workloads\n",
+                         opts.configPath.c_str(), suite.c_str());
+            std::exit(2);
+        }
+        names.insert(names.end(), expanded.begin(), expanded.end());
+    }
+    for (const std::string &name : names) {
+        if (!reg.contains(name)) {
+            std::fprintf(stderr, "%s: unknown workload \"%s\"\n",
+                         opts.configPath.c_str(), name.c_str());
+            std::exit(2);
+        }
+    }
+    matrix = spec.matrix;
+    // --workloads / --suite filter the configured list like they
+    // filter a bench's default list.
+    matrix.workloads = selectWorkloads(names, opts);
+
+    if (!opts.formatExplicit && !spec.format.empty())
+        opts.format = spec.format;
+    if (!opts.outExplicit && !spec.out.empty())
+        opts.out = spec.out;
+    if (!opts.threadsExplicit && spec.threads != 0)
+        opts.threads = spec.threads;
+    opts.artifactDir = spec.artifactDir;
+    opts.artifactSave = spec.artifactSave;
+    return true;
+}
+
+/** Artifact snapshot path for a workload name ('/' is not a file
+ * character; "synthetic/chacha20/75" -> "synthetic_chacha20_75.aw"). */
+inline std::string
+artifactPath(const std::string &dir, const std::string &name)
+{
+    std::string file = name;
+    for (char &c : file) {
+        if (c == '/' || c == '\\')
+            c = '_';
+    }
+    return dir + "/" + file + ".aw";
+}
+
+/**
+ * Analysis cache for one bench run, preloaded from opts.artifactDir
+ * when the config named one. Workloads without a loadable snapshot
+ * (missing or stale) analyze fresh; with artifactSave their names
+ * land in `missing` so saveArtifacts can snapshot them afterwards.
+ */
+inline std::shared_ptr<core::AnalysisCache>
+makeArtifactCache(const std::vector<std::string> &names,
+                  const CliOptions &opts,
+                  std::vector<std::string> &missing)
+{
+    auto resolver = crypto::WorkloadRegistry::global().resolver();
+    auto cache = std::make_shared<core::AnalysisCache>(resolver);
+    if (opts.artifactDir.empty())
+        return cache;
+    for (const std::string &name : names) {
+        if (cache->contains(name) ||
+            std::find(missing.begin(), missing.end(), name) !=
+                missing.end())
+            continue;
+        const std::string path = artifactPath(opts.artifactDir, name);
+        try {
+            cache->put(name, core::loadAnalyzedWorkload(path, resolver));
+        } catch (const std::invalid_argument &e) {
+            // The file exists but is corrupt or stale: re-analyzing is
+            // correct, but say so — a silently bypassed cache looks
+            // exactly like a working one.
+            std::fprintf(stderr, "%s: %s; re-analyzing %s\n",
+                         path.c_str(), e.what(), name.c_str());
+            missing.push_back(name);
+        } catch (const std::exception &) {
+            // Not snapshotted yet: analyze fresh, quietly.
+            missing.push_back(name);
+        }
+    }
+    return cache;
+}
+
+/** Snapshot freshly analyzed artifacts back into opts.artifactDir. */
+inline void
+saveArtifacts(
+    const std::map<std::string, core::AnalyzedWorkload::Ptr> &artifacts,
+    const std::vector<std::string> &missing, const CliOptions &opts)
+{
+    if (opts.artifactDir.empty() || !opts.artifactSave)
+        return;
+    for (const std::string &name : missing) {
+        auto it = artifacts.find(name);
+        if (it == artifacts.end())
+            continue;
+        try {
+            core::saveAnalyzedWorkload(
+                *it->second, artifactPath(opts.artifactDir, name),
+                name);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "cannot save artifact for %s: %s\n",
+                         name.c_str(), e.what());
+        }
+    }
+}
+
+/**
+ * Run a batch of matrices with the registry resolver, sharing one
+ * analysis cache (and one analysis phase) across all of them; cells
+ * concatenate in matrix order. When the config named an artifact
+ * directory, snapshots are loaded from it instead of re-analyzing
+ * and — with "save": true — freshly analyzed workloads are written
+ * back.
+ */
+inline core::Experiment
+runMatrices(const std::vector<core::ExperimentMatrix> &matrices,
+            const CliOptions &opts)
+{
+    std::vector<std::string> names;
+    for (const auto &matrix : matrices)
+        names.insert(names.end(), matrix.workloads.begin(),
+                     matrix.workloads.end());
+    std::vector<std::string> missing;
+    auto cache = makeArtifactCache(names, opts, missing);
+
+    core::ExperimentRunner runner(cache,
+                                  core::RunnerOptions{opts.threads});
+    core::Experiment exp = runner.run(matrices);
+    saveArtifacts(exp.artifacts, missing, opts);
+    return exp;
+}
+
+/** Run one matrix (see runMatrices). */
 inline core::Experiment
 runMatrix(const core::ExperimentMatrix &matrix, const CliOptions &opts)
 {
-    core::ExperimentRunner runner(
-        crypto::WorkloadRegistry::global().resolver(),
-        core::RunnerOptions{opts.threads});
-    return runner.run(matrix);
+    return runMatrices({matrix}, opts);
 }
 
 /**

@@ -27,10 +27,12 @@ main(int argc, char **argv)
     auto opts = bench::parseCli(argc, argv);
 
     core::ExperimentMatrix matrix;
-    matrix.workloads = bench::selectWorkloads(
-        crypto::WorkloadRegistry::global().names("Synthetic"), opts);
-    matrix.schemes = {Scheme::UnsafeBaseline, Scheme::Prospect,
-                      Scheme::CassandraProspect};
+    if (!bench::matrixFromConfig(opts, matrix)) {
+        matrix.workloads = bench::selectWorkloads(
+            crypto::WorkloadRegistry::global().names("Synthetic"), opts);
+        matrix.schemes = {Scheme::UnsafeBaseline, Scheme::Prospect,
+                          Scheme::CassandraProspect};
+    }
 
     auto exp = bench::runMatrix(matrix, opts);
     if (bench::emitReport(exp, opts))
@@ -62,6 +64,12 @@ main(int argc, char **argv)
         const auto *base = exp.find(name, Scheme::UnsafeBaseline);
         const auto *pros = exp.find(name, Scheme::Prospect);
         const auto *combo = exp.find(name, Scheme::CassandraProspect);
+        if (!base || !pros || !combo) {
+            std::printf("%-34s   (skipped: figure needs all three "
+                        "schemes)\n",
+                        name.c_str());
+            continue;
+        }
         double b_cycles = static_cast<double>(base->result.stats.cycles);
         std::printf("%-34s %11.2f%% %21.2f%%\n", name.c_str(),
                     (pros->result.stats.cycles / b_cycles - 1.0) * 100.0,

@@ -4,13 +4,18 @@
  * Unsafe Baseline, by component (Instruction Fetch Unit, Renaming
  * Unit, Load Store Unit, Execution Unit, Branch Trace Unit). Activity
  * counts are aggregated over the full Fig. 7 workload set.
+ *
+ * Runs on the two-phase experiment API: the workload x scheme matrix
+ * executes in parallel over shared analysis artifacts, the shared CLI
+ * filters workloads/threads, and --format=json/csv dumps the raw
+ * per-cell counters the power model aggregates.
  */
 
 #include <cstdio>
 
 #include "bench/bench_util.hh"
-#include "core/system.hh"
-#include "crypto/workloads.hh"
+#include "core/experiment.hh"
+#include "crypto/workload_registry.hh"
 #include "power/power_model.hh"
 
 using namespace cassandra;
@@ -65,13 +70,37 @@ accumulate(power::Activity &into, const power::Activity &from)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseCli(argc, argv);
+
+    core::ExperimentMatrix matrix;
+    if (!bench::matrixFromConfig(opts, matrix)) {
+        matrix.workloads =
+            bench::selectWorkloads(bench::cryptoWorkloadNames(), opts);
+        matrix.schemes = {Scheme::UnsafeBaseline, Scheme::Cassandra};
+    }
+
+    auto exp = bench::runMatrix(matrix, opts);
+    if (bench::emitReport(exp, opts))
+        return 0;
+
     power::Activity base_act, cass_act;
-    for (auto &w : crypto::allCryptoWorkloads()) {
-        core::System sys(std::move(w));
-        accumulate(base_act, activityOf(sys.run(Scheme::UnsafeBaseline)));
-        accumulate(cass_act, activityOf(sys.run(Scheme::Cassandra)));
+    size_t base_cells = 0, cass_cells = 0;
+    for (const auto &cell : exp.cells) {
+        if (cell.scheme == Scheme::UnsafeBaseline) {
+            accumulate(base_act, activityOf(cell.result));
+            base_cells++;
+        } else if (cell.scheme == Scheme::Cassandra) {
+            accumulate(cass_act, activityOf(cell.result));
+            cass_cells++;
+        }
+    }
+    if (base_cells == 0 || cass_cells == 0) {
+        std::fprintf(stderr,
+                     "figure 9 needs UnsafeBaseline and Cassandra "
+                     "cells; use --format=json for other sweeps\n");
+        return 1;
     }
 
     auto base = power::evaluatePower(base_act, /*include_btu=*/false);

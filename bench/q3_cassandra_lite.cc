@@ -22,10 +22,12 @@ main(int argc, char **argv)
     auto opts = bench::parseCli(argc, argv);
 
     core::ExperimentMatrix matrix;
-    matrix.workloads =
-        bench::selectWorkloads(bench::cryptoWorkloadNames(), opts);
-    matrix.schemes = {Scheme::UnsafeBaseline, Scheme::Cassandra,
-                      Scheme::CassandraLite};
+    if (!bench::matrixFromConfig(opts, matrix)) {
+        matrix.workloads =
+            bench::selectWorkloads(bench::cryptoWorkloadNames(), opts);
+        matrix.schemes = {Scheme::UnsafeBaseline, Scheme::Cassandra,
+                          Scheme::CassandraLite};
+    }
 
     auto exp = bench::runMatrix(matrix, opts);
     if (bench::emitReport(exp, opts))
@@ -41,6 +43,12 @@ main(int argc, char **argv)
         const auto *base = exp.find(name, Scheme::UnsafeBaseline);
         const auto *cass = exp.find(name, Scheme::Cassandra);
         const auto *lite = exp.find(name, Scheme::CassandraLite);
+        if (!base || !cass || !lite) {
+            std::printf("%-22s   (skipped: Q3 needs all three "
+                        "schemes)\n",
+                        name.c_str());
+            continue;
+        }
         double lc = static_cast<double>(lite->result.stats.cycles) /
             cass->result.stats.cycles;
         std::printf("%-22s %10.4f %10.4f %10.4f\n", name.c_str(), lc,

@@ -8,7 +8,6 @@
  */
 
 #include <cstdio>
-#include <iterator>
 
 #include "bench/bench_util.hh"
 #include "core/experiment.hh"
@@ -22,6 +21,17 @@ main(int argc, char **argv)
 {
     auto opts = bench::parseCli(argc, argv);
 
+    // A --config sweep replaces the built-in flush matrix; its cells
+    // go through the generic reporters (the table below needs the
+    // built-in "flush=..." config names).
+    core::ExperimentMatrix config_matrix;
+    if (bench::matrixFromConfig(opts, config_matrix)) {
+        auto exp = bench::runMatrix(config_matrix, opts);
+        if (!bench::emitReport(exp, opts))
+            core::makeReporter("table")->write(exp, std::cout);
+        return 0;
+    }
+
     const uint64_t periods[] = {0, 12'000'000, 1'000'000, 100'000,
                                 10'000};
     core::SimConfig base_cfg;
@@ -34,17 +44,14 @@ main(int argc, char **argv)
         matrix.configs.push_back(
             base_cfg.withFlushPeriod(p).named("flush=" + name));
     }
-    // The baseline has no BTU to flush: run it once per workload.
+    // The baseline has no BTU to flush: run it once per workload, in
+    // the same batch so every workload is analyzed exactly once.
     core::ExperimentMatrix base_matrix;
     base_matrix.workloads = matrix.workloads;
     base_matrix.schemes = {Scheme::UnsafeBaseline};
     base_matrix.configs = {base_cfg.named("flush=never")};
 
-    auto exp = bench::runMatrix(base_matrix, opts);
-    auto sweep = bench::runMatrix(matrix, opts);
-    exp.cells.insert(exp.cells.end(),
-                     std::make_move_iterator(sweep.cells.begin()),
-                     std::make_move_iterator(sweep.cells.end()));
+    auto exp = bench::runMatrices({base_matrix, matrix}, opts);
     if (bench::emitReport(exp, opts))
         return 0;
 

@@ -17,18 +17,21 @@ using namespace cassandra;
 int
 main()
 {
-    // Workloads are registry entries, selectable by name.
-    core::System sys(
+    // Workloads are registry entries, selectable by name. Phase 1
+    // analyzes once; phase 2 runs any number of schemes against the
+    // shared immutable artifact.
+    auto analyzed = core::AnalyzedWorkload::analyze(
         crypto::WorkloadRegistry::global().make("ChaCha20_ct"));
+    core::Simulation sys(analyzed);
 
-    if (!sys.verifyOutput()) {
+    if (!analyzed->verifyOutput()) {
         std::printf("ciphertext mismatch against the RFC reference!\n");
         return 1;
     }
     std::printf("ChaCha20 ciphertext verified against the C++ "
                 "reference (RFC 8439 semantics).\n\n");
 
-    const auto &tg = sys.traces();
+    const auto &tg = analyzed->traces();
     std::printf("Algorithm 2 results: %zu static crypto branches, "
                 "%zu bytes of trace pages, %zu hint bits\n",
                 tg.records.size(), tg.image.traceBytes(),

@@ -93,12 +93,15 @@ main()
                     kmers.patternsToString().c_str());
     }
 
-    // End to end: Algorithm 2 + timing runs, through SimConfig (the
-    // same object benches sweep: scheme, core width, BTU geometry...).
-    core::System sys(w);
+    // End to end, two-phase: analyze once (Algorithm 2 + timing
+    // trace), then run any number of SimConfigs (the same object
+    // benches sweep: scheme, core width, BTU geometry...) against the
+    // shared immutable artifact.
+    auto analyzed = core::AnalyzedWorkload::analyze(w);
+    core::Simulation sim(analyzed);
     core::SimConfig config;
-    auto base = sys.run(config);
-    auto cass = sys.run(config.withScheme(uarch::Scheme::Cassandra));
+    auto base = sim.run(config);
+    auto cass = sim.run(config.withScheme(uarch::Scheme::Cassandra));
     std::printf("\nUnsafe Baseline : %llu cycles\n",
                 static_cast<unsigned long long>(base.stats.cycles));
     std::printf("Cassandra       : %llu cycles "

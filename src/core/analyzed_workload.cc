@@ -1,0 +1,200 @@
+#include "core/analyzed_workload.hh"
+
+#include <atomic>
+#include <cctype>
+#include <stdexcept>
+#include <utility>
+
+namespace cassandra::core {
+
+namespace {
+
+std::atomic<uint64_t> analysis_runs{0};
+
+} // namespace
+
+AnalyzedWorkload::AnalyzedWorkload(Workload workload,
+                                   TraceGenResult traces,
+                                   uarch::TimingTrace trace)
+    : workload_(std::move(workload)), traces_(std::move(traces)),
+      trace_(std::move(trace))
+{
+    if (!workload_.secretRegions.empty()) {
+        tainted_ = trace_;
+        uarch::annotateTaint(tainted_, workload_.program,
+                             workload_.secretRegions);
+    }
+}
+
+AnalyzedWorkload::Ptr
+AnalyzedWorkload::analyze(Workload workload, const KmersParams &params)
+{
+    analysis_runs.fetch_add(1, std::memory_order_relaxed);
+    TraceGenResult traces = generateTraces(workload, params);
+    uarch::TimingTrace trace = uarch::recordTrace(workload, /*which=*/2);
+    return Ptr(new AnalyzedWorkload(std::move(workload),
+                                    std::move(traces), std::move(trace)));
+}
+
+AnalyzedWorkload::Ptr
+AnalyzedWorkload::fromParts(Workload workload, TraceGenResult traces,
+                            uarch::TimingTrace trace)
+{
+    return Ptr(new AnalyzedWorkload(std::move(workload),
+                                    std::move(traces), std::move(trace)));
+}
+
+bool
+AnalyzedWorkload::verifyOutput() const
+{
+    if (!workload_.check)
+        return true;
+    sim::Machine machine(workload_.program);
+    if (workload_.setInput)
+        workload_.setInput(machine, 2);
+    auto res = machine.run(workload_.maxDynInsts);
+    if (!res.halted)
+        return false;
+    return workload_.check(machine);
+}
+
+uint64_t
+AnalyzedWorkload::analysisRuns()
+{
+    return analysis_runs.load(std::memory_order_relaxed);
+}
+
+Simulation::Simulation(AnalyzedWorkload::Ptr artifact)
+    : artifact_(std::move(artifact))
+{
+    if (!artifact_)
+        throw std::invalid_argument("Simulation needs an artifact");
+}
+
+ExperimentResult
+Simulation::run(const SimConfig &config) const
+{
+    const AnalyzedWorkload &aw = *artifact_;
+    const uarch::Scheme scheme = config.scheme;
+
+    // ProSpeCT schemes replay the taint-annotated variant; everything
+    // else sees the pristine trace.
+    const bool needs_taint = scheme == uarch::Scheme::Prospect ||
+        scheme == uarch::Scheme::CassandraProspect;
+
+    const TraceImage *image = nullptr;
+    if (uarch::schemeIsCassandra(scheme))
+        image = &aw.traces().image;
+
+    uarch::OooCore core(config, aw.workload().program, image);
+    ExperimentResult result;
+    if (needs_taint && !aw.workload().secretRegions.empty())
+        result.stats = core.run(aw.taintedTrace());
+    else
+        result.stats = core.run(aw.timingTrace());
+
+    if (core.btuUnit())
+        result.btu = core.btuUnit()->stats();
+    result.bpu = core.tage().stats();
+    const auto &mem = core.memory();
+    result.caches.l1iAccesses = mem.l1i().stats().accesses;
+    result.caches.l1iMisses = mem.l1i().stats().misses;
+    result.caches.l1dAccesses = mem.l1d().stats().accesses;
+    result.caches.l1dMisses = mem.l1d().stats().misses;
+    result.caches.l2Accesses = mem.l2().stats().accesses;
+    result.caches.l2Misses = mem.l2().stats().misses;
+    result.caches.l3Accesses = mem.l3().stats().accesses;
+    result.caches.l3Misses = mem.l3().stats().misses;
+    return result;
+}
+
+ExperimentResult
+Simulation::run(uarch::Scheme scheme) const
+{
+    SimConfig config;
+    config.scheme = scheme;
+    return run(config);
+}
+
+AnalysisCache::AnalysisCache(Resolver resolver)
+    : resolver_(std::move(resolver))
+{
+    if (!resolver_)
+        throw std::invalid_argument(
+            "AnalysisCache needs a workload resolver");
+}
+
+std::string
+AnalysisCache::key(const std::string &name)
+{
+    // Same normalization as WorkloadRegistry lookup, so spelling
+    // variants of one entry share one artifact.
+    std::string k = name;
+    for (char &c : k)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return k;
+}
+
+AnalyzedWorkload::Ptr
+AnalysisCache::get(const std::string &name) const
+{
+    const std::string k = key(name);
+    std::promise<AnalyzedWorkload::Ptr> promise;
+    std::shared_future<AnalyzedWorkload::Ptr> future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(k);
+        if (it != entries_.end()) {
+            future = it->second;
+        } else {
+            future = promise.get_future().share();
+            entries_.emplace(k, future);
+            owner = true;
+        }
+    }
+    if (!owner) {
+        // Blocks (outside the lock) while another thread analyzes.
+        return future.get();
+    }
+    try {
+        auto artifact = AnalyzedWorkload::analyze(resolver_(name));
+        promise.set_value(artifact);
+        return artifact;
+    } catch (...) {
+        promise.set_exception(std::current_exception());
+        // A failed analysis is not cached: current waiters see the
+        // exception, later get() calls may legitimately retry.
+        std::lock_guard<std::mutex> lock(mutex_);
+        entries_.erase(k);
+        throw;
+    }
+}
+
+void
+AnalysisCache::put(const std::string &name, AnalyzedWorkload::Ptr artifact)
+{
+    if (!artifact)
+        throw std::invalid_argument("AnalysisCache::put: null artifact");
+    std::promise<AnalyzedWorkload::Ptr> ready;
+    ready.set_value(std::move(artifact));
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_[key(name)] = ready.get_future().share();
+}
+
+bool
+AnalysisCache::contains(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.count(key(name)) != 0;
+}
+
+size_t
+AnalysisCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+} // namespace cassandra::core

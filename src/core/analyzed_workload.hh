@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The two-phase simulation API: analyze once, simulate many.
+ *
+ * Phase 1 — analysis. AnalyzedWorkload::analyze(workload) performs
+ * every config-independent step exactly once: the Algorithm 2 trace
+ * generation (k-mers compression + trace image), the dynamic timing
+ * trace of the evaluation input, and the ProSpeCT taint pre-pass when
+ * the workload annotates secret regions. The result is an immutable,
+ * thread-safe artifact held by shared_ptr, so any number of
+ * simulation sessions — across threads — share one copy. Artifacts
+ * serialize through core/serialize (saveAnalyzedWorkload /
+ * loadAnalyzedWorkload), so repeated sweeps can skip analysis
+ * entirely.
+ *
+ * Phase 2 — simulation. A Simulation is a lightweight session over
+ * one artifact that runs any number of SimConfigs; each run builds
+ * its own OooCore, so results are deterministic and bit-identical to
+ * a fresh end-to-end System run:
+ *
+ *   auto aw = core::AnalyzedWorkload::analyze(
+ *       crypto::WorkloadRegistry::global().make("ChaCha20_ct"));
+ *   core::Simulation sim(aw);
+ *   auto base = sim.run(uarch::Scheme::UnsafeBaseline);
+ *   auto cass = sim.run(uarch::Scheme::Cassandra);
+ *
+ * AnalysisCache memoizes artifacts by registry name with
+ * single-flight semantics: concurrent get() calls for one name block
+ * on the same analysis, so a workload is analyzed exactly once per
+ * cache no matter how many matrix cells want it.
+ */
+
+#ifndef CASSANDRA_CORE_ANALYZED_WORKLOAD_HH
+#define CASSANDRA_CORE_ANALYZED_WORKLOAD_HH
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/sim_config.hh"
+#include "core/tracegen.hh"
+#include "core/workload.hh"
+#include "uarch/pipeline.hh"
+
+namespace cassandra::core {
+
+/** Per-level cache activity snapshot. */
+struct CacheActivity
+{
+    uint64_t l1iAccesses = 0, l1iMisses = 0;
+    uint64_t l1dAccesses = 0, l1dMisses = 0;
+    uint64_t l2Accesses = 0, l2Misses = 0;
+    uint64_t l3Accesses = 0, l3Misses = 0;
+};
+
+/** Everything measured in one timing run. */
+struct ExperimentResult
+{
+    uarch::CoreStats stats;
+    btu::BtuStats btu; ///< zeroed for non-BTU schemes
+    uarch::BpuStats bpu;
+    CacheActivity caches;
+};
+
+/** Immutable analysis artifact: workload + traces, shareable. */
+class AnalyzedWorkload
+{
+  public:
+    using Ptr = std::shared_ptr<const AnalyzedWorkload>;
+
+    /**
+     * Phase 1: run Algorithm 2, record the evaluation-input timing
+     * trace and precompute the taint-annotated variant. Counts one
+     * analysisRuns() tick.
+     */
+    static Ptr analyze(Workload workload, const KmersParams &params = {});
+
+    /**
+     * Rebuild an artifact from precomputed parts (the deserialization
+     * path). The timing trace must already be relinked against
+     * workload.program; the taint pre-pass is recomputed (it is
+     * deterministic). Does not count as an analysis run.
+     */
+    static Ptr fromParts(Workload workload, TraceGenResult traces,
+                         uarch::TimingTrace trace);
+
+    const Workload &workload() const { return workload_; }
+
+    /** Algorithm 2 output: trace image, branch records, timings. */
+    const TraceGenResult &traces() const { return traces_; }
+
+    /** Dynamic instruction stream of the evaluation input. */
+    const uarch::TimingTrace &timingTrace() const { return trace_; }
+
+    /**
+     * Taint-annotated timing trace for the ProSpeCT schemes; aliases
+     * timingTrace() when the workload has no secret regions.
+     */
+    const uarch::TimingTrace &taintedTrace() const
+    {
+        return tainted_.empty() ? trace_ : tainted_;
+    }
+
+    /** Functional run with output verification (evaluation input). */
+    bool verifyOutput() const;
+
+    /**
+     * Process-wide count of Algorithm 2 analyses performed through
+     * analyze(). The analyze-once guarantee of AnalysisCache and
+     * ExperimentRunner is observable (and tested) through this.
+     */
+    static uint64_t analysisRuns();
+
+  private:
+    AnalyzedWorkload(Workload workload, TraceGenResult traces,
+                     uarch::TimingTrace trace);
+
+    Workload workload_;
+    TraceGenResult traces_;
+    uarch::TimingTrace trace_;
+    uarch::TimingTrace tainted_; ///< empty when no secret regions
+};
+
+/**
+ * Phase 2: a simulation session over one shared artifact. Stateless
+ * apart from the artifact handle — run() is const and thread-safe,
+ * and every run is bit-identical to a fresh System run of the same
+ * config.
+ */
+class Simulation
+{
+  public:
+    explicit Simulation(AnalyzedWorkload::Ptr artifact);
+
+    const AnalyzedWorkload &artifact() const { return *artifact_; }
+
+    /** Run the timing model under a full configuration. */
+    ExperimentResult run(const SimConfig &config) const;
+
+    /** Run under a scheme with default core/BTU parameters. */
+    ExperimentResult run(uarch::Scheme scheme) const;
+
+  private:
+    AnalyzedWorkload::Ptr artifact_;
+};
+
+/**
+ * Thread-safe, single-flight artifact cache keyed by workload name
+ * (case-insensitive, matching WorkloadRegistry lookup). Distinct
+ * names analyze concurrently; concurrent requests for one name share
+ * a single analysis.
+ */
+class AnalysisCache
+{
+  public:
+    using Resolver = std::function<Workload(const std::string &)>;
+
+    explicit AnalysisCache(Resolver resolver);
+
+    /**
+     * The artifact for a named workload, analyzing it on first
+     * request. Blocks while another thread analyzes the same name;
+     * analysis failures propagate to every waiter.
+     */
+    AnalyzedWorkload::Ptr get(const std::string &name) const;
+
+    /** Preload an artifact (e.g. deserialized) under a name. */
+    void put(const std::string &name, AnalyzedWorkload::Ptr artifact);
+
+    /** True if get(name) would not trigger a fresh analysis. */
+    bool contains(const std::string &name) const;
+
+    /** Number of cached (or in-flight) artifacts. */
+    size_t size() const;
+
+  private:
+    static std::string key(const std::string &name);
+
+    Resolver resolver_;
+    mutable std::mutex mutex_;
+    mutable std::map<std::string,
+                     std::shared_future<AnalyzedWorkload::Ptr>>
+        entries_;
+};
+
+} // namespace cassandra::core
+
+#endif // CASSANDRA_CORE_ANALYZED_WORKLOAD_HH

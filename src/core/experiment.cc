@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <ostream>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 
 namespace cassandra::core {
 
@@ -23,46 +27,43 @@ Experiment::find(const std::string &workload, uarch::Scheme scheme,
     return nullptr;
 }
 
-ExperimentRunner::ExperimentRunner(WorkloadResolver resolver,
-                                   RunnerOptions options)
-    : resolver_(std::move(resolver)), options_(options)
+unsigned
+RunnerOptions::resolveThreads(size_t work) const
 {
-    if (!resolver_)
-        throw std::invalid_argument(
-            "ExperimentRunner needs a workload resolver");
+    unsigned n = threads;
+    if (n == 0)
+        n = std::max(1u, std::thread::hardware_concurrency());
+    return std::min<unsigned>(n, std::max<size_t>(work, 1));
 }
 
-Experiment
-ExperimentRunner::run(const ExperimentMatrix &matrix) const
+ExperimentRunner::ExperimentRunner(WorkloadResolver resolver,
+                                   RunnerOptions options)
+    : ExperimentRunner(
+          std::make_shared<AnalysisCache>(std::move(resolver)), options)
 {
-    // Flatten the cross product up front so workers index into a
-    // fixed slot array: result order never depends on scheduling.
-    const std::vector<SimConfig> default_configs{SimConfig{}};
-    const std::vector<SimConfig> &configs =
-        matrix.configs.empty() ? default_configs : matrix.configs;
+}
 
-    struct Cell
-    {
-        const std::string *workload;
-        uarch::Scheme scheme;
-        const SimConfig *config;
-    };
-    std::vector<Cell> cells;
-    cells.reserve(matrix.cellCount());
-    for (const std::string &w : matrix.workloads)
-        for (uarch::Scheme s : matrix.schemes)
-            for (const SimConfig &c : configs)
-                cells.push_back(Cell{&w, s, &c});
+ExperimentRunner::ExperimentRunner(std::shared_ptr<AnalysisCache> cache,
+                                   RunnerOptions options)
+    : cache_(std::move(cache)), options_(options)
+{
+    if (!cache_)
+        throw std::invalid_argument(
+            "ExperimentRunner needs an analysis cache");
+}
 
-    Experiment exp;
-    exp.cells.resize(cells.size());
+namespace {
 
-    unsigned threads = options_.threads;
-    if (threads == 0)
-        threads = std::max(1u, std::thread::hardware_concurrency());
-    threads = std::min<unsigned>(
-        threads, std::max<size_t>(cells.size(), 1));
-
+/**
+ * Run fn(0..work) over a pool of `threads` workers, failing fast on
+ * the first exception (rethrown here).
+ */
+void
+runParallel(unsigned threads, size_t work,
+            const std::function<void(size_t)> &fn)
+{
+    if (work == 0)
+        return;
     std::atomic<size_t> next{0};
     std::mutex error_mutex;
     std::exception_ptr first_error;
@@ -70,28 +71,15 @@ ExperimentRunner::run(const ExperimentMatrix &matrix) const
     auto worker = [&] {
         for (;;) {
             size_t i = next.fetch_add(1);
-            if (i >= cells.size())
+            if (i >= work)
                 return;
             {
                 std::lock_guard<std::mutex> lock(error_mutex);
                 if (first_error)
-                    return; // fail fast, keep remaining cells empty
+                    return; // fail fast, keep remaining slots empty
             }
             try {
-                const Cell &cell = cells[i];
-                Workload w = resolver_(*cell.workload);
-                CellResult &out = exp.cells[i];
-                // Keyed by the matrix name (not Workload::name) so
-                // Experiment::find works with whatever the caller
-                // spelled, parameterized entries included.
-                out.workload = *cell.workload;
-                out.suite = w.suite;
-                out.scheme = cell.scheme;
-                out.config = cell.config->name;
-                SimConfig cfg = *cell.config;
-                cfg.scheme = cell.scheme;
-                System sys(std::move(w));
-                out.result = sys.run(cfg);
+                fn(i);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(error_mutex);
                 if (!first_error)
@@ -114,7 +102,187 @@ ExperimentRunner::run(const ExperimentMatrix &matrix) const
 
     if (first_error)
         std::rethrow_exception(first_error);
+}
+
+/** Distinct names in first-appearance order (registry spelling). */
+std::vector<std::string>
+distinctNames(const std::vector<std::string> &names)
+{
+    std::vector<std::string> out;
+    std::unordered_set<std::string> seen;
+    for (const std::string &name : names) {
+        if (seen.insert(name).second)
+            out.push_back(name);
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<AnalyzedWorkload::Ptr>
+ExperimentRunner::analyze(const std::vector<std::string> &names) const
+{
+    // Phase 1: each distinct workload analyzed exactly once, distinct
+    // workloads concurrently. The cache's single-flight get() makes
+    // duplicates (and races with other runners on the same cache)
+    // share one analysis.
+    const std::vector<std::string> distinct = distinctNames(names);
+    std::vector<AnalyzedWorkload::Ptr> artifacts(distinct.size());
+    runParallel(options_.resolveThreads(distinct.size()),
+                distinct.size(),
+                [&](size_t i) { artifacts[i] = cache_->get(distinct[i]); });
+
+    std::map<std::string, AnalyzedWorkload::Ptr> by_name;
+    for (size_t i = 0; i < distinct.size(); i++)
+        by_name[distinct[i]] = artifacts[i];
+    std::vector<AnalyzedWorkload::Ptr> out;
+    out.reserve(names.size());
+    for (const std::string &name : names)
+        out.push_back(by_name[name]);
+    return out;
+}
+
+Experiment
+ExperimentRunner::run(const ExperimentMatrix &matrix) const
+{
+    return run(std::vector<ExperimentMatrix>{matrix});
+}
+
+Experiment
+ExperimentRunner::run(const std::vector<ExperimentMatrix> &matrices) const
+{
+    // Flatten the cross products up front so workers index into a
+    // fixed slot array: result order never depends on scheduling.
+    const std::vector<SimConfig> default_configs{SimConfig{}};
+
+    struct Cell
+    {
+        const std::string *workload;
+        uarch::Scheme scheme;
+        const SimConfig *config;
+    };
+    std::vector<Cell> cells;
+    std::vector<std::string> names;
+    for (const ExperimentMatrix &matrix : matrices) {
+        const std::vector<SimConfig> &configs =
+            matrix.configs.empty() ? default_configs : matrix.configs;
+        for (const std::string &w : matrix.workloads) {
+            names.push_back(w);
+            for (uarch::Scheme s : matrix.schemes)
+                for (const SimConfig &c : configs)
+                    cells.push_back(Cell{&w, s, &c});
+        }
+    }
+
+    // Phase 1: analyze once per distinct workload (analyze() dedups).
+    Experiment exp;
+    std::vector<AnalyzedWorkload::Ptr> artifacts = analyze(names);
+    for (size_t i = 0; i < names.size(); i++)
+        exp.artifacts.emplace(names[i], artifacts[i]);
+
+    // Phase 2: every cell is a Simulation over the shared artifact.
+    exp.cells.resize(cells.size());
+    runParallel(
+        options_.resolveThreads(cells.size()), cells.size(),
+        [&](size_t i) {
+            const Cell &cell = cells[i];
+            const AnalyzedWorkload::Ptr &artifact =
+                exp.artifacts.at(*cell.workload);
+            CellResult &out = exp.cells[i];
+            // Keyed by the matrix name (not Workload::name) so
+            // Experiment::find works with whatever the caller
+            // spelled, parameterized entries included.
+            out.workload = *cell.workload;
+            out.suite = artifact->workload().suite;
+            out.scheme = cell.scheme;
+            out.config = cell.config->name;
+            SimConfig cfg = *cell.config;
+            cfg.scheme = cell.scheme;
+            out.result = Simulation(artifact).run(cfg);
+        });
     return exp;
+}
+
+// ---------------------------------------------------------------------
+// Derived metrics
+// ---------------------------------------------------------------------
+
+DerivedMetrics
+computeDerived(const Experiment &exp)
+{
+    DerivedMetrics d;
+    d.cyclesVsBaseline.assign(exp.cells.size(),
+                              std::numeric_limits<double>::quiet_NaN());
+
+    // One indexing pass over the baseline cells (first match wins,
+    // like Experiment::find) keeps the whole computation linear.
+    std::unordered_map<std::string, uint64_t> base_by_config;
+    std::unordered_map<std::string, uint64_t> base_by_workload;
+    auto config_key = [](const CellResult &c) {
+        return c.workload + '\0' + c.config;
+    };
+    for (const CellResult &cell : exp.cells) {
+        if (cell.scheme != uarch::Scheme::UnsafeBaseline)
+            continue;
+        base_by_config.emplace(config_key(cell),
+                               cell.result.stats.cycles);
+        base_by_workload.emplace(cell.workload,
+                                 cell.result.stats.cycles);
+    }
+
+    for (size_t i = 0; i < exp.cells.size(); i++) {
+        const CellResult &cell = exp.cells[i];
+        // Prefer the baseline run of the same config variant; fall
+        // back to any baseline of the workload (sweeps like Q4 pair
+        // one baseline config against many scheme configs).
+        uint64_t base_cycles = 0;
+        auto it = base_by_config.find(config_key(cell));
+        if (it != base_by_config.end()) {
+            base_cycles = it->second;
+        } else {
+            auto fallback = base_by_workload.find(cell.workload);
+            if (fallback != base_by_workload.end())
+                base_cycles = fallback->second;
+        }
+        if (base_cycles)
+            d.cyclesVsBaseline[i] =
+                static_cast<double>(cell.result.stats.cycles) /
+                static_cast<double>(base_cycles);
+    }
+
+    struct Acc
+    {
+        double logSum = 0.0;
+        size_t n = 0;
+    };
+    std::vector<Acc> accs;
+    for (size_t i = 0; i < exp.cells.size(); i++) {
+        double v = d.cyclesVsBaseline[i];
+        if (!std::isfinite(v) || v <= 0.0)
+            continue;
+        const CellResult &cell = exp.cells[i];
+        size_t g = 0;
+        for (; g < d.geomeans.size(); g++) {
+            if (d.geomeans[g].scheme == cell.scheme &&
+                d.geomeans[g].config == cell.config)
+                break;
+        }
+        if (g == d.geomeans.size()) {
+            DerivedMetrics::Geomean gm;
+            gm.scheme = cell.scheme;
+            gm.config = cell.config;
+            d.geomeans.push_back(gm);
+            accs.push_back(Acc{});
+        }
+        accs[g].logSum += std::log(v);
+        accs[g].n++;
+    }
+    for (size_t g = 0; g < d.geomeans.size(); g++) {
+        d.geomeans[g].cyclesVsBaseline =
+            std::exp(accs[g].logSum / accs[g].n);
+        d.geomeans[g].workloads = accs[g].n;
+    }
+    return d;
 }
 
 // ---------------------------------------------------------------------
@@ -227,17 +395,26 @@ writeCacheLevel(JsonObject &parent, const char *key, uint64_t accesses,
 void
 TableReporter::write(const Experiment &exp, std::ostream &os) const
 {
+    const DerivedMetrics derived = computeDerived(exp);
     char buf[256];
     std::snprintf(buf, sizeof(buf),
-                  "%-28s %-10s %-18s %-14s %12s %12s %6s %10s %10s\n",
+                  "%-28s %-10s %-18s %-14s %12s %12s %6s %10s %10s %8s\n",
                   "workload", "suite", "scheme", "config", "cycles",
-                  "insts", "ipc", "btu_hits", "mispred");
+                  "insts", "ipc", "btu_hits", "mispred", "vs_base");
     os << buf;
-    os << std::string(127, '-') << "\n";
-    for (const CellResult &c : exp.cells) {
+    os << std::string(136, '-') << "\n";
+    for (size_t i = 0; i < exp.cells.size(); i++) {
+        const CellResult &c = exp.cells[i];
+        char vs_base[16];
+        if (std::isfinite(derived.cyclesVsBaseline[i]))
+            std::snprintf(vs_base, sizeof(vs_base), "%.4f",
+                          derived.cyclesVsBaseline[i]);
+        else
+            std::snprintf(vs_base, sizeof(vs_base), "-");
         std::snprintf(
             buf, sizeof(buf),
-            "%-28s %-10s %-18s %-14s %12llu %12llu %6.2f %10llu %10llu\n",
+            "%-28s %-10s %-18s %-14s %12llu %12llu %6.2f %10llu %10llu "
+            "%8s\n",
             c.workload.c_str(), c.suite.c_str(),
             uarch::schemeName(c.scheme), c.config.c_str(),
             static_cast<unsigned long long>(c.result.stats.cycles),
@@ -246,17 +423,32 @@ TableReporter::write(const Experiment &exp, std::ostream &os) const
             static_cast<unsigned long long>(c.result.btu.hits +
                                             c.result.btu.singleTargetHits),
             static_cast<unsigned long long>(
-                c.result.stats.condMispredicts));
+                c.result.stats.condMispredicts),
+            vs_base);
         os << buf;
+    }
+    if (!derived.geomeans.empty()) {
+        os << std::string(136, '-') << "\n";
+        for (const auto &g : derived.geomeans) {
+            std::snprintf(
+                buf, sizeof(buf),
+                "%-28s %-10s %-18s %-14s %12s %12s %6s %10s %10s %8.4f\n",
+                "geomean", "", uarch::schemeName(g.scheme),
+                g.config.c_str(), "", "", "", "", "",
+                g.cyclesVsBaseline);
+            os << buf;
+        }
     }
 }
 
 void
 JsonReporter::write(const Experiment &exp, std::ostream &os) const
 {
+    const DerivedMetrics derived = computeDerived(exp);
     os << "{\n  \"results\": [";
     bool first_cell = true;
-    for (const CellResult &c : exp.cells) {
+    for (size_t i = 0; i < exp.cells.size(); i++) {
+        const CellResult &c = exp.cells[i];
         if (!first_cell)
             os << ",";
         first_cell = false;
@@ -270,6 +462,8 @@ JsonReporter::write(const Experiment &exp, std::ostream &os) const
         o.field("cycles", s.cycles);
         o.field("instructions", s.instructions);
         o.field("ipc", s.ipc());
+        if (std::isfinite(derived.cyclesVsBaseline[i]))
+            o.field("cycles_vs_baseline", derived.cyclesVsBaseline[i]);
         {
             std::ostream &core_os = o.object("core");
             core_os << "{";
@@ -343,38 +537,59 @@ JsonReporter::write(const Experiment &exp, std::ostream &os) const
         }
         os << "\n    }";
     }
+    os << "\n  ],\n  \"geomeans\": [";
+    bool first_geo = true;
+    for (const auto &g : derived.geomeans) {
+        if (!first_geo)
+            os << ",";
+        first_geo = false;
+        os << "\n    {";
+        JsonObject o(os, 6);
+        o.field("scheme", std::string(uarch::schemeName(g.scheme)));
+        o.field("config", g.config);
+        o.field("cycles_vs_baseline", g.cyclesVsBaseline);
+        o.field("workloads", static_cast<uint64_t>(g.workloads));
+        os << "\n    }";
+    }
     os << "\n  ]\n}\n";
 }
 
 void
 CsvReporter::write(const Experiment &exp, std::ostream &os) const
 {
+    const DerivedMetrics derived = computeDerived(exp);
     os << "workload,suite,scheme,config,cycles,instructions,ipc,"
           "branches,crypto_branches,cond_mispredicts,resolve_stalls,"
           "btu_lookups,btu_hits,btu_misses,btu_evictions,"
           "l1i_accesses,l1i_misses,l1d_accesses,l1d_misses,"
-          "l2_accesses,l2_misses,l3_accesses,l3_misses\n";
-    for (const CellResult &c : exp.cells) {
-        // Commas inside names (none today) would corrupt rows; quote
-        // defensively when present.
-        auto cell = [](const std::string &s) {
-            if (s.find(',') == std::string::npos &&
-                s.find('"') == std::string::npos)
-                return s;
-            std::string quoted = "\"";
-            for (char ch : s) {
-                if (ch == '"')
-                    quoted += '"';
-                quoted += ch;
-            }
-            quoted += '"';
-            return quoted;
-        };
+          "l2_accesses,l2_misses,l3_accesses,l3_misses,"
+          "cycles_vs_baseline\n";
+    // Commas inside names (none today) would corrupt rows; quote
+    // defensively when present.
+    auto cell = [](const std::string &s) {
+        if (s.find(',') == std::string::npos &&
+            s.find('"') == std::string::npos)
+            return s;
+        std::string quoted = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                quoted += '"';
+            quoted += ch;
+        }
+        quoted += '"';
+        return quoted;
+    };
+    for (size_t i = 0; i < exp.cells.size(); i++) {
+        const CellResult &c = exp.cells[i];
         const uarch::CoreStats &s = c.result.stats;
         const btu::BtuStats &b = c.result.btu;
         const CacheActivity &ca = c.result.caches;
         char ipc_buf[32];
         std::snprintf(ipc_buf, sizeof(ipc_buf), "%.6f", s.ipc());
+        char vs_buf[32] = "";
+        if (std::isfinite(derived.cyclesVsBaseline[i]))
+            std::snprintf(vs_buf, sizeof(vs_buf), "%.6f",
+                          derived.cyclesVsBaseline[i]);
         os << cell(c.workload) << ',' << cell(c.suite) << ','
            << uarch::schemeName(c.scheme) << ',' << cell(c.config) << ','
            << s.cycles << ',' << s.instructions << ',' << ipc_buf << ','
@@ -384,7 +599,20 @@ CsvReporter::write(const Experiment &exp, std::ostream &os) const
            << b.misses << ',' << b.evictions << ',' << ca.l1iAccesses
            << ',' << ca.l1iMisses << ',' << ca.l1dAccesses << ','
            << ca.l1dMisses << ',' << ca.l2Accesses << ',' << ca.l2Misses
-           << ',' << ca.l3Accesses << ',' << ca.l3Misses << "\n";
+           << ',' << ca.l3Accesses << ',' << ca.l3Misses << ','
+           << vs_buf << "\n";
+    }
+    // Per-scheme geomean rows: the 19 counter columns stay empty, the
+    // derived column carries the geometric mean.
+    for (const auto &g : derived.geomeans) {
+        char geo_buf[32];
+        std::snprintf(geo_buf, sizeof(geo_buf), "%.6f",
+                      g.cyclesVsBaseline);
+        os << "geomean,," << uarch::schemeName(g.scheme) << ','
+           << cell(g.config);
+        for (int col = 0; col < 19; col++)
+            os << ',';
+        os << ',' << geo_buf << "\n";
     }
 }
 

@@ -1,15 +1,18 @@
 /**
  * @file
- * Declarative experiment matrices, the parallel runner and the result
- * reporters.
+ * Declarative experiment matrices, the parallel two-phase runner and
+ * the result reporters.
  *
  * An ExperimentMatrix names workloads (resolved through a name ->
  * Workload factory, normally crypto::WorkloadRegistry::global()
  * .resolver()), protection schemes, and SimConfig variants; the
  * runner executes the full workload x scheme x config cross product
- * over a thread pool. Each cell builds its own System, so results are
- * deterministic regardless of thread count, and the result vector is
- * always in matrix order (workload-major, then scheme, then config).
+ * over a thread pool in two phases. Phase 1 analyzes each distinct
+ * workload exactly once (concurrently across workloads, memoized in
+ * an AnalysisCache); phase 2 runs every cell as a Simulation over the
+ * shared immutable artifact. Each cell still builds its own core, so
+ * the result vector is deterministic for any thread count and always
+ * in matrix order (workload-major, then scheme, then config).
  *
  *   core::ExperimentMatrix m;
  *   m.workloads = {"ChaCha20_ct", "kyber768"};
@@ -18,6 +21,10 @@
  *       crypto::WorkloadRegistry::global().resolver());
  *   core::Experiment exp = runner.run(m);
  *   core::makeReporter("json")->write(exp, std::cout);
+ *
+ * Reporters additionally emit derived metrics: per-cell cycles
+ * normalized to the workload's UnsafeBaseline cell and per-scheme
+ * geometric means over the normalized ratios.
  */
 
 #ifndef CASSANDRA_CORE_EXPERIMENT_HH
@@ -25,17 +32,19 @@
 
 #include <functional>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/analyzed_workload.hh"
 #include "core/sim_config.hh"
 #include "core/system.hh"
 
 namespace cassandra::core {
 
 /** Name -> Workload factory used to resolve matrix entries. */
-using WorkloadResolver = std::function<Workload(const std::string &)>;
+using WorkloadResolver = AnalysisCache::Resolver;
 
 /** The workload x scheme x config cross product to execute. */
 struct ExperimentMatrix
@@ -74,6 +83,13 @@ struct Experiment
     std::vector<CellResult> cells;
 
     /**
+     * The shared analysis artifacts of the run, keyed by matrix
+     * workload name — benches read Algorithm 2 results from here
+     * without re-analyzing.
+     */
+    std::map<std::string, AnalyzedWorkload::Ptr> artifacts;
+
+    /**
      * First cell matching workload + scheme (+ config when non-empty);
      * null when absent.
      */
@@ -87,6 +103,12 @@ struct RunnerOptions
 {
     /** Worker threads; 0 means hardware concurrency. */
     unsigned threads = 0;
+
+    /**
+     * The one place thread-pool sizing is decided: the requested
+     * count (or hardware concurrency) clamped to the work at hand.
+     */
+    unsigned resolveThreads(size_t work) const;
 };
 
 /** Executes experiment matrices across a thread pool. */
@@ -95,19 +117,64 @@ class ExperimentRunner
   public:
     explicit ExperimentRunner(WorkloadResolver resolver,
                               RunnerOptions options = {});
+    /** Share a caller-owned cache (artifacts persist across runs). */
+    explicit ExperimentRunner(std::shared_ptr<AnalysisCache> cache,
+                              RunnerOptions options = {});
 
     /**
-     * Run every cell of the matrix. Cells execute concurrently, each
-     * on its own System; the returned cells are in matrix order and
+     * Run every cell of the matrix. Distinct workloads are analyzed
+     * once (phase 1), then cells execute concurrently over the shared
+     * artifacts (phase 2); the returned cells are in matrix order and
      * bit-identical for any thread count. Worker exceptions (e.g.
      * unknown workload names) are rethrown here.
      */
     Experiment run(const ExperimentMatrix &matrix) const;
 
+    /**
+     * Run several matrices as one batch sharing one analysis phase;
+     * cells are concatenated in matrix order.
+     */
+    Experiment run(const std::vector<ExperimentMatrix> &matrices) const;
+
+    /**
+     * Phase 1 only: analyze the named workloads in parallel (each
+     * distinct name exactly once). Returns artifacts in input order.
+     */
+    std::vector<AnalyzedWorkload::Ptr>
+    analyze(const std::vector<std::string> &names) const;
+
+    /** The artifact cache backing this runner. */
+    AnalysisCache &cache() const { return *cache_; }
+
   private:
-    WorkloadResolver resolver_;
+    std::shared_ptr<AnalysisCache> cache_;
     RunnerOptions options_;
 };
+
+/** Derived metrics computed over a finished experiment. */
+struct DerivedMetrics
+{
+    /**
+     * Per-cell cycles normalized to the same workload's
+     * UnsafeBaseline cell (same config preferred, any config as
+     * fallback); NaN when the experiment has no baseline for the
+     * workload. Parallel to Experiment::cells.
+     */
+    std::vector<double> cyclesVsBaseline;
+
+    /** Geometric mean of cyclesVsBaseline per (scheme, config). */
+    struct Geomean
+    {
+        uarch::Scheme scheme = uarch::Scheme::UnsafeBaseline;
+        std::string config;
+        double cyclesVsBaseline = 0.0;
+        size_t workloads = 0; ///< cells contributing to the mean
+    };
+    std::vector<Geomean> geomeans; ///< in first-appearance order
+};
+
+/** Compute normalized ratios and per-scheme geomeans. */
+DerivedMetrics computeDerived(const Experiment &exp);
 
 /** Serializes an Experiment to a stream. */
 class Reporter
@@ -117,7 +184,8 @@ class Reporter
     virtual void write(const Experiment &exp, std::ostream &os) const = 0;
 };
 
-/** Fixed-width text table (cycles, IPC, BTU/BPU headline counters). */
+/** Fixed-width text table (cycles, IPC, BTU/BPU headline counters,
+ * baseline-normalized cycles, per-scheme geomean rows). */
 class TableReporter : public Reporter
 {
   public:
@@ -125,14 +193,16 @@ class TableReporter : public Reporter
 };
 
 /** Full structured dump: every CoreStats/BtuStats/BpuStats/cache
- * counter of every cell, as {"results": [...]}. */
+ * counter of every cell as {"results": [...]}, plus derived
+ * per-cell "cycles_vs_baseline" and a "geomeans" section. */
 class JsonReporter : public Reporter
 {
   public:
     void write(const Experiment &exp, std::ostream &os) const override;
 };
 
-/** Flat spreadsheet-friendly rows (headline counters per cell). */
+/** Flat spreadsheet-friendly rows (headline counters per cell, a
+ * cycles_vs_baseline column, geomean rows appended). */
 class CsvReporter : public Reporter
 {
   public:

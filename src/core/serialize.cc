@@ -1,5 +1,10 @@
 #include "core/serialize.hh"
 
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+
 namespace cassandra::core {
 
 namespace {
@@ -125,6 +130,409 @@ packedTraceBytes(const BranchTrace &trace)
         trace.patternSet.size() * TraceLimits::patternElementBits +
         trace.elements.size() * TraceLimits::traceElementBits;
     return (bits + 7) / 8;
+}
+
+// ---------------------------------------------------------------------
+// AnalyzedWorkload snapshots
+// ---------------------------------------------------------------------
+
+namespace {
+
+constexpr char artifactMagic[8] = {'C', 'A', 'S', 'S',
+                                   'A', 'W', '1', '\n'};
+
+/** Little-endian byte writer for the artifact container. */
+class ByteWriter
+{
+  public:
+    void
+    u8(uint8_t v)
+    {
+        bytes_.push_back(v);
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        for (int i = 0; i < 4; i++)
+            bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; i++)
+            bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    f64(double v)
+    {
+        uint64_t raw;
+        std::memcpy(&raw, &v, sizeof raw);
+        u64(raw);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<uint32_t>(s.size()));
+        bytes_.insert(bytes_.end(), s.begin(), s.end());
+    }
+
+    void
+    blob(const std::vector<uint8_t> &b)
+    {
+        u32(static_cast<uint32_t>(b.size()));
+        bytes_.insert(bytes_.end(), b.begin(), b.end());
+    }
+
+    std::vector<uint8_t> take() { return std::move(bytes_); }
+
+  private:
+    std::vector<uint8_t> bytes_;
+};
+
+/** Bounds-checked little-endian byte reader. */
+class ByteReader
+{
+  public:
+    explicit ByteReader(const std::vector<uint8_t> &bytes)
+        : bytes_(bytes)
+    {
+    }
+
+    uint8_t
+    u8()
+    {
+        need(1);
+        return bytes_[pos_++];
+    }
+
+    uint32_t
+    u32()
+    {
+        need(4);
+        uint32_t v = 0;
+        for (int i = 0; i < 4; i++)
+            v |= static_cast<uint32_t>(bytes_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        need(8);
+        uint64_t v = 0;
+        for (int i = 0; i < 8; i++)
+            v |= static_cast<uint64_t>(bytes_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    double
+    f64()
+    {
+        uint64_t raw = u64();
+        double v;
+        std::memcpy(&v, &raw, sizeof v);
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        uint32_t n = u32();
+        need(n);
+        std::string s(bytes_.begin() + pos_, bytes_.begin() + pos_ + n);
+        pos_ += n;
+        return s;
+    }
+
+    std::vector<uint8_t>
+    blob()
+    {
+        uint32_t n = u32();
+        need(n);
+        std::vector<uint8_t> b(bytes_.begin() + pos_,
+                               bytes_.begin() + pos_ + n);
+        pos_ += n;
+        return b;
+    }
+
+    bool done() const { return pos_ == bytes_.size(); }
+
+  private:
+    void
+    need(size_t n)
+    {
+        if (bytes_.size() - pos_ < n)
+            throw std::invalid_argument(
+                "truncated AnalyzedWorkload snapshot");
+    }
+
+    const std::vector<uint8_t> &bytes_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+namespace {
+
+/** FNV-1a mixer shared by the fingerprint functions. */
+struct Fnv
+{
+    uint64_t h = 14695981039346656037ull;
+
+    void
+    mix(uint64_t v)
+    {
+        for (int i = 0; i < 8; i++) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    }
+};
+
+} // namespace
+
+uint64_t
+programFingerprint(const ir::Program &program)
+{
+    // FNV-1a over the decoded instruction stream plus the crypto
+    // ranges: any change to the binary an artifact was analyzed
+    // against flips the fingerprint.
+    Fnv f;
+    f.mix(program.insts.size());
+    for (const auto &inst : program.insts) {
+        f.mix(static_cast<uint64_t>(inst.op));
+        f.mix((static_cast<uint64_t>(inst.rd) << 16) |
+              (static_cast<uint64_t>(inst.rs1) << 8) | inst.rs2);
+        f.mix(static_cast<uint64_t>(inst.imm));
+    }
+    for (const auto &r : program.cryptoRanges) {
+        f.mix(r.lo);
+        f.mix(r.hi);
+    }
+    return f.h;
+}
+
+uint64_t
+workloadFingerprint(const Workload &workload)
+{
+    // Program plus every hashable run-relevant binding. setInput is a
+    // closure and cannot be fingerprinted: changing input *data*
+    // without touching the program is invisible here (documented in
+    // the header).
+    Fnv f;
+    f.mix(programFingerprint(workload.program));
+    f.mix(workload.maxDynInsts);
+    f.mix(workload.secretRegions.size());
+    for (const auto &r : workload.secretRegions) {
+        f.mix(r.lo);
+        f.mix(r.hi);
+    }
+    uint64_t frac;
+    std::memcpy(&frac, &workload.sandboxFraction, sizeof frac);
+    f.mix(frac);
+    return f.h;
+}
+
+std::vector<uint8_t>
+packAnalyzedWorkload(const AnalyzedWorkload &aw, const std::string &name)
+{
+    ByteWriter w;
+    for (char c : artifactMagic)
+        w.u8(static_cast<uint8_t>(c));
+    w.str(name.empty() ? aw.workload().name : name);
+    w.u64(workloadFingerprint(aw.workload()));
+
+    // Branch records.
+    const TraceGenResult &tg = aw.traces();
+    w.u32(static_cast<uint32_t>(tg.records.size()));
+    for (const BranchRecord &rec : tg.records) {
+        w.u64(rec.pc);
+        w.u64(rec.vanillaSize);
+        w.u64(rec.kmersSize);
+        w.u8(static_cast<uint8_t>((rec.singleTarget ? 1 : 0) |
+                                  (rec.inputDependent ? 2 : 0)));
+        w.u8(static_cast<uint8_t>(rec.rejection));
+    }
+
+    // Analysis step timings (informational; not replayed).
+    w.f64(tg.timings.detectSec);
+    w.f64(tg.timings.rawSec);
+    w.f64(tg.timings.vanillaSec);
+    w.f64(tg.timings.dnaSec);
+    w.f64(tg.timings.kmersSec);
+    w.f64(tg.timings.embedSec);
+
+    // Trace image: hint words, full branch traces, layout counters.
+    const TraceImage &image = tg.image;
+    w.u32(static_cast<uint32_t>(image.numBranches()));
+    // Hints are not directly iterable; the pc set comes from the
+    // records (every analyzed branch owns exactly one of each).
+    for (const BranchRecord &rec : tg.records) {
+        const HintInfo *hint = image.hint(rec.pc);
+        if (!hint)
+            throw std::invalid_argument(
+                "inconsistent artifact: record without hint");
+        w.u64(rec.pc);
+        w.u8(static_cast<uint8_t>((hint->singleTarget ? 1 : 0) |
+                                  (hint->shortTrace ? 2 : 0)));
+        w.u64(hint->targetPc);
+        w.u32(hint->traceOffset);
+    }
+    w.u32(static_cast<uint32_t>(image.traces().size()));
+    for (const auto &[pc, trace] : image.traces()) {
+        w.u64(pc);
+        w.u8(static_cast<uint8_t>(trace.rejection));
+        w.u8(static_cast<uint8_t>((trace.singleTarget ? 1 : 0) |
+                                  (trace.shortTrace ? 2 : 0)));
+        w.u64(trace.singleTargetPc);
+        w.blob(packTrace(trace));
+    }
+    w.u64(image.traceBytes());
+    w.u32(static_cast<uint32_t>(image.cryptoRanges.size()));
+    for (const auto &r : image.cryptoRanges) {
+        w.u64(r.lo);
+        w.u64(r.hi);
+    }
+
+    // Timing trace (instruction pointers relink from PCs on load; the
+    // taint pre-pass is recomputed, so only the base stream is kept).
+    const uarch::TimingTrace &trace = aw.timingTrace();
+    w.u64(trace.size());
+    for (const uarch::TimingOp &op : trace) {
+        w.u64(op.pc);
+        w.u64(op.memAddr);
+        w.u64(op.nextPc);
+    }
+    return w.take();
+}
+
+AnalyzedWorkload::Ptr
+unpackAnalyzedWorkload(const std::vector<uint8_t> &bytes,
+                       const AnalysisCache::Resolver &resolver)
+{
+    ByteReader r(bytes);
+    for (char c : artifactMagic) {
+        if (r.u8() != static_cast<uint8_t>(c))
+            throw std::invalid_argument(
+                "not an AnalyzedWorkload snapshot (bad magic)");
+    }
+    const std::string name = r.str();
+    const uint64_t fingerprint = r.u64();
+
+    Workload workload = resolver(name);
+    if (workloadFingerprint(workload) != fingerprint)
+        throw std::invalid_argument(
+            "stale AnalyzedWorkload snapshot for \"" + name +
+            "\": program fingerprint mismatch");
+
+    TraceGenResult tg;
+    uint32_t num_records = r.u32();
+    tg.records.reserve(num_records);
+    for (uint32_t i = 0; i < num_records; i++) {
+        BranchRecord rec;
+        rec.pc = r.u64();
+        rec.vanillaSize = r.u64();
+        rec.kmersSize = r.u64();
+        uint8_t flags = r.u8();
+        rec.singleTarget = (flags & 1) != 0;
+        rec.inputDependent = (flags & 2) != 0;
+        rec.rejection = static_cast<TraceRejection>(r.u8());
+        tg.records.push_back(rec);
+    }
+
+    tg.timings.detectSec = r.f64();
+    tg.timings.rawSec = r.f64();
+    tg.timings.vanillaSec = r.f64();
+    tg.timings.dnaSec = r.f64();
+    tg.timings.kmersSec = r.f64();
+    tg.timings.embedSec = r.f64();
+
+    std::map<uint64_t, HintInfo> hints;
+    uint32_t num_hints = r.u32();
+    for (uint32_t i = 0; i < num_hints; i++) {
+        uint64_t pc = r.u64();
+        uint8_t flags = r.u8();
+        HintInfo hint;
+        hint.singleTarget = (flags & 1) != 0;
+        hint.shortTrace = (flags & 2) != 0;
+        hint.targetPc = r.u64();
+        hint.traceOffset = r.u32();
+        hints[pc] = hint;
+    }
+    std::map<uint64_t, BranchTrace> traces;
+    uint32_t num_traces = r.u32();
+    for (uint32_t i = 0; i < num_traces; i++) {
+        uint64_t pc = r.u64();
+        auto rejection = static_cast<TraceRejection>(r.u8());
+        uint8_t flags = r.u8();
+        uint64_t single_target_pc = r.u64();
+        BranchTrace trace = unpackTrace(r.blob(), pc);
+        // unpackTrace collapses flags into the hardware view; restore
+        // the exact analysis-side metadata.
+        trace.rejection = rejection;
+        trace.singleTarget = (flags & 1) != 0;
+        trace.shortTrace = (flags & 2) != 0;
+        trace.singleTargetPc = single_target_pc;
+        traces.emplace(pc, std::move(trace));
+    }
+    size_t trace_bytes = r.u64();
+    tg.image.restore(std::move(hints), std::move(traces), trace_bytes);
+    uint32_t num_ranges = r.u32();
+    tg.image.cryptoRanges.clear();
+    for (uint32_t i = 0; i < num_ranges; i++) {
+        ir::PcRange range;
+        range.lo = r.u64();
+        range.hi = r.u64();
+        tg.image.cryptoRanges.push_back(range);
+    }
+
+    uint64_t num_ops = r.u64();
+    uarch::TimingTrace trace;
+    trace.reserve(num_ops);
+    for (uint64_t i = 0; i < num_ops; i++) {
+        uarch::TimingOp op;
+        op.pc = r.u64();
+        op.memAddr = r.u64();
+        op.nextPc = r.u64();
+        trace.push_back(op);
+    }
+    if (!r.done())
+        throw std::invalid_argument(
+            "trailing bytes in AnalyzedWorkload snapshot");
+    uarch::relinkTimingTrace(trace, workload.program);
+    return AnalyzedWorkload::fromParts(std::move(workload),
+                                       std::move(tg), std::move(trace));
+}
+
+void
+saveAnalyzedWorkload(const AnalyzedWorkload &aw, const std::string &path,
+                     const std::string &name)
+{
+    std::vector<uint8_t> bytes = packAnalyzedWorkload(aw, name);
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    if (!file)
+        throw std::runtime_error("cannot open " + path + " for writing");
+    file.write(reinterpret_cast<const char *>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+    if (!file)
+        throw std::runtime_error("short write to " + path);
+}
+
+AnalyzedWorkload::Ptr
+loadAnalyzedWorkload(const std::string &path,
+                     const AnalysisCache::Resolver &resolver)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
+        throw std::runtime_error("cannot open " + path);
+    std::vector<uint8_t> bytes(
+        (std::istreambuf_iterator<char>(file)),
+        std::istreambuf_iterator<char>());
+    return unpackAnalyzedWorkload(bytes, resolver);
 }
 
 uint16_t

@@ -9,14 +9,25 @@
  * passes decoded structures around for speed; this module exists to
  * pin down the storage format, validate the bit-width accounting and
  * support the round-trip property tests.
+ *
+ * On top of the per-branch wire format, this module snapshots whole
+ * AnalyzedWorkload artifacts (magic "CASSAW1\n"): workload name +
+ * program fingerprint, the Algorithm 2 results and the recorded
+ * timing trace. Reloading resolves the workload by name (normally
+ * through WorkloadRegistry::global().resolver()), verifies the
+ * fingerprint so stale artifacts fail loudly, and relinks the timing
+ * trace against the rebuilt program — repeated sweeps skip analysis
+ * entirely.
  */
 
 #ifndef CASSANDRA_CORE_SERIALIZE_HH
 #define CASSANDRA_CORE_SERIALIZE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "core/analyzed_workload.hh"
 #include "core/trace_format.hh"
 #include "core/trace_image.hh"
 
@@ -40,6 +51,53 @@ size_t packedTraceBytes(const BranchTrace &trace);
 
 /** Pack a 14-bit hint word (Figure: single-target, offset, short). */
 uint16_t packHint(const HintInfo &hint, uint64_t branch_pc);
+
+// ---------------------------------------------------------------------
+// AnalyzedWorkload snapshots (analyze once, reload forever)
+// ---------------------------------------------------------------------
+
+/** Structural fingerprint of a program (guards stale artifacts). */
+uint64_t programFingerprint(const ir::Program &program);
+
+/**
+ * Fingerprint of everything hashable that shapes a workload's runs:
+ * the program, maxDynInsts, secret regions and the sandbox fraction.
+ * Caveat: setInput/check are closures and cannot be hashed — a
+ * change to input *data* that leaves the program identical is not
+ * detected; delete stale snapshot directories after such edits.
+ */
+uint64_t workloadFingerprint(const Workload &workload);
+
+/**
+ * Snapshot a full analysis artifact into bytes. `name` is the
+ * resolver (registry) name stored for reloading; empty uses
+ * Workload::name, which differs from the registry spelling for
+ * parameterized entries like "synthetic/chacha20/75".
+ */
+std::vector<uint8_t> packAnalyzedWorkload(const AnalyzedWorkload &aw,
+                                          const std::string &name = "");
+
+/**
+ * Rebuild an artifact from packAnalyzedWorkload bytes. The workload
+ * is rebuilt by name through the resolver and its program must match
+ * the stored fingerprint.
+ * @throws std::invalid_argument on corrupt bytes or fingerprint
+ *         mismatch (and whatever the resolver throws on unknown
+ *         names).
+ */
+AnalyzedWorkload::Ptr
+unpackAnalyzedWorkload(const std::vector<uint8_t> &bytes,
+                       const AnalysisCache::Resolver &resolver);
+
+/** packAnalyzedWorkload straight to a file (throws on I/O errors). */
+void saveAnalyzedWorkload(const AnalyzedWorkload &aw,
+                          const std::string &path,
+                          const std::string &name = "");
+
+/** Load + unpack an artifact file. */
+AnalyzedWorkload::Ptr
+loadAnalyzedWorkload(const std::string &path,
+                     const AnalysisCache::Resolver &resolver);
 
 } // namespace cassandra::core
 

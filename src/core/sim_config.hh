@@ -4,18 +4,21 @@
  *
  * A SimConfig carries everything that defines a timing run — the
  * protection scheme, the core parameters (Table 3) and the BTU
- * geometry/timing — and flows intact from System::run through OooCore
- * into the Btu constructor. Benches sweep any knob (BTU sets/ways/fill
- * latency, core width, ROB size, cache geometry, flush period) by
- * deriving configs from a base:
+ * geometry/timing — and flows intact from Simulation::run (or the
+ * legacy System::run shim) through OooCore into the Btu constructor.
+ * Benches sweep any knob (BTU sets/ways/fill latency, core width, ROB
+ * size, cache geometry, flush period) by deriving configs from a
+ * base:
  *
  *   core::SimConfig cfg;
  *   cfg.scheme = uarch::Scheme::Cassandra;
  *   cfg.btu.ways = 4;
- *   auto res = sys.run(cfg);
+ *   auto res = sim.run(cfg);
  *
  * The fluent with*() helpers return modified copies so a sweep can be
- * written as a list of derived configs.
+ * written as a list of derived configs; configs also deserialize from
+ * JSON sweep files (core/experiment_config) with snake_case field
+ * overrides.
  */
 
 #ifndef CASSANDRA_CORE_SIM_CONFIG_HH

@@ -1,23 +1,37 @@
 #include "core/system.hh"
 
+#include <stdexcept>
+
 namespace cassandra::core {
 
 System::System(Workload workload) : workload_(std::move(workload)) {}
 
+System::System(AnalyzedWorkload::Ptr artifact)
+{
+    if (!artifact)
+        throw std::invalid_argument("System needs an artifact");
+    workload_ = artifact->workload();
+    artifact_ = std::move(artifact);
+}
+
+const AnalyzedWorkload::Ptr &
+System::artifact()
+{
+    if (!artifact_)
+        artifact_ = AnalyzedWorkload::analyze(workload_);
+    return artifact_;
+}
+
 const TraceGenResult &
 System::traces()
 {
-    if (!traces_)
-        traces_ = generateTraces(workload_);
-    return *traces_;
+    return artifact()->traces();
 }
 
 const uarch::TimingTrace &
 System::timingTrace()
 {
-    if (!trace_)
-        trace_ = uarch::recordTrace(workload_, /*which=*/2);
-    return *trace_;
+    return artifact()->timingTrace();
 }
 
 ExperimentResult
@@ -40,47 +54,14 @@ System::run(uarch::Scheme scheme, const uarch::CoreParams &params)
 ExperimentResult
 System::run(const SimConfig &config)
 {
-    const uarch::Scheme scheme = config.scheme;
-    const uarch::TimingTrace &base = timingTrace();
-
-    // ProSpeCT schemes need the taint pre-pass; run it on a copy so
-    // other schemes see the pristine trace.
-    const bool needs_taint = scheme == uarch::Scheme::Prospect ||
-        scheme == uarch::Scheme::CassandraProspect;
-
-    const TraceImage *image = nullptr;
-    if (uarch::schemeIsCassandra(scheme))
-        image = &traces().image;
-
-    uarch::OooCore core(config, workload_.program, image);
-    ExperimentResult result;
-    if (needs_taint && !workload_.secretRegions.empty()) {
-        uarch::TimingTrace tainted = base;
-        uarch::annotateTaint(tainted, workload_.program,
-                             workload_.secretRegions);
-        result.stats = core.run(tainted);
-    } else {
-        result.stats = core.run(base);
-    }
-
-    if (core.btuUnit())
-        result.btu = core.btuUnit()->stats();
-    result.bpu = core.tage().stats();
-    const auto &mem = core.memory();
-    result.caches.l1iAccesses = mem.l1i().stats().accesses;
-    result.caches.l1iMisses = mem.l1i().stats().misses;
-    result.caches.l1dAccesses = mem.l1d().stats().accesses;
-    result.caches.l1dMisses = mem.l1d().stats().misses;
-    result.caches.l2Accesses = mem.l2().stats().accesses;
-    result.caches.l2Misses = mem.l2().stats().misses;
-    result.caches.l3Accesses = mem.l3().stats().accesses;
-    result.caches.l3Misses = mem.l3().stats().misses;
-    return result;
+    return Simulation(artifact()).run(config);
 }
 
 bool
 System::verifyOutput() const
 {
+    if (artifact_)
+        return artifact_->verifyOutput();
     if (!workload_.check)
         return true;
     sim::Machine machine(workload_.program);

@@ -1,25 +1,29 @@
 /**
  * @file
- * End-to-end Cassandra system API.
+ * End-to-end Cassandra system API — compatibility shim.
  *
- * A System owns a workload and lazily produces everything an experiment
- * needs: the Algorithm 2 trace image, the recorded dynamic instruction
- * stream, and timing runs under any protection scheme. This is the
- * primary entry point for examples and benches:
+ * @deprecated System bundles both phases of the two-phase API behind
+ * the PR 1 interface and is kept for source compatibility. New code
+ * should split the phases explicitly — analyze once, simulate many:
  *
- *   core::System sys(crypto::chacha20Bearssl());
- *   auto base = sys.run(uarch::Scheme::UnsafeBaseline);
- *   auto cass = sys.run(uarch::Scheme::Cassandra);
- *   double speedup = double(base.stats.cycles) / cass.stats.cycles;
+ *   auto aw = core::AnalyzedWorkload::analyze(workload);
+ *   core::Simulation sim(aw);
+ *   auto base = sim.run(uarch::Scheme::UnsafeBaseline);
+ *   auto cass = sim.run(uarch::Scheme::Cassandra);
+ *
+ * A System lazily analyzes its workload on first use (traces(),
+ * timingTrace() or run()) and then delegates every run to a
+ * Simulation over the shared artifact. Results are bit-identical to
+ * the historical per-run behavior; the artifact is additionally
+ * shareable via artifact().
  */
 
 #ifndef CASSANDRA_CORE_SYSTEM_HH
 #define CASSANDRA_CORE_SYSTEM_HH
 
 #include <memory>
-#include <optional>
 
-#include "btu/btu.hh"
+#include "core/analyzed_workload.hh"
 #include "core/sim_config.hh"
 #include "core/tracegen.hh"
 #include "core/workload.hh"
@@ -27,31 +31,21 @@
 
 namespace cassandra::core {
 
-/** Per-level cache activity snapshot. */
-struct CacheActivity
-{
-    uint64_t l1iAccesses = 0, l1iMisses = 0;
-    uint64_t l1dAccesses = 0, l1dMisses = 0;
-    uint64_t l2Accesses = 0, l2Misses = 0;
-    uint64_t l3Accesses = 0, l3Misses = 0;
-};
-
-/** Everything measured in one timing run. */
-struct ExperimentResult
-{
-    uarch::CoreStats stats;
-    btu::BtuStats btu; ///< zeroed for non-BTU schemes
-    uarch::BpuStats bpu;
-    CacheActivity caches;
-};
-
-/** Orchestrates analysis + simulation for one workload. */
+/**
+ * Orchestrates analysis + simulation for one workload.
+ * @deprecated Prefer AnalyzedWorkload::analyze + Simulation.
+ */
 class System
 {
   public:
     explicit System(Workload workload);
+    /** Wrap an existing artifact (no analysis will run). */
+    explicit System(AnalyzedWorkload::Ptr artifact);
 
     const Workload &workload() const { return workload_; }
+
+    /** The shared analysis artifact (analyzed on first call). */
+    const AnalyzedWorkload::Ptr &artifact();
 
     /** Algorithm 2 output (computed once, cached). */
     const TraceGenResult &traces();
@@ -61,8 +55,7 @@ class System
 
     /**
      * Run the timing model under a full configuration. The config's
-     * scheme, core parameters and BTU geometry all take effect; this
-     * is the primary entry point of the experiment API.
+     * scheme, core parameters and BTU geometry all take effect.
      */
     ExperimentResult run(const SimConfig &config);
 
@@ -77,9 +70,7 @@ class System
 
   private:
     Workload workload_;
-    std::optional<TraceGenResult> traces_;
-    std::optional<uarch::TimingTrace> trace_;
-    bool taintAnnotated_ = false;
+    AnalyzedWorkload::Ptr artifact_;
 };
 
 } // namespace cassandra::core

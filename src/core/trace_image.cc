@@ -1,5 +1,7 @@
 #include "core/trace_image.hh"
 
+#include <utility>
+
 namespace cassandra::core {
 
 void
@@ -17,6 +19,16 @@ TraceImage::add(const BranchTrace &trace)
         // bit-packed pattern and trace elements, byte-rounded.
         traceBytes_ += 4 + (trace.storageBits() + 7) / 8;
     }
+}
+
+void
+TraceImage::restore(std::map<uint64_t, HintInfo> hints,
+                    std::map<uint64_t, BranchTrace> traces,
+                    size_t trace_bytes)
+{
+    hints_ = std::move(hints);
+    traces_ = std::move(traces);
+    traceBytes_ = trace_bytes;
 }
 
 const HintInfo *

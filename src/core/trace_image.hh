@@ -39,6 +39,14 @@ class TraceImage
     /** Register the trace of a static branch. */
     void add(const BranchTrace &trace);
 
+    /**
+     * Restore an image verbatim from serialized parts (core/serialize
+     * deserialization path); replaces any existing contents.
+     */
+    void restore(std::map<uint64_t, HintInfo> hints,
+                 std::map<uint64_t, BranchTrace> traces,
+                 size_t trace_bytes);
+
     /** True if the branch was analyzed (hint information exists). */
     bool known(uint64_t pc) const { return hints_.count(pc) != 0; }
 

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <cstddef>
+#include <string>
 
 namespace cassandra::uarch {
 
@@ -33,6 +34,13 @@ enum class Scheme
 };
 
 const char *schemeName(Scheme s);
+
+/**
+ * Parse a scheme from its display name ("Cassandra+STL") or enum
+ * spelling ("CassandraStl"), case-insensitively.
+ * @throws std::invalid_argument listing the valid names.
+ */
+Scheme schemeFromName(const std::string &name);
 
 /** True if the scheme uses the BTU for crypto branches. */
 inline bool

@@ -1,8 +1,11 @@
 #include "uarch/pipeline.hh"
 
 #include <algorithm>
+#include <cctype>
+#include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 namespace cassandra::uarch {
 
@@ -23,6 +26,45 @@ schemeName(Scheme s)
       case Scheme::CassandraProspect: return "Cassandra+ProSpeCT";
     }
     return "?";
+}
+
+Scheme
+schemeFromName(const std::string &name)
+{
+    auto lowered = [](const std::string &s) {
+        std::string out = s;
+        for (char &c : out)
+            c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        return out;
+    };
+    static const std::pair<const char *, Scheme> aliases[] = {
+        {"unsafebaseline", Scheme::UnsafeBaseline},
+        {"baseline", Scheme::UnsafeBaseline},
+        {"cassandra", Scheme::Cassandra},
+        {"cassandra+stl", Scheme::CassandraStl},
+        {"cassandrastl", Scheme::CassandraStl},
+        {"cassandra-lite", Scheme::CassandraLite},
+        {"cassandralite", Scheme::CassandraLite},
+        {"spt", Scheme::Spt},
+        {"prospect", Scheme::Prospect},
+        {"cassandra+prospect", Scheme::CassandraProspect},
+        {"cassandraprospect", Scheme::CassandraProspect},
+    };
+    const std::string want = lowered(name);
+    for (const auto &[alias, scheme] : aliases) {
+        if (want == alias)
+            return scheme;
+    }
+    std::string msg = "unknown scheme \"" + name + "\" (expected one of";
+    for (Scheme s : {Scheme::UnsafeBaseline, Scheme::Cassandra,
+                     Scheme::CassandraStl, Scheme::CassandraLite,
+                     Scheme::Spt, Scheme::Prospect,
+                     Scheme::CassandraProspect}) {
+        msg += " ";
+        msg += schemeName(s);
+    }
+    throw std::invalid_argument(msg + ")");
 }
 
 TimingTrace
@@ -48,6 +90,18 @@ recordTrace(const core::Workload &workload, int which)
                             ": timing trace exceeded instruction budget");
     }
     return trace;
+}
+
+void
+relinkTimingTrace(TimingTrace &trace, const ir::Program &program)
+{
+    for (TimingOp &op : trace) {
+        if (!program.validPc(op.pc))
+            throw std::invalid_argument(
+                "relinkTimingTrace: trace pc outside program");
+        op.inst = &program.at(op.pc);
+        op.crypto = program.isCryptoPc(op.pc);
+    }
 }
 
 void

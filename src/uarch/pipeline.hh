@@ -79,6 +79,14 @@ TimingTrace recordTrace(const core::Workload &workload, int which = 2);
 void annotateTaint(TimingTrace &trace, const ir::Program &program,
                    const std::vector<core::SecretRegion> &regions);
 
+/**
+ * Re-attach a deserialized timing trace to its program: resolves each
+ * op's instruction pointer and crypto flag from its PC. Throws
+ * std::invalid_argument when a PC falls outside the program (stale
+ * artifact against a changed binary).
+ */
+void relinkTimingTrace(TimingTrace &trace, const ir::Program &program);
+
 /** Aggregate timing statistics of one run. */
 struct CoreStats
 {

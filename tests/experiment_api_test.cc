@@ -210,6 +210,9 @@ TEST(ReporterTest, JsonAndCsvCaptureEveryCell)
     EXPECT_NE(j.find("\"scheme\": \"Cassandra\""), std::string::npos);
     EXPECT_NE(j.find("\"btu\""), std::string::npos);
     EXPECT_NE(j.find("\"caches\""), std::string::npos);
+    // Derived metrics: per-cell normalization and the geomean block.
+    EXPECT_NE(j.find("\"cycles_vs_baseline\""), std::string::npos);
+    EXPECT_NE(j.find("\"geomeans\""), std::string::npos);
     EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
               std::count(j.begin(), j.end(), '}'));
     EXPECT_EQ(std::count(j.begin(), j.end(), '['),
@@ -218,16 +221,57 @@ TEST(ReporterTest, JsonAndCsvCaptureEveryCell)
     std::ostringstream csv;
     core::makeReporter("csv")->write(exp, csv);
     const std::string c = csv.str();
-    // Header + one row per cell.
-    EXPECT_EQ(std::count(c.begin(), c.end(), '\n'), 3);
+    // Header + one row per cell + one geomean row per scheme.
+    EXPECT_EQ(std::count(c.begin(), c.end(), '\n'), 5);
     EXPECT_NE(c.find("workload,suite,scheme,config,cycles"),
               std::string::npos);
+    EXPECT_NE(c.find(",cycles_vs_baseline"), std::string::npos);
+    EXPECT_NE(c.find("geomean,,UnsafeBaseline,default"),
+              std::string::npos);
+    EXPECT_NE(c.find("geomean,,Cassandra,default"), std::string::npos);
 
     std::ostringstream table;
     core::makeReporter("table")->write(exp, table);
     EXPECT_NE(table.str().find("ChaCha20_ct"), std::string::npos);
+    EXPECT_NE(table.str().find("vs_base"), std::string::npos);
+    EXPECT_NE(table.str().find("geomean"), std::string::npos);
 
     EXPECT_THROW(core::makeReporter("yaml"), std::invalid_argument);
+}
+
+TEST(DerivedMetricsTest, NormalizesToBaselineAndGroupsGeomeans)
+{
+    ExperimentMatrix m;
+    m.workloads = {"ChaCha20_ct", "SHAKE"};
+    m.schemes = {Scheme::UnsafeBaseline, Scheme::Cassandra};
+    auto exp = ExperimentRunner(
+                   crypto::WorkloadRegistry::global().resolver())
+                   .run(m);
+    auto derived = core::computeDerived(exp);
+    ASSERT_EQ(derived.cyclesVsBaseline.size(), exp.cells.size());
+
+    for (size_t i = 0; i < exp.cells.size(); i++) {
+        const auto &cell = exp.cells[i];
+        const auto *base =
+            exp.find(cell.workload, Scheme::UnsafeBaseline);
+        ASSERT_NE(base, nullptr);
+        double expected =
+            static_cast<double>(cell.result.stats.cycles) /
+            base->result.stats.cycles;
+        EXPECT_DOUBLE_EQ(derived.cyclesVsBaseline[i], expected)
+            << cell.workload;
+        if (cell.scheme == Scheme::UnsafeBaseline) {
+            EXPECT_DOUBLE_EQ(derived.cyclesVsBaseline[i], 1.0);
+        }
+    }
+
+    ASSERT_EQ(derived.geomeans.size(), 2u); // one per scheme
+    for (const auto &g : derived.geomeans)
+        EXPECT_EQ(g.workloads, 2u);
+    EXPECT_EQ(derived.geomeans[0].scheme, Scheme::UnsafeBaseline);
+    EXPECT_DOUBLE_EQ(derived.geomeans[0].cyclesVsBaseline, 1.0);
+    EXPECT_EQ(derived.geomeans[1].scheme, Scheme::Cassandra);
+    EXPECT_GT(derived.geomeans[1].cyclesVsBaseline, 0.0);
 }
 
 } // namespace
