@@ -75,11 +75,14 @@ struct CliOptions
     std::vector<std::string> workloads; ///< filter; empty = bench set
     std::string suite;                  ///< filter; empty = all suites
     std::string configPath;             ///< --config JSON sweep file
+    /// whole | stream (--trace-mode or the config's "trace_mode").
+    core::TraceMode traceMode = core::TraceMode::Whole;
 
     /// CLI flags beat config-file settings; track what was spelled.
     bool formatExplicit = false;
     bool outExplicit = false;
     bool threadsExplicit = false;
+    bool traceModeExplicit = false;
 
     /// Artifact snapshot directory (from the config file).
     std::string artifactDir;
@@ -101,6 +104,10 @@ printCliHelp(const char *prog)
         "  --config=FILE  load the full sweep (workloads, schemes,\n"
         "                 parameter overrides, report settings) from a\n"
         "                 JSON experiment config; CLI flags override\n"
+        "  --trace-mode=M timing trace storage: whole (default, in\n"
+        "                 memory) or stream (spill to chunked trace\n"
+        "                 files, replay from disk; same cycles, flat\n"
+        "                 peak memory)\n"
         "  --list         list selectable workload names and exit\n"
         "  --help         this text\n",
         prog);
@@ -149,6 +156,16 @@ parseCli(int argc, char **argv)
             opts.threadsExplicit = true;
         } else if (const char *v = value("--suite")) {
             opts.suite = v;
+        } else if (const char *v = value("--trace-mode")) {
+            try {
+                opts.traceMode = core::traceModeFromName(v);
+            } catch (const std::invalid_argument &) {
+                std::fprintf(stderr, "invalid --trace-mode=%s "
+                                     "(expected whole or stream)\n",
+                             v);
+                std::exit(2);
+            }
+            opts.traceModeExplicit = true;
         } else if (const char *v = value("--config")) {
             opts.configPath = v;
         } else if (arg == "--config" && i + 1 < argc) {
@@ -273,6 +290,8 @@ matrixFromConfig(CliOptions &opts, core::ExperimentMatrix &matrix)
         opts.out = spec.out;
     if (!opts.threadsExplicit && spec.threads != 0)
         opts.threads = spec.threads;
+    if (!opts.traceModeExplicit && spec.traceModeSet)
+        opts.traceMode = spec.traceMode;
     opts.artifactDir = spec.artifactDir;
     opts.artifactSave = spec.artifactSave;
     return true;
@@ -291,11 +310,28 @@ artifactPath(const std::string &dir, const std::string &name)
     return dir + "/" + file + ".aw";
 }
 
+/** Analysis options of one bench run: trace mode from the CLI/config,
+ * stream files next to the artifact snapshots (or in the default
+ * temp directory when no artifact dir is configured). */
+inline core::AnalyzeOptions
+analyzeOptions(const CliOptions &opts)
+{
+    core::AnalyzeOptions options;
+    options.traceMode = opts.traceMode;
+    if (!opts.artifactDir.empty())
+        options.streamDir = opts.artifactDir;
+    return options;
+}
+
 /**
  * Analysis cache for one bench run, preloaded from opts.artifactDir
  * when the config named one. Workloads without a loadable snapshot
- * (missing or stale) analyze fresh; with artifactSave their names
- * land in `missing` so saveArtifacts can snapshot them afterwards.
+ * analyze fresh; with artifactSave their names land in `missing` so
+ * saveArtifacts can snapshot them afterwards. Snapshots with an
+ * outdated container version or a mismatched fingerprint are evicted
+ * (deleted) — a cache that silently re-analyzes around bad files
+ * looks exactly like a working one while paying full analysis cost
+ * forever.
  */
 inline std::shared_ptr<core::AnalysisCache>
 makeArtifactCache(const std::vector<std::string> &names,
@@ -303,7 +339,8 @@ makeArtifactCache(const std::vector<std::string> &names,
                   std::vector<std::string> &missing)
 {
     auto resolver = crypto::WorkloadRegistry::global().resolver();
-    auto cache = std::make_shared<core::AnalysisCache>(resolver);
+    auto cache = std::make_shared<core::AnalysisCache>(
+        resolver, analyzeOptions(opts));
     if (opts.artifactDir.empty())
         return cache;
     for (const std::string &name : names) {
@@ -314,10 +351,16 @@ makeArtifactCache(const std::vector<std::string> &names,
         const std::string path = artifactPath(opts.artifactDir, name);
         try {
             cache->put(name, core::loadAnalyzedWorkload(path, resolver));
+        } catch (const core::ArtifactError &e) {
+            // Outdated container version or stale fingerprint: evict
+            // the file so the next save rewrites it.
+            std::fprintf(stderr, "%s: %s; evicting\n", path.c_str(),
+                         e.what());
+            std::remove(path.c_str());
+            missing.push_back(name);
         } catch (const std::invalid_argument &e) {
-            // The file exists but is corrupt or stale: re-analyzing is
-            // correct, but say so — a silently bypassed cache looks
-            // exactly like a working one.
+            // The file exists but is corrupt (e.g. truncated write):
+            // re-analyzing is correct, but say so.
             std::fprintf(stderr, "%s: %s; re-analyzing %s\n",
                          path.c_str(), e.what(), name.c_str());
             missing.push_back(name);
@@ -371,9 +414,25 @@ runMatrices(const std::vector<core::ExperimentMatrix> &matrices,
     std::vector<std::string> missing;
     auto cache = makeArtifactCache(names, opts, missing);
 
-    core::ExperimentRunner runner(cache,
-                                  core::RunnerOptions{opts.threads});
-    core::Experiment exp = runner.run(matrices);
+    // An explicit --trace-mode overrides whatever the matrices'
+    // configs say, in both directions (a config-file trace_mode is
+    // already baked into the parsed configs, so it needs no forcing).
+    std::vector<core::ExperimentMatrix> resolved = matrices;
+    if (opts.traceModeExplicit) {
+        for (auto &matrix : resolved) {
+            if (matrix.configs.empty() &&
+                opts.traceMode == core::TraceMode::Stream)
+                matrix.configs.push_back(core::SimConfig{});
+            for (auto &cfg : matrix.configs)
+                cfg.traceMode = opts.traceMode;
+        }
+    }
+
+    core::RunnerOptions runner_opts;
+    runner_opts.threads = opts.threads;
+    runner_opts.analyze = analyzeOptions(opts);
+    core::ExperimentRunner runner(cache, runner_opts);
+    core::Experiment exp = runner.run(resolved);
     saveArtifacts(exp.artifacts, missing, opts);
     return exp;
 }

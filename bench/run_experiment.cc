@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Standalone config-file front end: the whole sweep — workloads,
+ * schemes, SimConfig variants, trace mode, report settings, artifact
+ * cache — comes from one JSON experiment config, so experiments are
+ * versionable artifacts instead of bench-specific conventions:
+ *
+ *   run_experiment configs/ci_smoke.json
+ *   run_experiment configs/ci_smoke.json --trace-mode=stream \
+ *       --format=json --out=smoke.json
+ *
+ * The config may be given positionally or via --config=FILE; the
+ * other shared CLI flags (--format/--out/--threads/--workloads/
+ * --suite/--trace-mode) override the config file as usual. Unlike the
+ * figure benches there is no built-in matrix: no config is an error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "core/experiment.hh"
+
+using namespace cassandra;
+
+int
+main(int argc, char **argv)
+{
+    // Accept the config file as the first positional argument by
+    // rewriting it to the shared CLI's --config=FILE before parsing.
+    std::vector<std::string> args;
+    args.reserve(static_cast<size_t>(argc));
+    bool have_positional = false;
+    for (int i = 1; i < argc; i++) {
+        if (argv[i][0] != '-' && !have_positional &&
+            std::strncmp(argv[i], "--", 2) != 0) {
+            args.push_back(std::string("--config=") + argv[i]);
+            have_positional = true;
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    std::vector<char *> cargv;
+    cargv.push_back(argv[0]);
+    for (std::string &arg : args)
+        cargv.push_back(arg.data());
+
+    auto opts = bench::parseCli(static_cast<int>(cargv.size()),
+                                cargv.data());
+    if (opts.configPath.empty()) {
+        std::fprintf(stderr,
+                     "usage: %s CONFIG.json [options]\n"
+                     "       (see --help for the shared options)\n",
+                     argv[0]);
+        return 2;
+    }
+
+    core::ExperimentMatrix matrix;
+    bench::matrixFromConfig(opts, matrix); // exits on malformed configs
+
+    auto exp = bench::runMatrix(matrix, opts);
+    if (!bench::emitReport(exp, opts))
+        core::TableReporter().write(exp, std::cout);
+    return 0;
+}

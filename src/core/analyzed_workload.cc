@@ -2,46 +2,172 @@
 
 #include <atomic>
 #include <cctype>
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
+
+#include "core/serialize.hh"
+#include "core/trace_stream.hh"
 
 namespace cassandra::core {
 
 namespace {
 
 std::atomic<uint64_t> analysis_runs{0};
+std::atomic<uint64_t> phase_timing_runs{0};
+std::atomic<uint64_t> phase_image_runs{0};
+std::atomic<uint64_t> phase_taint_runs{0};
 
 } // namespace
 
-AnalyzedWorkload::AnalyzedWorkload(Workload workload,
-                                   TraceGenResult traces,
-                                   uarch::TimingTrace trace)
-    : workload_(std::move(workload)), traces_(std::move(traces)),
-      trace_(std::move(trace))
+AnalyzedWorkload::AnalyzedWorkload(Workload workload, KmersParams kmers,
+                                   TraceMode mode,
+                                   uarch::TimingTrace trace,
+                                   std::string streamPath,
+                                   uint64_t numOps)
+    : workload_(std::move(workload)), kmers_(kmers), traceMode_(mode),
+      trace_(std::move(trace)), streamPath_(std::move(streamPath)),
+      numOps_(numOps)
 {
-    if (!workload_.secretRegions.empty()) {
-        tainted_ = trace_;
-        uarch::annotateTaint(tainted_, workload_.program,
-                             workload_.secretRegions);
+}
+
+AnalyzedWorkload::~AnalyzedWorkload()
+{
+    if (streamed() && !streamPath_.empty()) {
+        // The analysis created the file; releasing the last artifact
+        // reference reclaims the disk. Best-effort: also drop the
+        // containing directory when this was its last trace.
+        std::remove(streamPath_.c_str());
+        const size_t slash = streamPath_.rfind('/');
+        if (slash != std::string::npos && slash > 0)
+            std::remove(streamPath_.substr(0, slash).c_str());
     }
+}
+
+AnalyzedWorkload::Ptr
+AnalyzedWorkload::analyze(Workload workload, const AnalyzeOptions &options)
+{
+    analysis_runs.fetch_add(1, std::memory_order_relaxed);
+    phase_timing_runs.fetch_add(1, std::memory_order_relaxed);
+
+    AnalyzedWorkload *raw = nullptr;
+    if (options.traceMode == TraceMode::Stream) {
+        const std::string dir = options.streamDir.empty()
+            ? defaultTraceStreamDir()
+            : options.streamDir;
+        ensureDirectories(dir);
+        const std::string path = traceStreamPath(dir, workload.name);
+        const uint64_t fingerprint =
+            programFingerprint(workload.program);
+        TraceStreamWriter writer(path, fingerprint);
+        const uint64_t ops = uarch::recordTrace(
+            workload, /*which=*/2,
+            [&](const uarch::TimingOp &op) { writer.append(op); });
+        writer.finish();
+        raw = new AnalyzedWorkload(std::move(workload), options.kmers,
+                                   TraceMode::Stream, {}, path, ops);
+    } else {
+        uarch::TimingTrace trace =
+            uarch::recordTrace(workload, /*which=*/2);
+        const uint64_t ops = trace.size();
+        raw = new AnalyzedWorkload(std::move(workload), options.kmers,
+                                   TraceMode::Whole, std::move(trace),
+                                   "", ops);
+    }
+    Ptr artifact(raw);
+    artifact->ensurePhases(options.phases);
+    return artifact;
 }
 
 AnalyzedWorkload::Ptr
 AnalyzedWorkload::analyze(Workload workload, const KmersParams &params)
 {
-    analysis_runs.fetch_add(1, std::memory_order_relaxed);
-    TraceGenResult traces = generateTraces(workload, params);
-    uarch::TimingTrace trace = uarch::recordTrace(workload, /*which=*/2);
-    return Ptr(new AnalyzedWorkload(std::move(workload),
-                                    std::move(traces), std::move(trace)));
+    AnalyzeOptions options;
+    options.kmers = params;
+    return analyze(std::move(workload), options);
 }
 
 AnalyzedWorkload::Ptr
 AnalyzedWorkload::fromParts(Workload workload, TraceGenResult traces,
                             uarch::TimingTrace trace)
 {
-    return Ptr(new AnalyzedWorkload(std::move(workload),
-                                    std::move(traces), std::move(trace)));
+    const uint64_t ops = trace.size();
+    auto *raw = new AnalyzedWorkload(std::move(workload), {},
+                                     TraceMode::Whole, std::move(trace),
+                                     "", ops);
+    // The deserialized image is adopted verbatim: the phase is marked
+    // done without running (and without counting) Algorithm 2.
+    raw->traces_ = std::move(traces);
+    raw->imageReady_.store(true, std::memory_order_release);
+    return Ptr(raw);
+}
+
+AnalyzedWorkload::Ptr
+AnalyzedWorkload::fromParts(Workload workload, uarch::TimingTrace trace)
+{
+    const uint64_t ops = trace.size();
+    return Ptr(new AnalyzedWorkload(std::move(workload), {},
+                                    TraceMode::Whole, std::move(trace),
+                                    "", ops));
+}
+
+const TraceGenResult &
+AnalyzedWorkload::traces() const
+{
+    if (!imageReady_.load(std::memory_order_acquire)) {
+        std::call_once(imageOnce_, [this] {
+            traces_ = generateTraces(workload_, kmers_);
+            phase_image_runs.fetch_add(1, std::memory_order_relaxed);
+            imageReady_.store(true, std::memory_order_release);
+        });
+    }
+    return traces_;
+}
+
+const uarch::TaintBitmap &
+AnalyzedWorkload::taintBitmap() const
+{
+    if (!taintReady_.load(std::memory_order_acquire)) {
+        std::call_once(taintOnce_, [this] {
+            if (!workload_.secretRegions.empty()) {
+                auto src = openOpSource();
+                taint_ = uarch::computeTaintBitmap(
+                    *src, workload_.secretRegions, numOps_);
+                phase_taint_runs.fetch_add(1,
+                                           std::memory_order_relaxed);
+            }
+            taintReady_.store(true, std::memory_order_release);
+        });
+    }
+    return taint_;
+}
+
+void
+AnalyzedWorkload::ensurePhases(AnalysisPhaseMask phases) const
+{
+    if (phases & PhaseTraceImage)
+        traces();
+    if (phases & PhaseTaint)
+        taintBitmap();
+}
+
+const uarch::TimingTrace &
+AnalyzedWorkload::timingTrace() const
+{
+    if (streamed())
+        throw std::logic_error(
+            "streamed AnalyzedWorkload holds no in-memory timing "
+            "trace; iterate openOpSource() instead");
+    return trace_;
+}
+
+std::unique_ptr<uarch::TimingOpSource>
+AnalyzedWorkload::openOpSource() const
+{
+    if (streamed())
+        return std::make_unique<TraceCursor>(streamPath_,
+                                             workload_.program);
+    return std::make_unique<uarch::TraceSpanSource>(trace_);
 }
 
 bool
@@ -64,6 +190,16 @@ AnalyzedWorkload::analysisRuns()
     return analysis_runs.load(std::memory_order_relaxed);
 }
 
+AnalysisPhaseRuns
+AnalyzedWorkload::analysisPhaseRuns()
+{
+    AnalysisPhaseRuns runs;
+    runs.timingTrace = phase_timing_runs.load(std::memory_order_relaxed);
+    runs.traceImage = phase_image_runs.load(std::memory_order_relaxed);
+    runs.taint = phase_taint_runs.load(std::memory_order_relaxed);
+    return runs;
+}
+
 Simulation::Simulation(AnalyzedWorkload::Ptr artifact)
     : artifact_(std::move(artifact))
 {
@@ -77,21 +213,28 @@ Simulation::run(const SimConfig &config) const
     const AnalyzedWorkload &aw = *artifact_;
     const uarch::Scheme scheme = config.scheme;
 
-    // ProSpeCT schemes replay the taint-annotated variant; everything
-    // else sees the pristine trace.
+    // ProSpeCT schemes consult the per-op taint bitmap; everything
+    // else replays the pristine stream.
     const bool needs_taint = scheme == uarch::Scheme::Prospect ||
         scheme == uarch::Scheme::CassandraProspect;
 
+    // Demand-driven Algorithm 2: only Cassandra-family cells touch the
+    // trace image, so baseline/SPT sweeps never construct one.
     const TraceImage *image = nullptr;
     if (uarch::schemeIsCassandra(scheme))
         image = &aw.traces().image;
 
+    const uarch::TaintBitmap *taint = nullptr;
+    if (needs_taint && !aw.workload().secretRegions.empty())
+        taint = &aw.taintBitmap();
+
     uarch::OooCore core(config, aw.workload().program, image);
     ExperimentResult result;
-    if (needs_taint && !aw.workload().secretRegions.empty())
-        result.stats = core.run(aw.taintedTrace());
-    else
-        result.stats = core.run(aw.timingTrace());
+    // The artifact's storage decides the iteration: whole artifacts
+    // replay the in-memory span, streamed artifacts a disk cursor
+    // (config.traceMode selects the storage upstream, at analysis).
+    auto src = aw.openOpSource();
+    result.stats = core.run(*src, taint);
 
     if (core.btuUnit())
         result.btu = core.btuUnit()->stats();
@@ -116,8 +259,8 @@ Simulation::run(uarch::Scheme scheme) const
     return run(config);
 }
 
-AnalysisCache::AnalysisCache(Resolver resolver)
-    : resolver_(std::move(resolver))
+AnalysisCache::AnalysisCache(Resolver resolver, AnalyzeOptions options)
+    : resolver_(std::move(resolver)), options_(std::move(options))
 {
     if (!resolver_)
         throw std::invalid_argument(
@@ -137,9 +280,11 @@ AnalysisCache::key(const std::string &name)
 }
 
 AnalyzedWorkload::Ptr
-AnalysisCache::get(const std::string &name) const
+AnalysisCache::get(const std::string &name, AnalysisPhaseMask phases,
+                   TraceMode mode) const
 {
     const std::string k = key(name);
+    const AnalysisPhaseMask want = options_.phases | phases;
     std::promise<AnalyzedWorkload::Ptr> promise;
     std::shared_future<AnalyzedWorkload::Ptr> future;
     bool owner = false;
@@ -156,10 +301,18 @@ AnalysisCache::get(const std::string &name) const
     }
     if (!owner) {
         // Blocks (outside the lock) while another thread analyzes.
-        return future.get();
+        AnalyzedWorkload::Ptr artifact = future.get();
+        // Phases requested beyond what the first analysis ran are
+        // computed demand-driven (exactly once) on the shared value.
+        artifact->ensurePhases(want);
+        return artifact;
     }
     try {
-        auto artifact = AnalyzedWorkload::analyze(resolver_(name));
+        AnalyzeOptions options = options_;
+        options.phases = want;
+        options.traceMode = mode;
+        auto artifact =
+            AnalyzedWorkload::analyze(resolver_(name), options);
         promise.set_value(artifact);
         return artifact;
     } catch (...) {
@@ -170,6 +323,19 @@ AnalysisCache::get(const std::string &name) const
         entries_.erase(k);
         throw;
     }
+}
+
+AnalyzedWorkload::Ptr
+AnalysisCache::get(const std::string &name,
+                   AnalysisPhaseMask phases) const
+{
+    return get(name, phases, options_.traceMode);
+}
+
+AnalyzedWorkload::Ptr
+AnalysisCache::get(const std::string &name) const
+{
+    return get(name, 0, options_.traceMode);
 }
 
 void

@@ -2,16 +2,25 @@
  * @file
  * The two-phase simulation API: analyze once, simulate many.
  *
- * Phase 1 — analysis. AnalyzedWorkload::analyze(workload) performs
- * every config-independent step exactly once: the Algorithm 2 trace
- * generation (k-mers compression + trace image), the dynamic timing
- * trace of the evaluation input, and the ProSpeCT taint pre-pass when
- * the workload annotates secret regions. The result is an immutable,
- * thread-safe artifact held by shared_ptr, so any number of
- * simulation sessions — across threads — share one copy. Artifacts
- * serialize through core/serialize (saveAnalyzedWorkload /
- * loadAnalyzedWorkload), so repeated sweeps can skip analysis
- * entirely.
+ * Phase 1 — analysis. AnalyzedWorkload::analyze(workload) records the
+ * dynamic timing trace of the evaluation input exactly once and
+ * prepares the remaining analyses demand-driven: the Algorithm 2 trace
+ * generation (k-mers compression + trace image) and the ProSpeCT taint
+ * pre-pass each run at most once, on the first consumer that actually
+ * needs them — a baseline/SPT-only sweep never constructs a trace
+ * image at all. Which phases ran is observable through the per-phase
+ * counters of analysisPhaseRuns(). The result is an immutable,
+ * thread-safe artifact held by shared_ptr, so any number of simulation
+ * sessions — across threads — share one copy. Artifacts serialize
+ * through core/serialize (saveAnalyzedWorkload / loadAnalyzedWorkload),
+ * so repeated sweeps can skip analysis entirely.
+ *
+ * Memory: the taint pre-pass produces a 1 bit/op TaintBitmap (not a
+ * duplicated annotated trace), and with AnalyzeOptions::traceMode ==
+ * TraceMode::Stream the timing trace itself is spilled to a chunked
+ * trace file at record time and replayed from disk through a
+ * TraceCursor, so peak memory stays at one frame regardless of trace
+ * length. Cycle results are bit-identical across modes.
  *
  * Phase 2 — simulation. A Simulation is a lightweight session over
  * one artifact that runs any number of SimConfigs; each run builds
@@ -33,6 +42,7 @@
 #ifndef CASSANDRA_CORE_ANALYZED_WORKLOAD_HH
 #define CASSANDRA_CORE_ANALYZED_WORKLOAD_HH
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <map>
@@ -65,6 +75,47 @@ struct ExperimentResult
     CacheActivity caches;
 };
 
+/** The independent analyses an artifact can hold, as mask bits. */
+enum AnalysisPhase : unsigned
+{
+    /** Dynamic timing trace of the evaluation input (always runs). */
+    PhaseTimingTrace = 1u << 0,
+    /** Algorithm 2: k-mers compression + trace image (Cassandra). */
+    PhaseTraceImage = 1u << 1,
+    /** ProSpeCT taint pre-pass -> TaintBitmap (secret workloads). */
+    PhaseTaint = 1u << 2,
+};
+
+using AnalysisPhaseMask = unsigned;
+
+constexpr AnalysisPhaseMask allAnalysisPhases =
+    PhaseTimingTrace | PhaseTraceImage | PhaseTaint;
+
+/** Process-wide per-phase analysis counters (see analysisPhaseRuns). */
+struct AnalysisPhaseRuns
+{
+    uint64_t timingTrace = 0;
+    uint64_t traceImage = 0; ///< Algorithm 2 runs
+    uint64_t taint = 0;      ///< taint pre-passes over secret workloads
+};
+
+/** Knobs of one analysis (phase eagerness, trace storage). */
+struct AnalyzeOptions
+{
+    KmersParams kmers;
+    /**
+     * Phases to run eagerly at analyze() time (concurrently across
+     * workloads under the ExperimentRunner). Phases not listed still
+     * run on demand — lazily, exactly once — when a consumer needs
+     * them. PhaseTimingTrace always runs.
+     */
+    AnalysisPhaseMask phases = PhaseTimingTrace;
+    /** Whole: in-memory trace. Stream: spill to a chunked file. */
+    TraceMode traceMode = TraceMode::Whole;
+    /** Stream-mode trace directory; empty = defaultTraceStreamDir(). */
+    std::string streamDir;
+};
+
 /** Immutable analysis artifact: workload + traces, shareable. */
 class AnalyzedWorkload
 {
@@ -72,63 +123,136 @@ class AnalyzedWorkload
     using Ptr = std::shared_ptr<const AnalyzedWorkload>;
 
     /**
-     * Phase 1: run Algorithm 2, record the evaluation-input timing
-     * trace and precompute the taint-annotated variant. Counts one
-     * analysisRuns() tick.
+     * Phase 1: record the evaluation-input timing trace (whole or
+     * streamed per options.traceMode) and eagerly run the phases in
+     * options.phases; everything else is computed demand-driven.
+     * Counts one analysisRuns() tick.
      */
+    static Ptr analyze(Workload workload, const AnalyzeOptions &options);
+
+    /** Whole-mode analysis with demand-driven image/taint phases. */
     static Ptr analyze(Workload workload, const KmersParams &params = {});
 
     /**
      * Rebuild an artifact from precomputed parts (the deserialization
-     * path). The timing trace must already be relinked against
-     * workload.program; the taint pre-pass is recomputed (it is
-     * deterministic). Does not count as an analysis run.
+     * path, trace image included). The timing trace must already be
+     * relinked against workload.program; the taint pre-pass is
+     * recomputed on demand (it is deterministic). Does not count as an
+     * analysis run.
      */
     static Ptr fromParts(Workload workload, TraceGenResult traces,
                          uarch::TimingTrace trace);
 
+    /** fromParts for a snapshot without a trace image: Algorithm 2
+     * stays demand-driven on the rebuilt artifact. */
+    static Ptr fromParts(Workload workload, uarch::TimingTrace trace);
+
+    /** Streamed artifacts own their trace file: it is deleted here
+     * (open TraceCursors keep reading via their descriptor/mapping,
+     * but do not outlive the artifact you got them from). */
+    ~AnalyzedWorkload();
+
     const Workload &workload() const { return workload_; }
 
-    /** Algorithm 2 output: trace image, branch records, timings. */
-    const TraceGenResult &traces() const { return traces_; }
+    /**
+     * Algorithm 2 output: trace image, branch records, timings.
+     * Demand-driven — the first call runs Algorithm 2 (thread-safe,
+     * exactly once) unless the phase already ran.
+     */
+    const TraceGenResult &traces() const;
 
-    /** Dynamic instruction stream of the evaluation input. */
-    const uarch::TimingTrace &timingTrace() const { return trace_; }
+    /** True if the Algorithm 2 phase has run (no side effects). */
+    bool hasTraceImage() const
+    {
+        return imageReady_.load(std::memory_order_acquire);
+    }
 
     /**
-     * Taint-annotated timing trace for the ProSpeCT schemes; aliases
-     * timingTrace() when the workload has no secret regions.
+     * ProSpeCT per-op taint flags at 1 bit/op. Demand-driven like
+     * traces(); empty (all clear) when the workload annotates no
+     * secret regions.
      */
-    const uarch::TimingTrace &taintedTrace() const
+    const uarch::TaintBitmap &taintBitmap() const;
+
+    /** True if the taint pre-pass has run (no side effects). */
+    bool hasTaintBitmap() const
     {
-        return tainted_.empty() ? trace_ : tainted_;
+        return taintReady_.load(std::memory_order_acquire);
     }
+
+    /** Run every phase of `phases` that has not run yet. */
+    void ensurePhases(AnalysisPhaseMask phases) const;
+
+    /** Storage mode of the timing trace. */
+    TraceMode traceMode() const { return traceMode_; }
+
+    /** True when the trace lives in a stream file, not in memory. */
+    bool streamed() const { return traceMode_ == TraceMode::Stream; }
+
+    /** Stream-mode trace file path (empty in whole mode). */
+    const std::string &streamPath() const { return streamPath_; }
+
+    /** Dynamic op count of the timing trace (both modes). */
+    uint64_t numOps() const { return numOps_; }
+
+    /**
+     * Dynamic instruction stream of the evaluation input.
+     * @throws std::logic_error for streamed artifacts, which hold no
+     *         in-memory trace — iterate openOpSource() instead.
+     */
+    const uarch::TimingTrace &timingTrace() const;
+
+    /**
+     * Iterate the timing trace: an in-memory span in whole mode, a
+     * TraceCursor over the stream file in stream mode. Each call
+     * returns an independent forward-only source.
+     */
+    std::unique_ptr<uarch::TimingOpSource> openOpSource() const;
 
     /** Functional run with output verification (evaluation input). */
     bool verifyOutput() const;
 
     /**
-     * Process-wide count of Algorithm 2 analyses performed through
+     * Process-wide count of workload analyses performed through
      * analyze(). The analyze-once guarantee of AnalysisCache and
      * ExperimentRunner is observable (and tested) through this.
      */
     static uint64_t analysisRuns();
 
+    /**
+     * Process-wide per-phase counters: how many timing-trace
+     * recordings, Algorithm 2 runs and taint pre-passes happened.
+     * Baseline/SPT-only sweeps leave traceImage untouched.
+     */
+    static AnalysisPhaseRuns analysisPhaseRuns();
+
   private:
-    AnalyzedWorkload(Workload workload, TraceGenResult traces,
-                     uarch::TimingTrace trace);
+    AnalyzedWorkload(Workload workload, KmersParams kmers,
+                     TraceMode mode, uarch::TimingTrace trace,
+                     std::string streamPath, uint64_t numOps);
 
     Workload workload_;
-    TraceGenResult traces_;
-    uarch::TimingTrace trace_;
-    uarch::TimingTrace tainted_; ///< empty when no secret regions
+    KmersParams kmers_;
+    TraceMode traceMode_ = TraceMode::Whole;
+    uarch::TimingTrace trace_; ///< whole mode (empty when streamed)
+    std::string streamPath_;   ///< stream mode
+    uint64_t numOps_ = 0;
+
+    // Demand-driven phases: logically part of the immutable value,
+    // computed at most once behind call_once.
+    mutable std::once_flag imageOnce_;
+    mutable TraceGenResult traces_;
+    mutable std::atomic<bool> imageReady_{false};
+    mutable std::once_flag taintOnce_;
+    mutable uarch::TaintBitmap taint_;
+    mutable std::atomic<bool> taintReady_{false};
 };
 
 /**
  * Phase 2: a simulation session over one shared artifact. Stateless
  * apart from the artifact handle — run() is const and thread-safe,
  * and every run is bit-identical to a fresh System run of the same
- * config.
+ * config, in either trace mode.
  */
 class Simulation
 {
@@ -158,13 +282,23 @@ class AnalysisCache
   public:
     using Resolver = std::function<Workload(const std::string &)>;
 
-    explicit AnalysisCache(Resolver resolver);
+    explicit AnalysisCache(Resolver resolver,
+                           AnalyzeOptions options = {});
 
     /**
      * The artifact for a named workload, analyzing it on first
      * request. Blocks while another thread analyzes the same name;
-     * analysis failures propagate to every waiter.
+     * analysis failures propagate to every waiter. `phases` (merged
+     * with the cache's default phases) are guaranteed to have run on
+     * the returned artifact; `mode` overrides the cache's trace mode
+     * for a first-request analysis (cached artifacts keep the mode
+     * they were analyzed with — results are identical either way).
      */
+    AnalyzedWorkload::Ptr get(const std::string &name,
+                              AnalysisPhaseMask phases,
+                              TraceMode mode) const;
+    AnalyzedWorkload::Ptr get(const std::string &name,
+                              AnalysisPhaseMask phases) const;
     AnalyzedWorkload::Ptr get(const std::string &name) const;
 
     /** Preload an artifact (e.g. deserialized) under a name. */
@@ -176,10 +310,14 @@ class AnalysisCache
     /** Number of cached (or in-flight) artifacts. */
     size_t size() const;
 
+    /** The analysis options first-request analyses run with. */
+    const AnalyzeOptions &options() const { return options_; }
+
   private:
     static std::string key(const std::string &name);
 
     Resolver resolver_;
+    AnalyzeOptions options_;
     mutable std::mutex mutex_;
     mutable std::map<std::string,
                      std::shared_future<AnalyzedWorkload::Ptr>>

@@ -38,8 +38,9 @@ RunnerOptions::resolveThreads(size_t work) const
 
 ExperimentRunner::ExperimentRunner(WorkloadResolver resolver,
                                    RunnerOptions options)
-    : ExperimentRunner(
-          std::make_shared<AnalysisCache>(std::move(resolver)), options)
+    : ExperimentRunner(std::make_shared<AnalysisCache>(
+                           std::move(resolver), options.analyze),
+                       options)
 {
 }
 
@@ -120,7 +121,8 @@ distinctNames(const std::vector<std::string> &names)
 } // namespace
 
 std::vector<AnalyzedWorkload::Ptr>
-ExperimentRunner::analyze(const std::vector<std::string> &names) const
+ExperimentRunner::analyze(const std::vector<std::string> &names,
+                          AnalysisPhaseMask phases, TraceMode mode) const
 {
     // Phase 1: each distinct workload analyzed exactly once, distinct
     // workloads concurrently. The cache's single-flight get() makes
@@ -129,8 +131,9 @@ ExperimentRunner::analyze(const std::vector<std::string> &names) const
     const std::vector<std::string> distinct = distinctNames(names);
     std::vector<AnalyzedWorkload::Ptr> artifacts(distinct.size());
     runParallel(options_.resolveThreads(distinct.size()),
-                distinct.size(),
-                [&](size_t i) { artifacts[i] = cache_->get(distinct[i]); });
+                distinct.size(), [&](size_t i) {
+                    artifacts[i] = cache_->get(distinct[i], phases, mode);
+                });
 
     std::map<std::string, AnalyzedWorkload::Ptr> by_name;
     for (size_t i = 0; i < distinct.size(); i++)
@@ -140,6 +143,29 @@ ExperimentRunner::analyze(const std::vector<std::string> &names) const
     for (const std::string &name : names)
         out.push_back(by_name[name]);
     return out;
+}
+
+std::vector<AnalyzedWorkload::Ptr>
+ExperimentRunner::analyze(const std::vector<std::string> &names) const
+{
+    return analyze(names, 0, cache_->options().traceMode);
+}
+
+AnalysisPhaseMask
+ExperimentRunner::neededPhases(
+    const std::vector<ExperimentMatrix> &matrices)
+{
+    AnalysisPhaseMask phases = PhaseTimingTrace;
+    for (const ExperimentMatrix &matrix : matrices) {
+        for (uarch::Scheme s : matrix.schemes) {
+            if (uarch::schemeIsCassandra(s))
+                phases |= PhaseTraceImage;
+            if (s == uarch::Scheme::Prospect ||
+                s == uarch::Scheme::CassandraProspect)
+                phases |= PhaseTaint;
+        }
+    }
+    return phases;
 }
 
 Experiment
@@ -174,9 +200,18 @@ ExperimentRunner::run(const std::vector<ExperimentMatrix> &matrices) const
         }
     }
 
-    // Phase 1: analyze once per distinct workload (analyze() dedups).
+    // Phase 1: analyze once per distinct workload (analyze() dedups),
+    // requesting only the phases the matrices' schemes consume, and
+    // streaming the traces when any cell config asks for it.
+    const AnalysisPhaseMask phases = neededPhases(matrices);
+    TraceMode mode = cache_->options().traceMode;
+    for (const ExperimentMatrix &matrix : matrices)
+        for (const SimConfig &c : matrix.configs)
+            if (c.traceMode == TraceMode::Stream)
+                mode = TraceMode::Stream;
     Experiment exp;
-    std::vector<AnalyzedWorkload::Ptr> artifacts = analyze(names);
+    std::vector<AnalyzedWorkload::Ptr> artifacts =
+        analyze(names, phases, mode);
     for (size_t i = 0; i < names.size(); i++)
         exp.artifacts.emplace(names[i], artifacts[i]);
 

@@ -101,8 +101,21 @@ struct Experiment
 /** Runner knobs. */
 struct RunnerOptions
 {
+    RunnerOptions() = default;
+    RunnerOptions(unsigned threads, AnalyzeOptions analyze = {})
+        : threads(threads), analyze(std::move(analyze))
+    {
+    }
+
     /** Worker threads; 0 means hardware concurrency. */
     unsigned threads = 0;
+
+    /**
+     * Analysis options of the runner-owned cache (trace mode, stream
+     * directory, eagerly-run phases). Ignored when the runner shares a
+     * caller-owned cache (the cache's own options apply there).
+     */
+    AnalyzeOptions analyze;
 
     /**
      * The one place thread-pool sizing is decided: the requested
@@ -123,9 +136,13 @@ class ExperimentRunner
 
     /**
      * Run every cell of the matrix. Distinct workloads are analyzed
-     * once (phase 1), then cells execute concurrently over the shared
-     * artifacts (phase 2); the returned cells are in matrix order and
-     * bit-identical for any thread count. Worker exceptions (e.g.
+     * once (phase 1) with exactly the analysis phases the matrix's
+     * schemes need — baseline/SPT-only sweeps never run Algorithm 2,
+     * ProSpeCT-free sweeps never run the taint pre-pass — then cells
+     * execute concurrently over the shared artifacts (phase 2); the
+     * returned cells are in matrix order and bit-identical for any
+     * thread count. Any cell config requesting TraceMode::Stream makes
+     * the analysis spill its traces to disk. Worker exceptions (e.g.
      * unknown workload names) are rethrown here.
      */
     Experiment run(const ExperimentMatrix &matrix) const;
@@ -138,10 +155,20 @@ class ExperimentRunner
 
     /**
      * Phase 1 only: analyze the named workloads in parallel (each
-     * distinct name exactly once). Returns artifacts in input order.
+     * distinct name exactly once), guaranteeing `phases` beyond the
+     * cache's defaults. Returns artifacts in input order.
      */
     std::vector<AnalyzedWorkload::Ptr>
+    analyze(const std::vector<std::string> &names,
+            AnalysisPhaseMask phases, TraceMode mode) const;
+
+    /** analyze() with the cache's default phases and trace mode. */
+    std::vector<AnalyzedWorkload::Ptr>
     analyze(const std::vector<std::string> &names) const;
+
+    /** Analysis phases the matrix's schemes will consume. */
+    static AnalysisPhaseMask
+    neededPhases(const std::vector<ExperimentMatrix> &matrices);
 
     /** The artifact cache backing this runner. */
     AnalysisCache &cache() const { return *cache_; }

@@ -462,12 +462,24 @@ applyBtuOverrides(btu::BtuParams &btu, const JsonValue &v,
     }
 }
 
+TraceMode
+parseTraceMode(const JsonValue &v, const std::string &where)
+{
+    expectKind(v, JsonValue::Kind::String, where, "a string");
+    try {
+        return traceModeFromName(v.string);
+    } catch (const std::invalid_argument &e) {
+        schemaFail(where, e.what());
+    }
+}
+
 SimConfig
-parseSimConfig(const JsonValue &v, size_t index)
+parseSimConfig(const JsonValue &v, size_t index, TraceMode sweep_mode)
 {
     const std::string where = "configs[" + std::to_string(index) + "]";
     expectKind(v, JsonValue::Kind::Object, where, "an object");
     SimConfig cfg;
+    cfg.traceMode = sweep_mode;
     for (const auto &[key, field] : v.object) {
         const std::string at = where + "." + key;
         if (key == "name") {
@@ -477,6 +489,8 @@ parseSimConfig(const JsonValue &v, size_t index)
             applyCoreOverrides(cfg.core, field, at);
         } else if (key == "btu") {
             applyBtuOverrides(cfg.btu, field, at);
+        } else if (key == "trace_mode") {
+            cfg.traceMode = parseTraceMode(field, at);
         } else {
             schemaFail(at, "unknown config key");
         }
@@ -494,8 +508,16 @@ parseExperimentSpec(const std::string &json)
         schemaFail("top level", "expected an object");
 
     ExperimentSpec spec;
+    // The sweep-level trace mode seeds every config's mode, so resolve
+    // it before the configs array (JSON key order must not matter).
+    if (const JsonValue *tm = root.get("trace_mode")) {
+        spec.traceMode = parseTraceMode(*tm, "trace_mode");
+        spec.traceModeSet = true;
+    }
     for (const auto &[key, v] : root.object) {
-        if (key == "name") {
+        if (key == "trace_mode") {
+            // handled above
+        } else if (key == "name") {
             expectKind(v, JsonValue::Kind::String, key, "a string");
             spec.name = v.string;
         } else if (key == "workloads") {
@@ -510,7 +532,7 @@ parseExperimentSpec(const std::string &json)
             expectKind(v, JsonValue::Kind::Array, key, "an array");
             for (size_t i = 0; i < v.array.size(); i++)
                 spec.matrix.configs.push_back(
-                    parseSimConfig(v.array[i], i));
+                    parseSimConfig(v.array[i], i, spec.traceMode));
         } else if (key == "threads") {
             spec.threads =
                 static_cast<unsigned>(uintField(v, key, 1024));
@@ -549,6 +571,15 @@ parseExperimentSpec(const std::string &json)
         } else {
             schemaFail(key, "unknown top-level key");
         }
+    }
+
+    // A sweep-level stream request must reach the runner even without
+    // an explicit configs array (the runner's implicit default config
+    // would otherwise run whole-trace).
+    if (spec.traceModeSet && spec.matrix.configs.empty()) {
+        SimConfig cfg;
+        cfg.traceMode = spec.traceMode;
+        spec.matrix.configs.push_back(cfg);
     }
 
     if (spec.matrix.workloads.empty() && spec.suites.empty())

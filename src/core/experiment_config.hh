@@ -59,6 +59,15 @@ struct ExperimentSpec
     std::string artifactDir;
     /** Save freshly analyzed artifacts back into artifactDir. */
     bool artifactSave = false;
+    /**
+     * Trace storage of every run of the sweep ("trace_mode": "whole"
+     * or "stream"; per-config overrides win). Stream mode spills
+     * timing traces to chunked files and replays them from disk, so
+     * peak memory stays flat regardless of trace length.
+     */
+    TraceMode traceMode = TraceMode::Whole;
+    /** Whether the config spelled trace_mode (CLI default handling). */
+    bool traceModeSet = false;
 };
 
 /**

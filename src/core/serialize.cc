@@ -139,7 +139,10 @@ packedTraceBytes(const BranchTrace &trace)
 namespace {
 
 constexpr char artifactMagic[8] = {'C', 'A', 'S', 'S',
-                                   'A', 'W', '1', '\n'};
+                                   'A', 'W', '2', '\n'};
+
+/** Phase-presence flags of a snapshot (bit set = section present). */
+constexpr uint8_t artifactHasTraceImage = 1u << 0;
 
 /** Little-endian byte writer for the artifact container. */
 class ByteWriter
@@ -343,69 +346,78 @@ packAnalyzedWorkload(const AnalyzedWorkload &aw, const std::string &name)
     ByteWriter w;
     for (char c : artifactMagic)
         w.u8(static_cast<uint8_t>(c));
+    w.u32(artifactFormatVersion);
     w.str(name.empty() ? aw.workload().name : name);
     w.u64(workloadFingerprint(aw.workload()));
 
-    // Branch records.
-    const TraceGenResult &tg = aw.traces();
-    w.u32(static_cast<uint32_t>(tg.records.size()));
-    for (const BranchRecord &rec : tg.records) {
-        w.u64(rec.pc);
-        w.u64(rec.vanillaSize);
-        w.u64(rec.kmersSize);
-        w.u8(static_cast<uint8_t>((rec.singleTarget ? 1 : 0) |
-                                  (rec.inputDependent ? 2 : 0)));
-        w.u8(static_cast<uint8_t>(rec.rejection));
-    }
+    // Phase presence: only phases that actually ran are snapshotted —
+    // packing a baseline-only artifact must not trigger Algorithm 2.
+    const bool has_image = aw.hasTraceImage();
+    w.u8(has_image ? artifactHasTraceImage : 0);
 
-    // Analysis step timings (informational; not replayed).
-    w.f64(tg.timings.detectSec);
-    w.f64(tg.timings.rawSec);
-    w.f64(tg.timings.vanillaSec);
-    w.f64(tg.timings.dnaSec);
-    w.f64(tg.timings.kmersSec);
-    w.f64(tg.timings.embedSec);
+    if (has_image) {
+        // Branch records.
+        const TraceGenResult &tg = aw.traces();
+        w.u32(static_cast<uint32_t>(tg.records.size()));
+        for (const BranchRecord &rec : tg.records) {
+            w.u64(rec.pc);
+            w.u64(rec.vanillaSize);
+            w.u64(rec.kmersSize);
+            w.u8(static_cast<uint8_t>((rec.singleTarget ? 1 : 0) |
+                                      (rec.inputDependent ? 2 : 0)));
+            w.u8(static_cast<uint8_t>(rec.rejection));
+        }
 
-    // Trace image: hint words, full branch traces, layout counters.
-    const TraceImage &image = tg.image;
-    w.u32(static_cast<uint32_t>(image.numBranches()));
-    // Hints are not directly iterable; the pc set comes from the
-    // records (every analyzed branch owns exactly one of each).
-    for (const BranchRecord &rec : tg.records) {
-        const HintInfo *hint = image.hint(rec.pc);
-        if (!hint)
-            throw std::invalid_argument(
-                "inconsistent artifact: record without hint");
-        w.u64(rec.pc);
-        w.u8(static_cast<uint8_t>((hint->singleTarget ? 1 : 0) |
-                                  (hint->shortTrace ? 2 : 0)));
-        w.u64(hint->targetPc);
-        w.u32(hint->traceOffset);
-    }
-    w.u32(static_cast<uint32_t>(image.traces().size()));
-    for (const auto &[pc, trace] : image.traces()) {
-        w.u64(pc);
-        w.u8(static_cast<uint8_t>(trace.rejection));
-        w.u8(static_cast<uint8_t>((trace.singleTarget ? 1 : 0) |
-                                  (trace.shortTrace ? 2 : 0)));
-        w.u64(trace.singleTargetPc);
-        w.blob(packTrace(trace));
-    }
-    w.u64(image.traceBytes());
-    w.u32(static_cast<uint32_t>(image.cryptoRanges.size()));
-    for (const auto &r : image.cryptoRanges) {
-        w.u64(r.lo);
-        w.u64(r.hi);
+        // Analysis step timings (informational; not replayed).
+        w.f64(tg.timings.detectSec);
+        w.f64(tg.timings.rawSec);
+        w.f64(tg.timings.vanillaSec);
+        w.f64(tg.timings.dnaSec);
+        w.f64(tg.timings.kmersSec);
+        w.f64(tg.timings.embedSec);
+
+        // Trace image: hint words, branch traces, layout counters.
+        const TraceImage &image = tg.image;
+        w.u32(static_cast<uint32_t>(image.numBranches()));
+        // Hints are not directly iterable; the pc set comes from the
+        // records (every analyzed branch owns exactly one of each).
+        for (const BranchRecord &rec : tg.records) {
+            const HintInfo *hint = image.hint(rec.pc);
+            if (!hint)
+                throw std::invalid_argument(
+                    "inconsistent artifact: record without hint");
+            w.u64(rec.pc);
+            w.u8(static_cast<uint8_t>((hint->singleTarget ? 1 : 0) |
+                                      (hint->shortTrace ? 2 : 0)));
+            w.u64(hint->targetPc);
+            w.u32(hint->traceOffset);
+        }
+        w.u32(static_cast<uint32_t>(image.traces().size()));
+        for (const auto &[pc, trace] : image.traces()) {
+            w.u64(pc);
+            w.u8(static_cast<uint8_t>(trace.rejection));
+            w.u8(static_cast<uint8_t>((trace.singleTarget ? 1 : 0) |
+                                      (trace.shortTrace ? 2 : 0)));
+            w.u64(trace.singleTargetPc);
+            w.blob(packTrace(trace));
+        }
+        w.u64(image.traceBytes());
+        w.u32(static_cast<uint32_t>(image.cryptoRanges.size()));
+        for (const auto &r : image.cryptoRanges) {
+            w.u64(r.lo);
+            w.u64(r.hi);
+        }
     }
 
     // Timing trace (instruction pointers relink from PCs on load; the
     // taint pre-pass is recomputed, so only the base stream is kept).
-    const uarch::TimingTrace &trace = aw.timingTrace();
-    w.u64(trace.size());
-    for (const uarch::TimingOp &op : trace) {
-        w.u64(op.pc);
-        w.u64(op.memAddr);
-        w.u64(op.nextPc);
+    // Iterating the op source covers streamed artifacts too.
+    w.u64(aw.numOps());
+    auto src = aw.openOpSource();
+    for (const uarch::TimingOp *op = src->next(); op; op = src->next()) {
+        w.u64(op->pc);
+        w.u64(op->memAddr);
+        w.u64(op->nextPc);
     }
     return w.take();
 }
@@ -415,79 +427,100 @@ unpackAnalyzedWorkload(const std::vector<uint8_t> &bytes,
                        const AnalysisCache::Resolver &resolver)
 {
     ByteReader r(bytes);
-    for (char c : artifactMagic) {
-        if (r.u8() != static_cast<uint8_t>(c))
-            throw std::invalid_argument(
-                "not an AnalyzedWorkload snapshot (bad magic)");
-    }
+    // "CASSAW" identifies the container; the version byte and the
+    // explicit version field distinguish outdated snapshots (evict)
+    // from arbitrary non-artifact files.
+    uint8_t magic[8];
+    for (uint8_t &b : magic)
+        b = r.u8();
+    if (std::memcmp(magic, artifactMagic, 6) != 0)
+        throw ArtifactFormatError(
+            "not an AnalyzedWorkload snapshot (bad magic)");
+    if (std::memcmp(magic, artifactMagic, 8) != 0)
+        throw ArtifactFormatError(
+            "AnalyzedWorkload snapshot has an outdated container "
+            "format; evict and re-analyze");
+    const uint32_t version = r.u32();
+    if (version != artifactFormatVersion)
+        throw ArtifactFormatError(
+            "AnalyzedWorkload snapshot has format version " +
+            std::to_string(version) + ", expected " +
+            std::to_string(artifactFormatVersion) +
+            "; evict and re-analyze");
     const std::string name = r.str();
     const uint64_t fingerprint = r.u64();
 
     Workload workload = resolver(name);
     if (workloadFingerprint(workload) != fingerprint)
-        throw std::invalid_argument(
+        throw ArtifactStaleError(
             "stale AnalyzedWorkload snapshot for \"" + name +
             "\": program fingerprint mismatch");
 
+    const uint8_t phase_flags = r.u8();
+    const bool has_image = (phase_flags & artifactHasTraceImage) != 0;
+
     TraceGenResult tg;
-    uint32_t num_records = r.u32();
-    tg.records.reserve(num_records);
-    for (uint32_t i = 0; i < num_records; i++) {
-        BranchRecord rec;
-        rec.pc = r.u64();
-        rec.vanillaSize = r.u64();
-        rec.kmersSize = r.u64();
-        uint8_t flags = r.u8();
-        rec.singleTarget = (flags & 1) != 0;
-        rec.inputDependent = (flags & 2) != 0;
-        rec.rejection = static_cast<TraceRejection>(r.u8());
-        tg.records.push_back(rec);
-    }
+    if (has_image) {
+        uint32_t num_records = r.u32();
+        tg.records.reserve(num_records);
+        for (uint32_t i = 0; i < num_records; i++) {
+            BranchRecord rec;
+            rec.pc = r.u64();
+            rec.vanillaSize = r.u64();
+            rec.kmersSize = r.u64();
+            uint8_t flags = r.u8();
+            rec.singleTarget = (flags & 1) != 0;
+            rec.inputDependent = (flags & 2) != 0;
+            rec.rejection = static_cast<TraceRejection>(r.u8());
+            tg.records.push_back(rec);
+        }
 
-    tg.timings.detectSec = r.f64();
-    tg.timings.rawSec = r.f64();
-    tg.timings.vanillaSec = r.f64();
-    tg.timings.dnaSec = r.f64();
-    tg.timings.kmersSec = r.f64();
-    tg.timings.embedSec = r.f64();
+        tg.timings.detectSec = r.f64();
+        tg.timings.rawSec = r.f64();
+        tg.timings.vanillaSec = r.f64();
+        tg.timings.dnaSec = r.f64();
+        tg.timings.kmersSec = r.f64();
+        tg.timings.embedSec = r.f64();
 
-    std::map<uint64_t, HintInfo> hints;
-    uint32_t num_hints = r.u32();
-    for (uint32_t i = 0; i < num_hints; i++) {
-        uint64_t pc = r.u64();
-        uint8_t flags = r.u8();
-        HintInfo hint;
-        hint.singleTarget = (flags & 1) != 0;
-        hint.shortTrace = (flags & 2) != 0;
-        hint.targetPc = r.u64();
-        hint.traceOffset = r.u32();
-        hints[pc] = hint;
-    }
-    std::map<uint64_t, BranchTrace> traces;
-    uint32_t num_traces = r.u32();
-    for (uint32_t i = 0; i < num_traces; i++) {
-        uint64_t pc = r.u64();
-        auto rejection = static_cast<TraceRejection>(r.u8());
-        uint8_t flags = r.u8();
-        uint64_t single_target_pc = r.u64();
-        BranchTrace trace = unpackTrace(r.blob(), pc);
-        // unpackTrace collapses flags into the hardware view; restore
-        // the exact analysis-side metadata.
-        trace.rejection = rejection;
-        trace.singleTarget = (flags & 1) != 0;
-        trace.shortTrace = (flags & 2) != 0;
-        trace.singleTargetPc = single_target_pc;
-        traces.emplace(pc, std::move(trace));
-    }
-    size_t trace_bytes = r.u64();
-    tg.image.restore(std::move(hints), std::move(traces), trace_bytes);
-    uint32_t num_ranges = r.u32();
-    tg.image.cryptoRanges.clear();
-    for (uint32_t i = 0; i < num_ranges; i++) {
-        ir::PcRange range;
-        range.lo = r.u64();
-        range.hi = r.u64();
-        tg.image.cryptoRanges.push_back(range);
+        std::map<uint64_t, HintInfo> hints;
+        uint32_t num_hints = r.u32();
+        for (uint32_t i = 0; i < num_hints; i++) {
+            uint64_t pc = r.u64();
+            uint8_t flags = r.u8();
+            HintInfo hint;
+            hint.singleTarget = (flags & 1) != 0;
+            hint.shortTrace = (flags & 2) != 0;
+            hint.targetPc = r.u64();
+            hint.traceOffset = r.u32();
+            hints[pc] = hint;
+        }
+        std::map<uint64_t, BranchTrace> traces;
+        uint32_t num_traces = r.u32();
+        for (uint32_t i = 0; i < num_traces; i++) {
+            uint64_t pc = r.u64();
+            auto rejection = static_cast<TraceRejection>(r.u8());
+            uint8_t flags = r.u8();
+            uint64_t single_target_pc = r.u64();
+            BranchTrace trace = unpackTrace(r.blob(), pc);
+            // unpackTrace collapses flags into the hardware view;
+            // restore the exact analysis-side metadata.
+            trace.rejection = rejection;
+            trace.singleTarget = (flags & 1) != 0;
+            trace.shortTrace = (flags & 2) != 0;
+            trace.singleTargetPc = single_target_pc;
+            traces.emplace(pc, std::move(trace));
+        }
+        size_t trace_bytes = r.u64();
+        tg.image.restore(std::move(hints), std::move(traces),
+                         trace_bytes);
+        uint32_t num_ranges = r.u32();
+        tg.image.cryptoRanges.clear();
+        for (uint32_t i = 0; i < num_ranges; i++) {
+            ir::PcRange range;
+            range.lo = r.u64();
+            range.hi = r.u64();
+            tg.image.cryptoRanges.push_back(range);
+        }
     }
 
     uint64_t num_ops = r.u64();
@@ -504,8 +537,13 @@ unpackAnalyzedWorkload(const std::vector<uint8_t> &bytes,
         throw std::invalid_argument(
             "trailing bytes in AnalyzedWorkload snapshot");
     uarch::relinkTimingTrace(trace, workload.program);
+    if (has_image)
+        return AnalyzedWorkload::fromParts(
+            std::move(workload), std::move(tg), std::move(trace));
+    // No image section: Algorithm 2 stays demand-driven on the
+    // rebuilt artifact, exactly like on a freshly analyzed one.
     return AnalyzedWorkload::fromParts(std::move(workload),
-                                       std::move(tg), std::move(trace));
+                                       std::move(trace));
 }
 
 void

@@ -11,12 +11,16 @@
  * support the round-trip property tests.
  *
  * On top of the per-branch wire format, this module snapshots whole
- * AnalyzedWorkload artifacts (magic "CASSAW1\n"): workload name +
- * program fingerprint, the Algorithm 2 results and the recorded
- * timing trace. Reloading resolves the workload by name (normally
- * through WorkloadRegistry::global().resolver()), verifies the
- * fingerprint so stale artifacts fail loudly, and relinks the timing
- * trace against the rebuilt program — repeated sweeps skip analysis
+ * AnalyzedWorkload artifacts (magic "CASSAW2\n" + format version):
+ * workload name + program fingerprint, which analysis phases ran, the
+ * Algorithm 2 results (when that phase ran) and the recorded timing
+ * trace. Reloading resolves the workload by name (normally through
+ * WorkloadRegistry::global().resolver()), verifies the version and
+ * fingerprint so outdated or stale artifacts fail loudly with typed
+ * errors (ArtifactFormatError / ArtifactStaleError from
+ * core/trace_stream.hh — cache layers evict such files instead of
+ * silently re-analyzing around them), and relinks the timing trace
+ * against the rebuilt program — repeated sweeps skip analysis
  * entirely.
  */
 
@@ -30,8 +34,16 @@
 #include "core/analyzed_workload.hh"
 #include "core/trace_format.hh"
 #include "core/trace_image.hh"
+#include "core/trace_stream.hh"
 
 namespace cassandra::core {
+
+/**
+ * Container format version of AnalyzedWorkload snapshots. Bumped on
+ * every incompatible layout change; loaders reject other versions
+ * with ArtifactFormatError so stale caches evict instead of drifting.
+ */
+constexpr uint32_t artifactFormatVersion = 2;
 
 /** Pack a multi-target branch trace into its data-page bytes. */
 std::vector<uint8_t> packTrace(const BranchTrace &trace);
@@ -80,10 +92,13 @@ std::vector<uint8_t> packAnalyzedWorkload(const AnalyzedWorkload &aw,
 /**
  * Rebuild an artifact from packAnalyzedWorkload bytes. The workload
  * is rebuilt by name through the resolver and its program must match
- * the stored fingerprint.
- * @throws std::invalid_argument on corrupt bytes or fingerprint
- *         mismatch (and whatever the resolver throws on unknown
- *         names).
+ * the stored fingerprint. Phases absent from the snapshot (e.g. the
+ * trace image of a baseline-only sweep) stay demand-driven on the
+ * rebuilt artifact.
+ * @throws ArtifactFormatError on bad magic or a version mismatch,
+ *         ArtifactStaleError on a fingerprint mismatch,
+ *         std::invalid_argument on corrupt bytes (and whatever the
+ *         resolver throws on unknown names).
  */
 AnalyzedWorkload::Ptr
 unpackAnalyzedWorkload(const std::vector<uint8_t> &bytes,

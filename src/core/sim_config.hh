@@ -24,6 +24,7 @@
 #ifndef CASSANDRA_CORE_SIM_CONFIG_HH
 #define CASSANDRA_CORE_SIM_CONFIG_HH
 
+#include <stdexcept>
 #include <string>
 #include <utility>
 
@@ -31,6 +32,38 @@
 #include "uarch/params.hh"
 
 namespace cassandra::core {
+
+/**
+ * How a run's timing trace is stored and iterated.
+ *
+ * Whole keeps the recorded trace as an in-memory vector (fastest, ~40
+ * bytes/op resident). Stream spills it to a chunked trace file at
+ * analysis time and replays it through a TraceCursor, so peak memory
+ * stays at one frame regardless of trace length. Cycle results are
+ * identical in both modes.
+ */
+enum class TraceMode
+{
+    Whole,
+    Stream,
+};
+
+inline const char *
+traceModeName(TraceMode mode)
+{
+    return mode == TraceMode::Stream ? "stream" : "whole";
+}
+
+inline TraceMode
+traceModeFromName(const std::string &name)
+{
+    if (name == "whole")
+        return TraceMode::Whole;
+    if (name == "stream")
+        return TraceMode::Stream;
+    throw std::invalid_argument("unknown trace mode \"" + name +
+                                "\" (expected whole or stream)");
+}
 
 /** Scheme + core + BTU parameters of one timing run. */
 struct SimConfig
@@ -40,6 +73,14 @@ struct SimConfig
     uarch::Scheme scheme = uarch::Scheme::UnsafeBaseline;
     uarch::CoreParams core;
     btu::BtuParams btu;
+    /**
+     * Requested trace iteration mode. Cells that request Stream make
+     * the ExperimentRunner analyze their workloads in stream mode (the
+     * artifact's storage mode ultimately governs how Simulation::run
+     * iterates; one artifact is shared by every cell of a workload, so
+     * any streaming cell streams the whole workload).
+     */
+    TraceMode traceMode = TraceMode::Whole;
 
     /** Copy with a new report label. */
     SimConfig
@@ -84,6 +125,15 @@ struct SimConfig
     {
         SimConfig c = *this;
         c.core.btuFlushPeriod = period;
+        return c;
+    }
+
+    /** Copy under another trace iteration mode. */
+    SimConfig
+    withTraceMode(TraceMode mode) const
+    {
+        SimConfig c = *this;
+        c.traceMode = mode;
         return c;
     }
 };

@@ -1,0 +1,382 @@
+#include "core/trace_stream.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/serialize.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CASSANDRA_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+#endif
+
+namespace cassandra::core {
+
+namespace {
+
+constexpr char streamMagic[8] = {'C', 'A', 'S', 'S', 'T', 'F', '1', '\n'};
+constexpr uint32_t streamVersion = 1;
+// magic(8) + version(4) + frameOps(4) + fingerprint(8) + numOps(8)
+constexpr size_t headerBytes = 32;
+constexpr size_t numOpsOffset = 24;
+constexpr size_t footerBytes = 16; // indexPos(8) + numFrames(8)
+
+void
+putU32(uint8_t *dst, uint32_t v)
+{
+    for (int i = 0; i < 4; i++)
+        dst[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+void
+putU64(uint8_t *dst, uint64_t v)
+{
+    for (int i = 0; i < 8; i++)
+        dst[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint32_t
+getU32(const uint8_t *src)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; i++)
+        v |= static_cast<uint32_t>(src[i]) << (8 * i);
+    return v;
+}
+
+uint64_t
+getU64(const uint8_t *src)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; i++)
+        v |= static_cast<uint64_t>(src[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// TraceStreamWriter
+// ---------------------------------------------------------------------
+
+TraceStreamWriter::TraceStreamWriter(const std::string &path,
+                                     uint64_t program_fingerprint,
+                                     uint32_t frame_ops)
+    : path_(path), frameOps_(frame_ops)
+{
+    if (frame_ops == 0)
+        throw std::invalid_argument("TraceStreamWriter: frame_ops == 0");
+    file_.open(path, std::ios::binary | std::ios::trunc);
+    if (!file_)
+        throw std::runtime_error("cannot open " + path + " for writing");
+    uint8_t header[headerBytes];
+    std::memcpy(header, streamMagic, sizeof streamMagic);
+    putU32(header + 8, streamVersion);
+    putU32(header + 12, frameOps_);
+    putU64(header + 16, program_fingerprint);
+    putU64(header + numOpsOffset, 0); // patched by finish()
+    file_.write(reinterpret_cast<const char *>(header), headerBytes);
+    frame_.reserve(static_cast<size_t>(frameOps_) * traceStreamOpBytes);
+}
+
+TraceStreamWriter::~TraceStreamWriter()
+{
+    try {
+        finish();
+    } catch (...) {
+        // Destructors must not throw; an unfinished file fails loudly
+        // at read time (numOps stays 0 / layout check fails).
+    }
+}
+
+void
+TraceStreamWriter::append(const uarch::TimingOp &op)
+{
+    if (finished_)
+        throw std::logic_error("TraceStreamWriter: append after finish");
+    uint8_t bytes[traceStreamOpBytes];
+    putU64(bytes + 0, op.pc);
+    putU64(bytes + 8, op.memAddr);
+    putU64(bytes + 16, op.nextPc);
+    frame_.insert(frame_.end(), bytes, bytes + traceStreamOpBytes);
+    numOps_++;
+    if (frame_.size() >=
+        static_cast<size_t>(frameOps_) * traceStreamOpBytes)
+        flushFrame();
+}
+
+void
+TraceStreamWriter::flushFrame()
+{
+    if (frame_.empty())
+        return;
+    frameOffsets_.push_back(static_cast<uint64_t>(file_.tellp()));
+    file_.write(reinterpret_cast<const char *>(frame_.data()),
+                static_cast<std::streamsize>(frame_.size()));
+    frame_.clear();
+}
+
+void
+TraceStreamWriter::finish()
+{
+    if (finished_)
+        return;
+    flushFrame();
+    const uint64_t index_pos = static_cast<uint64_t>(file_.tellp());
+    std::vector<uint8_t> tail(frameOffsets_.size() * 8 + footerBytes);
+    for (size_t i = 0; i < frameOffsets_.size(); i++)
+        putU64(tail.data() + i * 8, frameOffsets_[i]);
+    putU64(tail.data() + frameOffsets_.size() * 8, index_pos);
+    putU64(tail.data() + frameOffsets_.size() * 8 + 8,
+           frameOffsets_.size());
+    file_.write(reinterpret_cast<const char *>(tail.data()),
+                static_cast<std::streamsize>(tail.size()));
+    uint8_t ops[8];
+    putU64(ops, numOps_);
+    file_.seekp(numOpsOffset);
+    file_.write(reinterpret_cast<const char *>(ops), 8);
+    file_.flush();
+    if (!file_)
+        throw std::runtime_error("short write to " + path_);
+    file_.close();
+    finished_ = true;
+}
+
+// ---------------------------------------------------------------------
+// TraceCursor
+// ---------------------------------------------------------------------
+
+TraceCursor::TraceCursor(const std::string &path,
+                         const ir::Program &program, Backing backing)
+    : program_(program)
+{
+    file_.open(path, std::ios::binary);
+    if (!file_)
+        throw std::runtime_error("cannot open trace stream " + path);
+    file_.seekg(0, std::ios::end);
+    const uint64_t file_len = static_cast<uint64_t>(file_.tellg());
+    file_.seekg(0);
+    if (file_len < headerBytes + footerBytes)
+        throw ArtifactFormatError("trace stream " + path +
+                                  " is truncated");
+
+    uint8_t header[headerBytes];
+    file_.read(reinterpret_cast<char *>(header), headerBytes);
+    if (std::memcmp(header, streamMagic, sizeof streamMagic) != 0)
+        throw ArtifactFormatError(path + " is not a trace stream file");
+    if (getU32(header + 8) != streamVersion)
+        throw ArtifactFormatError(
+            "trace stream " + path + " has format version " +
+            std::to_string(getU32(header + 8)) + ", expected " +
+            std::to_string(streamVersion));
+    frameOps_ = getU32(header + 12);
+    const uint64_t fingerprint = getU64(header + 16);
+    numOps_ = getU64(header + numOpsOffset);
+    if (frameOps_ == 0)
+        throw ArtifactFormatError("trace stream " + path +
+                                  " has zero frame size");
+    // The fingerprint of the caller's program must match the one the
+    // trace was recorded against.
+    if (fingerprint != programFingerprint(program))
+        throw ArtifactStaleError(
+            "trace stream " + path +
+            ": program fingerprint mismatch (stale trace)");
+
+    // Footer + index.
+    uint8_t footer[footerBytes];
+    file_.seekg(static_cast<std::streamoff>(file_len - footerBytes));
+    file_.read(reinterpret_cast<char *>(footer), footerBytes);
+    const uint64_t index_pos = getU64(footer);
+    numFrames_ = getU64(footer + 8);
+    const uint64_t expect_frames =
+        (numOps_ + frameOps_ - 1) / frameOps_;
+    if (numFrames_ != expect_frames ||
+        index_pos + numFrames_ * 8 + footerBytes != file_len)
+        throw ArtifactFormatError("trace stream " + path +
+                                  " has an inconsistent index");
+    frameOffsets_.resize(numFrames_);
+    file_.seekg(static_cast<std::streamoff>(index_pos));
+    std::vector<uint8_t> raw(numFrames_ * 8);
+    file_.read(reinterpret_cast<char *>(raw.data()),
+               static_cast<std::streamsize>(raw.size()));
+    if (!file_)
+        throw ArtifactFormatError("trace stream " + path +
+                                  " has a truncated index");
+    for (uint64_t f = 0; f < numFrames_; f++) {
+        frameOffsets_[f] = getU64(raw.data() + f * 8);
+        const uint64_t expect =
+            headerBytes +
+            f * static_cast<uint64_t>(frameOps_) * traceStreamOpBytes;
+        if (frameOffsets_[f] != expect)
+            throw ArtifactFormatError("trace stream " + path +
+                                      " has an inconsistent index");
+    }
+
+#ifdef CASSANDRA_HAVE_MMAP
+    if (backing != Backing::Buffered) {
+        int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd >= 0) {
+            void *m = ::mmap(nullptr, static_cast<size_t>(file_len),
+                             PROT_READ, MAP_PRIVATE, fd, 0);
+            ::close(fd); // the mapping keeps its own reference
+            if (m != MAP_FAILED) {
+                map_ = static_cast<const uint8_t *>(m);
+                mapLen_ = static_cast<size_t>(file_len);
+#ifdef MADV_SEQUENTIAL
+                ::madvise(const_cast<uint8_t *>(map_), mapLen_,
+                          MADV_SEQUENTIAL);
+#endif
+            }
+        }
+    }
+#endif
+    if (!map_ && backing == Backing::Mmap)
+        throw std::runtime_error("mmap unavailable for " + path);
+    if (!map_)
+        frame_.resize(static_cast<size_t>(frameOps_) *
+                      traceStreamOpBytes);
+}
+
+TraceCursor::~TraceCursor()
+{
+#ifdef CASSANDRA_HAVE_MMAP
+    if (map_)
+        ::munmap(const_cast<uint8_t *>(map_), mapLen_);
+#endif
+}
+
+void
+TraceCursor::loadFrame(uint64_t frame)
+{
+    const uint64_t first = frame * frameOps_;
+    const uint64_t ops =
+        std::min<uint64_t>(frameOps_, numOps_ - first);
+    file_.seekg(static_cast<std::streamoff>(frameOffsets_[frame]));
+    file_.read(reinterpret_cast<char *>(frame_.data()),
+               static_cast<std::streamsize>(ops * traceStreamOpBytes));
+    if (!file_)
+        throw ArtifactFormatError("trace stream read failed (frame " +
+                                  std::to_string(frame) + ")");
+    loadedFrame_ = frame;
+}
+
+const uint8_t *
+TraceCursor::opBytes(uint64_t index)
+{
+    const uint64_t frame = index / frameOps_;
+    const uint64_t within = index % frameOps_;
+    if (map_) {
+#ifdef CASSANDRA_HAVE_MMAP
+        // Drop consumed frames so resident memory stays at ~one frame
+        // even for multi-GB traces (clean file-backed pages refault on
+        // demand if re-read).
+        while (droppedFrames_ < frame) {
+            const size_t page = 4096;
+            size_t lo = static_cast<size_t>(
+                frameOffsets_[droppedFrames_] & ~(page - 1));
+            size_t hi = static_cast<size_t>(
+                frameOffsets_[droppedFrames_] +
+                static_cast<size_t>(frameOps_) * traceStreamOpBytes);
+            hi &= ~(page - 1); // keep the page the next frame starts in
+            if (hi > lo)
+                ::madvise(const_cast<uint8_t *>(map_) + lo, hi - lo,
+                          MADV_DONTNEED);
+            droppedFrames_++;
+        }
+#endif
+        return map_ + frameOffsets_[frame] + within * traceStreamOpBytes;
+    }
+    if (loadedFrame_ != frame)
+        loadFrame(frame);
+    return frame_.data() + within * traceStreamOpBytes;
+}
+
+const uarch::TimingOp *
+TraceCursor::next()
+{
+    if (pos_ >= numOps_)
+        return nullptr;
+    const uint8_t *bytes = opBytes(pos_);
+    op_.pc = getU64(bytes + 0);
+    op_.memAddr = getU64(bytes + 8);
+    op_.nextPc = getU64(bytes + 16);
+    if (!program_.validPc(op_.pc))
+        throw ArtifactStaleError(
+            "trace stream op pc outside program (stale trace)");
+    op_.inst = &program_.at(op_.pc);
+    op_.crypto = program_.isCryptoPc(op_.pc);
+    op_.tainted = false;
+    pos_++;
+    return &op_;
+}
+
+// ---------------------------------------------------------------------
+// Paths
+// ---------------------------------------------------------------------
+
+void
+ensureDirectories(const std::string &dir)
+{
+    if (dir.empty())
+        return;
+    std::string partial;
+    size_t pos = 0;
+    while (pos <= dir.size()) {
+        size_t slash = dir.find('/', pos);
+        if (slash == std::string::npos)
+            slash = dir.size();
+        partial = dir.substr(0, slash);
+        pos = slash + 1;
+        if (partial.empty() || partial == ".")
+            continue;
+#ifdef CASSANDRA_HAVE_MMAP
+        if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST)
+            throw std::runtime_error("cannot create directory " +
+                                     partial);
+#else
+        // No POSIX mkdir: require the directory to exist already.
+        std::ofstream probe(partial + "/.cassandra-probe");
+        if (!probe)
+            throw std::runtime_error("directory " + partial +
+                                     " does not exist");
+        probe.close();
+        std::remove((partial + "/.cassandra-probe").c_str());
+#endif
+    }
+}
+
+std::string
+defaultTraceStreamDir()
+{
+    const char *tmp = std::getenv("TMPDIR");
+    std::string base = tmp && *tmp ? tmp : "/tmp";
+    if (!base.empty() && base.back() == '/')
+        base.pop_back();
+#ifdef CASSANDRA_HAVE_MMAP
+    return base + "/cassandra-traces-" + std::to_string(::getpid());
+#else
+    return base + "/cassandra-traces";
+#endif
+}
+
+std::string
+traceStreamPath(const std::string &dir, const std::string &workload_name)
+{
+    std::string file = workload_name;
+    for (char &c : file) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+            (c >= '0' && c <= '9') || c == '-' || c == '.' || c == '_';
+        if (!ok)
+            c = '_';
+    }
+    return dir + "/" + file + ".trace";
+}
+
+} // namespace cassandra::core

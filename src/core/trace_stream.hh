@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Chunked on-disk timing traces: fixed-size frames + index.
+ *
+ * A trace stream file holds the dynamic instruction stream of one
+ * workload run at 24 bytes/op (pc, memAddr, nextPc — the inst pointer
+ * and crypto flag relink from the PC on read), grouped into fixed-size
+ * frames followed by a frame-offset index and a footer:
+ *
+ *   "CASSTF1\n" | u32 version | u32 frameOps | u64 fingerprint
+ *   | u64 numOps | frames... | index (u64 offset per frame)
+ *   | u64 indexPos | u64 numFrames
+ *
+ * TraceStreamWriter produces the file incrementally (one frame buffer
+ * resident, never the whole trace); TraceCursor replays it as a
+ * uarch::TimingOpSource through an mmap-backed view (with sequential
+ * madvise and per-frame drop of consumed pages) or a buffered
+ * one-frame reader, so peak memory stays at one frame regardless of
+ * trace length. The program fingerprint guards stale files exactly
+ * like AnalyzedWorkload snapshots guard stale artifacts.
+ */
+
+#ifndef CASSANDRA_CORE_TRACE_STREAM_HH
+#define CASSANDRA_CORE_TRACE_STREAM_HH
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ir/program.hh"
+#include "uarch/pipeline.hh"
+
+namespace cassandra::core {
+
+/**
+ * Base of the evictable artifact-file errors: a cached file raising
+ * one of these should be deleted and re-created, not silently
+ * re-analyzed around.
+ */
+class ArtifactError : public std::invalid_argument
+{
+  public:
+    using std::invalid_argument::invalid_argument;
+};
+
+/**
+ * A persisted artifact (trace stream or AnalyzedWorkload snapshot)
+ * with an unrecognized or outdated container format: bad magic or a
+ * format-version mismatch.
+ */
+class ArtifactFormatError : public ArtifactError
+{
+  public:
+    using ArtifactError::ArtifactError;
+};
+
+/**
+ * A persisted artifact whose fingerprint does not match the workload
+ * it is being loaded against (the binary changed since analysis).
+ */
+class ArtifactStaleError : public ArtifactError
+{
+  public:
+    using ArtifactError::ArtifactError;
+};
+
+/** Bytes per serialized op (pc, memAddr, nextPc). */
+constexpr size_t traceStreamOpBytes = 24;
+
+/** Default ops per frame (24 B/op -> 768 KiB frames). */
+constexpr uint32_t traceStreamDefaultFrameOps = 1u << 15;
+
+/** Incremental writer of a chunked trace stream file. */
+class TraceStreamWriter
+{
+  public:
+    /**
+     * @param path output file (created/truncated)
+     * @param program_fingerprint core::programFingerprint of the
+     *        program the trace belongs to
+     * @param frame_ops ops per frame (>0)
+     */
+    TraceStreamWriter(const std::string &path,
+                      uint64_t program_fingerprint,
+                      uint32_t frame_ops = traceStreamDefaultFrameOps);
+    ~TraceStreamWriter();
+
+    TraceStreamWriter(const TraceStreamWriter &) = delete;
+    TraceStreamWriter &operator=(const TraceStreamWriter &) = delete;
+
+    /** Append one op (buffered; flushed per frame). */
+    void append(const uarch::TimingOp &op);
+
+    /** Flush the tail frame, write index + footer, patch the header.
+     * Idempotent; throws on I/O errors. */
+    void finish();
+
+    uint64_t numOps() const { return numOps_; }
+    const std::string &path() const { return path_; }
+
+  private:
+    void flushFrame();
+
+    std::string path_;
+    std::ofstream file_;
+    uint32_t frameOps_;
+    uint64_t numOps_ = 0;
+    std::vector<uint8_t> frame_;
+    std::vector<uint64_t> frameOffsets_;
+    bool finished_ = false;
+};
+
+/**
+ * Replays a trace stream file as a TimingOpSource, relinking each op
+ * against `program` (which must outlive the cursor and match the
+ * stored fingerprint).
+ */
+class TraceCursor final : public uarch::TimingOpSource
+{
+  public:
+    enum class Backing
+    {
+        Auto,     ///< mmap where available, else buffered
+        Mmap,     ///< throws std::runtime_error if mmap is unavailable
+        Buffered, ///< one-frame read buffer
+    };
+
+    TraceCursor(const std::string &path, const ir::Program &program,
+                Backing backing = Backing::Auto);
+    ~TraceCursor() override;
+
+    TraceCursor(const TraceCursor &) = delete;
+    TraceCursor &operator=(const TraceCursor &) = delete;
+
+    const uarch::TimingOp *next() override;
+
+    uint64_t numOps() const { return numOps_; }
+    bool mmapped() const { return map_ != nullptr; }
+
+  private:
+    void loadFrame(uint64_t frame);
+    const uint8_t *opBytes(uint64_t index);
+
+    const ir::Program &program_;
+    std::ifstream file_;
+    uint64_t numOps_ = 0;
+    uint32_t frameOps_ = 0;
+    uint64_t numFrames_ = 0;
+    std::vector<uint64_t> frameOffsets_;
+
+    // mmap backing
+    const uint8_t *map_ = nullptr;
+    size_t mapLen_ = 0;
+    uint64_t droppedFrames_ = 0; ///< frames already madvise()d away
+
+    // buffered backing
+    std::vector<uint8_t> frame_;
+    uint64_t loadedFrame_ = ~0ull;
+
+    uint64_t pos_ = 0;
+    uarch::TimingOp op_;
+};
+
+/**
+ * Create `dir` and any missing parents (mkdir -p). Throws
+ * std::runtime_error when a component cannot be created.
+ */
+void ensureDirectories(const std::string &dir);
+
+/**
+ * Directory for trace stream files when the caller names none:
+ * $TMPDIR (or /tmp) / cassandra-traces-<pid>.
+ */
+std::string defaultTraceStreamDir();
+
+/** Stream file path for a workload name ('/' and other non-file
+ * characters become '_'; "synthetic/chacha20/75" ->
+ * "<dir>/synthetic_chacha20_75.trace"). */
+std::string traceStreamPath(const std::string &dir,
+                            const std::string &workload_name);
+
+} // namespace cassandra::core
+
+#endif // CASSANDRA_CORE_TRACE_STREAM_HH

@@ -67,10 +67,11 @@ schemeFromName(const std::string &name)
     throw std::invalid_argument(msg + ")");
 }
 
-TimingTrace
-recordTrace(const core::Workload &workload, int which)
+uint64_t
+recordTrace(const core::Workload &workload, int which,
+            const std::function<void(const TimingOp &)> &sink)
 {
-    TimingTrace trace;
+    uint64_t ops = 0;
     sim::Machine machine(workload.program);
     if (workload.setInput)
         workload.setInput(machine, which);
@@ -82,13 +83,23 @@ recordTrace(const core::Workload &workload, int which)
         op.nextPc = d.nextPc;
         op.inst = &prog.at(d.pc);
         op.crypto = prog.isCryptoPc(d.pc);
-        trace.push_back(op);
+        sink(op);
+        ops++;
     };
     auto res = machine.run(workload.maxDynInsts);
     if (!res.halted) {
         throw sim::SimError(workload.name +
                             ": timing trace exceeded instruction budget");
     }
+    return ops;
+}
+
+TimingTrace
+recordTrace(const core::Workload &workload, int which)
+{
+    TimingTrace trace;
+    recordTrace(workload, which,
+                [&](const TimingOp &op) { trace.push_back(op); });
     return trace;
 }
 
@@ -104,12 +115,19 @@ relinkTimingTrace(TimingTrace &trace, const ir::Program &program)
     }
 }
 
+namespace {
+
+/**
+ * The one taint walker behind annotateTaint and computeTaintBitmap:
+ * streams ops from `src` and reports each op's source-operand taint to
+ * `sink(index, tainted)`. Keeping a single implementation is what makes
+ * the bitmap bit-for-bit equal to the legacy annotated-trace flags.
+ */
+template <typename Sink>
 void
-annotateTaint(TimingTrace &trace, const ir::Program &program,
-              const std::vector<core::SecretRegion> &regions)
+walkTaint(TimingOpSource &src,
+          const std::vector<core::SecretRegion> &regions, Sink &&sink)
 {
-    if (regions.empty())
-        return;
     std::array<bool, ir::numRegs> reg_taint{};
     std::unordered_set<uint64_t> mem_taint; // 8-byte granules
     bool prev_crypto = false;
@@ -122,7 +140,10 @@ annotateTaint(TimingTrace &trace, const ir::Program &program,
         return mem_taint.count(addr >> 3) != 0;
     };
 
-    for (TimingOp &op : trace) {
+    size_t index = 0;
+    for (const TimingOp *opp = src.next(); opp;
+         opp = src.next(), index++) {
+        const TimingOp &op = *opp;
         const Inst &inst = *op.inst;
 
         // Declassification at crypto-region exit: constant-time
@@ -155,7 +176,7 @@ annotateTaint(TimingTrace &trace, const ir::Program &program,
                 src_taint = src_taint || reg_taint[inst.rd];
             break;
         }
-        op.tainted = src_taint;
+        sink(index, src_taint);
 
         // Propagate.
         if (inst.isLoad()) {
@@ -188,7 +209,44 @@ annotateTaint(TimingTrace &trace, const ir::Program &program,
             }
         }
     }
+}
+
+} // namespace
+
+void
+annotateTaint(TimingTrace &trace, const ir::Program &program,
+              const std::vector<core::SecretRegion> &regions)
+{
+    if (regions.empty())
+        return;
+    TraceSpanSource src(trace);
+    walkTaint(src, regions,
+              [&](size_t i, bool tainted) { trace[i].tainted = tainted; });
     (void)program;
+}
+
+TaintBitmap
+computeTaintBitmap(TimingOpSource &src,
+                   const std::vector<core::SecretRegion> &regions,
+                   size_t num_ops)
+{
+    TaintBitmap bitmap(num_ops);
+    if (regions.empty())
+        return bitmap;
+    walkTaint(src, regions, [&](size_t i, bool tainted) {
+        if (tainted)
+            bitmap.set(i);
+    });
+    return bitmap;
+}
+
+uint64_t
+TaintBitmap::count() const
+{
+    uint64_t n = 0;
+    for (uint64_t w : words_)
+        n += static_cast<uint64_t>(__builtin_popcountll(w));
+    return n;
 }
 
 OooCore::OooCore(const core::SimConfig &config, const ir::Program &program,
@@ -216,8 +274,16 @@ OooCore::OooCore(const CoreParams &params, Scheme scheme,
 CoreStats
 OooCore::run(const TimingTrace &trace)
 {
+    // Legacy in-memory entry point: taint comes from the per-op flags
+    // (annotateTaint), exactly as before the bitmap existed.
+    TraceSpanSource src(trace);
+    return run(src, nullptr);
+}
+
+CoreStats
+OooCore::run(TimingOpSource &src, const TaintBitmap *taint)
+{
     CoreStats stats;
-    stats.instructions = trace.size();
 
     UsageRing issue_ring(params_.issueWidth);
     UsageRing commit_ring(params_.commitWidth);
@@ -260,10 +326,12 @@ OooCore::run(const TimingTrace &trace)
     const bool cassandra = schemeIsCassandra(scheme_);
     const bool uses_btu = btu_ != nullptr;
 
-    for (size_t i = 0; i < trace.size(); i++) {
-        const TimingOp &op = trace[i];
+    size_t i = 0;
+    for (const TimingOp *opp = src.next(); opp; opp = src.next(), i++) {
+        const TimingOp &op = *opp;
         const Inst &inst = *op.inst;
         ExecClass cls = inst.execClass();
+        stats.instructions++;
 
         // ------------------------------------------------------ fetch
         if (fetch_slots == 0) {
@@ -477,7 +545,8 @@ OooCore::run(const TimingTrace &trace)
                 stats.schemeLoadDelays++;
             ready = lb;
         }
-        if (op.tainted &&
+        const bool op_tainted = taint ? taint->test(i) : op.tainted;
+        if (op_tainted &&
             (scheme_ == Scheme::Prospect ||
              scheme_ == Scheme::CassandraProspect)) {
             uint64_t barrier = scheme_ == Scheme::Prospect

@@ -37,7 +37,9 @@
 #ifndef CASSANDRA_UARCH_PIPELINE_HH
 #define CASSANDRA_UARCH_PIPELINE_HH
 
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -65,10 +67,88 @@ struct TimingOp
 using TimingTrace = std::vector<TimingOp>;
 
 /**
+ * A forward-only stream of timing ops. The timing model and the taint
+ * pre-pass consume traces exclusively through this interface, so a
+ * whole in-memory trace and a chunked on-disk trace (core/trace_stream
+ * TraceCursor) replay through identical code and produce bit-identical
+ * results.
+ */
+class TimingOpSource
+{
+  public:
+    virtual ~TimingOpSource() = default;
+
+    /**
+     * The next op of the stream, nullptr at the end. The returned
+     * pointer stays valid until the following next() call.
+     */
+    virtual const TimingOp *next() = 0;
+};
+
+/** TimingOpSource over an in-memory trace. */
+class TraceSpanSource final : public TimingOpSource
+{
+  public:
+    explicit TraceSpanSource(const TimingTrace &trace) : trace_(trace) {}
+
+    const TimingOp *
+    next() override
+    {
+        return pos_ < trace_.size() ? &trace_[pos_++] : nullptr;
+    }
+
+  private:
+    const TimingTrace &trace_;
+    size_t pos_ = 0;
+};
+
+/**
+ * Per-op taint flags at one bit per op (vs. the ~40 B/op cost of a
+ * duplicated taint-annotated trace). Bit i holds the ProSpeCT
+ * source-operand taint of dynamic op i.
+ */
+class TaintBitmap
+{
+  public:
+    TaintBitmap() = default;
+    explicit TaintBitmap(size_t ops)
+        : size_(ops), words_((ops + 63) / 64, 0)
+    {
+    }
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    void set(size_t i) { words_[i >> 6] |= 1ull << (i & 63); }
+
+    bool
+    test(size_t i) const
+    {
+        return i < size_ && ((words_[i >> 6] >> (i & 63)) & 1) != 0;
+    }
+
+    /** Number of tainted ops. */
+    uint64_t count() const;
+
+  private:
+    size_t size_ = 0;
+    std::vector<uint64_t> words_;
+};
+
+/**
  * Record the dynamic instruction stream of a workload run (evaluation
  * input by default).
  */
 TimingTrace recordTrace(const core::Workload &workload, int which = 2);
+
+/**
+ * Streaming form: feed every op to `sink` instead of materializing a
+ * vector (the op's inst pointer is valid during the callback). Returns
+ * the number of ops recorded. This is the memory-lean producer behind
+ * TraceMode::Stream.
+ */
+uint64_t recordTrace(const core::Workload &workload, int which,
+                     const std::function<void(const TimingOp &)> &sink);
 
 /**
  * ProSpeCT taint pre-pass: mark instructions whose source operands are
@@ -78,6 +158,18 @@ TimingTrace recordTrace(const core::Workload &workload, int which = 2);
  */
 void annotateTaint(TimingTrace &trace, const ir::Program &program,
                    const std::vector<core::SecretRegion> &regions);
+
+/**
+ * Bitmap form of the taint pre-pass: one streaming pass over `src`
+ * producing 1 bit/op. Bit i equals the `tainted` flag annotateTaint
+ * would write on op i (both run the same walker).
+ *
+ * @param num_ops op count of the stream (sizes the bitmap)
+ */
+TaintBitmap
+computeTaintBitmap(TimingOpSource &src,
+                   const std::vector<core::SecretRegion> &regions,
+                   size_t num_ops);
 
 /**
  * Re-attach a deserialized timing trace to its program: resolves each
@@ -142,7 +234,14 @@ class OooCore
             const ir::Program &program,
             const core::TraceImage *image = nullptr);
 
-    /** Run the timing model over a recorded trace. */
+    /**
+     * Run the timing model over an op stream. When `taint` is given it
+     * supplies the ProSpeCT per-op taint flags (bit i for op i);
+     * otherwise each op's own `tainted` flag is used.
+     */
+    CoreStats run(TimingOpSource &src, const TaintBitmap *taint = nullptr);
+
+    /** Run over a recorded in-memory trace (op-embedded taint flags). */
     CoreStats run(const TimingTrace &trace);
 
     const btu::Btu *btuUnit() const { return btu_.get(); }

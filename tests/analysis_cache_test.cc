@@ -123,18 +123,23 @@ TEST(AnalyzedWorkloadTest, SharedArtifactMatchesFreshSystemAllSchemes)
     }
 }
 
-TEST(AnalyzedWorkloadTest, TaintedTraceOnlyForSecretWorkloads)
+TEST(AnalyzedWorkloadTest, TaintBitmapOnlyForSecretWorkloads)
 {
     core::Workload plain = workload("ChaCha20_ct");
     plain.secretRegions.clear();
     auto no_secrets = AnalyzedWorkload::analyze(std::move(plain));
-    EXPECT_EQ(&no_secrets->taintedTrace(),
-              &no_secrets->timingTrace());
+    const auto before = AnalyzedWorkload::analysisPhaseRuns().taint;
+    // Secret-free workloads never pay the taint pre-pass: the bitmap
+    // stays empty and the phase counter does not move.
+    EXPECT_TRUE(no_secrets->taintBitmap().empty());
+    EXPECT_EQ(AnalyzedWorkload::analysisPhaseRuns().taint, before);
 
     auto secret = AnalyzedWorkload::analyze(workload("ChaCha20_ct"));
-    EXPECT_NE(&secret->taintedTrace(), &secret->timingTrace());
-    EXPECT_EQ(secret->taintedTrace().size(),
+    EXPECT_FALSE(secret->hasTaintBitmap()); // demand-driven
+    EXPECT_EQ(secret->taintBitmap().size(),
               secret->timingTrace().size());
+    EXPECT_TRUE(secret->hasTaintBitmap());
+    EXPECT_EQ(AnalyzedWorkload::analysisPhaseRuns().taint, before + 1);
 }
 
 TEST(AnalysisCacheTest, AnalyzesExactlyOncePerWorkloadUnderThreads)

@@ -1,7 +1,9 @@
 /**
  * @file
  * Round-trip and size-accounting tests for the bit-exact trace-page
- * serialization (the wire format Algorithm 2 embeds in binaries).
+ * serialization (the wire format Algorithm 2 embeds in binaries), and
+ * version/fingerprint guarding of AnalyzedWorkload snapshot files
+ * (outdated containers raise typed errors so caches evict them).
  */
 
 #include <gtest/gtest.h>
@@ -9,10 +11,12 @@
 #include <random>
 
 #include "core/serialize.hh"
+#include "crypto/workload_registry.hh"
 
 namespace {
 
 using namespace cassandra;
+using core::AnalyzedWorkload;
 using core::BranchTrace;
 using core::VanillaTrace;
 
@@ -110,6 +114,75 @@ TEST(SerializeTest, PackedSizeMatchesStorageAccounting)
     // Header is 20 bits; payload must match storageBits exactly.
     size_t expect = (20 + bt.storageBits() + 7) / 8;
     EXPECT_EQ(core::packedTraceBytes(bt), expect);
+}
+
+// ---------------------------------------------------------------------
+// Artifact container versioning (eviction instead of silent drift)
+// ---------------------------------------------------------------------
+
+TEST(ArtifactVersionTest, OutdatedContainerVersionIsTyped)
+{
+    auto resolver = crypto::WorkloadRegistry::global().resolver();
+    auto artifact = AnalyzedWorkload::analyze(resolver("ChaCha20_ct"));
+    auto bytes = core::packAnalyzedWorkload(*artifact);
+
+    // A v1-era snapshot: same "CASSAW" family, older version byte.
+    std::vector<uint8_t> old_magic = bytes;
+    old_magic[6] = '1';
+    EXPECT_THROW(core::unpackAnalyzedWorkload(old_magic, resolver),
+                 core::ArtifactFormatError);
+
+    // Bump the explicit format version field behind the magic.
+    std::vector<uint8_t> old_version = bytes;
+    old_version[8] = static_cast<uint8_t>(core::artifactFormatVersion +
+                                          1);
+    EXPECT_THROW(core::unpackAnalyzedWorkload(old_version, resolver),
+                 core::ArtifactFormatError);
+
+    // Arbitrary non-artifact bytes are a format error too.
+    std::vector<uint8_t> garbage(64, 0x5a);
+    EXPECT_THROW(core::unpackAnalyzedWorkload(garbage, resolver),
+                 core::ArtifactFormatError);
+}
+
+TEST(ArtifactVersionTest, FingerprintMismatchIsTyped)
+{
+    auto resolver = crypto::WorkloadRegistry::global().resolver();
+    auto artifact = AnalyzedWorkload::analyze(resolver("ChaCha20_ct"));
+    auto bytes = core::packAnalyzedWorkload(*artifact);
+    auto wrong = [&](const std::string &) { return resolver("SHAKE"); };
+    EXPECT_THROW(core::unpackAnalyzedWorkload(bytes, wrong),
+                 core::ArtifactStaleError);
+}
+
+TEST(ArtifactVersionTest, ImagelessSnapshotRoundTripsDemandDriven)
+{
+    auto resolver = crypto::WorkloadRegistry::global().resolver();
+    // A baseline-only artifact has no trace image; packing it must
+    // not force Algorithm 2, and reloading keeps the phase lazy.
+    auto artifact = AnalyzedWorkload::analyze(resolver("ChaCha20_ct"));
+    ASSERT_FALSE(artifact->hasTraceImage());
+    const auto before = AnalyzedWorkload::analysisPhaseRuns();
+    auto bytes = core::packAnalyzedWorkload(*artifact, "ChaCha20_ct");
+    EXPECT_EQ(AnalyzedWorkload::analysisPhaseRuns().traceImage,
+              before.traceImage);
+
+    auto reloaded = core::unpackAnalyzedWorkload(bytes, resolver);
+    EXPECT_FALSE(reloaded->hasTraceImage());
+    EXPECT_EQ(reloaded->numOps(), artifact->numOps());
+    // The image still materializes on demand after the round trip.
+    EXPECT_GT(reloaded->traces().image.numBranches(), 0u);
+    EXPECT_TRUE(reloaded->hasTraceImage());
+
+    // With the image computed, the snapshot carries it verbatim.
+    auto full_bytes = core::packAnalyzedWorkload(*reloaded,
+                                                 "ChaCha20_ct");
+    auto full = core::unpackAnalyzedWorkload(full_bytes, resolver);
+    EXPECT_TRUE(full->hasTraceImage());
+    EXPECT_EQ(full->traces().image.numBranches(),
+              reloaded->traces().image.numBranches());
+    EXPECT_EQ(full->traces().image.traceBytes(),
+              reloaded->traces().image.traceBytes());
 }
 
 } // namespace

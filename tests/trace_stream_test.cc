@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Memory-lean pipeline tests: chunked trace stream round trips (both
+ * cursor backings), streamed-vs-whole cycle parity across every
+ * scheme, taint-bitmap-vs-legacy-annotated-trace parity, and the
+ * demand-driven per-phase analysis counters (baseline-only sweeps
+ * never run Algorithm 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/experiment.hh"
+#include "core/serialize.hh"
+#include "core/trace_stream.hh"
+#include "crypto/workload_registry.hh"
+
+namespace {
+
+using namespace cassandra;
+using core::AnalysisPhaseRuns;
+using core::AnalyzedWorkload;
+using core::AnalyzeOptions;
+using core::ExperimentMatrix;
+using core::ExperimentResult;
+using core::ExperimentRunner;
+using core::RunnerOptions;
+using core::SimConfig;
+using core::Simulation;
+using core::TraceCursor;
+using core::TraceMode;
+using core::TraceStreamWriter;
+using uarch::Scheme;
+
+core::Workload
+workload(const char *name)
+{
+    return crypto::WorkloadRegistry::global().make(name);
+}
+
+constexpr Scheme allSchemes[] = {
+    Scheme::UnsafeBaseline, Scheme::Cassandra,  Scheme::CassandraStl,
+    Scheme::CassandraLite,  Scheme::Spt,        Scheme::Prospect,
+    Scheme::CassandraProspect};
+
+/** Field-by-field equality of the headline counters of two results. */
+void
+expectEqualResults(const ExperimentResult &a, const ExperimentResult &b,
+                   const std::string &what)
+{
+    SCOPED_TRACE(what);
+    const auto &s1 = a.stats, &s2 = b.stats;
+    EXPECT_EQ(s1.cycles, s2.cycles);
+    EXPECT_EQ(s1.instructions, s2.instructions);
+    EXPECT_EQ(s1.branches, s2.branches);
+    EXPECT_EQ(s1.cryptoBranches, s2.cryptoBranches);
+    EXPECT_EQ(s1.condMispredicts, s2.condMispredicts);
+    EXPECT_EQ(s1.indirectMispredicts, s2.indirectMispredicts);
+    EXPECT_EQ(s1.returnMispredicts, s2.returnMispredicts);
+    EXPECT_EQ(s1.decodeRedirects, s2.decodeRedirects);
+    EXPECT_EQ(s1.integrityStalls, s2.integrityStalls);
+    EXPECT_EQ(s1.resolveStalls, s2.resolveStalls);
+    EXPECT_EQ(s1.btuFillStalls, s2.btuFillStalls);
+    EXPECT_EQ(s1.btuFlushes, s2.btuFlushes);
+    EXPECT_EQ(s1.btuMismatches, s2.btuMismatches);
+    EXPECT_EQ(s1.loads, s2.loads);
+    EXPECT_EQ(s1.stores, s2.stores);
+    EXPECT_EQ(s1.stlForwards, s2.stlForwards);
+    EXPECT_EQ(s1.schemeLoadDelays, s2.schemeLoadDelays);
+    EXPECT_EQ(s1.prospectBlocks, s2.prospectBlocks);
+    EXPECT_EQ(s1.icacheMissBubbles, s2.icacheMissBubbles);
+    EXPECT_EQ(a.btu.lookups, b.btu.lookups);
+    EXPECT_EQ(a.btu.hits, b.btu.hits);
+    EXPECT_EQ(a.btu.singleTargetHits, b.btu.singleTargetHits);
+    EXPECT_EQ(a.bpu.condLookups, b.bpu.condLookups);
+    EXPECT_EQ(a.bpu.updates, b.bpu.updates);
+    EXPECT_EQ(a.caches.l1dAccesses, b.caches.l1dAccesses);
+    EXPECT_EQ(a.caches.l1dMisses, b.caches.l1dMisses);
+    EXPECT_EQ(a.caches.l2Accesses, b.caches.l2Accesses);
+    EXPECT_EQ(a.caches.l3Accesses, b.caches.l3Accesses);
+}
+
+// ---------------------------------------------------------------------
+// Trace stream container
+// ---------------------------------------------------------------------
+
+TEST(TraceStreamTest, RoundTripBothBackings)
+{
+    core::Workload w = workload("ChaCha20_ct");
+    auto trace = uarch::recordTrace(w, 2);
+    const std::string path = testing::TempDir() + "/chacha20.trace";
+    {
+        // A small frame size forces multi-frame files + index use.
+        TraceStreamWriter writer(path,
+                                 core::programFingerprint(w.program),
+                                 /*frame_ops=*/256);
+        for (const auto &op : trace)
+            writer.append(op);
+        writer.finish();
+    }
+    for (auto backing :
+         {TraceCursor::Backing::Buffered, TraceCursor::Backing::Auto}) {
+        TraceCursor cursor(path, w.program, backing);
+        ASSERT_EQ(cursor.numOps(), trace.size());
+        size_t i = 0;
+        for (const uarch::TimingOp *op = cursor.next(); op;
+             op = cursor.next(), i++) {
+            ASSERT_LT(i, trace.size());
+            EXPECT_EQ(op->pc, trace[i].pc);
+            EXPECT_EQ(op->memAddr, trace[i].memAddr);
+            EXPECT_EQ(op->nextPc, trace[i].nextPc);
+            EXPECT_EQ(op->inst, trace[i].inst);
+            EXPECT_EQ(op->crypto, trace[i].crypto);
+        }
+        EXPECT_EQ(i, trace.size());
+    }
+}
+
+TEST(TraceStreamTest, FingerprintGuardsStaleStreams)
+{
+    core::Workload w = workload("ChaCha20_ct");
+    const std::string path = testing::TempDir() + "/stale.trace";
+    {
+        TraceStreamWriter writer(path, /*fingerprint=*/0xdeadbeef);
+        writer.finish();
+    }
+    EXPECT_THROW(core::TraceCursor(path, w.program),
+                 core::ArtifactStaleError);
+}
+
+TEST(TraceStreamTest, RejectsForeignFiles)
+{
+    const std::string path = testing::TempDir() + "/not_a_trace.bin";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        for (int i = 0; i < 64; i++)
+            std::fputc('x', f);
+        std::fclose(f);
+    }
+    core::Workload w = workload("ChaCha20_ct");
+    EXPECT_THROW(core::TraceCursor(path, w.program),
+                 core::ArtifactFormatError);
+}
+
+// ---------------------------------------------------------------------
+// Streamed vs. whole parity
+// ---------------------------------------------------------------------
+
+TEST(TraceStreamTest, StreamedRunsMatchWholeRunsAllSchemes)
+{
+    AnalyzeOptions stream_opts;
+    stream_opts.traceMode = TraceMode::Stream;
+    stream_opts.streamDir = testing::TempDir() + "/stream-parity";
+    for (const char *name : {"ChaCha20_ct", "synthetic/curve25519/50"}) {
+        auto whole = AnalyzedWorkload::analyze(workload(name));
+        auto streamed =
+            AnalyzedWorkload::analyze(workload(name), stream_opts);
+        ASSERT_TRUE(streamed->streamed());
+        ASSERT_FALSE(whole->streamed());
+        ASSERT_EQ(streamed->numOps(), whole->numOps());
+        Simulation whole_sim(whole), stream_sim(streamed);
+        for (Scheme s : allSchemes) {
+            expectEqualResults(
+                stream_sim.run(s), whole_sim.run(s),
+                std::string(name) + " / " + uarch::schemeName(s));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Taint bitmap vs. legacy annotated trace
+// ---------------------------------------------------------------------
+
+TEST(TaintBitmapTest, MatchesLegacyAnnotatedTraceFlags)
+{
+    for (const char *name : {"ChaCha20_ct", "synthetic/chacha20/0"}) {
+        core::Workload w = workload(name);
+        ASSERT_FALSE(w.secretRegions.empty()) << name;
+        auto legacy = uarch::recordTrace(w, 2);
+        uarch::annotateTaint(legacy, w.program, w.secretRegions);
+
+        auto artifact = AnalyzedWorkload::analyze(workload(name));
+        const uarch::TaintBitmap &bitmap = artifact->taintBitmap();
+        ASSERT_EQ(bitmap.size(), legacy.size()) << name;
+        uint64_t expect_tainted = 0;
+        for (size_t i = 0; i < legacy.size(); i++) {
+            ASSERT_EQ(bitmap.test(i), legacy[i].tainted)
+                << name << " op " << i;
+            expect_tainted += legacy[i].tainted ? 1 : 0;
+        }
+        EXPECT_EQ(bitmap.count(), expect_tainted);
+        EXPECT_GT(expect_tainted, 0u) << name;
+    }
+}
+
+TEST(TaintBitmapTest, BitmapRunsMatchLegacyTaintedTraceAllSchemes)
+{
+    // The legacy path (annotated trace copy, op-embedded flags through
+    // OooCore::run(trace)) and the bitmap path (pristine trace + 1
+    // bit/op sidecar) must be cycle-for-cycle identical.
+    const char *name = "synthetic/curve25519/50";
+    core::Workload w = workload(name);
+    auto tainted = uarch::recordTrace(w, 2);
+    uarch::annotateTaint(tainted, w.program, w.secretRegions);
+
+    auto artifact = AnalyzedWorkload::analyze(workload(name));
+    Simulation sim(artifact);
+    for (Scheme s : {Scheme::Prospect, Scheme::CassandraProspect}) {
+        SimConfig cfg;
+        cfg.scheme = s;
+        const core::TraceImage *image = nullptr;
+        if (uarch::schemeIsCassandra(s))
+            image = &artifact->traces().image;
+        uarch::OooCore legacy_core(cfg, w.program, image);
+        auto legacy_stats = legacy_core.run(tainted);
+        auto bitmap_stats = sim.run(s).stats;
+        SCOPED_TRACE(uarch::schemeName(s));
+        EXPECT_EQ(bitmap_stats.cycles, legacy_stats.cycles);
+        EXPECT_EQ(bitmap_stats.prospectBlocks,
+                  legacy_stats.prospectBlocks);
+        EXPECT_EQ(bitmap_stats.schemeLoadDelays,
+                  legacy_stats.schemeLoadDelays);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Demand-driven phases
+// ---------------------------------------------------------------------
+
+TEST(AnalysisPhaseTest, BaselineOnlyMatrixSkipsAlgorithm2)
+{
+    ExperimentMatrix m;
+    m.workloads = {"SHA-256", "Poly1305_ctmul"};
+    m.schemes = {Scheme::UnsafeBaseline, Scheme::Spt};
+
+    const AnalysisPhaseRuns before =
+        AnalyzedWorkload::analysisPhaseRuns();
+    auto exp = ExperimentRunner(
+                   crypto::WorkloadRegistry::global().resolver(),
+                   RunnerOptions{4})
+                   .run(m);
+    const AnalysisPhaseRuns after =
+        AnalyzedWorkload::analysisPhaseRuns();
+
+    ASSERT_EQ(exp.cells.size(), 4u);
+    EXPECT_EQ(after.timingTrace - before.timingTrace, 2u);
+    // The acceptance bar: a baseline/SPT sweep runs zero Algorithm 2
+    // phases and zero taint pre-passes.
+    EXPECT_EQ(after.traceImage - before.traceImage, 0u);
+    EXPECT_EQ(after.taint - before.taint, 0u);
+    for (const auto &[name, artifact] : exp.artifacts) {
+        EXPECT_FALSE(artifact->hasTraceImage()) << name;
+        EXPECT_FALSE(artifact->hasTaintBitmap()) << name;
+    }
+}
+
+TEST(AnalysisPhaseTest, CassandraMatrixRunsEachPhaseOnce)
+{
+    ExperimentMatrix m;
+    m.workloads = {"SHA-256"};
+    m.schemes = {Scheme::UnsafeBaseline, Scheme::Cassandra,
+                 Scheme::Prospect};
+    SimConfig base;
+    m.configs = {base, base.withBtuGeometry(1, 4).named("ways=4")};
+
+    const AnalysisPhaseRuns before =
+        AnalyzedWorkload::analysisPhaseRuns();
+    auto exp = ExperimentRunner(
+                   crypto::WorkloadRegistry::global().resolver(),
+                   RunnerOptions{4})
+                   .run(m);
+    const AnalysisPhaseRuns after =
+        AnalyzedWorkload::analysisPhaseRuns();
+
+    ASSERT_EQ(exp.cells.size(), 6u);
+    EXPECT_EQ(after.timingTrace - before.timingTrace, 1u);
+    // Six cells, two of them Cassandra, two ProSpeCT: each phase ran
+    // exactly once regardless of cell count.
+    EXPECT_EQ(after.traceImage - before.traceImage, 1u);
+    EXPECT_EQ(after.taint - before.taint, 1u);
+}
+
+TEST(AnalysisPhaseTest, DemandDrivenImageOnDirectAccess)
+{
+    auto artifact = AnalyzedWorkload::analyze(workload("ChaCha20_ct"));
+    EXPECT_FALSE(artifact->hasTraceImage());
+    const AnalysisPhaseRuns before =
+        AnalyzedWorkload::analysisPhaseRuns();
+    EXPECT_GT(artifact->traces().image.numBranches(), 0u);
+    EXPECT_TRUE(artifact->hasTraceImage());
+    // Repeat access computes nothing new.
+    (void)artifact->traces();
+    const AnalysisPhaseRuns after =
+        AnalyzedWorkload::analysisPhaseRuns();
+    EXPECT_EQ(after.traceImage - before.traceImage, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Streamed artifacts end to end
+// ---------------------------------------------------------------------
+
+TEST(TraceStreamTest, StreamConfigRunsThroughRunnerIdentically)
+{
+    ExperimentMatrix m;
+    m.workloads = {"ChaCha20_ct", "SHAKE"};
+    m.schemes = {Scheme::UnsafeBaseline, Scheme::Cassandra};
+
+    auto resolver = crypto::WorkloadRegistry::global().resolver();
+    auto whole = ExperimentRunner(resolver, RunnerOptions{2}).run(m);
+
+    // Same matrix, but every config requests streaming.
+    SimConfig cfg;
+    cfg.traceMode = TraceMode::Stream;
+    m.configs = {cfg};
+    AnalyzeOptions analyze;
+    analyze.streamDir = testing::TempDir() + "/stream-runner";
+    auto streamed =
+        ExperimentRunner(resolver, RunnerOptions{2, analyze}).run(m);
+
+    ASSERT_EQ(streamed.cells.size(), whole.cells.size());
+    for (size_t i = 0; i < whole.cells.size(); i++) {
+        EXPECT_TRUE(streamed.artifacts.at(streamed.cells[i].workload)
+                        ->streamed());
+        expectEqualResults(streamed.cells[i].result,
+                           whole.cells[i].result,
+                           streamed.cells[i].workload);
+    }
+}
+
+TEST(TraceStreamTest, StreamedArtifactRefusesInMemoryTrace)
+{
+    AnalyzeOptions opts;
+    opts.traceMode = TraceMode::Stream;
+    opts.streamDir = testing::TempDir() + "/stream-refuse";
+    auto artifact =
+        AnalyzedWorkload::analyze(workload("ChaCha20_ct"), opts);
+    EXPECT_THROW(artifact->timingTrace(), std::logic_error);
+    EXPECT_GT(artifact->numOps(), 0u);
+    auto src = artifact->openOpSource();
+    EXPECT_NE(src->next(), nullptr);
+}
+
+TEST(TraceStreamTest, StreamFileReclaimedWithArtifact)
+{
+    AnalyzeOptions opts;
+    opts.traceMode = TraceMode::Stream;
+    opts.streamDir = testing::TempDir() + "/stream-reclaim";
+    std::string path;
+    {
+        auto artifact =
+            AnalyzedWorkload::analyze(workload("ChaCha20_ct"), opts);
+        path = artifact->streamPath();
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        ASSERT_NE(f, nullptr) << path;
+        std::fclose(f);
+    }
+    // The artifact owned its trace file: dropping the last reference
+    // reclaims the disk (stream-mode sweeps must not leak /tmp).
+    EXPECT_EQ(std::fopen(path.c_str(), "rb"), nullptr) << path;
+}
+
+} // namespace
