@@ -77,12 +77,16 @@ struct CliOptions
     std::string configPath;             ///< --config JSON sweep file
     /// whole | stream (--trace-mode or the config's "trace_mode").
     core::TraceMode traceMode = core::TraceMode::Whole;
+    /// none | delta (--trace-compression or "trace_compression").
+    core::TraceCompression traceCompression =
+        core::TraceCompression::Delta;
 
     /// CLI flags beat config-file settings; track what was spelled.
     bool formatExplicit = false;
     bool outExplicit = false;
     bool threadsExplicit = false;
     bool traceModeExplicit = false;
+    bool traceCompressionExplicit = false;
 
     /// Artifact snapshot directory (from the config file).
     std::string artifactDir;
@@ -108,6 +112,9 @@ printCliHelp(const char *prog)
         "                 memory) or stream (spill to chunked trace\n"
         "                 files, replay from disk; same cycles, flat\n"
         "                 peak memory)\n"
+        "  --trace-compression=C  stream-file encoding: delta\n"
+        "                 (default, compressed CASSTF2) or none (raw\n"
+        "                 24 B/op CASSTF1); same cycles either way\n"
         "  --list         list selectable workload names and exit\n"
         "  --help         this text\n",
         prog);
@@ -166,6 +173,18 @@ parseCli(int argc, char **argv)
                 std::exit(2);
             }
             opts.traceModeExplicit = true;
+        } else if (const char *v = value("--trace-compression")) {
+            try {
+                opts.traceCompression =
+                    core::traceCompressionFromName(v);
+            } catch (const std::invalid_argument &) {
+                std::fprintf(stderr,
+                             "invalid --trace-compression=%s "
+                             "(expected none or delta)\n",
+                             v);
+                std::exit(2);
+            }
+            opts.traceCompressionExplicit = true;
         } else if (const char *v = value("--config")) {
             opts.configPath = v;
         } else if (arg == "--config" && i + 1 < argc) {
@@ -292,6 +311,8 @@ matrixFromConfig(CliOptions &opts, core::ExperimentMatrix &matrix)
         opts.threads = spec.threads;
     if (!opts.traceModeExplicit && spec.traceModeSet)
         opts.traceMode = spec.traceMode;
+    if (!opts.traceCompressionExplicit && spec.traceCompressionSet)
+        opts.traceCompression = spec.traceCompression;
     opts.artifactDir = spec.artifactDir;
     opts.artifactSave = spec.artifactSave;
     return true;
@@ -318,6 +339,7 @@ analyzeOptions(const CliOptions &opts)
 {
     core::AnalyzeOptions options;
     options.traceMode = opts.traceMode;
+    options.compression = opts.traceCompression;
     if (!opts.artifactDir.empty())
         options.streamDir = opts.artifactDir;
     return options;
@@ -350,7 +372,12 @@ makeArtifactCache(const std::vector<std::string> &names,
             continue;
         const std::string path = artifactPath(opts.artifactDir, name);
         try {
-            cache->put(name, core::loadAnalyzedWorkload(path, resolver));
+            // Rehydrated streams belong where fresh analyses put
+            // theirs (the artifact dir), not in $TMPDIR.
+            cache->put(name,
+                       core::loadAnalyzedWorkload(
+                           path, resolver,
+                           analyzeOptions(opts).streamDir));
         } catch (const core::ArtifactError &e) {
             // Outdated container version or stale fingerprint: evict
             // the file so the next save rewrites it.
@@ -414,17 +441,24 @@ runMatrices(const std::vector<core::ExperimentMatrix> &matrices,
     std::vector<std::string> missing;
     auto cache = makeArtifactCache(names, opts, missing);
 
-    // An explicit --trace-mode overrides whatever the matrices'
-    // configs say, in both directions (a config-file trace_mode is
-    // already baked into the parsed configs, so it needs no forcing).
+    // An explicit --trace-mode/--trace-compression overrides whatever
+    // the matrices' configs say, in both directions (config-file
+    // settings are already baked into the parsed configs, so they
+    // need no forcing).
     std::vector<core::ExperimentMatrix> resolved = matrices;
-    if (opts.traceModeExplicit) {
+    if (opts.traceModeExplicit || opts.traceCompressionExplicit) {
         for (auto &matrix : resolved) {
             if (matrix.configs.empty() &&
-                opts.traceMode == core::TraceMode::Stream)
+                (opts.traceMode == core::TraceMode::Stream ||
+                 opts.traceCompression ==
+                     core::TraceCompression::None))
                 matrix.configs.push_back(core::SimConfig{});
-            for (auto &cfg : matrix.configs)
-                cfg.traceMode = opts.traceMode;
+            for (auto &cfg : matrix.configs) {
+                if (opts.traceModeExplicit)
+                    cfg.traceMode = opts.traceMode;
+                if (opts.traceCompressionExplicit)
+                    cfg.traceCompression = opts.traceCompression;
+            }
         }
     }
 

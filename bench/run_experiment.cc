@@ -11,8 +11,9 @@
  *
  * The config may be given positionally or via --config=FILE; the
  * other shared CLI flags (--format/--out/--threads/--workloads/
- * --suite/--trace-mode) override the config file as usual. Unlike the
- * figure benches there is no built-in matrix: no config is an error.
+ * --suite/--trace-mode/--trace-compression) override the config file
+ * as usual. Unlike the figure benches there is no built-in matrix: no
+ * config is an error.
  */
 
 #include <cstdio>

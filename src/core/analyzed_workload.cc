@@ -56,10 +56,13 @@ AnalyzedWorkload::analyze(Workload workload, const AnalyzeOptions &options)
             ? defaultTraceStreamDir()
             : options.streamDir;
         ensureDirectories(dir);
-        const std::string path = traceStreamPath(dir, workload.name);
         const uint64_t fingerprint =
             programFingerprint(workload.program);
-        TraceStreamWriter writer(path, fingerprint);
+        const std::string path =
+            traceStreamPath(dir, workload.name, fingerprint);
+        TraceStreamWriter writer(path, fingerprint,
+                                 traceStreamDefaultFrameOps,
+                                 options.compression);
         const uint64_t ops = uarch::recordTrace(
             workload, /*which=*/2,
             [&](const uarch::TimingOp &op) { writer.append(op); });
@@ -109,6 +112,27 @@ AnalyzedWorkload::fromParts(Workload workload, uarch::TimingTrace trace)
     return Ptr(new AnalyzedWorkload(std::move(workload), {},
                                     TraceMode::Whole, std::move(trace),
                                     "", ops));
+}
+
+AnalyzedWorkload::Ptr
+AnalyzedWorkload::fromStreamParts(Workload workload,
+                                  std::string streamPath, uint64_t numOps)
+{
+    return Ptr(new AnalyzedWorkload(std::move(workload), {},
+                                    TraceMode::Stream, {},
+                                    std::move(streamPath), numOps));
+}
+
+AnalyzedWorkload::Ptr
+AnalyzedWorkload::fromStreamParts(Workload workload, TraceGenResult traces,
+                                  std::string streamPath, uint64_t numOps)
+{
+    auto *raw = new AnalyzedWorkload(std::move(workload), {},
+                                     TraceMode::Stream, {},
+                                     std::move(streamPath), numOps);
+    raw->traces_ = std::move(traces);
+    raw->imageReady_.store(true, std::memory_order_release);
+    return Ptr(raw);
 }
 
 const TraceGenResult &
@@ -281,7 +305,7 @@ AnalysisCache::key(const std::string &name)
 
 AnalyzedWorkload::Ptr
 AnalysisCache::get(const std::string &name, AnalysisPhaseMask phases,
-                   TraceMode mode) const
+                   TraceMode mode, TraceCompression compression) const
 {
     const std::string k = key(name);
     const AnalysisPhaseMask want = options_.phases | phases;
@@ -311,6 +335,7 @@ AnalysisCache::get(const std::string &name, AnalysisPhaseMask phases,
         AnalyzeOptions options = options_;
         options.phases = want;
         options.traceMode = mode;
+        options.compression = compression;
         auto artifact =
             AnalyzedWorkload::analyze(resolver_(name), options);
         promise.set_value(artifact);
@@ -323,6 +348,13 @@ AnalysisCache::get(const std::string &name, AnalysisPhaseMask phases,
         entries_.erase(k);
         throw;
     }
+}
+
+AnalyzedWorkload::Ptr
+AnalysisCache::get(const std::string &name, AnalysisPhaseMask phases,
+                   TraceMode mode) const
+{
+    return get(name, phases, mode, options_.compression);
 }
 
 AnalyzedWorkload::Ptr

@@ -114,6 +114,9 @@ struct AnalyzeOptions
     TraceMode traceMode = TraceMode::Whole;
     /** Stream-mode trace directory; empty = defaultTraceStreamDir(). */
     std::string streamDir;
+    /** Stream-file encoding: raw CASSTF1 or delta-compressed CASSTF2
+     * (the default; replay is bit-identical either way). */
+    TraceCompression compression = TraceCompression::Delta;
 };
 
 /** Immutable analysis artifact: workload + traces, shareable. */
@@ -146,6 +149,23 @@ class AnalyzedWorkload
     /** fromParts for a snapshot without a trace image: Algorithm 2
      * stays demand-driven on the rebuilt artifact. */
     static Ptr fromParts(Workload workload, uarch::TimingTrace trace);
+
+    /**
+     * Rebuild a *streamed* artifact around an existing trace stream
+     * file (the stream-aware deserialization path): no op is ever
+     * materialized in memory — consumers replay the file through
+     * openOpSource(). The artifact takes ownership of the file and
+     * deletes it with the last reference, exactly like a freshly
+     * streamed analysis. The file's embedded fingerprint is checked
+     * against workload.program on first open (TraceCursor).
+     */
+    static Ptr fromStreamParts(Workload workload, std::string streamPath,
+                               uint64_t numOps);
+
+    /** fromStreamParts with a deserialized Algorithm 2 image adopted
+     * verbatim (no Algorithm 2 run, no counter tick). */
+    static Ptr fromStreamParts(Workload workload, TraceGenResult traces,
+                               std::string streamPath, uint64_t numOps);
 
     /** Streamed artifacts own their trace file: it is deleted here
      * (open TraceCursors keep reading via their descriptor/mapping,
@@ -290,10 +310,14 @@ class AnalysisCache
      * request. Blocks while another thread analyzes the same name;
      * analysis failures propagate to every waiter. `phases` (merged
      * with the cache's default phases) are guaranteed to have run on
-     * the returned artifact; `mode` overrides the cache's trace mode
-     * for a first-request analysis (cached artifacts keep the mode
-     * they were analyzed with — results are identical either way).
+     * the returned artifact; `mode` and `compression` override the
+     * cache's trace mode/stream encoding for a first-request analysis
+     * (cached artifacts keep the storage they were analyzed with —
+     * results are identical either way).
      */
+    AnalyzedWorkload::Ptr get(const std::string &name,
+                              AnalysisPhaseMask phases, TraceMode mode,
+                              TraceCompression compression) const;
     AnalyzedWorkload::Ptr get(const std::string &name,
                               AnalysisPhaseMask phases,
                               TraceMode mode) const;

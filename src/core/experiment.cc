@@ -122,7 +122,8 @@ distinctNames(const std::vector<std::string> &names)
 
 std::vector<AnalyzedWorkload::Ptr>
 ExperimentRunner::analyze(const std::vector<std::string> &names,
-                          AnalysisPhaseMask phases, TraceMode mode) const
+                          AnalysisPhaseMask phases, TraceMode mode,
+                          TraceCompression compression) const
 {
     // Phase 1: each distinct workload analyzed exactly once, distinct
     // workloads concurrently. The cache's single-flight get() makes
@@ -132,7 +133,8 @@ ExperimentRunner::analyze(const std::vector<std::string> &names,
     std::vector<AnalyzedWorkload::Ptr> artifacts(distinct.size());
     runParallel(options_.resolveThreads(distinct.size()),
                 distinct.size(), [&](size_t i) {
-                    artifacts[i] = cache_->get(distinct[i], phases, mode);
+                    artifacts[i] = cache_->get(distinct[i], phases, mode,
+                                               compression);
                 });
 
     std::map<std::string, AnalyzedWorkload::Ptr> by_name;
@@ -143,6 +145,13 @@ ExperimentRunner::analyze(const std::vector<std::string> &names,
     for (const std::string &name : names)
         out.push_back(by_name[name]);
     return out;
+}
+
+std::vector<AnalyzedWorkload::Ptr>
+ExperimentRunner::analyze(const std::vector<std::string> &names,
+                          AnalysisPhaseMask phases, TraceMode mode) const
+{
+    return analyze(names, phases, mode, cache_->options().compression);
 }
 
 std::vector<AnalyzedWorkload::Ptr>
@@ -205,13 +214,20 @@ ExperimentRunner::run(const std::vector<ExperimentMatrix> &matrices) const
     // streaming the traces when any cell config asks for it.
     const AnalysisPhaseMask phases = neededPhases(matrices);
     TraceMode mode = cache_->options().traceMode;
-    for (const ExperimentMatrix &matrix : matrices)
-        for (const SimConfig &c : matrix.configs)
+    TraceCompression compression = cache_->options().compression;
+    for (const ExperimentMatrix &matrix : matrices) {
+        for (const SimConfig &c : matrix.configs) {
             if (c.traceMode == TraceMode::Stream)
                 mode = TraceMode::Stream;
+            // One artifact serves every cell of a workload, so the
+            // non-default (raw CASSTF1) request wins the tie.
+            if (c.traceCompression == TraceCompression::None)
+                compression = TraceCompression::None;
+        }
+    }
     Experiment exp;
     std::vector<AnalyzedWorkload::Ptr> artifacts =
-        analyze(names, phases, mode);
+        analyze(names, phases, mode, compression);
     for (size_t i = 0; i < names.size(); i++)
         exp.artifacts.emplace(names[i], artifacts[i]);
 

@@ -68,6 +68,15 @@ struct ExperimentSpec
     TraceMode traceMode = TraceMode::Whole;
     /** Whether the config spelled trace_mode (CLI default handling). */
     bool traceModeSet = false;
+    /**
+     * Stream-file encoding of every run of the sweep
+     * ("trace_compression": "none" or "delta"; per-config overrides
+     * win). Only meaningful for streamed analyses: delta writes the
+     * compressed CASSTF2 container, none the raw CASSTF1 one.
+     */
+    TraceCompression traceCompression = TraceCompression::Delta;
+    /** Whether the config spelled trace_compression. */
+    bool traceCompressionSet = false;
 };
 
 /**

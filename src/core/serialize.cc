@@ -1,5 +1,8 @@
 #include "core/serialize.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iterator>
@@ -139,10 +142,24 @@ packedTraceBytes(const BranchTrace &trace)
 namespace {
 
 constexpr char artifactMagic[8] = {'C', 'A', 'S', 'S',
-                                   'A', 'W', '2', '\n'};
+                                   'A', 'W', '3', '\n'};
 
 /** Phase-presence flags of a snapshot (bit set = section present). */
 constexpr uint8_t artifactHasTraceImage = 1u << 0;
+
+/** Storage kind of the snapshot's trace section. */
+constexpr uint8_t traceStorageInline = 0; ///< 24 B/op, whole mode
+constexpr uint8_t traceStorageStream = 1; ///< embedded CASSTF1/2 file
+
+/** magic(8) + version(4) + metaLen(4). */
+constexpr size_t snapshotPrefixBytes = 16;
+
+/** Chunk size of the file<->file stream-section copies. */
+constexpr size_t copyChunkBytes = 64 * 1024;
+
+std::atomic<uint64_t> inline_ops_written{0};
+std::atomic<uint64_t> inline_ops_read{0};
+std::atomic<uint64_t> stream_bytes_copied{0};
 
 /** Little-endian byte writer for the artifact container. */
 class ByteWriter
@@ -188,6 +205,12 @@ class ByteWriter
     {
         u32(static_cast<uint32_t>(b.size()));
         bytes_.insert(bytes_.end(), b.begin(), b.end());
+    }
+
+    void
+    raw(const uint8_t *data, size_t n)
+    {
+        bytes_.insert(bytes_.end(), data, data + n);
     }
 
     std::vector<uint8_t> take() { return std::move(bytes_); }
@@ -262,7 +285,18 @@ class ByteReader
         return b;
     }
 
+    /** Bounds-checked view of the next n bytes (consumed). */
+    const uint8_t *
+    raw(size_t n)
+    {
+        need(n);
+        const uint8_t *p = bytes_.data() + pos_;
+        pos_ += n;
+        return p;
+    }
+
     bool done() const { return pos_ == bytes_.size(); }
+    size_t remaining() const { return bytes_.size() - pos_; }
 
   private:
     void
@@ -340,13 +374,18 @@ workloadFingerprint(const Workload &workload)
     return f.h;
 }
 
+namespace {
+
+/**
+ * Pack the metadata section (name, fingerprint, phase flags, the
+ * Algorithm 2 image when present) — everything except the trace
+ * section, whose storage differs between whole and streamed
+ * artifacts.
+ */
 std::vector<uint8_t>
-packAnalyzedWorkload(const AnalyzedWorkload &aw, const std::string &name)
+packMeta(const AnalyzedWorkload &aw, const std::string &name)
 {
     ByteWriter w;
-    for (char c : artifactMagic)
-        w.u8(static_cast<uint8_t>(c));
-    w.u32(artifactFormatVersion);
     w.str(name.empty() ? aw.workload().name : name);
     w.u64(workloadFingerprint(aw.workload()));
 
@@ -408,28 +447,28 @@ packAnalyzedWorkload(const AnalyzedWorkload &aw, const std::string &name)
             w.u64(r.hi);
         }
     }
-
-    // Timing trace (instruction pointers relink from PCs on load; the
-    // taint pre-pass is recomputed, so only the base stream is kept).
-    // Iterating the op source covers streamed artifacts too.
-    w.u64(aw.numOps());
-    auto src = aw.openOpSource();
-    for (const uarch::TimingOp *op = src->next(); op; op = src->next()) {
-        w.u64(op->pc);
-        w.u64(op->memAddr);
-        w.u64(op->nextPc);
-    }
     return w.take();
 }
 
-AnalyzedWorkload::Ptr
-unpackAnalyzedWorkload(const std::vector<uint8_t> &bytes,
-                       const AnalysisCache::Resolver &resolver)
+/** Everything parseMeta recovers from the metadata section. */
+struct SnapshotMeta
 {
-    ByteReader r(bytes);
-    // "CASSAW" identifies the container; the version byte and the
-    // explicit version field distinguish outdated snapshots (evict)
-    // from arbitrary non-artifact files.
+    std::string name;
+    Workload workload;
+    bool hasImage = false;
+    TraceGenResult tg;
+};
+
+/**
+ * Validate the fixed snapshot prefix (reader positioned at byte 0)
+ * and return the metadata-section length. "CASSAW" identifies the
+ * container; the version byte and the explicit version field
+ * distinguish outdated snapshots (evict) from arbitrary non-artifact
+ * files.
+ */
+uint32_t
+checkSnapshotPrefix(ByteReader &r)
+{
     uint8_t magic[8];
     for (uint8_t &b : magic)
         b = r.u8();
@@ -447,19 +486,28 @@ unpackAnalyzedWorkload(const std::vector<uint8_t> &bytes,
             std::to_string(version) + ", expected " +
             std::to_string(artifactFormatVersion) +
             "; evict and re-analyze");
-    const std::string name = r.str();
+    return r.u32();
+}
+
+/** Parse the metadata section and rebuild/validate the workload. */
+SnapshotMeta
+parseMeta(ByteReader &r, const AnalysisCache::Resolver &resolver)
+{
+    SnapshotMeta meta;
+    meta.name = r.str();
     const uint64_t fingerprint = r.u64();
 
-    Workload workload = resolver(name);
-    if (workloadFingerprint(workload) != fingerprint)
+    meta.workload = resolver(meta.name);
+    if (workloadFingerprint(meta.workload) != fingerprint)
         throw ArtifactStaleError(
-            "stale AnalyzedWorkload snapshot for \"" + name +
+            "stale AnalyzedWorkload snapshot for \"" + meta.name +
             "\": program fingerprint mismatch");
 
     const uint8_t phase_flags = r.u8();
     const bool has_image = (phase_flags & artifactHasTraceImage) != 0;
+    meta.hasImage = has_image;
 
-    TraceGenResult tg;
+    TraceGenResult &tg = meta.tg;
     if (has_image) {
         uint32_t num_records = r.u32();
         tg.records.reserve(num_records);
@@ -522,55 +570,426 @@ unpackAnalyzedWorkload(const std::vector<uint8_t> &bytes,
             tg.image.cryptoRanges.push_back(range);
         }
     }
+    return meta;
+}
 
-    uint64_t num_ops = r.u64();
-    uarch::TimingTrace trace;
-    trace.reserve(num_ops);
-    for (uint64_t i = 0; i < num_ops; i++) {
-        uarch::TimingOp op;
-        op.pc = r.u64();
-        op.memAddr = r.u64();
-        op.nextPc = r.u64();
-        trace.push_back(op);
-    }
-    if (!r.done())
-        throw std::invalid_argument(
-            "trailing bytes in AnalyzedWorkload snapshot");
-    uarch::relinkTimingTrace(trace, workload.program);
-    if (has_image)
-        return AnalyzedWorkload::fromParts(
-            std::move(workload), std::move(tg), std::move(trace));
+/** Assemble the artifact once the trace storage has been recovered. */
+AnalyzedWorkload::Ptr
+assembleWhole(SnapshotMeta meta, uarch::TimingTrace trace)
+{
+    uarch::relinkTimingTrace(trace, meta.workload.program);
+    if (meta.hasImage)
+        return AnalyzedWorkload::fromParts(std::move(meta.workload),
+                                           std::move(meta.tg),
+                                           std::move(trace));
     // No image section: Algorithm 2 stays demand-driven on the
     // rebuilt artifact, exactly like on a freshly analyzed one.
-    return AnalyzedWorkload::fromParts(std::move(workload),
+    return AnalyzedWorkload::fromParts(std::move(meta.workload),
                                        std::move(trace));
+}
+
+/**
+ * A fresh path for a rehydrated trace stream, unique across loads
+ * *and* processes: loading one snapshot twice — or from two processes
+ * sharing an explicit stream_dir — must not hand two artifacts the
+ * same file (each artifact owns, truncates and deletes its own).
+ */
+std::string
+rehydratedStreamPath(const std::string &stream_dir,
+                     const SnapshotMeta &meta)
+{
+    static std::atomic<uint64_t> sequence{0};
+    const std::string dir =
+        stream_dir.empty() ? defaultTraceStreamDir() : stream_dir;
+    ensureDirectories(dir);
+    return traceStreamPath(
+        dir,
+        meta.name + "-rh" + processUniqueSuffix() + "-" +
+            std::to_string(sequence.fetch_add(1)),
+        programFingerprint(meta.workload.program));
+}
+
+/**
+ * Validate an extracted stream file and wrap it into a streamed
+ * artifact. The TraceCursor construction re-checks the stream's own
+ * magic/version/index and its program fingerprint against the rebuilt
+ * workload; the file is deleted again if anything is off.
+ */
+AnalyzedWorkload::Ptr
+assembleStreamed(SnapshotMeta meta, const std::string &trace_path,
+                 uint64_t num_ops)
+{
+    try {
+        TraceCursor cursor(trace_path, meta.workload.program,
+                           TraceCursor::Backing::Buffered);
+        if (cursor.numOps() != num_ops)
+            throw ArtifactFormatError(
+                "AnalyzedWorkload snapshot op count disagrees with "
+                "its embedded trace stream");
+    } catch (...) {
+        std::remove(trace_path.c_str());
+        throw;
+    }
+    if (meta.hasImage)
+        return AnalyzedWorkload::fromStreamParts(
+            std::move(meta.workload), std::move(meta.tg), trace_path,
+            num_ops);
+    return AnalyzedWorkload::fromStreamParts(std::move(meta.workload),
+                                             trace_path, num_ops);
+}
+
+uint8_t
+fileU8(std::ifstream &file)
+{
+    char b;
+    if (!file.read(&b, 1))
+        throw std::invalid_argument(
+            "truncated AnalyzedWorkload snapshot");
+    return static_cast<uint8_t>(b);
+}
+
+uint64_t
+fileU64(std::ifstream &file)
+{
+    uint8_t buf[8];
+    if (!file.read(reinterpret_cast<char *>(buf), 8))
+        throw std::invalid_argument(
+            "truncated AnalyzedWorkload snapshot");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; i++)
+        v |= static_cast<uint64_t>(buf[i]) << (8 * i);
+    return v;
+}
+
+/** magic | version | metaLen | meta — the fixed snapshot head. */
+void
+writeSnapshotHead(ByteWriter &w, const std::vector<uint8_t> &meta)
+{
+    for (char c : artifactMagic)
+        w.u8(static_cast<uint8_t>(c));
+    w.u32(artifactFormatVersion);
+    w.u32(static_cast<uint32_t>(meta.size()));
+    w.raw(meta.data(), meta.size());
+}
+
+/** Open an artifact's stream file, reporting its byte size. */
+std::ifstream
+openStreamFile(const AnalyzedWorkload &aw, uint64_t &size)
+{
+    std::ifstream src(aw.streamPath(), std::ios::binary);
+    if (!src)
+        throw std::runtime_error("cannot open trace stream " +
+                                 aw.streamPath());
+    src.seekg(0, std::ios::end);
+    size = static_cast<uint64_t>(src.tellg());
+    src.seekg(0);
+    return src;
+}
+
+/**
+ * Copy `len` bytes from `src` into `sink(data, n)` in bounded chunks;
+ * throws runtime_error naming `what` on a short read.
+ */
+template <typename Sink>
+void
+copyChunked(std::istream &src, uint64_t len, const std::string &what,
+            Sink &&sink)
+{
+    std::vector<uint8_t> chunk(copyChunkBytes);
+    uint64_t copied = 0;
+    while (copied < len) {
+        const size_t n = static_cast<size_t>(
+            std::min<uint64_t>(chunk.size(), len - copied));
+        if (!src.read(reinterpret_cast<char *>(chunk.data()),
+                      static_cast<std::streamsize>(n)))
+            throw std::runtime_error("short read from " + what);
+        sink(chunk.data(), n);
+        copied += n;
+    }
+}
+
+/**
+ * Extract an embedded stream section — `write(out)` produces the
+ * blob's bytes — to a fresh rehydrated trace file and assemble the
+ * streamed artifact. The one copy of the cleanup invariant: no
+ * artifact ever owns a half-extracted file.
+ */
+template <typename Write>
+AnalyzedWorkload::Ptr
+extractStreamSection(SnapshotMeta meta, uint64_t num_ops,
+                     uint64_t blob_len, const std::string &stream_dir,
+                     Write &&write)
+{
+    const std::string trace_path = rehydratedStreamPath(stream_dir, meta);
+    try {
+        std::ofstream out(trace_path,
+                          std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw std::runtime_error("cannot open " + trace_path +
+                                     " for writing");
+        write(out);
+        if (!out)
+            throw std::runtime_error("short write to " + trace_path);
+    } catch (...) {
+        std::remove(trace_path.c_str());
+        throw;
+    }
+    stream_bytes_copied.fetch_add(blob_len, std::memory_order_relaxed);
+    return assembleStreamed(std::move(meta), trace_path, num_ops);
+}
+
+} // namespace
+
+std::vector<uint8_t>
+packAnalyzedWorkload(const AnalyzedWorkload &aw, const std::string &name)
+{
+    const std::vector<uint8_t> meta = packMeta(aw, name);
+    ByteWriter w;
+    writeSnapshotHead(w, meta);
+
+    if (aw.streamed()) {
+        // Embed the (typically delta-compressed) trace stream file
+        // verbatim: the op vector is never materialized, and the
+        // embedded file keeps its own fingerprint for load-time
+        // validation. saveAnalyzedWorkload never even builds this
+        // blob in memory — it chunk-copies file to file.
+        uint64_t blob_len = 0;
+        std::ifstream src = openStreamFile(aw, blob_len);
+        w.u8(traceStorageStream);
+        w.u64(aw.numOps());
+        w.u64(blob_len);
+        copyChunked(src, blob_len, aw.streamPath(),
+                    [&](const uint8_t *data, size_t n) {
+                        w.raw(data, n);
+                    });
+        stream_bytes_copied.fetch_add(blob_len,
+                                      std::memory_order_relaxed);
+        return w.take();
+    }
+
+    // Timing trace (instruction pointers relink from PCs on load; the
+    // taint pre-pass is recomputed, so only the base stream is kept).
+    w.u8(traceStorageInline);
+    w.u64(aw.numOps());
+    auto src = aw.openOpSource();
+    for (const uarch::TimingOp *op = src->next(); op; op = src->next()) {
+        w.u64(op->pc);
+        w.u64(op->memAddr);
+        w.u64(op->nextPc);
+    }
+    inline_ops_written.fetch_add(aw.numOps(), std::memory_order_relaxed);
+    return w.take();
+}
+
+AnalyzedWorkload::Ptr
+unpackAnalyzedWorkload(const std::vector<uint8_t> &bytes,
+                       const AnalysisCache::Resolver &resolver,
+                       const std::string &stream_dir)
+{
+    ByteReader r(bytes);
+    const uint32_t meta_len = checkSnapshotPrefix(r);
+    if (meta_len > r.remaining())
+        throw std::invalid_argument(
+            "truncated AnalyzedWorkload snapshot");
+    const size_t before_meta = r.remaining();
+    SnapshotMeta meta = parseMeta(r, resolver);
+    // The declared length locates the trace section in the streaming
+    // load path; parseMeta must agree byte for byte or the two load
+    // paths would read different sections of the same file.
+    if (before_meta - r.remaining() != meta_len)
+        throw std::invalid_argument(
+            "AnalyzedWorkload snapshot metadata length mismatch");
+
+    const uint8_t storage = r.u8();
+    if (storage == traceStorageInline) {
+        const uint64_t num_ops = r.u64();
+        if (num_ops > r.remaining() / (3 * 8))
+            throw std::invalid_argument(
+                "truncated AnalyzedWorkload snapshot");
+        uarch::TimingTrace trace;
+        trace.reserve(num_ops);
+        for (uint64_t i = 0; i < num_ops; i++) {
+            uarch::TimingOp op;
+            op.pc = r.u64();
+            op.memAddr = r.u64();
+            op.nextPc = r.u64();
+            trace.push_back(op);
+        }
+        if (!r.done())
+            throw std::invalid_argument(
+                "trailing bytes in AnalyzedWorkload snapshot");
+        inline_ops_read.fetch_add(num_ops, std::memory_order_relaxed);
+        return assembleWhole(std::move(meta), std::move(trace));
+    }
+    if (storage != traceStorageStream)
+        throw std::invalid_argument(
+            "AnalyzedWorkload snapshot has an unknown trace storage "
+            "kind");
+
+    const uint64_t num_ops = r.u64();
+    const uint64_t blob_len = r.u64();
+    if (blob_len != r.remaining())
+        throw std::invalid_argument(
+            "truncated AnalyzedWorkload snapshot");
+    const uint8_t *blob = r.raw(static_cast<size_t>(blob_len));
+    return extractStreamSection(
+        std::move(meta), num_ops, blob_len, stream_dir,
+        [&](std::ofstream &out) {
+            out.write(reinterpret_cast<const char *>(blob),
+                      static_cast<std::streamsize>(blob_len));
+        });
 }
 
 void
 saveAnalyzedWorkload(const AnalyzedWorkload &aw, const std::string &path,
                      const std::string &name)
 {
-    std::vector<uint8_t> bytes = packAnalyzedWorkload(aw, name);
+    if (!aw.streamed()) {
+        std::vector<uint8_t> bytes = packAnalyzedWorkload(aw, name);
+        std::ofstream file(path, std::ios::binary | std::ios::trunc);
+        if (!file)
+            throw std::runtime_error("cannot open " + path +
+                                     " for writing");
+        file.write(reinterpret_cast<const char *>(bytes.data()),
+                   static_cast<std::streamsize>(bytes.size()));
+        if (!file)
+            throw std::runtime_error("short write to " + path);
+        return;
+    }
+
+    // Streamed artifact: metadata, then the trace stream file embedded
+    // by chunked copy — neither the op vector nor the stream bytes are
+    // ever whole in memory.
+    const std::vector<uint8_t> meta = packMeta(aw, name);
+    uint64_t blob_len = 0;
+    std::ifstream src = openStreamFile(aw, blob_len);
+    ByteWriter head;
+    writeSnapshotHead(head, meta);
+    head.u8(traceStorageStream);
+    head.u64(aw.numOps());
+    head.u64(blob_len);
+
     std::ofstream file(path, std::ios::binary | std::ios::trunc);
     if (!file)
         throw std::runtime_error("cannot open " + path + " for writing");
-    file.write(reinterpret_cast<const char *>(bytes.data()),
-               static_cast<std::streamsize>(bytes.size()));
+    const std::vector<uint8_t> head_bytes = head.take();
+    file.write(reinterpret_cast<const char *>(head_bytes.data()),
+               static_cast<std::streamsize>(head_bytes.size()));
+    copyChunked(src, blob_len, aw.streamPath(),
+                [&](const uint8_t *data, size_t n) {
+                    file.write(reinterpret_cast<const char *>(data),
+                               static_cast<std::streamsize>(n));
+                });
     if (!file)
         throw std::runtime_error("short write to " + path);
+    stream_bytes_copied.fetch_add(blob_len, std::memory_order_relaxed);
 }
 
 AnalyzedWorkload::Ptr
 loadAnalyzedWorkload(const std::string &path,
-                     const AnalysisCache::Resolver &resolver)
+                     const AnalysisCache::Resolver &resolver,
+                     const std::string &stream_dir)
 {
     std::ifstream file(path, std::ios::binary);
     if (!file)
         throw std::runtime_error("cannot open " + path);
-    std::vector<uint8_t> bytes(
-        (std::istreambuf_iterator<char>(file)),
-        std::istreambuf_iterator<char>());
-    return unpackAnalyzedWorkload(bytes, resolver);
+    file.seekg(0, std::ios::end);
+    const uint64_t file_len = static_cast<uint64_t>(file.tellg());
+    file.seekg(0);
+
+    std::vector<uint8_t> prefix(snapshotPrefixBytes);
+    if (file_len < snapshotPrefixBytes ||
+        !file.read(reinterpret_cast<char *>(prefix.data()),
+                   snapshotPrefixBytes))
+        throw std::invalid_argument(
+            "truncated AnalyzedWorkload snapshot");
+    ByteReader pr(prefix);
+    const uint32_t meta_len = checkSnapshotPrefix(pr);
+    if (meta_len > file_len - snapshotPrefixBytes)
+        throw std::invalid_argument(
+            "truncated AnalyzedWorkload snapshot");
+
+    std::vector<uint8_t> meta_bytes(meta_len);
+    if (!file.read(reinterpret_cast<char *>(meta_bytes.data()),
+                   static_cast<std::streamsize>(meta_len)))
+        throw std::invalid_argument(
+            "truncated AnalyzedWorkload snapshot");
+    ByteReader mr(meta_bytes);
+    SnapshotMeta meta = parseMeta(mr, resolver);
+    if (!mr.done())
+        throw std::invalid_argument(
+            "trailing bytes in AnalyzedWorkload snapshot metadata");
+
+    const uint8_t storage = fileU8(file);
+    const uint64_t num_ops = fileU64(file);
+    const uint64_t consumed = snapshotPrefixBytes + meta_len + 1 + 8;
+
+    if (storage == traceStorageInline) {
+        // A whole-mode artifact materializes by definition; read its
+        // ops in bounded chunks all the same.
+        if (num_ops != (file_len - consumed) / (3 * 8) ||
+            file_len - consumed != num_ops * 3 * 8)
+            throw std::invalid_argument(
+                "truncated AnalyzedWorkload snapshot");
+        uarch::TimingTrace trace;
+        trace.reserve(num_ops);
+        std::vector<uint8_t> chunk(copyChunkBytes - copyChunkBytes % 24);
+        uint64_t read_ops = 0;
+        while (read_ops < num_ops) {
+            const uint64_t batch = std::min<uint64_t>(
+                chunk.size() / 24, num_ops - read_ops);
+            if (!file.read(reinterpret_cast<char *>(chunk.data()),
+                           static_cast<std::streamsize>(batch * 24)))
+                throw std::invalid_argument(
+                    "truncated AnalyzedWorkload snapshot");
+            for (uint64_t i = 0; i < batch; i++) {
+                const uint8_t *p = chunk.data() + i * 24;
+                uarch::TimingOp op;
+                for (int b = 0; b < 8; b++) {
+                    op.pc |= static_cast<uint64_t>(p[b]) << (8 * b);
+                    op.memAddr |= static_cast<uint64_t>(p[8 + b])
+                        << (8 * b);
+                    op.nextPc |= static_cast<uint64_t>(p[16 + b])
+                        << (8 * b);
+                }
+                trace.push_back(op);
+            }
+            read_ops += batch;
+        }
+        inline_ops_read.fetch_add(num_ops, std::memory_order_relaxed);
+        return assembleWhole(std::move(meta), std::move(trace));
+    }
+    if (storage != traceStorageStream)
+        throw std::invalid_argument(
+            "AnalyzedWorkload snapshot has an unknown trace storage "
+            "kind");
+
+    const uint64_t blob_len = fileU64(file);
+    if (blob_len != file_len - consumed - 8)
+        throw std::invalid_argument(
+            "truncated AnalyzedWorkload snapshot");
+    return extractStreamSection(
+        std::move(meta), num_ops, blob_len, stream_dir,
+        [&](std::ofstream &out) {
+            copyChunked(file, blob_len, path,
+                        [&](const uint8_t *data, size_t n) {
+                            out.write(
+                                reinterpret_cast<const char *>(data),
+                                static_cast<std::streamsize>(n));
+                        });
+        });
+}
+
+SnapshotIoStats
+snapshotIoStats()
+{
+    SnapshotIoStats stats;
+    stats.inlineOpsWritten =
+        inline_ops_written.load(std::memory_order_relaxed);
+    stats.inlineOpsRead = inline_ops_read.load(std::memory_order_relaxed);
+    stats.streamBytesCopied =
+        stream_bytes_copied.load(std::memory_order_relaxed);
+    return stats;
 }
 
 uint16_t

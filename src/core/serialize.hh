@@ -11,7 +11,7 @@
  * support the round-trip property tests.
  *
  * On top of the per-branch wire format, this module snapshots whole
- * AnalyzedWorkload artifacts (magic "CASSAW2\n" + format version):
+ * AnalyzedWorkload artifacts (magic "CASSAW3\n" + format version):
  * workload name + program fingerprint, which analysis phases ran, the
  * Algorithm 2 results (when that phase ran) and the recorded timing
  * trace. Reloading resolves the workload by name (normally through
@@ -22,6 +22,17 @@
  * silently re-analyzing around them), and relinks the timing trace
  * against the rebuilt program — repeated sweeps skip analysis
  * entirely.
+ *
+ * Snapshots are stream-aware: a whole-mode artifact inlines its ops
+ * (24 B/op, exactly like before), while a streamed artifact embeds its
+ * trace *stream file* (CASSTF1/2, typically delta-compressed) by
+ * chunked copy — saving and loading never materialize the op vector.
+ * loadAnalyzedWorkload extracts the embedded stream back to a trace
+ * file and rehydrates straight into stream mode, validating both the
+ * snapshot's workload fingerprint and the stream's own program
+ * fingerprint. The snapshotIoStats() counters make the "no
+ * materialization" guarantee observable: a streamed save/load round
+ * trip moves stream bytes but zero inline ops.
  */
 
 #ifndef CASSANDRA_CORE_SERIALIZE_HH
@@ -43,7 +54,7 @@ namespace cassandra::core {
  * every incompatible layout change; loaders reject other versions
  * with ArtifactFormatError so stale caches evict instead of drifting.
  */
-constexpr uint32_t artifactFormatVersion = 2;
+constexpr uint32_t artifactFormatVersion = 3;
 
 /** Pack a multi-target branch trace into its data-page bytes. */
 std::vector<uint8_t> packTrace(const BranchTrace &trace);
@@ -94,7 +105,10 @@ std::vector<uint8_t> packAnalyzedWorkload(const AnalyzedWorkload &aw,
  * is rebuilt by name through the resolver and its program must match
  * the stored fingerprint. Phases absent from the snapshot (e.g. the
  * trace image of a baseline-only sweep) stay demand-driven on the
- * rebuilt artifact.
+ * rebuilt artifact. A snapshot of a streamed artifact rehydrates into
+ * stream mode: its embedded trace stream is extracted to a fresh file
+ * under `stream_dir` (empty = defaultTraceStreamDir()) owned by the
+ * returned artifact.
  * @throws ArtifactFormatError on bad magic or a version mismatch,
  *         ArtifactStaleError on a fingerprint mismatch,
  *         std::invalid_argument on corrupt bytes (and whatever the
@@ -102,17 +116,44 @@ std::vector<uint8_t> packAnalyzedWorkload(const AnalyzedWorkload &aw,
  */
 AnalyzedWorkload::Ptr
 unpackAnalyzedWorkload(const std::vector<uint8_t> &bytes,
-                       const AnalysisCache::Resolver &resolver);
+                       const AnalysisCache::Resolver &resolver,
+                       const std::string &stream_dir = "");
 
-/** packAnalyzedWorkload straight to a file (throws on I/O errors). */
+/**
+ * packAnalyzedWorkload straight to a file (throws on I/O errors).
+ * Streamed artifacts embed their trace stream file by chunked copy —
+ * the op vector is never materialized in memory.
+ */
 void saveAnalyzedWorkload(const AnalyzedWorkload &aw,
                           const std::string &path,
                           const std::string &name = "");
 
-/** Load + unpack an artifact file. */
+/**
+ * Load + unpack an artifact file. Streamed snapshots are extracted by
+ * chunked copy into a trace file under `stream_dir` (empty =
+ * defaultTraceStreamDir()) and rehydrate straight into stream mode —
+ * the whole trace is never resident.
+ */
 AnalyzedWorkload::Ptr
 loadAnalyzedWorkload(const std::string &path,
-                     const AnalysisCache::Resolver &resolver);
+                     const AnalysisCache::Resolver &resolver,
+                     const std::string &stream_dir = "");
+
+/**
+ * Process-wide snapshot I/O counters: ops written/read through the
+ * inline (whole-mode) trace section and bytes moved through embedded
+ * stream sections. The stream-aware save/load paths are *observably*
+ * zero-materialization: a streamed round trip leaves inlineOpsWritten
+ * and inlineOpsRead untouched.
+ */
+struct SnapshotIoStats
+{
+    uint64_t inlineOpsWritten = 0;
+    uint64_t inlineOpsRead = 0;
+    uint64_t streamBytesCopied = 0;
+};
+
+SnapshotIoStats snapshotIoStats();
 
 } // namespace cassandra::core
 

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <random>
 
 #include "core/serialize.hh"
 
@@ -21,12 +23,17 @@ namespace cassandra::core {
 
 namespace {
 
-constexpr char streamMagic[8] = {'C', 'A', 'S', 'S', 'T', 'F', '1', '\n'};
-constexpr uint32_t streamVersion = 1;
+constexpr char streamMagicV1[8] = {'C', 'A', 'S', 'S', 'T', 'F', '1', '\n'};
+constexpr char streamMagicV2[8] = {'C', 'A', 'S', 'S', 'T', 'F', '2', '\n'};
 // magic(8) + version(4) + frameOps(4) + fingerprint(8) + numOps(8)
 constexpr size_t headerBytes = 32;
 constexpr size_t numOpsOffset = 24;
 constexpr size_t footerBytes = 16; // indexPos(8) + numFrames(8)
+
+// CASSTF2 frame header: u8 kind + u32 payloadBytes.
+constexpr size_t frameHeaderBytes = 5;
+constexpr uint8_t frameKindRaw = 0;
+constexpr uint8_t frameKindDelta = 1;
 
 void
 putU32(uint8_t *dst, uint32_t v)
@@ -60,7 +67,158 @@ getU64(const uint8_t *src)
     return v;
 }
 
+void
+putVarint(std::vector<uint8_t> &out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(v));
+}
+
+uint64_t
+zigzag(int64_t v)
+{
+    return (static_cast<uint64_t>(v) << 1) ^
+        static_cast<uint64_t>(v >> 63);
+}
+
+int64_t
+unzigzag(uint64_t v)
+{
+    return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
 } // namespace
+
+// ---------------------------------------------------------------------
+// CASSTF2 frame codec
+// ---------------------------------------------------------------------
+
+std::vector<uint8_t>
+encodeTraceFrame(const std::vector<uint8_t> &raw_ops)
+{
+    if (raw_ops.size() % traceStreamOpBytes != 0)
+        throw std::invalid_argument(
+            "encodeTraceFrame: raw bytes are not whole ops");
+    const size_t ops = raw_ops.size() / traceStreamOpBytes;
+
+    // Delta attempt: pc chains off the previous op's nextPc, memAddr
+    // off the previous memAddr, nextPc off the fall-through pc. All
+    // three are zero-delta for straight-line code.
+    std::vector<uint8_t> payload;
+    payload.reserve(raw_ops.size() / 4);
+    uint64_t prev_mem = 0, prev_next = 0;
+    for (size_t i = 0; i < ops; i++) {
+        const uint8_t *src = raw_ops.data() + i * traceStreamOpBytes;
+        const uint64_t pc = getU64(src + 0);
+        const uint64_t mem = getU64(src + 8);
+        const uint64_t next = getU64(src + 16);
+        if (i == 0) {
+            putVarint(payload, pc);
+            putVarint(payload, mem);
+        } else {
+            putVarint(payload,
+                      zigzag(static_cast<int64_t>(pc - prev_next)));
+            putVarint(payload,
+                      zigzag(static_cast<int64_t>(mem - prev_mem)));
+        }
+        putVarint(payload,
+                  zigzag(static_cast<int64_t>(next -
+                                              (pc + ir::instBytes))));
+        prev_mem = mem;
+        prev_next = next;
+    }
+
+    // Raw fallback: a frame that does not compress is stored verbatim,
+    // bounding worst-case file growth at the 5-byte frame headers.
+    const bool use_delta = payload.size() < raw_ops.size();
+    const std::vector<uint8_t> &body = use_delta ? payload : raw_ops;
+    if (body.size() > 0xffffffffull)
+        throw std::invalid_argument(
+            "encodeTraceFrame: frame body exceeds the u32 "
+            "payload-length field");
+    std::vector<uint8_t> frame;
+    frame.reserve(frameHeaderBytes + body.size());
+    frame.push_back(use_delta ? frameKindDelta : frameKindRaw);
+    uint8_t len[4];
+    putU32(len, static_cast<uint32_t>(body.size()));
+    frame.insert(frame.end(), len, len + 4);
+    frame.insert(frame.end(), body.begin(), body.end());
+    return frame;
+}
+
+void
+decodeTraceFrameInto(const uint8_t *frame, size_t frame_len,
+                     size_t num_ops, uint8_t *out)
+{
+    if (frame_len < frameHeaderBytes)
+        throw ArtifactFormatError("trace stream frame is truncated");
+    const uint8_t kind = frame[0];
+    const size_t payload_len = getU32(frame + 1);
+    if (payload_len > frame_len - frameHeaderBytes)
+        throw ArtifactFormatError("trace stream frame is truncated");
+    const uint8_t *p = frame + frameHeaderBytes;
+
+    if (kind == frameKindRaw) {
+        if (payload_len != num_ops * traceStreamOpBytes)
+            throw ArtifactFormatError(
+                "trace stream raw frame has a wrong op count");
+        std::memcpy(out, p, payload_len);
+        return;
+    }
+    if (kind != frameKindDelta)
+        throw ArtifactFormatError(
+            "trace stream frame has an unknown encoding kind");
+
+    size_t pos = 0;
+    auto varint = [&]() -> uint64_t {
+        uint64_t v = 0;
+        for (int shift = 0; shift < 70; shift += 7) {
+            if (pos >= payload_len)
+                throw ArtifactFormatError(
+                    "trace stream delta frame is truncated");
+            const uint8_t byte = p[pos++];
+            v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+            if (!(byte & 0x80))
+                return v;
+        }
+        throw ArtifactFormatError(
+            "trace stream delta frame has an overlong varint");
+    };
+
+    uint64_t prev_mem = 0, prev_next = 0;
+    for (size_t i = 0; i < num_ops; i++) {
+        uint64_t pc, mem;
+        if (i == 0) {
+            pc = varint();
+            mem = varint();
+        } else {
+            pc = prev_next + static_cast<uint64_t>(unzigzag(varint()));
+            mem = prev_mem + static_cast<uint64_t>(unzigzag(varint()));
+        }
+        const uint64_t next = pc + ir::instBytes +
+            static_cast<uint64_t>(unzigzag(varint()));
+        uint8_t *dst = out + i * traceStreamOpBytes;
+        putU64(dst + 0, pc);
+        putU64(dst + 8, mem);
+        putU64(dst + 16, next);
+        prev_mem = mem;
+        prev_next = next;
+    }
+    if (pos != payload_len)
+        throw ArtifactFormatError(
+            "trailing bytes in trace stream delta frame");
+}
+
+std::vector<uint8_t>
+decodeTraceFrame(const uint8_t *frame, size_t frame_len, size_t num_ops)
+{
+    std::vector<uint8_t> out(num_ops * traceStreamOpBytes);
+    decodeTraceFrameInto(frame, frame_len, num_ops, out.data());
+    return out;
+}
 
 // ---------------------------------------------------------------------
 // TraceStreamWriter
@@ -68,21 +226,32 @@ getU64(const uint8_t *src)
 
 TraceStreamWriter::TraceStreamWriter(const std::string &path,
                                      uint64_t program_fingerprint,
-                                     uint32_t frame_ops)
-    : path_(path), frameOps_(frame_ops)
+                                     uint32_t frame_ops,
+                                     TraceCompression compression)
+    : path_(path), frameOps_(frame_ops), compression_(compression)
 {
     if (frame_ops == 0)
         throw std::invalid_argument("TraceStreamWriter: frame_ops == 0");
+    // A raw frame body must fit the CASSTF2 u32 payload-length field,
+    // or encodeTraceFrame would silently truncate its framing.
+    if (static_cast<uint64_t>(frame_ops) * traceStreamOpBytes >
+        0xffffffffull - 64)
+        throw std::invalid_argument(
+            "TraceStreamWriter: frame_ops too large for the frame "
+            "length field");
     file_.open(path, std::ios::binary | std::ios::trunc);
     if (!file_)
         throw std::runtime_error("cannot open " + path + " for writing");
     uint8_t header[headerBytes];
-    std::memcpy(header, streamMagic, sizeof streamMagic);
-    putU32(header + 8, streamVersion);
+    const bool v2 = compression_ == TraceCompression::Delta;
+    std::memcpy(header, v2 ? streamMagicV2 : streamMagicV1,
+                sizeof streamMagicV1);
+    putU32(header + 8, v2 ? 2u : 1u);
     putU32(header + 12, frameOps_);
     putU64(header + 16, program_fingerprint);
     putU64(header + numOpsOffset, 0); // patched by finish()
     file_.write(reinterpret_cast<const char *>(header), headerBytes);
+    checkStream("header write");
     frame_.reserve(static_cast<size_t>(frameOps_) * traceStreamOpBytes);
 }
 
@@ -94,6 +263,15 @@ TraceStreamWriter::~TraceStreamWriter()
         // Destructors must not throw; an unfinished file fails loudly
         // at read time (numOps stays 0 / layout check fails).
     }
+}
+
+void
+TraceStreamWriter::checkStream(const char *what) const
+{
+    if (!file_)
+        throw std::runtime_error(std::string("trace stream ") + what +
+                                 " failed for " + path_ +
+                                 " (disk full?)");
 }
 
 void
@@ -117,9 +295,22 @@ TraceStreamWriter::flushFrame()
 {
     if (frame_.empty())
         return;
-    frameOffsets_.push_back(static_cast<uint64_t>(file_.tellp()));
-    file_.write(reinterpret_cast<const char *>(frame_.data()),
-                static_cast<std::streamsize>(frame_.size()));
+    // A poisoned stream would report tellp() == -1 and corrupt every
+    // later index entry: fail fast instead of finishing garbage.
+    checkStream("write");
+    const std::streampos pos = file_.tellp();
+    if (pos == std::streampos(-1))
+        throw std::runtime_error("cannot position in " + path_);
+    frameOffsets_.push_back(static_cast<uint64_t>(pos));
+    if (compression_ == TraceCompression::Delta) {
+        const std::vector<uint8_t> encoded = encodeTraceFrame(frame_);
+        file_.write(reinterpret_cast<const char *>(encoded.data()),
+                    static_cast<std::streamsize>(encoded.size()));
+    } else {
+        file_.write(reinterpret_cast<const char *>(frame_.data()),
+                    static_cast<std::streamsize>(frame_.size()));
+    }
+    checkStream("frame write");
     frame_.clear();
 }
 
@@ -129,7 +320,11 @@ TraceStreamWriter::finish()
     if (finished_)
         return;
     flushFrame();
-    const uint64_t index_pos = static_cast<uint64_t>(file_.tellp());
+    checkStream("write");
+    const std::streampos raw_pos = file_.tellp();
+    if (raw_pos == std::streampos(-1))
+        throw std::runtime_error("cannot position in " + path_);
+    const uint64_t index_pos = static_cast<uint64_t>(raw_pos);
     std::vector<uint8_t> tail(frameOffsets_.size() * 8 + footerBytes);
     for (size_t i = 0; i < frameOffsets_.size(); i++)
         putU64(tail.data() + i * 8, frameOffsets_[i]);
@@ -169,13 +364,23 @@ TraceCursor::TraceCursor(const std::string &path,
 
     uint8_t header[headerBytes];
     file_.read(reinterpret_cast<char *>(header), headerBytes);
-    if (std::memcmp(header, streamMagic, sizeof streamMagic) != 0)
+    if (std::memcmp(header, streamMagicV1, 6) != 0)
         throw ArtifactFormatError(path + " is not a trace stream file");
-    if (getU32(header + 8) != streamVersion)
+    const uint32_t version_field = getU32(header + 8);
+    if (std::memcmp(header, streamMagicV1, 8) == 0 &&
+        version_field == 1) {
+        version_ = 1;
+    } else if (std::memcmp(header, streamMagicV2, 8) == 0 &&
+               version_field == 2) {
+        version_ = 2;
+    } else {
+        // Unknown container revision, or a magic/version-field
+        // mismatch (e.g. a CASSTF2 file relabeled as CASSTF1).
         throw ArtifactFormatError(
             "trace stream " + path + " has format version " +
-            std::to_string(getU32(header + 8)) + ", expected " +
-            std::to_string(streamVersion));
+            std::to_string(version_field) +
+            ", expected a matching CASSTF1 or CASSTF2 header");
+    }
     frameOps_ = getU32(header + 12);
     const uint64_t fingerprint = getU64(header + 16);
     numOps_ = getU64(header + numOpsOffset);
@@ -189,7 +394,10 @@ TraceCursor::TraceCursor(const std::string &path,
             "trace stream " + path +
             ": program fingerprint mismatch (stale trace)");
 
-    // Footer + index.
+    // Footer + index. Every bound is checked by subtraction against
+    // file_len before any multiplication or allocation, so a corrupt
+    // footer cannot pass the consistency check via uint64 wrap-around
+    // and then trigger a numFrames_-sized allocation.
     uint8_t footer[footerBytes];
     file_.seekg(static_cast<std::streamoff>(file_len - footerBytes));
     file_.read(reinterpret_cast<char *>(footer), footerBytes);
@@ -197,10 +405,28 @@ TraceCursor::TraceCursor(const std::string &path,
     numFrames_ = getU64(footer + 8);
     const uint64_t expect_frames =
         (numOps_ + frameOps_ - 1) / frameOps_;
-    if (numFrames_ != expect_frames ||
-        index_pos + numFrames_ * 8 + footerBytes != file_len)
+    const uint64_t payload_bytes = file_len - headerBytes - footerBytes;
+    if (numFrames_ != expect_frames || numFrames_ > payload_bytes / 8 ||
+        index_pos != file_len - footerBytes - numFrames_ * 8 ||
+        index_pos < headerBytes)
         throw ArtifactFormatError("trace stream " + path +
                                   " has an inconsistent index");
+    // Bound the header's size fields against the file before sizing
+    // any buffer from them: the writer never exceeds the u32 frame
+    // length field, and every op costs at least 3 encoded bytes (24
+    // raw in v1), so a corrupt frameOps/numOps pair cannot coerce the
+    // frame buffer into an allocation beyond ~8x the file size.
+    const uint64_t frame_payload = index_pos - headerBytes;
+    const uint64_t min_op_bytes =
+        version_ == 1 ? traceStreamOpBytes : 3;
+    if (static_cast<uint64_t>(frameOps_) * traceStreamOpBytes >
+            0xffffffffull - 64 ||
+        numOps_ > frame_payload / min_op_bytes ||
+        (version_ == 1 &&
+         numOps_ * traceStreamOpBytes != frame_payload))
+        throw ArtifactFormatError("trace stream " + path +
+                                  " has inconsistent size fields");
+    indexPos_ = index_pos;
     frameOffsets_.resize(numFrames_);
     file_.seekg(static_cast<std::streamoff>(index_pos));
     std::vector<uint8_t> raw(numFrames_ * 8);
@@ -211,10 +437,23 @@ TraceCursor::TraceCursor(const std::string &path,
                                   " has a truncated index");
     for (uint64_t f = 0; f < numFrames_; f++) {
         frameOffsets_[f] = getU64(raw.data() + f * 8);
-        const uint64_t expect =
-            headerBytes +
-            f * static_cast<uint64_t>(frameOps_) * traceStreamOpBytes;
-        if (frameOffsets_[f] != expect)
+        bool ok;
+        if (version_ == 1) {
+            // Raw frames sit at exactly computable offsets.
+            ok = frameOffsets_[f] ==
+                headerBytes +
+                    f * static_cast<uint64_t>(frameOps_) *
+                        traceStreamOpBytes;
+        } else {
+            // Compressed frames vary in size: offsets must start at
+            // the header, strictly increase, and leave room for at
+            // least a frame header before the index.
+            ok = (f == 0 ? frameOffsets_[f] == headerBytes
+                         : frameOffsets_[f] >
+                              frameOffsets_[f - 1] + frameHeaderBytes) &&
+                frameOffsets_[f] + frameHeaderBytes <= indexPos_;
+        }
+        if (!ok)
             throw ArtifactFormatError("trace stream " + path +
                                       " has an inconsistent index");
     }
@@ -239,8 +478,12 @@ TraceCursor::TraceCursor(const std::string &path,
 #endif
     if (!map_ && backing == Backing::Mmap)
         throw std::runtime_error("mmap unavailable for " + path);
-    if (!map_)
-        frame_.resize(static_cast<size_t>(frameOps_) *
+    // v1 + mmap serves ops straight from the mapping; every other
+    // combination decodes/reads one frame into frame_ (sized for the
+    // largest frame the validated op count allows).
+    if (version_ != 1 || !map_)
+        frame_.resize(static_cast<size_t>(
+                          std::min<uint64_t>(frameOps_, numOps_)) *
                       traceStreamOpBytes);
 }
 
@@ -252,18 +495,77 @@ TraceCursor::~TraceCursor()
 #endif
 }
 
+uint64_t
+TraceCursor::frameOps(uint64_t frame) const
+{
+    const uint64_t first = frame * frameOps_;
+    return std::min<uint64_t>(frameOps_, numOps_ - first);
+}
+
+uint64_t
+TraceCursor::frameEnd(uint64_t frame) const
+{
+    return frame + 1 < numFrames_ ? frameOffsets_[frame + 1] : indexPos_;
+}
+
+void
+TraceCursor::dropConsumedFrames(uint64_t upto)
+{
+#ifdef CASSANDRA_HAVE_MMAP
+    // Drop consumed frames so resident memory stays at ~one frame even
+    // for multi-GB traces (clean file-backed pages refault on demand if
+    // re-read).
+    while (droppedFrames_ < upto) {
+        const size_t page = 4096;
+        size_t lo = static_cast<size_t>(frameOffsets_[droppedFrames_] &
+                                        ~(page - 1));
+        size_t hi = static_cast<size_t>(frameEnd(droppedFrames_));
+        hi &= ~(page - 1); // keep the page the next frame starts in
+        if (hi > lo)
+            ::madvise(const_cast<uint8_t *>(map_) + lo, hi - lo,
+                      MADV_DONTNEED);
+        droppedFrames_++;
+    }
+#else
+    (void)upto;
+#endif
+}
+
 void
 TraceCursor::loadFrame(uint64_t frame)
 {
-    const uint64_t first = frame * frameOps_;
-    const uint64_t ops =
-        std::min<uint64_t>(frameOps_, numOps_ - first);
-    file_.seekg(static_cast<std::streamoff>(frameOffsets_[frame]));
-    file_.read(reinterpret_cast<char *>(frame_.data()),
-               static_cast<std::streamsize>(ops * traceStreamOpBytes));
-    if (!file_)
-        throw ArtifactFormatError("trace stream read failed (frame " +
-                                  std::to_string(frame) + ")");
+    const uint64_t ops = frameOps(frame);
+    if (version_ == 1) {
+        file_.seekg(static_cast<std::streamoff>(frameOffsets_[frame]));
+        file_.read(reinterpret_cast<char *>(frame_.data()),
+                   static_cast<std::streamsize>(ops *
+                                                traceStreamOpBytes));
+        if (!file_)
+            throw ArtifactFormatError(
+                "trace stream read failed (frame " +
+                std::to_string(frame) + ")");
+    } else {
+        const uint64_t start = frameOffsets_[frame];
+        const size_t len = static_cast<size_t>(frameEnd(frame) - start);
+        const uint8_t *enc;
+        if (map_) {
+            enc = map_ + start;
+        } else {
+            scratch_.resize(len);
+            file_.seekg(static_cast<std::streamoff>(start));
+            file_.read(reinterpret_cast<char *>(scratch_.data()),
+                       static_cast<std::streamsize>(len));
+            if (!file_)
+                throw ArtifactFormatError(
+                    "trace stream read failed (frame " +
+                    std::to_string(frame) + ")");
+            enc = scratch_.data();
+        }
+        // Decode in place: frame_ was sized for a full frame once at
+        // construction, so the replay hot path never allocates.
+        decodeTraceFrameInto(enc, len, static_cast<size_t>(ops),
+                             frame_.data());
+    }
     loadedFrame_ = frame;
 }
 
@@ -272,29 +574,15 @@ TraceCursor::opBytes(uint64_t index)
 {
     const uint64_t frame = index / frameOps_;
     const uint64_t within = index % frameOps_;
-    if (map_) {
-#ifdef CASSANDRA_HAVE_MMAP
-        // Drop consumed frames so resident memory stays at ~one frame
-        // even for multi-GB traces (clean file-backed pages refault on
-        // demand if re-read).
-        while (droppedFrames_ < frame) {
-            const size_t page = 4096;
-            size_t lo = static_cast<size_t>(
-                frameOffsets_[droppedFrames_] & ~(page - 1));
-            size_t hi = static_cast<size_t>(
-                frameOffsets_[droppedFrames_] +
-                static_cast<size_t>(frameOps_) * traceStreamOpBytes);
-            hi &= ~(page - 1); // keep the page the next frame starts in
-            if (hi > lo)
-                ::madvise(const_cast<uint8_t *>(map_) + lo, hi - lo,
-                          MADV_DONTNEED);
-            droppedFrames_++;
-        }
-#endif
+    if (version_ == 1 && map_) {
+        dropConsumedFrames(frame);
         return map_ + frameOffsets_[frame] + within * traceStreamOpBytes;
     }
-    if (loadedFrame_ != frame)
+    if (loadedFrame_ != frame) {
         loadFrame(frame);
+        if (map_)
+            dropConsumedFrames(frame);
+    }
     return frame_.data() + within * traceStreamOpBytes;
 }
 
@@ -353,21 +641,36 @@ ensureDirectories(const std::string &dir)
 }
 
 std::string
+processUniqueSuffix()
+{
+#ifdef CASSANDRA_HAVE_MMAP
+    return std::to_string(::getpid());
+#else
+    static const std::string token = [] {
+        std::random_device rd;
+        const uint64_t t =
+            (static_cast<uint64_t>(rd()) << 32) ^ rd();
+        char buf[24];
+        std::snprintf(buf, sizeof buf, "%016" PRIx64, t);
+        return std::string(buf);
+    }();
+    return token;
+#endif
+}
+
+std::string
 defaultTraceStreamDir()
 {
     const char *tmp = std::getenv("TMPDIR");
     std::string base = tmp && *tmp ? tmp : "/tmp";
     if (!base.empty() && base.back() == '/')
         base.pop_back();
-#ifdef CASSANDRA_HAVE_MMAP
-    return base + "/cassandra-traces-" + std::to_string(::getpid());
-#else
-    return base + "/cassandra-traces";
-#endif
+    return base + "/cassandra-traces-" + processUniqueSuffix();
 }
 
 std::string
-traceStreamPath(const std::string &dir, const std::string &workload_name)
+traceStreamPath(const std::string &dir, const std::string &workload_name,
+                uint64_t program_fingerprint)
 {
     std::string file = workload_name;
     for (char &c : file) {
@@ -376,7 +679,12 @@ traceStreamPath(const std::string &dir, const std::string &workload_name)
         if (!ok)
             c = '_';
     }
-    return dir + "/" + file + ".trace";
+    // Sanitization is lossy ("synthetic/aes/25" and "synthetic_aes_25"
+    // collapse to one string): the program fingerprint keeps distinct
+    // workloads on distinct files.
+    char fp[24];
+    std::snprintf(fp, sizeof fp, "-%016" PRIx64, program_fingerprint);
+    return dir + "/" + file + fp + ".trace";
 }
 
 } // namespace cassandra::core

@@ -3,21 +3,42 @@
  * Chunked on-disk timing traces: fixed-size frames + index.
  *
  * A trace stream file holds the dynamic instruction stream of one
- * workload run at 24 bytes/op (pc, memAddr, nextPc — the inst pointer
- * and crypto flag relink from the PC on read), grouped into fixed-size
- * frames followed by a frame-offset index and a footer:
+ * workload run (pc, memAddr, nextPc per op — the inst pointer and
+ * crypto flag relink from the PC on read), grouped into frames of a
+ * fixed op count followed by a frame-offset index and a footer. Two
+ * container versions share the header/index/footer layout and differ
+ * only in how a frame stores its ops:
  *
- *   "CASSTF1\n" | u32 version | u32 frameOps | u64 fingerprint
- *   | u64 numOps | frames... | index (u64 offset per frame)
- *   | u64 indexPos | u64 numFrames
+ *   CASSTF1 — raw frames, 24 B/op:
+ *     "CASSTF1\n" | u32 version=1 | u32 frameOps | u64 fingerprint
+ *     | u64 numOps | frames (ops * 24 B each) ...
+ *     | index (u64 offset per frame) | u64 indexPos | u64 numFrames
  *
- * TraceStreamWriter produces the file incrementally (one frame buffer
- * resident, never the whole trace); TraceCursor replays it as a
- * uarch::TimingOpSource through an mmap-backed view (with sequential
- * madvise and per-frame drop of consumed pages) or a buffered
- * one-frame reader, so peak memory stays at one frame regardless of
- * trace length. The program fingerprint guards stale files exactly
- * like AnalyzedWorkload snapshots guard stale artifacts.
+ *   CASSTF2 — compressed frames:
+ *     "CASSTF2\n" | u32 version=2 | ... same header fields ...
+ *     | frames (u8 kind | u32 payloadBytes | payload) ...
+ *     | index | footer as above
+ *
+ * A CASSTF2 delta frame (kind 1) exploits that a dynamic instruction
+ * stream is overwhelmingly sequential: the first op stores pc /
+ * memAddr / nextPc as plain varints, every later op stores
+ * zig-zag varints of (pc - prev.nextPc), (memAddr - prev.memAddr) and
+ * (nextPc - (pc + instBytes)) — all three are zero for straight-line
+ * code, so typical ops take 3 bytes instead of 24. Frames stay
+ * independently decodable (random access needs no history across
+ * frames), and a frame whose delta encoding would not beat 24 B/op is
+ * written raw (kind 0), so adversarial streams never grow past CASSTF1
+ * plus the 5-byte frame headers.
+ *
+ * TraceStreamWriter produces either container incrementally (one frame
+ * buffer resident, never the whole trace) and fails fast on I/O errors
+ * so a disk-full run cannot leave a silently-corrupt index behind;
+ * TraceCursor replays both containers as a uarch::TimingOpSource
+ * through an mmap-backed view (with sequential madvise and per-frame
+ * drop of consumed pages) or a buffered one-frame reader, so peak
+ * memory stays at one frame regardless of trace length. The program
+ * fingerprint guards stale files exactly like AnalyzedWorkload
+ * snapshots guard stale artifacts.
  */
 
 #ifndef CASSANDRA_CORE_TRACE_STREAM_HH
@@ -30,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "core/sim_config.hh"
 #include "ir/program.hh"
 #include "uarch/pipeline.hh"
 
@@ -48,8 +70,8 @@ class ArtifactError : public std::invalid_argument
 
 /**
  * A persisted artifact (trace stream or AnalyzedWorkload snapshot)
- * with an unrecognized or outdated container format: bad magic or a
- * format-version mismatch.
+ * with an unrecognized or outdated container format: bad magic, a
+ * format-version mismatch, or inconsistent/corrupt framing.
  */
 class ArtifactFormatError : public ArtifactError
 {
@@ -67,11 +89,35 @@ class ArtifactStaleError : public ArtifactError
     using ArtifactError::ArtifactError;
 };
 
-/** Bytes per serialized op (pc, memAddr, nextPc). */
+/** Bytes per raw serialized op (pc, memAddr, nextPc). */
 constexpr size_t traceStreamOpBytes = 24;
 
-/** Default ops per frame (24 B/op -> 768 KiB frames). */
+/** Default ops per frame (raw 24 B/op -> 768 KiB frames). */
 constexpr uint32_t traceStreamDefaultFrameOps = 1u << 15;
+
+/**
+ * Encode one CASSTF2 frame from raw 24 B/op bytes: delta + zig-zag
+ * varint when that wins, raw fallback otherwise. Returns the complete
+ * frame (u8 kind | u32 payloadBytes | payload). Exposed for the
+ * format tests; the writer uses it per frame.
+ */
+std::vector<uint8_t> encodeTraceFrame(const std::vector<uint8_t> &raw_ops);
+
+/**
+ * Decode one CASSTF2 frame back into raw 24 B/op bytes.
+ * @param frame the full frame as written by encodeTraceFrame
+ * @param frame_len bytes available at `frame`
+ * @param num_ops expected op count of the frame
+ * @throws ArtifactFormatError on truncated or inconsistent frames
+ */
+std::vector<uint8_t> decodeTraceFrame(const uint8_t *frame,
+                                      size_t frame_len, size_t num_ops);
+
+/** decodeTraceFrame into a caller-owned buffer of at least
+ * num_ops * traceStreamOpBytes bytes (the replay hot path reuses one
+ * frame buffer instead of allocating per frame). */
+void decodeTraceFrameInto(const uint8_t *frame, size_t frame_len,
+                          size_t num_ops, uint8_t *out);
 
 /** Incremental writer of a chunked trace stream file. */
 class TraceStreamWriter
@@ -82,10 +128,12 @@ class TraceStreamWriter
      * @param program_fingerprint core::programFingerprint of the
      *        program the trace belongs to
      * @param frame_ops ops per frame (>0)
+     * @param compression None writes CASSTF1, Delta writes CASSTF2
      */
-    TraceStreamWriter(const std::string &path,
-                      uint64_t program_fingerprint,
-                      uint32_t frame_ops = traceStreamDefaultFrameOps);
+    TraceStreamWriter(
+        const std::string &path, uint64_t program_fingerprint,
+        uint32_t frame_ops = traceStreamDefaultFrameOps,
+        TraceCompression compression = TraceCompression::Delta);
     ~TraceStreamWriter();
 
     TraceStreamWriter(const TraceStreamWriter &) = delete;
@@ -100,13 +148,16 @@ class TraceStreamWriter
 
     uint64_t numOps() const { return numOps_; }
     const std::string &path() const { return path_; }
+    TraceCompression compression() const { return compression_; }
 
   private:
     void flushFrame();
+    void checkStream(const char *what) const;
 
     std::string path_;
     std::ofstream file_;
     uint32_t frameOps_;
+    TraceCompression compression_;
     uint64_t numOps_ = 0;
     std::vector<uint8_t> frame_;
     std::vector<uint64_t> frameOffsets_;
@@ -114,9 +165,9 @@ class TraceStreamWriter
 };
 
 /**
- * Replays a trace stream file as a TimingOpSource, relinking each op
- * against `program` (which must outlive the cursor and match the
- * stored fingerprint).
+ * Replays a trace stream file (either container version) as a
+ * TimingOpSource, relinking each op against `program` (which must
+ * outlive the cursor and match the stored fingerprint).
  */
 class TraceCursor final : public uarch::TimingOpSource
 {
@@ -139,16 +190,24 @@ class TraceCursor final : public uarch::TimingOpSource
 
     uint64_t numOps() const { return numOps_; }
     bool mmapped() const { return map_ != nullptr; }
+    /** Container version of the open file (1 = CASSTF1 raw frames,
+     * 2 = CASSTF2 compressed frames). */
+    uint32_t formatVersion() const { return version_; }
 
   private:
     void loadFrame(uint64_t frame);
+    void dropConsumedFrames(uint64_t upto);
     const uint8_t *opBytes(uint64_t index);
+    uint64_t frameOps(uint64_t frame) const;
+    uint64_t frameEnd(uint64_t frame) const;
 
     const ir::Program &program_;
     std::ifstream file_;
+    uint32_t version_ = 0;
     uint64_t numOps_ = 0;
     uint32_t frameOps_ = 0;
     uint64_t numFrames_ = 0;
+    uint64_t indexPos_ = 0;
     std::vector<uint64_t> frameOffsets_;
 
     // mmap backing
@@ -156,8 +215,9 @@ class TraceCursor final : public uarch::TimingOpSource
     size_t mapLen_ = 0;
     uint64_t droppedFrames_ = 0; ///< frames already madvise()d away
 
-    // buffered backing
+    // one decoded/buffered frame (all backings for v2; non-mmap for v1)
     std::vector<uint8_t> frame_;
+    std::vector<uint8_t> scratch_; ///< encoded v2 frame (buffered read)
     uint64_t loadedFrame_ = ~0ull;
 
     uint64_t pos_ = 0;
@@ -171,16 +231,31 @@ class TraceCursor final : public uarch::TimingOpSource
 void ensureDirectories(const std::string &dir);
 
 /**
+ * A string unique to this process on every platform: the pid where
+ * available, a cached random token otherwise. Used wherever two
+ * concurrent processes must never resolve to the same file
+ * (defaultTraceStreamDir, rehydrated snapshot streams).
+ */
+std::string processUniqueSuffix();
+
+/**
  * Directory for trace stream files when the caller names none:
- * $TMPDIR (or /tmp) / cassandra-traces-<pid>.
+ * $TMPDIR (or /tmp) / cassandra-traces-<processUniqueSuffix()>, so
+ * concurrent runs never share — and never clobber — each other's
+ * trace files.
  */
 std::string defaultTraceStreamDir();
 
-/** Stream file path for a workload name ('/' and other non-file
- * characters become '_'; "synthetic/chacha20/75" ->
- * "<dir>/synthetic_chacha20_75.trace"). */
+/**
+ * Stream file path for a workload: the sanitized name ('/' and other
+ * non-file characters become '_') plus the program fingerprint in hex.
+ * The fingerprint keeps distinct workloads whose names sanitize to the
+ * same string (e.g. "synthetic/aes/25" vs "synthetic_aes_25") from
+ * silently clobbering each other's trace files.
+ */
 std::string traceStreamPath(const std::string &dir,
-                            const std::string &workload_name);
+                            const std::string &workload_name,
+                            uint64_t program_fingerprint);
 
 } // namespace cassandra::core
 

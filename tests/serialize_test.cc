@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <random>
 
 #include "core/serialize.hh"
@@ -17,7 +20,11 @@ namespace {
 
 using namespace cassandra;
 using core::AnalyzedWorkload;
+using core::AnalyzeOptions;
 using core::BranchTrace;
+using core::Simulation;
+using core::TraceCompression;
+using core::TraceMode;
 using core::VanillaTrace;
 
 BranchTrace
@@ -153,6 +160,163 @@ TEST(ArtifactVersionTest, FingerprintMismatchIsTyped)
     auto wrong = [&](const std::string &) { return resolver("SHAKE"); };
     EXPECT_THROW(core::unpackAnalyzedWorkload(bytes, wrong),
                  core::ArtifactStaleError);
+}
+
+// ---------------------------------------------------------------------
+// Stream-aware snapshots (CASSAW3): embed the trace stream file, load
+// back into stream mode, never materialize the op vector.
+// ---------------------------------------------------------------------
+
+AnalyzedWorkload::Ptr
+streamedArtifact(const char *name, TraceCompression compression,
+                 const std::string &dir)
+{
+    auto resolver = crypto::WorkloadRegistry::global().resolver();
+    AnalyzeOptions opts;
+    opts.traceMode = TraceMode::Stream;
+    opts.streamDir = dir;
+    opts.compression = compression;
+    return AnalyzedWorkload::analyze(resolver(name), opts);
+}
+
+TEST(StreamSnapshotTest, RoundTripsWithoutMaterializingOps)
+{
+    auto resolver = crypto::WorkloadRegistry::global().resolver();
+    for (auto compression :
+         {TraceCompression::None, TraceCompression::Delta}) {
+        SCOPED_TRACE(core::traceCompressionName(compression));
+        const std::string dir = testing::TempDir() + "/snap-" +
+            core::traceCompressionName(compression);
+        auto artifact =
+            streamedArtifact("ChaCha20_ct", compression, dir);
+        const std::string path = dir + "/chacha20.aw";
+
+        const core::SnapshotIoStats before = core::snapshotIoStats();
+        core::saveAnalyzedWorkload(*artifact, path, "ChaCha20_ct");
+        auto reloaded = core::loadAnalyzedWorkload(path, resolver);
+        const core::SnapshotIoStats after = core::snapshotIoStats();
+
+        // The "never materializes" bar, observable via counters: a
+        // streamed round trip moves stream bytes, zero inline ops.
+        EXPECT_EQ(after.inlineOpsWritten, before.inlineOpsWritten);
+        EXPECT_EQ(after.inlineOpsRead, before.inlineOpsRead);
+        EXPECT_GT(after.streamBytesCopied, before.streamBytesCopied);
+
+        // Rehydrated straight into stream mode, not whole mode.
+        ASSERT_TRUE(reloaded->streamed());
+        EXPECT_THROW(reloaded->timingTrace(), std::logic_error);
+        EXPECT_EQ(reloaded->numOps(), artifact->numOps());
+        // ... on its own file (artifacts own + delete their streams).
+        EXPECT_NE(reloaded->streamPath(), artifact->streamPath());
+
+        // Identical timing results through the reloaded artifact.
+        auto want = Simulation(artifact).run(uarch::Scheme::Cassandra);
+        auto got = Simulation(reloaded).run(uarch::Scheme::Cassandra);
+        EXPECT_EQ(got.stats.cycles, want.stats.cycles);
+        EXPECT_EQ(got.stats.instructions, want.stats.instructions);
+    }
+}
+
+TEST(StreamSnapshotTest, DeltaSnapshotsAreMuchSmallerThanRaw)
+{
+    // Stream paths are deterministic per (name, program), so the two
+    // encodings get their own directories; the snapshots land side by
+    // side.
+    const std::string dir = testing::TempDir() + "/snap-size";
+    auto raw = streamedArtifact("ChaCha20_ct", TraceCompression::None,
+                                dir + "/raw");
+    auto delta = streamedArtifact("ChaCha20_ct",
+                                  TraceCompression::Delta,
+                                  dir + "/delta");
+    core::saveAnalyzedWorkload(*raw, dir + "/raw.aw", "ChaCha20_ct");
+    core::saveAnalyzedWorkload(*delta, dir + "/delta.aw",
+                               "ChaCha20_ct");
+    auto size = [](const std::string &path) {
+        std::ifstream in(path, std::ios::binary | std::ios::ate);
+        return static_cast<size_t>(in.tellg());
+    };
+    EXPECT_LT(size(dir + "/delta.aw") * 2, size(dir + "/raw.aw"));
+}
+
+TEST(StreamSnapshotTest, PackBytesRoundTripStreamed)
+{
+    auto resolver = crypto::WorkloadRegistry::global().resolver();
+    const std::string dir = testing::TempDir() + "/snap-bytes";
+    auto artifact =
+        streamedArtifact("ChaCha20_ct", TraceCompression::Delta, dir);
+    auto bytes = core::packAnalyzedWorkload(*artifact, "ChaCha20_ct");
+    auto reloaded = core::unpackAnalyzedWorkload(bytes, resolver);
+    ASSERT_TRUE(reloaded->streamed());
+    EXPECT_EQ(reloaded->numOps(), artifact->numOps());
+    auto src = reloaded->openOpSource();
+    uint64_t seen = 0;
+    while (src->next())
+        seen++;
+    EXPECT_EQ(seen, artifact->numOps());
+}
+
+TEST(StreamSnapshotTest, CorruptEmbeddedStreamIsRejectedOnLoad)
+{
+    auto resolver = crypto::WorkloadRegistry::global().resolver();
+    const std::string dir = testing::TempDir() + "/snap-corrupt";
+    auto artifact =
+        streamedArtifact("ChaCha20_ct", TraceCompression::Delta, dir);
+    const std::string path = dir + "/corrupt.aw";
+    core::saveAnalyzedWorkload(*artifact, path, "ChaCha20_ct");
+
+    // Flip a byte inside the embedded stream's magic: the load must
+    // reject the snapshot via the stream's own validation, not hand
+    // back a silently-broken artifact.
+    std::vector<uint8_t> bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        bytes.assign((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    }
+    const char needle[] = "CASSTF";
+    auto it = std::search(bytes.begin(), bytes.end(), needle,
+                          needle + 6);
+    ASSERT_NE(it, bytes.end());
+    *it ^= 0xff;
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(reinterpret_cast<const char *>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+    EXPECT_THROW(core::loadAnalyzedWorkload(path, resolver),
+                 core::ArtifactFormatError);
+
+    // Truncating the embedded stream is caught too.
+    std::vector<uint8_t> cut(bytes.begin(), bytes.end() - 64);
+    const std::string cut_path = dir + "/cut.aw";
+    {
+        std::ofstream out(cut_path, std::ios::binary | std::ios::trunc);
+        out.write(reinterpret_cast<const char *>(cut.data()),
+                  static_cast<std::streamsize>(cut.size()));
+    }
+    EXPECT_THROW(core::loadAnalyzedWorkload(cut_path, resolver),
+                 std::invalid_argument);
+}
+
+TEST(StreamSnapshotTest, ImageSurvivesStreamedSnapshot)
+{
+    auto resolver = crypto::WorkloadRegistry::global().resolver();
+    const std::string dir = testing::TempDir() + "/snap-image";
+    auto artifact =
+        streamedArtifact("ChaCha20_ct", TraceCompression::Delta, dir);
+    (void)artifact->traces(); // run Algorithm 2 so it snapshots
+    const std::string path = dir + "/image.aw";
+    core::saveAnalyzedWorkload(*artifact, path, "ChaCha20_ct");
+
+    const auto before = AnalyzedWorkload::analysisPhaseRuns();
+    auto reloaded = core::loadAnalyzedWorkload(path, resolver);
+    ASSERT_TRUE(reloaded->streamed());
+    ASSERT_TRUE(reloaded->hasTraceImage());
+    EXPECT_EQ(reloaded->traces().image.numBranches(),
+              artifact->traces().image.numBranches());
+    // Adopted verbatim: no Algorithm 2 re-run on load or access.
+    EXPECT_EQ(AnalyzedWorkload::analysisPhaseRuns().traceImage,
+              before.traceImage);
 }
 
 TEST(ArtifactVersionTest, ImagelessSnapshotRoundTripsDemandDriven)

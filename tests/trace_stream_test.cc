@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <random>
 #include <stdexcept>
 
 #include "core/experiment.hh"
@@ -29,6 +31,7 @@ using core::ExperimentRunner;
 using core::RunnerOptions;
 using core::SimConfig;
 using core::Simulation;
+using core::TraceCompression;
 using core::TraceCursor;
 using core::TraceMode;
 using core::TraceStreamWriter;
@@ -38,6 +41,54 @@ core::Workload
 workload(const char *name)
 {
     return crypto::WorkloadRegistry::global().make(name);
+}
+
+std::vector<uint8_t>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+}
+
+void
+writeFile(const std::string &path, const std::vector<uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << path;
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+void
+putLe64(std::vector<uint8_t> &bytes, size_t at, uint64_t v)
+{
+    for (int i = 0; i < 8; i++)
+        bytes[at + i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint64_t
+getLe64(const std::vector<uint8_t> &bytes, size_t at)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; i++)
+        v |= static_cast<uint64_t>(bytes[at + i]) << (8 * i);
+    return v;
+}
+
+/** Write a multi-frame stream of a real trace; returns the op count. */
+uint64_t
+writeStream(const std::string &path, const core::Workload &w,
+            const uarch::TimingTrace &trace, TraceCompression compression,
+            uint32_t frame_ops = 256)
+{
+    TraceStreamWriter writer(path, core::programFingerprint(w.program),
+                             frame_ops, compression);
+    for (const auto &op : trace)
+        writer.append(op);
+    writer.finish();
+    return trace.size();
 }
 
 constexpr Scheme allSchemes[] = {
@@ -86,36 +137,60 @@ expectEqualResults(const ExperimentResult &a, const ExperimentResult &b,
 // Trace stream container
 // ---------------------------------------------------------------------
 
-TEST(TraceStreamTest, RoundTripBothBackings)
+TEST(TraceStreamTest, RoundTripBothBackingsBothFormats)
 {
     core::Workload w = workload("ChaCha20_ct");
     auto trace = uarch::recordTrace(w, 2);
-    const std::string path = testing::TempDir() + "/chacha20.trace";
-    {
+    for (auto compression :
+         {TraceCompression::None, TraceCompression::Delta}) {
         // A small frame size forces multi-frame files + index use.
-        TraceStreamWriter writer(path,
-                                 core::programFingerprint(w.program),
-                                 /*frame_ops=*/256);
-        for (const auto &op : trace)
-            writer.append(op);
-        writer.finish();
-    }
-    for (auto backing :
-         {TraceCursor::Backing::Buffered, TraceCursor::Backing::Auto}) {
-        TraceCursor cursor(path, w.program, backing);
-        ASSERT_EQ(cursor.numOps(), trace.size());
-        size_t i = 0;
-        for (const uarch::TimingOp *op = cursor.next(); op;
-             op = cursor.next(), i++) {
-            ASSERT_LT(i, trace.size());
-            EXPECT_EQ(op->pc, trace[i].pc);
-            EXPECT_EQ(op->memAddr, trace[i].memAddr);
-            EXPECT_EQ(op->nextPc, trace[i].nextPc);
-            EXPECT_EQ(op->inst, trace[i].inst);
-            EXPECT_EQ(op->crypto, trace[i].crypto);
+        const std::string path = testing::TempDir() + "/chacha20-" +
+            core::traceCompressionName(compression) + ".trace";
+        writeStream(path, w, trace, compression);
+        for (auto backing : {TraceCursor::Backing::Buffered,
+                             TraceCursor::Backing::Auto}) {
+            SCOPED_TRACE(std::string(
+                             core::traceCompressionName(compression)) +
+                         (backing == TraceCursor::Backing::Buffered
+                              ? "/buffered"
+                              : "/auto"));
+            TraceCursor cursor(path, w.program, backing);
+            EXPECT_EQ(cursor.formatVersion(),
+                      compression == TraceCompression::Delta ? 2u : 1u);
+            ASSERT_EQ(cursor.numOps(), trace.size());
+            size_t i = 0;
+            for (const uarch::TimingOp *op = cursor.next(); op;
+                 op = cursor.next(), i++) {
+                ASSERT_LT(i, trace.size());
+                EXPECT_EQ(op->pc, trace[i].pc);
+                EXPECT_EQ(op->memAddr, trace[i].memAddr);
+                EXPECT_EQ(op->nextPc, trace[i].nextPc);
+                EXPECT_EQ(op->inst, trace[i].inst);
+                EXPECT_EQ(op->crypto, trace[i].crypto);
+            }
+            EXPECT_EQ(i, trace.size());
         }
-        EXPECT_EQ(i, trace.size());
     }
+}
+
+TEST(TraceStreamTest, DeltaStreamsAreMuchSmallerThanRaw)
+{
+    core::Workload w = workload("ChaCha20_ct");
+    auto trace = uarch::recordTrace(w, 2);
+    const std::string raw_path = testing::TempDir() + "/size-raw.trace";
+    const std::string delta_path =
+        testing::TempDir() + "/size-delta.trace";
+    writeStream(raw_path, w, trace, TraceCompression::None,
+                core::traceStreamDefaultFrameOps);
+    writeStream(delta_path, w, trace, TraceCompression::Delta,
+                core::traceStreamDefaultFrameOps);
+    const size_t raw_size = readFile(raw_path).size();
+    const size_t delta_size = readFile(delta_path).size();
+    EXPECT_GE(raw_size, trace.size() * core::traceStreamOpBytes);
+    // The acceptance bar is >= 2x; real instruction streams compress
+    // far better (pc chains and fall-through nextPc are zero deltas).
+    EXPECT_LT(delta_size * 2, raw_size)
+        << "delta=" << delta_size << " raw=" << raw_size;
 }
 
 TEST(TraceStreamTest, FingerprintGuardsStaleStreams)
@@ -146,26 +221,330 @@ TEST(TraceStreamTest, RejectsForeignFiles)
 }
 
 // ---------------------------------------------------------------------
+// CASSTF2 frame codec
+// ---------------------------------------------------------------------
+
+TEST(TraceFrameCodecTest, SequentialOpsCompressAndRoundTrip)
+{
+    // A straight-line instruction stream: pc chains, nextPc is the
+    // fall-through, memAddr walks an array. Near-best case for delta.
+    std::vector<uint8_t> raw;
+    uint64_t pc = 0x10000;
+    for (int i = 0; i < 1000; i++) {
+        uint8_t op[24] = {0};
+        for (int b = 0; b < 8; b++) {
+            op[b] = static_cast<uint8_t>(pc >> (8 * b));
+            op[8 + b] =
+                static_cast<uint8_t>((0x20000 + i * 8ull) >> (8 * b));
+            op[16 + b] = static_cast<uint8_t>((pc + 4) >> (8 * b));
+        }
+        raw.insert(raw.end(), op, op + 24);
+        pc += 4;
+    }
+    auto frame = core::encodeTraceFrame(raw);
+    ASSERT_GE(frame.size(), 5u);
+    EXPECT_EQ(frame[0], 1u) << "sequential ops must pick delta";
+    EXPECT_LT(frame.size() * 4, raw.size())
+        << "sequential ops should compress at least 4x";
+    auto back = core::decodeTraceFrame(frame.data(), frame.size(), 1000);
+    EXPECT_EQ(back, raw);
+}
+
+TEST(TraceFrameCodecTest, IncompressibleOpsFallBackToRawFrames)
+{
+    // All three fields random: every delta costs ~10 varint bytes, so
+    // the encoder must keep the 24 B/op raw representation.
+    std::mt19937_64 rng(7);
+    std::vector<uint8_t> raw(24 * 512);
+    for (uint8_t &b : raw)
+        b = static_cast<uint8_t>(rng());
+    auto frame = core::encodeTraceFrame(raw);
+    ASSERT_GE(frame.size(), 5u);
+    EXPECT_EQ(frame[0], 0u) << "incompressible ops must stay raw";
+    EXPECT_EQ(frame.size(), raw.size() + 5);
+    auto back = core::decodeTraceFrame(frame.data(), frame.size(), 512);
+    EXPECT_EQ(back, raw);
+}
+
+TEST(TraceFrameCodecTest, CorruptFramesAreTyped)
+{
+    std::vector<uint8_t> raw(24 * 8, 0x11);
+    auto frame = core::encodeTraceFrame(raw);
+    // Truncated below the frame header.
+    EXPECT_THROW(core::decodeTraceFrame(frame.data(), 4, 8),
+                 core::ArtifactFormatError);
+    // Payload length beyond the available bytes.
+    EXPECT_THROW(
+        core::decodeTraceFrame(frame.data(), frame.size() - 1, 8),
+        core::ArtifactFormatError);
+    // Unknown encoding kind.
+    auto bad_kind = frame;
+    bad_kind[0] = 9;
+    EXPECT_THROW(
+        core::decodeTraceFrame(bad_kind.data(), bad_kind.size(), 8),
+        core::ArtifactFormatError);
+    // Wrong op count for a raw frame.
+    EXPECT_THROW(core::decodeTraceFrame(frame.data(), frame.size(), 7),
+                 core::ArtifactFormatError);
+}
+
+// ---------------------------------------------------------------------
+// Corrupt streams (negative paths, both container versions)
+// ---------------------------------------------------------------------
+
+class CorruptStreamTest : public ::testing::TestWithParam<TraceCompression>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        w_ = workload("ChaCha20_ct");
+        trace_ = uarch::recordTrace(w_, 2);
+        path_ = testing::TempDir() + "/corrupt-" +
+            core::traceCompressionName(GetParam()) + ".trace";
+        writeStream(path_, w_, trace_, GetParam());
+        bytes_ = readFile(path_);
+    }
+
+    /** Re-write the (tampered) bytes and expect a typed throw. */
+    template <typename Error>
+    void
+    expectThrow(const std::vector<uint8_t> &bytes)
+    {
+        writeFile(path_, bytes);
+        EXPECT_THROW(TraceCursor(path_, w_.program), Error);
+    }
+
+    core::Workload w_ = workload("ChaCha20_ct");
+    uarch::TimingTrace trace_;
+    std::string path_;
+    std::vector<uint8_t> bytes_;
+};
+
+TEST_P(CorruptStreamTest, TruncatedHeader)
+{
+    std::vector<uint8_t> head(bytes_.begin(), bytes_.begin() + 20);
+    expectThrow<core::ArtifactFormatError>(head);
+}
+
+TEST_P(CorruptStreamTest, BadMagic)
+{
+    auto bad = bytes_;
+    bad[0] = 'X';
+    expectThrow<core::ArtifactFormatError>(bad);
+}
+
+TEST_P(CorruptStreamTest, UnknownVersionByte)
+{
+    auto bad = bytes_;
+    bad[6] = '9'; // "CASSTF9\n"
+    expectThrow<core::ArtifactFormatError>(bad);
+}
+
+TEST_P(CorruptStreamTest, CrossVersionRelabelIsRejected)
+{
+    // Claiming the other container's magic without re-encoding the
+    // frames must fail the magic/version-field consistency check, not
+    // silently decode garbage.
+    auto bad = bytes_;
+    bad[6] = GetParam() == TraceCompression::Delta ? '1' : '2';
+    expectThrow<core::ArtifactFormatError>(bad);
+}
+
+TEST_P(CorruptStreamTest, TruncatedIndex)
+{
+    std::vector<uint8_t> cut(bytes_.begin(), bytes_.end() - 24);
+    expectThrow<core::ArtifactFormatError>(cut);
+}
+
+TEST_P(CorruptStreamTest, MismatchedFingerprint)
+{
+    auto bad = bytes_;
+    bad[16] ^= 0xff; // first fingerprint byte
+    expectThrow<core::ArtifactStaleError>(bad);
+}
+
+TEST_P(CorruptStreamTest, OverflowingFooterIsRejectedBeforeAllocating)
+{
+    // Craft a footer whose numFrames wraps the old consistency check
+    // `index_pos + numFrames * 8 + footerBytes == file_len` through
+    // uint64 overflow: with frame_ops == 1, expect_frames == numOps,
+    // so tampering both to huge-but-consistent values used to pass
+    // validation and then attempt a numFrames-sized allocation. The
+    // cursor must bound numFrames against the file length *before*
+    // sizing anything from it.
+    const std::string path = testing::TempDir() + "/overflow-" +
+        core::traceCompressionName(GetParam()) + ".trace";
+    uarch::TimingTrace small(trace_.begin(), trace_.begin() + 6);
+    writeStream(path, w_, small, GetParam(), /*frame_ops=*/1);
+    auto bytes = readFile(path);
+    const uint64_t frames = getLe64(bytes, bytes.size() - 8);
+    ASSERT_EQ(frames, 6u);
+    // numFrames' * 8 wraps to numFrames * 8 (2^61 * 8 == 2^64).
+    const uint64_t huge = frames + (1ull << 61);
+    putLe64(bytes, bytes.size() - 8, huge); // footer numFrames
+    putLe64(bytes, 24, huge);               // header numOps
+    writeFile(path, bytes);
+    EXPECT_THROW(TraceCursor(path, w_.program),
+                 core::ArtifactFormatError);
+}
+
+TEST_P(CorruptStreamTest, OversizedFrameOpsIsRejectedBeforeAllocating)
+{
+    // A single-frame file whose u32 frameOps header field is tampered
+    // to ~4 billion passes every frame-count/offset check (one frame
+    // either way) and used to size a ~96 GB frame buffer from the
+    // untrusted field; the cursor must reject the size fields first.
+    const std::string path = testing::TempDir() + "/frameops-" +
+        core::traceCompressionName(GetParam()) + ".trace";
+    uarch::TimingTrace small(trace_.begin(), trace_.begin() + 8);
+    writeStream(path, w_, small, GetParam(),
+                core::traceStreamDefaultFrameOps);
+    auto bytes = readFile(path);
+    bytes[12] = 0xf0; // u32 frameOps at header offset 12
+    bytes[13] = 0xff;
+    bytes[14] = 0xff;
+    bytes[15] = 0xff;
+    writeFile(path, bytes);
+    EXPECT_THROW(TraceCursor(path, w_.program),
+                 core::ArtifactFormatError);
+}
+
+TEST_P(CorruptStreamTest, InconsistentFrameOffsets)
+{
+    // Point the first index entry somewhere inconsistent.
+    auto bad = bytes_;
+    const uint64_t frames = getLe64(bad, bad.size() - 8);
+    const uint64_t index_pos = getLe64(bad, bad.size() - 16);
+    ASSERT_GT(frames, 1u);
+    putLe64(bad, static_cast<size_t>(index_pos), 7); // offsets[0] != 32
+    expectThrow<core::ArtifactFormatError>(bad);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothFormats, CorruptStreamTest,
+    ::testing::Values(TraceCompression::None, TraceCompression::Delta),
+    [](const ::testing::TestParamInfo<TraceCompression> &info) {
+        return info.param == TraceCompression::Delta ? "casstf2"
+                                                     : "casstf1";
+    });
+
+TEST(TraceStreamTest, WriterFailsFastWhenDiskIsFull)
+{
+    // /dev/full accepts the open and fails every write with ENOSPC:
+    // the writer must throw instead of recording -1 offsets and
+    // finishing a garbage index.
+    std::ifstream probe("/dev/full");
+    if (!probe.good())
+        GTEST_SKIP() << "/dev/full unavailable";
+    core::Workload w = workload("ChaCha20_ct");
+    auto trace = uarch::recordTrace(w, 2);
+    EXPECT_THROW(
+        {
+            TraceStreamWriter writer(
+                "/dev/full", core::programFingerprint(w.program),
+                /*frame_ops=*/64);
+            for (const auto &op : trace)
+                writer.append(op);
+            writer.finish();
+        },
+        std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// Stream file naming (collision regressions)
+// ---------------------------------------------------------------------
+
+TEST(TraceStreamPathTest, SanitizedCollisionsStayDistinct)
+{
+    // "synthetic/aes/25" and "synthetic_aes_25" sanitize to the same
+    // string; the appended program fingerprint must keep distinct
+    // workloads on distinct files.
+    const std::string a =
+        core::traceStreamPath("/tmp/t", "synthetic/aes/25", 0x1111);
+    const std::string b =
+        core::traceStreamPath("/tmp/t", "synthetic_aes_25", 0x2222);
+    EXPECT_NE(a, b);
+    // Same name, same program: stable path (cache-friendly).
+    EXPECT_EQ(a, core::traceStreamPath("/tmp/t", "synthetic/aes/25",
+                                       0x1111));
+    // Slashes still never leak into the file name.
+    EXPECT_EQ(a.find('/', std::string("/tmp/t/").size()),
+              std::string::npos);
+}
+
+TEST(TraceStreamPathTest, DistinctProgramsGetDistinctStreamFiles)
+{
+    // End to end: two different programs whose names sanitize to the
+    // same string. Before the fingerprint suffix both landed on one
+    // "<dir>/a_b.trace", the second analysis silently clobbering the
+    // first's ops; now each keeps its own file and both replay.
+    core::Workload first = workload("ChaCha20_ct");
+    core::Workload second = workload("SHAKE");
+    first.name = "a/b";
+    second.name = "a_b";
+    AnalyzeOptions opts;
+    opts.traceMode = TraceMode::Stream;
+    opts.streamDir = testing::TempDir() + "/collide";
+    auto a = AnalyzedWorkload::analyze(std::move(first), opts);
+    auto b = AnalyzedWorkload::analyze(std::move(second), opts);
+    ASSERT_NE(a->streamPath(), b->streamPath());
+    // Both remain fully readable after both were written (the clobber
+    // made the first's cursor fail its fingerprint/pc validation).
+    uint64_t seen = 0;
+    auto src_a = a->openOpSource();
+    while (src_a->next())
+        seen++;
+    EXPECT_EQ(seen, a->numOps());
+    auto src_b = b->openOpSource();
+    EXPECT_NE(src_b->next(), nullptr);
+}
+
+TEST(TraceStreamPathTest, DefaultDirIsProcessUnique)
+{
+    const std::string dir = core::defaultTraceStreamDir();
+    const std::string prefix = "cassandra-traces-";
+    const size_t at = dir.find(prefix);
+    ASSERT_NE(at, std::string::npos) << dir;
+    // Some per-process suffix must follow on every platform, or
+    // concurrent runs clobber each other's trace files.
+    EXPECT_GT(dir.size(), at + prefix.size()) << dir;
+    // Stable within the process (analyses must agree on the dir).
+    EXPECT_EQ(dir, core::defaultTraceStreamDir());
+}
+
+// ---------------------------------------------------------------------
 // Streamed vs. whole parity
 // ---------------------------------------------------------------------
 
 TEST(TraceStreamTest, StreamedRunsMatchWholeRunsAllSchemes)
 {
-    AnalyzeOptions stream_opts;
-    stream_opts.traceMode = TraceMode::Stream;
-    stream_opts.streamDir = testing::TempDir() + "/stream-parity";
+    // Both stream encodings must be cycle-identical to whole mode —
+    // compression only changes bytes on disk, never replayed ops.
     for (const char *name : {"ChaCha20_ct", "synthetic/curve25519/50"}) {
         auto whole = AnalyzedWorkload::analyze(workload(name));
-        auto streamed =
-            AnalyzedWorkload::analyze(workload(name), stream_opts);
-        ASSERT_TRUE(streamed->streamed());
         ASSERT_FALSE(whole->streamed());
-        ASSERT_EQ(streamed->numOps(), whole->numOps());
-        Simulation whole_sim(whole), stream_sim(streamed);
-        for (Scheme s : allSchemes) {
-            expectEqualResults(
-                stream_sim.run(s), whole_sim.run(s),
-                std::string(name) + " / " + uarch::schemeName(s));
+        Simulation whole_sim(whole);
+        for (auto compression :
+             {TraceCompression::None, TraceCompression::Delta}) {
+            AnalyzeOptions stream_opts;
+            stream_opts.traceMode = TraceMode::Stream;
+            stream_opts.streamDir = testing::TempDir() +
+                "/stream-parity-" +
+                core::traceCompressionName(compression);
+            stream_opts.compression = compression;
+            auto streamed =
+                AnalyzedWorkload::analyze(workload(name), stream_opts);
+            ASSERT_TRUE(streamed->streamed());
+            ASSERT_EQ(streamed->numOps(), whole->numOps());
+            Simulation stream_sim(streamed);
+            for (Scheme s : allSchemes) {
+                expectEqualResults(
+                    stream_sim.run(s), whole_sim.run(s),
+                    std::string(name) + " / " +
+                        core::traceCompressionName(compression) + " / " +
+                        uarch::schemeName(s));
+            }
         }
     }
 }
