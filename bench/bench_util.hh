@@ -81,12 +81,22 @@ struct CliOptions
     core::TraceCompression traceCompression =
         core::TraceCompression::Delta;
 
+    /// inprocess | subprocess (--execution or "execution.mode").
+    core::ExecutionMode execution = core::ExecutionMode::InProcess;
+    /// Subprocess shard count (--shards or "execution.shards").
+    unsigned shards = 0;
+    /// Worker binary for subprocess mode ("execution.worker_binary";
+    /// run_experiment defaults it to its own argv[0]).
+    std::string workerBinary;
+
     /// CLI flags beat config-file settings; track what was spelled.
     bool formatExplicit = false;
     bool outExplicit = false;
     bool threadsExplicit = false;
     bool traceModeExplicit = false;
     bool traceCompressionExplicit = false;
+    bool executionExplicit = false;
+    bool shardsExplicit = false;
 
     /// Artifact snapshot directory (from the config file).
     std::string artifactDir;
@@ -115,6 +125,12 @@ printCliHelp(const char *prog)
         "  --trace-compression=C  stream-file encoding: delta\n"
         "                 (default, compressed CASSTF2) or none (raw\n"
         "                 24 B/op CASSTF1); same cycles either way\n"
+        "  --execution=E  phase-2 cell execution: inprocess (default,\n"
+        "                 thread pool) or subprocess (cells sharded\n"
+        "                 across worker processes; byte-identical\n"
+        "                 reports)\n"
+        "  --shards=N     worker process count for --execution\n"
+        "                 subprocess (default: auto)\n"
         "  --list         list selectable workload names and exit\n"
         "  --help         this text\n",
         prog);
@@ -189,6 +205,35 @@ parseCli(int argc, char **argv)
             opts.configPath = v;
         } else if (arg == "--config" && i + 1 < argc) {
             opts.configPath = argv[++i];
+        } else if (value("--execution") ||
+                   (arg == "--execution" && i + 1 < argc)) {
+            const char *v = value("--execution");
+            if (!v)
+                v = argv[++i];
+            try {
+                opts.execution = core::executionModeFromName(v);
+            } catch (const std::invalid_argument &) {
+                std::fprintf(stderr,
+                             "invalid --execution=%s (expected "
+                             "inprocess or subprocess)\n",
+                             v);
+                std::exit(2);
+            }
+            opts.executionExplicit = true;
+        } else if (value("--shards") ||
+                   (arg == "--shards" && i + 1 < argc)) {
+            const char *v = value("--shards");
+            if (!v)
+                v = argv[++i];
+            char *end = nullptr;
+            unsigned long n = std::strtoul(v, &end, 10);
+            if (*v == '\0' || *end != '\0' || v[0] == '-' || n == 0 ||
+                n > 1024) {
+                std::fprintf(stderr, "invalid --shards=%s\n", v);
+                std::exit(2);
+            }
+            opts.shards = static_cast<unsigned>(n);
+            opts.shardsExplicit = true;
         } else if (const char *v = value("--workloads")) {
             std::string list = v;
             size_t pos = 0;
@@ -313,6 +358,12 @@ matrixFromConfig(CliOptions &opts, core::ExperimentMatrix &matrix)
         opts.traceMode = spec.traceMode;
     if (!opts.traceCompressionExplicit && spec.traceCompressionSet)
         opts.traceCompression = spec.traceCompression;
+    if (!opts.executionExplicit && spec.executionModeSet)
+        opts.execution = spec.executionMode;
+    if (!opts.shardsExplicit && spec.shardsSet)
+        opts.shards = spec.shards;
+    if (opts.workerBinary.empty())
+        opts.workerBinary = spec.workerBinary;
     opts.artifactDir = spec.artifactDir;
     opts.artifactSave = spec.artifactSave;
     return true;
@@ -407,6 +458,15 @@ saveArtifacts(
 {
     if (opts.artifactDir.empty() || !opts.artifactSave)
         return;
+    // Whole-mode sweeps never touch the stream layer, so the artifact
+    // directory may not exist yet.
+    try {
+        core::ensureDirectories(opts.artifactDir);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "cannot create artifact dir %s: %s\n",
+                     opts.artifactDir.c_str(), e.what());
+        return;
+    }
     for (const std::string &name : missing) {
         auto it = artifacts.find(name);
         if (it == artifacts.end())
@@ -465,6 +525,18 @@ runMatrices(const std::vector<core::ExperimentMatrix> &matrices,
     core::RunnerOptions runner_opts;
     runner_opts.threads = opts.threads;
     runner_opts.analyze = analyzeOptions(opts);
+    runner_opts.execution = opts.execution;
+    runner_opts.shards = opts.shards;
+    runner_opts.workerBinary = opts.workerBinary;
+    if (runner_opts.execution == core::ExecutionMode::Subprocess &&
+        runner_opts.workerBinary.empty()) {
+        std::fprintf(stderr,
+                     "--execution subprocess needs a worker binary: "
+                     "set \"execution\": {\"worker_binary\": ...} in "
+                     "the config, or run through run_experiment "
+                     "(which shards onto itself)\n");
+        std::exit(2);
+    }
     core::ExperimentRunner runner(cache, runner_opts);
     core::Experiment exp = runner.run(resolved);
     saveArtifacts(exp.artifacts, missing, opts);

@@ -9,7 +9,7 @@
 
 #include <cstdio>
 
-#include "core/system.hh"
+#include "core/analyzed_workload.hh"
 #include "crypto/workload_registry.hh"
 
 using namespace cassandra;

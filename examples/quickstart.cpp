@@ -12,7 +12,7 @@
 
 #include "asm/assembler.hh"
 #include "core/branch_trace.hh"
-#include "core/system.hh"
+#include "core/analyzed_workload.hh"
 #include "crypto/kernels/common.hh"
 
 using namespace cassandra;

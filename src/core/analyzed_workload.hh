@@ -25,7 +25,7 @@
  * Phase 2 — simulation. A Simulation is a lightweight session over
  * one artifact that runs any number of SimConfigs; each run builds
  * its own OooCore, so results are deterministic and bit-identical to
- * a fresh end-to-end System run:
+ * a run over a freshly analyzed artifact:
  *
  *   auto aw = core::AnalyzedWorkload::analyze(
  *       crypto::WorkloadRegistry::global().make("ChaCha20_ct"));
@@ -271,8 +271,8 @@ class AnalyzedWorkload
 /**
  * Phase 2: a simulation session over one shared artifact. Stateless
  * apart from the artifact handle — run() is const and thread-safe,
- * and every run is bit-identical to a fresh System run of the same
- * config, in either trace mode.
+ * and every run is bit-identical for the same config, in either trace
+ * mode.
  */
 class Simulation
 {

@@ -1,17 +1,16 @@
 #include "core/experiment.hh"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <cstdio>
-#include <exception>
 #include <limits>
-#include <mutex>
 #include <ostream>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "core/cell_executor.hh"
 
 namespace cassandra::core {
 
@@ -27,12 +26,56 @@ Experiment::find(const std::string &workload, uarch::Scheme scheme,
     return nullptr;
 }
 
+const char *
+executionModeName(ExecutionMode mode)
+{
+    return mode == ExecutionMode::Subprocess ? "subprocess"
+                                             : "inprocess";
+}
+
+ExecutionMode
+executionModeFromName(const std::string &name)
+{
+    if (name == "inprocess" || name == "in-process" ||
+        name == "threads")
+        return ExecutionMode::InProcess;
+    if (name == "subprocess")
+        return ExecutionMode::Subprocess;
+    throw std::invalid_argument(
+        "unknown execution mode \"" + name +
+        "\" (expected inprocess or subprocess)");
+}
+
 unsigned
 RunnerOptions::resolveThreads(size_t work) const
 {
     unsigned n = threads;
     if (n == 0)
         n = std::max(1u, std::thread::hardware_concurrency());
+    return std::min<unsigned>(n, std::max<size_t>(work, 1));
+}
+
+unsigned
+RunnerOptions::resolveThreads(size_t work, unsigned shard_count) const
+{
+    // The documented cap: an even split of the machine-wide budget
+    // (shards x threads never exceeds resolveThreads(work)), clamped
+    // to the largest per-shard cell count so no worker idles threads.
+    const unsigned s = std::max(1u, shard_count);
+    const unsigned budget = std::max(1u, resolveThreads(work) / s);
+    const size_t per_shard_cells =
+        work == 0 ? 1 : (work + s - 1) / s;
+    return std::min<unsigned>(budget,
+                              std::max<size_t>(per_shard_cells, 1));
+}
+
+unsigned
+RunnerOptions::resolveShards(size_t work) const
+{
+    unsigned n = shards;
+    if (n == 0)
+        n = std::min(4u,
+                     std::max(1u, std::thread::hardware_concurrency()));
     return std::min<unsigned>(n, std::max<size_t>(work, 1));
 }
 
@@ -46,64 +89,24 @@ ExperimentRunner::ExperimentRunner(WorkloadResolver resolver,
 
 ExperimentRunner::ExperimentRunner(std::shared_ptr<AnalysisCache> cache,
                                    RunnerOptions options)
-    : cache_(std::move(cache)), options_(options)
+    : ExperimentRunner(std::move(cache), options, nullptr)
+{
+}
+
+ExperimentRunner::ExperimentRunner(std::shared_ptr<AnalysisCache> cache,
+                                   RunnerOptions options,
+                                   std::shared_ptr<CellExecutor> executor)
+    : cache_(std::move(cache)), options_(options),
+      executor_(std::move(executor))
 {
     if (!cache_)
         throw std::invalid_argument(
             "ExperimentRunner needs an analysis cache");
+    if (!executor_)
+        executor_ = makeCellExecutor(options_);
 }
 
 namespace {
-
-/**
- * Run fn(0..work) over a pool of `threads` workers, failing fast on
- * the first exception (rethrown here).
- */
-void
-runParallel(unsigned threads, size_t work,
-            const std::function<void(size_t)> &fn)
-{
-    if (work == 0)
-        return;
-    std::atomic<size_t> next{0};
-    std::mutex error_mutex;
-    std::exception_ptr first_error;
-
-    auto worker = [&] {
-        for (;;) {
-            size_t i = next.fetch_add(1);
-            if (i >= work)
-                return;
-            {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (first_error)
-                    return; // fail fast, keep remaining slots empty
-            }
-            try {
-                fn(i);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error)
-                    first_error = std::current_exception();
-                return;
-            }
-        }
-    };
-
-    if (threads <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(threads);
-        for (unsigned t = 0; t < threads; t++)
-            pool.emplace_back(worker);
-        for (std::thread &t : pool)
-            t.join();
-    }
-
-    if (first_error)
-        std::rethrow_exception(first_error);
-}
 
 /** Distinct names in first-appearance order (registry spelling). */
 std::vector<std::string>
@@ -186,17 +189,12 @@ ExperimentRunner::run(const ExperimentMatrix &matrix) const
 Experiment
 ExperimentRunner::run(const std::vector<ExperimentMatrix> &matrices) const
 {
-    // Flatten the cross products up front so workers index into a
-    // fixed slot array: result order never depends on scheduling.
+    // Plan: flatten the cross products up front so executors fill a
+    // fixed slot array — result order never depends on scheduling,
+    // threads or shard partitions.
     const std::vector<SimConfig> default_configs{SimConfig{}};
 
-    struct Cell
-    {
-        const std::string *workload;
-        uarch::Scheme scheme;
-        const SimConfig *config;
-    };
-    std::vector<Cell> cells;
+    std::vector<PlannedCell> cells;
     std::vector<std::string> names;
     for (const ExperimentMatrix &matrix : matrices) {
         const std::vector<SimConfig> &configs =
@@ -205,7 +203,7 @@ ExperimentRunner::run(const std::vector<ExperimentMatrix> &matrices) const
             names.push_back(w);
             for (uarch::Scheme s : matrix.schemes)
                 for (const SimConfig &c : configs)
-                    cells.push_back(Cell{&w, s, &c});
+                    cells.push_back(PlannedCell{w, s, c});
         }
     }
 
@@ -231,26 +229,13 @@ ExperimentRunner::run(const std::vector<ExperimentMatrix> &matrices) const
     for (size_t i = 0; i < names.size(); i++)
         exp.artifacts.emplace(names[i], artifacts[i]);
 
-    // Phase 2: every cell is a Simulation over the shared artifact.
-    exp.cells.resize(cells.size());
-    runParallel(
-        options_.resolveThreads(cells.size()), cells.size(),
-        [&](size_t i) {
-            const Cell &cell = cells[i];
-            const AnalyzedWorkload::Ptr &artifact =
-                exp.artifacts.at(*cell.workload);
-            CellResult &out = exp.cells[i];
-            // Keyed by the matrix name (not Workload::name) so
-            // Experiment::find works with whatever the caller
-            // spelled, parameterized entries included.
-            out.workload = *cell.workload;
-            out.suite = artifact->workload().suite;
-            out.scheme = cell.scheme;
-            out.config = cell.config->name;
-            SimConfig cfg = *cell.config;
-            cfg.scheme = cell.scheme;
-            out.result = Simulation(artifact).run(cfg);
-        });
+    // Phase 2: dispatch the planned cells to the executor and merge.
+    // Every executor fills the same fixed slots, so the cells come
+    // back in matrix order whatever the backend did to run them.
+    exp.cells = executor_->execute(cells, exp.artifacts);
+    if (exp.cells.size() != cells.size())
+        throw std::logic_error(
+            "cell executor returned a result vector of the wrong size");
     return exp;
 }
 

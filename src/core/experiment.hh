@@ -7,12 +7,18 @@
  * Workload factory, normally crypto::WorkloadRegistry::global()
  * .resolver()), protection schemes, and SimConfig variants; the
  * runner executes the full workload x scheme x config cross product
- * over a thread pool in two phases. Phase 1 analyzes each distinct
- * workload exactly once (concurrently across workloads, memoized in
- * an AnalysisCache); phase 2 runs every cell as a Simulation over the
- * shared immutable artifact. Each cell still builds its own core, so
- * the result vector is deterministic for any thread count and always
- * in matrix order (workload-major, then scheme, then config).
+ * in two phases. Phase 1 analyzes each distinct workload exactly once
+ * (concurrently across workloads, memoized in an AnalysisCache);
+ * phase 2 hands the planned cells to a pluggable core::CellExecutor —
+ * the in-process thread pool by default, or the subprocess shard
+ * executor (RunnerOptions::execution) which partitions cells across
+ * `run_experiment --worker` child processes over serialized artifact
+ * snapshots. The runner itself is a pure coordinator: plan cells ->
+ * acquire artifacts -> dispatch -> merge. Each cell still builds its
+ * own core, so the result vector is deterministic for any thread or
+ * shard count and always in matrix order (workload-major, then
+ * scheme, then config) — executors are required to be byte-identical
+ * to one another.
  *
  *   core::ExperimentMatrix m;
  *   m.workloads = {"ChaCha20_ct", "kyber768"};
@@ -39,9 +45,10 @@
 
 #include "core/analyzed_workload.hh"
 #include "core/sim_config.hh"
-#include "core/system.hh"
 
 namespace cassandra::core {
+
+class CellExecutor;
 
 /** Name -> Workload factory used to resolve matrix entries. */
 using WorkloadResolver = AnalysisCache::Resolver;
@@ -98,6 +105,23 @@ struct Experiment
                            const std::string &config = "") const;
 };
 
+/** How phase-2 cells are executed. */
+enum class ExecutionMode
+{
+    /** Thread pool inside this process (the default). */
+    InProcess,
+    /** Cells sharded across `run_experiment --worker` subprocesses. */
+    Subprocess,
+};
+
+const char *executionModeName(ExecutionMode mode);
+
+/**
+ * Parse an execution mode name ("inprocess" or "subprocess").
+ * @throws std::invalid_argument on anything else.
+ */
+ExecutionMode executionModeFromName(const std::string &name);
+
 /** Runner knobs. */
 struct RunnerOptions
 {
@@ -117,14 +141,60 @@ struct RunnerOptions
      */
     AnalyzeOptions analyze;
 
+    /** Phase-2 cell execution backend. */
+    ExecutionMode execution = ExecutionMode::InProcess;
+
+    /**
+     * Shard (worker process) count for subprocess execution; 0 means
+     * auto (see resolveShards). Ignored in-process.
+     */
+    unsigned shards = 0;
+
+    /**
+     * Binary spawned per shard in subprocess mode; it must implement
+     * the `--worker --manifest=F --out=F` contract (run_experiment
+     * does). Required when execution == Subprocess.
+     */
+    std::string workerBinary;
+
+    /**
+     * Directory for shard scratch files (artifact snapshots,
+     * manifests, worker outputs); empty picks a per-process temp
+     * directory. The executor deletes its scratch files after the run.
+     */
+    std::string scratchDir;
+
     /**
      * The one place thread-pool sizing is decided: the requested
      * count (or hardware concurrency) clamped to the work at hand.
      */
     unsigned resolveThreads(size_t work) const;
+
+    /**
+     * Per-worker thread budget of a sharded run. The machine-wide
+     * budget resolveThreads(work) is divided evenly across the shard
+     * workers and clamped to the largest per-shard cell count, so the
+     * product shards x threads never oversubscribes the machine and no
+     * worker holds more threads than it has cells:
+     *
+     *   perWorker = min(max(1, resolveThreads(work) / shards),
+     *                   ceil(work / shards))
+     */
+    unsigned resolveThreads(size_t work, unsigned shards) const;
+
+    /**
+     * Shard count actually launched for `work` cells: the requested
+     * count (or, when 0, an automatic min(4, hardware concurrency))
+     * clamped to the cell count so no worker starts empty.
+     */
+    unsigned resolveShards(size_t work) const;
 };
 
-/** Executes experiment matrices across a thread pool. */
+/**
+ * Coordinates experiment matrices: plans the cell cross product,
+ * acquires analysis artifacts (phase 1), dispatches the cells to its
+ * CellExecutor (phase 2) and merges the results in matrix order.
+ */
 class ExperimentRunner
 {
   public:
@@ -133,6 +203,14 @@ class ExperimentRunner
     /** Share a caller-owned cache (artifacts persist across runs). */
     explicit ExperimentRunner(std::shared_ptr<AnalysisCache> cache,
                               RunnerOptions options = {});
+    /**
+     * Inject a custom phase-2 executor (null builds one from
+     * options.execution: InProcessExecutor or SubprocessShardExecutor
+     * from core/cell_executor.hh).
+     */
+    ExperimentRunner(std::shared_ptr<AnalysisCache> cache,
+                     RunnerOptions options,
+                     std::shared_ptr<CellExecutor> executor);
 
     /**
      * Run every cell of the matrix. Distinct workloads are analyzed
@@ -182,9 +260,13 @@ class ExperimentRunner
     /** The artifact cache backing this runner. */
     AnalysisCache &cache() const { return *cache_; }
 
+    /** The phase-2 executor cells are dispatched to. */
+    CellExecutor &executor() const { return *executor_; }
+
   private:
     std::shared_ptr<AnalysisCache> cache_;
     RunnerOptions options_;
+    std::shared_ptr<CellExecutor> executor_;
 };
 
 /** Derived metrics computed over a finished experiment. */

@@ -574,6 +574,32 @@ parseExperimentSpec(const std::string &json)
                     schemaFail(at, "unknown report key");
                 }
             }
+        } else if (key == "execution") {
+            expectKind(v, JsonValue::Kind::Object, key, "an object");
+            for (const auto &[ekey, ev] : v.object) {
+                const std::string at = "execution." + ekey;
+                if (ekey == "mode") {
+                    expectKind(ev, JsonValue::Kind::String, at,
+                               "a string");
+                    try {
+                        spec.executionMode =
+                            executionModeFromName(ev.string);
+                    } catch (const std::invalid_argument &e) {
+                        schemaFail(at, e.what());
+                    }
+                    spec.executionModeSet = true;
+                } else if (ekey == "shards") {
+                    spec.shards = static_cast<unsigned>(
+                        uintField(ev, at, 1024));
+                    spec.shardsSet = true;
+                } else if (ekey == "worker_binary") {
+                    expectKind(ev, JsonValue::Kind::String, at,
+                               "a string");
+                    spec.workerBinary = ev.string;
+                } else {
+                    schemaFail(at, "unknown execution key");
+                }
+            }
         } else if (key == "artifacts") {
             expectKind(v, JsonValue::Kind::Object, key, "an object");
             for (const auto &[akey, av] : v.object) {

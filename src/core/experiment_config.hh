@@ -20,7 +20,9 @@
  *     ],
  *     "threads": 8,
  *     "report": {"format": "json", "out": "fig7.json"},
- *     "artifacts": {"dir": "aw-cache", "save": true}
+ *     "artifacts": {"dir": "aw-cache", "save": true},
+ *     "execution": {"mode": "subprocess", "shards": 4,
+ *                   "worker_binary": "./build/bench/run_experiment"}
  *   }
  *
  * Suites expand against the WorkloadRegistry at the bench layer (core
@@ -77,6 +79,21 @@ struct ExperimentSpec
     TraceCompression traceCompression = TraceCompression::Delta;
     /** Whether the config spelled trace_compression. */
     bool traceCompressionSet = false;
+    /**
+     * Phase-2 cell execution backend ("execution": {"mode":
+     * "inprocess" | "subprocess"}). Subprocess mode shards the cells
+     * across `worker_binary --worker` child processes.
+     */
+    ExecutionMode executionMode = ExecutionMode::InProcess;
+    /** Whether the config spelled execution.mode. */
+    bool executionModeSet = false;
+    /** Shard count for subprocess execution; 0 = runner decides. */
+    unsigned shards = 0;
+    /** Whether the config spelled execution.shards. */
+    bool shardsSet = false;
+    /** Worker binary for subprocess execution; empty = caller's
+     * default (run_experiment uses itself). */
+    std::string workerBinary;
 };
 
 /**

@@ -8,6 +8,8 @@
 #include <iterator>
 #include <stdexcept>
 
+#include "core/byte_io.hh"
+
 namespace cassandra::core {
 
 namespace {
@@ -141,14 +143,14 @@ packedTraceBytes(const BranchTrace &trace)
 
 namespace {
 
-constexpr char artifactMagic[8] = {'C', 'A', 'S', 'S',
-                                   'A', 'W', '3', '\n'};
+/** "CASSAW" family magic; the 7th byte is the version digit. */
+constexpr char artifactMagicBase[6] = {'C', 'A', 'S', 'S', 'A', 'W'};
 
 /** Phase-presence flags of a snapshot (bit set = section present). */
 constexpr uint8_t artifactHasTraceImage = 1u << 0;
 
 /** Storage kind of the snapshot's trace section. */
-constexpr uint8_t traceStorageInline = 0; ///< 24 B/op, whole mode
+constexpr uint8_t traceStorageInline = 0; ///< in-file ops, whole mode
 constexpr uint8_t traceStorageStream = 1; ///< embedded CASSTF1/2 file
 
 /** magic(8) + version(4) + metaLen(4). */
@@ -160,156 +162,6 @@ constexpr size_t copyChunkBytes = 64 * 1024;
 std::atomic<uint64_t> inline_ops_written{0};
 std::atomic<uint64_t> inline_ops_read{0};
 std::atomic<uint64_t> stream_bytes_copied{0};
-
-/** Little-endian byte writer for the artifact container. */
-class ByteWriter
-{
-  public:
-    void
-    u8(uint8_t v)
-    {
-        bytes_.push_back(v);
-    }
-
-    void
-    u32(uint32_t v)
-    {
-        for (int i = 0; i < 4; i++)
-            bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
-    }
-
-    void
-    u64(uint64_t v)
-    {
-        for (int i = 0; i < 8; i++)
-            bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
-    }
-
-    void
-    f64(double v)
-    {
-        uint64_t raw;
-        std::memcpy(&raw, &v, sizeof raw);
-        u64(raw);
-    }
-
-    void
-    str(const std::string &s)
-    {
-        u32(static_cast<uint32_t>(s.size()));
-        bytes_.insert(bytes_.end(), s.begin(), s.end());
-    }
-
-    void
-    blob(const std::vector<uint8_t> &b)
-    {
-        u32(static_cast<uint32_t>(b.size()));
-        bytes_.insert(bytes_.end(), b.begin(), b.end());
-    }
-
-    void
-    raw(const uint8_t *data, size_t n)
-    {
-        bytes_.insert(bytes_.end(), data, data + n);
-    }
-
-    std::vector<uint8_t> take() { return std::move(bytes_); }
-
-  private:
-    std::vector<uint8_t> bytes_;
-};
-
-/** Bounds-checked little-endian byte reader. */
-class ByteReader
-{
-  public:
-    explicit ByteReader(const std::vector<uint8_t> &bytes)
-        : bytes_(bytes)
-    {
-    }
-
-    uint8_t
-    u8()
-    {
-        need(1);
-        return bytes_[pos_++];
-    }
-
-    uint32_t
-    u32()
-    {
-        need(4);
-        uint32_t v = 0;
-        for (int i = 0; i < 4; i++)
-            v |= static_cast<uint32_t>(bytes_[pos_++]) << (8 * i);
-        return v;
-    }
-
-    uint64_t
-    u64()
-    {
-        need(8);
-        uint64_t v = 0;
-        for (int i = 0; i < 8; i++)
-            v |= static_cast<uint64_t>(bytes_[pos_++]) << (8 * i);
-        return v;
-    }
-
-    double
-    f64()
-    {
-        uint64_t raw = u64();
-        double v;
-        std::memcpy(&v, &raw, sizeof v);
-        return v;
-    }
-
-    std::string
-    str()
-    {
-        uint32_t n = u32();
-        need(n);
-        std::string s(bytes_.begin() + pos_, bytes_.begin() + pos_ + n);
-        pos_ += n;
-        return s;
-    }
-
-    std::vector<uint8_t>
-    blob()
-    {
-        uint32_t n = u32();
-        need(n);
-        std::vector<uint8_t> b(bytes_.begin() + pos_,
-                               bytes_.begin() + pos_ + n);
-        pos_ += n;
-        return b;
-    }
-
-    /** Bounds-checked view of the next n bytes (consumed). */
-    const uint8_t *
-    raw(size_t n)
-    {
-        need(n);
-        const uint8_t *p = bytes_.data() + pos_;
-        pos_ += n;
-        return p;
-    }
-
-    bool done() const { return pos_ == bytes_.size(); }
-    size_t remaining() const { return bytes_.size() - pos_; }
-
-  private:
-    void
-    need(size_t n)
-    {
-        if (bytes_.size() - pos_ < n)
-            throw std::invalid_argument(
-                "truncated AnalyzedWorkload snapshot");
-    }
-
-    const std::vector<uint8_t> &bytes_;
-    size_t pos_ = 0;
-};
 
 } // namespace
 
@@ -459,34 +311,52 @@ struct SnapshotMeta
     TraceGenResult tg;
 };
 
+/** The validated snapshot prefix: container version + meta length. */
+struct SnapshotPrefix
+{
+    uint32_t version = 0;
+    uint32_t metaLen = 0;
+};
+
 /**
  * Validate the fixed snapshot prefix (reader positioned at byte 0)
- * and return the metadata-section length. "CASSAW" identifies the
- * container; the version byte and the explicit version field
- * distinguish outdated snapshots (evict) from arbitrary non-artifact
- * files.
+ * and return the container version and metadata-section length.
+ * "CASSAW" identifies the container family; the version digit and the
+ * explicit version field distinguish outdated snapshots (evict) from
+ * arbitrary non-artifact files. Versions artifactMinReadVersion..
+ * artifactFormatVersion parse; older revisions raise the typed
+ * eviction error.
  */
-uint32_t
+SnapshotPrefix
 checkSnapshotPrefix(ByteReader &r)
 {
     uint8_t magic[8];
     for (uint8_t &b : magic)
         b = r.u8();
-    if (std::memcmp(magic, artifactMagic, 6) != 0)
+    if (std::memcmp(magic, artifactMagicBase, 6) != 0)
         throw ArtifactFormatError(
             "not an AnalyzedWorkload snapshot (bad magic)");
-    if (std::memcmp(magic, artifactMagic, 8) != 0)
+    const uint8_t digit = magic[6];
+    if (digit < '1' || digit > '0' + artifactFormatVersion ||
+        magic[7] != '\n')
+        throw ArtifactFormatError(
+            "AnalyzedWorkload snapshot has an unknown container "
+            "revision; evict and re-analyze");
+    SnapshotPrefix prefix;
+    prefix.version = r.u32();
+    if (prefix.version != static_cast<uint32_t>(digit - '0'))
+        throw ArtifactFormatError(
+            "AnalyzedWorkload snapshot magic and version field "
+            "disagree; evict and re-analyze");
+    if (prefix.version < artifactMinReadVersion)
         throw ArtifactFormatError(
             "AnalyzedWorkload snapshot has an outdated container "
-            "format; evict and re-analyze");
-    const uint32_t version = r.u32();
-    if (version != artifactFormatVersion)
-        throw ArtifactFormatError(
-            "AnalyzedWorkload snapshot has format version " +
-            std::to_string(version) + ", expected " +
-            std::to_string(artifactFormatVersion) +
-            "; evict and re-analyze");
-    return r.u32();
+            "format (version " + std::to_string(prefix.version) +
+            ", oldest readable " +
+            std::to_string(artifactMinReadVersion) +
+            "); evict and re-analyze");
+    prefix.metaLen = r.u32();
+    return prefix;
 }
 
 /** Parse the metadata section and rebuild/validate the workload. */
@@ -571,6 +441,74 @@ parseMeta(ByteReader &r, const AnalysisCache::Resolver &resolver)
         }
     }
     return meta;
+}
+
+/** Serialize one op to its raw little-endian 24-byte form. */
+void
+opToBytes(const uarch::TimingOp &op, uint8_t *out)
+{
+    for (int b = 0; b < 8; b++) {
+        out[b] = static_cast<uint8_t>(op.pc >> (8 * b));
+        out[8 + b] = static_cast<uint8_t>(op.memAddr >> (8 * b));
+        out[16 + b] = static_cast<uint8_t>(op.nextPc >> (8 * b));
+    }
+}
+
+uarch::TimingOp
+opFromBytes(const uint8_t *p)
+{
+    uarch::TimingOp op;
+    for (int b = 0; b < 8; b++) {
+        op.pc |= static_cast<uint64_t>(p[b]) << (8 * b);
+        op.memAddr |= static_cast<uint64_t>(p[8 + b]) << (8 * b);
+        op.nextPc |= static_cast<uint64_t>(p[16 + b]) << (8 * b);
+    }
+    return op;
+}
+
+/**
+ * Parse a CASSAW4 inline trace section (u32 frameOps, then CASSTF2
+ * codec frames) back into an in-memory trace. The reader's backing
+ * bytes are contiguous, so each frame decodes in place.
+ */
+uarch::TimingTrace
+readFramedOps(ByteReader &r, uint64_t num_ops)
+{
+    const uint32_t frame_ops = r.u32();
+    if (num_ops > 0 && frame_ops == 0)
+        throw std::invalid_argument(
+            "AnalyzedWorkload snapshot has a zero frame size");
+    // Bound the declared count before reserving: even the tightest
+    // delta encoding spends >= 3 bytes per op (three varints), so a
+    // garbage num_ops in a corrupt file must fail as truncated, not
+    // as a multi-GB allocation.
+    if (num_ops > r.remaining() / 3)
+        throw std::invalid_argument(
+            "truncated AnalyzedWorkload snapshot");
+    uarch::TimingTrace trace;
+    trace.reserve(num_ops);
+    std::vector<uint8_t> decoded;
+    uint64_t done = 0;
+    while (done < num_ops) {
+        const size_t n = static_cast<size_t>(
+            std::min<uint64_t>(frame_ops, num_ops - done));
+        // Frame header: u8 kind | u32 payloadBytes; the payload
+        // follows contiguously, so `frame` spans the whole frame.
+        const uint8_t *frame = r.raw(5);
+        const uint32_t payload = static_cast<uint32_t>(frame[1]) |
+            static_cast<uint32_t>(frame[2]) << 8 |
+            static_cast<uint32_t>(frame[3]) << 16 |
+            static_cast<uint32_t>(frame[4]) << 24;
+        r.raw(payload);
+        decoded.resize(n * traceStreamOpBytes);
+        decodeTraceFrameInto(frame, 5 + payload, n, decoded.data());
+        for (size_t i = 0; i < n; i++)
+            trace.push_back(
+                opFromBytes(decoded.data() + i * traceStreamOpBytes));
+        done += n;
+    }
+    inline_ops_read.fetch_add(num_ops, std::memory_order_relaxed);
+    return trace;
 }
 
 /** Assemble the artifact once the trace storage has been recovered. */
@@ -665,8 +603,10 @@ fileU64(std::ifstream &file)
 void
 writeSnapshotHead(ByteWriter &w, const std::vector<uint8_t> &meta)
 {
-    for (char c : artifactMagic)
+    for (char c : artifactMagicBase)
         w.u8(static_cast<uint8_t>(c));
+    w.u8(static_cast<uint8_t>('0' + artifactFormatVersion));
+    w.u8(static_cast<uint8_t>('\n'));
     w.u32(artifactFormatVersion);
     w.u32(static_cast<uint32_t>(meta.size()));
     w.raw(meta.data(), meta.size());
@@ -769,14 +709,32 @@ packAnalyzedWorkload(const AnalyzedWorkload &aw, const std::string &name)
 
     // Timing trace (instruction pointers relink from PCs on load; the
     // taint pre-pass is recomputed, so only the base stream is kept).
+    // The ops are stored as CASSTF2-codec frames — the same delta +
+    // zig-zag varint encoding (with per-frame raw fallback) trace
+    // stream files use — instead of the historical raw 24 B/op.
     w.u8(traceStorageInline);
     w.u64(aw.numOps());
+    w.u32(traceStreamDefaultFrameOps);
+    std::vector<uint8_t> raw;
+    raw.reserve(static_cast<size_t>(traceStreamDefaultFrameOps) *
+                traceStreamOpBytes);
+    auto flush = [&] {
+        if (raw.empty())
+            return;
+        const std::vector<uint8_t> frame = encodeTraceFrame(raw);
+        w.raw(frame.data(), frame.size());
+        raw.clear();
+    };
     auto src = aw.openOpSource();
     for (const uarch::TimingOp *op = src->next(); op; op = src->next()) {
-        w.u64(op->pc);
-        w.u64(op->memAddr);
-        w.u64(op->nextPc);
+        raw.resize(raw.size() + traceStreamOpBytes);
+        opToBytes(*op, raw.data() + raw.size() - traceStreamOpBytes);
+        if (raw.size() ==
+            static_cast<size_t>(traceStreamDefaultFrameOps) *
+                traceStreamOpBytes)
+            flush();
     }
+    flush();
     inline_ops_written.fetch_add(aw.numOps(), std::memory_order_relaxed);
     return w.take();
 }
@@ -787,8 +745,8 @@ unpackAnalyzedWorkload(const std::vector<uint8_t> &bytes,
                        const std::string &stream_dir)
 {
     ByteReader r(bytes);
-    const uint32_t meta_len = checkSnapshotPrefix(r);
-    if (meta_len > r.remaining())
+    const SnapshotPrefix prefix = checkSnapshotPrefix(r);
+    if (prefix.metaLen > r.remaining())
         throw std::invalid_argument(
             "truncated AnalyzedWorkload snapshot");
     const size_t before_meta = r.remaining();
@@ -796,29 +754,31 @@ unpackAnalyzedWorkload(const std::vector<uint8_t> &bytes,
     // The declared length locates the trace section in the streaming
     // load path; parseMeta must agree byte for byte or the two load
     // paths would read different sections of the same file.
-    if (before_meta - r.remaining() != meta_len)
+    if (before_meta - r.remaining() != prefix.metaLen)
         throw std::invalid_argument(
             "AnalyzedWorkload snapshot metadata length mismatch");
 
     const uint8_t storage = r.u8();
     if (storage == traceStorageInline) {
         const uint64_t num_ops = r.u64();
-        if (num_ops > r.remaining() / (3 * 8))
-            throw std::invalid_argument(
-                "truncated AnalyzedWorkload snapshot");
         uarch::TimingTrace trace;
-        trace.reserve(num_ops);
-        for (uint64_t i = 0; i < num_ops; i++) {
-            uarch::TimingOp op;
-            op.pc = r.u64();
-            op.memAddr = r.u64();
-            op.nextPc = r.u64();
-            trace.push_back(op);
+        if (prefix.version >= 4) {
+            trace = readFramedOps(r, num_ops);
+        } else {
+            // CASSAW3: raw 24 B/op inline section.
+            if (num_ops > r.remaining() / traceStreamOpBytes)
+                throw std::invalid_argument(
+                    "truncated AnalyzedWorkload snapshot");
+            trace.reserve(num_ops);
+            for (uint64_t i = 0; i < num_ops; i++)
+                trace.push_back(
+                    opFromBytes(r.raw(traceStreamOpBytes)));
+            inline_ops_read.fetch_add(num_ops,
+                                      std::memory_order_relaxed);
         }
         if (!r.done())
             throw std::invalid_argument(
                 "trailing bytes in AnalyzedWorkload snapshot");
-        inline_ops_read.fetch_add(num_ops, std::memory_order_relaxed);
         return assembleWhole(std::move(meta), std::move(trace));
     }
     if (storage != traceStorageStream)
@@ -845,15 +805,7 @@ saveAnalyzedWorkload(const AnalyzedWorkload &aw, const std::string &path,
                      const std::string &name)
 {
     if (!aw.streamed()) {
-        std::vector<uint8_t> bytes = packAnalyzedWorkload(aw, name);
-        std::ofstream file(path, std::ios::binary | std::ios::trunc);
-        if (!file)
-            throw std::runtime_error("cannot open " + path +
-                                     " for writing");
-        file.write(reinterpret_cast<const char *>(bytes.data()),
-                   static_cast<std::streamsize>(bytes.size()));
-        if (!file)
-            throw std::runtime_error("short write to " + path);
+        writeFileBytes(path, packAnalyzedWorkload(aw, name));
         return;
     }
 
@@ -904,7 +856,8 @@ loadAnalyzedWorkload(const std::string &path,
         throw std::invalid_argument(
             "truncated AnalyzedWorkload snapshot");
     ByteReader pr(prefix);
-    const uint32_t meta_len = checkSnapshotPrefix(pr);
+    const SnapshotPrefix snap = checkSnapshotPrefix(pr);
+    const uint32_t meta_len = snap.metaLen;
     if (meta_len > file_len - snapshotPrefixBytes)
         throw std::invalid_argument(
             "truncated AnalyzedWorkload snapshot");
@@ -925,38 +878,52 @@ loadAnalyzedWorkload(const std::string &path,
     const uint64_t consumed = snapshotPrefixBytes + meta_len + 1 + 8;
 
     if (storage == traceStorageInline) {
-        // A whole-mode artifact materializes by definition; read its
-        // ops in bounded chunks all the same.
-        if (num_ops != (file_len - consumed) / (3 * 8) ||
-            file_len - consumed != num_ops * 3 * 8)
-            throw std::invalid_argument(
-                "truncated AnalyzedWorkload snapshot");
         uarch::TimingTrace trace;
-        trace.reserve(num_ops);
-        std::vector<uint8_t> chunk(copyChunkBytes - copyChunkBytes % 24);
-        uint64_t read_ops = 0;
-        while (read_ops < num_ops) {
-            const uint64_t batch = std::min<uint64_t>(
-                chunk.size() / 24, num_ops - read_ops);
-            if (!file.read(reinterpret_cast<char *>(chunk.data()),
-                           static_cast<std::streamsize>(batch * 24)))
+        if (snap.version >= 4) {
+            // Frame-coded inline ops: the section is a few bytes per
+            // op, so slurping the remainder keeps this path simple (a
+            // whole-mode artifact materializes the trace anyway).
+            std::vector<uint8_t> section(
+                static_cast<size_t>(file_len - consumed));
+            if (!section.empty() &&
+                !file.read(reinterpret_cast<char *>(section.data()),
+                           static_cast<std::streamsize>(section.size())))
                 throw std::invalid_argument(
                     "truncated AnalyzedWorkload snapshot");
-            for (uint64_t i = 0; i < batch; i++) {
-                const uint8_t *p = chunk.data() + i * 24;
-                uarch::TimingOp op;
-                for (int b = 0; b < 8; b++) {
-                    op.pc |= static_cast<uint64_t>(p[b]) << (8 * b);
-                    op.memAddr |= static_cast<uint64_t>(p[8 + b])
-                        << (8 * b);
-                    op.nextPc |= static_cast<uint64_t>(p[16 + b])
-                        << (8 * b);
-                }
-                trace.push_back(op);
+            ByteReader sr(section);
+            trace = readFramedOps(sr, num_ops);
+            if (!sr.done())
+                throw std::invalid_argument(
+                    "trailing bytes in AnalyzedWorkload snapshot");
+        } else {
+            // CASSAW3 raw 24 B/op section, read in bounded chunks.
+            if (num_ops !=
+                    (file_len - consumed) / traceStreamOpBytes ||
+                file_len - consumed != num_ops * traceStreamOpBytes)
+                throw std::invalid_argument(
+                    "truncated AnalyzedWorkload snapshot");
+            trace.reserve(num_ops);
+            std::vector<uint8_t> chunk(
+                copyChunkBytes - copyChunkBytes % traceStreamOpBytes);
+            uint64_t read_ops = 0;
+            while (read_ops < num_ops) {
+                const uint64_t batch = std::min<uint64_t>(
+                    chunk.size() / traceStreamOpBytes,
+                    num_ops - read_ops);
+                if (!file.read(
+                        reinterpret_cast<char *>(chunk.data()),
+                        static_cast<std::streamsize>(
+                            batch * traceStreamOpBytes)))
+                    throw std::invalid_argument(
+                        "truncated AnalyzedWorkload snapshot");
+                for (uint64_t i = 0; i < batch; i++)
+                    trace.push_back(opFromBytes(
+                        chunk.data() + i * traceStreamOpBytes));
+                read_ops += batch;
             }
-            read_ops += batch;
+            inline_ops_read.fetch_add(num_ops,
+                                      std::memory_order_relaxed);
         }
-        inline_ops_read.fetch_add(num_ops, std::memory_order_relaxed);
         return assembleWhole(std::move(meta), std::move(trace));
     }
     if (storage != traceStorageStream)
@@ -978,6 +945,145 @@ loadAnalyzedWorkload(const std::string &path,
                                 static_cast<std::streamsize>(n));
                         });
         });
+}
+
+// ---------------------------------------------------------------------
+// Shard cell-result sets (CASSCR1)
+// ---------------------------------------------------------------------
+
+namespace {
+
+constexpr char cellResultMagic[8] = {'C', 'A', 'S', 'S',
+                                     'C', 'R', '1', '\n'};
+constexpr uint32_t cellResultVersion = 1;
+
+/**
+ * Every counter of an ExperimentResult, in a fixed order shared by
+ * the pack and unpack sides. One list instead of two mirrored
+ * functions: a field added here is automatically round-tripped.
+ */
+template <typename Fn>
+void
+eachResultCounter(ExperimentResult &r, Fn &&fn)
+{
+    uarch::CoreStats &s = r.stats;
+    for (uint64_t *field :
+         {&s.cycles, &s.instructions, &s.branches, &s.cryptoBranches,
+          &s.condMispredicts, &s.indirectMispredicts,
+          &s.returnMispredicts, &s.decodeRedirects, &s.integrityStalls,
+          &s.resolveStalls, &s.btuFillStalls, &s.btuWindowStalls,
+          &s.btuFlushes, &s.btuMismatches, &s.loads, &s.stores,
+          &s.stlForwards, &s.schemeLoadDelays, &s.prospectBlocks,
+          &s.icacheMissBubbles})
+        fn(*field);
+    btu::BtuStats &b = r.btu;
+    for (uint64_t *field :
+         {&b.lookups, &b.singleTargetHits, &b.hits, &b.misses,
+          &b.evictions, &b.checkpointRestores, &b.stallResolve,
+          &b.windowStalls, &b.prefetches, &b.flushes, &b.commits,
+          &b.squashRewinds})
+        fn(*field);
+    uarch::BpuStats &p = r.bpu;
+    for (uint64_t *field :
+         {&p.condLookups, &p.condMispredicts, &p.loopOverrides,
+          &p.btbLookups, &p.btbMisses, &p.indirectMispredicts,
+          &p.rsbPushes, &p.rsbPops, &p.returnMispredicts, &p.updates})
+        fn(*field);
+    CacheActivity &c = r.caches;
+    for (uint64_t *field :
+         {&c.l1iAccesses, &c.l1iMisses, &c.l1dAccesses, &c.l1dMisses,
+          &c.l2Accesses, &c.l2Misses, &c.l3Accesses, &c.l3Misses})
+        fn(*field);
+}
+
+} // namespace
+
+std::vector<uint8_t>
+packCellResults(const std::vector<IndexedCellResult> &cells)
+{
+    ByteWriter w;
+    for (char c : cellResultMagic)
+        w.u8(static_cast<uint8_t>(c));
+    w.u32(cellResultVersion);
+    w.u32(static_cast<uint32_t>(cells.size()));
+    for (const IndexedCellResult &entry : cells) {
+        w.u32(entry.index);
+        w.str(entry.cell.workload);
+        w.str(entry.cell.suite);
+        w.str(uarch::schemeName(entry.cell.scheme));
+        w.str(entry.cell.config);
+        ExperimentResult result = entry.cell.result;
+        eachResultCounter(result, [&](uint64_t &field) {
+            w.u64(field);
+        });
+    }
+    return w.take();
+}
+
+std::vector<IndexedCellResult>
+unpackCellResults(const std::vector<uint8_t> &bytes)
+{
+    ByteReader r(bytes);
+    uint8_t magic[8];
+    for (uint8_t &b : magic)
+        b = r.u8();
+    if (std::memcmp(magic, cellResultMagic, 6) != 0)
+        throw ArtifactFormatError(
+            "not a cell-result set (bad magic)");
+    if (std::memcmp(magic, cellResultMagic, 8) != 0)
+        throw ArtifactFormatError(
+            "cell-result set has an unknown container revision");
+    const uint32_t version = r.u32();
+    if (version != cellResultVersion)
+        throw ArtifactFormatError(
+            "cell-result set has format version " +
+            std::to_string(version) + ", expected " +
+            std::to_string(cellResultVersion));
+    const uint32_t count = r.u32();
+    // Bound the declared count before reserving: a garbage count in a
+    // corrupt worker output must fail as truncated, not as a huge
+    // allocation (corrupt shard files are an anticipated input — the
+    // retry path exists for them). Minimum entry: index + four string
+    // length prefixes + the counters.
+    size_t num_counters = 0;
+    {
+        ExperimentResult probe;
+        eachResultCounter(probe, [&](uint64_t &) { num_counters++; });
+    }
+    const size_t min_entry_bytes = 4 + 4 * 4 + num_counters * 8;
+    if (count > r.remaining() / min_entry_bytes)
+        throw std::invalid_argument("truncated cell-result set");
+    std::vector<IndexedCellResult> cells;
+    cells.reserve(count);
+    for (uint32_t i = 0; i < count; i++) {
+        IndexedCellResult entry;
+        entry.index = r.u32();
+        entry.cell.workload = r.str();
+        entry.cell.suite = r.str();
+        entry.cell.scheme = uarch::schemeFromName(r.str());
+        entry.cell.config = r.str();
+        eachResultCounter(entry.cell.result, [&](uint64_t &field) {
+            field = r.u64();
+        });
+        cells.push_back(std::move(entry));
+    }
+    if (!r.done())
+        throw std::invalid_argument(
+            "trailing bytes in cell-result set");
+    return cells;
+}
+
+void
+saveCellResults(const std::vector<IndexedCellResult> &cells,
+                const std::string &path)
+{
+    writeFileBytes(path, packCellResults(cells));
+}
+
+std::vector<IndexedCellResult>
+loadCellResults(const std::string &path)
+{
+    return unpackCellResults(readFileBytes(path, "cell-result set"));
 }
 
 SnapshotIoStats

@@ -11,7 +11,7 @@
  * support the round-trip property tests.
  *
  * On top of the per-branch wire format, this module snapshots whole
- * AnalyzedWorkload artifacts (magic "CASSAW3\n" + format version):
+ * AnalyzedWorkload artifacts (magic "CASSAW4\n" + format version):
  * workload name + program fingerprint, which analysis phases ran, the
  * Algorithm 2 results (when that phase ran) and the recorded timing
  * trace. Reloading resolves the workload by name (normally through
@@ -24,15 +24,26 @@
  * entirely.
  *
  * Snapshots are stream-aware: a whole-mode artifact inlines its ops
- * (24 B/op, exactly like before), while a streamed artifact embeds its
- * trace *stream file* (CASSTF1/2, typically delta-compressed) by
- * chunked copy — saving and loading never materialize the op vector.
- * loadAnalyzedWorkload extracts the embedded stream back to a trace
+ * as CASSTF2-codec frames (delta + zig-zag varint with per-frame raw
+ * fallback — the same codec trace stream files use, typically ~7x
+ * smaller than the historical 24 B/op section), while a streamed
+ * artifact embeds its trace *stream file* (CASSTF1/2, typically
+ * delta-compressed) by chunked copy — saving and loading never
+ * materialize the op vector. Writers emit CASSAW4; readers accept
+ * CASSAW3 (raw 24 B/op inline ops) and CASSAW4, while the older
+ * CASSAW1/2 revisions raise the typed eviction error.
+ * loadAnalyzedWorkload extracts an embedded stream back to a trace
  * file and rehydrates straight into stream mode, validating both the
  * snapshot's workload fingerprint and the stream's own program
  * fingerprint. The snapshotIoStats() counters make the "no
  * materialization" guarantee observable: a streamed save/load round
  * trip moves stream bytes but zero inline ops.
+ *
+ * The module also defines the CASSCR1 cell-result set: the partial
+ * `Experiment` a shard worker hands back to the coordinator (one
+ * CellResult per global cell index). SubprocessShardExecutor merges
+ * these sets into the final result vector byte-identically to an
+ * in-process run.
  */
 
 #ifndef CASSANDRA_CORE_SERIALIZE_HH
@@ -43,6 +54,7 @@
 #include <vector>
 
 #include "core/analyzed_workload.hh"
+#include "core/experiment.hh"
 #include "core/trace_format.hh"
 #include "core/trace_image.hh"
 #include "core/trace_stream.hh"
@@ -50,11 +62,17 @@
 namespace cassandra::core {
 
 /**
- * Container format version of AnalyzedWorkload snapshots. Bumped on
- * every incompatible layout change; loaders reject other versions
- * with ArtifactFormatError so stale caches evict instead of drifting.
+ * Container format version written for AnalyzedWorkload snapshots.
+ * Bumped on every incompatible layout change; loaders additionally
+ * accept artifactMinReadVersion..artifactFormatVersion and reject
+ * anything else with ArtifactFormatError so stale caches evict
+ * instead of drifting.
  */
-constexpr uint32_t artifactFormatVersion = 3;
+constexpr uint32_t artifactFormatVersion = 4;
+
+/** Oldest snapshot version loaders still read (CASSAW3: raw inline
+ * ops instead of CASSTF2-codec frames; stream sections identical). */
+constexpr uint32_t artifactMinReadVersion = 3;
 
 /** Pack a multi-target branch trace into its data-page bytes. */
 std::vector<uint8_t> packTrace(const BranchTrace &trace);
@@ -154,6 +172,41 @@ struct SnapshotIoStats
 };
 
 SnapshotIoStats snapshotIoStats();
+
+// ---------------------------------------------------------------------
+// Shard cell-result sets (CASSCR1)
+// ---------------------------------------------------------------------
+
+/** One executed cell plus its global index in the coordinator's
+ * cell plan (the unit a shard worker reports back). */
+struct IndexedCellResult
+{
+    uint32_t index = 0;
+    CellResult cell;
+};
+
+/** Serialize a partial cell-result set (magic "CASSCR1\n"). Every
+ * counter of every cell is stored, so a merged report is
+ * byte-identical to an in-process run. */
+std::vector<uint8_t>
+packCellResults(const std::vector<IndexedCellResult> &cells);
+
+/**
+ * Parse CASSCR1 bytes.
+ * @throws ArtifactFormatError on bad magic or version,
+ *         std::invalid_argument on truncated/corrupt bytes (unknown
+ *         scheme names included).
+ */
+std::vector<IndexedCellResult>
+unpackCellResults(const std::vector<uint8_t> &bytes);
+
+/** packCellResults straight to a file (throws on I/O errors). */
+void saveCellResults(const std::vector<IndexedCellResult> &cells,
+                     const std::string &path);
+
+/** Load + unpack a CASSCR1 file (throws like unpackCellResults). */
+std::vector<IndexedCellResult>
+loadCellResults(const std::string &path);
 
 } // namespace cassandra::core
 

@@ -4,8 +4,8 @@
  *
  * A SimConfig carries everything that defines a timing run — the
  * protection scheme, the core parameters (Table 3) and the BTU
- * geometry/timing — and flows intact from Simulation::run (or the
- * legacy System::run shim) through OooCore into the Btu constructor.
+ * geometry/timing — and flows intact from Simulation::run through
+ * OooCore into the Btu constructor.
  * Benches sweep any knob (BTU sets/ways/fill latency, core width, ROB
  * size, cache geometry, flush period) by deriving configs from a
  * base:

@@ -1,10 +1,10 @@
 /**
  * @file
  * Tests for the two-phase experiment API: shared AnalyzedWorkload
- * artifacts are byte-identical to fresh end-to-end System runs across
- * every scheme, the analysis runs exactly once per workload under a
- * multi-threaded matrix, and serialize -> deserialize of an artifact
- * round-trips into identical ExperimentResults.
+ * artifacts are byte-identical to fresh single-workload analyses
+ * across every scheme, the analysis runs exactly once per workload
+ * under a multi-threaded matrix, and serialize -> deserialize of an
+ * artifact round-trips into identical ExperimentResults.
  */
 
 #include <gtest/gtest.h>
@@ -13,7 +13,6 @@
 
 #include "core/experiment.hh"
 #include "core/serialize.hh"
-#include "core/system.hh"
 #include "crypto/workload_registry.hh"
 
 namespace {
@@ -105,7 +104,7 @@ expectEqualResults(const ExperimentResult &a, const ExperimentResult &b,
     EXPECT_EQ(c1.l3Misses, c2.l3Misses);
 }
 
-TEST(AnalyzedWorkloadTest, SharedArtifactMatchesFreshSystemAllSchemes)
+TEST(AnalyzedWorkloadTest, SharedArtifactMatchesFreshAnalysisAllSchemes)
 {
     // One workload without secrets and one synthetic mix with secret
     // regions (the ProSpeCT schemes exercise the precomputed taint
@@ -115,7 +114,7 @@ TEST(AnalyzedWorkloadTest, SharedArtifactMatchesFreshSystemAllSchemes)
         auto artifact = AnalyzedWorkload::analyze(workload(name));
         Simulation sim(artifact);
         for (Scheme s : allSchemes) {
-            core::System fresh(workload(name));
+            Simulation fresh(AnalyzedWorkload::analyze(workload(name)));
             expectEqualResults(
                 sim.run(s), fresh.run(s),
                 std::string(name) + " / " + uarch::schemeName(s));
@@ -274,21 +273,22 @@ TEST(SerializeArtifactTest, FileRoundTrip)
                        "file round trip");
 }
 
-TEST(SystemShimTest, DelegatesToSharedArtifact)
+TEST(SimulationTest, SharedArtifactRunsNoExtraAnalysis)
 {
-    core::System sys(workload("ChaCha20_ct"));
     const uint64_t before = AnalyzedWorkload::analysisRuns();
-    auto base = sys.run(Scheme::UnsafeBaseline);
-    auto cass = sys.run(Scheme::Cassandra);
-    // One lazy analysis serves both runs and the accessors.
+    auto artifact = AnalyzedWorkload::analyze(workload("ChaCha20_ct"));
+    Simulation sim(artifact);
+    auto base = sim.run(Scheme::UnsafeBaseline);
+    auto cass = sim.run(Scheme::Cassandra);
+    // One analysis serves both runs and the accessors.
     EXPECT_EQ(AnalyzedWorkload::analysisRuns() - before, 1u);
-    EXPECT_GT(sys.traces().records.size(), 0u);
-    EXPECT_GT(sys.timingTrace().size(), 0u);
+    EXPECT_GT(artifact->traces().records.size(), 0u);
+    EXPECT_GT(artifact->timingTrace().size(), 0u);
     EXPECT_GT(base.stats.cycles, 0u);
     EXPECT_LE(cass.stats.cycles, base.stats.cycles * 2);
 
-    // Wrapping an existing artifact runs no analysis at all.
-    core::System wrapped(sys.artifact());
+    // A second session over the same artifact runs no analysis at all.
+    Simulation wrapped(artifact);
     const uint64_t before2 = AnalyzedWorkload::analysisRuns();
     auto again = wrapped.run(Scheme::UnsafeBaseline);
     EXPECT_EQ(AnalyzedWorkload::analysisRuns(), before2);

@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Tests for the pluggable cell-execution layer: shard manifest and
+ * CASSCR1 cell-result round trips (corrupt files rejected with typed
+ * errors), the shards x threads oversubscription cap, and the
+ * subprocess executor against the real `run_experiment --worker`
+ * binary — 1-shard parity with the in-process executor across every
+ * scheme, determinism across shard counts, the crashed-worker retry
+ * path and the typed WorkerError with captured stderr.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/cell_executor.hh"
+#include "core/experiment.hh"
+#include "core/serialize.hh"
+#include "crypto/workload_registry.hh"
+
+namespace {
+
+using namespace cassandra;
+using core::ArtifactMap;
+using core::CellResult;
+using core::ExecutionMode;
+using core::ExperimentMatrix;
+using core::ExperimentRunner;
+using core::IndexedCellResult;
+using core::InProcessExecutor;
+using core::PlannedCell;
+using core::RunnerOptions;
+using core::ShardManifest;
+using core::SimConfig;
+using core::SubprocessShardExecutor;
+using core::WorkerError;
+using uarch::Scheme;
+
+constexpr Scheme allSchemes[] = {
+    Scheme::UnsafeBaseline, Scheme::Cassandra,  Scheme::CassandraStl,
+    Scheme::CassandraLite,  Scheme::Spt,        Scheme::Prospect,
+    Scheme::CassandraProspect};
+
+#ifdef CASSANDRA_RUN_EXPERIMENT_BINARY
+const char *workerBinary = CASSANDRA_RUN_EXPERIMENT_BINARY;
+#else
+const char *workerBinary = nullptr;
+#endif
+
+std::shared_ptr<core::AnalysisCache>
+registryCache()
+{
+    return std::make_shared<core::AnalysisCache>(
+        crypto::WorkloadRegistry::global().resolver());
+}
+
+std::string
+jsonReport(const core::Experiment &exp)
+{
+    std::ostringstream os;
+    core::JsonReporter().write(exp, os);
+    return os.str();
+}
+
+ExperimentMatrix
+allSchemesMatrix()
+{
+    ExperimentMatrix m;
+    m.workloads = {"ChaCha20_ct", "SHAKE"};
+    m.schemes.assign(std::begin(allSchemes), std::end(allSchemes));
+    SimConfig base;
+    m.configs = {base, base.withBtuGeometry(1, 4).named("btu-1x4")};
+    return m;
+}
+
+RunnerOptions
+subprocessOptions(unsigned shards)
+{
+    RunnerOptions options;
+    options.execution = ExecutionMode::Subprocess;
+    options.shards = shards;
+    options.workerBinary = workerBinary ? workerBinary : "";
+    return options;
+}
+
+// ---------------------------------------------------------------------
+// Shard manifest round trip
+// ---------------------------------------------------------------------
+
+TEST(ShardManifestTest, RoundTripsCellsAndConfigs)
+{
+    ShardManifest manifest;
+    manifest.shardIndex = 3;
+    manifest.workerThreads = 2;
+    manifest.streamDir = "/tmp/scratch";
+    manifest.artifacts = {{"ChaCha20_ct", "/tmp/scratch/c.aw"},
+                          {"synthetic/aes/25", "/tmp/scratch/s.aw"}};
+
+    PlannedCell cell;
+    cell.workload = "synthetic/aes/25";
+    cell.scheme = Scheme::CassandraStl;
+    cell.config = SimConfig{}
+                      .withBtuGeometry(2, 4)
+                      .withBtuFillLatency(40)
+                      .withFlushPeriod(12000000)
+                      .named("sweep");
+    cell.config.core.robSize = 64;
+    cell.config.core.l2.sizeBytes = 256 * 1024;
+    cell.config.traceMode = core::TraceMode::Stream;
+    cell.config.traceCompression = core::TraceCompression::None;
+    manifest.indices = {17};
+    manifest.cells = {cell};
+
+    auto back = core::unpackShardManifest(
+        core::packShardManifest(manifest));
+    EXPECT_EQ(back.shardIndex, 3u);
+    EXPECT_EQ(back.workerThreads, 2u);
+    EXPECT_EQ(back.streamDir, "/tmp/scratch");
+    EXPECT_EQ(back.artifacts, manifest.artifacts);
+    ASSERT_EQ(back.cells.size(), 1u);
+    EXPECT_EQ(back.indices, manifest.indices);
+    const PlannedCell &c = back.cells[0];
+    EXPECT_EQ(c.workload, "synthetic/aes/25");
+    EXPECT_EQ(c.scheme, Scheme::CassandraStl);
+    EXPECT_EQ(c.config.name, "sweep");
+    EXPECT_EQ(c.config.btu.sets, 2u);
+    EXPECT_EQ(c.config.btu.ways, 4u);
+    EXPECT_EQ(c.config.btu.fillLatency, 40u);
+    EXPECT_EQ(c.config.core.robSize, 64u);
+    EXPECT_EQ(c.config.core.l2.sizeBytes, 256u * 1024);
+    EXPECT_EQ(c.config.core.btuFlushPeriod, 12000000u);
+    EXPECT_EQ(c.config.traceMode, core::TraceMode::Stream);
+    EXPECT_EQ(c.config.traceCompression, core::TraceCompression::None);
+}
+
+TEST(ShardManifestTest, CorruptManifestIsRejected)
+{
+    ShardManifest manifest;
+    manifest.indices = {0};
+    manifest.cells = {PlannedCell{"ChaCha20_ct", Scheme::Cassandra,
+                                  SimConfig{}}};
+    auto bytes = core::packShardManifest(manifest);
+
+    std::vector<uint8_t> bad_magic = bytes;
+    bad_magic[0] ^= 0xff;
+    EXPECT_THROW(core::unpackShardManifest(bad_magic),
+                 core::ArtifactFormatError);
+
+    std::vector<uint8_t> bad_version = bytes;
+    bad_version[8] = 9;
+    EXPECT_THROW(core::unpackShardManifest(bad_version),
+                 core::ArtifactFormatError);
+
+    std::vector<uint8_t> cut(bytes.begin(), bytes.end() - 7);
+    EXPECT_THROW(core::unpackShardManifest(cut), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// CASSCR1 cell-result sets
+// ---------------------------------------------------------------------
+
+std::vector<IndexedCellResult>
+sampleResults()
+{
+    std::vector<IndexedCellResult> cells;
+    for (uint32_t i : {7u, 2u, 11u}) { // out-of-order on purpose
+        IndexedCellResult entry;
+        entry.index = i;
+        entry.cell.workload = "w" + std::to_string(i);
+        entry.cell.suite = "Suite";
+        entry.cell.scheme = Scheme::CassandraProspect;
+        entry.cell.config = "cfg";
+        entry.cell.result.stats.cycles = 1000 + i;
+        entry.cell.result.stats.instructions = 500 + i;
+        entry.cell.result.btu.lookups = 40 + i;
+        entry.cell.result.bpu.updates = 30 + i;
+        entry.cell.result.caches.l3Misses = 20 + i;
+        cells.push_back(entry);
+    }
+    return cells;
+}
+
+TEST(CellResultsTest, RoundTripPreservesOrderAndCounters)
+{
+    auto cells = sampleResults();
+    auto back = core::unpackCellResults(core::packCellResults(cells));
+    ASSERT_EQ(back.size(), cells.size());
+    for (size_t i = 0; i < cells.size(); i++) {
+        EXPECT_EQ(back[i].index, cells[i].index);
+        EXPECT_EQ(back[i].cell.workload, cells[i].cell.workload);
+        EXPECT_EQ(back[i].cell.suite, cells[i].cell.suite);
+        EXPECT_EQ(back[i].cell.scheme, cells[i].cell.scheme);
+        EXPECT_EQ(back[i].cell.config, cells[i].cell.config);
+        EXPECT_EQ(back[i].cell.result.stats.cycles,
+                  cells[i].cell.result.stats.cycles);
+        EXPECT_EQ(back[i].cell.result.btu.lookups,
+                  cells[i].cell.result.btu.lookups);
+        EXPECT_EQ(back[i].cell.result.bpu.updates,
+                  cells[i].cell.result.bpu.updates);
+        EXPECT_EQ(back[i].cell.result.caches.l3Misses,
+                  cells[i].cell.result.caches.l3Misses);
+    }
+}
+
+TEST(CellResultsTest, CorruptSetsAreRejected)
+{
+    auto bytes = core::packCellResults(sampleResults());
+
+    std::vector<uint8_t> bad_magic = bytes;
+    bad_magic[2] ^= 0xff;
+    EXPECT_THROW(core::unpackCellResults(bad_magic),
+                 core::ArtifactFormatError);
+
+    std::vector<uint8_t> bad_version = bytes;
+    bad_version[8] = 9;
+    EXPECT_THROW(core::unpackCellResults(bad_version),
+                 core::ArtifactFormatError);
+
+    std::vector<uint8_t> cut(bytes.begin(), bytes.end() - 9);
+    EXPECT_THROW(core::unpackCellResults(cut), std::invalid_argument);
+
+    std::vector<uint8_t> trailing = bytes;
+    trailing.push_back(0);
+    EXPECT_THROW(core::unpackCellResults(trailing),
+                 std::invalid_argument);
+
+    // File-level loads reject the same way (the coordinator's merge
+    // treats this as a shard failure and retries).
+    const std::string path = testing::TempDir() + "/corrupt.crs";
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(reinterpret_cast<const char *>(bad_magic.data()),
+                  static_cast<std::streamsize>(bad_magic.size()));
+    }
+    EXPECT_THROW(core::loadCellResults(path),
+                 core::ArtifactFormatError);
+}
+
+// ---------------------------------------------------------------------
+// Thread / shard sizing
+// ---------------------------------------------------------------------
+
+TEST(RunnerOptionsTest, ShardThreadCapNeverOversubscribes)
+{
+    // The documented formula: an even split of resolveThreads(work),
+    // min 1, clamped to the largest per-shard cell count.
+    EXPECT_EQ(RunnerOptions(8).resolveThreads(100, 4), 2u);
+    EXPECT_EQ(RunnerOptions(8).resolveThreads(100, 2), 4u);
+    EXPECT_EQ(RunnerOptions(2).resolveThreads(100, 4), 1u); // min 1
+    // Clamped to per-shard cells: 4 cells over 4 shards -> 1 each.
+    EXPECT_EQ(RunnerOptions(64).resolveThreads(4, 4), 1u);
+    // shards x threads stays within the machine-wide budget.
+    for (unsigned threads : {1u, 2u, 5u, 8u, 16u}) {
+        RunnerOptions opts(threads);
+        for (unsigned shards : {1u, 2u, 3u, 7u}) {
+            EXPECT_LE(shards * opts.resolveThreads(64, shards),
+                      std::max(shards, opts.resolveThreads(64)))
+                << threads << " threads / " << shards << " shards";
+        }
+    }
+}
+
+TEST(RunnerOptionsTest, ShardCountClampsToWork)
+{
+    RunnerOptions opts;
+    opts.shards = 8;
+    EXPECT_EQ(opts.resolveShards(3), 3u);
+    EXPECT_EQ(opts.resolveShards(100), 8u);
+    opts.shards = 0; // auto stays sane
+    EXPECT_GE(opts.resolveShards(100), 1u);
+    EXPECT_LE(opts.resolveShards(2), 2u);
+}
+
+TEST(SubprocessExecutorTest, WorkerBinaryIsRequired)
+{
+    EXPECT_THROW(SubprocessShardExecutor(
+                     SubprocessShardExecutor::Options{}),
+                 std::invalid_argument);
+    RunnerOptions options;
+    options.execution = ExecutionMode::Subprocess;
+    EXPECT_THROW(ExperimentRunner(registryCache(), options),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Subprocess execution against the real worker binary
+// ---------------------------------------------------------------------
+
+#if !defined(_WIN32)
+
+TEST(SubprocessExecutorTest, OneShardMatchesInProcessAllSchemes)
+{
+    ASSERT_NE(workerBinary, nullptr);
+    const ExperimentMatrix matrix = allSchemesMatrix();
+    auto inproc = ExperimentRunner(registryCache()).run(matrix);
+    auto subproc =
+        ExperimentRunner(registryCache(), subprocessOptions(1))
+            .run(matrix);
+    // The executor contract: byte-identical reports, not just equal
+    // cycle counts.
+    EXPECT_EQ(jsonReport(inproc), jsonReport(subproc));
+}
+
+TEST(SubprocessExecutorTest, DeterministicAcrossShardCounts)
+{
+    ASSERT_NE(workerBinary, nullptr);
+    ExperimentMatrix matrix;
+    matrix.workloads = {"ChaCha20_ct", "SHAKE"};
+    matrix.schemes = {Scheme::UnsafeBaseline, Scheme::Cassandra,
+                      Scheme::Spt};
+    const std::string want =
+        jsonReport(ExperimentRunner(registryCache()).run(matrix));
+    // Different shard counts partition the cells differently; the
+    // merge by global index must make that invisible.
+    for (unsigned shards : {2u, 3u, 5u}) {
+        auto exp =
+            ExperimentRunner(registryCache(),
+                             subprocessOptions(shards))
+                .run(matrix);
+        EXPECT_EQ(want, jsonReport(exp)) << shards << " shards";
+    }
+}
+
+TEST(SubprocessExecutorTest, CrashedWorkerCellsAreRetriedInProcess)
+{
+    ASSERT_NE(workerBinary, nullptr);
+    ExperimentMatrix matrix;
+    matrix.workloads = {"ChaCha20_ct", "SHAKE"};
+    matrix.schemes = {Scheme::UnsafeBaseline, Scheme::Cassandra};
+    const std::string want =
+        jsonReport(ExperimentRunner(registryCache()).run(matrix));
+
+    SubprocessShardExecutor::Options opts;
+    opts.shards = 2;
+    opts.workerBinary = workerBinary;
+    auto executor = std::make_shared<SubprocessShardExecutor>(opts);
+    ASSERT_EQ(setenv("CASSANDRA_TEST_WORKER_CRASH", "1", 1), 0);
+    auto exp = ExperimentRunner(registryCache(),
+                                subprocessOptions(2), executor)
+                   .run(matrix);
+    unsetenv("CASSANDRA_TEST_WORKER_CRASH");
+
+    EXPECT_EQ(want, jsonReport(exp));
+    EXPECT_EQ(executor->stats().shardsLaunched, 2u);
+    EXPECT_EQ(executor->stats().shardsFailed, 1u);
+    EXPECT_GT(executor->stats().cellsRetried, 0u);
+}
+
+TEST(SubprocessExecutorTest, WorkerFailureIsTypedWithStderr)
+{
+    ASSERT_NE(workerBinary, nullptr);
+    ExperimentMatrix matrix;
+    matrix.workloads = {"ChaCha20_ct"};
+    matrix.schemes = {Scheme::UnsafeBaseline};
+
+    SubprocessShardExecutor::Options opts;
+    opts.shards = 1;
+    opts.workerBinary = workerBinary;
+    opts.retryInProcess = false; // surface the failure directly
+    auto executor = std::make_shared<SubprocessShardExecutor>(opts);
+    ExperimentRunner runner(registryCache(), subprocessOptions(1),
+                            executor);
+    ASSERT_EQ(setenv("CASSANDRA_TEST_WORKER_CRASH", "0", 1), 0);
+    try {
+        runner.run(matrix);
+        unsetenv("CASSANDRA_TEST_WORKER_CRASH");
+        FAIL() << "expected WorkerError";
+    } catch (const WorkerError &e) {
+        unsetenv("CASSANDRA_TEST_WORKER_CRASH");
+        EXPECT_EQ(e.shard(), 0u);
+        // The shard's stderr rides along on the typed error.
+        EXPECT_NE(e.stderrText().find("injected crash"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("status 42"),
+                  std::string::npos);
+    }
+}
+
+#endif // !_WIN32
+
+} // namespace

@@ -1,9 +1,9 @@
 /**
  * @file
  * Tests for the unified experiment API: SimConfig plumbing through
- * System -> OooCore -> Btu (BTU geometry really reaches the unit),
- * ExperimentRunner determinism across thread counts, parity with the
- * legacy System::run path, and the structured reporters.
+ * Simulation -> OooCore -> Btu (BTU geometry really reaches the
+ * unit), ExperimentRunner determinism across thread counts, parity
+ * with fresh single-workload analyses, and the structured reporters.
  */
 
 #include <gtest/gtest.h>
@@ -13,7 +13,6 @@
 
 #include "core/experiment.hh"
 #include "core/sim_config.hh"
-#include "core/system.hh"
 #include "crypto/workload_registry.hh"
 
 namespace {
@@ -55,7 +54,8 @@ TEST(SimConfigTest, BtuGeometryReachesTheUnit)
     // A branch-rich workload whose crypto working set exceeds one BTU
     // entry: shrinking to a single entry must force evictions and
     // change the cycle count.
-    core::System sys(workload("SHA-256"));
+    core::Simulation sys(
+        core::AnalyzedWorkload::analyze(workload("SHA-256")));
     SimConfig cass;
     cass.scheme = Scheme::Cassandra;
 
@@ -73,7 +73,8 @@ TEST(SimConfigTest, BtuGeometryReachesTheUnit)
 
 TEST(SimConfigTest, FillLatencyReachesTheMissPath)
 {
-    core::System sys(workload("SHA-256"));
+    core::Simulation sys(
+        core::AnalyzedWorkload::analyze(workload("SHA-256")));
     SimConfig tiny;
     tiny.scheme = Scheme::Cassandra;
     tiny = tiny.withBtuGeometry(1, 1); // evictions -> refills
@@ -85,7 +86,8 @@ TEST(SimConfigTest, FillLatencyReachesTheMissPath)
 
 TEST(SimConfigTest, CoreParamsStillApply)
 {
-    core::System sys(workload("ChaCha20_ct"));
+    core::Simulation sys(
+        core::AnalyzedWorkload::analyze(workload("ChaCha20_ct")));
     SimConfig wide;
     wide.scheme = Scheme::Cassandra;
     SimConfig narrow = wide;
@@ -95,9 +97,10 @@ TEST(SimConfigTest, CoreParamsStillApply)
     EXPECT_GT(sys.run(narrow).stats.cycles, sys.run(wide).stats.cycles);
 }
 
-TEST(SimConfigTest, LegacyOverloadsMatchSimConfig)
+TEST(SimConfigTest, SchemeOverloadMatchesSimConfig)
 {
-    core::System sys(workload("ChaCha20_ct"));
+    core::Simulation sys(
+        core::AnalyzedWorkload::analyze(workload("ChaCha20_ct")));
     for (Scheme s : {Scheme::UnsafeBaseline, Scheme::Cassandra,
                      Scheme::CassandraLite, Scheme::Spt}) {
         SimConfig cfg;
@@ -105,13 +108,6 @@ TEST(SimConfigTest, LegacyOverloadsMatchSimConfig)
         EXPECT_EQ(sys.run(s).stats.cycles, sys.run(cfg).stats.cycles)
             << uarch::schemeName(s);
     }
-    uarch::CoreParams params;
-    params.robSize = 64;
-    SimConfig cfg;
-    cfg.scheme = Scheme::Cassandra;
-    cfg.core = params;
-    EXPECT_EQ(sys.run(Scheme::Cassandra, params).stats.cycles,
-              sys.run(cfg).stats.cycles);
 }
 
 ExperimentMatrix
@@ -144,20 +140,21 @@ TEST(ExperimentRunnerTest, DeterministicAcrossThreadCounts)
     }
 }
 
-TEST(ExperimentRunnerTest, ParityWithLegacySystemRun)
+TEST(ExperimentRunnerTest, ParityWithFreshAnalyses)
 {
     auto exp = ExperimentRunner(
                    crypto::WorkloadRegistry::global().resolver(),
                    RunnerOptions{3})
                    .run(smallMatrix());
     for (const auto &cell : exp.cells) {
-        core::System sys(workload(cell.workload.c_str()));
-        auto legacy = sys.run(cell.scheme);
-        EXPECT_EQ(cell.result.stats.cycles, legacy.stats.cycles)
+        core::Simulation sys(core::AnalyzedWorkload::analyze(
+            workload(cell.workload.c_str())));
+        auto fresh = sys.run(cell.scheme);
+        EXPECT_EQ(cell.result.stats.cycles, fresh.stats.cycles)
             << cell.workload << " / "
             << uarch::schemeName(cell.scheme);
         EXPECT_EQ(cell.result.stats.instructions,
-                  legacy.stats.instructions);
+                  fresh.stats.instructions);
     }
 }
 

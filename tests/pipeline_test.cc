@@ -1,7 +1,7 @@
 /**
  * @file
- * Integration tests for the OoO timing model and the end-to-end
- * System API: scheme ordering properties (SPT slower than baseline,
+ * Integration tests for the OoO timing model through the two-phase
+ * API: scheme ordering properties (SPT slower than baseline,
  * Cassandra never mispredicts crypto branches, BTU redirects always
  * match the sequential target), timing-side-channel freedom under
  * Cassandra, interrupt flushes (Q4) and the Cassandra-lite ablation
@@ -10,8 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/analyzed_workload.hh"
 #include "core/contract.hh"
-#include "core/system.hh"
 #include "crypto/workloads.hh"
 
 namespace {
@@ -22,18 +22,20 @@ using uarch::Scheme;
 class TimingTest : public ::testing::Test
 {
   protected:
-    static core::System &
+    static core::Simulation &
     chacha()
     {
-        static core::System sys(crypto::chacha20CtWorkload());
-        return sys;
+        static core::Simulation sim(core::AnalyzedWorkload::analyze(
+            crypto::chacha20CtWorkload()));
+        return sim;
     }
 
-    static core::System &
+    static core::Simulation &
     sha()
     {
-        static core::System sys(crypto::sha256BearsslWorkload());
-        return sys;
+        static core::Simulation sim(core::AnalyzedWorkload::analyze(
+            crypto::sha256BearsslWorkload()));
+        return sim;
     }
 };
 
@@ -105,12 +107,12 @@ TEST_F(TimingTest, NoTimingSideChannelUnderCassandra)
     // number of cycles under Cassandra (sequential-execution
     // enforcement implies identical pipeline behavior).
     core::Workload w = crypto::chacha20CtWorkload();
-    core::System sys(w);
+    auto analyzed = core::AnalyzedWorkload::analyze(w);
     auto trace_a = uarch::recordTrace(w, core::contractInputA);
     auto trace_b = uarch::recordTrace(w, core::contractInputB);
     ASSERT_EQ(trace_a.size(), trace_b.size());
 
-    const auto &image = sys.traces().image;
+    const auto &image = analyzed->traces().image;
     uarch::CoreParams params;
     uarch::OooCore core_a(params, Scheme::Cassandra, w.program, &image);
     uarch::OooCore core_b(params, Scheme::Cassandra, w.program, &image);
@@ -125,13 +127,14 @@ TEST_F(TimingTest, InterruptFlushesCostLittle)
 {
     // Q4: flushing the BTU at the timer frequency barely moves the
     // needle (paper: 1.85% -> 1.80% improvement).
-    core::Workload w = crypto::sha256BearsslWorkload();
-    core::System sys(w);
-    auto plain = sys.run(Scheme::Cassandra);
+    core::Simulation sim(core::AnalyzedWorkload::analyze(
+        crypto::sha256BearsslWorkload()));
+    auto plain = sim.run(Scheme::Cassandra);
 
-    uarch::CoreParams flush_params;
-    flush_params.btuFlushPeriod = 100000; // far more aggressive than Q4
-    auto flushed = sys.run(Scheme::Cassandra, flush_params);
+    core::SimConfig flushed_cfg;
+    flushed_cfg.scheme = Scheme::Cassandra;
+    flushed_cfg.core.btuFlushPeriod = 100000; // far beyond Q4's rate
+    auto flushed = sim.run(flushed_cfg);
     double ratio = static_cast<double>(flushed.stats.cycles) /
         static_cast<double>(plain.stats.cycles);
     EXPECT_LT(ratio, 1.10);
@@ -140,7 +143,7 @@ TEST_F(TimingTest, InterruptFlushesCostLittle)
 TEST_F(TimingTest, ProspectBlocksTaintedSpeculation)
 {
     auto w = crypto::syntheticMixWorkload("curve25519", 50);
-    core::System sys(w);
+    core::Simulation sys(core::AnalyzedWorkload::analyze(w));
     auto base = sys.run(Scheme::UnsafeBaseline);
     auto pros = sys.run(Scheme::Prospect);
     EXPECT_GT(pros.stats.prospectBlocks, 0u);

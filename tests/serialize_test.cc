@@ -319,6 +319,71 @@ TEST(StreamSnapshotTest, ImageSurvivesStreamedSnapshot)
               before.traceImage);
 }
 
+TEST(ArtifactVersionTest, WholeSnapshotsAreFrameCompressed)
+{
+    // CASSAW4: whole-mode snapshots store their inline ops as CASSTF2
+    // codec frames. The dynamic instruction stream is overwhelmingly
+    // sequential, so the inline section must beat the historical raw
+    // 24 B/op layout by at least 4x.
+    auto resolver = crypto::WorkloadRegistry::global().resolver();
+    auto artifact = AnalyzedWorkload::analyze(resolver("ChaCha20_ct"));
+    auto bytes = core::packAnalyzedWorkload(*artifact, "ChaCha20_ct");
+    EXPECT_LT(bytes.size() * 4, artifact->numOps() * 24)
+        << artifact->numOps() << " ops in " << bytes.size()
+        << " snapshot bytes";
+
+    // And it still round-trips into identical timing results.
+    auto reloaded = core::unpackAnalyzedWorkload(bytes, resolver);
+    EXPECT_EQ(reloaded->numOps(), artifact->numOps());
+    auto want = Simulation(artifact).run(uarch::Scheme::Cassandra);
+    auto got = Simulation(reloaded).run(uarch::Scheme::Cassandra);
+    EXPECT_EQ(got.stats.cycles, want.stats.cycles);
+}
+
+TEST(ArtifactVersionTest, RawInlineCassaw3SnapshotsStillLoad)
+{
+    // Readers accept the previous container revision: CASSAW3 stored
+    // raw 24 B/op inline ops. Craft one from a CASSAW4 snapshot (the
+    // metadata section is layout-identical) plus the artifact's
+    // in-memory trace.
+    auto resolver = crypto::WorkloadRegistry::global().resolver();
+    auto artifact = AnalyzedWorkload::analyze(resolver("ChaCha20_ct"));
+    auto v4 = core::packAnalyzedWorkload(*artifact, "ChaCha20_ct");
+
+    auto u32le = [](std::vector<uint8_t> &out, uint32_t v) {
+        for (int i = 0; i < 4; i++)
+            out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    };
+    auto u64le = [&](std::vector<uint8_t> &out, uint64_t v) {
+        for (int i = 0; i < 8; i++)
+            out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    };
+    // metaLen sits at bytes [12, 16); the meta section follows.
+    uint32_t meta_len = 0;
+    for (int i = 0; i < 4; i++)
+        meta_len |= static_cast<uint32_t>(v4[12 + i]) << (8 * i);
+
+    std::vector<uint8_t> v3;
+    for (char c : {'C', 'A', 'S', 'S', 'A', 'W', '3', '\n'})
+        v3.push_back(static_cast<uint8_t>(c));
+    u32le(v3, 3);
+    u32le(v3, meta_len);
+    v3.insert(v3.end(), v4.begin() + 16, v4.begin() + 16 + meta_len);
+    v3.push_back(0); // traceStorageInline
+    u64le(v3, artifact->numOps());
+    for (const auto &op : artifact->timingTrace()) {
+        u64le(v3, op.pc);
+        u64le(v3, op.memAddr);
+        u64le(v3, op.nextPc);
+    }
+
+    auto reloaded = core::unpackAnalyzedWorkload(v3, resolver);
+    EXPECT_EQ(reloaded->numOps(), artifact->numOps());
+    auto want = Simulation(artifact).run(uarch::Scheme::Cassandra);
+    auto got = Simulation(reloaded).run(uarch::Scheme::Cassandra);
+    EXPECT_EQ(got.stats.cycles, want.stats.cycles);
+}
+
 TEST(ArtifactVersionTest, ImagelessSnapshotRoundTripsDemandDriven)
 {
     auto resolver = crypto::WorkloadRegistry::global().resolver();
