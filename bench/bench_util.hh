@@ -89,6 +89,18 @@ struct CliOptions
     /// run_experiment defaults it to its own argv[0]).
     std::string workerBinary;
 
+    /// off | on | readonly (--cache or the config's "cache.mode").
+    core::CacheMode cacheMode = core::CacheMode::Off;
+    /// Result-store directory (--cache-dir or "cache.dir"); empty =
+    /// the runner's default ("result-cache").
+    std::string cacheDir;
+    /// contiguous | lpt (--scheduler or "execution.scheduler").
+    core::ShardScheduler scheduler = core::ShardScheduler::Contiguous;
+    /// Telemetry JSON path (--stats-out or "report.stats_out"); the
+    /// cache_stats/schedule document, kept out of the main report so
+    /// warm and cold runs stay byte-identical.
+    std::string statsOut;
+
     /// CLI flags beat config-file settings; track what was spelled.
     bool formatExplicit = false;
     bool outExplicit = false;
@@ -97,6 +109,10 @@ struct CliOptions
     bool traceCompressionExplicit = false;
     bool executionExplicit = false;
     bool shardsExplicit = false;
+    bool cacheModeExplicit = false;
+    bool cacheDirExplicit = false;
+    bool schedulerExplicit = false;
+    bool statsOutExplicit = false;
 
     /// Artifact snapshot directory (from the config file).
     std::string artifactDir;
@@ -131,6 +147,17 @@ printCliHelp(const char *prog)
         "                 reports)\n"
         "  --shards=N     worker process count for --execution\n"
         "                 subprocess (default: auto)\n"
+        "  --cache=M      persistent cell-result store: off (default),\n"
+        "                 on (reuse prior results, persist fresh ones)\n"
+        "                 or readonly (reuse without writing)\n"
+        "  --cache-dir=D  result-store directory (default:\n"
+        "                 result-cache)\n"
+        "  --scheduler=S  subprocess shard partitioning: contiguous\n"
+        "                 (default) or lpt (cost-model bin packing;\n"
+        "                 byte-identical reports either way)\n"
+        "  --stats-out=F  write the run's cache/scheduler telemetry\n"
+        "                 JSON to F (separate from the report, which\n"
+        "                 stays byte-identical warm vs. cold)\n"
         "  --list         list selectable workload names and exit\n"
         "  --help         this text\n",
         prog);
@@ -234,6 +261,50 @@ parseCli(int argc, char **argv)
             }
             opts.shards = static_cast<unsigned>(n);
             opts.shardsExplicit = true;
+        } else if (value("--cache") ||
+                   (arg == "--cache" && i + 1 < argc)) {
+            const char *v = value("--cache");
+            if (!v)
+                v = argv[++i];
+            try {
+                opts.cacheMode = core::cacheModeFromName(v);
+            } catch (const std::invalid_argument &) {
+                std::fprintf(stderr,
+                             "invalid --cache=%s (expected off, on "
+                             "or readonly)\n",
+                             v);
+                std::exit(2);
+            }
+            opts.cacheModeExplicit = true;
+        } else if (value("--cache-dir") ||
+                   (arg == "--cache-dir" && i + 1 < argc)) {
+            const char *v = value("--cache-dir");
+            if (!v)
+                v = argv[++i];
+            opts.cacheDir = v;
+            opts.cacheDirExplicit = true;
+        } else if (value("--scheduler") ||
+                   (arg == "--scheduler" && i + 1 < argc)) {
+            const char *v = value("--scheduler");
+            if (!v)
+                v = argv[++i];
+            try {
+                opts.scheduler = core::shardSchedulerFromName(v);
+            } catch (const std::invalid_argument &) {
+                std::fprintf(stderr,
+                             "invalid --scheduler=%s (expected "
+                             "contiguous or lpt)\n",
+                             v);
+                std::exit(2);
+            }
+            opts.schedulerExplicit = true;
+        } else if (value("--stats-out") ||
+                   (arg == "--stats-out" && i + 1 < argc)) {
+            const char *v = value("--stats-out");
+            if (!v)
+                v = argv[++i];
+            opts.statsOut = v;
+            opts.statsOutExplicit = true;
         } else if (const char *v = value("--workloads")) {
             std::string list = v;
             size_t pos = 0;
@@ -364,6 +435,14 @@ matrixFromConfig(CliOptions &opts, core::ExperimentMatrix &matrix)
         opts.shards = spec.shards;
     if (opts.workerBinary.empty())
         opts.workerBinary = spec.workerBinary;
+    if (!opts.cacheModeExplicit && spec.cacheModeSet)
+        opts.cacheMode = spec.cacheMode;
+    if (!opts.cacheDirExplicit && !spec.cacheDir.empty())
+        opts.cacheDir = spec.cacheDir;
+    if (!opts.schedulerExplicit && spec.schedulerSet)
+        opts.scheduler = spec.scheduler;
+    if (!opts.statsOutExplicit && !spec.statsOut.empty())
+        opts.statsOut = spec.statsOut;
     opts.artifactDir = spec.artifactDir;
     opts.artifactSave = spec.artifactSave;
     return true;
@@ -528,6 +607,9 @@ runMatrices(const std::vector<core::ExperimentMatrix> &matrices,
     runner_opts.execution = opts.execution;
     runner_opts.shards = opts.shards;
     runner_opts.workerBinary = opts.workerBinary;
+    runner_opts.cacheMode = opts.cacheMode;
+    runner_opts.cacheDir = opts.cacheDir;
+    runner_opts.scheduler = opts.scheduler;
     if (runner_opts.execution == core::ExecutionMode::Subprocess &&
         runner_opts.workerBinary.empty()) {
         std::fprintf(stderr,
@@ -540,6 +622,15 @@ runMatrices(const std::vector<core::ExperimentMatrix> &matrices,
     core::ExperimentRunner runner(cache, runner_opts);
     core::Experiment exp = runner.run(resolved);
     saveArtifacts(exp.artifacts, missing, opts);
+    if (!opts.statsOut.empty()) {
+        std::ofstream file(opts.statsOut);
+        if (!file) {
+            std::fprintf(stderr, "cannot open %s for writing\n",
+                         opts.statsOut.c_str());
+            std::exit(1);
+        }
+        core::writeRunTelemetry(exp.telemetry, file);
+    }
     return exp;
 }
 

@@ -14,8 +14,9 @@
  *
  * The config may be given positionally or via --config=FILE; the
  * other shared CLI flags (--format/--out/--threads/--workloads/
- * --suite/--trace-mode/--trace-compression/--execution/--shards)
- * override the config file as usual. Unlike the figure benches there
+ * --suite/--trace-mode/--trace-compression/--execution/--shards/
+ * --cache/--cache-dir/--scheduler/--stats-out) override the config
+ * file as usual. Unlike the figure benches there
  * is no built-in matrix: no config is an error.
  *
  * The binary doubles as the shard worker of the subprocess executor
@@ -113,7 +114,11 @@ main(int argc, char **argv)
     auto takes_space_value = [](const char *arg) {
         return std::strcmp(arg, "--config") == 0 ||
             std::strcmp(arg, "--execution") == 0 ||
-            std::strcmp(arg, "--shards") == 0;
+            std::strcmp(arg, "--shards") == 0 ||
+            std::strcmp(arg, "--cache") == 0 ||
+            std::strcmp(arg, "--cache-dir") == 0 ||
+            std::strcmp(arg, "--scheduler") == 0 ||
+            std::strcmp(arg, "--stats-out") == 0;
     };
     std::vector<std::string> args;
     args.reserve(static_cast<size_t>(argc));

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Collect the repo's benchmark baselines.
+
+Runs the google-benchmark micro harnesses (BTU lookup/eviction and
+k-mer compression kernels) and a timed Release `run_experiment` sweep
+of configs/ci_smoke.json, then writes two machine-readable baselines:
+
+  BENCH_micro.json  ns/op per microbenchmark (benchmark JSON, reduced)
+  BENCH_fig7.json   end-to-end cells/sec of the ci_smoke sweep, split
+                    into analysis+simulate (cold) and simulate-only
+                    phases, with the run's cache/scheduler telemetry
+
+Usage: scripts/collect_bench.py [--build BUILD_DIR] [--out-dir DIR]
+
+The build directory must be a Release build; micro binaries are
+skipped (with a note) when google-benchmark was not available at
+configure time.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def run_micro(binary):
+    """One micro binary -> list of {name, ns_per_op, iterations}."""
+    with tempfile.NamedTemporaryFile(suffix=".json") as out:
+        subprocess.run(
+            [binary, "--benchmark_format=json",
+             f"--benchmark_out={out.name}",
+             "--benchmark_out_format=json"],
+            check=True, stdout=subprocess.DEVNULL)
+        doc = json.load(open(out.name))
+    results = []
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") != "iteration":
+            continue
+        # Normalize to ns/op whatever time_unit the bench picked.
+        scale = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}[
+            bench.get("time_unit", "ns")]
+        results.append({
+            "name": bench["name"],
+            "ns_per_op": round(bench["real_time"] * scale, 3),
+            "cpu_ns_per_op": round(bench["cpu_time"] * scale, 3),
+            "iterations": bench["iterations"],
+        })
+    return results
+
+
+def timed_sweep(run_experiment, config, extra=()):
+    """One run_experiment sweep -> (seconds, telemetry dict)."""
+    with tempfile.TemporaryDirectory() as scratch:
+        stats = os.path.join(scratch, "stats.json")
+        out = os.path.join(scratch, "report.json")
+        start = time.monotonic()
+        subprocess.run(
+            [run_experiment, config, f"--out={out}",
+             f"--stats-out={stats}", *extra],
+            check=True, stdout=subprocess.DEVNULL)
+        seconds = time.monotonic() - start
+        telemetry = json.load(open(stats))
+        # The cache dir is an ephemeral temp path; don't bake it into
+        # a committed baseline.
+        telemetry.get("cache_stats", {}).pop("dir", None)
+        cells = len(json.load(open(out))["results"])
+    return seconds, telemetry, cells
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--build", default="build")
+    parser.add_argument("--out-dir", default=".")
+    args = parser.parse_args()
+    os.makedirs(args.out_dir, exist_ok=True)
+
+    # --- BENCH_micro.json -------------------------------------------
+    micro = {}
+    for name in ("micro_btu", "micro_kmers"):
+        binary = os.path.join(args.build, "bench", name)
+        if not os.path.exists(binary):
+            print(f"note: {binary} not built (google-benchmark "
+                  "missing?); skipping", file=sys.stderr)
+            continue
+        micro[name] = run_micro(binary)
+    if micro:
+        path = os.path.join(args.out_dir, "BENCH_micro.json")
+        json.dump({"unit": "ns/op", "benchmarks": micro},
+                  open(path, "w"), indent=2)
+        print(f"wrote {path}")
+
+    # --- BENCH_fig7.json --------------------------------------------
+    run_experiment = os.path.join(args.build, "bench", "run_experiment")
+    config = "configs/ci_smoke.json"
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cached = ("--cache=on", f"--cache-dir={cache_dir}")
+        cold_s, cold_tel, cells = timed_sweep(run_experiment, config,
+                                              cached)
+        warm_s, warm_tel, _ = timed_sweep(run_experiment, config,
+                                          cached)
+    doc = {
+        "config": config,
+        "cells": cells,
+        "cold": {
+            "seconds": round(cold_s, 3),
+            "cells_per_sec": round(cells / cold_s, 2),
+            "cache_stats": cold_tel["cache_stats"],
+        },
+        # Warm: every cell replays from the result store, so this
+        # isolates the analysis + replay overhead.
+        "warm": {
+            "seconds": round(warm_s, 3),
+            "cells_per_sec": round(cells / warm_s, 2),
+            "cache_stats": warm_tel["cache_stats"],
+        },
+    }
+    assert doc["warm"]["cache_stats"]["simulated_cells"] == 0, doc
+    path = os.path.join(args.out_dir, "BENCH_fig7.json")
+    json.dump(doc, open(path, "w"), indent=2)
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

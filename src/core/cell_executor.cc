@@ -12,7 +12,11 @@
 #include <stdexcept>
 #include <thread>
 
+#include <algorithm>
+#include <numeric>
+
 #include "core/byte_io.hh"
+#include "core/result_store.hh"
 #include "core/serialize.hh"
 #include "core/trace_stream.hh"
 
@@ -73,6 +77,84 @@ runParallel(unsigned threads, size_t work,
 
     if (first_error)
         std::rethrow_exception(first_error);
+}
+
+// ---------------------------------------------------------------------
+// Cost model + shard scheduling
+// ---------------------------------------------------------------------
+
+std::vector<uint64_t>
+estimateCellCosts(const std::vector<PlannedCell> &cells,
+                  const ArtifactMap &artifacts, const ResultStore *store)
+{
+    std::vector<uint64_t> costs;
+    costs.reserve(cells.size());
+    for (const PlannedCell &cell : cells) {
+        const AnalyzedWorkload::Ptr &artifact =
+            artifacts.at(cell.workload);
+        uint64_t cost = 0;
+        if (store) {
+            SimConfig cfg = cell.config;
+            cfg.scheme = cell.scheme;
+            cost = store->peekCycles(resultStoreKey(
+                artifact->workload(), cell.scheme, cfg));
+        }
+        if (cost == 0)
+            cost = artifact->numOps();
+        costs.push_back(std::max<uint64_t>(cost, 1));
+    }
+    return costs;
+}
+
+std::vector<std::vector<uint32_t>>
+scheduleShards(ShardScheduler scheduler,
+               const std::vector<uint64_t> &costs, unsigned shards)
+{
+    const size_t work = costs.size();
+    const unsigned s =
+        std::max(1u, std::min<unsigned>(shards, std::max<size_t>(work, 1)));
+    std::vector<std::vector<uint32_t>> partition(s);
+    if (work == 0)
+        return partition;
+
+    if (scheduler == ShardScheduler::Contiguous) {
+        const size_t per_shard = work / s;
+        const size_t remainder = work % s;
+        size_t begin = 0;
+        for (unsigned i = 0; i < s; i++) {
+            const size_t count = per_shard + (i < remainder ? 1 : 0);
+            for (size_t j = begin; j < begin + count; j++)
+                partition[i].push_back(static_cast<uint32_t>(j));
+            begin += count;
+        }
+        return partition;
+    }
+
+    // LPT: descending cost (stable: equal costs keep index order),
+    // each cell onto the currently least-loaded shard (lowest index
+    // on ties) — deterministic, and with work >= s every shard gets
+    // at least one cell before any shard gets two.
+    std::vector<uint32_t> order(work);
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                         return costs[a] > costs[b];
+                     });
+    std::vector<uint64_t> load(s, 0);
+    for (uint32_t index : order) {
+        unsigned target = 0;
+        for (unsigned i = 1; i < s; i++) {
+            if (load[i] < load[target])
+                target = i;
+        }
+        partition[target].push_back(index);
+        load[target] += costs[index];
+    }
+    // Ascending indices inside each shard: manifests stay readable
+    // and the assignment is independent of the greedy visit order.
+    for (std::vector<uint32_t> &shard : partition)
+        std::sort(shard.begin(), shard.end());
+    return partition;
 }
 
 // ---------------------------------------------------------------------
@@ -444,7 +526,7 @@ struct ShardProcess
 {
     unsigned shard = 0;
     pid_t pid = -1;
-    size_t begin = 0, end = 0; ///< cell range [begin, end)
+    std::vector<uint32_t> indices; ///< global cell indices (sorted)
     std::string outPath;
     std::string stderrPath;
     bool reaped = false; ///< waitpid collected the child
@@ -541,9 +623,11 @@ SubprocessShardExecutor::execute(const std::vector<PlannedCell> &cells,
     const std::string scratch = makeScratchDir(options_.scratchDir);
     std::vector<ShardProcess> procs;
     // Sweep the whole process-unique scratch directory (flat, we
-    // created it): a killed worker leaves behind rehydrated trace
-    // streams its destructors never deleted, so per-file tracking on
-    // the coordinator side would leak them.
+    // created it) after a successful run: a killed worker leaves
+    // behind rehydrated trace streams its destructors never deleted,
+    // so per-file tracking on the coordinator side would leak them.
+    // A failed run keeps the directory — manifests and captured
+    // worker stderr are the debugging evidence.
     auto cleanup = [&]() {
         if (DIR *dir = opendir(scratch.c_str())) {
             while (struct dirent *entry = readdir(dir)) {
@@ -587,26 +671,34 @@ SubprocessShardExecutor::execute(const std::vector<PlannedCell> &cells,
             snapshot_paths.emplace(cell.workload, path);
         }
 
-        // Contiguous block partition; merging by global index makes
-        // the partition (and completion order) invisible in the
-        // result.
-        const size_t per_shard = cells.size() / shards;
-        const size_t remainder = cells.size() % shards;
-        size_t begin = 0;
+        // Partition by the configured scheduler (contiguous blocks or
+        // LPT over the cost model); merging by global index makes the
+        // partition (and completion order) invisible in the result.
+        const std::vector<uint64_t> costs = estimateCellCosts(
+            cells, artifacts, options_.costSource.get());
+        const std::vector<std::vector<uint32_t>> partition =
+            scheduleShards(options_.scheduler, costs, shards);
+        schedule_ = ScheduleSummary{};
+        schedule_.valid = true;
+        schedule_.scheduler = options_.scheduler;
+        for (const std::vector<uint32_t> &assigned : partition) {
+            uint64_t shard_cost = 0;
+            for (uint32_t i : assigned)
+                shard_cost += costs[i];
+            schedule_.shardCosts.push_back(shard_cost);
+        }
+
         for (unsigned s = 0; s < shards; s++) {
-            const size_t count = per_shard + (s < remainder ? 1 : 0);
             ShardProcess proc;
             proc.shard = s;
-            proc.begin = begin;
-            proc.end = begin + count;
-            begin += count;
+            proc.indices = partition[s];
 
             ShardManifest manifest;
             manifest.shardIndex = s;
             manifest.workerThreads = worker_threads;
             manifest.streamDir = scratch;
-            for (size_t i = proc.begin; i < proc.end; i++) {
-                manifest.indices.push_back(static_cast<uint32_t>(i));
+            for (uint32_t i : proc.indices) {
+                manifest.indices.push_back(i);
                 manifest.cells.push_back(cells[i]);
             }
             for (const auto &[name, path] : snapshot_paths) {
@@ -644,15 +736,16 @@ SubprocessShardExecutor::execute(const std::vector<PlannedCell> &cells,
             try {
                 std::vector<IndexedCellResult> partial =
                     loadCellResults(proc.outPath);
-                if (partial.size() != proc.end - proc.begin)
+                if (partial.size() != proc.indices.size())
                     throw std::invalid_argument(
                         "shard returned " +
                         std::to_string(partial.size()) +
                         " cells, expected " +
-                        std::to_string(proc.end - proc.begin));
+                        std::to_string(proc.indices.size()));
                 for (IndexedCellResult &entry : partial) {
-                    if (entry.index < proc.begin ||
-                        entry.index >= proc.end ||
+                    if (!std::binary_search(proc.indices.begin(),
+                                            proc.indices.end(),
+                                            entry.index) ||
                         have[entry.index])
                         throw std::invalid_argument(
                             "shard returned cell index " +
@@ -679,11 +772,12 @@ SubprocessShardExecutor::execute(const std::vector<PlannedCell> &cells,
                          "shard %u: %s; retrying its %zu cells "
                          "in-process\n",
                          proc.shard, proc.detail.c_str(),
-                         proc.end - proc.begin);
+                         proc.indices.size());
             try {
-                const std::vector<PlannedCell> retry_cells(
-                    cells.begin() + static_cast<ptrdiff_t>(proc.begin),
-                    cells.begin() + static_cast<ptrdiff_t>(proc.end));
+                std::vector<PlannedCell> retry_cells;
+                retry_cells.reserve(proc.indices.size());
+                for (uint32_t i : proc.indices)
+                    retry_cells.push_back(cells[i]);
                 // The other shards are done by the time a retry
                 // runs, so it gets the full coordinator budget, not
                 // the per-shard cap.
@@ -691,10 +785,10 @@ SubprocessShardExecutor::execute(const std::vector<PlannedCell> &cells,
                     InProcessExecutor(options_.threads)
                         .execute(retry_cells, artifacts);
                 for (size_t i = 0; i < retried.size(); i++) {
-                    results[proc.begin + i] = std::move(retried[i]);
-                    have[proc.begin + i] = 1;
+                    results[proc.indices[i]] = std::move(retried[i]);
+                    have[proc.indices[i]] = 1;
                 }
-                stats_.cellsRetried += proc.end - proc.begin;
+                stats_.cellsRetried += proc.indices.size();
             } catch (const std::exception &e) {
                 throw WorkerError(proc.shard,
                                   proc.detail +
@@ -713,15 +807,21 @@ SubprocessShardExecutor::execute(const std::vector<PlannedCell> &cells,
         cleanup();
         return results;
     } catch (...) {
+        // Keep the scratch directory: its manifests and captured
+        // worker stderr are what a failed run gets debugged from.
         reap_all();
-        cleanup();
+        std::fprintf(stderr,
+                     "shard run failed; keeping scratch directory %s "
+                     "for debugging\n",
+                     scratch.c_str());
         throw;
     }
 #endif // CASSANDRA_POSIX_SPAWN
 }
 
 std::shared_ptr<CellExecutor>
-makeCellExecutor(const RunnerOptions &options)
+makeCellExecutor(const RunnerOptions &options,
+                 std::shared_ptr<const ResultStore> costSource)
 {
     if (options.execution == ExecutionMode::Subprocess) {
         SubprocessShardExecutor::Options opts;
@@ -729,6 +829,8 @@ makeCellExecutor(const RunnerOptions &options)
         opts.workerBinary = options.workerBinary;
         opts.threads = options.threads;
         opts.scratchDir = options.scratchDir;
+        opts.scheduler = options.scheduler;
+        opts.costSource = std::move(costSource);
         return std::make_shared<SubprocessShardExecutor>(opts);
     }
     return std::make_shared<InProcessExecutor>(options.threads);

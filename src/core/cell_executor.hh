@@ -47,6 +47,8 @@
 
 namespace cassandra::core {
 
+class ResultStore;
+
 /**
  * Run fn(0..work) over a pool of `threads` workers, failing fast on
  * the first exception (rethrown here). Shared by the runner's analysis
@@ -67,6 +69,45 @@ struct PlannedCell
 /** Shared analysis artifacts, keyed by matrix workload name. */
 using ArtifactMap = std::map<std::string, AnalyzedWorkload::Ptr>;
 
+/**
+ * The shard partition an executor chose for its last execute() call
+ * (telemetry; empty for executors that do not shard).
+ */
+struct ScheduleSummary
+{
+    bool valid = false;
+    ShardScheduler scheduler = ShardScheduler::Contiguous;
+    /** Estimated cost (model units) assigned to each shard. */
+    std::vector<uint64_t> shardCosts;
+};
+
+/**
+ * Per-cell cost estimates for the shard scheduler, in cost-model
+ * units. For each cell, a prior run's recorded cycle count from the
+ * result store when a matching entry exists (`store` may be null),
+ * falling back to the workload artifact's static ops count — both are
+ * proportional to simulated work, so mixed sources still rank cells
+ * usefully. Every estimate is at least 1.
+ */
+std::vector<uint64_t>
+estimateCellCosts(const std::vector<PlannedCell> &cells,
+                  const ArtifactMap &artifacts,
+                  const ResultStore *store);
+
+/**
+ * Partition cell indices 0..costs.size() into `shards` groups.
+ * Contiguous reproduces the historical equal-size blocks; Lpt sorts
+ * by descending cost and greedily assigns each cell to the least-
+ * loaded shard (longest-processing-time bin packing), so one huge
+ * cell no longer serializes a shard behind a pile of cheap ones.
+ * Deterministic (stable tie-breaks); with shards <= cells, no shard
+ * is left empty. The merged report is byte-identical either way —
+ * results merge by global index.
+ */
+std::vector<std::vector<uint32_t>>
+scheduleShards(ShardScheduler scheduler,
+               const std::vector<uint64_t> &costs, unsigned shards);
+
 /** Executes planned cells over shared artifacts. */
 class CellExecutor
 {
@@ -84,6 +125,10 @@ class CellExecutor
     virtual std::vector<CellResult>
     execute(const std::vector<PlannedCell> &cells,
             const ArtifactMap &artifacts) = 0;
+
+    /** The shard partition of the last execute() call (invalid for
+     * backends that do not shard). */
+    virtual ScheduleSummary lastSchedule() const { return {}; }
 };
 
 /** Phase-2 cells over a thread pool in this process. */
@@ -187,11 +232,19 @@ class SubprocessShardExecutor : public CellExecutor
         /** Coordinator-side thread request; per-worker budgets derive
          * from it via RunnerOptions::resolveThreads(work, shards). */
         unsigned threads = 0;
-        /** Scratch directory; empty = per-process temp dir. */
+        /** Scratch directory; empty = per-process temp dir. Scratch
+         * files are removed after a successful run and kept (with a
+         * stderr note naming the directory) when the run fails, so
+         * manifests and worker stderr survive for debugging. */
         std::string scratchDir;
         /** Retry a crashed shard's cells in-process before failing.
          * Disabled, a crashed shard raises WorkerError directly. */
         bool retryInProcess = true;
+        /** Shard partitioning policy (see scheduleShards). */
+        ShardScheduler scheduler = ShardScheduler::Contiguous;
+        /** Prior-cycles source for the Lpt cost model; null falls
+         * back to the static ops-count estimate for every cell. */
+        std::shared_ptr<const ResultStore> costSource;
     };
 
     /** Cumulative backend counters (observable in tests/telemetry). */
@@ -210,18 +263,25 @@ class SubprocessShardExecutor : public CellExecutor
     execute(const std::vector<PlannedCell> &cells,
             const ArtifactMap &artifacts) override;
 
+    ScheduleSummary lastSchedule() const override { return schedule_; }
+
     const Stats &stats() const { return stats_; }
 
   private:
     Options options_;
     Stats stats_;
+    ScheduleSummary schedule_;
 };
 
 /**
  * Executor for RunnerOptions::execution: InProcessExecutor or
- * SubprocessShardExecutor configured from the options.
+ * SubprocessShardExecutor configured from the options. `costSource`
+ * (may be null) feeds the subprocess executor's cost model with prior
+ * cycles from the result store.
  */
-std::shared_ptr<CellExecutor> makeCellExecutor(const RunnerOptions &options);
+std::shared_ptr<CellExecutor>
+makeCellExecutor(const RunnerOptions &options,
+                 std::shared_ptr<const ResultStore> costSource = nullptr);
 
 } // namespace cassandra::core
 

@@ -11,6 +11,7 @@
 #include <unordered_set>
 
 #include "core/cell_executor.hh"
+#include "core/result_store.hh"
 
 namespace cassandra::core {
 
@@ -44,6 +45,51 @@ executionModeFromName(const std::string &name)
     throw std::invalid_argument(
         "unknown execution mode \"" + name +
         "\" (expected inprocess or subprocess)");
+}
+
+const char *
+cacheModeName(CacheMode mode)
+{
+    switch (mode) {
+      case CacheMode::On:
+        return "on";
+      case CacheMode::Readonly:
+        return "readonly";
+      default:
+        return "off";
+    }
+}
+
+CacheMode
+cacheModeFromName(const std::string &name)
+{
+    if (name == "off")
+        return CacheMode::Off;
+    if (name == "on")
+        return CacheMode::On;
+    if (name == "readonly" || name == "read-only")
+        return CacheMode::Readonly;
+    throw std::invalid_argument(
+        "unknown cache mode \"" + name +
+        "\" (expected off, on or readonly)");
+}
+
+const char *
+shardSchedulerName(ShardScheduler scheduler)
+{
+    return scheduler == ShardScheduler::Lpt ? "lpt" : "contiguous";
+}
+
+ShardScheduler
+shardSchedulerFromName(const std::string &name)
+{
+    if (name == "contiguous")
+        return ShardScheduler::Contiguous;
+    if (name == "lpt")
+        return ShardScheduler::Lpt;
+    throw std::invalid_argument(
+        "unknown shard scheduler \"" + name +
+        "\" (expected contiguous or lpt)");
 }
 
 unsigned
@@ -102,8 +148,12 @@ ExperimentRunner::ExperimentRunner(std::shared_ptr<AnalysisCache> cache,
     if (!cache_)
         throw std::invalid_argument(
             "ExperimentRunner needs an analysis cache");
+    if (options_.cacheMode != CacheMode::Off)
+        store_ = std::make_shared<ResultStore>(
+            options_.cacheDir.empty() ? "result-cache"
+                                      : options_.cacheDir);
     if (!executor_)
-        executor_ = makeCellExecutor(options_);
+        executor_ = makeCellExecutor(options_, store_);
 }
 
 namespace {
@@ -229,13 +279,86 @@ ExperimentRunner::run(const std::vector<ExperimentMatrix> &matrices) const
     for (size_t i = 0; i < names.size(); i++)
         exp.artifacts.emplace(names[i], artifacts[i]);
 
-    // Phase 2: dispatch the planned cells to the executor and merge.
+    // Result store: replay every cell whose key hits, dispatch only
+    // the misses. Filtering happens here in the coordinator, so both
+    // executors (and any custom one) get the cache for free and the
+    // merged vector stays byte-identical to an uncached run.
+    exp.telemetry.cacheEnabled = store_ != nullptr;
+    exp.telemetry.cacheMode = cacheModeName(options_.cacheMode);
+    if (store_)
+        exp.telemetry.cacheDir = store_->dir();
+
+    std::vector<CellResult> results(cells.size());
+    std::vector<ResultStoreKey> keys;
+    std::vector<size_t> pending_slots;
+    std::vector<PlannedCell> pending;
+    if (store_) {
+        keys.reserve(cells.size());
+        for (size_t i = 0; i < cells.size(); i++) {
+            const PlannedCell &cell = cells[i];
+            const AnalyzedWorkload::Ptr &artifact =
+                exp.artifacts.at(cell.workload);
+            SimConfig cfg = cell.config;
+            cfg.scheme = cell.scheme;
+            keys.push_back(resultStoreKey(artifact->workload(),
+                                          cell.scheme, cfg));
+            ExperimentResult cached;
+            if (store_->lookup(keys.back(), cached)) {
+                // Rebuild the naming fields exactly like the
+                // executors do — a replayed cell must be
+                // indistinguishable from a fresh one.
+                CellResult &out = results[i];
+                out.workload = cell.workload;
+                out.suite = artifact->workload().suite;
+                out.scheme = cell.scheme;
+                out.config = cell.config.name;
+                out.result = cached;
+            } else {
+                pending_slots.push_back(i);
+                pending.push_back(cell);
+            }
+        }
+    } else {
+        pending = cells;
+        pending_slots.resize(cells.size());
+        for (size_t i = 0; i < cells.size(); i++)
+            pending_slots[i] = i;
+    }
+    exp.telemetry.cachedCells = cells.size() - pending.size();
+    exp.telemetry.simulatedCells = pending.size();
+
+    // Phase 2: dispatch the missing cells to the executor and merge.
     // Every executor fills the same fixed slots, so the cells come
     // back in matrix order whatever the backend did to run them.
-    exp.cells = executor_->execute(cells, exp.artifacts);
-    if (exp.cells.size() != cells.size())
-        throw std::logic_error(
-            "cell executor returned a result vector of the wrong size");
+    if (!pending.empty()) {
+        std::vector<CellResult> fresh =
+            executor_->execute(pending, exp.artifacts);
+        if (fresh.size() != pending.size())
+            throw std::logic_error("cell executor returned a result "
+                                   "vector of the wrong size");
+        for (size_t j = 0; j < pending.size(); j++) {
+            if (store_ && options_.cacheMode == CacheMode::On)
+                store_->store(keys[pending_slots[j]],
+                              fresh[j].result);
+            results[pending_slots[j]] = std::move(fresh[j]);
+        }
+        const ScheduleSummary schedule = executor_->lastSchedule();
+        if (schedule.valid) {
+            exp.telemetry.scheduled = true;
+            exp.telemetry.scheduler =
+                shardSchedulerName(schedule.scheduler);
+            exp.telemetry.shardCosts = schedule.shardCosts;
+        }
+    }
+    exp.cells = std::move(results);
+
+    if (store_) {
+        const ResultStore::Stats stats = store_->stats();
+        exp.telemetry.cacheHits = stats.hits;
+        exp.telemetry.cacheMisses = stats.misses;
+        exp.telemetry.cacheStores = stats.stores;
+        exp.telemetry.cacheEvictions = stats.evictions;
+    }
     return exp;
 }
 
@@ -650,6 +773,46 @@ CsvReporter::write(const Experiment &exp, std::ostream &os) const
             os << ',';
         os << ',' << geo_buf << "\n";
     }
+}
+
+void
+writeRunTelemetry(const RunTelemetry &telemetry, std::ostream &os)
+{
+    os << "{\n  \"cache_stats\": {";
+    {
+        JsonObject o(os, 4);
+        o.field("mode", telemetry.cacheMode.empty()
+                    ? std::string("off")
+                    : telemetry.cacheMode);
+        if (telemetry.cacheEnabled) {
+            o.field("dir", telemetry.cacheDir);
+            o.field("hits", telemetry.cacheHits);
+            o.field("misses", telemetry.cacheMisses);
+            o.field("stores", telemetry.cacheStores);
+            o.field("evictions", telemetry.cacheEvictions);
+        }
+        o.field("cached_cells", telemetry.cachedCells);
+        o.field("simulated_cells", telemetry.simulatedCells);
+    }
+    os << "\n  },\n  \"schedule\": ";
+    if (!telemetry.scheduled) {
+        os << "null";
+    } else {
+        os << "{";
+        JsonObject o(os, 4);
+        o.field("scheduler", telemetry.scheduler);
+        o.field("shards",
+                static_cast<uint64_t>(telemetry.shardCosts.size()));
+        std::ostream &costs_os = o.object("shard_costs");
+        costs_os << "[";
+        for (size_t i = 0; i < telemetry.shardCosts.size(); i++)
+            costs_os << (i ? ", " : "") << telemetry.shardCosts[i];
+        costs_os << "]";
+        o.field("max_shard_cost", telemetry.maxShardCost());
+        o.field("total_cost", telemetry.totalCost());
+        os << "\n  }";
+    }
+    os << "\n}\n";
 }
 
 std::unique_ptr<Reporter>

@@ -49,6 +49,7 @@
 namespace cassandra::core {
 
 class CellExecutor;
+class ResultStore;
 
 /** Name -> Workload factory used to resolve matrix entries. */
 using WorkloadResolver = AnalysisCache::Resolver;
@@ -84,10 +85,65 @@ struct CellResult
     ExperimentResult result;
 };
 
+/**
+ * Side-band observability of one runner dispatch: result-store
+ * counters and the shard schedule. Deliberately *not* part of any
+ * report format — reports must stay byte-identical between cold and
+ * warm runs — telemetry is emitted as its own JSON document
+ * (writeRunTelemetry, `--stats-out`).
+ */
+struct RunTelemetry
+{
+    /** A result store was consulted this run. */
+    bool cacheEnabled = false;
+    std::string cacheMode; ///< "off", "on" or "readonly"
+    std::string cacheDir;
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    uint64_t cacheStores = 0;
+    uint64_t cacheEvictions = 0;
+    /** Cells replayed from the store (never dispatched). */
+    uint64_t cachedCells = 0;
+    /** Cells handed to the executor (simulated fresh). */
+    uint64_t simulatedCells = 0;
+
+    /** A subprocess shard schedule was computed this run. */
+    bool scheduled = false;
+    std::string scheduler; ///< "contiguous" or "lpt"
+    /** Estimated cost (model units) assigned to each shard. */
+    std::vector<uint64_t> shardCosts;
+
+    uint64_t
+    maxShardCost() const
+    {
+        uint64_t max = 0;
+        for (uint64_t c : shardCosts)
+            max = c > max ? c : max;
+        return max;
+    }
+
+    uint64_t
+    totalCost() const
+    {
+        uint64_t sum = 0;
+        for (uint64_t c : shardCosts)
+            sum += c;
+        return sum;
+    }
+};
+
+/** Emit telemetry as a standalone JSON document with `cache_stats`
+ * and `schedule` blocks (the `--stats-out` payload). */
+void writeRunTelemetry(const RunTelemetry &telemetry, std::ostream &os);
+
 /** All cells of one matrix run, in matrix order. */
 struct Experiment
 {
     std::vector<CellResult> cells;
+
+    /** Cache/schedule observability of the run that produced this
+     * experiment (not serialized by any Reporter). */
+    RunTelemetry telemetry;
 
     /**
      * The shared analysis artifacts of the run, keyed by matrix
@@ -121,6 +177,43 @@ const char *executionModeName(ExecutionMode mode);
  * @throws std::invalid_argument on anything else.
  */
 ExecutionMode executionModeFromName(const std::string &name);
+
+/** Whether (and how) the persistent cell-result store is consulted. */
+enum class CacheMode
+{
+    /** No store: every cell simulates (the default). */
+    Off,
+    /** Consult the store before dispatch; persist fresh results. */
+    On,
+    /** Consult but never write (shared read-only store). */
+    Readonly,
+};
+
+const char *cacheModeName(CacheMode mode);
+
+/**
+ * Parse a cache mode name ("off", "on" or "readonly").
+ * @throws std::invalid_argument on anything else.
+ */
+CacheMode cacheModeFromName(const std::string &name);
+
+/** How SubprocessShardExecutor partitions cells across shards. */
+enum class ShardScheduler
+{
+    /** Equal-size contiguous index blocks (the default). */
+    Contiguous,
+    /** Longest-processing-time bin packing over the per-cell cost
+     * model (prior cached cycles, ops-count fallback). */
+    Lpt,
+};
+
+const char *shardSchedulerName(ShardScheduler scheduler);
+
+/**
+ * Parse a scheduler name ("contiguous" or "lpt").
+ * @throws std::invalid_argument on anything else.
+ */
+ShardScheduler shardSchedulerFromName(const std::string &name);
 
 /** Runner knobs. */
 struct RunnerOptions
@@ -160,9 +253,29 @@ struct RunnerOptions
     /**
      * Directory for shard scratch files (artifact snapshots,
      * manifests, worker outputs); empty picks a per-process temp
-     * directory. The executor deletes its scratch files after the run.
+     * directory. The executor deletes its scratch files after a
+     * successful run and keeps them for debugging when the run fails.
      */
     std::string scratchDir;
+
+    /**
+     * Persistent cell-result store: Off (default) simulates every
+     * cell; On consults the store before dispatch, executes only the
+     * missing cells and persists fresh results; Readonly consults
+     * without writing.
+     */
+    CacheMode cacheMode = CacheMode::Off;
+
+    /** Result-store directory; empty defaults to "result-cache". */
+    std::string cacheDir;
+
+    /**
+     * Shard partitioning policy for subprocess execution: Contiguous
+     * equal blocks (default) or Lpt cost-model bin packing. Merging by
+     * global index makes the choice invisible in the report (ignored
+     * in-process, where the thread pool self-balances).
+     */
+    ShardScheduler scheduler = ShardScheduler::Contiguous;
 
     /**
      * The one place thread-pool sizing is decided: the requested
@@ -263,9 +376,17 @@ class ExperimentRunner
     /** The phase-2 executor cells are dispatched to. */
     CellExecutor &executor() const { return *executor_; }
 
+    /** The persistent cell-result store; null when cacheMode is Off
+     * (or a custom executor was injected with no store). */
+    const std::shared_ptr<ResultStore> &resultStore() const
+    {
+        return store_;
+    }
+
   private:
     std::shared_ptr<AnalysisCache> cache_;
     RunnerOptions options_;
+    std::shared_ptr<ResultStore> store_;
     std::shared_ptr<CellExecutor> executor_;
 };
 

@@ -570,6 +570,10 @@ parseExperimentSpec(const std::string &json)
                     expectKind(rv, JsonValue::Kind::String, at,
                                "a string");
                     spec.out = rv.string;
+                } else if (rkey == "stats_out") {
+                    expectKind(rv, JsonValue::Kind::String, at,
+                               "a string");
+                    spec.statsOut = rv.string;
                 } else {
                     schemaFail(at, "unknown report key");
                 }
@@ -596,8 +600,39 @@ parseExperimentSpec(const std::string &json)
                     expectKind(ev, JsonValue::Kind::String, at,
                                "a string");
                     spec.workerBinary = ev.string;
+                } else if (ekey == "scheduler") {
+                    expectKind(ev, JsonValue::Kind::String, at,
+                               "a string");
+                    try {
+                        spec.scheduler =
+                            shardSchedulerFromName(ev.string);
+                    } catch (const std::invalid_argument &e) {
+                        schemaFail(at, e.what());
+                    }
+                    spec.schedulerSet = true;
                 } else {
                     schemaFail(at, "unknown execution key");
+                }
+            }
+        } else if (key == "cache") {
+            expectKind(v, JsonValue::Kind::Object, key, "an object");
+            for (const auto &[ckey, cv] : v.object) {
+                const std::string at = "cache." + ckey;
+                if (ckey == "mode") {
+                    expectKind(cv, JsonValue::Kind::String, at,
+                               "a string");
+                    try {
+                        spec.cacheMode = cacheModeFromName(cv.string);
+                    } catch (const std::invalid_argument &e) {
+                        schemaFail(at, e.what());
+                    }
+                    spec.cacheModeSet = true;
+                } else if (ckey == "dir") {
+                    expectKind(cv, JsonValue::Kind::String, at,
+                               "a string");
+                    spec.cacheDir = cv.string;
+                } else {
+                    schemaFail(at, "unknown cache key");
                 }
             }
         } else if (key == "artifacts") {

@@ -22,7 +22,9 @@
  *     "report": {"format": "json", "out": "fig7.json"},
  *     "artifacts": {"dir": "aw-cache", "save": true},
  *     "execution": {"mode": "subprocess", "shards": 4,
- *                   "worker_binary": "./build/bench/run_experiment"}
+ *                   "scheduler": "lpt",
+ *                   "worker_binary": "./build/bench/run_experiment"},
+ *     "cache": {"mode": "on", "dir": "result-cache"}
  *   }
  *
  * Suites expand against the WorkloadRegistry at the bench layer (core
@@ -94,6 +96,28 @@ struct ExperimentSpec
     /** Worker binary for subprocess execution; empty = caller's
      * default (run_experiment uses itself). */
     std::string workerBinary;
+    /**
+     * Persistent cell-result store ("cache": {"mode": "off" | "on" |
+     * "readonly"}). On consults the store before dispatch and
+     * persists fresh results; Readonly consults without writing.
+     */
+    CacheMode cacheMode = CacheMode::Off;
+    /** Whether the config spelled cache.mode. */
+    bool cacheModeSet = false;
+    /** Result-store directory ("cache": {"dir": ...}); empty =
+     * the runner's default ("result-cache"). */
+    std::string cacheDir;
+    /**
+     * Shard partitioning policy ("execution": {"scheduler":
+     * "contiguous" | "lpt"}). Lpt bin-packs cells onto shards by the
+     * recorded cost model; reports stay byte-identical either way.
+     */
+    ShardScheduler scheduler = ShardScheduler::Contiguous;
+    /** Whether the config spelled execution.scheduler. */
+    bool schedulerSet = false;
+    /** Telemetry JSON path ("report": {"stats_out": ...}): the
+     * cache_stats/schedule document; empty writes none. */
+    std::string statsOut;
 };
 
 /**

@@ -998,6 +998,30 @@ eachResultCounter(ExperimentResult &r, Fn &&fn)
 
 } // namespace
 
+size_t
+experimentResultCounterCount()
+{
+    size_t count = 0;
+    ExperimentResult probe;
+    eachResultCounter(probe, [&](uint64_t &) { count++; });
+    return count;
+}
+
+void
+packExperimentResult(ByteWriter &w, const ExperimentResult &result)
+{
+    ExperimentResult copy = result;
+    eachResultCounter(copy, [&](uint64_t &field) { w.u64(field); });
+}
+
+ExperimentResult
+unpackExperimentResult(ByteReader &r)
+{
+    ExperimentResult result;
+    eachResultCounter(result, [&](uint64_t &field) { field = r.u64(); });
+    return result;
+}
+
 std::vector<uint8_t>
 packCellResults(const std::vector<IndexedCellResult> &cells)
 {

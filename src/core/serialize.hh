@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "core/analyzed_workload.hh"
+#include "core/byte_io.hh"
 #include "core/experiment.hh"
 #include "core/trace_format.hh"
 #include "core/trace_image.hh"
@@ -207,6 +208,22 @@ void saveCellResults(const std::vector<IndexedCellResult> &cells,
 /** Load + unpack a CASSCR1 file (throws like unpackCellResults). */
 std::vector<IndexedCellResult>
 loadCellResults(const std::string &path);
+
+/**
+ * Number of u64 counters in an ExperimentResult (the CASSCR1 fixed
+ * field list). Containers embedding counter blocks (shard result
+ * sets, the result store) record this count and treat a mismatch as
+ * a stale format — a counter added to the simulator must not be
+ * silently replayed as zero from old entries.
+ */
+size_t experimentResultCounterCount();
+
+/** Append every counter of `result` in the CASSCR1 field order. */
+void packExperimentResult(ByteWriter &w, const ExperimentResult &result);
+
+/** Read experimentResultCounterCount() u64 counters back (CASSCR1
+ * field order; throws std::invalid_argument when truncated). */
+ExperimentResult unpackExperimentResult(ByteReader &r);
 
 } // namespace cassandra::core
 

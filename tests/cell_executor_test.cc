@@ -2,22 +2,32 @@
  * @file
  * Tests for the pluggable cell-execution layer: shard manifest and
  * CASSCR1 cell-result round trips (corrupt files rejected with typed
- * errors), the shards x threads oversubscription cap, and the
- * subprocess executor against the real `run_experiment --worker`
- * binary — 1-shard parity with the in-process executor across every
- * scheme, determinism across shard counts, the crashed-worker retry
- * path and the typed WorkerError with captured stderr.
+ * errors), the shards x threads oversubscription cap, the shard
+ * schedulers (contiguous blocks vs. LPT bin packing over the recorded
+ * cost model), scratch-directory lifetime (removed on success, kept
+ * on failure), and the subprocess executor against the real
+ * `run_experiment --worker` binary — 1-shard parity with the
+ * in-process executor across every scheme, determinism across shard
+ * counts, the crashed-worker retry path and the typed WorkerError
+ * with captured stderr.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
+#include <dirent.h>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
 
 #include "core/cell_executor.hh"
 #include "core/experiment.hh"
+#include "core/experiment_config.hh"
+#include "core/result_store.hh"
 #include "core/serialize.hh"
 #include "crypto/workload_registry.hh"
 
@@ -286,6 +296,203 @@ TEST(SubprocessExecutorTest, WorkerBinaryIsRequired)
 }
 
 // ---------------------------------------------------------------------
+// Shard schedulers
+// ---------------------------------------------------------------------
+
+uint64_t
+shardLoad(const std::vector<uint64_t> &costs,
+          const std::vector<uint32_t> &indices)
+{
+    uint64_t load = 0;
+    for (uint32_t i : indices)
+        load += costs[i];
+    return load;
+}
+
+uint64_t
+maxShardLoad(const std::vector<uint64_t> &costs,
+             const std::vector<std::vector<uint32_t>> &shards)
+{
+    uint64_t max = 0;
+    for (const auto &shard : shards)
+        max = std::max(max, shardLoad(costs, shard));
+    return max;
+}
+
+/** Every index 0..n-1 appears exactly once across the shards. */
+void
+expectCoversAllCells(const std::vector<std::vector<uint32_t>> &shards,
+                     size_t n)
+{
+    std::vector<unsigned> seen(n, 0);
+    for (const auto &shard : shards)
+        for (uint32_t i : shard) {
+            ASSERT_LT(i, n);
+            seen[i]++;
+        }
+    for (size_t i = 0; i < n; i++)
+        EXPECT_EQ(seen[i], 1u) << "cell " << i;
+}
+
+TEST(ShardSchedulerTest, ContiguousReproducesBlockPartition)
+{
+    const std::vector<uint64_t> costs(10, 1);
+    auto shards = core::scheduleShards(core::ShardScheduler::Contiguous,
+                                       costs, 3);
+    ASSERT_EQ(shards.size(), 3u);
+    // The historical split: 10 cells over 3 shards -> 4 + 3 + 3,
+    // in index order.
+    EXPECT_EQ(shards[0],
+              (std::vector<uint32_t>{0, 1, 2, 3}));
+    EXPECT_EQ(shards[1], (std::vector<uint32_t>{4, 5, 6}));
+    EXPECT_EQ(shards[2], (std::vector<uint32_t>{7, 8, 9}));
+}
+
+TEST(ShardSchedulerTest, LptIsolatesTheHugeCell)
+{
+    // One cell dwarfs the rest: contiguous buries it with neighbors,
+    // LPT gives it a shard of its own.
+    const std::vector<uint64_t> costs{100, 1, 1, 1, 1, 1};
+    auto contiguous = core::scheduleShards(
+        core::ShardScheduler::Contiguous, costs, 2);
+    auto lpt =
+        core::scheduleShards(core::ShardScheduler::Lpt, costs, 2);
+    expectCoversAllCells(contiguous, costs.size());
+    expectCoversAllCells(lpt, costs.size());
+    EXPECT_EQ(maxShardLoad(costs, contiguous), 102u); // 100+1+1
+    EXPECT_EQ(maxShardLoad(costs, lpt), 100u);        // alone
+}
+
+TEST(ShardSchedulerTest, LptCoversAllCellsAndLeavesNoShardEmpty)
+{
+    const std::vector<uint64_t> costs{5, 4, 3, 2, 1};
+    auto shards =
+        core::scheduleShards(core::ShardScheduler::Lpt, costs, 3);
+    ASSERT_EQ(shards.size(), 3u);
+    expectCoversAllCells(shards, costs.size());
+    for (const auto &shard : shards) {
+        EXPECT_FALSE(shard.empty());
+        // Within a shard the global indices stay ascending so workers
+        // simulate in plan order.
+        EXPECT_TRUE(std::is_sorted(shard.begin(), shard.end()));
+    }
+}
+
+TEST(ShardSchedulerTest, LptIsDeterministicUnderTies)
+{
+    const std::vector<uint64_t> costs{7, 7, 7, 7, 7, 7, 7, 7};
+    auto first =
+        core::scheduleShards(core::ShardScheduler::Lpt, costs, 3);
+    auto second =
+        core::scheduleShards(core::ShardScheduler::Lpt, costs, 3);
+    EXPECT_EQ(first, second);
+    expectCoversAllCells(first, costs.size());
+}
+
+TEST(ShardSchedulerTest, LptNeverWorseThanContiguous)
+{
+    // A handful of skewed shapes; LPT's max load must never exceed
+    // the contiguous split's.
+    const std::vector<std::vector<uint64_t>> shapes = {
+        {1000, 1, 1, 1, 1, 1, 1, 1},
+        {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12},
+        {50, 50, 1, 1, 50, 50, 1, 1},
+        {9, 9, 9, 1, 1, 1, 1, 1, 1, 1, 1, 1},
+    };
+    for (const auto &costs : shapes) {
+        for (unsigned shards : {2u, 3u, 4u}) {
+            auto contiguous = core::scheduleShards(
+                core::ShardScheduler::Contiguous, costs, shards);
+            auto lpt = core::scheduleShards(core::ShardScheduler::Lpt,
+                                            costs, shards);
+            expectCoversAllCells(lpt, costs.size());
+            EXPECT_LE(maxShardLoad(costs, lpt),
+                      maxShardLoad(costs, contiguous))
+                << costs.size() << " cells / " << shards << " shards";
+        }
+    }
+}
+
+TEST(ShardSchedulerTest, CostsFallBackToStaticOpsWithoutAStore)
+{
+    auto cache = registryCache();
+    ArtifactMap artifacts;
+    artifacts["ChaCha20_ct"] = cache->get("ChaCha20_ct");
+    artifacts["SHAKE"] = cache->get("SHAKE");
+
+    std::vector<PlannedCell> cells;
+    for (const char *name : {"ChaCha20_ct", "SHAKE"})
+        cells.push_back(
+            PlannedCell{name, Scheme::Cassandra, SimConfig{}});
+    auto costs = core::estimateCellCosts(cells, artifacts, nullptr);
+    ASSERT_EQ(costs.size(), 2u);
+    EXPECT_EQ(costs[0], artifacts["ChaCha20_ct"]->numOps());
+    EXPECT_EQ(costs[1], artifacts["SHAKE"]->numOps());
+}
+
+#ifdef CASSANDRA_CONFIG_DIR
+
+/**
+ * Satellite acceptance: on the checked-in skewed smoke config
+ * (kyber768 vs. DES_ct — three orders of magnitude apart), LPT's
+ * max-shard cost beats the contiguous split on the *recorded* cost
+ * model (prior cycles from a warm result store).
+ */
+TEST(ShardSchedulerTest, LptBeatsContiguousOnSkewedSmokeConfig)
+{
+    const auto spec = core::loadExperimentSpec(
+        std::string(CASSANDRA_CONFIG_DIR) + "/ci_smoke_skewed.json");
+    ASSERT_TRUE(spec.schedulerSet);
+    EXPECT_EQ(spec.scheduler, core::ShardScheduler::Lpt);
+
+    // Record the real per-cell cycle counts into a fresh store.
+    const std::string dir =
+        testing::TempDir() + "/skewed-cost-store";
+    RunnerOptions options;
+    options.cacheMode = core::CacheMode::On;
+    options.cacheDir = dir;
+    auto exp = ExperimentRunner(registryCache(), options)
+                   .run(spec.matrix);
+    core::ResultStore store(dir);
+
+    // The planned cells, in the runner's plan order.
+    std::vector<PlannedCell> cells;
+    for (const auto &workload : spec.matrix.workloads)
+        for (Scheme scheme : spec.matrix.schemes)
+            for (const SimConfig &config : spec.matrix.configs) {
+                PlannedCell cell;
+                cell.workload = workload;
+                cell.scheme = scheme;
+                cell.config = config;
+                cells.push_back(cell);
+            }
+    ASSERT_EQ(cells.size(), exp.cells.size());
+
+    auto costs = core::estimateCellCosts(cells, exp.artifacts, &store);
+    // Every cell was just recorded, so every cost is a real cycle
+    // count (the store never returns 0 for a recorded cell).
+    for (size_t i = 0; i < cells.size(); i++) {
+        PlannedCell &cell = cells[i];
+        SimConfig keyed = cell.config;
+        keyed.scheme = cell.scheme;
+        const auto key = core::resultStoreKey(
+            exp.artifacts.at(cell.workload)->workload(), cell.scheme,
+            keyed);
+        EXPECT_EQ(costs[i], store.peekCycles(key)) << "cell " << i;
+        EXPECT_GT(costs[i], 0u);
+    }
+
+    auto contiguous = core::scheduleShards(
+        core::ShardScheduler::Contiguous, costs, 4);
+    auto lpt =
+        core::scheduleShards(core::ShardScheduler::Lpt, costs, 4);
+    expectCoversAllCells(lpt, costs.size());
+    EXPECT_LT(maxShardLoad(costs, lpt), maxShardLoad(costs, contiguous));
+}
+
+#endif // CASSANDRA_CONFIG_DIR
+
+// ---------------------------------------------------------------------
 // Subprocess execution against the real worker binary
 // ---------------------------------------------------------------------
 
@@ -347,6 +554,74 @@ TEST(SubprocessExecutorTest, CrashedWorkerCellsAreRetriedInProcess)
     EXPECT_EQ(executor->stats().shardsLaunched, 2u);
     EXPECT_EQ(executor->stats().shardsFailed, 1u);
     EXPECT_GT(executor->stats().cellsRetried, 0u);
+}
+
+/** Names of the entries (excluding . and ..) in a directory. */
+std::vector<std::string>
+listDir(const std::string &path)
+{
+    std::vector<std::string> names;
+    if (DIR *dir = opendir(path.c_str())) {
+        while (dirent *entry = readdir(dir)) {
+            const std::string name = entry->d_name;
+            if (name != "." && name != "..")
+                names.push_back(name);
+        }
+        closedir(dir);
+    }
+    return names;
+}
+
+TEST(SubprocessExecutorTest, ScratchDirIsRemovedOnSuccess)
+{
+    ASSERT_NE(workerBinary, nullptr);
+    // Process-unique: kept directories from prior (failed) test runs
+    // must not leak into this run's assertions.
+    const std::string base = testing::TempDir() + "/scratch-success-" +
+        std::to_string(getpid());
+    ExperimentMatrix matrix;
+    matrix.workloads = {"ChaCha20_ct"};
+    matrix.schemes = {Scheme::UnsafeBaseline, Scheme::Cassandra};
+
+    SubprocessShardExecutor::Options opts;
+    opts.shards = 2;
+    opts.workerBinary = workerBinary;
+    opts.scratchDir = base;
+    auto executor = std::make_shared<SubprocessShardExecutor>(opts);
+    ExperimentRunner(registryCache(), subprocessOptions(2), executor)
+        .run(matrix);
+
+    // The per-call subdirectory (manifests, result sets, stderr
+    // captures) is swept after a successful run.
+    EXPECT_TRUE(listDir(base).empty());
+}
+
+TEST(SubprocessExecutorTest, ScratchDirIsKeptOnFailure)
+{
+    ASSERT_NE(workerBinary, nullptr);
+    const std::string base = testing::TempDir() + "/scratch-failure-" +
+        std::to_string(getpid());
+    ExperimentMatrix matrix;
+    matrix.workloads = {"ChaCha20_ct"};
+    matrix.schemes = {Scheme::UnsafeBaseline};
+
+    SubprocessShardExecutor::Options opts;
+    opts.shards = 1;
+    opts.workerBinary = workerBinary;
+    opts.scratchDir = base;
+    opts.retryInProcess = false; // make the crash fatal
+    auto executor = std::make_shared<SubprocessShardExecutor>(opts);
+    ExperimentRunner runner(registryCache(), subprocessOptions(1),
+                            executor);
+    ASSERT_EQ(setenv("CASSANDRA_TEST_WORKER_CRASH", "0", 1), 0);
+    EXPECT_THROW(runner.run(matrix), WorkerError);
+    unsetenv("CASSANDRA_TEST_WORKER_CRASH");
+
+    // The failed run's scratch subdirectory survives, with the
+    // manifest and captured stderr inside for debugging.
+    const auto kept = listDir(base);
+    ASSERT_EQ(kept.size(), 1u);
+    EXPECT_FALSE(listDir(base + "/" + kept[0]).empty());
 }
 
 TEST(SubprocessExecutorTest, WorkerFailureIsTypedWithStderr)

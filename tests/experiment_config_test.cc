@@ -197,6 +197,64 @@ TEST(ExperimentConfigTest, TraceCompressionParses)
                  std::invalid_argument);
 }
 
+TEST(ExperimentConfigTest, CacheAndSchedulerParse)
+{
+    // Defaults: cache off, contiguous scheduler, nothing spelled.
+    ExperimentSpec plain = parseExperimentSpec(
+        R"({"workloads": ["A"], "schemes": ["SPT"]})");
+    EXPECT_FALSE(plain.cacheModeSet);
+    EXPECT_EQ(plain.cacheMode, core::CacheMode::Off);
+    EXPECT_TRUE(plain.cacheDir.empty());
+    EXPECT_FALSE(plain.schedulerSet);
+    EXPECT_EQ(plain.scheduler, core::ShardScheduler::Contiguous);
+    EXPECT_TRUE(plain.statsOut.empty());
+
+    ExperimentSpec spec = parseExperimentSpec(R"({
+      "workloads": ["A"],
+      "schemes": ["SPT"],
+      "execution": {"mode": "subprocess", "shards": 4,
+                    "scheduler": "lpt"},
+      "cache": {"mode": "on", "dir": "my-cache"},
+      "report": {"format": "json", "stats_out": "stats.json"}
+    })");
+    EXPECT_TRUE(spec.cacheModeSet);
+    EXPECT_EQ(spec.cacheMode, core::CacheMode::On);
+    EXPECT_EQ(spec.cacheDir, "my-cache");
+    EXPECT_TRUE(spec.schedulerSet);
+    EXPECT_EQ(spec.scheduler, core::ShardScheduler::Lpt);
+    EXPECT_EQ(spec.statsOut, "stats.json");
+
+    // Readonly accepts both spellings.
+    EXPECT_EQ(parseExperimentSpec(
+                  R"({"workloads": ["A"], "schemes": ["SPT"],
+                      "cache": {"mode": "readonly"}})")
+                  .cacheMode,
+              core::CacheMode::Readonly);
+    EXPECT_EQ(parseExperimentSpec(
+                  R"({"workloads": ["A"], "schemes": ["SPT"],
+                      "cache": {"mode": "read-only"}})")
+                  .cacheMode,
+              core::CacheMode::Readonly);
+
+    // Unknown modes, schedulers and keys fail loudly.
+    EXPECT_THROW(parseExperimentSpec(
+                     R"({"workloads": ["A"], "schemes": ["SPT"],
+                         "cache": {"mode": "maybe"}})"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseExperimentSpec(
+                     R"({"workloads": ["A"], "schemes": ["SPT"],
+                         "cache": {"directory": "x"}})"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseExperimentSpec(
+                     R"({"workloads": ["A"], "schemes": ["SPT"],
+                         "execution": {"scheduler": "random"}})"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseExperimentSpec(
+                     R"({"workloads": ["A"], "schemes": ["SPT"],
+                         "cache": {"mode": 1}})"),
+                 std::invalid_argument);
+}
+
 TEST(ExperimentConfigTest, LoadFromFile)
 {
     const std::string path =
