@@ -16,6 +16,7 @@
 #include <numeric>
 
 #include "core/byte_io.hh"
+#include "core/remote_executor.hh"
 #include "core/result_store.hh"
 #include "core/serialize.hh"
 #include "core/trace_stream.hh"
@@ -514,6 +515,10 @@ makeScratchDir(const std::string &base)
         const char *tmp = std::getenv("TMPDIR");
         root = (tmp && *tmp) ? tmp : "/tmp";
     }
+    // A coordinator that crashed (or was SIGKILLed) kept its scratch
+    // for debugging but can never delete it; reclaim any sibling
+    // whose owning pid is gone before adding our own.
+    sweepStaleProcessDirs(root, "cassandra-shards-");
     root += "/cassandra-shards-" + processUniqueSuffix() + "-" +
         std::to_string(sequence.fetch_add(1));
     ensureDirectories(root);
@@ -832,6 +837,18 @@ makeCellExecutor(const RunnerOptions &options,
         opts.scheduler = options.scheduler;
         opts.costSource = std::move(costSource);
         return std::make_shared<SubprocessShardExecutor>(opts);
+    }
+    if (options.execution == ExecutionMode::Remote) {
+        RemoteShardExecutor::Options opts;
+        opts.dropboxDir = options.dropboxDir;
+        opts.shards = options.shards;
+        opts.threads = options.threads;
+        opts.agents = options.agents;
+        opts.agentBinary = options.workerBinary;
+        opts.taskTimeoutMs = options.taskTimeoutMs;
+        opts.scheduler = options.scheduler;
+        opts.costSource = std::move(costSource);
+        return std::make_shared<RemoteShardExecutor>(opts);
     }
     return std::make_shared<InProcessExecutor>(options.threads);
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <map>
 #include <ostream>
 #include <stdexcept>
 #include <thread>
@@ -30,8 +31,14 @@ Experiment::find(const std::string &workload, uarch::Scheme scheme,
 const char *
 executionModeName(ExecutionMode mode)
 {
-    return mode == ExecutionMode::Subprocess ? "subprocess"
-                                             : "inprocess";
+    switch (mode) {
+      case ExecutionMode::Subprocess:
+        return "subprocess";
+      case ExecutionMode::Remote:
+        return "remote";
+      default:
+        return "inprocess";
+    }
 }
 
 ExecutionMode
@@ -42,9 +49,11 @@ executionModeFromName(const std::string &name)
         return ExecutionMode::InProcess;
     if (name == "subprocess")
         return ExecutionMode::Subprocess;
+    if (name == "remote")
+        return ExecutionMode::Remote;
     throw std::invalid_argument(
         "unknown execution mode \"" + name +
-        "\" (expected inprocess or subprocess)");
+        "\" (expected inprocess, subprocess or remote)");
 }
 
 const char *
@@ -331,16 +340,63 @@ ExperimentRunner::run(const std::vector<ExperimentMatrix> &matrices) const
     // Every executor fills the same fixed slots, so the cells come
     // back in matrix order whatever the backend did to run them.
     if (!pending.empty()) {
+        // Opt-in dedup (the cross-job service path): identical cells
+        // — same workload, scheme and canonical sim parameters —
+        // dispatch once; executors are required to be byte-identical
+        // per cell, so replicating the result into every requesting
+        // slot (with each slot's own naming fields) cannot change any
+        // report. owner[j] is pending[j]'s representative in `unique`.
+        std::vector<size_t> owner(pending.size());
+        std::vector<PlannedCell> unique;
+        if (options_.dedupCells) {
+            std::map<std::string, size_t> reps;
+            for (size_t j = 0; j < pending.size(); j++) {
+                const PlannedCell &cell = pending[j];
+                SimConfig cfg = cell.config;
+                cfg.scheme = cell.scheme;
+                char hash[24];
+                std::snprintf(hash, sizeof hash, "%016llx",
+                              static_cast<unsigned long long>(
+                                  canonicalSimConfigHash(cfg)));
+                const std::string key = cell.workload + '\0' +
+                    uarch::schemeName(cell.scheme) + '\0' + hash;
+                const auto [it, inserted] =
+                    reps.emplace(key, unique.size());
+                if (inserted)
+                    unique.push_back(cell);
+                owner[j] = it->second;
+            }
+        } else {
+            unique = pending;
+            for (size_t j = 0; j < pending.size(); j++)
+                owner[j] = j;
+        }
+        exp.telemetry.dedupedCells = pending.size() - unique.size();
+        exp.telemetry.simulatedCells = unique.size();
+
         std::vector<CellResult> fresh =
-            executor_->execute(pending, exp.artifacts);
-        if (fresh.size() != pending.size())
+            executor_->execute(unique, exp.artifacts);
+        if (fresh.size() != unique.size())
             throw std::logic_error("cell executor returned a result "
                                    "vector of the wrong size");
+        std::vector<char> stored(unique.size(), 0);
         for (size_t j = 0; j < pending.size(); j++) {
-            if (store_ && options_.cacheMode == CacheMode::On)
+            const PlannedCell &cell = pending[j];
+            if (store_ && options_.cacheMode == CacheMode::On &&
+                !stored[owner[j]]) {
+                // Duplicates share a store key by construction (the
+                // canonical hash is the key), so one write suffices.
                 store_->store(keys[pending_slots[j]],
-                              fresh[j].result);
-            results[pending_slots[j]] = std::move(fresh[j]);
+                              fresh[owner[j]].result);
+                stored[owner[j]] = 1;
+            }
+            CellResult &out = results[pending_slots[j]];
+            out.workload = cell.workload;
+            out.suite =
+                exp.artifacts.at(cell.workload)->workload().suite;
+            out.scheme = cell.scheme;
+            out.config = cell.config.name;
+            out.result = fresh[owner[j]].result;
         }
         const ScheduleSummary schedule = executor_->lastSchedule();
         if (schedule.valid) {
@@ -353,6 +409,13 @@ ExperimentRunner::run(const std::vector<ExperimentMatrix> &matrices) const
     exp.cells = std::move(results);
 
     if (store_) {
+        // Size-bound GC after the run's writes: long-running service
+        // hosts keep their `.cr` directory under the configured
+        // budget instead of growing without limit.
+        if (options_.cacheGcMb > 0 &&
+            options_.cacheMode == CacheMode::On)
+            exp.telemetry.cacheGcEvictions =
+                store_->gc(options_.cacheGcMb * 1024 * 1024);
         const ResultStore::Stats stats = store_->stats();
         exp.telemetry.cacheHits = stats.hits;
         exp.telemetry.cacheMisses = stats.misses;
@@ -793,6 +856,8 @@ writeRunTelemetry(const RunTelemetry &telemetry, std::ostream &os)
         }
         o.field("cached_cells", telemetry.cachedCells);
         o.field("simulated_cells", telemetry.simulatedCells);
+        o.field("deduped_cells", telemetry.dedupedCells);
+        o.field("gc_evictions", telemetry.cacheGcEvictions);
     }
     os << "\n  },\n  \"schedule\": ";
     if (!telemetry.scheduled) {

@@ -1,0 +1,439 @@
+#include "core/experiment_service.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#if !defined(_WIN32)
+#define CASSANDRA_POSIX_SERVICE 1
+#include <signal.h>
+#endif
+
+#include "core/artifact_store.hh"
+#include "core/byte_io.hh"
+#include "core/experiment_config.hh"
+#include "core/trace_stream.hh"
+
+namespace cassandra::core {
+
+namespace {
+
+constexpr const char *queuePrefix = "queue";
+constexpr const char *activePrefix = "active";
+constexpr const char *donePrefix = "done";
+constexpr const char *stopKey = "stop";
+constexpr const char *statsKey = "service_stats.json";
+constexpr const char *jobSuffix = ".job";
+
+std::vector<uint8_t>
+textBytes(const std::string &text)
+{
+    return std::vector<uint8_t>(text.begin(), text.end());
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+        s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/** True when the pid baked into a claim suffix no longer runs. */
+bool
+claimOwnerDead(const std::string &suffix)
+{
+#if defined(CASSANDRA_POSIX_SERVICE)
+    char *end = nullptr;
+    const long pid = std::strtol(suffix.c_str(), &end, 10);
+    if (pid <= 0 || end == suffix.c_str())
+        return false; // unparsable owner: never steal
+    if (*end != '\0' && *end != '-')
+        return false;
+    errno = 0;
+    return ::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH;
+#else
+    (void)suffix;
+    return false;
+#endif
+}
+
+void
+sleepMs(uint64_t ms)
+{
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+} // namespace
+
+/** One claimed queue entry, parsed as far as it got. */
+struct ExperimentService::Job
+{
+    std::string id;           ///< queue name minus ".job"
+    std::string claimedKey;   ///< our active/ entry
+    std::vector<uint8_t> bytes; ///< the submitted config, verbatim
+    ExperimentSpec spec;
+    ExperimentMatrix matrix; ///< spec matrix with suites expanded
+    std::string error;       ///< non-empty: failed before running
+};
+
+ExperimentService::ExperimentService(Options options)
+    : options_(std::move(options))
+{
+    if (options_.spoolDir.empty())
+        throw std::invalid_argument(
+            "experiment service needs a spool directory");
+    if (!options_.resolver)
+        throw std::invalid_argument(
+            "experiment service needs a workload resolver");
+    spool_ = std::make_shared<LocalDirTransport>(options_.spoolDir);
+    // Cross-job dedup is the service's whole value proposition.
+    RunnerOptions runner_options = options_.runner;
+    runner_options.dedupCells = true;
+    runner_ = std::make_unique<ExperimentRunner>(
+        options_.resolver, std::move(runner_options));
+}
+
+ExperimentService::~ExperimentService() = default;
+
+std::string
+ExperimentService::reportKey(const std::string &job)
+{
+    return std::string(donePrefix) + "/" + job + "/report";
+}
+
+std::string
+ExperimentService::statusKey(const std::string &job)
+{
+    return std::string(donePrefix) + "/" + job + "/status";
+}
+
+std::string
+ExperimentService::telemetryKey(const std::string &job)
+{
+    return std::string(donePrefix) + "/" + job + "/telemetry.json";
+}
+
+std::string
+ExperimentService::submit(const std::string &spool_dir,
+                          const std::string &config_path)
+{
+    const std::vector<uint8_t> bytes =
+        readFileBytes(config_path, "experiment config");
+
+    // Job ids lead with the config basename so operators can tell
+    // jobs apart, then the submitter's process-unique suffix plus a
+    // sequence so concurrent clients never collide.
+    size_t slash = config_path.find_last_of('/');
+    std::string base = slash == std::string::npos
+        ? config_path
+        : config_path.substr(slash + 1);
+    const size_t dot = base.find_last_of('.');
+    if (dot != std::string::npos && dot > 0)
+        base = base.substr(0, dot);
+    for (char &c : base) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+            (c >= '0' && c <= '9') || c == '_' || c == '-';
+        if (!ok)
+            c = '-';
+    }
+    if (base.empty())
+        base = "job";
+
+    static std::atomic<uint64_t> sequence{0};
+    const std::string job = base + "-" + processUniqueSuffix() + "-" +
+        std::to_string(sequence.fetch_add(1));
+
+    LocalDirTransport spool(spool_dir);
+    spool.publish(std::string(queuePrefix) + "/" + job + jobSuffix,
+                  bytes);
+    return job;
+}
+
+std::string
+ExperimentService::waitForJob(const std::string &spool_dir,
+                              const std::string &job, uint64_t timeout_ms,
+                              uint64_t poll_ms)
+{
+    LocalDirTransport spool(spool_dir);
+    const std::string key = statusKey(job);
+    const auto deadline = std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        if (spool.exists(key)) {
+            const std::vector<uint8_t> bytes = spool.fetch(key);
+            return std::string(bytes.begin(), bytes.end());
+        }
+        if (std::chrono::steady_clock::now() >= deadline)
+            return "";
+        sleepMs(poll_ms == 0 ? 1 : poll_ms);
+    }
+}
+
+void
+ExperimentService::requestStop(const std::string &spool_dir)
+{
+    LocalDirTransport(spool_dir).publish(stopKey, textBytes("stop\n"));
+}
+
+void
+ExperimentService::requeueDeadClaims(std::ostream &log)
+{
+    for (const std::string &name : spool_->list(activePrefix)) {
+        // active/<job>.job.<owner suffix>
+        const size_t mark = name.rfind(jobSuffix + std::string("."));
+        if (mark == std::string::npos)
+            continue;
+        const std::string owner =
+            name.substr(mark + std::string(jobSuffix).size() + 1);
+        if (!claimOwnerDead(owner))
+            continue;
+        const std::string queued =
+            name.substr(0, mark + std::string(jobSuffix).size());
+        if (spool_->rename(std::string(activePrefix) + "/" + name,
+                           std::string(queuePrefix) + "/" + queued)) {
+            stats_.jobsRequeued++;
+            log << "service: requeued " << queued
+                << " from dead service " << owner << "\n";
+        }
+    }
+}
+
+std::vector<ExperimentService::Job>
+ExperimentService::claimQueued(std::ostream &log)
+{
+    std::vector<Job> batch;
+    for (const std::string &name : spool_->list(queuePrefix)) {
+        if (!endsWith(name, jobSuffix))
+            continue;
+        Job job;
+        job.id = name.substr(0, name.size() -
+                             std::string(jobSuffix).size());
+        job.claimedKey = std::string(activePrefix) + "/" + name + "." +
+            processUniqueSuffix();
+        // Atomic claim: of N services polling one spool, exactly one
+        // wins each job.
+        if (!spool_->rename(std::string(queuePrefix) + "/" + name,
+                            job.claimedKey))
+            continue;
+        stats_.jobsClaimed++;
+        try {
+            job.bytes = spool_->fetch(job.claimedKey);
+            job.spec = parseExperimentSpec(
+                std::string(job.bytes.begin(), job.bytes.end()));
+            job.matrix = job.spec.matrix;
+            // Same expansion the direct CLI run performs: explicit
+            // workloads first, each suite's names appended in order.
+            for (const std::string &suite : job.spec.suites) {
+                if (!options_.expandSuite)
+                    throw std::invalid_argument(
+                        "job names suite \"" + suite +
+                        "\" but this service has no suite expander");
+                std::vector<std::string> expanded =
+                    options_.expandSuite(suite);
+                if (expanded.empty())
+                    throw std::invalid_argument(
+                        "suite \"" + suite + "\" names no workloads");
+                job.matrix.workloads.insert(job.matrix.workloads.end(),
+                                            expanded.begin(),
+                                            expanded.end());
+            }
+            if (job.matrix.cellCount() == 0)
+                throw std::invalid_argument(
+                    "job describes an empty matrix");
+        } catch (const std::exception &e) {
+            job.error = e.what();
+        }
+        log << "service: claimed " << job.id << " ("
+            << (job.error.empty()
+                    ? std::to_string(job.matrix.cellCount()) + " cells"
+                    : "invalid")
+            << ")\n";
+        batch.push_back(std::move(job));
+    }
+    return batch;
+}
+
+void
+ExperimentService::finishJob(const Job &job, const Experiment &exp,
+                             size_t cell_begin, size_t cell_count)
+{
+    // The job's slice of the batch, presented exactly as a direct
+    // single-config run would present it (reports derive baselines
+    // from the job's own cells only).
+    Experiment job_exp;
+    job_exp.telemetry = exp.telemetry;
+    job_exp.artifacts = exp.artifacts;
+    job_exp.cells.assign(exp.cells.begin() + cell_begin,
+                         exp.cells.begin() + cell_begin + cell_count);
+
+    const std::string format =
+        job.spec.format.empty() ? "table" : job.spec.format;
+    std::ostringstream report;
+    makeReporter(format)->write(job_exp, report);
+    spool_->publish(reportKey(job.id), textBytes(report.str()));
+
+    std::ostringstream telemetry;
+    writeRunTelemetry(exp.telemetry, telemetry);
+    spool_->publish(telemetryKey(job.id), textBytes(telemetry.str()));
+
+    spool_->publish(std::string(donePrefix) + "/" + job.id +
+                        "/job.json",
+                    job.bytes);
+    // The status file is the completion signal pollers wait on, so it
+    // goes last — every other result file is in place when it appears.
+    spool_->publish(statusKey(job.id), textBytes("ok\n"));
+    spool_->remove(job.claimedKey);
+}
+
+void
+ExperimentService::failJob(const Job &job, const std::string &message,
+                           std::ostream &log)
+{
+    if (!job.bytes.empty())
+        spool_->publish(std::string(donePrefix) + "/" + job.id +
+                            "/job.json",
+                        job.bytes);
+    spool_->publish(statusKey(job.id),
+                    textBytes("error: " + message + "\n"));
+    spool_->remove(job.claimedKey);
+    stats_.jobsFailed++;
+    log << "service: failed " << job.id << ": " << message << "\n";
+}
+
+void
+ExperimentService::runBatch(std::vector<Job> &batch, std::ostream &log)
+{
+    stats_.batches++;
+    std::vector<size_t> good;
+    for (size_t i = 0; i < batch.size(); i++) {
+        if (batch[i].error.empty())
+            good.push_back(i);
+        else
+            failJob(batch[i], batch[i].error, log);
+    }
+    if (good.empty())
+        return;
+
+    std::vector<ExperimentMatrix> matrices;
+    matrices.reserve(good.size());
+    for (size_t g : good)
+        matrices.push_back(batch[g].matrix);
+
+    const auto account = [this](const Experiment &exp) {
+        stats_.cellsTotal += exp.cells.size();
+        stats_.cellsDeduped += exp.telemetry.dedupedCells;
+        stats_.cellsCached += exp.telemetry.cachedCells;
+        stats_.cellsSimulated += exp.telemetry.simulatedCells;
+    };
+
+    try {
+        // The whole batch as ONE run: one shared analysis phase, one
+        // dedup pass across every job's cells, one dispatch.
+        const Experiment exp = runner_->run(matrices);
+        size_t offset = 0;
+        for (size_t i = 0; i < good.size(); i++) {
+            const size_t count = matrices[i].cellCount();
+            finishJob(batch[good[i]], exp, offset, count);
+            offset += count;
+            stats_.jobsDone++;
+            log << "service: done " << batch[good[i]].id << " ("
+                << count << " cells)\n";
+        }
+        account(exp);
+        log << "service: batch of " << good.size() << " job(s), "
+            << exp.cells.size() << " cells, "
+            << exp.telemetry.dedupedCells << " deduped, "
+            << exp.telemetry.cachedCells << " cached, "
+            << exp.telemetry.simulatedCells << " simulated\n";
+        return;
+    } catch (const std::exception &e) {
+        log << "service: batch failed (" << e.what()
+            << "); isolating jobs\n";
+    }
+
+    // One bad job (unknown workload, broken artifact) must not poison
+    // its batch-mates: fall back to running each job alone.
+    for (size_t g : good) {
+        try {
+            const Experiment exp = runner_->run(batch[g].matrix);
+            finishJob(batch[g], exp, 0, exp.cells.size());
+            account(exp);
+            stats_.jobsDone++;
+            log << "service: done " << batch[g].id << " (isolated, "
+                << exp.cells.size() << " cells)\n";
+        } catch (const std::exception &e) {
+            failJob(batch[g], e.what(), log);
+        }
+    }
+}
+
+void
+ExperimentService::writeServiceStats()
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"jobs\": {\"claimed\": " << stats_.jobsClaimed
+       << ", \"done\": " << stats_.jobsDone
+       << ", \"failed\": " << stats_.jobsFailed
+       << ", \"requeued\": " << stats_.jobsRequeued << "},\n"
+       << "  \"batches\": " << stats_.batches << ",\n"
+       << "  \"cells\": {\"total\": " << stats_.cellsTotal
+       << ", \"deduped\": " << stats_.cellsDeduped
+       << ", \"cached\": " << stats_.cellsCached
+       << ", \"simulated\": " << stats_.cellsSimulated << "}\n"
+       << "}\n";
+    spool_->publish(statsKey, textBytes(os.str()));
+}
+
+int
+ExperimentService::serve(std::ostream &log)
+{
+    try {
+        log << "service: spool " << spool_->root() << ", execution "
+            << executionModeName(options_.runner.execution) << "\n";
+        requeueDeadClaims(log);
+        uint64_t idle_ms = 0;
+        for (;;) {
+            if (spool_->exists(stopKey)) {
+                log << "service: stop flag raised\n";
+                break;
+            }
+            std::vector<Job> batch = claimQueued(log);
+            if (batch.empty()) {
+                if (options_.idleExitMs != 0 &&
+                    idle_ms >= options_.idleExitMs) {
+                    log << "service: idle for " << idle_ms
+                        << " ms, exiting\n";
+                    break;
+                }
+                const uint64_t step =
+                    options_.pollMs == 0 ? 1 : options_.pollMs;
+                sleepMs(step);
+                idle_ms += step;
+                continue;
+            }
+            idle_ms = 0;
+            runBatch(batch, log);
+            writeServiceStats();
+            if (options_.maxJobs != 0 &&
+                stats_.jobsDone + stats_.jobsFailed >=
+                    options_.maxJobs) {
+                log << "service: reached max jobs ("
+                    << options_.maxJobs << "), exiting\n";
+                break;
+            }
+        }
+        writeServiceStats();
+        return 0;
+    } catch (const std::exception &e) {
+        log << "service: fatal: " << e.what() << "\n";
+        return 1;
+    }
+}
+
+} // namespace cassandra::core

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The long-running experiment service: queued sweep configs in, merged
+ * cross-job batches through one shared runner, per-job reports out.
+ *
+ * Clients drop ordinary experiment-config JSON files into a spool
+ * directory (`run_experiment --submit CONFIG` is the one-line client);
+ * the service (`run_experiment --serve`) claims everything queued,
+ * parses each job, and runs the whole batch as ONE
+ * ExperimentRunner::run(matrices) call over a shared AnalysisCache and
+ * ResultStore with RunnerOptions::dedupCells on — so overlapping
+ * sweeps from different clients analyze each workload once and
+ * simulate each distinct (workload, scheme, config-geometry) cell
+ * once, no matter how many jobs asked for it. Cells split back to
+ * their jobs by position (run(matrices) concatenates in matrix
+ * order), so every job's report is byte-identical to a direct
+ * single-process run of its config.
+ *
+ * Spool layout (all writes atomic tmp+rename, via LocalDirTransport):
+ *
+ *   <spool>/queue/<job>.job            submitted configs (FIFO-ish)
+ *   <spool>/active/<job>.job.<pid>     claimed by a running service
+ *   <spool>/done/<job>/report          the job's merged report
+ *   <spool>/done/<job>/telemetry.json  batch RunTelemetry (dedup proof)
+ *   <spool>/done/<job>/job.json        the submitted config, archived
+ *   <spool>/done/<job>/status          "ok" | "error: ..." — written
+ *                                      LAST, so its existence is the
+ *                                      job-completion signal pollers
+ *                                      wait on
+ *   <spool>/stop                       makes the service exit its loop
+ *   <spool>/service_stats.json         live service counters
+ *
+ * Claims carry the service pid, so concurrent services on one spool
+ * never double-run a job (rename wins exactly once) and a restarted
+ * service requeues only jobs whose owner is dead.
+ *
+ * Core stays registry-agnostic: suite tags in job configs expand
+ * through the caller-supplied SuiteExpander hook (the bench layer
+ * passes the WorkloadRegistry).
+ */
+
+#ifndef CASSANDRA_CORE_EXPERIMENT_SERVICE_HH
+#define CASSANDRA_CORE_EXPERIMENT_SERVICE_HH
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace cassandra::core {
+
+/** Queued-sweep coordinator over a spool directory (file comment). */
+class ExperimentService
+{
+  public:
+    /** Suite tag -> workload names (empty result = unknown suite). */
+    using SuiteExpander =
+        std::function<std::vector<std::string>(const std::string &)>;
+
+    struct Options
+    {
+        /** Spool directory (required; created with parents). */
+        std::string spoolDir;
+        /** Workload resolver for the shared analysis cache. */
+        WorkloadResolver resolver;
+        /**
+         * Runner configuration shared by every batch (threads,
+         * execution backend, result store, ...). dedupCells is
+         * forced on — cross-job dedup is the point of the service.
+         */
+        RunnerOptions runner;
+        /** Suite expansion hook; jobs naming suites fail without it. */
+        SuiteExpander expandSuite;
+        /** Queue poll interval while idle. */
+        uint64_t pollMs = 100;
+        /** Exit after this long with no work (0 = wait for stop). */
+        uint64_t idleExitMs = 0;
+        /** Exit after completing this many jobs (0 = unlimited) —
+         * lets smoke tests run the real loop with a bounded life. */
+        unsigned maxJobs = 0;
+    };
+
+    /** Observable service counters (also service_stats.json). */
+    struct Stats
+    {
+        uint64_t jobsClaimed = 0;
+        uint64_t jobsDone = 0;
+        uint64_t jobsFailed = 0;
+        uint64_t jobsRequeued = 0; ///< dead-service claims recovered
+        uint64_t batches = 0;
+        uint64_t cellsTotal = 0;     ///< across all jobs, pre-dedup
+        uint64_t cellsDeduped = 0;   ///< cross-job duplicates collapsed
+        uint64_t cellsCached = 0;    ///< replayed from the result store
+        uint64_t cellsSimulated = 0; ///< actually dispatched
+    };
+
+    /** @throws std::invalid_argument on a missing spool/resolver. */
+    explicit ExperimentService(Options options);
+    ~ExperimentService();
+
+    /**
+     * The serve loop: requeue dead claims, then claim/batch/run/report
+     * until the stop flag rises (or idleExitMs/maxJobs). One line per
+     * job and batch on `log`. Returns 0 on a clean stop, 1 when the
+     * loop died on an unexpected exception.
+     */
+    int serve(std::ostream &log);
+
+    const Stats &stats() const { return stats_; }
+
+    /** The runner jobs batch through (tests inspect its store). */
+    ExperimentRunner &runner() const { return *runner_; }
+
+    // -- client side (static: no service instance needed) ------------
+
+    /**
+     * Queue a config file: atomically publish its bytes as
+     * <spool>/queue/<job>.job. Returns the job id.
+     * @throws std::runtime_error when the config cannot be read.
+     */
+    static std::string submit(const std::string &spool_dir,
+                              const std::string &config_path);
+
+    /**
+     * Poll until the job's status file exists (or `timeout_ms`
+     * passes). Returns the status text ("ok" / "error: ..."), empty
+     * on timeout.
+     */
+    static std::string waitForJob(const std::string &spool_dir,
+                                  const std::string &job,
+                                  uint64_t timeout_ms,
+                                  uint64_t poll_ms = 100);
+
+    /** Raise the stop flag a running service's loop honors. */
+    static void requestStop(const std::string &spool_dir);
+
+    /** Spool-relative result paths of a job. */
+    static std::string reportKey(const std::string &job);
+    static std::string statusKey(const std::string &job);
+    static std::string telemetryKey(const std::string &job);
+
+  private:
+    struct Job;
+
+    void requeueDeadClaims(std::ostream &log);
+    std::vector<Job> claimQueued(std::ostream &log);
+    void runBatch(std::vector<Job> &batch, std::ostream &log);
+    void finishJob(const Job &job, const Experiment &exp,
+                   size_t cell_begin, size_t cell_count);
+    void failJob(const Job &job, const std::string &message,
+                 std::ostream &log);
+    void writeServiceStats();
+
+    Options options_;
+    std::shared_ptr<class LocalDirTransport> spool_;
+    std::unique_ptr<ExperimentRunner> runner_;
+    Stats stats_;
+};
+
+} // namespace cassandra::core
+
+#endif // CASSANDRA_CORE_EXPERIMENT_SERVICE_HH

@@ -1,0 +1,468 @@
+#include "core/remote_executor.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+
+#include "core/artifact_store.hh"
+#include "core/serialize.hh"
+#include "core/trace_stream.hh"
+
+#if !defined(_WIN32)
+#define CASSANDRA_POSIX_AGENTS 1
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace cassandra::core {
+
+namespace {
+
+void
+sleepMs(uint64_t ms)
+{
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+std::string
+tempRoot()
+{
+    const char *tmp = std::getenv("TMPDIR");
+    return (tmp && *tmp) ? tmp : "/tmp";
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Agent loop (run_experiment --agent)
+// ---------------------------------------------------------------------
+
+int
+runShardAgent(const AgentOptions &options,
+              const AnalysisCache::Resolver &resolver, std::ostream &log)
+{
+    try {
+        if (options.inboxDir.empty())
+            throw std::invalid_argument(
+                "agent mode needs a drop-box directory (--inbox=DIR)");
+        ArtifactStore store(options.inboxDir);
+        const std::string token = makeAgentToken();
+
+        // Agent-local scratch for rehydrated trace streams; sweep
+        // siblings abandoned by dead agents first (crashed agents
+        // cannot clean up after themselves).
+        const std::string root = tempRoot();
+        sweepStaleProcessDirs(root, "cassandra-agent-");
+        const std::string scratch =
+            root + "/cassandra-agent-" + token;
+        ensureDirectories(scratch);
+
+        // Snapshots are content-addressed, so one fetch serves every
+        // task that references the key for the life of the agent.
+        std::map<std::string, AnalyzedWorkload::Ptr> by_key;
+
+        uint64_t idle_ms = 0;
+        while (!store.agentStopRequested()) {
+            const std::string task = store.claimTask(token);
+            if (task.empty()) {
+                if (options.idleExitMs &&
+                    idle_ms >= options.idleExitMs)
+                    break;
+                sleepMs(options.pollMs);
+                idle_ms += options.pollMs;
+                continue;
+            }
+            idle_ms = 0;
+            try {
+                const ShardManifest manifest = unpackShardManifest(
+                    store.fetchClaimedTask(task, token));
+                // Same fault hook the subprocess workers honor, so
+                // the coordinator retry path is testable here too.
+                if (const char *crash =
+                        std::getenv("CASSANDRA_TEST_WORKER_CRASH")) {
+                    if (std::to_string(manifest.shardIndex) == crash) {
+                        store.publishError(
+                            task, token,
+                            "injected crash "
+                            "(CASSANDRA_TEST_WORKER_CRASH)");
+                        log << "agent " << token << ": " << task
+                            << " injected crash" << std::endl;
+                        continue;
+                    }
+                }
+                ArtifactMap artifacts;
+                for (const auto &[name, key] : manifest.artifacts) {
+                    auto it = by_key.find(key);
+                    if (it == by_key.end())
+                        it = by_key
+                                 .emplace(key,
+                                          unpackAnalyzedWorkload(
+                                              store.fetchArtifact(key),
+                                              resolver, scratch))
+                                 .first;
+                    artifacts.emplace(name, it->second);
+                }
+                InProcessExecutor executor(
+                    options.threads ? options.threads
+                                    : manifest.workerThreads);
+                std::vector<CellResult> results =
+                    executor.execute(manifest.cells, artifacts);
+                std::vector<IndexedCellResult> indexed;
+                indexed.reserve(results.size());
+                for (size_t i = 0; i < results.size(); i++)
+                    indexed.push_back(
+                        IndexedCellResult{manifest.indices[i],
+                                          std::move(results[i])});
+                store.publishResult(task, token,
+                                    packCellResults(indexed));
+                log << "agent " << token << ": " << task << " done ("
+                    << indexed.size() << " cells)" << std::endl;
+            } catch (const std::exception &e) {
+                // A bad task must not kill the agent: report the
+                // failure and keep polling.
+                store.publishError(task, token, e.what());
+                log << "agent " << token << ": " << task
+                    << " failed: " << e.what() << std::endl;
+            }
+        }
+        removeDirectoryTree(scratch);
+        return 0;
+    } catch (const std::exception &e) {
+        log << "agent failed: " << e.what() << std::endl;
+        return 1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// RemoteShardExecutor
+// ---------------------------------------------------------------------
+
+RemoteShardExecutor::RemoteShardExecutor(Options options)
+    : options_(std::move(options))
+{
+    if (options_.store)
+        store_ = options_.store;
+    else if (!options_.dropboxDir.empty())
+        store_ = std::make_shared<ArtifactStore>(options_.dropboxDir);
+    else
+        throw std::invalid_argument(
+            "remote execution needs a drop box (set "
+            "RunnerOptions::dropboxDir or \"execution\": "
+            "{\"dropbox\": ...})");
+    if (options_.agents > 0 && options_.agentBinary.empty())
+        throw std::invalid_argument(
+            "remote execution with spawned agents needs an agent "
+            "binary (the run_experiment binary)");
+}
+
+namespace {
+
+/** One published task the coordinator is waiting on. */
+struct RemoteTask
+{
+    unsigned shard = 0;
+    std::string name;
+    std::vector<uint32_t> indices; ///< global cell indices (sorted)
+    std::chrono::steady_clock::time_point deadline;
+    bool resolved = false;
+    bool failed = false;
+    std::string detail;
+};
+
+#if defined(CASSANDRA_POSIX_AGENTS)
+
+pid_t
+spawnAgent(const std::string &binary,
+           const std::vector<std::string> &args)
+{
+    std::vector<char *> argv;
+    argv.push_back(const_cast<char *>(binary.c_str()));
+    for (const std::string &arg : args)
+        argv.push_back(const_cast<char *>(arg.c_str()));
+    argv.push_back(nullptr);
+    const pid_t pid = fork();
+    if (pid < 0)
+        throw std::runtime_error("cannot fork shard agent");
+    if (pid == 0) {
+        execv(binary.c_str(), argv.data());
+        _exit(127);
+    }
+    return pid;
+}
+
+#endif // CASSANDRA_POSIX_AGENTS
+
+} // namespace
+
+std::vector<CellResult>
+RemoteShardExecutor::execute(const std::vector<PlannedCell> &cells,
+                             const ArtifactMap &artifacts)
+{
+    if (cells.empty())
+        return {};
+
+    RunnerOptions base(options_.threads);
+    base.shards = options_.shards;
+    const unsigned shards = base.resolveShards(cells.size());
+    const unsigned worker_threads =
+        base.resolveThreads(cells.size(), shards);
+
+    // Content-addressed snapshot publish: a fingerprint already in
+    // the box (this run, a previous run, another coordinator) is
+    // never uploaded again.
+    std::map<std::string, std::string> snapshot_keys;
+    for (const PlannedCell &cell : cells) {
+        if (snapshot_keys.count(cell.workload))
+            continue;
+        const AnalyzedWorkload::Ptr &artifact =
+            artifacts.at(cell.workload);
+        const std::string key = ArtifactStore::artifactKey(
+            workloadFingerprint(artifact->workload()),
+            artifactFormatVersion);
+        store_->publishArtifactOnce(
+            key, packAnalyzedWorkload(*artifact, cell.workload));
+        snapshot_keys.emplace(cell.workload, key);
+    }
+
+    const std::vector<uint64_t> costs =
+        estimateCellCosts(cells, artifacts, options_.costSource.get());
+    const std::vector<std::vector<uint32_t>> partition =
+        scheduleShards(options_.scheduler, costs, shards);
+    schedule_ = ScheduleSummary{};
+    schedule_.valid = true;
+    schedule_.scheduler = options_.scheduler;
+    for (const std::vector<uint32_t> &assigned : partition) {
+        uint64_t shard_cost = 0;
+        for (uint32_t i : assigned)
+            shard_cost += costs[i];
+        schedule_.shardCosts.push_back(shard_cost);
+    }
+
+    // Run-unique task names: a straggler agent finishing a withdrawn
+    // task from a previous run can never be mistaken for ours.
+    static std::atomic<uint64_t> run_sequence{0};
+    const std::string run_tag = "run-" + processUniqueSuffix() + "-" +
+        std::to_string(run_sequence.fetch_add(1));
+
+    std::vector<RemoteTask> tasks;
+    const auto now = std::chrono::steady_clock::now();
+    for (unsigned s = 0; s < shards; s++) {
+        RemoteTask task;
+        task.shard = s;
+        task.name = run_tag + "-shard-" + std::to_string(s);
+        task.indices = partition[s];
+        task.deadline = now +
+            std::chrono::milliseconds(options_.taskTimeoutMs);
+
+        ShardManifest manifest;
+        manifest.shardIndex = s;
+        manifest.workerThreads = worker_threads;
+        manifest.streamDir = ""; // agents rehydrate into own scratch
+        for (uint32_t i : task.indices) {
+            manifest.indices.push_back(i);
+            manifest.cells.push_back(cells[i]);
+        }
+        for (const auto &[name, key] : snapshot_keys) {
+            bool used = false;
+            for (const PlannedCell &cell : manifest.cells)
+                used = used || cell.workload == name;
+            if (used)
+                manifest.artifacts.emplace_back(name, key);
+        }
+        store_->publishTask(task.name, packShardManifest(manifest));
+        stats_.tasksPublished++;
+        tasks.push_back(std::move(task));
+    }
+
+    // Local agent pool for this run, when requested. Spawned agents
+    // also idle-exit on their own, so a coordinator killed before the
+    // reap below cannot leave immortal pollers behind.
+    std::vector<long> agent_pids;
+#if defined(CASSANDRA_POSIX_AGENTS)
+    std::string box_dir = options_.dropboxDir;
+    if (box_dir.empty() && options_.agents > 0) {
+        // Injected store: spawned agents need a directory to poll.
+        auto *local =
+            dynamic_cast<LocalDirTransport *>(&store_->transport());
+        if (!local)
+            throw std::runtime_error(
+                "cannot spawn local agents for a non-directory "
+                "transport; run a standing agent pool instead");
+        box_dir = local->root();
+    }
+    for (unsigned a = 0; a < options_.agents; a++) {
+        agent_pids.push_back(spawnAgent(
+            options_.agentBinary,
+            {"--agent", "--inbox=" + box_dir,
+             "--poll-ms=10",
+             "--idle-exit-ms=" +
+                 std::to_string(options_.taskTimeoutMs * 2)}));
+        stats_.agentsSpawned++;
+    }
+#else
+    if (options_.agents > 0)
+        throw std::runtime_error(
+            "spawning local agents is not supported on this platform");
+#endif
+
+    auto reap_agents = [&]() {
+#if defined(CASSANDRA_POSIX_AGENTS)
+        for (long pid : agent_pids) {
+            kill(static_cast<pid_t>(pid), SIGTERM);
+            int status = 0;
+            while (waitpid(static_cast<pid_t>(pid), &status, 0) < 0 &&
+                   errno == EINTR) {
+            }
+        }
+        agent_pids.clear();
+#endif
+    };
+    // Drop every key this run put into the box (inbox, outbox —
+    // claimed entries belong to their agent; gc() requeues orphans).
+    auto scrub_tasks = [&]() {
+        for (const RemoteTask &task : tasks) {
+            store_->withdrawTask(task.name);
+            store_->transport().remove(
+                ArtifactStore::resultKey(task.name));
+            store_->transport().remove(
+                ArtifactStore::errorKey(task.name));
+        }
+    };
+
+    try {
+        std::vector<CellResult> results(cells.size());
+        std::vector<char> have(cells.size(), 0);
+
+        size_t open = tasks.size();
+        while (open > 0) {
+            bool progressed = false;
+            for (RemoteTask &task : tasks) {
+                if (task.resolved)
+                    continue;
+                if (store_->transport().exists(
+                        ArtifactStore::resultKey(task.name))) {
+                    try {
+                        std::vector<IndexedCellResult> partial =
+                            unpackCellResults(store_->transport().fetch(
+                                ArtifactStore::resultKey(task.name)));
+                        if (partial.size() != task.indices.size())
+                            throw std::invalid_argument(
+                                "task returned " +
+                                std::to_string(partial.size()) +
+                                " cells, expected " +
+                                std::to_string(task.indices.size()));
+                        for (IndexedCellResult &entry : partial) {
+                            if (!std::binary_search(
+                                    task.indices.begin(),
+                                    task.indices.end(), entry.index) ||
+                                have[entry.index])
+                                throw std::invalid_argument(
+                                    "task returned cell index " +
+                                    std::to_string(entry.index) +
+                                    " outside its assignment");
+                            results[entry.index] =
+                                std::move(entry.cell);
+                            have[entry.index] = 1;
+                        }
+                        stats_.tasksCompleted++;
+                    } catch (const std::exception &e) {
+                        task.failed = true;
+                        task.detail = e.what();
+                        stats_.tasksFailed++;
+                    }
+                    store_->transport().remove(
+                        ArtifactStore::resultKey(task.name));
+                    task.resolved = true;
+                } else if (store_->transport().exists(
+                               ArtifactStore::errorKey(task.name))) {
+                    const std::vector<uint8_t> msg =
+                        store_->transport().fetch(
+                            ArtifactStore::errorKey(task.name));
+                    store_->transport().remove(
+                        ArtifactStore::errorKey(task.name));
+                    task.failed = true;
+                    task.detail = "agent reported: " +
+                        std::string(msg.begin(), msg.end());
+                    task.resolved = true;
+                    stats_.tasksFailed++;
+                } else if (std::chrono::steady_clock::now() >
+                           task.deadline) {
+                    // Unclaimed or lost: pull it back so no agent
+                    // starts it after we have retried the cells.
+                    store_->withdrawTask(task.name);
+                    task.failed = true;
+                    task.detail = "no result within " +
+                        std::to_string(options_.taskTimeoutMs) +
+                        " ms (agent pool empty, lost or stuck)";
+                    task.resolved = true;
+                    stats_.tasksTimedOut++;
+                } else {
+                    continue;
+                }
+                progressed = true;
+                open--;
+            }
+            if (open > 0 && !progressed)
+                sleepMs(options_.pollMs);
+        }
+
+        // Failed/timed-out tasks: one in-process retry before the run
+        // fails — identical policy to the subprocess backend.
+        for (const RemoteTask &task : tasks) {
+            if (!task.failed)
+                continue;
+            if (!options_.retryInProcess)
+                throw WorkerError(task.shard, task.detail, "");
+            std::fprintf(stderr,
+                         "remote task %s: %s; retrying its %zu cells "
+                         "in-process\n",
+                         task.name.c_str(), task.detail.c_str(),
+                         task.indices.size());
+            try {
+                std::vector<PlannedCell> retry_cells;
+                retry_cells.reserve(task.indices.size());
+                for (uint32_t i : task.indices)
+                    retry_cells.push_back(cells[i]);
+                std::vector<CellResult> retried =
+                    InProcessExecutor(options_.threads)
+                        .execute(retry_cells, artifacts);
+                for (size_t i = 0; i < retried.size(); i++) {
+                    results[task.indices[i]] = std::move(retried[i]);
+                    have[task.indices[i]] = 1;
+                }
+                stats_.cellsRetried += task.indices.size();
+            } catch (const std::exception &e) {
+                throw WorkerError(task.shard,
+                                  task.detail +
+                                      "; in-process retry failed: " +
+                                      e.what(),
+                                  "");
+            }
+        }
+
+        for (size_t i = 0; i < cells.size(); i++) {
+            if (!have[i])
+                throw std::logic_error(
+                    "remote merge left cell " + std::to_string(i) +
+                    " unfilled");
+        }
+        reap_agents();
+        scrub_tasks();
+        return results;
+    } catch (...) {
+        reap_agents();
+        scrub_tasks();
+        throw;
+    }
+}
+
+} // namespace cassandra::core

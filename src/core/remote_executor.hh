@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Remote shard dispatch over the content-addressed artifact store.
+ *
+ * RemoteShardExecutor is the third core::CellExecutor backend. Where
+ * SubprocessShardExecutor hands shard manifests to fork/exec'd
+ * children through a private scratch directory, the remote executor
+ * publishes the same CASSSM1 manifests (and CASSAW4 snapshots) into a
+ * shared ArtifactStore drop box and lets *agents* — independent
+ * `run_experiment --agent --inbox=DIR` processes, on this host or any
+ * host that can see the box — claim tasks, execute them and publish
+ * CASSCR1 result sets back:
+ *
+ *   coordinator                      drop box              agents
+ *   ----------                       --------              ------
+ *   publishArtifactOnce(.aw) ---->   artifacts/
+ *   publishTask(.sm)         ---->   tasks/inbox/   ---->  claimTask
+ *                                    tasks/claimed/        execute
+ *   poll results             <----   tasks/outbox/  <----  publishResult
+ *
+ * Differences from the subprocess backend that matter to callers:
+ *
+ *  - Snapshots are content-addressed (workload fingerprint + CASSAW
+ *    version), so across runs, sweeps and coordinators each distinct
+ *    workload uploads exactly once (ArtifactStore::Stats proves it).
+ *  - Manifests carry store *keys*, not filesystem paths; agents
+ *    resolve them through checksum-validated fetches and rehydrate
+ *    trace streams into their own scratch.
+ *  - Failure handling is deadline-based: a task with no result after
+ *    Options::taskTimeoutMs is withdrawn and its cells retried once
+ *    in-process (the PR 5 retry path) — covering lost agents, crashed
+ *    agents (which publish an error report) and an empty agent pool
+ *    alike. Run-unique task names make a late straggler result
+ *    harmless.
+ *
+ * The executor can spawn its own local agent pool for the duration of
+ * one execute() call (Options::agents / agentBinary) — the zero-setup
+ * path the CLI uses — or publish into a box serviced by a standing
+ * pool (Options::agents == 0), which is how a long-running service
+ * host shares agents across many runs.
+ */
+
+#ifndef CASSANDRA_CORE_REMOTE_EXECUTOR_HH
+#define CASSANDRA_CORE_REMOTE_EXECUTOR_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "core/cell_executor.hh"
+
+namespace cassandra::core {
+
+class ArtifactStore;
+
+/** Agent-side knobs (the `run_experiment --agent` loop). */
+struct AgentOptions
+{
+    /** Drop-box directory to poll (required). */
+    std::string inboxDir;
+    /** Thread budget per task; 0 honors the manifest's workerThreads. */
+    unsigned threads = 0;
+    /** Poll interval while the inbox is empty. */
+    uint64_t pollMs = 50;
+    /**
+     * Exit after this long with no work (0 = poll until the box's
+     * stop flag rises). Coordinator-spawned pools set a small value
+     * so orphaned agents cannot outlive their run forever.
+     */
+    uint64_t idleExitMs = 0;
+};
+
+/**
+ * The agent main loop: claim tasks from the box, fetch + validate the
+ * referenced snapshots, execute the cells in-process and publish
+ * CASSCR1 results (errors become error reports, not agent deaths).
+ * Returns 0 on a clean stop (stop flag or idle exit). Honors the
+ * CASSANDRA_TEST_WORKER_CRASH hook: a manifest whose shard index
+ * matches publishes an injected-crash error report instead of results
+ * (exercises the coordinator's retry path). `log` gets one line per
+ * task for service logs.
+ */
+int runShardAgent(const AgentOptions &options,
+                  const AnalysisCache::Resolver &resolver,
+                  std::ostream &log);
+
+/** Phase-2 cells dispatched through a drop box to agent processes. */
+class RemoteShardExecutor : public CellExecutor
+{
+  public:
+    struct Options
+    {
+        /** Drop-box directory (required unless `store` is injected). */
+        std::string dropboxDir;
+        /** Injected store (tests, custom transports); overrides
+         * dropboxDir when set. */
+        std::shared_ptr<ArtifactStore> store;
+        /** Shard (task) count; 0 = auto (RunnerOptions::resolveShards). */
+        unsigned shards = 0;
+        /** Coordinator-side thread request; per-task budgets derive
+         * from it exactly like the subprocess backend. */
+        unsigned threads = 0;
+        /**
+         * Local agents to spawn for the duration of execute(); 0
+         * relies on a standing pool already polling the box.
+         */
+        unsigned agents = 0;
+        /** Binary implementing `--agent` (required when agents > 0). */
+        std::string agentBinary;
+        /** Per-task deadline before the coordinator gives up on the
+         * box and retries the task's cells in-process. */
+        uint64_t taskTimeoutMs = 120000;
+        /** Coordinator poll interval for outbox results. */
+        uint64_t pollMs = 20;
+        /** Retry timed-out/failed tasks in-process before failing the
+         * run (disabled, they raise WorkerError directly). */
+        bool retryInProcess = true;
+        /** Shard partitioning policy (see scheduleShards). */
+        ShardScheduler scheduler = ShardScheduler::Contiguous;
+        /** Prior-cycles source for the Lpt cost model (may be null). */
+        std::shared_ptr<const ResultStore> costSource;
+    };
+
+    /** Cumulative backend counters. */
+    struct Stats
+    {
+        uint64_t tasksPublished = 0;
+        uint64_t tasksCompleted = 0; ///< merged from an outbox result
+        uint64_t tasksFailed = 0;    ///< agent published an error
+        uint64_t tasksTimedOut = 0;  ///< deadline passed, withdrawn
+        uint64_t cellsRetried = 0;   ///< recovered in-process
+        uint64_t agentsSpawned = 0;
+    };
+
+    /** @throws std::invalid_argument when neither dropboxDir nor
+     * store is set, or agents > 0 with an empty agentBinary. */
+    explicit RemoteShardExecutor(Options options);
+
+    const char *name() const override { return "remote"; }
+    std::vector<CellResult>
+    execute(const std::vector<PlannedCell> &cells,
+            const ArtifactMap &artifacts) override;
+
+    ScheduleSummary lastSchedule() const override { return schedule_; }
+
+    const Stats &stats() const { return stats_; }
+
+    /** The store execute() publishes through (upload/reuse counters
+     * live here — how tests prove upload-once per fingerprint). */
+    ArtifactStore &store() const { return *store_; }
+
+  private:
+    Options options_;
+    std::shared_ptr<ArtifactStore> store_;
+    Stats stats_;
+    ScheduleSummary schedule_;
+};
+
+} // namespace cassandra::core
+
+#endif // CASSANDRA_CORE_REMOTE_EXECUTOR_HH
