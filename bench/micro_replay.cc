@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for trace replay throughput: the
+ * scalar next() path versus the batched SoA nextBatch() paths, over
+ * both source kinds (in-memory TraceSpanSource and on-disk
+ * TraceCursor). Items processed = timing ops replayed, so the
+ * items-per-second column reads directly as replay ops/sec; the
+ * batch/scalar ratio is the tentpole speedup the SoA replay layer
+ * claims (docs/ARCHITECTURE.md, "Performance").
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/serialize.hh"
+#include "core/trace_stream.hh"
+#include "crypto/workload_registry.hh"
+#include "uarch/pipeline.hh"
+
+using namespace cassandra;
+
+namespace {
+
+using core::TraceCompression;
+using core::TraceCursor;
+using core::TraceStreamWriter;
+using uarch::OpBatch;
+using uarch::TimingOp;
+using uarch::TimingOpSource;
+using uarch::TimingTrace;
+
+/** The evaluation trace every benchmark replays (recorded once). */
+const TimingTrace &
+trace()
+{
+    static const TimingTrace t = uarch::recordTrace(
+        crypto::WorkloadRegistry::global().make("ChaCha20_ct"), 2);
+    return t;
+}
+
+const core::Workload &
+workload()
+{
+    static const core::Workload w =
+        crypto::WorkloadRegistry::global().make("ChaCha20_ct");
+    return w;
+}
+
+/** Whole-trace SoA mirror shared by the zero-copy span benchmark. */
+const uarch::OpBatchStorage &
+mirror()
+{
+    static const uarch::OpBatchStorage soa = [] {
+        uarch::OpBatchStorage s;
+        uarch::buildOpBatchStorage(trace(), s);
+        return s;
+    }();
+    return soa;
+}
+
+/** Stream file of the same trace (CASSTF1 raw / CASSTF2 delta). */
+const std::string &
+streamFile(TraceCompression compression)
+{
+    static std::string paths[2];
+    std::string &path =
+        paths[compression == TraceCompression::Delta ? 1 : 0];
+    if (path.empty()) {
+        path = std::string("/tmp/micro_replay-") +
+            (compression == TraceCompression::Delta ? "tf2" : "tf1") +
+            ".trace";
+        TraceStreamWriter writer(
+            path, core::programFingerprint(workload().program),
+            core::traceStreamDefaultFrameOps, compression);
+        for (const TimingOp &op : trace())
+            writer.append(op);
+        writer.finish();
+    }
+    return path;
+}
+
+/**
+ * Hides a source's native nextBatch() behind the base-class adapter
+ * (batching through next() one op at a time) — the scalar reference
+ * the native batch paths are measured against.
+ */
+class ScalarOnly : public TimingOpSource
+{
+  public:
+    explicit ScalarOnly(TimingOpSource &inner) : inner_(inner) {}
+
+    const TimingOp *
+    next() override
+    {
+        return inner_.next();
+    }
+
+  private:
+    TimingOpSource &inner_;
+};
+
+/** Drain a source scalar-wise; returns a checksum the optimizer must
+ * keep. */
+uint64_t
+drainScalar(TimingOpSource &src)
+{
+    uint64_t sum = 0;
+    while (const TimingOp *op = src.next())
+        sum += op->pc + op->memAddr + op->nextPc;
+    return sum;
+}
+
+/** Drain a source batch-wise through the SoA columns. */
+uint64_t
+drainBatched(TimingOpSource &src)
+{
+    uint64_t sum = 0;
+    OpBatch batch;
+    while (size_t n = src.nextBatch(batch, uarch::timingOpBatchOps)) {
+        for (size_t i = 0; i < n; i++)
+            sum += batch.pc[i] + batch.memAddr[i] + batch.nextPc[i];
+    }
+    return sum;
+}
+
+void
+BM_ReplaySpanScalar(benchmark::State &state)
+{
+    const TimingTrace &t = trace();
+    for (auto _ : state) {
+        uarch::TraceSpanSource src(t);
+        benchmark::DoNotOptimize(drainScalar(src));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(t.size()));
+}
+BENCHMARK(BM_ReplaySpanScalar);
+
+void
+BM_ReplaySpanScalarAdapter(benchmark::State &state)
+{
+    // The base-class nextBatch adapter: batch API, scalar decode.
+    const TimingTrace &t = trace();
+    for (auto _ : state) {
+        uarch::TraceSpanSource inner(t);
+        ScalarOnly src(inner);
+        benchmark::DoNotOptimize(drainBatched(src));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(t.size()));
+}
+BENCHMARK(BM_ReplaySpanScalarAdapter);
+
+void
+BM_ReplaySpanBatchTranspose(benchmark::State &state)
+{
+    // Native batch path without a shared mirror: one AoS -> SoA
+    // transpose per 4K-op batch.
+    const TimingTrace &t = trace();
+    for (auto _ : state) {
+        uarch::TraceSpanSource src(t);
+        benchmark::DoNotOptimize(drainBatched(src));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(t.size()));
+}
+BENCHMARK(BM_ReplaySpanBatchTranspose);
+
+void
+BM_ReplaySpanBatchShared(benchmark::State &state)
+{
+    // The hot production path: zero-copy views into the whole-trace
+    // mirror the analysis built once (AnalyzedWorkload::openOpSource).
+    const TimingTrace &t = trace();
+    const uarch::OpBatchStorage &soa = mirror();
+    for (auto _ : state) {
+        uarch::TraceSpanSource src(t, soa);
+        benchmark::DoNotOptimize(drainBatched(src));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(t.size()));
+}
+BENCHMARK(BM_ReplaySpanBatchShared);
+
+void
+BM_ReplayCursorScalar(benchmark::State &state)
+{
+    const std::string &path = streamFile(TraceCompression::Delta);
+    for (auto _ : state) {
+        TraceCursor src(path, workload().program);
+        benchmark::DoNotOptimize(drainScalar(src));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(trace().size()));
+}
+BENCHMARK(BM_ReplayCursorScalar);
+
+void
+BM_ReplayCursorBatchRaw(benchmark::State &state)
+{
+    // CASSTF1: raw 24 B/op frames, batch decode straight into SoA.
+    const std::string &path = streamFile(TraceCompression::None);
+    for (auto _ : state) {
+        TraceCursor src(path, workload().program);
+        benchmark::DoNotOptimize(drainBatched(src));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(trace().size()));
+}
+BENCHMARK(BM_ReplayCursorBatchRaw);
+
+void
+BM_ReplayCursorBatchDelta(benchmark::State &state)
+{
+    // CASSTF2: delta/zig-zag varint frames (decodeTraceFrameSoA).
+    const std::string &path = streamFile(TraceCompression::Delta);
+    for (auto _ : state) {
+        TraceCursor src(path, workload().program);
+        benchmark::DoNotOptimize(drainBatched(src));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(trace().size()));
+}
+BENCHMARK(BM_ReplayCursorBatchDelta);
+
+} // namespace
+
+BENCHMARK_MAIN();

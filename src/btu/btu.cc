@@ -67,12 +67,17 @@ Btu::Entry *
 Btu::find(uint64_t pc)
 {
     size_t set = (pc / ir::instBytes) % params_.sets;
+    Entry *base = &entries_[set * params_.ways];
+    // Branchless way scan: a pc is resident in at most one way, so an
+    // any-match accumulation equals the first-match scan; the select
+    // per way avoids a data-dependent branch on the replay hot path.
+    size_t match = params_.ways;
     for (size_t w = 0; w < params_.ways; w++) {
-        Entry &e = entries_[set * params_.ways + w];
-        if (e.valid && e.pc == pc)
-            return &e;
+        const Entry &e = base[w];
+        const bool hit = e.valid & (e.pc == pc);
+        match = hit ? w : match;
     }
-    return nullptr;
+    return match < params_.ways ? &base[match] : nullptr;
 }
 
 Btu::Entry &

@@ -29,11 +29,23 @@ AnalyzedWorkload::AnalyzedWorkload(Workload workload, KmersParams kmers,
       trace_(std::move(trace)), streamPath_(std::move(streamPath)),
       numOps_(numOps)
 {
+    traceReady_.store(true, std::memory_order_release);
+}
+
+AnalyzedWorkload::AnalyzedWorkload(Workload workload,
+                                   const AnalyzeOptions &options,
+                                   std::string streamPath)
+    : workload_(std::move(workload)), kmers_(options.kmers),
+      traceMode_(options.traceMode),
+      streamCompression_(options.compression),
+      streamPath_(std::move(streamPath))
+{
 }
 
 AnalyzedWorkload::~AnalyzedWorkload()
 {
-    if (streamed() && !streamPath_.empty()) {
+    if (streamed() && !streamPath_.empty() &&
+        traceReady_.load(std::memory_order_acquire)) {
         // The analysis created the file; releasing the last artifact
         // reference reclaims the disk. Best-effort: also drop the
         // containing directory when this was its last trace.
@@ -48,38 +60,59 @@ AnalyzedWorkload::Ptr
 AnalyzedWorkload::analyze(Workload workload, const AnalyzeOptions &options)
 {
     analysis_runs.fetch_add(1, std::memory_order_relaxed);
-    phase_timing_runs.fetch_add(1, std::memory_order_relaxed);
 
-    AnalyzedWorkload *raw = nullptr;
+    // The artifact is constructed without recording anything: the
+    // trace (and every later phase) materializes demand-driven, so a
+    // sweep whose cells all replay from the result store never pays
+    // for analysis. Only the stream path is fixed eagerly — it names
+    // the artifact's on-disk identity.
+    std::string path;
     if (options.traceMode == TraceMode::Stream) {
         const std::string dir = options.streamDir.empty()
             ? defaultTraceStreamDir()
             : options.streamDir;
         ensureDirectories(dir);
-        const uint64_t fingerprint =
-            programFingerprint(workload.program);
-        const std::string path =
-            traceStreamPath(dir, workload.name, fingerprint);
-        TraceStreamWriter writer(path, fingerprint,
-                                 traceStreamDefaultFrameOps,
-                                 options.compression);
-        const uint64_t ops = uarch::recordTrace(
-            workload, /*which=*/2,
-            [&](const uarch::TimingOp &op) { writer.append(op); });
-        writer.finish();
-        raw = new AnalyzedWorkload(std::move(workload), options.kmers,
-                                   TraceMode::Stream, {}, path, ops);
-    } else {
-        uarch::TimingTrace trace =
-            uarch::recordTrace(workload, /*which=*/2);
-        const uint64_t ops = trace.size();
-        raw = new AnalyzedWorkload(std::move(workload), options.kmers,
-                                   TraceMode::Whole, std::move(trace),
-                                   "", ops);
+        path = traceStreamPath(dir, workload.name,
+                               programFingerprint(workload.program));
     }
-    Ptr artifact(raw);
+    Ptr artifact(new AnalyzedWorkload(std::move(workload), options,
+                                      std::move(path)));
     artifact->ensurePhases(options.phases);
     return artifact;
+}
+
+void
+AnalyzedWorkload::ensureTrace() const
+{
+    if (traceReady_.load(std::memory_order_acquire))
+        return;
+    std::call_once(traceOnce_, [this] {
+        phase_timing_runs.fetch_add(1, std::memory_order_relaxed);
+        if (traceMode_ == TraceMode::Stream) {
+            TraceStreamWriter writer(
+                streamPath_, programFingerprint(workload_.program),
+                traceStreamDefaultFrameOps, streamCompression_);
+            numOps_ = uarch::recordTrace(
+                workload_, /*which=*/2,
+                [&](const uarch::TimingOp &op) { writer.append(op); });
+            writer.finish();
+        } else {
+            // Record the AoS trace and its SoA replay mirror in one
+            // pass; every TraceSpanSource then shares the mirror with
+            // no transpose step.
+            numOps_ = uarch::recordTrace(workload_, /*which=*/2,
+                                         trace_, soaMirror_);
+            soaReady_.store(true, std::memory_order_release);
+        }
+        traceReady_.store(true, std::memory_order_release);
+    });
+}
+
+uint64_t
+AnalyzedWorkload::numOps() const
+{
+    ensureTrace();
+    return numOps_;
 }
 
 AnalyzedWorkload::Ptr
@@ -169,6 +202,8 @@ AnalyzedWorkload::taintBitmap() const
 void
 AnalyzedWorkload::ensurePhases(AnalysisPhaseMask phases) const
 {
+    if (phases & PhaseTimingTrace)
+        ensureTrace();
     if (phases & PhaseTraceImage)
         traces();
     if (phases & PhaseTaint)
@@ -182,16 +217,24 @@ AnalyzedWorkload::timingTrace() const
         throw std::logic_error(
             "streamed AnalyzedWorkload holds no in-memory timing "
             "trace; iterate openOpSource() instead");
+    ensureTrace();
     return trace_;
 }
 
 std::unique_ptr<uarch::TimingOpSource>
 AnalyzedWorkload::openOpSource() const
 {
+    ensureTrace();
     if (streamed())
         return std::make_unique<TraceCursor>(streamPath_,
                                              workload_.program);
-    return std::make_unique<uarch::TraceSpanSource>(trace_);
+    if (!soaReady_.load(std::memory_order_acquire)) {
+        std::call_once(soaOnce_, [this] {
+            uarch::buildOpBatchStorage(trace_, soaMirror_);
+            soaReady_.store(true, std::memory_order_release);
+        });
+    }
+    return std::make_unique<uarch::TraceSpanSource>(trace_, soaMirror_);
 }
 
 bool

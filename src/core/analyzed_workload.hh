@@ -105,11 +105,13 @@ struct AnalyzeOptions
     KmersParams kmers;
     /**
      * Phases to run eagerly at analyze() time (concurrently across
-     * workloads under the ExperimentRunner). Phases not listed still
-     * run on demand — lazily, exactly once — when a consumer needs
-     * them. PhaseTimingTrace always runs.
+     * workloads under the ExperimentRunner). Phases not listed —
+     * including the timing-trace recording itself — run on demand,
+     * lazily and exactly once, when a consumer first needs them. The
+     * default is fully demand-driven: a sweep served entirely from
+     * the result store never records a trace.
      */
-    AnalysisPhaseMask phases = PhaseTimingTrace;
+    AnalysisPhaseMask phases = 0;
     /** Whole: in-memory trace. Stream: spill to a chunked file. */
     TraceMode traceMode = TraceMode::Whole;
     /** Stream-mode trace directory; empty = defaultTraceStreamDir(). */
@@ -126,10 +128,11 @@ class AnalyzedWorkload
     using Ptr = std::shared_ptr<const AnalyzedWorkload>;
 
     /**
-     * Phase 1: record the evaluation-input timing trace (whole or
-     * streamed per options.traceMode) and eagerly run the phases in
-     * options.phases; everything else is computed demand-driven.
-     * Counts one analysisRuns() tick.
+     * Phase 1: build the analysis artifact and eagerly run the phases
+     * in options.phases; everything else — the timing-trace recording
+     * included — is computed demand-driven on first use. Counts one
+     * analysisRuns() tick (recording ticks analysisPhaseRuns() when it
+     * actually happens).
      */
     static Ptr analyze(Workload workload, const AnalyzeOptions &options);
 
@@ -212,8 +215,15 @@ class AnalyzedWorkload
     /** Stream-mode trace file path (empty in whole mode). */
     const std::string &streamPath() const { return streamPath_; }
 
-    /** Dynamic op count of the timing trace (both modes). */
-    uint64_t numOps() const { return numOps_; }
+    /** Dynamic op count of the timing trace (both modes). Triggers
+     * the recording phase if it has not run yet. */
+    uint64_t numOps() const;
+
+    /** True if the timing trace has been recorded (no side effects). */
+    bool hasTimingTrace() const
+    {
+        return traceReady_.load(std::memory_order_acquire);
+    }
 
     /**
      * Dynamic instruction stream of the evaluation input.
@@ -250,13 +260,25 @@ class AnalyzedWorkload
     AnalyzedWorkload(Workload workload, KmersParams kmers,
                      TraceMode mode, uarch::TimingTrace trace,
                      std::string streamPath, uint64_t numOps);
+    /** Deferred-recording constructor: the trace (whole or streamed)
+     * is recorded by ensureTrace() on first use. */
+    AnalyzedWorkload(Workload workload, const AnalyzeOptions &options,
+                     std::string streamPath);
+
+    /** Record the timing trace if it has not been recorded yet
+     * (thread-safe, exactly once). Whole mode also materializes the
+     * shared SoA mirror in the same pass. */
+    void ensureTrace() const;
 
     Workload workload_;
     KmersParams kmers_;
     TraceMode traceMode_ = TraceMode::Whole;
-    uarch::TimingTrace trace_; ///< whole mode (empty when streamed)
-    std::string streamPath_;   ///< stream mode
-    uint64_t numOps_ = 0;
+    TraceCompression streamCompression_ = TraceCompression::Delta;
+    mutable uarch::TimingTrace trace_; ///< whole mode (empty streamed)
+    std::string streamPath_;           ///< stream mode
+    mutable uint64_t numOps_ = 0;
+    mutable std::once_flag traceOnce_;
+    mutable std::atomic<bool> traceReady_{false};
 
     // Demand-driven phases: logically part of the immutable value,
     // computed at most once behind call_once.
@@ -266,6 +288,14 @@ class AnalyzedWorkload
     mutable std::once_flag taintOnce_;
     mutable uarch::TaintBitmap taint_;
     mutable std::atomic<bool> taintReady_{false};
+
+    // Whole mode only: SoA mirror of trace_ shared by every
+    // TraceSpanSource this artifact hands out, so a trace replayed by
+    // many matrix cells is transposed once, not once per run (and not
+    // at all when recording and mirroring fuse in ensureTrace).
+    mutable std::once_flag soaOnce_;
+    mutable uarch::OpBatchStorage soaMirror_;
+    mutable std::atomic<bool> soaReady_{false};
 };
 
 /**

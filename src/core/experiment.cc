@@ -283,8 +283,12 @@ ExperimentRunner::run(const std::vector<ExperimentMatrix> &matrices) const
         }
     }
     Experiment exp;
+    // Resolve the artifacts without any phases: recording is
+    // demand-driven, so workloads whose cells all replay from the
+    // result store are never analyzed at all. Phases for the cells
+    // that do simulate run in parallel after the store filter below.
     std::vector<AnalyzedWorkload::Ptr> artifacts =
-        analyze(names, phases, mode, compression);
+        analyze(names, 0, mode, compression);
     for (size_t i = 0; i < names.size(); i++)
         exp.artifacts.emplace(names[i], artifacts[i]);
 
@@ -340,6 +344,17 @@ ExperimentRunner::run(const std::vector<ExperimentMatrix> &matrices) const
     // Every executor fills the same fixed slots, so the cells come
     // back in matrix order whatever the backend did to run them.
     if (!pending.empty()) {
+        // Phase 1b: analyze once per distinct workload that still has
+        // cells to simulate — concurrently, requesting exactly the
+        // phases the pending schemes consume.
+        std::vector<AnalyzedWorkload::Ptr> todo;
+        std::unordered_set<std::string> seen_names;
+        for (const PlannedCell &cell : pending)
+            if (seen_names.insert(cell.workload).second)
+                todo.push_back(exp.artifacts.at(cell.workload));
+        runParallel(options_.resolveThreads(todo.size()), todo.size(),
+                    [&](size_t i) { todo[i]->ensurePhases(phases); });
+
         // Opt-in dedup (the cross-job service path): identical cells
         // — same workload, scheme and canonical sim parameters —
         // dispatch once; executors are required to be byte-identical

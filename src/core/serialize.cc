@@ -616,6 +616,9 @@ writeSnapshotHead(ByteWriter &w, const std::vector<uint8_t> &meta)
 std::ifstream
 openStreamFile(const AnalyzedWorkload &aw, uint64_t &size)
 {
+    // Phases are demand-driven: a lazily analyzed artifact only writes
+    // its stream file on first use, and a snapshot embeds those bytes.
+    aw.numOps();
     std::ifstream src(aw.streamPath(), std::ios::binary);
     if (!src)
         throw std::runtime_error("cannot open trace stream " +

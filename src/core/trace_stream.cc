@@ -222,6 +222,75 @@ decodeTraceFrame(const uint8_t *frame, size_t frame_len, size_t num_ops)
     return out;
 }
 
+void
+decodeTraceFrameSoA(const uint8_t *frame, size_t frame_len,
+                    size_t num_ops, uint64_t *pc, uint64_t *mem_addr,
+                    uint64_t *next_pc)
+{
+    if (frame_len < frameHeaderBytes)
+        throw ArtifactFormatError("trace stream frame is truncated");
+    const uint8_t kind = frame[0];
+    const size_t payload_len = getU32(frame + 1);
+    if (payload_len > frame_len - frameHeaderBytes)
+        throw ArtifactFormatError("trace stream frame is truncated");
+    const uint8_t *p = frame + frameHeaderBytes;
+
+    if (kind == frameKindRaw) {
+        if (payload_len != num_ops * traceStreamOpBytes)
+            throw ArtifactFormatError(
+                "trace stream raw frame has a wrong op count");
+        for (size_t i = 0; i < num_ops; i++) {
+            const uint8_t *src = p + i * traceStreamOpBytes;
+            pc[i] = getU64(src + 0);
+            mem_addr[i] = getU64(src + 8);
+            next_pc[i] = getU64(src + 16);
+        }
+        return;
+    }
+    if (kind != frameKindDelta)
+        throw ArtifactFormatError(
+            "trace stream frame has an unknown encoding kind");
+
+    size_t pos = 0;
+    auto varint = [&]() -> uint64_t {
+        uint64_t v = 0;
+        for (int shift = 0; shift < 70; shift += 7) {
+            if (pos >= payload_len)
+                throw ArtifactFormatError(
+                    "trace stream delta frame is truncated");
+            const uint8_t byte = p[pos++];
+            v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+            if (!(byte & 0x80))
+                return v;
+        }
+        throw ArtifactFormatError(
+            "trace stream delta frame has an overlong varint");
+    };
+
+    uint64_t prev_mem = 0, prev_next = 0;
+    for (size_t i = 0; i < num_ops; i++) {
+        uint64_t cur_pc, mem;
+        if (i == 0) {
+            cur_pc = varint();
+            mem = varint();
+        } else {
+            cur_pc =
+                prev_next + static_cast<uint64_t>(unzigzag(varint()));
+            mem = prev_mem + static_cast<uint64_t>(unzigzag(varint()));
+        }
+        const uint64_t next = cur_pc + ir::instBytes +
+            static_cast<uint64_t>(unzigzag(varint()));
+        pc[i] = cur_pc;
+        mem_addr[i] = mem;
+        next_pc[i] = next;
+        prev_mem = mem;
+        prev_next = next;
+    }
+    if (pos != payload_len)
+        throw ArtifactFormatError(
+            "trailing bytes in trace stream delta frame");
+}
+
 // ---------------------------------------------------------------------
 // TraceStreamWriter
 // ---------------------------------------------------------------------
@@ -487,6 +556,13 @@ TraceCursor::TraceCursor(const std::string &path,
         frame_.resize(static_cast<size_t>(
                           std::min<uint64_t>(frameOps_, numOps_)) *
                       traceStreamOpBytes);
+    // Relink table for the batch path: crypto flag per static
+    // instruction, so per-op relinking is a bounds check plus two
+    // table loads instead of a linear crypto-range scan.
+    cryptoByIndex_.resize(program.size());
+    for (size_t idx = 0; idx < cryptoByIndex_.size(); idx++)
+        cryptoByIndex_[idx] =
+            program.isCryptoPc(ir::Program::pcOf(idx)) ? 1 : 0;
 }
 
 TraceCursor::~TraceCursor()
@@ -586,6 +662,83 @@ TraceCursor::opBytes(uint64_t index)
             dropConsumedFrames(frame);
     }
     return frame_.data() + within * traceStreamOpBytes;
+}
+
+void
+TraceCursor::loadFrameSoA(uint64_t frame)
+{
+    const size_t ops = static_cast<size_t>(frameOps(frame));
+    soa_.resize(ops);
+    const uint64_t start = frameOffsets_[frame];
+    if (version_ == 1) {
+        const uint8_t *raw;
+        if (map_) {
+            raw = map_ + start;
+        } else {
+            if (loadedFrame_ != frame)
+                loadFrame(frame);
+            raw = frame_.data();
+        }
+        for (size_t i = 0; i < ops; i++) {
+            const uint8_t *src = raw + i * traceStreamOpBytes;
+            soa_.pc[i] = getU64(src + 0);
+            soa_.memAddr[i] = getU64(src + 8);
+            soa_.nextPc[i] = getU64(src + 16);
+        }
+    } else {
+        const size_t len = static_cast<size_t>(frameEnd(frame) - start);
+        const uint8_t *enc;
+        if (map_) {
+            enc = map_ + start;
+        } else {
+            scratch_.resize(len);
+            file_.seekg(static_cast<std::streamoff>(start));
+            file_.read(reinterpret_cast<char *>(scratch_.data()),
+                       static_cast<std::streamsize>(len));
+            if (!file_)
+                throw ArtifactFormatError(
+                    "trace stream read failed (frame " +
+                    std::to_string(frame) + ")");
+            enc = scratch_.data();
+        }
+        decodeTraceFrameSoA(enc, len, ops, soa_.pc.data(),
+                            soa_.memAddr.data(), soa_.nextPc.data());
+    }
+    if (map_)
+        dropConsumedFrames(frame);
+
+    // Relink: the off-based check accepts exactly the pcs
+    // program_.validPc accepts (an out-of-range or misaligned pc means
+    // a stale trace, same as the scalar path).
+    const ir::Inst *insts = program_.insts.data();
+    const uint64_t limit = cryptoByIndex_.size() * ir::instBytes;
+    for (size_t i = 0; i < ops; i++) {
+        const uint64_t off = soa_.pc[i] - ir::Program::codeBase;
+        if (off >= limit || off % ir::instBytes != 0)
+            throw ArtifactStaleError(
+                "trace stream op pc outside program (stale trace)");
+        const size_t idx = static_cast<size_t>(off / ir::instBytes);
+        soa_.inst[i] = insts + idx;
+        soa_.crypto[i] = cryptoByIndex_[idx];
+        soa_.tainted[i] = 0;
+    }
+    soaFrame_ = frame;
+}
+
+size_t
+TraceCursor::nextBatch(uarch::OpBatch &out, size_t max_ops)
+{
+    if (pos_ >= numOps_ || max_ops == 0)
+        return 0;
+    const uint64_t frame = pos_ / frameOps_;
+    if (soaFrame_ != frame)
+        loadFrameSoA(frame);
+    const size_t within = static_cast<size_t>(pos_ % frameOps_);
+    const size_t n = static_cast<size_t>(
+        std::min<uint64_t>(max_ops, frameOps(frame) - within));
+    pos_ += n;
+    out = soa_.view(within, n);
+    return n;
 }
 
 const uarch::TimingOp *

@@ -119,6 +119,17 @@ std::vector<uint8_t> decodeTraceFrame(const uint8_t *frame,
 void decodeTraceFrameInto(const uint8_t *frame, size_t frame_len,
                           size_t num_ops, uint8_t *out);
 
+/**
+ * Decode one CASSTF2 frame directly into structure-of-arrays replay
+ * buffers: parallel pc/memAddr/nextPc arrays of num_ops elements each.
+ * Produces exactly the values decodeTraceFrameInto would, without the
+ * intermediate 24 B/op AoS form — this is the batched replay path's
+ * decoder (TraceCursor::nextBatch).
+ */
+void decodeTraceFrameSoA(const uint8_t *frame, size_t frame_len,
+                         size_t num_ops, uint64_t *pc, uint64_t *mem_addr,
+                         uint64_t *next_pc);
+
 /** Incremental writer of a chunked trace stream file. */
 class TraceStreamWriter
 {
@@ -188,6 +199,15 @@ class TraceCursor final : public uarch::TimingOpSource
 
     const uarch::TimingOp *next() override;
 
+    /**
+     * Native batch path: frames decode straight into structure-of-
+     * arrays buffers (decodeTraceFrameSoA) and batches are served as
+     * zero-copy views into the decoded frame, so a batch never crosses
+     * a frame boundary. Relinking (inst pointer + crypto flag) uses a
+     * per-static-instruction table instead of the per-op range scan.
+     */
+    size_t nextBatch(uarch::OpBatch &out, size_t max_ops) override;
+
     uint64_t numOps() const { return numOps_; }
     bool mmapped() const { return map_ != nullptr; }
     /** Container version of the open file (1 = CASSTF1 raw frames,
@@ -196,6 +216,7 @@ class TraceCursor final : public uarch::TimingOpSource
 
   private:
     void loadFrame(uint64_t frame);
+    void loadFrameSoA(uint64_t frame);
     void dropConsumedFrames(uint64_t upto);
     const uint8_t *opBytes(uint64_t index);
     uint64_t frameOps(uint64_t frame) const;
@@ -219,6 +240,11 @@ class TraceCursor final : public uarch::TimingOpSource
     std::vector<uint8_t> frame_;
     std::vector<uint8_t> scratch_; ///< encoded v2 frame (buffered read)
     uint64_t loadedFrame_ = ~0ull;
+
+    // batch path: one frame decoded SoA + relinked, served as views
+    uarch::OpBatchStorage soa_;
+    uint64_t soaFrame_ = ~0ull;
+    std::vector<uint8_t> cryptoByIndex_; ///< crypto flag per static inst
 
     uint64_t pos_ = 0;
     uarch::TimingOp op_;

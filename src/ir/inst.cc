@@ -19,118 +19,6 @@ regName(RegId reg)
     return "x" + std::to_string(reg);
 }
 
-ExecClass
-Inst::execClass() const
-{
-    switch (op) {
-      case Opcode::Mul:
-      case Opcode::Mulh:
-      case Opcode::Mulhu:
-      case Opcode::Mulw:
-        return ExecClass::IntMul;
-      case Opcode::Ld:
-      case Opcode::Lw:
-      case Opcode::Lh:
-      case Opcode::Lb:
-        return ExecClass::Load;
-      case Opcode::Sd:
-      case Opcode::Sw:
-      case Opcode::Sh:
-      case Opcode::Sb:
-        return ExecClass::Store;
-      case Opcode::Beq:
-      case Opcode::Bne:
-      case Opcode::Blt:
-      case Opcode::Bge:
-      case Opcode::Bltu:
-      case Opcode::Bgeu:
-        return ExecClass::CondBranch;
-      case Opcode::Jal:
-        return ExecClass::DirectJump;
-      case Opcode::Jalr:
-        return ExecClass::IndirectJump;
-      case Opcode::Ret:
-        return ExecClass::Return;
-      case Opcode::Nop:
-        return ExecClass::Nop;
-      case Opcode::Halt:
-        return ExecClass::Halt;
-      default:
-        return ExecClass::IntAlu;
-    }
-}
-
-bool
-Inst::isControlFlow() const
-{
-    switch (execClass()) {
-      case ExecClass::CondBranch:
-      case ExecClass::DirectJump:
-      case ExecClass::IndirectJump:
-      case ExecClass::Return:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-Inst::isCondBranch() const
-{
-    return execClass() == ExecClass::CondBranch;
-}
-
-bool
-Inst::isCall() const
-{
-    return op == Opcode::Jal && rd != regZero;
-}
-
-bool
-Inst::isReturn() const
-{
-    return op == Opcode::Ret;
-}
-
-bool
-Inst::isIndirect() const
-{
-    return op == Opcode::Jalr;
-}
-
-bool
-Inst::isLoad() const
-{
-    return execClass() == ExecClass::Load;
-}
-
-bool
-Inst::isStore() const
-{
-    return execClass() == ExecClass::Store;
-}
-
-int
-Inst::memBytes() const
-{
-    switch (op) {
-      case Opcode::Ld:
-      case Opcode::Sd:
-        return 8;
-      case Opcode::Lw:
-      case Opcode::Sw:
-        return 4;
-      case Opcode::Lh:
-      case Opcode::Sh:
-        return 2;
-      case Opcode::Lb:
-      case Opcode::Sb:
-        return 1;
-      default:
-        return 0;
-    }
-}
-
 std::string
 opcodeName(Opcode op)
 {

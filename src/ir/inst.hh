@@ -84,25 +84,126 @@ struct Inst
      */
     int64_t imm = 0;
 
+    // The class/width predicates are queried several times per dynamic
+    // op by the replay loop (~80M calls per CI sweep), so they must
+    // inline to a switch the compiler can lower to a table load; only
+    // the string formatting stays out of line.
+
     /** Execution class of this opcode. */
-    ExecClass execClass() const;
+    constexpr ExecClass
+    execClass() const
+    {
+        switch (op) {
+          case Opcode::Mul:
+          case Opcode::Mulh:
+          case Opcode::Mulhu:
+          case Opcode::Mulw:
+            return ExecClass::IntMul;
+          case Opcode::Ld:
+          case Opcode::Lw:
+          case Opcode::Lh:
+          case Opcode::Lb:
+            return ExecClass::Load;
+          case Opcode::Sd:
+          case Opcode::Sw:
+          case Opcode::Sh:
+          case Opcode::Sb:
+            return ExecClass::Store;
+          case Opcode::Beq:
+          case Opcode::Bne:
+          case Opcode::Blt:
+          case Opcode::Bge:
+          case Opcode::Bltu:
+          case Opcode::Bgeu:
+            return ExecClass::CondBranch;
+          case Opcode::Jal:
+            return ExecClass::DirectJump;
+          case Opcode::Jalr:
+            return ExecClass::IndirectJump;
+          case Opcode::Ret:
+            return ExecClass::Return;
+          case Opcode::Nop:
+            return ExecClass::Nop;
+          case Opcode::Halt:
+            return ExecClass::Halt;
+          default:
+            return ExecClass::IntAlu;
+        }
+    }
 
     /** True for any instruction that can redirect the PC. */
-    bool isControlFlow() const;
+    constexpr bool
+    isControlFlow() const
+    {
+        const ExecClass cls = execClass();
+        return cls == ExecClass::CondBranch ||
+            cls == ExecClass::DirectJump ||
+            cls == ExecClass::IndirectJump || cls == ExecClass::Return;
+    }
+
     /** True for conditional direct branches. */
-    bool isCondBranch() const;
+    constexpr bool
+    isCondBranch() const
+    {
+        return execClass() == ExecClass::CondBranch;
+    }
+
     /** True for Jal with rd != x0 (a call that pushes the RSB). */
-    bool isCall() const;
+    constexpr bool
+    isCall() const
+    {
+        return op == Opcode::Jal && rd != regZero;
+    }
+
     /** True for Ret. */
-    bool isReturn() const;
+    constexpr bool
+    isReturn() const
+    {
+        return op == Opcode::Ret;
+    }
+
     /** True for Jalr. */
-    bool isIndirect() const;
+    constexpr bool
+    isIndirect() const
+    {
+        return op == Opcode::Jalr;
+    }
+
     /** True for loads. */
-    bool isLoad() const;
+    constexpr bool
+    isLoad() const
+    {
+        return execClass() == ExecClass::Load;
+    }
+
     /** True for stores. */
-    bool isStore() const;
+    constexpr bool
+    isStore() const
+    {
+        return execClass() == ExecClass::Store;
+    }
+
     /** Byte width of a memory access (0 for non-memory ops). */
-    int memBytes() const;
+    constexpr int
+    memBytes() const
+    {
+        switch (op) {
+          case Opcode::Ld:
+          case Opcode::Sd:
+            return 8;
+          case Opcode::Lw:
+          case Opcode::Sw:
+            return 4;
+          case Opcode::Lh:
+          case Opcode::Sh:
+            return 2;
+          case Opcode::Lb:
+          case Opcode::Sb:
+            return 1;
+          default:
+            return 0;
+        }
+    }
 
     /** Human-readable disassembly (targets printed as hex PCs). */
     std::string toString() const;

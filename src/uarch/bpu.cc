@@ -45,7 +45,9 @@ TagePredictor::tableTag(int table, uint64_t pc) const
 TagePredictor::LoopEntry &
 TagePredictor::loopEntryFor(uint64_t pc)
 {
-    return loopTable_[(pc >> 2) % loopTable_.size()];
+    // The table size is a power of two (see the constructor): mask,
+    // don't divide — this runs twice per conditional branch.
+    return loopTable_[(pc >> 2) & (loopTable_.size() - 1)];
 }
 
 bool
@@ -53,11 +55,15 @@ TagePredictor::predict(uint64_t pc)
 {
     stats_.condLookups++;
     last_ = {};
+    for (int t = 0; t < numTables; t++) {
+        last_.idx[t] = tableIndex(t, pc);
+        last_.tag[t] = tableTag(t, pc);
+    }
 
     // TAGE component: longest-history tag hit provides the prediction.
     for (int t = numTables - 1; t >= 0; t--) {
-        const TaggedEntry &e = tables_[t][tableIndex(t, pc)];
-        if (e.tag == tableTag(t, pc)) {
+        const TaggedEntry &e = tables_[t][last_.idx[t]];
+        if (e.tag == last_.tag[t]) {
             last_.provider = t;
             last_.pred = e.ctr >= 0;
             break;
@@ -122,7 +128,7 @@ TagePredictor::update(uint64_t pc, bool taken)
     };
     if (last_.provider >= 0) {
         TaggedEntry &e =
-            tables_[last_.provider][tableIndex(last_.provider, pc)];
+            tables_[last_.provider][last_.idx[last_.provider]];
         bool was_correct = (e.ctr >= 0) == taken;
         bump(e.ctr, -4, 3);
         if (was_correct && e.useful < 3)
@@ -138,9 +144,9 @@ TagePredictor::update(uint64_t pc, bool taken)
         rng_ = rng_ * 6364136223846793005ull + 1442695040888963407ull;
         int start = last_.provider + 1 + static_cast<int>(rng_ >> 62) % 2;
         for (int t = start; t < numTables; t++) {
-            TaggedEntry &e = tables_[t][tableIndex(t, pc)];
+            TaggedEntry &e = tables_[t][last_.idx[t]];
             if (e.useful == 0) {
-                e.tag = tableTag(t, pc);
+                e.tag = last_.tag[t];
                 e.ctr = taken ? 0 : -1;
                 e.useful = 0;
                 break;
@@ -156,23 +162,29 @@ TagePredictor::update(uint64_t pc, bool taken)
 Btb::Btb(size_t entries)
 {
     entries_.resize(entries);
+    if (entries != 0 && (entries & (entries - 1)) == 0)
+        mask_ = entries - 1;
 }
 
 uint64_t
 Btb::predict(uint64_t pc)
 {
     lookups++;
-    Entry &e = entries_[(pc >> 2) % entries_.size()];
-    if (e.valid && e.pc == pc)
-        return e.target;
-    misses++;
-    return 0;
+    // Branchless hit check: the batch replay path calls this once per
+    // predicted-taken branch, and the hit/miss pattern is effectively
+    // random — a conditional select beats a mispredicting branch.
+    const Entry &e = entries_[mask_ ? (pc >> 2) & mask_
+                                    : (pc >> 2) % entries_.size()];
+    const bool hit = e.valid & (e.pc == pc);
+    misses += hit ? 0 : 1;
+    return hit ? e.target : 0;
 }
 
 void
 Btb::update(uint64_t pc, uint64_t target)
 {
-    Entry &e = entries_[(pc >> 2) % entries_.size()];
+    Entry &e = entries_[mask_ ? (pc >> 2) & mask_
+                              : (pc >> 2) % entries_.size()];
     e.valid = true;
     e.pc = pc;
     e.target = target;
@@ -189,7 +201,7 @@ void
 Rsb::push(uint64_t return_pc)
 {
     stack_[top_] = return_pc;
-    top_ = (top_ + 1) % stack_.size();
+    top_ = top_ + 1 == stack_.size() ? 0 : top_ + 1;
     if (count_ < stack_.size())
         count_++;
 }
@@ -199,7 +211,7 @@ Rsb::pop()
 {
     if (count_ == 0)
         return 0;
-    top_ = (top_ + stack_.size() - 1) % stack_.size();
+    top_ = (top_ == 0 ? stack_.size() : top_) - 1;
     count_--;
     return stack_[top_];
 }

@@ -82,13 +82,19 @@ class TagePredictor
     std::array<std::vector<TaggedEntry>, numTables> tables_;
     std::vector<LoopEntry> loopTable_;
 
-    // State carried from predict() to update().
+    // State carried from predict() to update(). The per-table
+    // indices/tags are computed once in predict() and reused by
+    // update() — ghr_ only advances at the end of update(), so the
+    // cached values equal what recomputation would produce, and the
+    // folded-history loops run once per branch instead of twice.
     struct PredState
     {
         int provider = -1; ///< table index, -1 = bimodal
         bool pred = false;
         bool loopUsed = false;
         bool loopPred = false;
+        std::array<uint32_t, numTables> idx{};
+        std::array<uint16_t, numTables> tag{};
     } last_;
 
     uint64_t rng_ = 0x9e3779b97f4a7c15ull;
@@ -116,6 +122,9 @@ class Btb
         uint64_t target = 0;
     };
     std::vector<Entry> entries_;
+    /** entries_.size() - 1 when the size is a power of two, else 0:
+     * the lookup then indexes with a mask instead of a division. */
+    size_t mask_ = 0;
 };
 
 /** Return stack buffer. */

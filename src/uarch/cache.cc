@@ -1,45 +1,42 @@
 #include "uarch/cache.hh"
 
+#include <cstring>
+
 namespace cassandra::uarch {
+
+namespace {
+
+int
+log2Exact(uint64_t v)
+{
+    if (v == 0 || (v & (v - 1)) != 0)
+        return -1;
+    int s = 0;
+    while ((v >> s) != 1)
+        s++;
+    return s;
+}
+
+} // namespace
 
 Cache::Cache(const CacheParams &params) : params_(params)
 {
     numSets_ = params_.sizeBytes / (params_.lineBytes * params_.ways);
     if (numSets_ == 0)
         numSets_ = 1;
+    lineShift_ = log2Exact(params_.lineBytes);
+    setShift_ = log2Exact(numSets_);
     lines_.resize(static_cast<size_t>(numSets_) * params_.ways);
-}
-
-bool
-Cache::access(uint64_t addr)
-{
-    stats_.accesses++;
-    uint64_t line_addr = addr / params_.lineBytes;
-    uint32_t set = static_cast<uint32_t>(line_addr % numSets_);
-    uint64_t tag = line_addr / numSets_;
-    Line *victim = &lines_[static_cast<size_t>(set) * params_.ways];
-    for (uint32_t w = 0; w < params_.ways; w++) {
-        Line &l = lines_[static_cast<size_t>(set) * params_.ways + w];
-        if (l.valid && l.tag == tag) {
-            l.lastUse = ++useClock_;
-            return true;
-        }
-        if (!l.valid || l.lastUse < victim->lastUse)
-            victim = &l;
-    }
-    stats_.misses++;
-    victim->valid = true;
-    victim->tag = tag;
-    victim->lastUse = ++useClock_;
-    return false;
+    std::memset(static_cast<void *>(lines_.data()), 0,
+                lines_.size() * sizeof(Line));
 }
 
 bool
 Cache::probe(uint64_t addr) const
 {
-    uint64_t line_addr = addr / params_.lineBytes;
-    uint32_t set = static_cast<uint32_t>(line_addr % numSets_);
-    uint64_t tag = line_addr / numSets_;
+    uint64_t line_addr = lineOf(addr);
+    uint32_t set = setOf(line_addr);
+    uint64_t tag = tagOf(line_addr);
     for (uint32_t w = 0; w < params_.ways; w++) {
         const Line &l = lines_[static_cast<size_t>(set) * params_.ways + w];
         if (l.valid && l.tag == tag)
@@ -59,32 +56,6 @@ MemoryHierarchy::MemoryHierarchy(const CoreParams &params)
     : params_(params), l1i_(params.l1i), l1d_(params.l1d), l2_(params.l2),
       l3_(params.l3)
 {
-}
-
-uint32_t
-MemoryHierarchy::accessFrom(Cache &l1, uint64_t addr)
-{
-    if (l1.access(addr))
-        return l1.params().latency;
-    if (l2_.access(addr))
-        return l1.params().latency + l2_.params().latency;
-    if (l3_.access(addr))
-        return l1.params().latency + l2_.params().latency +
-            l3_.params().latency;
-    return l1.params().latency + l2_.params().latency +
-        l3_.params().latency + params_.memLatency;
-}
-
-uint32_t
-MemoryHierarchy::accessData(uint64_t addr)
-{
-    return accessFrom(l1d_, addr);
-}
-
-uint32_t
-MemoryHierarchy::accessInst(uint64_t pc)
-{
-    return accessFrom(l1i_, pc);
 }
 
 } // namespace cassandra::uarch

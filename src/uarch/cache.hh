@@ -6,6 +6,11 @@
  * resulting latency; misses allocate in all levels above. This is the
  * standard fidelity for trace-driven pipeline studies — the paper's
  * results depend on hit/miss latency, not coherence.
+ *
+ * The access path is defined inline: the replay loop performs a few
+ * million accesses per cell, so the set/tag split must compile down to
+ * shifts (line size and set count are powers of two in every shipped
+ * configuration; a division fallback keeps odd geometries correct).
  */
 
 #ifndef CASSANDRA_UARCH_CACHE_HH
@@ -33,7 +38,31 @@ class Cache
     explicit Cache(const CacheParams &params);
 
     /** True on hit; allocates the line either way. */
-    bool access(uint64_t addr);
+    bool
+    access(uint64_t addr)
+    {
+        stats_.accesses++;
+        uint64_t line_addr = lineOf(addr);
+        uint32_t set = setOf(line_addr);
+        uint64_t tag = tagOf(line_addr);
+        Line *base = &lines_[static_cast<size_t>(set) * params_.ways];
+        Line *victim = base;
+        for (uint32_t w = 0; w < params_.ways; w++) {
+            Line &l = base[w];
+            if (l.valid && l.tag == tag) {
+                l.lastUse = ++useClock_;
+                return true;
+            }
+            if (!l.valid || l.lastUse < victim->lastUse)
+                victim = &l;
+        }
+        stats_.misses++;
+        victim->valid = true;
+        victim->tag = tag;
+        victim->lastUse = ++useClock_;
+        return false;
+    }
+
     /** Probe without allocating or counting. */
     bool probe(uint64_t addr) const;
     void invalidateAll();
@@ -42,15 +71,45 @@ class Cache
     const CacheStats &stats() const { return stats_; }
 
   private:
+    // The no-op default constructor lets the constructor's resize skip
+    // per-element initialization so the tag array (the L3's alone is
+    // ~130K lines, rebuilt for every simulated cell) is zeroed by one
+    // memset; the all-zero state is the valid empty line.
     struct Line
     {
-        bool valid = false;
-        uint64_t tag = 0;
-        uint64_t lastUse = 0;
+        bool valid;
+        uint64_t tag;
+        uint64_t lastUse;
+
+        Line() {} // members set by the constructor's memset
     };
+
+    uint64_t
+    lineOf(uint64_t addr) const
+    {
+        return lineShift_ >= 0 ? addr >> lineShift_
+                               : addr / params_.lineBytes;
+    }
+
+    uint32_t
+    setOf(uint64_t line_addr) const
+    {
+        return setShift_ >= 0
+            ? static_cast<uint32_t>(line_addr & (numSets_ - 1))
+            : static_cast<uint32_t>(line_addr % numSets_);
+    }
+
+    uint64_t
+    tagOf(uint64_t line_addr) const
+    {
+        return setShift_ >= 0 ? line_addr >> setShift_
+                              : line_addr / numSets_;
+    }
 
     CacheParams params_;
     uint32_t numSets_;
+    int lineShift_ = -1; ///< log2(lineBytes), -1 if not a power of two
+    int setShift_ = -1;  ///< log2(numSets), -1 if not a power of two
     std::vector<Line> lines_;
     uint64_t useClock_ = 0;
     CacheStats stats_;
@@ -63,9 +122,18 @@ class MemoryHierarchy
     explicit MemoryHierarchy(const CoreParams &params);
 
     /** Latency of a data access at addr. */
-    uint32_t accessData(uint64_t addr);
+    uint32_t
+    accessData(uint64_t addr)
+    {
+        return accessFrom(l1d_, addr);
+    }
+
     /** Latency of an instruction fetch at pc. */
-    uint32_t accessInst(uint64_t pc);
+    uint32_t
+    accessInst(uint64_t pc)
+    {
+        return accessFrom(l1i_, pc);
+    }
 
     const Cache &l1i() const { return l1i_; }
     const Cache &l1d() const { return l1d_; }
@@ -73,7 +141,19 @@ class MemoryHierarchy
     const Cache &l3() const { return l3_; }
 
   private:
-    uint32_t accessFrom(Cache &l1, uint64_t addr);
+    uint32_t
+    accessFrom(Cache &l1, uint64_t addr)
+    {
+        if (l1.access(addr))
+            return l1.params().latency;
+        if (l2_.access(addr))
+            return l1.params().latency + l2_.params().latency;
+        if (l3_.access(addr))
+            return l1.params().latency + l2_.params().latency +
+                l3_.params().latency;
+        return l1.params().latency + l2_.params().latency +
+            l3_.params().latency + params_.memLatency;
+    }
 
     CoreParams params_;
     Cache l1i_;

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cctype>
 #include <stdexcept>
-#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -67,6 +66,88 @@ schemeFromName(const std::string &name)
     throw std::invalid_argument(msg + ")");
 }
 
+size_t
+TimingOpSource::nextBatch(OpBatch &out, size_t max_ops)
+{
+    if (!fallback_)
+        fallback_ = std::make_unique<OpBatchStorage>();
+    OpBatchStorage &s = *fallback_;
+    s.resize(max_ops);
+    size_t n = 0;
+    for (; n < max_ops; n++) {
+        const TimingOp *op = next();
+        if (!op)
+            break;
+        s.pc[n] = op->pc;
+        s.memAddr[n] = op->memAddr;
+        s.nextPc[n] = op->nextPc;
+        s.inst[n] = op->inst;
+        s.crypto[n] = op->crypto ? 1 : 0;
+        s.tainted[n] = op->tainted ? 1 : 0;
+    }
+    out = s.view(0, n);
+    return n;
+}
+
+void
+buildOpBatchStorage(const TimingTrace &trace, OpBatchStorage &out)
+{
+    const size_t n = trace.size();
+    out.resize(n);
+    for (size_t i = 0; i < n; i++) {
+        const TimingOp &op = trace[i];
+        out.pc[i] = op.pc;
+        out.memAddr[i] = op.memAddr;
+        out.nextPc[i] = op.nextPc;
+        out.inst[i] = op.inst;
+        out.crypto[i] = op.crypto ? 1 : 0;
+        out.tainted[i] = op.tainted ? 1 : 0;
+    }
+}
+
+size_t
+TraceSpanSource::nextBatch(OpBatch &out, size_t max_ops)
+{
+    const size_t n = std::min(max_ops, trace_.size() - pos_);
+    if (shared_) {
+        out = shared_->view(pos_, n);
+        pos_ += n;
+        return n;
+    }
+    soa_.resize(n);
+    for (size_t i = 0; i < n; i++) {
+        const TimingOp &op = trace_[pos_ + i];
+        soa_.pc[i] = op.pc;
+        soa_.memAddr[i] = op.memAddr;
+        soa_.nextPc[i] = op.nextPc;
+        soa_.inst[i] = op.inst;
+        soa_.crypto[i] = op.crypto ? 1 : 0;
+        soa_.tainted[i] = op.tainted ? 1 : 0;
+    }
+    pos_ += n;
+    out = soa_.view(0, n);
+    return n;
+}
+
+namespace {
+
+/** Op count of the evaluation trace: one functional replay, no probe. */
+uint64_t
+countTraceOps(const core::Workload &workload, int which)
+{
+    sim::Machine machine(workload.program);
+    if (workload.setInput)
+        workload.setInput(machine, which);
+    auto res = machine.run(workload.maxDynInsts);
+    if (!res.halted) {
+        throw sim::SimError(workload.name +
+                            ": timing trace exceeded instruction budget");
+    }
+    return res.instCount;
+}
+
+} // namespace
+
 uint64_t
 recordTrace(const core::Workload &workload, int which,
             const std::function<void(const TimingOp &)> &sink)
@@ -97,10 +178,40 @@ recordTrace(const core::Workload &workload, int which,
 TimingTrace
 recordTrace(const core::Workload &workload, int which)
 {
+    // Count-first: one throwaway functional replay is far cheaper than
+    // repeatedly growing and copying a multi-megabyte TimingOp vector,
+    // and it makes the recording pass a single exact allocation.
     TimingTrace trace;
+    trace.reserve(countTraceOps(workload, which));
     recordTrace(workload, which,
                 [&](const TimingOp &op) { trace.push_back(op); });
     return trace;
+}
+
+uint64_t
+recordTrace(const core::Workload &workload, int which, TimingTrace &trace,
+            OpBatchStorage &mirror)
+{
+    const uint64_t total = countTraceOps(workload, which);
+    trace.clear();
+    trace.reserve(total);
+    mirror.resize(total);
+    size_t i = 0;
+    const uint64_t ops = recordTrace(
+        workload, which, [&](const TimingOp &op) {
+            trace.push_back(op);
+            if (i == mirror.pc.size())
+                mirror.resize(i + 1);
+            mirror.pc[i] = op.pc;
+            mirror.memAddr[i] = op.memAddr;
+            mirror.nextPc[i] = op.nextPc;
+            mirror.inst[i] = op.inst;
+            mirror.crypto[i] = op.crypto ? 1 : 0;
+            mirror.tainted[i] = op.tainted ? 1 : 0;
+            i++;
+        });
+    mirror.resize(i); // instCount can overshoot the probe by the halt
+    return ops;
 }
 
 void
@@ -256,6 +367,25 @@ OooCore::OooCore(const core::SimConfig &config, const ir::Program &program,
 {
     if (schemeUsesBtu(scheme_) && image_)
         btu_ = std::make_unique<btu::Btu>(*image_, btuParams_);
+    if (schemeIsCassandra(scheme_)) {
+        // The integrity check probes isCryptoPc once per BPU-predicted
+        // branch; precomputing it per static instruction turns the
+        // linear range scan into one table byte on the hot path.
+        cryptoPcMap_.resize(program.size());
+        for (size_t idx = 0; idx < cryptoPcMap_.size(); idx++)
+            cryptoPcMap_[idx] =
+                program.isCryptoPc(ir::Program::pcOf(idx)) ? 1 : 0;
+    }
+}
+
+bool
+OooCore::predictedCryptoPc(uint64_t pc) const
+{
+    const uint64_t off = pc - ir::Program::codeBase;
+    if (off < cryptoPcMap_.size() * ir::instBytes &&
+        off % ir::instBytes == 0)
+        return cryptoPcMap_[off / ir::instBytes] != 0;
+    return program_.isCryptoPc(pc);
 }
 
 OooCore::OooCore(const CoreParams &params, Scheme scheme,
@@ -279,6 +409,83 @@ OooCore::run(const TimingTrace &trace)
     TraceSpanSource src(trace);
     return run(src, nullptr);
 }
+
+namespace {
+
+/**
+ * Most recent older store per 8-byte granule: an open-addressing map
+ * (power-of-two slots, linear probing) supporting only find and
+ * insert-or-assign — all the replay loop needs. Replaces
+ * std::unordered_map on the hot path, where the per-access node
+ * indirection dominated the store/forwarding bookkeeping.
+ */
+class StoreMap
+{
+  public:
+    struct Slot
+    {
+        uint64_t key = 0;
+        uint64_t traceIdx = 0;
+        uint64_t ready = 0;
+        bool used = false;
+    };
+
+    StoreMap() : slots_(1u << 12) {}
+
+    const Slot *
+    find(uint64_t key) const
+    {
+        const size_t mask = slots_.size() - 1;
+        for (size_t idx = hashOf(key) & mask;; idx = (idx + 1) & mask) {
+            const Slot &s = slots_[idx];
+            if (!s.used)
+                return nullptr;
+            if (s.key == key)
+                return &s;
+        }
+    }
+
+    void
+    put(uint64_t key, uint64_t trace_idx, uint64_t ready)
+    {
+        if (count_ * 10 >= slots_.size() * 7)
+            grow();
+        const size_t mask = slots_.size() - 1;
+        size_t idx = hashOf(key) & mask;
+        while (slots_[idx].used && slots_[idx].key != key)
+            idx = (idx + 1) & mask;
+        Slot &s = slots_[idx];
+        count_ += s.used ? 0 : 1;
+        s.key = key;
+        s.traceIdx = trace_idx;
+        s.ready = ready;
+        s.used = true;
+    }
+
+  private:
+    static size_t
+    hashOf(uint64_t key)
+    {
+        return static_cast<size_t>((key * 0x9e3779b97f4a7c15ull) >> 32);
+    }
+
+    void
+    grow()
+    {
+        std::vector<Slot> old(slots_.size() * 2);
+        old.swap(slots_);
+        count_ = 0;
+        for (const Slot &s : old) {
+            if (s.used)
+                put(s.key, s.traceIdx, s.ready);
+        }
+    }
+
+    std::vector<Slot> slots_;
+    size_t count_ = 0;
+};
+
+} // namespace
 
 CoreStats
 OooCore::run(TimingOpSource &src, const TaintBitmap *taint)
@@ -308,12 +515,7 @@ OooCore::run(TimingOpSource &src, const TaintBitmap *taint)
     uint64_t last_store_resolve = 0;     // Cassandra+STL
 
     // STL forwarding: most recent older store per 8-byte granule.
-    struct StoreInfo
-    {
-        uint64_t traceIdx = 0;
-        uint64_t ready = 0;
-    };
-    std::unordered_map<uint64_t, StoreInfo> store_map;
+    StoreMap store_map;
 
     uint64_t fetch_clock = 1;
     uint32_t fetch_slots = params_.fetchWidth;
@@ -326,17 +528,53 @@ OooCore::run(TimingOpSource &src, const TaintBitmap *taint)
     const bool cassandra = schemeIsCassandra(scheme_);
     const bool uses_btu = btu_ != nullptr;
 
+    // Per-op loop invariants, hoisted into locals: params_ fields are
+    // otherwise reloaded through `this` after every opaque store, and
+    // the taint column only matters to the ProSpeCT schemes.
+    const uint32_t fetch_width = params_.fetchWidth;
+    const uint32_t frontend_depth = params_.frontendDepth;
+    const uint32_t l1i_latency = params_.l1i.latency;
+    const uint32_t decode_redirect = params_.decodeRedirect;
+    const uint32_t redirect_penalty = params_.redirectPenalty;
+    const uint32_t alu_latency = params_.aluLatency;
+    const uint32_t mul_latency = params_.mulLatency;
+    const uint32_t store_latency = params_.storeLatency;
+    const uint64_t rob_size = params_.robSize;
+    const bool prospect_scheme = scheme_ == Scheme::Prospect ||
+        scheme_ == Scheme::CassandraProspect;
+
+    // Fetch-line arithmetic runs once per dynamic op; a division by the
+    // runtime-configured line size cannot be strength-reduced by the
+    // compiler, so pre-derive the shift for power-of-two lines.
+    int l1i_line_shift = -1;
+    for (uint32_t s = 0; s < 32; s++) {
+        if (params_.l1i.lineBytes == (1u << s)) {
+            l1i_line_shift = static_cast<int>(s);
+            break;
+        }
+    }
+
+    // The stream is consumed in SoA batches: one virtual call per
+    // timingOpBatchOps ops, with every per-op column read straight out
+    // of the batch's parallel arrays.
+    OpBatch batch;
     size_t i = 0;
-    for (const TimingOp *opp = src.next(); opp; opp = src.next(), i++) {
-        const TimingOp &op = *opp;
-        const Inst &inst = *op.inst;
+    while (src.nextBatch(batch, timingOpBatchOps) != 0) {
+      for (size_t b = 0; b < batch.size; b++, i++) {
+        const uint64_t op_pc = batch.pc[b];
+        const uint64_t op_memAddr = batch.memAddr[b];
+        const uint64_t op_nextPc = batch.nextPc[b];
+        const Inst &inst = *batch.inst[b];
+        const bool op_crypto = batch.crypto[b] != 0;
         ExecClass cls = inst.execClass();
+        const bool is_load = cls == ExecClass::Load;
+        const bool is_store = cls == ExecClass::Store;
         stats.instructions++;
 
         // ------------------------------------------------------ fetch
         if (fetch_slots == 0) {
             fetch_clock++;
-            fetch_slots = params_.fetchWidth;
+            fetch_slots = fetch_width;
         }
         if (fetch_clock >= next_btu_flush) {
             if (btu_) {
@@ -345,12 +583,13 @@ OooCore::run(TimingOpSource &src, const TaintBitmap *taint)
             }
             next_btu_flush += params_.btuFlushPeriod;
         }
-        uint64_t line = op.pc / params_.l1i.lineBytes;
+        uint64_t line = l1i_line_shift >= 0 ? op_pc >> l1i_line_shift
+                                            : op_pc / params_.l1i.lineBytes;
         if (line != last_fetch_line) {
-            uint32_t lat = memory_.accessInst(op.pc);
-            if (lat > params_.l1i.latency) {
-                fetch_clock += lat - params_.l1i.latency;
-                fetch_slots = params_.fetchWidth;
+            uint32_t lat = memory_.accessInst(op_pc);
+            if (lat > l1i_latency) {
+                fetch_clock += lat - l1i_latency;
+                fetch_slots = fetch_width;
                 stats.icacheMissBubbles++;
             }
             last_fetch_line = line;
@@ -358,7 +597,7 @@ OooCore::run(TimingOpSource &src, const TaintBitmap *taint)
         uint64_t fetch_time = fetch_clock;
         fetch_slots--;
 
-        bool taken = op.nextPc != op.pc + ir::instBytes;
+        bool taken = op_nextPc != op_pc + ir::instBytes;
         bool end_group = false;
         bool resolve_redirect = false; ///< stall fetch until op resolves
         // Deliberate stalls (integrity checks, traceless crypto
@@ -369,24 +608,24 @@ OooCore::run(TimingOpSource &src, const TaintBitmap *taint)
 
         if (is_branch) {
             stats.branches++;
-            if (op.crypto)
+            if (op_crypto)
                 stats.cryptoBranches++;
 
-            if (op.crypto && cassandra) {
+            if (op_crypto && cassandra) {
                 // ---- crypto fetch flow (paper §5.3) ----
                 if (uses_btu) {
-                    auto res = btu_->fetchLookup(op.pc);
+                    auto res = btu_->fetchLookup(op_pc);
                     switch (res.outcome) {
                       case btu::Btu::Outcome::SingleTarget:
                       case btu::Btu::Outcome::Hit:
                         // Exact sequential redirect, no bubble.
-                        if (res.target != op.nextPc)
+                        if (res.target != op_nextPc)
                             stats.btuMismatches++;
                         break;
                       case btu::Btu::Outcome::MissFill:
                         fetch_clock += btuParams_.fillLatency;
                         stats.btuFillStalls++;
-                        if (res.target != op.nextPc)
+                        if (res.target != op_nextPc)
                             stats.btuMismatches++;
                         break;
                       case btu::Btu::Outcome::StallResolve:
@@ -396,14 +635,14 @@ OooCore::run(TimingOpSource &src, const TaintBitmap *taint)
                         break;
                       case btu::Btu::Outcome::WindowStall:
                         // Paper: never observed; charge one redirect.
-                        fetch_clock += params_.redirectPenalty;
+                        fetch_clock += redirect_penalty;
                         stats.btuWindowStalls++;
                         break;
                     }
                 } else {
                     // Cassandra-lite: hints only (paper Q3).
                     const core::HintInfo *hint =
-                        image_ ? image_->hint(op.pc) : nullptr;
+                        image_ ? image_->hint(op_pc) : nullptr;
                     if (hint && hint->singleTarget) {
                         // redirect from the hint, no bubble
                     } else {
@@ -420,24 +659,24 @@ OooCore::run(TimingOpSource &src, const TaintBitmap *taint)
                 switch (cls) {
                   case ExecClass::CondBranch:
                   {
-                    bool pred_taken = tage_.predict(op.pc);
-                    tage_.update(op.pc, taken);
+                    bool pred_taken = tage_.predict(op_pc);
+                    tage_.update(op_pc, taken);
                     if (pred_taken) {
-                        uint64_t t = btb_.predict(op.pc);
+                        uint64_t t = btb_.predict(op_pc);
                         if (t == 0) {
                             // Predicted taken, target unknown until
                             // decode: direct target, decode redirect.
-                            fetch_clock += params_.decodeRedirect;
+                            fetch_clock += decode_redirect;
                             stats.decodeRedirects++;
                             predicted =
                                 static_cast<uint64_t>(inst.imm);
                         } else {
                             predicted = t;
                         }
-                        btb_.update(op.pc,
+                        btb_.update(op_pc,
                                     static_cast<uint64_t>(inst.imm));
                     } else {
-                        predicted = op.pc + ir::instBytes;
+                        predicted = op_pc + ir::instBytes;
                     }
                     if (pred_taken != taken) {
                         mispredict = true;
@@ -447,24 +686,24 @@ OooCore::run(TimingOpSource &src, const TaintBitmap *taint)
                   }
                   case ExecClass::DirectJump:
                   {
-                    uint64_t t = btb_.predict(op.pc);
+                    uint64_t t = btb_.predict(op_pc);
                     if (t == 0) {
-                        fetch_clock += params_.decodeRedirect;
+                        fetch_clock += decode_redirect;
                         stats.decodeRedirects++;
                     }
-                    btb_.update(op.pc, op.nextPc);
+                    btb_.update(op_pc, op_nextPc);
                     if (inst.isCall())
-                        rsb_.push(op.pc + ir::instBytes);
-                    predicted = op.nextPc;
+                        rsb_.push(op_pc + ir::instBytes);
+                    predicted = op_nextPc;
                     break;
                   }
                   case ExecClass::IndirectJump:
                   {
-                    predicted = btb_.predict(op.pc);
-                    btb_.update(op.pc, op.nextPc);
+                    predicted = btb_.predict(op_pc);
+                    btb_.update(op_pc, op_nextPc);
                     if (inst.rd != ir::regZero)
-                        rsb_.push(op.pc + ir::instBytes);
-                    if (predicted != op.nextPc) {
+                        rsb_.push(op_pc + ir::instBytes);
+                    if (predicted != op_nextPc) {
                         mispredict = true;
                         stats.indirectMispredicts++;
                     }
@@ -473,7 +712,7 @@ OooCore::run(TimingOpSource &src, const TaintBitmap *taint)
                   case ExecClass::Return:
                   {
                     predicted = rsb_.pop();
-                    if (predicted != op.nextPc) {
+                    if (predicted != op_nextPc) {
                         mispredict = true;
                         stats.returnMispredicts++;
                     }
@@ -488,7 +727,7 @@ OooCore::run(TimingOpSource &src, const TaintBitmap *taint)
                 // Direct unconditional targets are architectural, not
                 // speculative, so only predictions can violate this.
                 if (cassandra && cls != ExecClass::DirectJump &&
-                    predicted != 0 && program_.isCryptoPc(predicted)) {
+                    predicted != 0 && predictedCryptoPc(predicted)) {
                     resolve_redirect = true;
                     stall_not_squash = true;
                     stats.integrityStalls++;
@@ -500,13 +739,13 @@ OooCore::run(TimingOpSource &src, const TaintBitmap *taint)
         }
 
         // ------------------------------------------- dispatch & issue
-        uint64_t dispatch = fetch_time + params_.frontendDepth;
+        uint64_t dispatch = fetch_time + frontend_depth;
         dispatch = std::max(dispatch, prev_dispatch);
         dispatch = std::max(dispatch, rob_ring.oldest()); // ROB space
         dispatch = std::max(dispatch, iq_ring.oldest());  // IQ space
-        if (inst.isLoad())
+        if (is_load)
             dispatch = std::max(dispatch, lq_ring.oldest());
-        if (inst.isStore())
+        if (is_store)
             dispatch = std::max(dispatch, sq_ring.oldest());
         if (inst.rd != ir::regZero)
             dispatch = std::max(dispatch, rf_ring.oldest());
@@ -537,7 +776,7 @@ OooCore::run(TimingOpSource &src, const TaintBitmap *taint)
         // lifts and pays a delayed-wakeup replay penalty (SPT-style
         // delayed transmitters re-issue through the IQ).
         constexpr uint64_t replay_penalty = 8;
-        if (inst.isLoad()) {
+        if (is_load) {
             uint64_t lb = ready;
             if (scheme_ == Scheme::Spt)
                 lb = std::max(lb, last_branch_resolve + replay_penalty);
@@ -545,10 +784,9 @@ OooCore::run(TimingOpSource &src, const TaintBitmap *taint)
                 stats.schemeLoadDelays++;
             ready = lb;
         }
-        const bool op_tainted = taint ? taint->test(i) : op.tainted;
-        if (op_tainted &&
-            (scheme_ == Scheme::Prospect ||
-             scheme_ == Scheme::CassandraProspect)) {
+        const bool op_tainted = prospect_scheme &&
+            (taint ? taint->test(i) : batch.tainted[b] != 0);
+        if (op_tainted) {
             uint64_t barrier = scheme_ == Scheme::Prospect
                 ? last_branch_resolve
                 : last_nc_branch_resolve;
@@ -560,37 +798,39 @@ OooCore::run(TimingOpSource &src, const TaintBitmap *taint)
 
         // Functional unit + issue bandwidth.
         UsageRing *fu = &alu_ring;
-        uint32_t latency = params_.aluLatency;
+        uint32_t latency = alu_latency;
         switch (cls) {
           case ExecClass::IntMul:
             fu = &mul_ring;
-            latency = params_.mulLatency;
+            latency = mul_latency;
             break;
           case ExecClass::Load:
           case ExecClass::Store:
             fu = &lsu_ring;
-            latency = params_.storeLatency;
+            latency = store_latency;
             break;
           default:
             break;
         }
         uint64_t issue = ready;
-        while (!issue_ring.free(issue) || !fu->free(issue))
-            issue++;
-        issue_ring.take(issue);
-        fu->take(issue);
+        for (;; issue++) {
+            if (!issue_ring.tryTake(issue))
+                continue;
+            if (fu->tryTake(issue))
+                break;
+            issue_ring.release(issue);
+        }
         iq_ring.push(issue);
 
         // ------------------------------------------------- completion
         uint64_t complete;
-        if (inst.isLoad()) {
+        if (is_load) {
             stats.loads++;
-            auto it = store_map.find(op.memAddr >> 3);
-            bool in_flight = it != store_map.end() &&
-                i - it->second.traceIdx < params_.robSize;
+            const StoreMap::Slot *st = store_map.find(op_memAddr >> 3);
+            bool in_flight = st && i - st->traceIdx < rob_size;
             if (in_flight) {
                 // Store-to-load forwarding.
-                complete = std::max(issue + 1, it->second.ready);
+                complete = std::max(issue + 1, st->ready);
                 stats.stlForwards++;
                 if (scheme_ == Scheme::CassandraStl) {
                     // Paper §7.2: a memory request is always sent for
@@ -600,20 +840,20 @@ OooCore::run(TimingOpSource &src, const TaintBitmap *taint)
                     // are base+immediate off early-ready pointers, the
                     // paper's own "easy-to-resolve address
                     // computations" argument.
-                    memory_.accessData(op.memAddr);
+                    memory_.accessData(op_memAddr);
                     complete = complete + 1;
                     stats.schemeLoadDelays++;
                 }
             } else {
-                uint32_t lat = memory_.accessData(op.memAddr);
+                uint32_t lat = memory_.accessData(op_memAddr);
                 complete = issue + lat;
             }
-        } else if (inst.isStore()) {
+        } else if (is_store) {
             stats.stores++;
             complete = issue + latency;
-            store_map[op.memAddr >> 3] = {i, complete};
+            store_map.put(op_memAddr >> 3, i, complete);
             last_store_resolve = std::max(last_store_resolve, complete);
-            memory_.accessData(op.memAddr);
+            memory_.accessData(op_memAddr);
         } else {
             complete = issue + latency;
         }
@@ -627,7 +867,7 @@ OooCore::run(TimingOpSource &src, const TaintBitmap *taint)
             // resolved before all older branches are.
             resolve = std::max(complete, last_branch_resolve + 1);
             last_branch_resolve = resolve;
-            bool counts_nc = !(op.crypto && cassandra);
+            bool counts_nc = !(op_crypto && cassandra);
             if (counts_nc) {
                 last_nc_branch_resolve =
                     std::max(last_nc_branch_resolve, resolve);
@@ -636,37 +876,39 @@ OooCore::run(TimingOpSource &src, const TaintBitmap *taint)
 
         // ----------------------------------------------------- commit
         uint64_t commit = std::max(complete + 1, prev_commit);
-        while (!commit_ring.free(commit))
+        while (!commit_ring.tryTake(commit))
             commit++;
-        commit_ring.take(commit);
         prev_commit = commit;
         rob_ring.push(commit);
-        if (inst.isLoad())
+        if (is_load)
             lq_ring.push(commit);
-        if (inst.isStore())
+        if (is_store)
             sq_ring.push(commit);
         if (inst.rd != ir::regZero)
             rf_ring.push(commit);
-        stats.cycles = std::max(stats.cycles, commit);
 
-        if (op.crypto && uses_btu && is_branch)
-            btu_->commitBranch(op.pc);
+        if (op_crypto && uses_btu && is_branch)
+            btu_->commitBranch(op_pc);
 
         // --------------------------------------- post-op fetch effects
         if (resolve_redirect) {
-            uint64_t bubble = stall_not_squash ? params_.decodeRedirect
-                                               : params_.redirectPenalty;
+            uint64_t bubble =
+                stall_not_squash ? decode_redirect : redirect_penalty;
             fetch_clock = std::max(fetch_clock, resolve + bubble);
-            fetch_slots = params_.fetchWidth;
+            fetch_slots = fetch_width;
             last_fetch_line = ~0ull;
         } else if (end_group) {
             fetch_slots = 0;
             last_fetch_line = ~0ull;
         }
         // Fetch cannot run unboundedly ahead of dispatch back-pressure.
-        if (fetch_clock + params_.frontendDepth + 64 < dispatch)
-            fetch_clock = dispatch - params_.frontendDepth;
+        if (fetch_clock + frontend_depth + 64 < dispatch)
+            fetch_clock = dispatch - frontend_depth;
+      }
     }
+    // Commit times are monotone (commit >= prev_commit by
+    // construction), so the final commit is the makespan.
+    stats.cycles = prev_commit;
     return stats;
 }
 

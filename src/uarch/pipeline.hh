@@ -67,6 +67,67 @@ struct TimingOp
 using TimingTrace = std::vector<TimingOp>;
 
 /**
+ * Ops per nextBatch() request on the replay hot path: 4K ops keep the
+ * six parallel arrays (~100 KiB live) L2-resident while amortizing the
+ * per-batch virtual dispatch to nothing.
+ */
+inline constexpr size_t timingOpBatchOps = 4096;
+
+/**
+ * A structure-of-arrays view of a run of consecutive timing ops:
+ * parallel `pc`/`memAddr`/`nextPc`/`inst`/flag arrays of `size`
+ * elements. The arrays are owned by the producing TimingOpSource and
+ * stay valid until its next nextBatch()/next() call.
+ */
+struct OpBatch
+{
+    const uint64_t *pc = nullptr;
+    const uint64_t *memAddr = nullptr;
+    const uint64_t *nextPc = nullptr;
+    const ir::Inst *const *inst = nullptr;
+    const uint8_t *crypto = nullptr;  ///< 0/1 per op
+    const uint8_t *tainted = nullptr; ///< 0/1 per op (ProSpeCT)
+    size_t size = 0;
+};
+
+/** Owning backing store for an OpBatch (one array per column). */
+struct OpBatchStorage
+{
+    std::vector<uint64_t> pc;
+    std::vector<uint64_t> memAddr;
+    std::vector<uint64_t> nextPc;
+    std::vector<const ir::Inst *> inst;
+    std::vector<uint8_t> crypto;
+    std::vector<uint8_t> tainted;
+
+    void
+    resize(size_t n)
+    {
+        pc.resize(n);
+        memAddr.resize(n);
+        nextPc.resize(n);
+        inst.resize(n);
+        crypto.resize(n);
+        tainted.resize(n);
+    }
+
+    /** View of elements [offset, offset + n). */
+    OpBatch
+    view(size_t offset, size_t n) const
+    {
+        OpBatch b;
+        b.pc = pc.data() + offset;
+        b.memAddr = memAddr.data() + offset;
+        b.nextPc = nextPc.data() + offset;
+        b.inst = inst.data() + offset;
+        b.crypto = crypto.data() + offset;
+        b.tainted = tainted.data() + offset;
+        b.size = n;
+        return b;
+    }
+};
+
+/**
  * A forward-only stream of timing ops. The timing model and the taint
  * pre-pass consume traces exclusively through this interface, so a
  * whole in-memory trace and a chunked on-disk trace (core/trace_stream
@@ -83,7 +144,27 @@ class TimingOpSource
      * pointer stays valid until the following next() call.
      */
     virtual const TimingOp *next() = 0;
+
+    /**
+     * Bulk form: fill `out` with the next run of up to `max_ops` ops
+     * and return its size (0 only at end of stream). The view stays
+     * valid until the following nextBatch()/next() call; next() and
+     * nextBatch() share one stream position and may be interleaved.
+     *
+     * The default implementation adapts next() one op at a time — it
+     * is the scalar reference the batched overrides are tested
+     * against. Sources with a native batch decode override it.
+     */
+    virtual size_t nextBatch(OpBatch &out, size_t max_ops);
+
+  private:
+    /** Lazily-allocated storage of the default nextBatch(). */
+    std::unique_ptr<OpBatchStorage> fallback_;
 };
+
+/** Transpose a whole in-memory trace into SoA columns (resizes `out`).
+ * Produces exactly the columns TraceSpanSource::nextBatch would. */
+void buildOpBatchStorage(const TimingTrace &trace, OpBatchStorage &out);
 
 /** TimingOpSource over an in-memory trace. */
 class TraceSpanSource final : public TimingOpSource
@@ -91,15 +172,32 @@ class TraceSpanSource final : public TimingOpSource
   public:
     explicit TraceSpanSource(const TimingTrace &trace) : trace_(trace) {}
 
+    /**
+     * Shares a prebuilt whole-trace SoA mirror (buildOpBatchStorage of
+     * the same trace, which must outlive the source): nextBatch serves
+     * zero-copy views into it instead of transposing per batch, so a
+     * trace replayed by many cells is transposed once, not per run.
+     */
+    TraceSpanSource(const TimingTrace &trace, const OpBatchStorage &soa)
+        : trace_(trace), shared_(&soa)
+    {
+    }
+
     const TimingOp *
     next() override
     {
         return pos_ < trace_.size() ? &trace_[pos_++] : nullptr;
     }
 
+    /** Native batch path: shared-mirror views, or one AoS -> SoA
+     * transpose per batch without a mirror. */
+    size_t nextBatch(OpBatch &out, size_t max_ops) override;
+
   private:
     const TimingTrace &trace_;
+    const OpBatchStorage *shared_ = nullptr;
     size_t pos_ = 0;
+    OpBatchStorage soa_;
 };
 
 /**
@@ -147,6 +245,14 @@ TimingTrace recordTrace(const core::Workload &workload, int which = 2);
  * the number of ops recorded. This is the memory-lean producer behind
  * TraceMode::Stream.
  */
+/**
+ * Record the evaluation trace into `trace` AND its SoA replay mirror
+ * in one pass (count-first: a throwaway functional replay sizes both
+ * exactly, so neither ever reallocates). Returns the op count.
+ */
+uint64_t recordTrace(const core::Workload &workload, int which,
+                     TimingTrace &trace, OpBatchStorage &mirror);
+
 uint64_t recordTrace(const core::Workload &workload, int which,
                      const std::function<void(const TimingOp &)> &sink);
 
@@ -274,6 +380,26 @@ class OooCore
             s.count++;
         }
 
+        /** free() + take() with a single slot probe: claim a slot at
+         * this cycle if one is still open. */
+        bool
+        tryTake(uint64_t cycle)
+        {
+            Slot &s = slotFor(cycle);
+            if (s.count >= limit_)
+                return false;
+            s.count++;
+            return true;
+        }
+
+        /** Release a slot claimed at this cycle (pair of tryTake, for
+         * all-or-nothing claims across two rings). */
+        void
+        release(uint64_t cycle)
+        {
+            slotFor(cycle).count--;
+        }
+
       private:
         struct Slot
         {
@@ -292,7 +418,14 @@ class OooCore
             return s;
         }
 
-        static constexpr size_t size_ = 1 << 15;
+        /**
+         * Ring span in cycles. Live issue/commit timestamps spread at
+         * most a few hundred cycles apart (bounded by the ROB window),
+         * so 1K slots can never alias two live cycles; at 16 B/slot
+         * the five rings of a run stay cache-resident (~80 KiB total)
+         * instead of thrashing a multi-MiB working set.
+         */
+        static constexpr size_t size_ = 1 << 10;
         std::array<Slot, size_> slots_{};
         uint32_t limit_;
     };
@@ -314,13 +447,20 @@ class OooCore
         push(uint64_t t)
         {
             times_[head_] = t;
-            head_ = (head_ + 1) % times_.size();
+            // Conditional wrap: depth is a runtime value, so a modulo
+            // here would be an integer division on every push.
+            head_ = head_ + 1 == times_.size() ? 0 : head_ + 1;
         }
 
       private:
         std::vector<uint64_t> times_;
         size_t head_ = 0;
     };
+
+    /** isCryptoPc(pc) for valid pcs, 0/1 per static instruction; the
+     * linear crypto-range scan stays as the fallback for pcs outside
+     * the code segment. Built once per core for Cassandra schemes. */
+    bool predictedCryptoPc(uint64_t pc) const;
 
     CoreParams params_;
     btu::BtuParams btuParams_;
@@ -332,6 +472,7 @@ class OooCore
     Btb btb_;
     Rsb rsb_;
     MemoryHierarchy memory_;
+    std::vector<uint8_t> cryptoPcMap_;
 };
 
 } // namespace cassandra::uarch

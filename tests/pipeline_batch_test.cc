@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Batched-replay parity tests: the SoA nextBatch() paths must be
+ * observably identical to the scalar next() path — same columns for
+ * every batch size, and byte-identical timing results across every
+ * scheme on both source kinds (in-memory span and chunked trace
+ * stream, both encodings). The scalar reference is the default
+ * TimingOpSource::nextBatch adapter, which batches through next().
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/analyzed_workload.hh"
+#include "core/serialize.hh"
+#include "core/trace_stream.hh"
+#include "uarch/pipeline.hh"
+#include "crypto/workload_registry.hh"
+
+namespace {
+
+using namespace cassandra;
+using core::AnalyzedWorkload;
+using core::ExperimentResult;
+using core::SimConfig;
+using core::TraceCompression;
+using core::TraceCursor;
+using core::TraceStreamWriter;
+using uarch::OpBatch;
+using uarch::Scheme;
+using uarch::TimingOp;
+using uarch::TimingOpSource;
+using uarch::TimingTrace;
+
+constexpr Scheme allSchemes[] = {
+    Scheme::UnsafeBaseline, Scheme::Cassandra,  Scheme::CassandraStl,
+    Scheme::CassandraLite,  Scheme::Spt,        Scheme::Prospect,
+    Scheme::CassandraProspect};
+
+core::Workload
+workload(const char *name)
+{
+    return crypto::WorkloadRegistry::global().make(name);
+}
+
+/**
+ * Hides a source's native nextBatch() override behind the base-class
+ * adapter: batching then goes through next() one op at a time, which
+ * is the scalar reference semantics every native batch path must
+ * reproduce exactly.
+ */
+class ScalarOnly : public TimingOpSource
+{
+  public:
+    explicit ScalarOnly(TimingOpSource &inner) : inner_(inner) {}
+
+    const TimingOp *
+    next() override
+    {
+        return inner_.next();
+    }
+
+  private:
+    TimingOpSource &inner_;
+};
+
+/** Drain `src` via nextBatch(max_ops) and compare the concatenated
+ * columns against the recorded trace. */
+void
+expectBatchedColumnsEqualTrace(TimingOpSource &src,
+                               const TimingTrace &trace, size_t max_ops)
+{
+    SCOPED_TRACE("max_ops=" + std::to_string(max_ops));
+    size_t i = 0;
+    OpBatch batch;
+    size_t n;
+    while ((n = src.nextBatch(batch, max_ops)) != 0) {
+        ASSERT_EQ(n, batch.size);
+        ASSERT_LE(n, max_ops);
+        for (size_t b = 0; b < n; b++, i++) {
+            ASSERT_LT(i, trace.size());
+            EXPECT_EQ(batch.pc[b], trace[i].pc);
+            EXPECT_EQ(batch.memAddr[b], trace[i].memAddr);
+            EXPECT_EQ(batch.nextPc[b], trace[i].nextPc);
+            EXPECT_EQ(batch.inst[b]->op, trace[i].inst->op);
+            EXPECT_EQ(batch.crypto[b] != 0, trace[i].crypto);
+        }
+    }
+    EXPECT_EQ(i, trace.size());
+}
+
+/** Write `trace` as a multi-frame stream file; small frames force
+ * batches to stop at frame boundaries (tail/partial batches). */
+std::string
+writeStream(const core::Workload &w, const TimingTrace &trace,
+            TraceCompression compression, uint32_t frame_ops)
+{
+    const std::string path = testing::TempDir() + "/batch-" +
+        std::string(core::traceCompressionName(compression)) + "-" +
+        std::to_string(frame_ops) + ".trace";
+    TraceStreamWriter writer(path, core::programFingerprint(w.program),
+                             frame_ops, compression);
+    for (const auto &op : trace)
+        writer.append(op);
+    writer.finish();
+    return path;
+}
+
+/** One timing run of `src` under `scheme`, with the demand-driven
+ * image/taint phases exactly as core::Simulation wires them. */
+ExperimentResult
+runScheme(const AnalyzedWorkload::Ptr &aw, Scheme scheme,
+          TimingOpSource &src)
+{
+    const core::TraceImage *image = nullptr;
+    if (uarch::schemeIsCassandra(scheme))
+        image = &aw->traces().image;
+    const uarch::TaintBitmap *taint = nullptr;
+    const bool needs_taint = scheme == Scheme::Prospect ||
+        scheme == Scheme::CassandraProspect;
+    if (needs_taint && !aw->workload().secretRegions.empty())
+        taint = &aw->taintBitmap();
+
+    SimConfig config;
+    config.scheme = scheme;
+    uarch::OooCore core(config, aw->workload().program, image);
+    ExperimentResult r;
+    r.stats = core.run(src, taint);
+    if (core.btuUnit())
+        r.btu = core.btuUnit()->stats();
+    r.bpu = core.tage().stats();
+    const auto &mem = core.memory();
+    r.caches.l1iAccesses = mem.l1i().stats().accesses;
+    r.caches.l1iMisses = mem.l1i().stats().misses;
+    r.caches.l1dAccesses = mem.l1d().stats().accesses;
+    r.caches.l1dMisses = mem.l1d().stats().misses;
+    r.caches.l2Accesses = mem.l2().stats().accesses;
+    r.caches.l2Misses = mem.l2().stats().misses;
+    r.caches.l3Accesses = mem.l3().stats().accesses;
+    r.caches.l3Misses = mem.l3().stats().misses;
+    return r;
+}
+
+/** Every counter of the run, as one comparable vector. */
+std::vector<uint64_t>
+allCounters(const ExperimentResult &r)
+{
+    const auto &s = r.stats;
+    const auto &b = r.btu;
+    const auto &p = r.bpu;
+    const auto &c = r.caches;
+    return {
+        s.cycles,         s.instructions,      s.branches,
+        s.cryptoBranches, s.condMispredicts,   s.indirectMispredicts,
+        s.returnMispredicts, s.decodeRedirects, s.integrityStalls,
+        s.resolveStalls,  s.btuFillStalls,     s.btuWindowStalls,
+        s.btuFlushes,     s.btuMismatches,     s.loads,
+        s.stores,         s.stlForwards,       s.schemeLoadDelays,
+        s.prospectBlocks, s.icacheMissBubbles,
+        b.lookups,        b.hits,              b.misses,
+        b.singleTargetHits, b.evictions,       b.checkpointRestores,
+        b.prefetches,     b.commits,           b.flushes,
+        b.windowStalls,   b.stallResolve,      b.squashRewinds,
+        p.condLookups,    p.condMispredicts,   p.loopOverrides,
+        p.btbLookups,     p.btbMisses,         p.indirectMispredicts,
+        p.rsbPushes,      p.rsbPops,           p.returnMispredicts,
+        p.updates,
+        c.l1iAccesses,    c.l1iMisses,         c.l1dAccesses,
+        c.l1dMisses,      c.l2Accesses,        c.l2Misses,
+        c.l3Accesses,     c.l3Misses,
+    };
+}
+
+// ---------------------------------------------------------------------
+// Column equivalence: every batch size, both source kinds
+// ---------------------------------------------------------------------
+
+TEST(BatchColumnsTest, SpanSourceMatchesTraceAtOddBatchSizes)
+{
+    core::Workload w = workload("SHA-256");
+    auto trace = uarch::recordTrace(w, 2);
+    ASSERT_GT(trace.size(), 2 * uarch::timingOpBatchOps);
+    const size_t B = uarch::timingOpBatchOps;
+    for (size_t max_ops : {size_t{1}, B - 1, B, B + 1, trace.size() + 7}) {
+        uarch::TraceSpanSource src(trace);
+        expectBatchedColumnsEqualTrace(src, trace, max_ops);
+    }
+    // The shared-mirror constructor serves the same columns.
+    uarch::OpBatchStorage mirror;
+    uarch::buildOpBatchStorage(trace, mirror);
+    for (size_t max_ops : {size_t{1}, B - 1, B, B + 1}) {
+        uarch::TraceSpanSource src(trace, mirror);
+        expectBatchedColumnsEqualTrace(src, trace, max_ops);
+    }
+}
+
+TEST(BatchColumnsTest, CursorMatchesTraceBothEncodings)
+{
+    core::Workload w = workload("SHA-256");
+    auto trace = uarch::recordTrace(w, 2);
+    const size_t B = uarch::timingOpBatchOps;
+    // 256-op frames force every batch to stop at a frame boundary;
+    // default-sized frames exercise full-width batches with a tail.
+    for (uint32_t frame_ops : {uint32_t{256}, uint32_t{1} << 15}) {
+        for (auto compression :
+             {TraceCompression::None, TraceCompression::Delta}) {
+            SCOPED_TRACE(std::string(
+                             core::traceCompressionName(compression)) +
+                         "/frameOps=" + std::to_string(frame_ops));
+            const std::string path =
+                writeStream(w, trace, compression, frame_ops);
+            for (size_t max_ops : {size_t{1}, B - 1, B, B + 1}) {
+                TraceCursor cursor(path, w.program);
+                expectBatchedColumnsEqualTrace(cursor, trace, max_ops);
+            }
+            std::remove(path.c_str());
+        }
+    }
+}
+
+TEST(BatchColumnsTest, EmptyAndExhaustedSourcesReturnZero)
+{
+    TimingTrace empty;
+    uarch::TraceSpanSource src(empty);
+    OpBatch batch;
+    EXPECT_EQ(src.nextBatch(batch, uarch::timingOpBatchOps), 0u);
+
+    core::Workload w = workload("SHA-256");
+    auto trace = uarch::recordTrace(w, 2);
+    uarch::TraceSpanSource drained(trace);
+    while (drained.next() != nullptr) {
+    }
+    EXPECT_EQ(drained.nextBatch(batch, uarch::timingOpBatchOps), 0u);
+}
+
+TEST(BatchColumnsTest, NextAndNextBatchShareOnePosition)
+{
+    core::Workload w = workload("SHA-256");
+    auto trace = uarch::recordTrace(w, 2);
+    const std::string path =
+        writeStream(w, trace, TraceCompression::Delta, 256);
+    TraceCursor cursor(path, w.program);
+    // Scalar-consume into the middle of a frame, then switch to
+    // batches: the batch must resume exactly where next() stopped.
+    const size_t lead = 100;
+    for (size_t i = 0; i < lead; i++)
+        ASSERT_NE(cursor.next(), nullptr);
+    OpBatch batch;
+    size_t n = cursor.nextBatch(batch, 64);
+    ASSERT_GT(n, 0u);
+    for (size_t b = 0; b < n; b++) {
+        EXPECT_EQ(batch.pc[b], trace[lead + b].pc);
+        EXPECT_EQ(batch.nextPc[b], trace[lead + b].nextPc);
+    }
+    // And back to scalar.
+    const TimingOp *op = cursor.next();
+    ASSERT_NE(op, nullptr);
+    EXPECT_EQ(op->pc, trace[lead + n].pc);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Frame decoder equivalence
+// ---------------------------------------------------------------------
+
+TEST(BatchColumnsTest, SoADecoderMatchesAosDecoder)
+{
+    // Compressible (delta frame) and incompressible (raw fallback
+    // frame) payloads both decode to identical columns.
+    auto check = [](const std::vector<uint8_t> &raw, size_t ops) {
+        auto frame = core::encodeTraceFrame(raw);
+        auto aos = core::decodeTraceFrame(frame.data(), frame.size(), ops);
+        std::vector<uint64_t> pc(ops), mem(ops), next(ops);
+        core::decodeTraceFrameSoA(frame.data(), frame.size(), ops,
+                                  pc.data(), mem.data(), next.data());
+        for (size_t i = 0; i < ops; i++) {
+            uint64_t v[3];
+            for (int f = 0; f < 3; f++) {
+                v[f] = 0;
+                for (int b = 0; b < 8; b++) {
+                    v[f] |= static_cast<uint64_t>(
+                                aos[i * 24 + f * 8 + b])
+                        << (8 * b);
+                }
+            }
+            ASSERT_EQ(pc[i], v[0]) << "op " << i;
+            ASSERT_EQ(mem[i], v[1]) << "op " << i;
+            ASSERT_EQ(next[i], v[2]) << "op " << i;
+        }
+    };
+
+    // Straight-line-looking ops: delta encoding wins (kind 1).
+    const size_t ops = 1000;
+    std::vector<uint8_t> seq(ops * core::traceStreamOpBytes, 0);
+    for (size_t i = 0; i < ops; i++) {
+        uint64_t pc = 0x10000 + 4 * i;
+        for (int b = 0; b < 8; b++) {
+            seq[i * 24 + b] = static_cast<uint8_t>(pc >> (8 * b));
+            seq[i * 24 + 16 + b] =
+                static_cast<uint8_t>((pc + 4) >> (8 * b));
+        }
+    }
+    check(seq, ops);
+
+    // Pseudo-random bytes: the delta encoding loses, raw fallback
+    // (kind 0) is written instead.
+    std::vector<uint8_t> rnd(128 * core::traceStreamOpBytes);
+    uint64_t state = 0x9e3779b97f4a7c15ull;
+    for (auto &byte : rnd) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        byte = static_cast<uint8_t>(state >> 33);
+    }
+    check(rnd, 128);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end timing parity: batched vs scalar, all schemes
+// ---------------------------------------------------------------------
+
+TEST(BatchParityTest, WholeSourceMatchesScalarAcrossSchemes)
+{
+    auto aw = AnalyzedWorkload::analyze(workload("ChaCha20_ct"));
+    for (Scheme scheme : allSchemes) {
+        SCOPED_TRACE(uarch::schemeName(scheme));
+        auto batched_src = aw->openOpSource();
+        auto batched = runScheme(aw, scheme, *batched_src);
+        auto scalar_inner = aw->openOpSource();
+        ScalarOnly scalar_src(*scalar_inner);
+        auto scalar = runScheme(aw, scheme, scalar_src);
+        EXPECT_EQ(allCounters(batched), allCounters(scalar));
+    }
+}
+
+TEST(BatchParityTest, StreamSourceMatchesScalarAcrossSchemes)
+{
+    core::AnalyzeOptions options;
+    options.traceMode = core::TraceMode::Stream;
+    options.streamDir = testing::TempDir() + "/batch-parity-streams";
+    for (auto compression :
+         {TraceCompression::None, TraceCompression::Delta}) {
+        options.compression = compression;
+        auto aw =
+            AnalyzedWorkload::analyze(workload("ChaCha20_ct"), options);
+        for (Scheme scheme : allSchemes) {
+            SCOPED_TRACE(std::string(
+                             core::traceCompressionName(compression)) +
+                         "/" + uarch::schemeName(scheme));
+            auto batched_src = aw->openOpSource();
+            auto batched = runScheme(aw, scheme, *batched_src);
+            auto scalar_inner = aw->openOpSource();
+            ScalarOnly scalar_src(*scalar_inner);
+            auto scalar = runScheme(aw, scheme, scalar_src);
+            EXPECT_EQ(allCounters(batched), allCounters(scalar));
+        }
+    }
+}
+
+} // namespace

@@ -732,6 +732,9 @@ TEST(TraceStreamTest, StreamFileReclaimedWithArtifact)
         auto artifact =
             AnalyzedWorkload::analyze(workload("ChaCha20_ct"), opts);
         path = artifact->streamPath();
+        // Phases are demand-driven: the stream file appears on first
+        // use, not at analyze() time.
+        artifact->numOps();
         std::FILE *f = std::fopen(path.c_str(), "rb");
         ASSERT_NE(f, nullptr) << path;
         std::fclose(f);
