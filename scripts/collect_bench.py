@@ -12,9 +12,13 @@ of configs/ci_smoke.json, then writes two machine-readable baselines:
   BENCH_service.json  jobs/sec + cells/sec through the spool service
                       (--serve/--submit), cold vs warm result store,
                       with the batch's cross-job dedup counters
+  BENCH_q3.json       server macro benchmark: simulated requests/sec
+                      per scheme on the composite server/tls mixes
+                      (q3_cassandra_lite), plus the harness wall time
 
 Usage: scripts/collect_bench.py [--build BUILD_DIR] [--out-dir DIR]
                                 [--repeat N] [--compare OLD.json]
+                                [--compare-q3 OLD.json]
 
 `--repeat N` runs every timed leg N times and keeps the best (the
 machines that collect these baselines are small and noisy; best-of-N
@@ -26,6 +30,11 @@ against a previous one (normally the committed baseline): prints a
 per-metric old/new/delta table and exits non-zero when cells/sec of
 either leg regressed by more than 15%. This is the CI perf gate —
 see docs/ARCHITECTURE.md, "Performance".
+
+`--compare-q3 OLD.json` applies the same contract to BENCH_q3.json:
+per-scheme simulated requests/sec must not drop more than 15% below
+the committed baseline. Simulated cycles are deterministic, so any
+drift here is a real simulator/scheme change, not measurement noise.
 
 The build directory must be a Release build; micro binaries are
 skipped (with a note) when google-benchmark was not available at
@@ -114,6 +123,55 @@ def timed_service(run_experiment, configs, cache_dir):
 
 REGRESSION_LIMIT = 0.15  # fraction of cells/sec loss that fails CI
 
+NOMINAL_HZ = 3e9  # presentation clock of the q3 requests/sec numbers
+
+
+def timed_q3(q3_binary):
+    """One q3 server sweep -> (seconds, per-scheme requests/sec)."""
+    with tempfile.TemporaryDirectory() as scratch:
+        out = os.path.join(scratch, "report.json")
+        start = time.monotonic()
+        subprocess.run(
+            [q3_binary, "--format=json", f"--out={out}"],
+            check=True, stdout=subprocess.DEVNULL)
+        seconds = time.monotonic() - start
+        results = json.load(open(out))["results"]
+    schemes = {}
+    for cell in results:
+        n = int(cell["workload"].rsplit("/", 1)[1])
+        rps = n * NOMINAL_HZ / cell["cycles"]
+        schemes.setdefault(cell["scheme"], {})[cell["workload"]] = \
+            round(rps, 1)
+    workloads = sorted({cell["workload"] for cell in results})
+    return seconds, workloads, schemes
+
+
+def compare_q3(new_doc, old_path):
+    """Per-scheme requests/sec deltas vs a previous BENCH_q3.json.
+
+    Returns regression messages (empty = gate passes). A scheme
+    regresses when requests/sec of any workload dropped more than
+    REGRESSION_LIMIT below the old baseline.
+    """
+    old_doc = json.load(open(old_path))
+    failures = []
+    print(f"comparison vs {old_path}:")
+    print(f"  {'metric':<38} {'old':>12} {'new':>12} {'delta':>8}")
+    for scheme, workloads in sorted(new_doc["schemes"].items()):
+        for workload, new in sorted(workloads.items()):
+            old = old_doc.get("schemes", {}).get(scheme, {}) \
+                .get(workload)
+            if old is None:
+                continue
+            delta = (new - old) / old if old else 0.0
+            name = f"{scheme}[{workload}].req_per_sec"
+            print(f"  {name:<38} {old:>12} {new:>12} {delta:>+7.1%}")
+            if delta < -REGRESSION_LIMIT:
+                failures.append(
+                    f"{name} regressed {-delta:.1%} "
+                    f"({old} -> {new}), limit {REGRESSION_LIMIT:.0%}")
+    return failures
+
 
 def compare_fig7(new_doc, old_path):
     """Print per-metric deltas vs a previous BENCH_fig7.json.
@@ -153,6 +211,10 @@ def main():
                         help="diff BENCH_fig7.json against this "
                              "baseline; exit 1 on a >15%% cells/sec "
                              "regression")
+    parser.add_argument("--compare-q3", metavar="OLD.json",
+                        help="diff BENCH_q3.json against this "
+                             "baseline; exit 1 on a >15%% requests/sec "
+                             "regression of any scheme")
     args = parser.parse_args()
     os.makedirs(args.out_dir, exist_ok=True)
 
@@ -212,6 +274,30 @@ def main():
     failures = []
     if args.compare:
         failures = compare_fig7(doc, args.compare)
+
+    # --- BENCH_q3.json ----------------------------------------------
+    # The server macro benchmark: simulated requests/sec-equivalent
+    # per scheme on the composite server/tls mixes. The throughput
+    # numbers derive from deterministic simulated cycles (identical
+    # every run); only the wall seconds take best-of-N.
+    q3_binary = os.path.join(args.build, "bench", "q3_cassandra_lite")
+    q3_s = None
+    for _ in range(max(1, args.repeat)):
+        seconds, q3_workloads, q3_schemes = timed_q3(q3_binary)
+        if q3_s is None or seconds < q3_s:
+            q3_s = seconds
+    doc = {
+        "nominal_ghz": NOMINAL_HZ / 1e9,
+        "workloads": q3_workloads,
+        "seconds": round(q3_s, 3),
+        "schemes": q3_schemes,
+    }
+    path = os.path.join(args.out_dir, "BENCH_q3.json")
+    json.dump(doc, open(path, "w"), indent=2)
+    print(f"wrote {path}")
+
+    if args.compare_q3:
+        failures += compare_q3(doc, args.compare_q3)
 
     # --- BENCH_service.json -----------------------------------------
     # Two overlapping sweeps through the spool service: the cold pass

@@ -246,8 +246,13 @@ AnalyzedWorkload::verifyOutput() const
     if (workload_.setInput)
         workload_.setInput(machine, 2);
     auto res = machine.run(workload_.maxDynInsts);
-    if (!res.halted)
-        return false;
+    if (!res.halted) {
+        // Previously a silent `false`, indistinguishable from a wrong
+        // answer; budget exhaustion is an analysis-setup bug and gets
+        // the typed error.
+        throw InstructionBudgetError(workload_.name, res.instCount,
+                                     "output verification run");
+    }
     return workload_.check(machine);
 }
 

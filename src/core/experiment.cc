@@ -423,6 +423,16 @@ ExperimentRunner::run(const std::vector<ExperimentMatrix> &matrices) const
     }
     exp.cells = std::move(results);
 
+    // Analysis observability: every artifact whose Algorithm 2 phase
+    // ran (or was adopted from a snapshot) reports its accumulator
+    // peak. Keyed by name and emitted in map order so the stats
+    // document is deterministic across thread schedules.
+    for (const auto &[name, artifact] : exp.artifacts) {
+        if (artifact->hasTraceImage())
+            exp.telemetry.analysisPeaks.emplace_back(
+                name, artifact->traces().peakAccumBytes);
+    }
+
     if (store_) {
         // Size-bound GC after the run's writes: long-running service
         // hosts keep their `.cr` directory under the configured
@@ -874,7 +884,27 @@ writeRunTelemetry(const RunTelemetry &telemetry, std::ostream &os)
         o.field("deduped_cells", telemetry.dedupedCells);
         o.field("gc_evictions", telemetry.cacheGcEvictions);
     }
-    os << "\n  },\n  \"schedule\": ";
+    os << "\n  },\n  \"analysis\": ";
+    if (telemetry.analysisPeaks.empty()) {
+        os << "null";
+    } else {
+        os << "{";
+        JsonObject o(os, 4);
+        o.field("image_runs",
+                static_cast<uint64_t>(telemetry.analysisPeaks.size()));
+        o.field("peak_accum_bytes", telemetry.analysisPeakAccumBytes());
+        std::ostream &peaks_os = o.object("workloads");
+        peaks_os << "{";
+        bool first = true;
+        for (const auto &[name, bytes] : telemetry.analysisPeaks) {
+            peaks_os << (first ? "" : ", ") << '"' << name << "\": "
+                     << bytes;
+            first = false;
+        }
+        peaks_os << "}";
+        os << "\n  }";
+    }
+    os << ",\n  \"schedule\": ";
     if (!telemetry.scheduled) {
         os << "null";
     } else {

@@ -113,6 +113,23 @@ struct RunTelemetry
      * (RunnerOptions::cacheGcMb). */
     uint64_t cacheGcEvictions = 0;
 
+    /** Algorithm 2 accumulator peak of each workload whose image
+     * phase ran in this dispatch (name -> peak bytes, matrix order).
+     * The load-bearing boundedness observable: for the composite
+     * server mixes this number must stay flat as the request count
+     * grows (docs/ARCHITECTURE.md, "Memory bounds"). */
+    std::vector<std::pair<std::string, uint64_t>> analysisPeaks;
+
+    /** Max over analysisPeaks (0 when no image phase ran). */
+    uint64_t
+    analysisPeakAccumBytes() const
+    {
+        uint64_t max = 0;
+        for (const auto &[name, bytes] : analysisPeaks)
+            max = bytes > max ? bytes : max;
+        return max;
+    }
+
     /** A subprocess shard schedule was computed this run. */
     bool scheduled = false;
     std::string scheduler; ///< "contiguous" or "lpt"

@@ -1,5 +1,6 @@
 #include "core/tracegen.hh"
 
+#include <algorithm>
 #include <chrono>
 
 namespace cassandra::core {
@@ -14,20 +15,41 @@ secondsSince(Clock::time_point start)
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/** Collect raw traces of all crypto branches under one input. */
-std::map<uint64_t, RawTrace>
+/**
+ * Above this many logical run elements, a perfectly periodic branch
+ * is encoded from one period instead of the full expansion (the BTU
+ * replays traces cyclically, so the served element sequence is
+ * identical). Gated high enough that no single-kernel workload ever
+ * reaches it — trace size influences BTU pressure, so ungated
+ * period-encoding would perturb existing timings.
+ */
+constexpr uint64_t kPeriodEncodeElems = uint64_t(1) << 20;
+
+/** One instrumented run accumulating folded traces (steps A-C). */
+struct FoldedRun
+{
+    std::map<uint64_t, FoldedTrace> traces;
+    uint64_t heldBytes = 0;
+    uint64_t peakBytes = 0;
+};
+
+FoldedRun
 collectRun(const Workload &w, int which)
 {
     sim::Machine machine(w.program);
-    TraceCollector collector(machine, /*crypto_only=*/true);
+    FoldedTraceCollector collector(machine, /*crypto_only=*/true);
     if (w.setInput)
         w.setInput(machine, which);
     auto res = machine.run(w.maxDynInsts);
-    if (!res.halted) {
-        throw sim::SimError(w.name + ": run exceeded instruction budget (" +
-                            std::to_string(res.instCount) + ")");
-    }
-    return collector.raw();
+    if (!res.halted)
+        throw InstructionBudgetError(w.name, res.instCount,
+                                     "Algorithm 2 analysis run");
+    collector.finish();
+    FoldedRun out;
+    out.heldBytes = collector.heldBytes();
+    out.peakBytes = collector.peakHeldBytes();
+    out.traces = collector.take();
+    return out;
 }
 
 } // namespace
@@ -49,21 +71,29 @@ generateTraces(const Workload &workload, const KmersParams &params)
     TraceGenResult out;
     out.image.cryptoRanges = workload.program.cryptoRanges;
 
-    // Steps A + B: one instrumented run per analysis input collects the
-    // raw traces of every static branch that appears during execution
-    // (the per-branch loop of Algorithm 2 then walks the union set).
+    // Steps A + B + C fused: one instrumented run per analysis input
+    // run-length-encodes every static branch's trace online (the
+    // folded accumulators never hold the raw target stream), so
+    // analysis memory is O(static branches + folded RLE size) no
+    // matter how many dynamic instructions the run executes.
     auto t0 = Clock::now();
-    auto raw1 = collectRun(workload, 0);
-    auto raw2 = collectRun(workload, 1);
+    FoldedRun run1 = collectRun(workload, 0);
+    FoldedRun run2 = collectRun(workload, 1);
     out.timings.rawSec = secondsSince(t0);
+
+    // run1's accumulators stay resident while run2 executes, so the
+    // process-level peak is run1's peak or run1's footprint plus
+    // run2's peak, whichever is larger.
+    out.peakAccumBytes =
+        std::max(run1.peakBytes, run1.heldBytes + run2.peakBytes);
 
     // Step A bookkeeping: the static branch set is the union of the
     // branches seen under either input.
     t0 = Clock::now();
     std::map<uint64_t, bool> unique_branches;
-    for (const auto &[pc, trace] : raw1)
+    for (const auto &[pc, trace] : run1.traces)
         unique_branches[pc] = true;
-    for (const auto &[pc, trace] : raw2)
+    for (const auto &[pc, trace] : run2.traces)
         unique_branches[pc] = true;
     out.timings.detectSec = secondsSince(t0);
 
@@ -71,9 +101,9 @@ generateTraces(const Workload &workload, const KmersParams &params)
         BranchRecord rec;
         rec.pc = pc;
 
-        auto it1 = raw1.find(pc);
-        auto it2 = raw2.find(pc);
-        if (it1 == raw1.end() || it2 == raw2.end()) {
+        auto it1 = run1.traces.find(pc);
+        auto it2 = run2.traces.find(pc);
+        if (it1 == run1.traces.end() || it2 == run2.traces.end()) {
             // Executed under only one input: control flow itself is
             // input-dependent.
             rec.inputDependent = true;
@@ -83,34 +113,53 @@ generateTraces(const Workload &workload, const KmersParams &params)
             continue;
         }
 
-        // Step C: vanilla traces.
-        t0 = Clock::now();
-        VanillaTrace v1 = toVanilla(it1->second);
-        VanillaTrace v2 = toVanilla(it2->second);
-        out.timings.vanillaSec += secondsSince(t0);
-        rec.vanillaSize = v1.size();
+        const FoldedTrace &f1 = it1->second;
+        const FoldedTrace &f2 = it2->second;
+        rec.vanillaSize = f1.logicalSize();
 
-        // Single-target: every execution went to the same place under
-        // both inputs (vanilla trace size is already 1).
-        if (v1.size() == 1 && v2.size() == 1 &&
-            v1[0].target == v2[0].target) {
-            rec.singleTarget = true;
-            out.image.add(makeSingleTarget(pc, v1[0].target));
-            out.records.push_back(rec);
-            continue;
-        }
-
-        // Input-dependence diff. Comparing the vanilla traces is
-        // equivalent to the paper's diff(K1, K2): Algorithm 1 is
-        // deterministic, so equal vanilla traces yield equal K and
-        // unequal vanilla traces yield unequal expansions.
-        if (!(v1 == v2)) {
+        // A branch that outgrew its accumulator cap gets the same
+        // safe fallback as an undecodable one: stall until resolved.
+        if (f1.capped() || f2.capped()) {
             rec.inputDependent = true;
             rec.rejection = TraceRejection::InputDependent;
             out.image.add(makeInputDependent(pc));
             out.records.push_back(rec);
             continue;
         }
+
+        // Single-target: every execution went to the same place under
+        // both inputs (vanilla trace size is already 1).
+        if (f1.logicalSize() == 1 && f2.logicalSize() == 1 &&
+            f1.frontTarget() == f2.frontTarget()) {
+            rec.singleTarget = true;
+            out.image.add(makeSingleTarget(pc, f1.frontTarget()));
+            out.records.push_back(rec);
+            continue;
+        }
+
+        // Input-dependence diff. Folding is deterministic in the
+        // committed-element sequence, so structural equality of the
+        // folded traces is exactly the paper's diff(K1, K2) on the
+        // vanilla traces — no expansion needed to compare.
+        if (!f1.sameAs(f2)) {
+            rec.inputDependent = true;
+            rec.rejection = TraceRejection::InputDependent;
+            out.image.add(makeInputDependent(pc));
+            out.records.push_back(rec);
+            continue;
+        }
+
+        // Step C output: materialize the (small) vanilla trace for
+        // the compression stages. Perfectly periodic traces past the
+        // gate encode one period — cyclically identical replay.
+        t0 = Clock::now();
+        VanillaTrace v1;
+        const VanillaTrace *period = f1.purePeriod();
+        if (period && f1.logicalSize() > kPeriodEncodeElems)
+            v1 = *period;
+        else
+            v1 = f1.expand();
+        out.timings.vanillaSec += secondsSince(t0);
 
         // Steps D + E: DNA encoding and k-mers compression.
         t0 = Clock::now();

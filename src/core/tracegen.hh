@@ -67,6 +67,14 @@ struct TraceGenResult
     TraceImage image;
     std::vector<BranchRecord> records;
     TraceGenTimings timings;
+    /**
+     * Peak bytes held by the folded per-branch accumulators across
+     * both instrumented runs (steps A-C). O(static branches + folded
+     * RLE size) by construction — independent of the dynamic
+     * instruction count — which makes the bounded-memory claim
+     * observable per run (surfaced through RunTelemetry).
+     */
+    uint64_t peakAccumBytes = 0;
 
     /** Records of multi-target branches (Table 1 excludes size-1). */
     std::vector<const BranchRecord *> multiTarget() const;

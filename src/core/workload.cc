@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Composite workload builder (server request mixes).
+ *
+ * Layout note: la() resolves data symbols eagerly, so the driver loop
+ * is emitted after every segment's emitOnce() has allocated its data
+ * (finalize() starts programs at "main" wherever it is defined).
+ */
+
+#include "core/workload.hh"
+
+#include <algorithm>
+
+namespace cassandra::core {
+
+namespace {
+
+/** Argument registers (shared convention with the crypto kernels). */
+constexpr ir::RegId kA0 = 10, kA1 = 11, kA2 = 12;
+
+constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ull;
+
+/** splitmix64 finalizer: host-side seed derivation. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += kGolden;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Per-slot host seed for one analysis input. Secret slots differ
+ * across every input; PublicVaried only across the two analysis
+ * inputs (so Algorithm 2 flags dependence without perturbing the
+ * evaluation run); PublicFixed never. */
+uint64_t
+slotSeed(size_t slot, SegmentBinding::Kind kind, int which)
+{
+    uint64_t variant = 0;
+    switch (kind) {
+    case SegmentBinding::Kind::Secret:
+        variant = static_cast<uint64_t>(which) + 1;
+        break;
+    case SegmentBinding::Kind::PublicVaried:
+        variant = (which == 0 || which == 1)
+            ? static_cast<uint64_t>(which) + 1
+            : 0;
+        break;
+    case SegmentBinding::Kind::PublicFixed:
+        variant = 0;
+        break;
+    }
+    return mix64(mix64(slot * 2654435761u) ^ variant * 0x100000001b3ull);
+}
+
+} // namespace
+
+CompositeWorkloadBuilder::CompositeWorkloadBuilder(std::string name,
+                                                   std::string suite,
+                                                   uint64_t requests)
+    : name_(std::move(name)), suite_(std::move(suite)),
+      requests_(std::max<uint64_t>(1, requests))
+{}
+
+CompositeWorkloadBuilder &
+CompositeWorkloadBuilder::addSegment(WorkloadSegment segment)
+{
+    segments_.push_back(std::move(segment));
+    return *this;
+}
+
+CompositeWorkloadBuilder &
+CompositeWorkloadBuilder::addSecretRegion(SecretRegion region)
+{
+    extraSecretRegions_.push_back(region);
+    return *this;
+}
+
+Workload
+CompositeWorkloadBuilder::build()
+{
+    casm::Assembler as;
+
+    for (const WorkloadSegment &seg : segments_)
+        if (seg.emitOnce)
+            seg.emitOnce(as);
+
+    // Driver state lives in the data segment: kernels may clobber
+    // every scratch register (keccak uses up to x62), so the request
+    // index and the per-segment countdowns never stay in registers
+    // across a segment call.
+    size_t slots = 0;
+    for (const WorkloadSegment &seg : segments_)
+        slots += seg.bindings.size();
+    as.allocData("cw_seeds", std::max<size_t>(1, slots) * 8, 8);
+    as.allocData("cw_req", 8, 8);
+    as.allocData("cw_counters", std::max<size_t>(1, segments_.size()) * 8,
+                 8);
+    for (size_t i = 0; i < segments_.size(); i++)
+        as.setData64("cw_counters", i, 0); // countdown 0: fire at r=0
+
+    as.beginFunction("main", /*crypto=*/false);
+    {
+        casm::Assembler::Temp t(as);
+        as.la(t, "cw_req");
+        as.sd(ir::regZero, t, 0);
+    }
+    as.label(".cw_loop");
+    size_t slot = 0;
+    for (size_t i = 0; i < segments_.size(); i++) {
+        const WorkloadSegment &seg = segments_[i];
+        const std::string tag = std::to_string(i);
+        if (seg.every > 1) {
+            casm::Assembler::Temp t(as), t2(as);
+            as.la(t, "cw_counters");
+            as.ld(t2, t, static_cast<int64_t>(i) * 8);
+            as.bnez(t2, ".cw_dec_" + tag);
+            as.li(t2, static_cast<int64_t>(seg.every) - 1);
+            as.sd(t2, t, static_cast<int64_t>(i) * 8);
+            as.j(".cw_fire_" + tag);
+            as.label(".cw_dec_" + tag);
+            as.addi(t2, t2, -1);
+            as.sd(t2, t, static_cast<int64_t>(i) * 8);
+            as.j(".cw_skip_" + tag);
+            as.label(".cw_fire_" + tag);
+        }
+        for (const SegmentBinding &b : seg.bindings) {
+            // a2 = seeds[slot] ^ (req * golden + mix64(slot)): a
+            // distinct deterministic stream per (binding, request).
+            casm::Assembler::Temp t(as), t2(as);
+            as.la(t, "cw_seeds");
+            as.ld(kA2, t, static_cast<int64_t>(slot) * 8);
+            as.la(t, "cw_req");
+            as.ld(t, t, 0);
+            as.li(t2, static_cast<int64_t>(kGolden));
+            as.mul(t, t, t2);
+            as.li(t2, static_cast<int64_t>(mix64(slot)));
+            as.add(t, t, t2);
+            as.xor_(kA2, kA2, t);
+            as.la(kA0, b.symbol, static_cast<int64_t>(b.offset));
+            as.li(kA1, static_cast<int64_t>(b.length));
+            as.call("cw_fill");
+            slot++;
+        }
+        if (seg.emitCall)
+            seg.emitCall(as);
+        if (seg.every > 1)
+            as.label(".cw_skip_" + tag);
+    }
+    {
+        casm::Assembler::Temp t(as), t2(as);
+        as.la(t, "cw_req");
+        as.ld(t2, t, 0);
+        as.addi(t2, t2, 1);
+        as.sd(t2, t, 0);
+        as.li(t, static_cast<int64_t>(requests_));
+        as.blt(t2, t, ".cw_loop");
+    }
+    as.halt();
+    as.endFunction();
+
+    // xorshift64 fill leaf: dst in a0, byte count (multiple of 8) in
+    // a1, seed in a2. Non-crypto: its loop branch depends only on the
+    // public length, so it is never analyzed or protected.
+    as.beginFunction("cw_fill", /*crypto=*/false);
+    {
+        casm::Assembler::Temp t(as);
+        as.label(".cw_fill_loop");
+        as.shli(t, kA2, 13);
+        as.xor_(kA2, kA2, t);
+        as.shri(t, kA2, 7);
+        as.xor_(kA2, kA2, t);
+        as.shli(t, kA2, 17);
+        as.xor_(kA2, kA2, t);
+        as.sd(kA2, kA0, 0);
+        as.addi(kA0, kA0, 8);
+        as.addi(kA1, kA1, -8);
+        as.bnez(kA1, ".cw_fill_loop");
+        as.ret();
+    }
+    as.endFunction();
+
+    Workload w;
+    w.name = name_;
+    w.suite = suite_;
+
+    // Budget from n: per-request driver overhead plus each segment's
+    // firing estimate, with 2x headroom — big enough that honest runs
+    // never hit it, small enough that a runaway loop still trips the
+    // typed InstructionBudgetError instead of spinning for hours.
+    uint64_t budget = 1'000'000 + requests_ * 2'000;
+    for (const WorkloadSegment &seg : segments_) {
+        uint64_t firings =
+            (requests_ + seg.every - 1) / std::max<uint64_t>(1, seg.every);
+        budget += firings * seg.instsPerFiring;
+    }
+    w.maxDynInsts = budget * 2;
+
+    struct SlotInfo
+    {
+        size_t slot;
+        SegmentBinding::Kind kind;
+    };
+    std::vector<SlotInfo> slotInfo;
+    slot = 0;
+    for (const WorkloadSegment &seg : segments_) {
+        for (const SegmentBinding &b : seg.bindings) {
+            slotInfo.push_back({slot, b.kind});
+            if (b.kind == SegmentBinding::Kind::Secret) {
+                uint64_t lo = as.dataAddr(b.symbol) + b.offset;
+                w.secretRegions.push_back({lo, lo + b.length});
+            }
+            slot++;
+        }
+    }
+    for (const WorkloadSegment &seg : segments_)
+        if (seg.annotateSecrets)
+            seg.annotateSecrets(as, w.secretRegions);
+    for (const SecretRegion &r : extraSecretRegions_)
+        w.secretRegions.push_back(r);
+
+    uint64_t seeds_addr = as.dataAddr("cw_seeds");
+    w.setInput = [seeds_addr, slotInfo](sim::Machine &m, int which) {
+        for (const SlotInfo &s : slotInfo) {
+            uint64_t v = slotSeed(s.slot, s.kind, which);
+            uint8_t bytes[8];
+            for (int i = 0; i < 8; i++)
+                bytes[i] = static_cast<uint8_t>(v >> (8 * i));
+            m.writeBytes(seeds_addr + s.slot * 8, bytes, 8);
+        }
+    };
+
+    w.program = as.finalize();
+    return w;
+}
+
+} // namespace cassandra::core

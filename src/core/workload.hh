@@ -19,10 +19,37 @@
 #include <string>
 #include <vector>
 
+#include "asm/assembler.hh"
 #include "ir/program.hh"
 #include "sim/machine.hh"
 
 namespace cassandra::core {
+
+/**
+ * A run exhausted Workload::maxDynInsts before halting. Derives from
+ * sim::SimError so existing catch sites keep working, but carries the
+ * workload name and the instruction count in typed form so callers
+ * (and tests) can distinguish budget exhaustion from other simulator
+ * faults instead of silently truncating the run.
+ */
+class InstructionBudgetError : public sim::SimError
+{
+  public:
+    InstructionBudgetError(const std::string &workload, uint64_t insts,
+                           const std::string &context)
+        : sim::SimError(workload + ": " + context +
+                        " exceeded instruction budget (" +
+                        std::to_string(insts) + " instructions)"),
+          workload_(workload), instCount_(insts)
+    {}
+
+    const std::string &workload() const { return workload_; }
+    uint64_t instCount() const { return instCount_; }
+
+  private:
+    std::string workload_;
+    uint64_t instCount_;
+};
 
 /** Secret memory region annotation (used by the ProSpeCT model). */
 struct SecretRegion
@@ -53,6 +80,94 @@ struct Workload
     std::vector<SecretRegion> secretRegions;
     /** Fraction of dynamic work that is sandboxed code (Fig. 8 mixes). */
     double sandboxFraction = 0.0;
+};
+
+// ---------------------------------------------------------------------
+// Composite workloads (server request mixes)
+// ---------------------------------------------------------------------
+
+/**
+ * One per-request input binding of a composite segment: before every
+ * firing of the segment, `length` bytes at data symbol + offset are
+ * filled with a deterministic pseudo-random stream seeded by (binding
+ * slot, analysis input, request index), emitted in-program so every
+ * request processes distinct data without any per-request host-side
+ * state.
+ */
+struct SegmentBinding
+{
+    enum class Kind
+    {
+        /** Secret input: differs across analysis inputs 0/1/2 and is
+         * annotated as a secret region. */
+        Secret,
+        /** Public input that the two analysis runs vary (like a public
+         * key seed): differs for inputs 0/1, fixed for evaluation. */
+        PublicVaried,
+        /** Public input held constant across all inputs. */
+        PublicFixed,
+    };
+
+    std::string symbol;
+    size_t offset = 0;
+    /** Bytes to fill; must be a multiple of 8. */
+    size_t length = 0;
+    Kind kind = Kind::Secret;
+};
+
+/** One kernel segment of a composite workload. */
+struct WorkloadSegment
+{
+    std::string name;
+    /** Fire on requests r with r % every == 0 (1 = every request). */
+    uint64_t every = 1;
+    /** Emit the segment's functions + data allocations (once). */
+    std::function<void(casm::Assembler &)> emitOnce;
+    /** Emit the per-firing call sequence into main (non-crypto). */
+    std::function<void(casm::Assembler &)> emitCall;
+    std::vector<SegmentBinding> bindings;
+    /** Dynamic-instruction estimate of one firing (sizes the budget). */
+    uint64_t instsPerFiring = 0;
+    /** Post-assembly hook for secret annotations beyond the Secret
+     * bindings (work buffers, spill areas) — symbol addresses only
+     * resolve once emitOnce has run. */
+    std::function<void(const casm::Assembler &,
+                       std::vector<SecretRegion> &)>
+        annotateSecrets;
+};
+
+/**
+ * Builder composing an ordered sequence of kernel segments into one
+ * Workload that simulates `requests` requests: main loops over the
+ * request index (held in memory — kernels may clobber every scratch
+ * register), fires each segment on its cadence, and re-seeds each
+ * binding from (slot, request) before the segment's calls so inputs
+ * are per-request deterministic. maxDynInsts is sized from the
+ * segment estimates and the request count rather than the global
+ * default, so long mixes neither truncate nor hide runaway loops.
+ */
+class CompositeWorkloadBuilder
+{
+  public:
+    CompositeWorkloadBuilder(std::string name, std::string suite,
+                             uint64_t requests);
+
+    CompositeWorkloadBuilder &addSegment(WorkloadSegment segment);
+    /** Extra secret annotation beyond the Secret bindings (e.g. the
+     * stack region a kernel spills secrets to). */
+    CompositeWorkloadBuilder &addSecretRegion(SecretRegion region);
+
+    uint64_t requests() const { return requests_; }
+
+    /** Assemble the program and produce the workload. */
+    Workload build();
+
+  private:
+    std::string name_;
+    std::string suite_;
+    uint64_t requests_;
+    std::vector<WorkloadSegment> segments_;
+    std::vector<SecretRegion> extraSecretRegions_;
 };
 
 } // namespace cassandra::core

@@ -10,6 +10,7 @@
 
 #include "crypto/kernels/common.hh"
 #include "crypto/kernels/keccak_kernel.hh"
+#include "crypto/kernels/kyber_kernel.hh"
 #include "crypto/ref/kyber.hh"
 
 namespace cassandra::crypto {
@@ -282,10 +283,9 @@ emitNtt(Assembler &as)
 
 } // namespace
 
-Workload
-kyberWorkload(int k)
+void
+emitKyberHelpers(Assembler &as, int k)
 {
-    Assembler as;
     const size_t poly_bytes = kN * 2;
     as.allocData("kb_seed_a", 8, 8);
     as.allocData("kb_seed_n", 8, 8);
@@ -470,13 +470,12 @@ kyberWorkload(int k)
     as.pop(ir::regRa);
     as.ret();
     as.endFunction();
+}
 
-    // ---- main flow: keygen + encrypt + decrypt ----
-    as.beginFunction("main", false);
-    as.call("kyber_kem");
-    as.halt();
-    as.endFunction();
-
+void
+emitKyberKem(Assembler &as, int k)
+{
+    const size_t poly_bytes = kN * 2;
     as.beginFunction("kyber_kem", true);
     as.push(ir::regRa);
     constexpr RegId ki = 53, kt = 54, kt2 = 55, kt3 = 56;
@@ -658,6 +657,21 @@ kyberWorkload(int k)
 
     emitNtt(as);
     emitKeccak(as);
+}
+
+Workload
+kyberWorkload(int k)
+{
+    Assembler as;
+    emitKyberHelpers(as, k);
+
+    // ---- main flow: keygen + encrypt + decrypt ----
+    as.beginFunction("main", false);
+    as.call("kyber_kem");
+    as.halt();
+    as.endFunction();
+
+    emitKyberKem(as, k);
 
     Workload w;
     w.name = k == 2 ? "kyber512" : "kyber768";

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Kyber (ML-KEM) kernel emitters, reusable by composite workloads.
+ *
+ * Split in two so kyberWorkload() can keep its historical code layout
+ * (main sits between the helpers and kyber_kem; BTU indexing is
+ * PC-based, so moving functions would change simulated cycles):
+ * emitKyberHelpers() allocates the kb_* data and emits the sampling
+ * helpers, emitKyberKem() emits kyber_kem plus the NTT and Keccak
+ * routines it calls. Callers provide their own main (or segment call
+ * site) invoking "kyber_kem".
+ */
+
+#ifndef CASSANDRA_CRYPTO_KERNELS_KYBER_KERNEL_HH
+#define CASSANDRA_CRYPTO_KERNELS_KYBER_KERNEL_HH
+
+#include "crypto/kernels/common.hh"
+
+namespace cassandra::crypto {
+
+/** kb_* data + kyber_uniform / kyber_cbd_sample / kyber_matvec. */
+void emitKyberHelpers(Assembler &as, int k);
+
+/** kyber_kem (keygen + encrypt + decrypt) + NTT + Keccak. */
+void emitKyberKem(Assembler &as, int k);
+
+} // namespace cassandra::crypto
+
+#endif // CASSANDRA_CRYPTO_KERNELS_KYBER_KERNEL_HH

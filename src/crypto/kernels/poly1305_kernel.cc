@@ -27,6 +27,8 @@ s(int i) { return static_cast<RegId>(rs1 + i - 1); }
 RegId
 d(int i) { return static_cast<RegId>(rd0 + i); }
 
+} // namespace
+
 void
 emitPoly1305(Assembler &as)
 {
@@ -208,8 +210,6 @@ emitPoly1305(Assembler &as)
     as.endFunction();
     (void)rt3;
 }
-
-} // namespace
 
 Workload
 poly1305Workload()

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Poly1305 emitter (RFC 8439, donna 26-bit-limb layout), reusable by
+ * composite workloads.
+ */
+
+#ifndef CASSANDRA_CRYPTO_KERNELS_POLY1305_KERNEL_HH
+#define CASSANDRA_CRYPTO_KERNELS_POLY1305_KERNEL_HH
+
+#include "crypto/kernels/common.hh"
+
+namespace cassandra::crypto {
+
+/** Emit the poly1305 function: a0 = out16, a1 = key32, a2 = msg,
+ * a3 = length in bytes (must be a multiple of 16). */
+void emitPoly1305(Assembler &as);
+
+} // namespace cassandra::crypto
+
+#endif // CASSANDRA_CRYPTO_KERNELS_POLY1305_KERNEL_HH

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Composite server request-mix workloads (the `server/<mix>/<n>`
+ * registry family).
+ *
+ * A mix models what a busy endpoint actually executes, kernel-crypto
+ * style: TLS-shaped handshakes (x25519 + kyber768) interleaved with
+ * ChaCha20-Poly1305 record processing over n simulated requests. The
+ * driver loop and the per-request input seeding come from
+ * core::CompositeWorkloadBuilder; every kernel function is the same
+ * emitter the single-kernel workloads use.
+ *
+ * The handshake cadence is fixed at two sessions per run (requests 0
+ * and ~n/2) no matter how large n is: session setup is rare relative
+ * to record traffic on a real endpoint, and a fixed count keeps the
+ * kyber rejection-sampling branches — the only irregular traces in
+ * the mix — at an n-independent size, so Algorithm 2 accumulator
+ * memory stays flat as n grows. The record segment fires every
+ * request; its branch traces are short-period periodic and fold to a
+ * few chunks regardless of n.
+ */
+
+#include "crypto/kernels/bigint_kernel.hh"
+#include "crypto/kernels/chacha20_kernel.hh"
+#include "crypto/kernels/common.hh"
+#include "crypto/kernels/kyber_kernel.hh"
+#include "crypto/kernels/poly1305_kernel.hh"
+#include "crypto/ref/x25519.hh"
+#include "crypto/workloads.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cassandra::crypto {
+
+namespace {
+
+/** Record size processed per request (fixed: varying lengths would
+ * make the record-loop traces aperiodic and input-dependent). */
+constexpr int64_t kRecordBytes = 512;
+
+using core::CompositeWorkloadBuilder;
+using core::SegmentBinding;
+using core::WorkloadSegment;
+
+WorkloadSegment
+tlsHandshakeSegment(uint64_t n)
+{
+    WorkloadSegment seg;
+    seg.name = "handshake";
+    seg.every = std::max<uint64_t>(1, (n + 1) / 2);
+    seg.emitOnce = [](Assembler &as) {
+        emitX25519Ladder(as);
+        // Unrolled 8-limb bignum loops: same BTU-friendly layout the
+        // single-kernel curve25519 workloads use.
+        emitBignum(as, /*unroll_inner=*/true, 8);
+        emitKyberHelpers(as, /*k=*/3);
+        emitKyberKem(as, /*k=*/3);
+        // The ladder masks the point's top bit in place (idempotent,
+        // so repeat firings are safe); the base point is program data.
+        auto base = ref::x25519BasePoint();
+        as.setData("ec_point", 0, base.data(), base.size());
+    };
+    seg.emitCall = [](Assembler &as) {
+        as.call("x25519_ladder");
+        as.call("kyber_kem");
+    };
+    seg.bindings = {
+        {"ec_scalar", 0, 32, SegmentBinding::Kind::Secret},
+        // Public A-matrix seed: varied across the two analysis inputs
+        // so the rejection-sampling branches are flagged
+        // input-dependent, exactly like the kyber768 workload.
+        {"kb_seed_a", 0, 8, SegmentBinding::Kind::PublicVaried},
+        {"kb_seed_n", 0, 8, SegmentBinding::Kind::Secret},
+        {"kb_coins", 0, 8, SegmentBinding::Kind::Secret},
+        {"kb_msg", 0, 32, SegmentBinding::Kind::Secret},
+    };
+    seg.annotateSecrets = [](const Assembler &as,
+                             std::vector<core::SecretRegion> &out) {
+        // curve25519 field-element work buffers hold secret-derived
+        // values (same annotation the synthetic curve25519 mix has).
+        out.push_back({as.dataAddr("ec_x1"), as.dataAddr("ec_zinv") + 32});
+    };
+    // One x25519 ladder (~3M) + one kyber768 keygen/enc/dec (~9M).
+    seg.instsPerFiring = 13'000'000;
+    return seg;
+}
+
+WorkloadSegment
+tlsRecordSegment()
+{
+    WorkloadSegment seg;
+    seg.name = "record";
+    seg.every = 1;
+    seg.emitOnce = [](Assembler &as) {
+        emitChaCha20(as, /*unroll_rounds=*/false);
+        emitPoly1305(as);
+        as.allocData("sv_key", 32, 8);
+        as.allocData("sv_nonce", 16, 8);
+        as.allocData("sv_msg", static_cast<size_t>(kRecordBytes), 64);
+        as.allocData("sv_out", static_cast<size_t>(kRecordBytes), 64);
+        as.allocData("sv_tag", 16, 8);
+        as.allocData("sv_polykey", 32, 8);
+    };
+    seg.emitCall = [](Assembler &as) {
+        // Encrypt one record with the request index as block counter,
+        // then MAC the ciphertext.
+        {
+            casm::Assembler::Temp t(as);
+            as.la(t, "cw_req");
+            as.ld(a5, t, 0);
+        }
+        as.addi(a5, a5, 1);
+        as.la(a0, "sv_out");
+        as.la(a1, "sv_msg");
+        as.li(a2, kRecordBytes);
+        as.la(a3, "sv_key");
+        as.la(a4, "sv_nonce");
+        as.call("chacha20_xor");
+        as.la(a0, "sv_tag");
+        as.la(a1, "sv_polykey");
+        as.la(a2, "sv_out");
+        as.li(a3, kRecordBytes);
+        as.call("poly1305");
+    };
+    seg.bindings = {
+        {"sv_key", 0, 32, SegmentBinding::Kind::Secret},
+        {"sv_msg", 0, static_cast<size_t>(kRecordBytes),
+         SegmentBinding::Kind::Secret},
+        {"sv_polykey", 0, 32, SegmentBinding::Kind::Secret},
+        {"sv_nonce", 0, 16, SegmentBinding::Kind::PublicFixed},
+    };
+    // chacha20 over 512 B (~10k) + poly1305 over 512 B (~6k) + fills.
+    seg.instsPerFiring = 60'000;
+    return seg;
+}
+
+} // namespace
+
+Workload
+serverMixWorkload(const std::string &mix, uint64_t n)
+{
+    if (mix != "tls")
+        throw std::invalid_argument("unknown server mix: " + mix);
+    CompositeWorkloadBuilder builder(
+        "server/" + mix + "/" + std::to_string(n), "Server", n);
+    builder.addSegment(tlsHandshakeSegment(n));
+    builder.addSegment(tlsRecordSegment());
+    // curve25519 spills secret field elements to the stack (same
+    // annotation the synthetic curve25519 mixes carry).
+    builder.addSecretRegion(
+        {ir::Program::stackTop - 65536, ir::Program::stackTop});
+    return builder.build();
+}
+
+} // namespace cassandra::crypto

@@ -62,6 +62,12 @@ buildGlobal()
             });
         }
     }
+    // Composite server request mixes (standard sizes; any other n is
+    // reachable through the server/<mix>/<n> parameterized fallback).
+    for (uint64_t n : {16u, 64u, 256u}) {
+        std::string name = "server/tls/" + std::to_string(n);
+        reg.add(name, "Server", [n] { return serverMixWorkload("tls", n); });
+    }
     return reg;
 }
 
@@ -118,12 +124,37 @@ WorkloadRegistry::parseSynthetic(const std::string &name,
 }
 
 bool
+WorkloadRegistry::parseServer(const std::string &name, std::string &mix,
+                              uint64_t &n)
+{
+    const std::string prefix = "server/";
+    if (name.compare(0, prefix.size(), prefix) != 0)
+        return false;
+    size_t slash = name.find('/', prefix.size());
+    if (slash == std::string::npos || slash + 1 >= name.size())
+        return false;
+    mix = name.substr(prefix.size(), slash - prefix.size());
+    const std::string n_str = name.substr(slash + 1);
+    // Canonical request counts: 1..999999, no leading zeros (one
+    // spelling per workload keeps fingerprints and cache keys unique).
+    if (n_str.empty() || n_str.size() > 6 || n_str[0] == '0' ||
+        !std::all_of(n_str.begin(), n_str.end(),
+                     [](unsigned char c) { return std::isdigit(c); }))
+        return false;
+    n = std::stoull(n_str);
+    return mix == "tls";
+}
+
+bool
 WorkloadRegistry::contains(const std::string &name) const
 {
     std::string kernel;
     int pct = 0;
+    std::string mix;
+    uint64_t n = 0;
     return find(name) != nullptr ||
-        parseSynthetic(lowered(name), kernel, pct);
+        parseSynthetic(lowered(name), kernel, pct) ||
+        parseServer(lowered(name), mix, n);
 }
 
 core::Workload
@@ -132,11 +163,16 @@ WorkloadRegistry::make(const std::string &name) const
     if (const Entry *e = find(name))
         return e->factory();
 
-    // Parameterized fallback: any synthetic/<kernel>/<pct> mix.
+    // Parameterized fallbacks: any synthetic/<kernel>/<pct> or
+    // server/<mix>/<n> name.
     std::string kernel;
     int pct = 0;
     if (parseSynthetic(lowered(name), kernel, pct))
         return syntheticMixWorkload(kernel, pct);
+    std::string mix;
+    uint64_t n = 0;
+    if (parseServer(lowered(name), mix, n))
+        return serverMixWorkload(mix, n);
 
     std::ostringstream msg;
     msg << "unknown workload \"" << name << "\"; known workloads:";
@@ -155,6 +191,11 @@ WorkloadRegistry::suiteOf(const std::string &name) const
     int pct = 0;
     if (parseSynthetic(lowered(name), kernel, pct))
         return synthetic;
+    static const std::string server = "Server";
+    std::string mix;
+    uint64_t n = 0;
+    if (parseServer(lowered(name), mix, n))
+        return server;
     throw std::invalid_argument("unknown workload \"" + name + "\"");
 }
 

@@ -13,13 +13,17 @@
  * Parameterized entries are spelled as paths: the Fig. 8 mixes are
  * pre-registered as "synthetic/<kernel>/<sandbox-pct>" (for example
  * "synthetic/chacha20/75"), and any other percentage in [0, 99] is
- * synthesized on demand from the same pattern. Unknown names raise
+ * synthesized on demand from the same pattern. The composite server
+ * mixes follow the same scheme as "server/<mix>/<n>" — standard sizes
+ * (server/tls/16, /64, /256) are pre-registered and any other request
+ * count in [1, 999999] builds on demand. Unknown names raise
  * std::invalid_argument listing the available entries.
  */
 
 #ifndef CASSANDRA_CRYPTO_WORKLOAD_REGISTRY_HH
 #define CASSANDRA_CRYPTO_WORKLOAD_REGISTRY_HH
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
@@ -85,6 +89,9 @@ class WorkloadRegistry
     /** Parse "synthetic/<kernel>/<pct>"; null if not of that shape. */
     static bool parseSynthetic(const std::string &name,
                                std::string &kernel, int &pct);
+    /** Parse "server/<mix>/<n>"; false if not of that shape. */
+    static bool parseServer(const std::string &name, std::string &mix,
+                            uint64_t &n);
 
     std::vector<Entry> entries_;
     std::map<std::string, size_t> index_; ///< lowercased name -> entry

@@ -39,6 +39,16 @@ Workload syntheticMixWorkload(const std::string &crypto_kernel,
                               int sandbox_pct);
 
 /**
+ * Composite server request mix (`server/<mix>/<n>` registry family):
+ * n simulated requests through core::CompositeWorkloadBuilder. The
+ * "tls" mix interleaves x25519 + kyber768 handshakes (two sessions
+ * per run, at requests 0 and ~n/2) with one ChaCha20-Poly1305 record
+ * op per request, each request seeded deterministically from its
+ * index. maxDynInsts is sized from n.
+ */
+Workload serverMixWorkload(const std::string &mix, uint64_t n);
+
+/**
  * All cryptographic workloads of Fig. 7, in the paper's order.
  * Thin wrapper over WorkloadRegistry::global() (workload_registry.hh),
  * which also offers by-name lookup and suite filters.

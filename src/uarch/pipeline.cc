@@ -140,8 +140,8 @@ countTraceOps(const core::Workload &workload, int which)
         workload.setInput(machine, which);
     auto res = machine.run(workload.maxDynInsts);
     if (!res.halted) {
-        throw sim::SimError(workload.name +
-                            ": timing trace exceeded instruction budget");
+        throw core::InstructionBudgetError(workload.name, res.instCount,
+                                           "timing trace");
     }
     return res.instCount;
 }
@@ -169,8 +169,8 @@ recordTrace(const core::Workload &workload, int which,
     };
     auto res = machine.run(workload.maxDynInsts);
     if (!res.halted) {
-        throw sim::SimError(workload.name +
-                            ": timing trace exceeded instruction budget");
+        throw core::InstructionBudgetError(workload.name, res.instCount,
+                                           "timing trace");
     }
     return ops;
 }

@@ -46,16 +46,18 @@ TEST(WorkloadRegistryTest, SuiteFilters)
 {
     const auto &reg = WorkloadRegistry::global();
     const auto suites = reg.suites();
-    ASSERT_EQ(suites.size(), 4u);
+    ASSERT_EQ(suites.size(), 5u);
     EXPECT_EQ(suites[0], "BearSSL");
     EXPECT_EQ(suites[1], "OpenSSL");
     EXPECT_EQ(suites[2], "PQC");
     EXPECT_EQ(suites[3], "Synthetic");
+    EXPECT_EQ(suites[4], "Server");
 
     EXPECT_EQ(reg.names("BearSSL").size(), 13u);
     EXPECT_EQ(reg.names("OpenSSL").size(), 3u);
     EXPECT_EQ(reg.names("PQC").size(), 5u);
     EXPECT_EQ(reg.names("Synthetic").size(), 10u);
+    EXPECT_EQ(reg.names("Server").size(), 3u);
     for (const auto &name : reg.names("PQC"))
         EXPECT_EQ(reg.suiteOf(name), "PQC") << name;
     EXPECT_TRUE(reg.names("NoSuchSuite").empty());
