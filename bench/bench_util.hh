@@ -97,6 +97,9 @@ struct CliOptions
     std::string cacheDir;
     /// contiguous | lpt (--scheduler or "execution.scheduler").
     core::ShardScheduler scheduler = core::ShardScheduler::Contiguous;
+    /// Coordinator cell dedup (--dedup). Defaults on: identical cells
+    /// (same workload/scheme/scheme-aware config hash) simulate once.
+    bool dedupCells = true;
     /// Drop-box directory for remote execution (--dropbox or
     /// "execution.dropbox"); required with --execution=remote.
     std::string dropboxDir;
@@ -185,6 +188,11 @@ printCliHelp(const char *prog)
         "  --scheduler=S  subprocess shard partitioning: contiguous\n"
         "                 (default) or lpt (cost-model bin packing;\n"
         "                 byte-identical reports either way)\n"
+        "  --dedup=D      coordinator cell dedup: on (default —\n"
+        "                 byte-identical cells simulate once and the\n"
+        "                 result replicates into every slot) or off\n"
+        "                 (every matrix cell dispatches; reports are\n"
+        "                 byte-identical either way)\n"
         "  --stats-out=F  write the run's cache/scheduler telemetry\n"
         "                 JSON to F (separate from the report, which\n"
         "                 stays byte-identical warm vs. cold)\n"
@@ -328,6 +336,22 @@ parseCli(int argc, char **argv)
                 std::exit(2);
             }
             opts.schedulerExplicit = true;
+        } else if (value("--dedup") ||
+                   (arg == "--dedup" && i + 1 < argc)) {
+            const char *v = value("--dedup");
+            if (!v)
+                v = argv[++i];
+            if (std::strcmp(v, "on") == 0) {
+                opts.dedupCells = true;
+            } else if (std::strcmp(v, "off") == 0) {
+                opts.dedupCells = false;
+            } else {
+                std::fprintf(stderr,
+                             "invalid --dedup=%s (expected on or "
+                             "off)\n",
+                             v);
+                std::exit(2);
+            }
         } else if (value("--dropbox") ||
                    (arg == "--dropbox" && i + 1 < argc)) {
             const char *v = value("--dropbox");
@@ -665,6 +689,7 @@ runnerOptionsFromCli(const CliOptions &opts)
     runner_opts.cacheMode = opts.cacheMode;
     runner_opts.cacheDir = opts.cacheDir;
     runner_opts.scheduler = opts.scheduler;
+    runner_opts.dedupCells = opts.dedupCells;
     runner_opts.dropboxDir = opts.dropboxDir;
     runner_opts.agents = opts.agents;
     if (opts.taskTimeoutMs != 0)

@@ -252,6 +252,7 @@ main(int argc, char **argv)
             std::strcmp(arg, "--cache-dir") == 0 ||
             std::strcmp(arg, "--cache-gc-mb") == 0 ||
             std::strcmp(arg, "--scheduler") == 0 ||
+            std::strcmp(arg, "--dedup") == 0 ||
             std::strcmp(arg, "--stats-out") == 0 ||
             std::strcmp(arg, "--dropbox") == 0 ||
             std::strcmp(arg, "--agents") == 0 ||

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
@@ -17,6 +19,88 @@ std::atomic<uint64_t> analysis_runs{0};
 std::atomic<uint64_t> phase_timing_runs{0};
 std::atomic<uint64_t> phase_image_runs{0};
 std::atomic<uint64_t> phase_taint_runs{0};
+
+/** AnalysisFusion::Auto resolution, from the environment once. */
+bool
+fusionDefault()
+{
+    static const bool on = [] {
+        const char *e = std::getenv("CASSANDRA_ANALYSIS_FUSION");
+        if (!e)
+            return true;
+        std::string v(e);
+        for (char &c : v)
+            c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        return v != "0" && v != "off" && v != "reference";
+    }();
+    return on;
+}
+
+/** Fused-pass consumer writing chunks into a trace stream file. */
+class StreamWriteConsumer final : public BatchConsumer
+{
+  public:
+    explicit StreamWriteConsumer(TraceStreamWriter &writer)
+        : writer_(&writer)
+    {
+    }
+
+    void
+    consume(const AnalysisChunk &chunk) override
+    {
+        writer_->appendBatch(chunk.view());
+    }
+
+    void
+    finish() override
+    {
+        writer_->finish();
+    }
+
+  private:
+    TraceStreamWriter *writer_;
+};
+
+/**
+ * Fused-pass consumer running the incremental taint walk. Bits
+ * accumulate in growable words because the fused pass discovers the op
+ * count as it goes (there is no counting pre-run to size a bitmap).
+ */
+class TaintConsumer final : public BatchConsumer
+{
+  public:
+    explicit TaintConsumer(const std::vector<SecretRegion> &regions)
+        : walker_(regions)
+    {
+    }
+
+    void
+    consume(const AnalysisChunk &chunk) override
+    {
+        for (size_t i = 0; i < chunk.size; i++) {
+            if (walker_.feed(*chunk.ops.inst[i], chunk.ops.memAddr[i],
+                             chunk.ops.crypto[i] != 0)) {
+                const uint64_t bit = chunk.baseIndex + i;
+                const size_t word = static_cast<size_t>(bit >> 6);
+                if (word >= words_.size())
+                    words_.resize(word + 1, 0);
+                words_[word] |= 1ull << (bit & 63);
+            }
+        }
+    }
+
+    uarch::TaintBitmap
+    take(uint64_t num_ops)
+    {
+        return uarch::TaintBitmap::fromWords(
+            static_cast<size_t>(num_ops), std::move(words_));
+    }
+
+  private:
+    uarch::TaintWalker walker_;
+    std::vector<uint64_t> words_;
+};
 
 } // namespace
 
@@ -36,10 +120,21 @@ AnalyzedWorkload::AnalyzedWorkload(Workload workload,
                                    const AnalyzeOptions &options,
                                    std::string streamPath)
     : workload_(std::move(workload)), kmers_(options.kmers),
-      traceMode_(options.traceMode),
+      fusion_(options.fusion), traceMode_(options.traceMode),
       streamCompression_(options.compression),
       streamPath_(std::move(streamPath))
 {
+}
+
+bool
+AnalyzedWorkload::fusionEnabled() const
+{
+    switch (fusion_) {
+      case AnalysisFusion::Fused: return true;
+      case AnalysisFusion::Reference: return false;
+      case AnalysisFusion::Auto: break;
+    }
+    return fusionDefault();
 }
 
 AnalyzedWorkload::~AnalyzedWorkload()
@@ -84,25 +179,75 @@ AnalyzedWorkload::analyze(Workload workload, const AnalyzeOptions &options)
 void
 AnalyzedWorkload::ensureTrace() const
 {
+    ensureTraceWith(0);
+}
+
+void
+AnalyzedWorkload::ensureTraceWith(AnalysisPhaseMask extra) const
+{
     if (traceReady_.load(std::memory_order_acquire))
         return;
-    std::call_once(traceOnce_, [this] {
+    std::call_once(traceOnce_, [this, extra] {
         phase_timing_runs.fetch_add(1, std::memory_order_relaxed);
+        if (!fusionEnabled()) {
+            // Reference passes: count-then-record into the AoS trace
+            // plus SoA mirror (whole), or the scalar sink into the
+            // stream writer. Kept as the oracle the fused path is
+            // byte-compared against.
+            if (traceMode_ == TraceMode::Stream) {
+                TraceStreamWriter writer(
+                    streamPath_, programFingerprint(workload_.program),
+                    traceStreamDefaultFrameOps, streamCompression_);
+                numOps_ = uarch::recordTrace(
+                    workload_, /*which=*/2,
+                    [&](const uarch::TimingOp &op) {
+                        writer.append(op);
+                    });
+                writer.finish();
+            } else {
+                // Record the AoS trace and its SoA replay mirror in
+                // one pass; every TraceSpanSource then shares the
+                // mirror with no transpose step.
+                numOps_ = uarch::recordTrace(workload_, /*which=*/2,
+                                             trace_, soaMirror_);
+                soaReady_.store(true, std::memory_order_release);
+            }
+            traceReady_.store(true, std::memory_order_release);
+            return;
+        }
+
+        // Fused single pass: one machine run records the trace (SoA
+        // chunks retained in whole mode, streamed to disk in stream
+        // mode) with no counting pre-run, and any fusable pending
+        // phase consumes the same chunks as they are produced.
+        std::vector<BatchConsumer *> consumers;
+        std::unique_ptr<TraceStreamWriter> writer;
+        std::unique_ptr<StreamWriteConsumer> writeConsumer;
+        std::unique_ptr<TaintConsumer> taintConsumer;
         if (traceMode_ == TraceMode::Stream) {
-            TraceStreamWriter writer(
+            writer = std::make_unique<TraceStreamWriter>(
                 streamPath_, programFingerprint(workload_.program),
                 traceStreamDefaultFrameOps, streamCompression_);
-            numOps_ = uarch::recordTrace(
-                workload_, /*which=*/2,
-                [&](const uarch::TimingOp &op) { writer.append(op); });
-            writer.finish();
-        } else {
-            // Record the AoS trace and its SoA replay mirror in one
-            // pass; every TraceSpanSource then shares the mirror with
-            // no transpose step.
-            numOps_ = uarch::recordTrace(workload_, /*which=*/2,
-                                         trace_, soaMirror_);
-            soaReady_.store(true, std::memory_order_release);
+            writeConsumer =
+                std::make_unique<StreamWriteConsumer>(*writer);
+            consumers.push_back(writeConsumer.get());
+        }
+        const bool fuse_taint = (extra & PhaseTaint) != 0 &&
+            !taintReady_.load(std::memory_order_acquire) &&
+            !workload_.secretRegions.empty();
+        if (fuse_taint) {
+            taintConsumer =
+                std::make_unique<TaintConsumer>(workload_.secretRegions);
+            consumers.push_back(taintConsumer.get());
+        }
+        const FusedPassStats stats = runFusedOpPass(
+            workload_, /*which=*/2, consumers, {},
+            streamed() ? nullptr : &chunks_);
+        numOps_ = stats.numOps;
+        if (fuse_taint) {
+            taint_ = taintConsumer->take(numOps_);
+            phase_taint_runs.fetch_add(1, std::memory_order_relaxed);
+            taintReady_.store(true, std::memory_order_release);
         }
         traceReady_.store(true, std::memory_order_release);
     });
@@ -173,7 +318,8 @@ AnalyzedWorkload::traces() const
 {
     if (!imageReady_.load(std::memory_order_acquire)) {
         std::call_once(imageOnce_, [this] {
-            traces_ = generateTraces(workload_, kmers_);
+            traces_ = generateTraces(workload_, kmers_,
+                                     fusionEnabled());
             phase_image_runs.fetch_add(1, std::memory_order_relaxed);
             imageReady_.store(true, std::memory_order_release);
         });
@@ -186,6 +332,12 @@ AnalyzedWorkload::taintBitmap() const
 {
     if (!taintReady_.load(std::memory_order_acquire)) {
         std::call_once(taintOnce_, [this] {
+            // A concurrent fused recording pass may compute the bitmap
+            // while this thread blocks on the trace; settle the trace
+            // first, then re-check before walking.
+            ensureTrace();
+            if (taintReady_.load(std::memory_order_acquire))
+                return;
             if (!workload_.secretRegions.empty()) {
                 auto src = openOpSource();
                 taint_ = uarch::computeTaintBitmap(
@@ -202,8 +354,13 @@ AnalyzedWorkload::taintBitmap() const
 void
 AnalyzedWorkload::ensurePhases(AnalysisPhaseMask phases) const
 {
-    if (phases & PhaseTimingTrace)
-        ensureTrace();
+    // The taint walk needs the recorded ops anyway, so when both are
+    // pending the fused pipeline computes them in one machine run —
+    // ensureTraceWith fuses every requested phase that can ride the
+    // recording pass; the per-phase ensures below then find their
+    // phase already done.
+    if (phases & (PhaseTimingTrace | PhaseTaint))
+        ensureTraceWith(phases);
     if (phases & PhaseTraceImage)
         traces();
     if (phases & PhaseTaint)
@@ -218,6 +375,26 @@ AnalyzedWorkload::timingTrace() const
             "streamed AnalyzedWorkload holds no in-memory timing "
             "trace; iterate openOpSource() instead");
     ensureTrace();
+    // Fused analyses keep the trace as SoA chunks; the AoS form is
+    // materialized lazily for the few consumers (serialization,
+    // tests) that want TimingOp structs.
+    std::call_once(aosOnce_, [this] {
+        if (chunks_.empty())
+            return;
+        trace_.reserve(numOps_);
+        for (const AnalysisChunk &c : chunks_) {
+            for (size_t i = 0; i < c.size; i++) {
+                uarch::TimingOp op;
+                op.pc = c.ops.pc[i];
+                op.memAddr = c.ops.memAddr[i];
+                op.nextPc = c.ops.nextPc[i];
+                op.inst = c.ops.inst[i];
+                op.crypto = c.ops.crypto[i] != 0;
+                op.tainted = c.ops.tainted[i] != 0;
+                trace_.push_back(op);
+            }
+        }
+    });
     return trace_;
 }
 
@@ -228,6 +405,8 @@ AnalyzedWorkload::openOpSource() const
     if (streamed())
         return std::make_unique<TraceCursor>(streamPath_,
                                              workload_.program);
+    if (!chunks_.empty())
+        return std::make_unique<ChunkSpanSource>(chunks_);
     if (!soaReady_.load(std::memory_order_acquire)) {
         std::call_once(soaOnce_, [this] {
             uarch::buildOpBatchStorage(trace_, soaMirror_);

@@ -50,6 +50,7 @@
 #include <mutex>
 #include <string>
 
+#include "core/analysis_pipeline.hh"
 #include "core/sim_config.hh"
 #include "core/tracegen.hh"
 #include "core/workload.hh"
@@ -99,6 +100,21 @@ struct AnalysisPhaseRuns
     uint64_t taint = 0;      ///< taint pre-passes over secret workloads
 };
 
+/**
+ * Analysis execution scheme. Fused runs every pending phase of one
+ * ensurePhases() request in a single batch-pipeline machine pass
+ * (core/analysis_pipeline); Reference keeps the serial per-phase
+ * passes (scalar probes, count-then-record) that the fused path is
+ * byte-compared against. Auto resolves to Fused unless the
+ * CASSANDRA_ANALYSIS_FUSION environment variable says 0/off/reference.
+ */
+enum class AnalysisFusion
+{
+    Auto,
+    Fused,
+    Reference,
+};
+
 /** Knobs of one analysis (phase eagerness, trace storage). */
 struct AnalyzeOptions
 {
@@ -119,6 +135,9 @@ struct AnalyzeOptions
     /** Stream-file encoding: raw CASSTF1 or delta-compressed CASSTF2
      * (the default; replay is bit-identical either way). */
     TraceCompression compression = TraceCompression::Delta;
+    /** Fused single-pass analysis vs. the serial reference passes
+     * (results are byte-identical; this only picks the machinery). */
+    AnalysisFusion fusion = AnalysisFusion::Auto;
 };
 
 /** Immutable analysis artifact: workload + traces, shareable. */
@@ -270,8 +289,21 @@ class AnalyzedWorkload
      * shared SoA mirror in the same pass. */
     void ensureTrace() const;
 
+    /**
+     * ensureTrace() plus fusion: when the trace has not been recorded
+     * yet and fused analysis is enabled, phases of `extra` that can
+     * ride the recording machine run (the taint walk; the stream
+     * writer rides unconditionally) are computed by the same single
+     * pass instead of a pass each.
+     */
+    void ensureTraceWith(AnalysisPhaseMask extra) const;
+
+    /** Resolved fusion scheme (options + environment). */
+    bool fusionEnabled() const;
+
     Workload workload_;
     KmersParams kmers_;
+    AnalysisFusion fusion_ = AnalysisFusion::Auto;
     TraceMode traceMode_ = TraceMode::Whole;
     TraceCompression streamCompression_ = TraceCompression::Delta;
     mutable uarch::TimingTrace trace_; ///< whole mode (empty streamed)
@@ -296,6 +328,13 @@ class AnalyzedWorkload
     mutable std::once_flag soaOnce_;
     mutable uarch::OpBatchStorage soaMirror_;
     mutable std::atomic<bool> soaReady_{false};
+
+    // Fused whole mode: the retained pipeline chunks ARE the trace
+    // storage (SoA, produced by the single recording pass with no
+    // pre-counting run); every ChunkSpanSource serves views into them.
+    // trace_ stays empty until a caller demands the AoS form.
+    mutable std::vector<AnalysisChunk> chunks_;
+    mutable std::once_flag aosOnce_; ///< lazy trace_ from chunks_
 };
 
 /**

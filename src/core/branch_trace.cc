@@ -230,12 +230,7 @@ FoldedTraceCollector::FoldedTraceCollector(sim::Machine &machine,
         uint64_t pc, uint64_t target, const ir::Inst &) {
         if (crypto_only && !prog.isCryptoPc(pc))
             return;
-        FoldedTrace &t = traces_[pc];
-        uint64_t before = t.heldBytes();
-        t.append(target);
-        held_ += t.heldBytes() - before;
-        if (held_ > peak_)
-            peak_ = held_;
+        onBranch(pc, target);
     };
 }
 

@@ -191,6 +191,27 @@ class FoldedTraceCollector
     explicit FoldedTraceCollector(sim::Machine &machine,
                                   bool crypto_only = true);
 
+    /**
+     * Detached collector: nothing is probed automatically; the caller
+     * feeds pre-filtered branch outcomes through onBranch(). This is
+     * the fused pipeline's entry point — batch consumers replay the
+     * exact append sequence the machine-probe constructor produces.
+     */
+    FoldedTraceCollector() = default;
+
+    /** Record one dynamic branch outcome (identical bookkeeping to
+     * the machine-probe path; the caller applies any crypto filter). */
+    void
+    onBranch(uint64_t pc, uint64_t target)
+    {
+        FoldedTrace &t = traces_[pc];
+        uint64_t before = t.heldBytes();
+        t.append(target);
+        held_ += t.heldBytes() - before;
+        if (held_ > peak_)
+            peak_ = held_;
+    }
+
     /** Commit trailing runs on every branch; call after the run. */
     void finish();
 

@@ -11,8 +11,10 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/analysis_pipeline.hh"
 #include "core/cell_executor.hh"
 #include "core/result_store.hh"
+#include "core/trace_stream.hh"
 
 namespace cassandra::core {
 
@@ -283,6 +285,11 @@ ExperimentRunner::run(const std::vector<ExperimentMatrix> &matrices) const
         }
     }
     Experiment exp;
+    // Pipeline counters are process-wide cumulative; the telemetry of
+    // one dispatch is the delta across it.
+    const uint64_t fused_base = fusedAnalysisPasses();
+    const uint64_t prefetch_base = TraceCursor::prefetchBatches();
+    const uint64_t stall_base = TraceCursor::prefetchStalls();
     // Resolve the artifacts without any phases: recording is
     // demand-driven, so workloads whose cells all replay from the
     // result store are never analyzed at all. Phases for the cells
@@ -372,7 +379,8 @@ ExperimentRunner::run(const std::vector<ExperimentMatrix> &matrices) const
                 char hash[24];
                 std::snprintf(hash, sizeof hash, "%016llx",
                               static_cast<unsigned long long>(
-                                  canonicalSimConfigHash(cfg)));
+                                  canonicalSimConfigHash(
+                                      cfg, cell.scheme)));
                 const std::string key = cell.workload + '\0' +
                     uarch::schemeName(cell.scheme) + '\0' + hash;
                 const auto [it, inserted] =
@@ -447,6 +455,12 @@ ExperimentRunner::run(const std::vector<ExperimentMatrix> &matrices) const
         exp.telemetry.cacheStores = stats.stores;
         exp.telemetry.cacheEvictions = stats.evictions;
     }
+    exp.telemetry.analysisFusedPasses =
+        fusedAnalysisPasses() - fused_base;
+    exp.telemetry.prefetchBatches =
+        TraceCursor::prefetchBatches() - prefetch_base;
+    exp.telemetry.prefetchStalls =
+        TraceCursor::prefetchStalls() - stall_base;
     return exp;
 }
 
@@ -883,6 +897,13 @@ writeRunTelemetry(const RunTelemetry &telemetry, std::ostream &os)
         o.field("simulated_cells", telemetry.simulatedCells);
         o.field("deduped_cells", telemetry.dedupedCells);
         o.field("gc_evictions", telemetry.cacheGcEvictions);
+    }
+    os << "\n  },\n  \"pipeline\": {";
+    {
+        JsonObject o(os, 4);
+        o.field("analysis_fused_passes", telemetry.analysisFusedPasses);
+        o.field("prefetch_batches", telemetry.prefetchBatches);
+        o.field("prefetch_stalls", telemetry.prefetchStalls);
     }
     os << "\n  },\n  \"analysis\": ";
     if (telemetry.analysisPeaks.empty()) {

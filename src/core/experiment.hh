@@ -113,6 +113,16 @@ struct RunTelemetry
      * (RunnerOptions::cacheGcMb). */
     uint64_t cacheGcEvictions = 0;
 
+    /** Fused analysis passes executed during this dispatch (batched
+     * single-pass Machine runs; 0 when CASSANDRA_ANALYSIS_FUSION
+     * selects the per-phase reference path). */
+    uint64_t analysisFusedPasses = 0;
+    /** Stream-replay frames served by the TraceCursor decode-ahead
+     * worker during this dispatch, and how many of those the replay
+     * loop had to wait for (decode slower than simulation). */
+    uint64_t prefetchBatches = 0;
+    uint64_t prefetchStalls = 0;
+
     /** Algorithm 2 accumulator peak of each workload whose image
      * phase ran in this dispatch (name -> peak bytes, matrix order).
      * The load-bearing boundedness observable: for the composite

@@ -329,6 +329,10 @@ ExperimentService::runBatch(std::vector<Job> &batch, std::ostream &log)
         stats_.cellsDeduped += exp.telemetry.dedupedCells;
         stats_.cellsCached += exp.telemetry.cachedCells;
         stats_.cellsSimulated += exp.telemetry.simulatedCells;
+        stats_.analysisFusedPasses +=
+            exp.telemetry.analysisFusedPasses;
+        stats_.prefetchBatches += exp.telemetry.prefetchBatches;
+        stats_.prefetchStalls += exp.telemetry.prefetchStalls;
     };
 
     try {
@@ -385,7 +389,11 @@ ExperimentService::writeServiceStats()
        << "  \"cells\": {\"total\": " << stats_.cellsTotal
        << ", \"deduped\": " << stats_.cellsDeduped
        << ", \"cached\": " << stats_.cellsCached
-       << ", \"simulated\": " << stats_.cellsSimulated << "}\n"
+       << ", \"simulated\": " << stats_.cellsSimulated << "},\n"
+       << "  \"pipeline\": {\"analysis_fused_passes\": "
+       << stats_.analysisFusedPasses
+       << ", \"prefetch_batches\": " << stats_.prefetchBatches
+       << ", \"prefetch_stalls\": " << stats_.prefetchStalls << "}\n"
        << "}\n";
     spool_->publish(statsKey, textBytes(os.str()));
 }

@@ -96,6 +96,11 @@ class ExperimentService
         uint64_t cellsDeduped = 0;   ///< cross-job duplicates collapsed
         uint64_t cellsCached = 0;    ///< replayed from the result store
         uint64_t cellsSimulated = 0; ///< actually dispatched
+        /** Fused analysis-pipeline passes across all batches. */
+        uint64_t analysisFusedPasses = 0;
+        /** Decode-ahead frames served / stalled across all batches. */
+        uint64_t prefetchBatches = 0;
+        uint64_t prefetchStalls = 0;
     };
 
     /** @throws std::invalid_argument on a missing spool/resolver. */

@@ -107,8 +107,10 @@ packEntry(const ResultStoreKey &key, const ExperimentResult &result)
 
 } // namespace
 
+namespace {
+
 uint64_t
-canonicalSimConfigHash(const SimConfig &config)
+hashSimConfig(const SimConfig &config, bool include_btu)
 {
     Fnv fnv;
     const uarch::CoreParams &c = config.core;
@@ -134,11 +136,27 @@ canonicalSimConfigHash(const SimConfig &config)
     mixCacheParams(fnv, c.l2);
     mixCacheParams(fnv, c.l3);
     fnv.mix(c.memLatency);
-    fnv.mix(c.btuFlushPeriod);
-    fnv.mix(config.btu.sets);
-    fnv.mix(config.btu.ways);
-    fnv.mix(config.btu.fillLatency);
+    if (include_btu) {
+        fnv.mix(c.btuFlushPeriod);
+        fnv.mix(config.btu.sets);
+        fnv.mix(config.btu.ways);
+        fnv.mix(config.btu.fillLatency);
+    }
     return fnv.hash;
+}
+
+} // namespace
+
+uint64_t
+canonicalSimConfigHash(const SimConfig &config)
+{
+    return hashSimConfig(config, true);
+}
+
+uint64_t
+canonicalSimConfigHash(const SimConfig &config, uarch::Scheme scheme)
+{
+    return hashSimConfig(config, uarch::schemeUsesBtu(scheme));
 }
 
 ResultStoreKey
@@ -148,7 +166,7 @@ resultStoreKey(const Workload &workload, uarch::Scheme scheme,
     ResultStoreKey key;
     key.workloadFingerprint = workloadFingerprint(workload);
     key.scheme = scheme;
-    key.configHash = canonicalSimConfigHash(config);
+    key.configHash = canonicalSimConfigHash(config, scheme);
     return key;
 }
 

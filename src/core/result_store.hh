@@ -74,6 +74,18 @@ constexpr uint32_t resultStoreVersion = 1;
  */
 uint64_t canonicalSimConfigHash(const SimConfig &config);
 
+/**
+ * Scheme-aware variant: identical to the 1-arg hash for schemes that
+ * use the BTU (`uarch::schemeUsesBtu`), but for all other schemes the
+ * BTU geometry/fill latency and the flush period are skipped — the
+ * simulator never constructs a BTU for them, so cells that differ
+ * only in BTU knobs are byte-identical and share one entry. This is
+ * the hash the store key and the coordinator's cell dedup use; the
+ * 1-arg form remains the scheme-agnostic reference.
+ */
+uint64_t canonicalSimConfigHash(const SimConfig &config,
+                                uarch::Scheme scheme);
+
 /** The content-address of one cell result. */
 struct ResultStoreKey
 {

@@ -1,12 +1,17 @@
 #include "core/trace_stream.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <cctype>
 #include <cerrno>
 #include <cinttypes>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <random>
+#include <thread>
 
 #include "core/serialize.hh"
 
@@ -362,6 +367,24 @@ TraceStreamWriter::append(const uarch::TimingOp &op)
 }
 
 void
+TraceStreamWriter::appendBatch(const uarch::OpBatch &batch)
+{
+    if (finished_)
+        throw std::logic_error("TraceStreamWriter: append after finish");
+    for (size_t i = 0; i < batch.size; i++) {
+        uint8_t bytes[traceStreamOpBytes];
+        putU64(bytes + 0, batch.pc[i]);
+        putU64(bytes + 8, batch.memAddr[i]);
+        putU64(bytes + 16, batch.nextPc[i]);
+        frame_.insert(frame_.end(), bytes, bytes + traceStreamOpBytes);
+        numOps_++;
+        if (frame_.size() >=
+            static_cast<size_t>(frameOps_) * traceStreamOpBytes)
+            flushFrame();
+    }
+}
+
+void
 TraceStreamWriter::flushFrame()
 {
     if (frame_.empty())
@@ -385,13 +408,35 @@ TraceStreamWriter::flushFrame()
     frame_.clear();
 }
 
+void (*TraceStreamWriter::finishSeamHook)(const std::string &path) =
+    nullptr;
+
 void
 TraceStreamWriter::finish()
 {
     if (finished_)
         return;
     flushFrame();
-    checkStream("write");
+    // The durability seam: every data frame must be durable before a
+    // single index/footer byte is issued, or a crash could leave a
+    // footer that validates against truncated data. One flush drains
+    // the stream buffer in write order; the fsync orders it against
+    // kernel writeback.
+    file_.flush();
+    checkStream("data flush");
+#if defined(__unix__) || defined(__APPLE__)
+    {
+        const int fd = ::open(path_.c_str(), O_WRONLY);
+        if (fd < 0 || ::fsync(fd) != 0) {
+            if (fd >= 0)
+                ::close(fd);
+            throw std::runtime_error("cannot sync " + path_);
+        }
+        ::close(fd);
+    }
+#endif
+    if (finishSeamHook)
+        finishSeamHook(path_);
     const std::streampos raw_pos = file_.tellp();
     if (raw_pos == std::streampos(-1))
         throw std::runtime_error("cannot position in " + path_);
@@ -421,7 +466,7 @@ TraceStreamWriter::finish()
 
 TraceCursor::TraceCursor(const std::string &path,
                          const ir::Program &program, Backing backing)
-    : program_(program)
+    : program_(program), path_(path)
 {
     file_.open(path, std::ios::binary);
     if (!file_)
@@ -567,6 +612,9 @@ TraceCursor::TraceCursor(const std::string &path,
 
 TraceCursor::~TraceCursor()
 {
+    // Stop the decode-ahead worker before the mapping (and this
+    // object's geometry) goes away.
+    prefetch_.reset();
 #ifdef CASSANDRA_HAVE_MMAP
     if (map_)
         ::munmap(const_cast<uint8_t *>(map_), mapLen_);
@@ -665,25 +713,33 @@ TraceCursor::opBytes(uint64_t index)
 }
 
 void
-TraceCursor::loadFrameSoA(uint64_t frame)
+TraceCursor::decodeFrame(uint64_t frame, uarch::OpBatchStorage &out,
+                         std::ifstream &file,
+                         std::vector<uint8_t> &scratch) const
 {
     const size_t ops = static_cast<size_t>(frameOps(frame));
-    soa_.resize(ops);
+    out.resize(ops);
     const uint64_t start = frameOffsets_[frame];
     if (version_ == 1) {
         const uint8_t *raw;
         if (map_) {
             raw = map_ + start;
         } else {
-            if (loadedFrame_ != frame)
-                loadFrame(frame);
-            raw = frame_.data();
+            scratch.resize(ops * traceStreamOpBytes);
+            file.seekg(static_cast<std::streamoff>(start));
+            file.read(reinterpret_cast<char *>(scratch.data()),
+                      static_cast<std::streamsize>(scratch.size()));
+            if (!file)
+                throw ArtifactFormatError(
+                    "trace stream read failed (frame " +
+                    std::to_string(frame) + ")");
+            raw = scratch.data();
         }
         for (size_t i = 0; i < ops; i++) {
             const uint8_t *src = raw + i * traceStreamOpBytes;
-            soa_.pc[i] = getU64(src + 0);
-            soa_.memAddr[i] = getU64(src + 8);
-            soa_.nextPc[i] = getU64(src + 16);
+            out.pc[i] = getU64(src + 0);
+            out.memAddr[i] = getU64(src + 8);
+            out.nextPc[i] = getU64(src + 16);
         }
     } else {
         const size_t len = static_cast<size_t>(frameEnd(frame) - start);
@@ -691,21 +747,19 @@ TraceCursor::loadFrameSoA(uint64_t frame)
         if (map_) {
             enc = map_ + start;
         } else {
-            scratch_.resize(len);
-            file_.seekg(static_cast<std::streamoff>(start));
-            file_.read(reinterpret_cast<char *>(scratch_.data()),
-                       static_cast<std::streamsize>(len));
-            if (!file_)
+            scratch.resize(len);
+            file.seekg(static_cast<std::streamoff>(start));
+            file.read(reinterpret_cast<char *>(scratch.data()),
+                      static_cast<std::streamsize>(len));
+            if (!file)
                 throw ArtifactFormatError(
                     "trace stream read failed (frame " +
                     std::to_string(frame) + ")");
-            enc = scratch_.data();
+            enc = scratch.data();
         }
-        decodeTraceFrameSoA(enc, len, ops, soa_.pc.data(),
-                            soa_.memAddr.data(), soa_.nextPc.data());
+        decodeTraceFrameSoA(enc, len, ops, out.pc.data(),
+                            out.memAddr.data(), out.nextPc.data());
     }
-    if (map_)
-        dropConsumedFrames(frame);
 
     // Relink: the off-based check accepts exactly the pcs
     // program_.validPc accepts (an out-of-range or misaligned pc means
@@ -713,16 +767,231 @@ TraceCursor::loadFrameSoA(uint64_t frame)
     const ir::Inst *insts = program_.insts.data();
     const uint64_t limit = cryptoByIndex_.size() * ir::instBytes;
     for (size_t i = 0; i < ops; i++) {
-        const uint64_t off = soa_.pc[i] - ir::Program::codeBase;
+        const uint64_t off = out.pc[i] - ir::Program::codeBase;
         if (off >= limit || off % ir::instBytes != 0)
             throw ArtifactStaleError(
                 "trace stream op pc outside program (stale trace)");
         const size_t idx = static_cast<size_t>(off / ir::instBytes);
-        soa_.inst[i] = insts + idx;
-        soa_.crypto[i] = cryptoByIndex_[idx];
-        soa_.tainted[i] = 0;
+        out.inst[i] = insts + idx;
+        out.crypto[i] = cryptoByIndex_[idx];
+        out.tainted[i] = 0;
     }
+}
+
+void
+TraceCursor::loadFrameSoA(uint64_t frame)
+{
+    decodeFrame(frame, soa_, file_, scratch_);
+    if (map_)
+        dropConsumedFrames(frame);
     soaFrame_ = frame;
+}
+
+namespace {
+
+std::atomic<uint64_t> prefetch_batches{0};
+std::atomic<uint64_t> prefetch_stalls{0};
+
+/** CASSANDRA_STREAM_PREFETCH resolution. Read per cursor (not cached
+ * in a static) so tests can flip it between cursors. */
+bool
+prefetchWanted()
+{
+    const char *e = std::getenv("CASSANDRA_STREAM_PREFETCH");
+    std::string v = e ? e : "auto";
+    for (char &c : v)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (v == "0" || v == "off")
+        return false;
+    if (v == "1" || v == "on")
+        return true;
+    return std::thread::hardware_concurrency() >= 2;
+}
+
+} // namespace
+
+/**
+ * Decode-ahead worker: one thread, one frame of look-ahead, its own
+ * read state (stream + scratch + output columns), so the only shared
+ * data is the cursor's immutable geometry and the read-only mapping.
+ * The protocol is strict double-buffering — request(F+1) is issued
+ * when F is swapped in, take(F) either swaps the finished buffer or
+ * waits for the in-flight decode (a counted stall).
+ */
+struct TraceCursor::Prefetch
+{
+    Prefetch(const TraceCursor &cursor, const std::string &path)
+        : cursor_(cursor)
+    {
+        if (!cursor.map_) {
+            file_.open(path, std::ios::binary);
+            if (!file_)
+                throw std::runtime_error(
+                    "cannot reopen trace stream " + path);
+        }
+        worker_ = std::thread([this] { loop(); });
+    }
+
+    ~Prefetch()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        worker_.join();
+    }
+
+    /** Ask the worker to decode `frame` next (drops any unconsumed
+     * previously finished frame). */
+    void
+    request(uint64_t frame)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            want_ = frame;
+            pending_ = true;
+            hasDone_ = false;
+        }
+        cv_.notify_all();
+    }
+
+    /**
+     * Obtain `frame` from the worker: swap its buffer into `out` and
+     * return true, waiting (stalled = true) when the decode is still
+     * in flight. False when the worker was never asked for it — the
+     * caller decodes synchronously. Rethrows worker-side decode
+     * errors at the frame boundary, exactly where the synchronous
+     * path would throw them.
+     */
+    bool
+    take(uint64_t frame, uarch::OpBatchStorage &out, bool &stalled)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stalled = false;
+        for (;;) {
+            if (hasDone_ && done_ == frame) {
+                hasDone_ = false;
+                if (error_) {
+                    std::exception_ptr e = error_;
+                    error_ = nullptr;
+                    std::rethrow_exception(e);
+                }
+                std::swap(out, buf_);
+                return true;
+            }
+            if ((pending_ && want_ == frame) ||
+                (busy_ && current_ == frame)) {
+                stalled = true;
+                cv_.wait(lock);
+                continue;
+            }
+            return false;
+        }
+    }
+
+  private:
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            cv_.wait(lock, [this] { return stop_ || pending_; });
+            if (stop_)
+                return;
+            current_ = want_;
+            pending_ = false;
+            busy_ = true;
+            lock.unlock();
+            std::exception_ptr err;
+            try {
+                cursor_.decodeFrame(current_, buf_, file_, scratch_);
+            } catch (...) {
+                err = std::current_exception();
+            }
+            lock.lock();
+            busy_ = false;
+            // A request that arrived mid-decode supersedes this
+            // result; otherwise publish it.
+            if (!pending_) {
+                done_ = current_;
+                hasDone_ = true;
+                error_ = err;
+            }
+            cv_.notify_all();
+        }
+    }
+
+    const TraceCursor &cursor_;
+    std::ifstream file_; ///< own handle (unused with mmap backing)
+    std::vector<uint8_t> scratch_;
+    uarch::OpBatchStorage buf_;
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    uint64_t want_ = 0;
+    uint64_t current_ = 0;
+    uint64_t done_ = 0;
+    bool pending_ = false;
+    bool busy_ = false;
+    bool hasDone_ = false;
+    bool stop_ = false;
+    std::exception_ptr error_;
+    std::thread worker_;
+};
+
+void
+TraceCursor::maybeStartPrefetch()
+{
+    if (prefetchChecked_)
+        return;
+    prefetchChecked_ = true;
+    // One frame of look-ahead needs a second frame to exist; a worker
+    // that cannot start (thread/file limits) just leaves the cursor
+    // on the synchronous path.
+    if (numFrames_ < 2 || !prefetchWanted())
+        return;
+    try {
+        prefetch_ = std::make_unique<Prefetch>(*this, path_);
+    } catch (...) {
+        prefetch_.reset();
+    }
+}
+
+void
+TraceCursor::ensureFrameSoA(uint64_t frame)
+{
+    maybeStartPrefetch();
+    if (!prefetch_) {
+        loadFrameSoA(frame);
+        return;
+    }
+    bool stalled = false;
+    if (prefetch_->take(frame, soa_, stalled)) {
+        prefetch_batches.fetch_add(1, std::memory_order_relaxed);
+        if (stalled)
+            prefetch_stalls.fetch_add(1, std::memory_order_relaxed);
+        if (map_)
+            dropConsumedFrames(frame);
+        soaFrame_ = frame;
+    } else {
+        loadFrameSoA(frame);
+    }
+    if (frame + 1 < numFrames_)
+        prefetch_->request(frame + 1);
+}
+
+uint64_t
+TraceCursor::prefetchBatches()
+{
+    return prefetch_batches.load(std::memory_order_relaxed);
+}
+
+uint64_t
+TraceCursor::prefetchStalls()
+{
+    return prefetch_stalls.load(std::memory_order_relaxed);
 }
 
 size_t
@@ -732,7 +1001,7 @@ TraceCursor::nextBatch(uarch::OpBatch &out, size_t max_ops)
         return 0;
     const uint64_t frame = pos_ / frameOps_;
     if (soaFrame_ != frame)
-        loadFrameSoA(frame);
+        ensureFrameSoA(frame);
     const size_t within = static_cast<size_t>(pos_ % frameOps_);
     const size_t n = static_cast<size_t>(
         std::min<uint64_t>(max_ops, frameOps(frame) - within));

@@ -153,9 +153,29 @@ class TraceStreamWriter
     /** Append one op (buffered; flushed per frame). */
     void append(const uarch::TimingOp &op);
 
-    /** Flush the tail frame, write index + footer, patch the header.
-     * Idempotent; throws on I/O errors. */
+    /** Append a whole batch (column-wise; same bytes as op-by-op). */
+    void appendBatch(const uarch::OpBatch &batch);
+
+    /**
+     * Flush the tail frame, make the data frames durable (flush +
+     * fsync — the single durability seam), then write index + footer
+     * and patch the header. Ordering contract: the index/footer are
+     * never issued to the filesystem before every data frame they
+     * describe is durable, so a crash at any point leaves a file
+     * whose footer is either absent (fails loudly at open) or
+     * describes fully-written frames — never footer-valid-but-
+     * truncated data. Idempotent; throws on I/O errors.
+     */
     void finish();
+
+    /**
+     * Test-only fault-injection hook, called by finish() exactly at
+     * the durability seam: after the data frames are flushed and
+     * synced, before any index/footer byte is issued. Tests snapshot
+     * or abandon the file here to model a crash mid-pass. Not
+     * thread-safe; reset to nullptr after use.
+     */
+    static void (*finishSeamHook)(const std::string &path);
 
     uint64_t numOps() const { return numOps_; }
     const std::string &path() const { return path_; }
@@ -205,6 +225,18 @@ class TraceCursor final : public uarch::TimingOpSource
      * zero-copy views into the decoded frame, so a batch never crosses
      * a frame boundary. Relinking (inst pointer + crypto flag) uses a
      * per-static-instruction table instead of the per-op range scan.
+     *
+     * Decode-ahead: while the caller replays frame N's batches, a
+     * background worker decodes + relinks frame N+1 into a second SoA
+     * buffer (its own file handle, so no I/O state is shared), and the
+     * frame boundary becomes a buffer swap instead of a synchronous
+     * decode. The served values are byte-identical to the synchronous
+     * path — the worker runs the same decodeFrame — and frames are
+     * consumed strictly in order either way. Controlled by the
+     * CASSANDRA_STREAM_PREFETCH environment variable: "on"/"1" forces
+     * it, "off"/"0" disables it, unset/"auto" enables it on hosts with
+     * >= 2 hardware threads. Observable through prefetchBatches() /
+     * prefetchStalls().
      */
     size_t nextBatch(uarch::OpBatch &out, size_t max_ops) override;
 
@@ -214,15 +246,41 @@ class TraceCursor final : public uarch::TimingOpSource
      * 2 = CASSTF2 compressed frames). */
     uint32_t formatVersion() const { return version_; }
 
+    /** True once this cursor's decode-ahead worker is running. */
+    bool prefetching() const { return prefetch_ != nullptr; }
+
+    /** Process-wide count of frames served from the decode-ahead
+     * buffer (ready or awaited) across all cursors. */
+    static uint64_t prefetchBatches();
+    /** Process-wide count of frame waits on an in-flight decode (the
+     * replay outran the prefetcher). */
+    static uint64_t prefetchStalls();
+
   private:
+    struct Prefetch; ///< decode-ahead worker (trace_stream.cc)
+
     void loadFrame(uint64_t frame);
     void loadFrameSoA(uint64_t frame);
+    /** loadFrameSoA through the prefetcher when enabled (starting it
+     * lazily on the first batched frame). */
+    void ensureFrameSoA(uint64_t frame);
+    void maybeStartPrefetch();
+    /**
+     * Decode + relink one frame into `out`, reading through the
+     * caller-owned stream/scratch (the mmap view is shared read-only).
+     * Touches no mutable cursor state, so the prefetch worker and the
+     * main thread can each run it concurrently on their own buffers.
+     */
+    void decodeFrame(uint64_t frame, uarch::OpBatchStorage &out,
+                     std::ifstream &file,
+                     std::vector<uint8_t> &scratch) const;
     void dropConsumedFrames(uint64_t upto);
     const uint8_t *opBytes(uint64_t index);
     uint64_t frameOps(uint64_t frame) const;
     uint64_t frameEnd(uint64_t frame) const;
 
     const ir::Program &program_;
+    std::string path_;
     std::ifstream file_;
     uint32_t version_ = 0;
     uint64_t numOps_ = 0;
@@ -245,6 +303,10 @@ class TraceCursor final : public uarch::TimingOpSource
     uarch::OpBatchStorage soa_;
     uint64_t soaFrame_ = ~0ull;
     std::vector<uint8_t> cryptoByIndex_; ///< crypto flag per static inst
+
+    // decode-ahead worker (lazily started by the first batched frame)
+    std::unique_ptr<Prefetch> prefetch_;
+    bool prefetchChecked_ = false;
 
     uint64_t pos_ = 0;
     uarch::TimingOp op_;

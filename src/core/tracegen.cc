@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "core/analysis_pipeline.hh"
+
 namespace cassandra::core {
 
 namespace {
@@ -52,6 +54,20 @@ collectRun(const Workload &w, int which)
     return out;
 }
 
+/** collectRun through the fused batch pipeline: same accumulators,
+ * same crypto filter, batched probe instead of per-branch callback. */
+FoldedRun
+collectRunFused(const Workload &w, int which)
+{
+    FusedBranchRun run =
+        runFusedBranchPass(w, which, /*crypto_only=*/true);
+    FoldedRun out;
+    out.heldBytes = run.heldBytes;
+    out.peakBytes = run.peakBytes;
+    out.traces = std::move(run.traces);
+    return out;
+}
+
 } // namespace
 
 std::vector<const BranchRecord *>
@@ -66,7 +82,8 @@ TraceGenResult::multiTarget() const
 }
 
 TraceGenResult
-generateTraces(const Workload &workload, const KmersParams &params)
+generateTraces(const Workload &workload, const KmersParams &params,
+               bool fused)
 {
     TraceGenResult out;
     out.image.cryptoRanges = workload.program.cryptoRanges;
@@ -75,10 +92,15 @@ generateTraces(const Workload &workload, const KmersParams &params)
     // run-length-encodes every static branch's trace online (the
     // folded accumulators never hold the raw target stream), so
     // analysis memory is O(static branches + folded RLE size) no
-    // matter how many dynamic instructions the run executes.
+    // matter how many dynamic instructions the run executes. Both
+    // collectors feed one FoldedTrace::append sequence; run1's
+    // accumulators stay resident while run2 executes in either mode,
+    // preserving the peakAccumBytes accounting below.
     auto t0 = Clock::now();
-    FoldedRun run1 = collectRun(workload, 0);
-    FoldedRun run2 = collectRun(workload, 1);
+    FoldedRun run1 =
+        fused ? collectRunFused(workload, 0) : collectRun(workload, 0);
+    FoldedRun run2 =
+        fused ? collectRunFused(workload, 1) : collectRun(workload, 1);
     out.timings.rawSec = secondsSince(t0);
 
     // run1's accumulators stay resident while run2 executes, so the

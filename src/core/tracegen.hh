@@ -80,9 +80,18 @@ struct TraceGenResult
     std::vector<const BranchRecord *> multiTarget() const;
 };
 
-/** Run Algorithm 2. */
+/**
+ * Run Algorithm 2. With `fused` the two instrumented collection runs
+ * (steps A-C) stream through the batch pipeline's branch probe
+ * (runFusedBranchPass) instead of the per-branch std::function probe;
+ * the accumulators, the diff, and every downstream step are shared, so
+ * the result — image bytes, records, peakAccumBytes — is identical.
+ * The default stays on the probe-driven reference path (the parity
+ * oracle).
+ */
 TraceGenResult generateTraces(const Workload &workload,
-                              const KmersParams &params = {});
+                              const KmersParams &params = {},
+                              bool fused = false);
 
 } // namespace cassandra::core
 

@@ -223,6 +223,13 @@ Machine::step()
     if (inst.isControlFlow()) {
         if (branchProbe)
             branchProbe(cur_pc, next_pc, inst);
+        if (branchBatchProbe) {
+            BatchProbe &b = *branchBatchProbe;
+            b.pc[b.size] = cur_pc;
+            b.nextPc[b.size] = next_pc;
+            if (++b.size == b.cap)
+                b.full();
+        }
         if (recordObservations) {
             ObsKind kind = ObsKind::Pc;
             switch (inst.execClass()) {
@@ -239,6 +246,14 @@ Machine::step()
 
     if (instProbe)
         instProbe({cur_pc, mem_addr, next_pc});
+    if (opBatchProbe) {
+        BatchProbe &b = *opBatchProbe;
+        b.pc[b.size] = cur_pc;
+        b.memAddr[b.size] = mem_addr;
+        b.nextPc[b.size] = next_pc;
+        if (++b.size == b.cap)
+            b.full();
+    }
 
     pc_ = next_pc;
     return !halted_;

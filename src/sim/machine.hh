@@ -139,6 +139,33 @@ class Machine
     /** Called for every executed instruction. */
     std::function<void(const DynInst &)> instProbe;
 
+    /**
+     * SoA batch probe: the fused analysis pipeline's low-overhead
+     * counterpart of instProbe/branchProbe. The machine writes
+     * straight into the caller-provided columns (three stores and a
+     * size bump per event — no per-op std::function dispatch) and
+     * calls `full` once `size` reaches `cap`; `full` must leave the
+     * probe with size < cap (typically by handing the span to
+     * consumers and resetting size, or swapping in fresh columns).
+     * The caller drains any partial tail after run() returns. Fires
+     * at exactly the instProbe/branchProbe call sites, so the event
+     * sequence is identical to the scalar probes by construction.
+     */
+    struct BatchProbe
+    {
+        uint64_t *pc = nullptr;
+        uint64_t *memAddr = nullptr; ///< unused by the branch probe
+        uint64_t *nextPc = nullptr;  ///< branch probe: the target
+        size_t size = 0;
+        size_t cap = 0;
+        std::function<void()> full;
+    };
+
+    /** Every executed instruction ({pc, memAddr, nextPc}). */
+    BatchProbe *opBatchProbe = nullptr;
+    /** Every executed control-flow instruction ({pc, -, target}). */
+    BatchProbe *branchBatchProbe = nullptr;
+
     /** When true, contract observations are appended to observations. */
     bool recordObservations = false;
     std::vector<Obs> observations;

@@ -19,6 +19,27 @@ log2Exact(uint64_t v)
 
 } // namespace
 
+/**
+ * Per-thread pool of retired tag arrays. A sweep builds one
+ * MemoryHierarchy (four Caches) per cell, and the dominant cost of
+ * that used to be zeroing the L3's multi-megabyte line array every
+ * time; recycling the array together with its final use clock makes
+ * the old contents read as empty (lastUse <= epochBase_) with no
+ * clearing at all. Thread-local, so worker threads never contend.
+ */
+struct Cache::PoolEntry
+{
+    std::vector<Line> lines;
+    uint64_t useClock = 0;
+};
+
+std::vector<Cache::PoolEntry> &
+Cache::linePool()
+{
+    static thread_local std::vector<PoolEntry> pool;
+    return pool;
+}
+
 Cache::Cache(const CacheParams &params) : params_(params)
 {
     numSets_ = params_.sizeBytes / (params_.lineBytes * params_.ways);
@@ -26,9 +47,32 @@ Cache::Cache(const CacheParams &params) : params_(params)
         numSets_ = 1;
     lineShift_ = log2Exact(params_.lineBytes);
     setShift_ = log2Exact(numSets_);
-    lines_.resize(static_cast<size_t>(numSets_) * params_.ways);
+    const size_t need = static_cast<size_t>(numSets_) * params_.ways;
+    auto &pool = linePool();
+    for (size_t i = 0; i < pool.size(); i++) {
+        if (pool[i].lines.size() == need) {
+            lines_ = std::move(pool[i].lines);
+            useClock_ = epochBase_ = pool[i].useClock;
+            pool.erase(pool.begin() + static_cast<ptrdiff_t>(i));
+            return;
+        }
+    }
+    lines_.resize(need);
     std::memset(static_cast<void *>(lines_.data()), 0,
                 lines_.size() * sizeof(Line));
+}
+
+Cache::~Cache()
+{
+    if (lines_.empty())
+        return;
+    auto &pool = linePool();
+    if (pool.size() >= 8)
+        return;
+    PoolEntry entry;
+    entry.lines = std::move(lines_);
+    entry.useClock = useClock_;
+    pool.push_back(std::move(entry));
 }
 
 bool
@@ -39,7 +83,7 @@ Cache::probe(uint64_t addr) const
     uint64_t tag = tagOf(line_addr);
     for (uint32_t w = 0; w < params_.ways; w++) {
         const Line &l = lines_[static_cast<size_t>(set) * params_.ways + w];
-        if (l.valid && l.tag == tag)
+        if (l.lastUse > epochBase_ && l.tag == tag)
             return true;
     }
     return false;
@@ -48,8 +92,7 @@ Cache::probe(uint64_t addr) const
 void
 Cache::invalidateAll()
 {
-    for (Line &l : lines_)
-        l.valid = false;
+    epochBase_ = useClock_;
 }
 
 MemoryHierarchy::MemoryHierarchy(const CoreParams &params)

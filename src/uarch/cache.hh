@@ -37,6 +37,10 @@ class Cache
   public:
     explicit Cache(const CacheParams &params);
 
+    ~Cache();
+    Cache(const Cache &) = default;
+    Cache &operator=(const Cache &) = default;
+
     /** True on hit; allocates the line either way. */
     bool
     access(uint64_t addr)
@@ -49,15 +53,19 @@ class Cache
         Line *victim = base;
         for (uint32_t w = 0; w < params_.ways; w++) {
             Line &l = base[w];
-            if (l.valid && l.tag == tag) {
+            if (l.lastUse > epochBase_ && l.tag == tag) {
                 l.lastUse = ++useClock_;
                 return true;
             }
-            if (!l.valid || l.lastUse < victim->lastUse)
+            // Stale lines (lastUse <= epochBase_) sort below every
+            // live one, so an empty way is always preferred — and
+            // which empty way wins cannot change the hit/miss
+            // sequence (set contents are a tag set; ways are
+            // interchangeable).
+            if (l.lastUse < victim->lastUse)
                 victim = &l;
         }
         stats_.misses++;
-        victim->valid = true;
         victim->tag = tag;
         victim->lastUse = ++useClock_;
         return false;
@@ -71,17 +79,19 @@ class Cache
     const CacheStats &stats() const { return stats_; }
 
   private:
-    // The no-op default constructor lets the constructor's resize skip
-    // per-element initialization so the tag array (the L3's alone is
-    // ~130K lines, rebuilt for every simulated cell) is zeroed by one
-    // memset; the all-zero state is the valid empty line.
+    // A line is live iff lastUse > epochBase_ — there is no valid
+    // flag. The constructor recycles a retired tag array (per-thread
+    // pool) and sets epochBase_ to that array's final clock, so every
+    // stale line reads as empty without touching the ~130K-line L3
+    // array at all; only a pool miss pays the one-time memset. The
+    // no-op default constructor lets resize skip per-element
+    // initialization for that case.
     struct Line
     {
-        bool valid;
         uint64_t tag;
         uint64_t lastUse;
 
-        Line() {} // members set by the constructor's memset
+        Line() {} // set by memset (pool miss) or left stale (hit)
     };
 
     uint64_t
@@ -110,8 +120,12 @@ class Cache
     uint32_t numSets_;
     int lineShift_ = -1; ///< log2(lineBytes), -1 if not a power of two
     int setShift_ = -1;  ///< log2(numSets), -1 if not a power of two
+    struct PoolEntry;
+    static std::vector<PoolEntry> &linePool();
+
     std::vector<Line> lines_;
     uint64_t useClock_ = 0;
+    uint64_t epochBase_ = 0; ///< lastUse values <= this are empty lines
     CacheStats stats_;
 };
 

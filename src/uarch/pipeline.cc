@@ -226,99 +226,103 @@ relinkTimingTrace(TimingTrace &trace, const ir::Program &program)
     }
 }
 
+bool
+TaintWalker::memIsTainted(uint64_t addr, int bytes) const
+{
+    for (const auto &r : *regions_) {
+        if (addr < r.hi && addr + bytes > r.lo)
+            return true;
+    }
+    return memTaint_.count(addr >> 3) != 0;
+}
+
+bool
+TaintWalker::feed(const Inst &inst, uint64_t mem_addr, bool crypto)
+{
+    // Declassification at crypto-region exit: constant-time
+    // primitives declassify their register outputs before returning
+    // to unsafe code (paper §7.3).
+    if (prevCrypto_ && !crypto)
+        regTaint_.fill(false);
+    prevCrypto_ = crypto;
+
+    bool src_taint = false;
+    switch (inst.execClass()) {
+      case ExecClass::Load:
+        src_taint = regTaint_[inst.rs1];
+        break;
+      case ExecClass::Store:
+        src_taint = regTaint_[inst.rs1] || regTaint_[inst.rs2];
+        break;
+      case ExecClass::CondBranch:
+        src_taint = regTaint_[inst.rs1] || regTaint_[inst.rs2];
+        break;
+      case ExecClass::IndirectJump:
+      case ExecClass::Return:
+        src_taint = regTaint_[inst.rs1];
+        break;
+      default:
+        src_taint = regTaint_[inst.rs1] || regTaint_[inst.rs2];
+        if (inst.op == Opcode::Li)
+            src_taint = false;
+        if (inst.op == Opcode::Cmovnz)
+            src_taint = src_taint || regTaint_[inst.rd];
+        break;
+    }
+
+    // Propagate.
+    if (inst.isLoad()) {
+        bool t = memIsTainted(mem_addr, inst.memBytes());
+        if (inst.rd != ir::regZero)
+            regTaint_[inst.rd] = t;
+    } else if (inst.isStore()) {
+        if (regTaint_[inst.rs2])
+            memTaint_.insert(mem_addr >> 3);
+        else
+            memTaint_.erase(mem_addr >> 3);
+    } else if (inst.rd != ir::regZero &&
+               inst.execClass() != ExecClass::Store) {
+        switch (inst.op) {
+          case Opcode::Li:
+            regTaint_[inst.rd] = false;
+            break;
+          case Opcode::Cmovnz:
+            regTaint_[inst.rd] = regTaint_[inst.rd] ||
+                regTaint_[inst.rs1] || regTaint_[inst.rs2];
+            break;
+          case Opcode::Jal:
+          case Opcode::Jalr:
+            regTaint_[inst.rd] = false; // link value is a PC
+            break;
+          default:
+            regTaint_[inst.rd] =
+                regTaint_[inst.rs1] || regTaint_[inst.rs2];
+            break;
+        }
+    }
+    return src_taint;
+}
+
 namespace {
 
 /**
- * The one taint walker behind annotateTaint and computeTaintBitmap:
- * streams ops from `src` and reports each op's source-operand taint to
- * `sink(index, tainted)`. Keeping a single implementation is what makes
- * the bitmap bit-for-bit equal to the legacy annotated-trace flags.
+ * The one taint walk behind annotateTaint and computeTaintBitmap:
+ * streams ops from `src` through a TaintWalker and reports each op's
+ * source-operand taint to `sink(index, tainted)`. The fused pipeline
+ * drives the same TaintWalker from SoA batches, which is what keeps
+ * the bitmap bit-for-bit equal across all three paths.
  */
 template <typename Sink>
 void
 walkTaint(TimingOpSource &src,
           const std::vector<core::SecretRegion> &regions, Sink &&sink)
 {
-    std::array<bool, ir::numRegs> reg_taint{};
-    std::unordered_set<uint64_t> mem_taint; // 8-byte granules
-    bool prev_crypto = false;
-
-    auto mem_is_tainted = [&](uint64_t addr, int bytes) {
-        for (const auto &r : regions) {
-            if (addr < r.hi && addr + bytes > r.lo)
-                return true;
-        }
-        return mem_taint.count(addr >> 3) != 0;
-    };
-
+    TaintWalker walker(regions);
     size_t index = 0;
     for (const TimingOp *opp = src.next(); opp;
          opp = src.next(), index++) {
         const TimingOp &op = *opp;
-        const Inst &inst = *op.inst;
-
-        // Declassification at crypto-region exit: constant-time
-        // primitives declassify their register outputs before returning
-        // to unsafe code (paper §7.3).
-        if (prev_crypto && !op.crypto)
-            reg_taint.fill(false);
-        prev_crypto = op.crypto;
-
-        bool src_taint = false;
-        switch (inst.execClass()) {
-          case ExecClass::Load:
-            src_taint = reg_taint[inst.rs1];
-            break;
-          case ExecClass::Store:
-            src_taint = reg_taint[inst.rs1] || reg_taint[inst.rs2];
-            break;
-          case ExecClass::CondBranch:
-            src_taint = reg_taint[inst.rs1] || reg_taint[inst.rs2];
-            break;
-          case ExecClass::IndirectJump:
-          case ExecClass::Return:
-            src_taint = reg_taint[inst.rs1];
-            break;
-          default:
-            src_taint = reg_taint[inst.rs1] || reg_taint[inst.rs2];
-            if (inst.op == Opcode::Li)
-                src_taint = false;
-            if (inst.op == Opcode::Cmovnz)
-                src_taint = src_taint || reg_taint[inst.rd];
-            break;
-        }
-        sink(index, src_taint);
-
-        // Propagate.
-        if (inst.isLoad()) {
-            bool t = mem_is_tainted(op.memAddr, inst.memBytes());
-            if (inst.rd != ir::regZero)
-                reg_taint[inst.rd] = t;
-        } else if (inst.isStore()) {
-            if (reg_taint[inst.rs2])
-                mem_taint.insert(op.memAddr >> 3);
-            else
-                mem_taint.erase(op.memAddr >> 3);
-        } else if (inst.rd != ir::regZero &&
-                   inst.execClass() != ExecClass::Store) {
-            switch (inst.op) {
-              case Opcode::Li:
-                reg_taint[inst.rd] = false;
-                break;
-              case Opcode::Cmovnz:
-                reg_taint[inst.rd] = reg_taint[inst.rd] ||
-                    reg_taint[inst.rs1] || reg_taint[inst.rs2];
-                break;
-              case Opcode::Jal:
-              case Opcode::Jalr:
-                reg_taint[inst.rd] = false; // link value is a PC
-                break;
-              default:
-                reg_taint[inst.rd] =
-                    reg_taint[inst.rs1] || reg_taint[inst.rs2];
-                break;
-            }
-        }
+        sink(index, walker.feed(*op.inst, op.memAddr, op.crypto));
     }
 }
 

@@ -41,6 +41,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "btu/btu.hh"
@@ -219,6 +220,22 @@ class TaintBitmap
 
     void set(size_t i) { words_[i >> 6] |= 1ull << (i & 63); }
 
+    /**
+     * Build from preassembled 64-bit words, bit i of word i/64 being
+     * op i's taint (the fused analysis pass accumulates words without
+     * knowing the final op count). Words are padded/truncated to the
+     * op count; bits at or beyond `ops` must be zero.
+     */
+    static TaintBitmap
+    fromWords(size_t ops, std::vector<uint64_t> words)
+    {
+        TaintBitmap b;
+        b.size_ = ops;
+        words.resize((ops + 63) / 64, 0);
+        b.words_ = std::move(words);
+        return b;
+    }
+
     bool
     test(size_t i) const
     {
@@ -231,6 +248,36 @@ class TaintBitmap
   private:
     size_t size_ = 0;
     std::vector<uint64_t> words_;
+};
+
+/**
+ * Incremental form of the taint walk behind annotateTaint and
+ * computeTaintBitmap: feed() consumes one executed op and returns its
+ * source-operand taint. Both the scalar walkers and the fused
+ * analysis pipeline's batch consumer drive this one state machine, so
+ * their verdicts are bit-for-bit equal by construction. `regions`
+ * must outlive the walker.
+ */
+class TaintWalker
+{
+  public:
+    explicit TaintWalker(const std::vector<core::SecretRegion> &regions)
+        : regions_(&regions)
+    {
+    }
+
+    /** One op in execution order: its instruction, effective memory
+     * address (loads/stores) and whether its pc is in a crypto range.
+     * Returns the op's source-operand taint; updates the walk state. */
+    bool feed(const ir::Inst &inst, uint64_t mem_addr, bool crypto);
+
+  private:
+    bool memIsTainted(uint64_t addr, int bytes) const;
+
+    const std::vector<core::SecretRegion> *regions_;
+    std::array<bool, ir::numRegs> regTaint_{};
+    std::unordered_set<uint64_t> memTaint_; ///< 8-byte granules
+    bool prevCrypto_ = false;
 };
 
 /**

@@ -1,0 +1,632 @@
+/**
+ * @file
+ * Fused single-pass analysis pipeline parity suite.
+ *
+ * The fused pipeline (core/analysis_pipeline) replaces the serial
+ * per-phase reference passes; the reference stays in-tree as the
+ * oracle. Everything here is exact comparison: op columns, folded
+ * Algorithm 2 traces, packed image bytes, taint bits, stream file
+ * bytes and replayed batches must match the reference op for op —
+ * across chunk sizes (including 1), ring sizes (including 1), Inline
+ * and forced-Threaded mode, and with the TraceCursor decode-ahead
+ * prefetcher forced on and off. Plus the TraceStreamWriter durability
+ * seam: a crash after the data fsync but before the index/footer must
+ * leave a file that fails loudly at open, never a footer-valid-but-
+ * truncated stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/analysis_pipeline.hh"
+#include "core/analyzed_workload.hh"
+#include "core/serialize.hh"
+#include "core/trace_stream.hh"
+#include "core/tracegen.hh"
+#include "crypto/workload_registry.hh"
+
+namespace {
+
+using namespace cassandra;
+using core::AnalysisChunk;
+using core::AnalysisFusion;
+using core::AnalysisPipelineOptions;
+using core::AnalyzedWorkload;
+using core::AnalyzeOptions;
+using core::BatchConsumer;
+using core::ChunkSpanSource;
+using core::TraceCompression;
+using core::TraceCursor;
+using core::TraceMode;
+using core::TraceStreamWriter;
+using Mode = core::AnalysisPipelineOptions::Mode;
+
+core::Workload
+workload(const char *name)
+{
+    return crypto::WorkloadRegistry::global().make(name);
+}
+
+std::vector<uint8_t>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+}
+
+void
+writeFile(const std::string &path, const std::vector<uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << path;
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+/** RAII environment override (POSIX setenv; tests are unix-only like
+ * the mmap cursor backing). */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        if (old) {
+            had_ = true;
+            old_ = old;
+        }
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~ScopedEnv()
+    {
+        if (had_)
+            ::setenv(name_.c_str(), old_.c_str(), 1);
+        else
+            ::unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::string old_;
+    bool had_ = false;
+};
+
+/** Consumer that materializes every chunk back into TimingOps. */
+class CollectConsumer final : public BatchConsumer
+{
+  public:
+    void
+    consume(const AnalysisChunk &chunk) override
+    {
+        EXPECT_EQ(chunk.baseIndex, ops.size());
+        for (size_t i = 0; i < chunk.size; i++) {
+            uarch::TimingOp op;
+            op.pc = chunk.ops.pc[i];
+            op.memAddr = chunk.ops.memAddr[i];
+            op.nextPc = chunk.ops.nextPc[i];
+            op.inst = chunk.ops.inst[i];
+            op.crypto = chunk.ops.crypto[i] != 0;
+            op.tainted = chunk.ops.tainted[i] != 0;
+            ops.push_back(op);
+        }
+    }
+
+    void
+    finish() override
+    {
+        finished = true;
+    }
+
+    uarch::TimingTrace ops;
+    bool finished = false;
+};
+
+void
+expectSameOps(const uarch::TimingTrace &got,
+              const uarch::TimingTrace &want, const std::string &what)
+{
+    SCOPED_TRACE(what);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); i++) {
+        ASSERT_EQ(got[i].pc, want[i].pc) << "op " << i;
+        ASSERT_EQ(got[i].memAddr, want[i].memAddr) << "op " << i;
+        ASSERT_EQ(got[i].nextPc, want[i].nextPc) << "op " << i;
+        ASSERT_EQ(got[i].inst, want[i].inst) << "op " << i;
+        ASSERT_EQ(got[i].crypto, want[i].crypto) << "op " << i;
+        ASSERT_FALSE(got[i].tainted) << "op " << i;
+    }
+}
+
+/** Like expectSameOps, but across two artifacts that each own a copy
+ * of the program: inst pointers are compared as indices into the
+ * respective program's instruction array. */
+void
+expectSameOpsIndexed(const uarch::TimingTrace &got,
+                     const ir::Program &gotProgram,
+                     const uarch::TimingTrace &want,
+                     const ir::Program &wantProgram,
+                     const std::string &what)
+{
+    SCOPED_TRACE(what);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); i++) {
+        ASSERT_EQ(got[i].pc, want[i].pc) << "op " << i;
+        ASSERT_EQ(got[i].memAddr, want[i].memAddr) << "op " << i;
+        ASSERT_EQ(got[i].nextPc, want[i].nextPc) << "op " << i;
+        ASSERT_EQ(got[i].inst - gotProgram.insts.data(),
+                  want[i].inst - wantProgram.insts.data())
+            << "op " << i;
+        ASSERT_EQ(got[i].crypto, want[i].crypto) << "op " << i;
+    }
+}
+
+/** Exact (packed-bytes) equality of two Algorithm 2 results. */
+void
+expectSameTraceGen(const core::TraceGenResult &a,
+                   const core::TraceGenResult &b, const std::string &what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(a.peakAccumBytes, b.peakAccumBytes);
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (size_t i = 0; i < a.records.size(); i++) {
+        const auto &ra = a.records[i], &rb = b.records[i];
+        ASSERT_EQ(ra.pc, rb.pc);
+        EXPECT_EQ(ra.singleTarget, rb.singleTarget) << std::hex << ra.pc;
+        EXPECT_EQ(ra.inputDependent, rb.inputDependent)
+            << std::hex << ra.pc;
+        EXPECT_EQ(ra.rejection, rb.rejection) << std::hex << ra.pc;
+        EXPECT_EQ(ra.vanillaSize, rb.vanillaSize) << std::hex << ra.pc;
+        EXPECT_EQ(ra.kmersSize, rb.kmersSize) << std::hex << ra.pc;
+    }
+    ASSERT_EQ(a.image.numBranches(), b.image.numBranches());
+    EXPECT_EQ(a.image.traceBytes(), b.image.traceBytes());
+    for (const auto &rec : a.records) {
+        const core::HintInfo *ha = a.image.hint(rec.pc);
+        const core::HintInfo *hb = b.image.hint(rec.pc);
+        ASSERT_EQ(ha != nullptr, hb != nullptr) << std::hex << rec.pc;
+        if (ha) {
+            EXPECT_EQ(core::packHint(*ha, rec.pc),
+                      core::packHint(*hb, rec.pc))
+                << std::hex << rec.pc;
+        }
+    }
+    ASSERT_EQ(a.image.traces().size(), b.image.traces().size());
+    for (const auto &[pc, trace] : a.image.traces()) {
+        const core::BranchTrace *other = b.image.trace(pc);
+        ASSERT_NE(other, nullptr) << std::hex << pc;
+        EXPECT_EQ(core::packTrace(trace), core::packTrace(*other))
+            << std::hex << pc;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fused op pass vs scalar recordTrace
+// ---------------------------------------------------------------------
+
+TEST(FusedOpPass, MatchesReferenceAcrossChunkRingAndMode)
+{
+    const core::Workload w = workload("synthetic/chacha20/75");
+    const uarch::TimingTrace ref = uarch::recordTrace(w, 2);
+    ASSERT_GT(ref.size(), 1000u);
+
+    struct Combo
+    {
+        Mode mode;
+        size_t chunkOps;
+        size_t ringChunks;
+    };
+    // Odd chunk sizes force batch boundaries inside basic blocks;
+    // chunk 1 and ring 1 are the degenerate extremes.
+    const Combo combos[] = {
+        {Mode::Inline, 1, 1},     {Mode::Inline, 7, 1},
+        {Mode::Inline, 1000, 4},  {Mode::Threaded, 1, 1},
+        {Mode::Threaded, 7, 1},   {Mode::Threaded, 333, 2},
+        {Mode::Threaded, 4096, 4}};
+    for (const Combo &combo : combos) {
+        AnalysisPipelineOptions options;
+        options.mode = combo.mode;
+        options.chunkOps = combo.chunkOps;
+        options.ringChunks = combo.ringChunks;
+        CollectConsumer collect;
+        const core::FusedPassStats stats =
+            core::runFusedOpPass(w, 2, {&collect}, options);
+        const std::string what = "mode=" +
+            std::to_string(static_cast<int>(combo.mode)) +
+            " chunk=" + std::to_string(combo.chunkOps) +
+            " ring=" + std::to_string(combo.ringChunks);
+        EXPECT_TRUE(collect.finished) << what;
+        EXPECT_EQ(stats.numOps, ref.size()) << what;
+        EXPECT_EQ(stats.threaded, combo.mode == Mode::Threaded) << what;
+        expectSameOps(collect.ops, ref, what);
+    }
+}
+
+TEST(FusedOpPass, RetainedChunksReplayIdentically)
+{
+    const core::Workload w = workload("synthetic/chacha20/75");
+    const uarch::TimingTrace ref = uarch::recordTrace(w, 2);
+
+    AnalysisPipelineOptions options;
+    options.chunkOps = 777; // deliberately unaligned with batch sizes
+    std::vector<AnalysisChunk> chunks;
+    const core::FusedPassStats stats =
+        core::runFusedOpPass(w, 2, {}, options, &chunks);
+    ASSERT_EQ(stats.numOps, ref.size());
+    ASSERT_GT(chunks.size(), 1u);
+
+    // Scalar replay.
+    {
+        ChunkSpanSource src(chunks);
+        for (size_t i = 0; i < ref.size(); i++) {
+            const uarch::TimingOp *op = src.next();
+            ASSERT_NE(op, nullptr) << "op " << i;
+            ASSERT_EQ(op->pc, ref[i].pc) << "op " << i;
+            ASSERT_EQ(op->inst, ref[i].inst) << "op " << i;
+            ASSERT_EQ(op->crypto, ref[i].crypto) << "op " << i;
+        }
+        EXPECT_EQ(src.next(), nullptr);
+    }
+    // Batched replay with a max_ops that never divides the chunk size.
+    {
+        ChunkSpanSource src(chunks);
+        uarch::TimingTrace got;
+        uarch::OpBatch batch;
+        while (size_t n = src.nextBatch(batch, 61)) {
+            for (size_t i = 0; i < n; i++) {
+                uarch::TimingOp op;
+                op.pc = batch.pc[i];
+                op.memAddr = batch.memAddr[i];
+                op.nextPc = batch.nextPc[i];
+                op.inst = batch.inst[i];
+                op.crypto = batch.crypto[i] != 0;
+                got.push_back(op);
+            }
+        }
+        expectSameOps(got, ref, "ChunkSpanSource::nextBatch");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fused Algorithm 2 (branch pass) vs reference collectRun
+// ---------------------------------------------------------------------
+
+TEST(FusedBranchPass, GenerateTracesParity)
+{
+    for (const char *name : {"synthetic/chacha20/75", "DES_ct"}) {
+        const core::Workload w = workload(name);
+        const core::TraceGenResult ref =
+            core::generateTraces(w, {}, /*fused=*/false);
+        const core::TraceGenResult fused =
+            core::generateTraces(w, {}, /*fused=*/true);
+        expectSameTraceGen(fused, ref, name);
+    }
+}
+
+TEST(FusedBranchPass, FoldedRunMatchesAcrossModes)
+{
+    const core::Workload w = workload("synthetic/chacha20/75");
+    const core::FusedBranchRun ref = core::runFusedBranchPass(w, 0);
+    ASSERT_FALSE(ref.traces.empty());
+    for (Mode mode : {Mode::Inline, Mode::Threaded}) {
+        AnalysisPipelineOptions options;
+        options.mode = mode;
+        options.chunkOps = 129;
+        options.ringChunks = 1;
+        const core::FusedBranchRun got =
+            core::runFusedBranchPass(w, 0, true, options);
+        EXPECT_EQ(got.heldBytes, ref.heldBytes);
+        EXPECT_EQ(got.peakBytes, ref.peakBytes);
+        ASSERT_EQ(got.traces.size(), ref.traces.size());
+        for (const auto &[pc, trace] : ref.traces) {
+            auto it = got.traces.find(pc);
+            ASSERT_NE(it, got.traces.end()) << std::hex << pc;
+            EXPECT_TRUE(it->second.sameAs(trace)) << std::hex << pc;
+            EXPECT_EQ(it->second.logicalSize(), trace.logicalSize())
+                << std::hex << pc;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Artifact-level parity: fused vs reference AnalyzedWorkload
+// ---------------------------------------------------------------------
+
+TEST(FusedArtifact, WholeModeParity)
+{
+    const char *name = "DES_ct"; // has secret regions -> taint runs
+    AnalyzeOptions fusedOpts;
+    fusedOpts.fusion = AnalysisFusion::Fused;
+    fusedOpts.phases = core::allAnalysisPhases;
+    AnalyzeOptions refOpts = fusedOpts;
+    refOpts.fusion = AnalysisFusion::Reference;
+
+    const auto fused = AnalyzedWorkload::analyze(workload(name),
+                                                 fusedOpts);
+    const auto ref = AnalyzedWorkload::analyze(workload(name), refOpts);
+
+    // Trace ops (the fused artifact materializes AoS lazily here).
+    expectSameOpsIndexed(fused->timingTrace(),
+                         fused->workload().program, ref->timingTrace(),
+                         ref->workload().program, "whole-mode trace");
+    EXPECT_EQ(fused->numOps(), ref->numOps());
+
+    // Taint bits.
+    const uarch::TaintBitmap &tf = fused->taintBitmap();
+    const uarch::TaintBitmap &tr = ref->taintBitmap();
+    ASSERT_EQ(tf.size(), tr.size());
+    EXPECT_EQ(tf.count(), tr.count());
+    EXPECT_GT(tf.count(), 0u);
+    for (size_t i = 0; i < tf.size(); i++)
+        ASSERT_EQ(tf.test(i), tr.test(i)) << "op " << i;
+
+    // Algorithm 2 image.
+    expectSameTraceGen(fused->traces(), ref->traces(), "whole image");
+
+    // Simulated cycles, including a taint-consuming scheme.
+    for (uarch::Scheme scheme :
+         {uarch::Scheme::Cassandra, uarch::Scheme::Prospect}) {
+        const auto a = core::Simulation(fused).run(scheme);
+        const auto b = core::Simulation(ref).run(scheme);
+        EXPECT_EQ(a.stats.cycles, b.stats.cycles)
+            << static_cast<int>(scheme);
+        EXPECT_EQ(a.stats.instructions, b.stats.instructions);
+    }
+}
+
+TEST(FusedArtifact, StreamFileBytesIdentical)
+{
+    for (TraceCompression compression :
+         {TraceCompression::Delta, TraceCompression::None}) {
+        AnalyzeOptions fusedOpts;
+        fusedOpts.fusion = AnalysisFusion::Fused;
+        fusedOpts.traceMode = TraceMode::Stream;
+        fusedOpts.compression = compression;
+        fusedOpts.streamDir = testing::TempDir() + "/fused-stream-f-" +
+            core::traceCompressionName(compression);
+        AnalyzeOptions refOpts = fusedOpts;
+        refOpts.fusion = AnalysisFusion::Reference;
+        refOpts.streamDir = testing::TempDir() + "/fused-stream-r-" +
+            core::traceCompressionName(compression);
+
+        const auto fused =
+            AnalyzedWorkload::analyze(workload("synthetic/chacha20/75"),
+                                      fusedOpts);
+        const auto ref =
+            AnalyzedWorkload::analyze(workload("synthetic/chacha20/75"),
+                                      refOpts);
+        EXPECT_EQ(fused->numOps(), ref->numOps());
+        ASSERT_NE(fused->streamPath(), ref->streamPath());
+        // The fused writer consumes whole SoA batches, the reference
+        // one op at a time; the container bytes must not differ.
+        EXPECT_EQ(readFile(fused->streamPath()),
+                  readFile(ref->streamPath()))
+            << "compression " << static_cast<int>(compression);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Phase fusion accounting
+// ---------------------------------------------------------------------
+
+TEST(FusedArtifact, OnePassServesTraceAndTaint)
+{
+    const auto before = AnalyzedWorkload::analysisPhaseRuns();
+    const uint64_t passes0 = core::fusedAnalysisPasses();
+
+    AnalyzeOptions options;
+    options.fusion = AnalysisFusion::Fused;
+    const auto aw = AnalyzedWorkload::analyze(workload("DES_ct"),
+                                              options);
+    aw->ensurePhases(core::PhaseTimingTrace | core::PhaseTaint);
+
+    const auto after = AnalyzedWorkload::analysisPhaseRuns();
+    EXPECT_EQ(after.timingTrace, before.timingTrace + 1);
+    EXPECT_EQ(after.taint, before.taint + 1);
+    // ONE fused machine pass produced both phases.
+    EXPECT_EQ(core::fusedAnalysisPasses(), passes0 + 1);
+    EXPECT_TRUE(aw->hasTimingTrace());
+    EXPECT_TRUE(aw->hasTaintBitmap());
+}
+
+TEST(FusedArtifact, ReferenceModeRunsNoFusedPass)
+{
+    const uint64_t passes0 = core::fusedAnalysisPasses();
+    AnalyzeOptions options;
+    options.fusion = AnalysisFusion::Reference;
+    options.phases = core::allAnalysisPhases;
+    const auto aw = AnalyzedWorkload::analyze(workload("DES_ct"),
+                                              options);
+    EXPECT_TRUE(aw->hasTimingTrace());
+    EXPECT_EQ(core::fusedAnalysisPasses(), passes0);
+}
+
+// ---------------------------------------------------------------------
+// TraceCursor decode-ahead prefetcher
+// ---------------------------------------------------------------------
+
+TEST(StreamPrefetch, CursorParityAtEveryBatchBoundary)
+{
+    const core::Workload w = workload("synthetic/chacha20/75");
+    const uarch::TimingTrace trace = uarch::recordTrace(w, 2);
+    ASSERT_GT(trace.size(), 512u); // >= 2 frames at 256 ops/frame
+
+    for (TraceCompression compression :
+         {TraceCompression::Delta, TraceCompression::None}) {
+        const std::string path = "prefetch_parity.casstf";
+        {
+            TraceStreamWriter writer(
+                path, core::programFingerprint(w.program), 256,
+                compression);
+            for (const auto &op : trace)
+                writer.append(op);
+            writer.finish();
+        }
+        for (TraceCursor::Backing backing :
+             {TraceCursor::Backing::Mmap,
+              TraceCursor::Backing::Buffered}) {
+            SCOPED_TRACE("compression " +
+                         std::to_string(static_cast<int>(compression)) +
+                         " backing " +
+                         std::to_string(static_cast<int>(backing)));
+            // Synchronous reference.
+            uarch::TimingTrace sync;
+            {
+                ScopedEnv env("CASSANDRA_STREAM_PREFETCH", "off");
+                TraceCursor cursor(path, w.program, backing);
+                uarch::OpBatch batch;
+                while (size_t n = cursor.nextBatch(batch, 17)) {
+                    for (size_t i = 0; i < n; i++) {
+                        uarch::TimingOp op;
+                        op.pc = batch.pc[i];
+                        op.memAddr = batch.memAddr[i];
+                        op.nextPc = batch.nextPc[i];
+                        op.inst = batch.inst[i];
+                        op.crypto = batch.crypto[i] != 0;
+                        sync.push_back(op);
+                    }
+                }
+                EXPECT_FALSE(cursor.prefetching());
+            }
+            expectSameOps(sync, trace, "sync cursor vs recorded");
+
+            // Decode-ahead, forced on; 17 never divides 256, so every
+            // frame boundary lands mid-batch-request.
+            const uint64_t served0 = TraceCursor::prefetchBatches();
+            uarch::TimingTrace pre;
+            {
+                ScopedEnv env("CASSANDRA_STREAM_PREFETCH", "on");
+                TraceCursor cursor(path, w.program, backing);
+                uarch::OpBatch batch;
+                while (size_t n = cursor.nextBatch(batch, 17)) {
+                    for (size_t i = 0; i < n; i++) {
+                        uarch::TimingOp op;
+                        op.pc = batch.pc[i];
+                        op.memAddr = batch.memAddr[i];
+                        op.nextPc = batch.nextPc[i];
+                        op.inst = batch.inst[i];
+                        op.crypto = batch.crypto[i] != 0;
+                        pre.push_back(op);
+                    }
+                }
+                EXPECT_TRUE(cursor.prefetching());
+            }
+            expectSameOps(pre, sync, "prefetch cursor vs sync");
+            // Every frame after the first was served by the worker.
+            EXPECT_GT(TraceCursor::prefetchBatches(), served0);
+        }
+        std::remove(path.c_str());
+    }
+}
+
+TEST(StreamPrefetch, ScalarPathUnaffected)
+{
+    const core::Workload w = workload("synthetic/chacha20/75");
+    const uarch::TimingTrace trace = uarch::recordTrace(w, 2);
+    const std::string path = "prefetch_scalar.casstf";
+    {
+        TraceStreamWriter writer(
+            path, core::programFingerprint(w.program), 256,
+            TraceCompression::Delta);
+        for (const auto &op : trace)
+            writer.append(op);
+        writer.finish();
+    }
+    ScopedEnv env("CASSANDRA_STREAM_PREFETCH", "on");
+    TraceCursor cursor(path, w.program);
+    for (size_t i = 0; i < trace.size(); i++) {
+        const uarch::TimingOp *op = cursor.next();
+        ASSERT_NE(op, nullptr) << "op " << i;
+        ASSERT_EQ(op->pc, trace[i].pc) << "op " << i;
+        ASSERT_EQ(op->nextPc, trace[i].nextPc) << "op " << i;
+    }
+    EXPECT_EQ(cursor.next(), nullptr);
+    // next() never batches, so the worker is never started.
+    EXPECT_FALSE(cursor.prefetching());
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Writer durability seam (flush-ordering bugfix)
+// ---------------------------------------------------------------------
+
+std::vector<uint8_t> g_seamBytes;
+std::string g_seamPath;
+
+void
+seamSnapshot(const std::string &path)
+{
+    g_seamPath = path;
+    g_seamBytes = readFile(path);
+}
+
+TEST(StreamWriterSeam, CrashBeforeFooterFailsLoudly)
+{
+    const core::Workload w = workload("synthetic/chacha20/75");
+    const uarch::TimingTrace trace = uarch::recordTrace(w, 2);
+    ASSERT_GT(trace.size(), 512u);
+
+    for (TraceCompression compression :
+         {TraceCompression::Delta, TraceCompression::None}) {
+        SCOPED_TRACE(static_cast<int>(compression));
+        const std::string path = "seam_full.casstf";
+        const std::string crashed = "seam_crashed.casstf";
+        g_seamBytes.clear();
+        g_seamPath.clear();
+
+        TraceStreamWriter writer(
+            path, core::programFingerprint(w.program), 256, compression);
+        for (const auto &op : trace)
+            writer.append(op);
+        TraceStreamWriter::finishSeamHook = &seamSnapshot;
+        writer.finish();
+        TraceStreamWriter::finishSeamHook = nullptr;
+
+        // The hook fired at the seam: every data frame was already
+        // durable, no index/footer byte had been issued yet. The only
+        // post-seam change inside the prefix is the header's numOps
+        // patch (bytes 24..32), so mask it before comparing.
+        ASSERT_EQ(g_seamPath, path);
+        const std::vector<uint8_t> full = readFile(path);
+        ASSERT_GT(full.size(), g_seamBytes.size());
+        ASSERT_GT(g_seamBytes.size(), 32u);
+        std::vector<uint8_t> prefix(full.begin(),
+                                    full.begin() +
+                                        static_cast<long>(
+                                            g_seamBytes.size()));
+        std::vector<uint8_t> seam = g_seamBytes;
+        std::fill(prefix.begin() + 24, prefix.begin() + 32, 0);
+        std::fill(seam.begin() + 24, seam.begin() + 32, 0);
+        ASSERT_EQ(prefix, seam);
+
+        // A file cut at the seam (crash between data-sync and footer)
+        // must fail loudly at open — the footer describes nothing.
+        writeFile(crashed, g_seamBytes);
+        EXPECT_THROW(TraceCursor(crashed, w.program),
+                     core::ArtifactError);
+
+        // The finished file replays completely.
+        TraceCursor cursor(path, w.program);
+        EXPECT_EQ(cursor.numOps(), trace.size());
+        uint64_t ops = 0;
+        while (cursor.next())
+            ops++;
+        EXPECT_EQ(ops, trace.size());
+
+        std::remove(path.c_str());
+        std::remove(crashed.c_str());
+    }
+}
+
+} // namespace

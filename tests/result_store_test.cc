@@ -208,6 +208,43 @@ TEST(ResultStoreKeyTest, PresentationKnobsDoNotChangeTheHash)
     EXPECT_EQ(core::canonicalSimConfigHash(schemed), base);
 }
 
+TEST(ResultStoreKeyTest, SchemeAwareHashIgnoresBtuKnobsForNonBtuSchemes)
+{
+    const SimConfig plain;
+    SimConfig btu = SimConfig{}.withBtuGeometry(1, 4);
+    btu.core.btuFlushPeriod = 12000000;
+
+    // Schemes that never construct a BTU are byte-identical across
+    // BTU geometries, so the scheme-aware hash folds them together…
+    for (auto s : {Scheme::UnsafeBaseline, Scheme::Spt,
+                   Scheme::Prospect, Scheme::CassandraLite}) {
+        EXPECT_EQ(core::canonicalSimConfigHash(plain, s),
+                  core::canonicalSimConfigHash(btu, s))
+            << uarch::schemeName(s);
+    }
+
+    // …while BTU schemes keep the full (reference) hash, geometry
+    // included.
+    for (auto s : {Scheme::Cassandra, Scheme::CassandraStl,
+                   Scheme::CassandraProspect}) {
+        EXPECT_EQ(core::canonicalSimConfigHash(plain, s),
+                  core::canonicalSimConfigHash(plain))
+            << uarch::schemeName(s);
+        EXPECT_EQ(core::canonicalSimConfigHash(btu, s),
+                  core::canonicalSimConfigHash(btu))
+            << uarch::schemeName(s);
+        EXPECT_NE(core::canonicalSimConfigHash(plain, s),
+                  core::canonicalSimConfigHash(btu, s))
+            << uarch::schemeName(s);
+    }
+
+    // Non-BTU fields still count for every scheme.
+    SimConfig wider;
+    wider.core.fetchWidth = 4;
+    EXPECT_NE(core::canonicalSimConfigHash(wider, Scheme::Spt),
+              core::canonicalSimConfigHash(plain, Scheme::Spt));
+}
+
 TEST(ResultStoreKeyTest, FlippingAnyKeyComponentMisses)
 {
     ResultStore store(freshDir("keyflip"));
@@ -400,16 +437,22 @@ TEST(ResultStoreRunnerTest, PartialInvalidationOnlyResimulatesTheSliver)
     ExperimentRunner(registryCache(), cachedOptions(dir, CacheMode::On))
         .run(matrix);
 
-    // Add one new config variant: only its cells miss.
+    // Add one new config variant that only perturbs a BTU knob: the
+    // scheme-aware store key makes it a fresh cell only for schemes
+    // that actually read the BTU (Cassandra here) — UnsafeBaseline
+    // and Spt cells of "slow-fill" hash like the cached base config.
     matrix.configs.push_back(
         SimConfig{}.withBtuFillLatency(40).named("slow-fill"));
     auto exp = ExperimentRunner(registryCache(),
                                 cachedOptions(dir, CacheMode::On))
                    .run(matrix);
-    const uint64_t per_config =
-        matrix.workloads.size() * matrix.schemes.size();
-    EXPECT_EQ(exp.telemetry.simulatedCells, per_config);
-    EXPECT_EQ(exp.telemetry.cachedCells, 2 * per_config);
+    uint64_t btu_cells = 0;
+    for (Scheme s : matrix.schemes)
+        if (uarch::schemeUsesBtu(s))
+            btu_cells += matrix.workloads.size();
+    ASSERT_GT(btu_cells, 0u);
+    EXPECT_EQ(exp.telemetry.simulatedCells, btu_cells);
+    EXPECT_EQ(exp.telemetry.cachedCells, exp.cells.size() - btu_cells);
 }
 
 #if !defined(_WIN32)
